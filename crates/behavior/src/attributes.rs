@@ -1,0 +1,180 @@
+//! The behavioural attribute domains of Table I.
+
+use wm_net::rng::SimRng;
+
+/// Age group (Table I: `< 20`, `20-25`, `25-30`, `> 30`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AgeGroup {
+    Under20,
+    From20To25,
+    From25To30,
+    Over30,
+}
+
+impl AgeGroup {
+    pub const ALL: [AgeGroup; 4] = [
+        AgeGroup::Under20,
+        AgeGroup::From20To25,
+        AgeGroup::From25To30,
+        AgeGroup::Over30,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            AgeGroup::Under20 => "< 20",
+            AgeGroup::From20To25 => "20-25",
+            AgeGroup::From25To30 => "25-30",
+            AgeGroup::Over30 => "> 30",
+        }
+    }
+}
+
+/// Gender (Table I: Male, Female, Undisclosed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gender {
+    Male,
+    Female,
+    Undisclosed,
+}
+
+impl Gender {
+    pub const ALL: [Gender; 3] = [Gender::Male, Gender::Female, Gender::Undisclosed];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Gender::Male => "Male",
+            Gender::Female => "Female",
+            Gender::Undisclosed => "Undisclosed",
+        }
+    }
+}
+
+/// Political alignment (Table I: Liberal, Centrist, Communist,
+/// Undisclosed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoliticalAlignment {
+    Liberal,
+    Centrist,
+    Communist,
+    Undisclosed,
+}
+
+impl PoliticalAlignment {
+    pub const ALL: [PoliticalAlignment; 4] = [
+        PoliticalAlignment::Liberal,
+        PoliticalAlignment::Centrist,
+        PoliticalAlignment::Communist,
+        PoliticalAlignment::Undisclosed,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            PoliticalAlignment::Liberal => "Liberal",
+            PoliticalAlignment::Centrist => "Centrist",
+            PoliticalAlignment::Communist => "Communist",
+            PoliticalAlignment::Undisclosed => "Undisclosed",
+        }
+    }
+}
+
+/// State of mind during the viewing (Table I: Happy, Stressed, Sad,
+/// Undisclosed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StateOfMind {
+    Happy,
+    Stressed,
+    Sad,
+    Undisclosed,
+}
+
+impl StateOfMind {
+    pub const ALL: [StateOfMind; 4] = [
+        StateOfMind::Happy,
+        StateOfMind::Stressed,
+        StateOfMind::Sad,
+        StateOfMind::Undisclosed,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            StateOfMind::Happy => "Happy",
+            StateOfMind::Stressed => "Stressed",
+            StateOfMind::Sad => "Sad",
+            StateOfMind::Undisclosed => "Undisclosed",
+        }
+    }
+}
+
+/// One viewer's behavioural profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BehaviorAttributes {
+    pub age: AgeGroup,
+    pub gender: Gender,
+    pub political: PoliticalAlignment,
+    pub mind: StateOfMind,
+}
+
+impl BehaviorAttributes {
+    /// Sample a profile (realistic-ish marginals for a volunteer pool
+    /// at a university: young skew, some undisclosed answers).
+    pub fn sample(rng: &mut SimRng) -> Self {
+        let age = AgeGroup::ALL[rng.weighted_index(&[0.15, 0.40, 0.25, 0.20])];
+        let gender = Gender::ALL[rng.weighted_index(&[0.50, 0.38, 0.12])];
+        let political =
+            PoliticalAlignment::ALL[rng.weighted_index(&[0.30, 0.25, 0.15, 0.30])];
+        let mind = StateOfMind::ALL[rng.weighted_index(&[0.35, 0.30, 0.15, 0.20])];
+        BehaviorAttributes { age, gender, political, mind }
+    }
+
+    /// "20-25/Male/Liberal/Happy"-style label.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.age.label(),
+            self.gender.label(),
+            self.political.label(),
+            self.mind.label()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_match_table1() {
+        assert_eq!(AgeGroup::ALL.len(), 4);
+        assert_eq!(Gender::ALL.len(), 3);
+        assert_eq!(PoliticalAlignment::ALL.len(), 4);
+        assert_eq!(StateOfMind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_covers_domains() {
+        let mut rng = SimRng::new(5);
+        let profiles: Vec<BehaviorAttributes> =
+            (0..500).map(|_| BehaviorAttributes::sample(&mut rng)).collect();
+        let mut rng2 = SimRng::new(5);
+        let again: Vec<BehaviorAttributes> =
+            (0..500).map(|_| BehaviorAttributes::sample(&mut rng2)).collect();
+        assert_eq!(profiles, again);
+        for age in AgeGroup::ALL {
+            assert!(profiles.iter().any(|p| p.age == age), "{:?} unsampled", age);
+        }
+        for mind in StateOfMind::ALL {
+            assert!(profiles.iter().any(|p| p.mind == mind), "{:?} unsampled", mind);
+        }
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        let p = BehaviorAttributes {
+            age: AgeGroup::From20To25,
+            gender: Gender::Female,
+            political: PoliticalAlignment::Centrist,
+            mind: StateOfMind::Stressed,
+        };
+        assert_eq!(p.label(), "20-25/Female/Centrist/Stressed");
+    }
+}

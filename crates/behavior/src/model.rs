@@ -1,0 +1,241 @@
+//! Attribute → choice-preference mapping and script sampling.
+//!
+//! Each behavioural attribute contributes additive affinities to the
+//! story graph's choice tags; an option's score is the sum of its tags'
+//! affinities, and the pick probability is a logistic contrast between
+//! the two options' scores. State of mind also shapes *reaction time*
+//! (and thus the timeout rate), which is visible in the trace timing.
+
+use crate::attributes::{AgeGroup, BehaviorAttributes, Gender, PoliticalAlignment, StateOfMind};
+use wm_net::rng::SimRng;
+use wm_net::time::Duration;
+use wm_player::{ScriptEntry, ViewerScript};
+use wm_story::{Choice, ChoiceTag, SegmentEnd, StoryGraph};
+
+/// Additive affinity of `attrs` for one tag (positive = drawn to it).
+pub fn tag_affinity(attrs: &BehaviorAttributes, tag: ChoiceTag) -> f64 {
+    use ChoiceTag::*;
+    let mut a = 0.0;
+    // Age: youth chases novelty and risk, age prefers comfort/nostalgia.
+    a += match (attrs.age, tag) {
+        (AgeGroup::Under20, Novelty | Risk) => 0.8,
+        (AgeGroup::Under20, Comfort | Nostalgia) => -0.4,
+        (AgeGroup::From20To25, Novelty | Defiance) => 0.4,
+        (AgeGroup::From25To30, Rationality | Engagement) => 0.3,
+        (AgeGroup::Over30, Comfort | Nostalgia) => 0.6,
+        (AgeGroup::Over30, Risk) => -0.6,
+        _ => 0.0,
+    };
+    // Gender: kept deliberately weak (a mild engagement contrast only);
+    // the dataset's point is diversity, not stereotype strength.
+    a += match (attrs.gender, tag) {
+        (Gender::Female, Engagement) => 0.15,
+        (Gender::Male, Withdrawal) => 0.1,
+        _ => 0.0,
+    };
+    // Political alignment: compliance vs defiance vs paranoia.
+    a += match (attrs.political, tag) {
+        (PoliticalAlignment::Liberal, Defiance | Novelty) => 0.4,
+        (PoliticalAlignment::Liberal, Compliance) => -0.3,
+        (PoliticalAlignment::Centrist, Compliance | Rationality) => 0.4,
+        (PoliticalAlignment::Communist, Defiance | Paranoia) => 0.5,
+        (PoliticalAlignment::Communist, Compliance) => -0.4,
+        _ => 0.0,
+    };
+    // State of mind: stress begets violence/withdrawal, sadness begets
+    // withdrawal/nostalgia, happiness begets engagement/mercy.
+    a += match (attrs.mind, tag) {
+        (StateOfMind::Happy, Engagement | Mercy) => 0.5,
+        (StateOfMind::Happy, Violence) => -0.5,
+        (StateOfMind::Stressed, Violence | Defiance) => 0.5,
+        (StateOfMind::Stressed, Mercy) => -0.3,
+        (StateOfMind::Sad, Withdrawal | Nostalgia) => 0.6,
+        (StateOfMind::Sad, Engagement) => -0.4,
+        _ => 0.0,
+    };
+    a
+}
+
+/// The sampling model for one viewer.
+#[derive(Debug, Clone, Copy)]
+pub struct BehaviorModel {
+    pub attrs: BehaviorAttributes,
+}
+
+impl BehaviorModel {
+    pub fn new(attrs: BehaviorAttributes) -> Self {
+        BehaviorModel { attrs }
+    }
+
+    /// Probability of picking the *default* option of a choice point.
+    pub fn p_default(&self, graph: &StoryGraph, cp: wm_story::ChoicePointId) -> f64 {
+        let cp = graph.choice_point(cp);
+        let score = |opt: &wm_story::ChoiceOption| -> f64 {
+            opt.tags.iter().map(|t| tag_affinity(&self.attrs, *t)).sum()
+        };
+        let contrast = score(&cp.options[0]) - score(&cp.options[1]);
+        // Mild default bias (the highlighted option gets picked more),
+        // then the behavioural contrast.
+        sigmoid(0.35 + 1.2 * contrast)
+    }
+
+    /// Mean reaction time in content seconds.
+    pub fn mean_delay_secs(&self) -> f64 {
+        match self.attrs.mind {
+            StateOfMind::Happy => 3.4,
+            StateOfMind::Stressed => 2.3,
+            StateOfMind::Sad => 5.4,
+            StateOfMind::Undisclosed => 4.0,
+        }
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Sample a viewer's full script for `graph`: walk the story sampling a
+/// pick (and a reaction delay) at every choice point encountered.
+pub fn script_for(graph: &StoryGraph, attrs: &BehaviorAttributes, seed: u64) -> ViewerScript {
+    let model = BehaviorModel::new(*attrs);
+    let mut rng = SimRng::new(seed);
+    let mut entries = Vec::new();
+    let mut current = graph.start();
+    loop {
+        match graph.segment(current).end {
+            SegmentEnd::Ending => break,
+            SegmentEnd::Continue(next) => current = next,
+            SegmentEnd::Choice(cp_id) => {
+                let p = model.p_default(graph, cp_id);
+                let choice = if rng.chance(p) { Choice::Default } else { Choice::NonDefault };
+                // Sad/distracted viewers occasionally let the timer lapse.
+                let lapse_p = match attrs.mind {
+                    StateOfMind::Sad => 0.06,
+                    StateOfMind::Undisclosed => 0.03,
+                    _ => 0.01,
+                };
+                let delay_s = if rng.chance(lapse_p) {
+                    11.0 // beyond any window → timeout
+                } else {
+                    rng.normal_clamped(model.mean_delay_secs(), 1.5, 0.8, 9.5)
+                };
+                entries.push(ScriptEntry {
+                    choice,
+                    delay: Duration::from_secs_f64(delay_s),
+                });
+                current = graph.choice_point(cp_id).option(choice).target;
+            }
+        }
+    }
+    ViewerScript { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::BehaviorAttributes;
+    use wm_story::bandersnatch::bandersnatch;
+
+    fn attrs(mind: StateOfMind, political: PoliticalAlignment) -> BehaviorAttributes {
+        BehaviorAttributes {
+            age: AgeGroup::From20To25,
+            gender: Gender::Undisclosed,
+            political,
+            mind,
+        }
+    }
+
+    #[test]
+    fn affinities_are_attribute_sensitive() {
+        let stressed = attrs(StateOfMind::Stressed, PoliticalAlignment::Undisclosed);
+        let happy = attrs(StateOfMind::Happy, PoliticalAlignment::Undisclosed);
+        assert!(
+            tag_affinity(&stressed, ChoiceTag::Violence)
+                > tag_affinity(&happy, ChoiceTag::Violence)
+        );
+        assert!(
+            tag_affinity(&happy, ChoiceTag::Engagement)
+                > tag_affinity(&stressed, ChoiceTag::Engagement)
+        );
+    }
+
+    #[test]
+    fn p_default_in_unit_interval() {
+        let g = bandersnatch();
+        let m = BehaviorModel::new(attrs(StateOfMind::Happy, PoliticalAlignment::Liberal));
+        for cp in g.choice_points() {
+            let p = m.p_default(&g, cp.id);
+            assert!((0.0..=1.0).contains(&p), "p={p}");
+        }
+    }
+
+    #[test]
+    fn scripts_walk_to_an_ending() {
+        let g = bandersnatch();
+        let script = script_for(&g, &attrs(StateOfMind::Happy, PoliticalAlignment::Centrist), 9);
+        assert!(!script.entries.is_empty());
+        assert!(script.entries.len() <= g.max_choices_on_path());
+    }
+
+    #[test]
+    fn scripts_deterministic_per_seed() {
+        let g = bandersnatch();
+        let a = attrs(StateOfMind::Sad, PoliticalAlignment::Communist);
+        let s1 = script_for(&g, &a, 4);
+        let s2 = script_for(&g, &a, 4);
+        assert_eq!(s1.choices(), s2.choices());
+        let s3 = script_for(&g, &a, 5);
+        // 12+ coin flips: overwhelmingly likely to differ.
+        assert!(s1.choices() != s3.choices() || s1.entries.len() != s3.entries.len());
+    }
+
+    #[test]
+    fn violence_correlates_with_stress() {
+        // Statistical check: stressed viewers take the "attack dad"
+        // branch more often than happy viewers.
+        let g = bandersnatch();
+        let count_attacks = |mind: StateOfMind| -> usize {
+            (0..400)
+                .filter(|seed| {
+                    let script = script_for(
+                        &g,
+                        &attrs(mind, PoliticalAlignment::Undisclosed),
+                        *seed,
+                    );
+                    let walk = wm_story::path::walk(
+                        &g,
+                        &wm_story::ChoiceSequence(script.choices()),
+                    );
+                    walk.steps.iter().any(|s| {
+                        matches!(s.decision, Some((cp, c))
+                            if cp == wm_story::ChoicePointId(12) && c == Choice::NonDefault)
+                    })
+                })
+                .count()
+        };
+        let stressed = count_attacks(StateOfMind::Stressed);
+        let happy = count_attacks(StateOfMind::Happy);
+        assert!(
+            stressed > happy + 20,
+            "stressed {stressed} vs happy {happy}: behaviour signal too weak"
+        );
+    }
+
+    #[test]
+    fn sad_viewers_react_slower() {
+        let g = bandersnatch();
+        let mean_delay = |mind: StateOfMind| -> f64 {
+            let mut total = 0.0;
+            let mut n = 0;
+            for seed in 0..100 {
+                let s = script_for(&g, &attrs(mind, PoliticalAlignment::Undisclosed), seed);
+                for e in &s.entries {
+                    total += e.delay.as_secs_f64();
+                    n += 1;
+                }
+            }
+            total / n as f64
+        };
+        assert!(mean_delay(StateOfMind::Sad) > mean_delay(StateOfMind::Stressed) + 1.0);
+    }
+}

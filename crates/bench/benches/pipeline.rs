@@ -1,0 +1,132 @@
+//! Criterion micro-benchmarks of the reproduction pipeline.
+//!
+//! Not paper artifacts (those are the `wm-bench` binaries) but
+//! engineering benchmarks: how fast the substrate simulates and how
+//! fast the attack runs over captures.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::sync::Arc;
+use wm_capture::flow::FlowReassembler;
+use wm_capture::records::extract_records;
+use wm_core::classify::{HistogramClassifier, IntervalClassifier, KnnClassifier, RecordClassifier};
+use wm_core::{WhiteMirror, WhiteMirrorConfig};
+use wm_net::time::Duration;
+use wm_player::ViewerScript;
+use wm_sim::{run_session, SessionConfig};
+use wm_story::bandersnatch::{bandersnatch, tiny_film};
+use wm_story::Choice;
+
+fn cipher_throughput(c: &mut Criterion) {
+    let key = [7u8; 32];
+    let nonce = [9u8; 12];
+    let mut g = c.benchmark_group("cipher");
+    for size in [1_448usize, 16_384, 262_144] {
+        let data = vec![0xa5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("wm20_seal_{size}"), |b| {
+            b.iter_batched(
+                || data.clone(),
+                |plain| wm_cipher::seal(&key, &nonce, b"aad", &plain),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn session_simulation(c: &mut Criterion) {
+    let tiny = Arc::new(tiny_film());
+    let full = Arc::new(bandersnatch());
+    let mut g = c.benchmark_group("session");
+    g.sample_size(10);
+    g.bench_function("tiny_film_session", |b| {
+        b.iter(|| {
+            let script =
+                ViewerScript::from_choices(&[Choice::NonDefault; 3], Duration::from_millis(900));
+            run_session(&SessionConfig::fast(tiny.clone(), 1, script)).unwrap()
+        })
+    });
+    g.bench_function("bandersnatch_session_40x", |b| {
+        b.iter(|| {
+            let script = ViewerScript::sample(2, 14, 0.5);
+            let mut cfg = SessionConfig::fast(full.clone(), 2, script);
+            cfg.player.time_scale = 40;
+            run_session(&cfg).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn capture_pipeline(c: &mut Criterion) {
+    let graph = Arc::new(bandersnatch());
+    let mut cfg = SessionConfig::fast(graph.clone(), 3, ViewerScript::sample(3, 14, 0.5));
+    cfg.player.time_scale = 40;
+    let out = run_session(&cfg).unwrap();
+    let pcap = out.trace.to_pcap_bytes();
+
+    let mut g = c.benchmark_group("capture");
+    g.throughput(Throughput::Bytes(pcap.len() as u64));
+    g.bench_function("pcap_parse", |b| {
+        b.iter(|| wm_capture::tap::Trace::from_pcap_bytes(&pcap).unwrap())
+    });
+    g.bench_function("flow_reassembly", |b| {
+        b.iter(|| FlowReassembler::reassemble(&out.trace))
+    });
+    let flows = FlowReassembler::reassemble(&out.trace);
+    g.bench_function("record_extraction", |b| {
+        b.iter(|| extract_records(&flows[0].upstream))
+    });
+    g.finish();
+}
+
+fn classifiers(c: &mut Criterion) {
+    let graph = Arc::new(bandersnatch());
+    let mut cfg = SessionConfig::fast(graph.clone(), 4, ViewerScript::sample(4, 14, 0.5));
+    cfg.player.time_scale = 40;
+    let out = run_session(&cfg).unwrap();
+    let interval = IntervalClassifier::train(&out.labels, 8).unwrap();
+    let hist = HistogramClassifier::train(&out.labels, 8);
+    let knn = KnnClassifier::train(&out.labels, 5);
+    let lengths: Vec<u16> = out.labels.iter().map(|l| l.length).collect();
+
+    let mut g = c.benchmark_group("classify");
+    g.throughput(Throughput::Elements(lengths.len() as u64));
+    g.bench_function("interval", |b| {
+        b.iter(|| lengths.iter().map(|&l| interval.classify(l)).filter(|c| *c != wm_capture::RecordClass::Other).count())
+    });
+    g.bench_function("histogram", |b| {
+        b.iter(|| lengths.iter().map(|&l| hist.classify(l)).filter(|c| *c != wm_capture::RecordClass::Other).count())
+    });
+    g.bench_function("knn", |b| {
+        b.iter(|| lengths.iter().map(|&l| knn.classify(l)).filter(|c| *c != wm_capture::RecordClass::Other).count())
+    });
+    g.finish();
+}
+
+fn attack_end_to_end(c: &mut Criterion) {
+    let graph = Arc::new(bandersnatch());
+    let mut tcfg = SessionConfig::fast(graph.clone(), 5, ViewerScript::sample(5, 14, 0.5));
+    tcfg.player.time_scale = 40;
+    let train = run_session(&tcfg).unwrap();
+    let attack = WhiteMirror::train(&train.labels, WhiteMirrorConfig::scaled(40)).unwrap();
+    let mut vcfg = SessionConfig::fast(graph.clone(), 6, ViewerScript::sample(6, 14, 0.5));
+    vcfg.player.time_scale = 40;
+    let victim = run_session(&vcfg).unwrap();
+
+    let mut g = c.benchmark_group("attack");
+    g.sample_size(20);
+    g.bench_function("decode_trace", |b| {
+        b.iter(|| attack.decode_trace(&victim.trace, &graph))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    cipher_throughput,
+    session_simulation,
+    capture_pipeline,
+    classifiers,
+    attack_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Ground-truth labels for upstream TLS records.
+//!
+//! The session layer knows, at seal time, what every client record
+//! carries; these labels are the supervision signal for training the
+//! record-length classifier and for per-record evaluation. They are
+//! *never* visible to the attack pipeline at inference time.
+
+use wm_net::time::SimTime;
+
+/// What a client application-data record carried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RecordClass {
+    /// A complete type-1 state report (question displayed).
+    Type1,
+    /// A complete type-2 state report (non-default selection).
+    Type2,
+    /// Anything else: chunk requests, telemetry, heartbeats,
+    /// diagnostics, manifest fetches, or state reports mangled by a
+    /// flush split or a countermeasure.
+    Other,
+}
+
+impl RecordClass {
+    pub const ALL: [RecordClass; 3] = [RecordClass::Type1, RecordClass::Type2, RecordClass::Other];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            RecordClass::Type1 => "type-1 JSON",
+            RecordClass::Type2 => "type-2 JSON",
+            RecordClass::Other => "others",
+        }
+    }
+}
+
+/// One labelled client record (sealed length as on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabeledRecord {
+    pub time: SimTime,
+    /// Sealed (ciphertext) record length — the eavesdropper observable.
+    pub length: u16,
+    pub class: RecordClass,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut names: Vec<&str> = RecordClass::ALL.iter().map(|c| c.label()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 3);
+    }
+}

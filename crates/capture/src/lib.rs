@@ -1,0 +1,35 @@
+//! # wm-capture — the eavesdropper's toolchain
+//!
+//! The paper's attacker is a *passive on-path observer*: they see the
+//! encrypted packets between the viewer's browser and Netflix, and
+//! nothing else. This crate is that observer's entire toolbox, built
+//! from scratch:
+//!
+//! * [`pcap`] — the libpcap file format (magic `0xa1b2c3d4`, µs
+//!   timestamps, Ethernet linktype): traces round-trip through standard
+//!   tooling;
+//! * [`tap`] — the capture point used during simulation: records real
+//!   Ethernet/IPv4/TCP frames with timestamps (and drops packets with
+//!   the tap-loss probability of the link model — monitor ports miss
+//!   packets, especially on busy wireless);
+//! * [`flow`] — offline TCP stream reassembly per flow direction, with
+//!   explicit *gap* reporting where the tap missed segments;
+//! * [`records`] — TLS record metadata extraction over the reassembled
+//!   stream, including header *resynchronization* after a gap (scan for
+//!   a plausible chain of record headers), which is what a real traffic
+//!   analyst does with lossy captures.
+//!
+//! Nothing in this crate has key material: everything downstream of it
+//! sees only what a wiretap would.
+
+pub mod flow;
+pub mod labels;
+pub mod pcap;
+pub mod records;
+pub mod tap;
+
+pub use flow::{Direction, FlowReassembler, FlowStreams, StreamChunk, StreamView};
+pub use labels::{LabeledRecord, RecordClass};
+pub use pcap::{PcapError, PcapPacket, PcapReader, PcapWriter};
+pub use records::{extract_records, ExtractStats, Extraction, TimedRecord};
+pub use tap::{CapturedPacket, Tap, Trace, TraceSummary};

@@ -1,0 +1,178 @@
+//! Property-based tests for the capture toolchain.
+
+use proptest::prelude::*;
+use wm_capture::flow::FlowReassembler;
+use wm_capture::pcap::{PcapReader, PcapWriter};
+use wm_capture::records::extract_records;
+use wm_capture::tap::{CapturedPacket, Tap, Trace};
+use wm_net::headers::{FlowId, TcpFlags};
+use wm_net::tcp::TcpSegment;
+use wm_net::time::SimTime;
+use wm_tls::conn::{RecordEngine, SessionKeys};
+use wm_tls::record::ContentType;
+use wm_tls::suite::CipherSuite;
+
+const FLOW: FlowId = FlowId {
+    src_ip: [192, 168, 0, 9],
+    src_port: 50505,
+    dst_ip: [13, 13, 13, 13],
+    dst_port: 443,
+};
+
+fn seg(seq: u32, payload: Vec<u8>) -> TcpSegment {
+    TcpSegment { flow: FLOW, seq, ack: 0, flags: TcpFlags::PSH_ACK, payload, retransmit: false }
+}
+
+proptest! {
+    /// pcap files round-trip arbitrary packet contents and timestamps.
+    #[test]
+    fn pcap_roundtrip(packets in prop::collection::vec(
+        (any::<u32>(), 0u32..1_000_000, prop::collection::vec(any::<u8>(), 0..200)),
+        0..20,
+    )) {
+        let mut w = PcapWriter::new();
+        for (s, us, data) in &packets {
+            w.write_packet(*s, *us, data);
+        }
+        let bytes = w.into_bytes();
+        let mut r = PcapReader::new(&bytes).expect("own file");
+        let back = r.read_all().expect("own file");
+        prop_assert_eq!(back.len(), packets.len());
+        for (p, (s, us, data)) in back.iter().zip(packets.iter()) {
+            prop_assert_eq!(p.ts_sec, *s);
+            prop_assert_eq!(p.ts_usec, *us);
+            prop_assert_eq!(&p.data, data);
+        }
+    }
+
+    /// The pcap reader never panics on arbitrary bytes.
+    #[test]
+    fn pcap_reader_total(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(mut r) = PcapReader::new(&bytes) {
+            let _ = r.read_all();
+        }
+    }
+
+    /// Trace serialization round-trips through the pcap format.
+    #[test]
+    fn trace_roundtrip(payloads in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 0..300), 0..12)) {
+        let mut tap = Tap::new();
+        let mut seq = 1u32;
+        for (i, p) in payloads.iter().enumerate() {
+            tap.record_segment(SimTime(i as u64 * 1000), &seg(seq, p.clone()));
+            seq = seq.wrapping_add(p.len() as u32);
+        }
+        let trace = tap.into_trace();
+        let back = Trace::from_pcap_bytes(&trace.to_pcap_bytes()).expect("own trace");
+        prop_assert_eq!(back.packets, trace.packets);
+    }
+
+    /// Reassembly is invariant to the capture order of segments, and
+    /// the reassembled stream equals the original byte stream when no
+    /// segment is missing.
+    #[test]
+    fn reassembly_order_invariant(chunks in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 1..100), 1..12,
+    ), shuffle in any::<u64>()) {
+        // Build contiguous segments.
+        let mut segments = Vec::new();
+        let mut seq = 1000u32;
+        let mut stream = Vec::new();
+        for c in &chunks {
+            segments.push(seg(seq, c.clone()));
+            seq = seq.wrapping_add(c.len() as u32);
+            stream.extend_from_slice(c);
+        }
+        // Record in a pseudo-shuffled order (times still increasing).
+        let mut order: Vec<usize> = (0..segments.len()).collect();
+        let mut s = shuffle;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let mut tap = Tap::new();
+        for (t, &idx) in order.iter().enumerate() {
+            tap.record_segment(SimTime(t as u64 * 1000), &segments[idx]);
+        }
+        let flows = FlowReassembler::reassemble(&tap.into_trace());
+        prop_assert_eq!(flows.len(), 1);
+        let up = &flows[0].upstream;
+        prop_assert_eq!(up.gap_count(), 0);
+        let got: Vec<u8> = up.chunks.iter().flat_map(|c| c.data.clone()).collect();
+        prop_assert_eq!(got, stream);
+    }
+
+    /// Dropping any subset of segments yields gap accounting that
+    /// exactly matches the missing bytes.
+    #[test]
+    fn gap_accounting_exact(chunks in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 1..80), 2..10,
+    ), drop_mask in any::<u16>()) {
+        let mut segments = Vec::new();
+        let mut seq = 0u32;
+        for c in &chunks {
+            segments.push((seq, c.clone()));
+            seq = seq.wrapping_add(c.len() as u32);
+        }
+        // Always keep the first and last so the extent is known.
+        let mut tap = Tap::new();
+        let mut kept_bytes = 0u64;
+        let mut total_span = 0u64;
+        for (i, (s, c)) in segments.iter().enumerate() {
+            total_span += c.len() as u64;
+            let dropped = i != 0
+                && i != segments.len() - 1
+                && (drop_mask >> (i % 16)) & 1 == 1;
+            if !dropped {
+                kept_bytes += c.len() as u64;
+                tap.record_segment(SimTime(i as u64 * 1000), &seg(*s, c.clone()));
+            }
+        }
+        let flows = FlowReassembler::reassemble(&tap.into_trace());
+        let up = &flows[0].upstream;
+        prop_assert_eq!(up.data_bytes(), kept_bytes);
+        prop_assert_eq!(up.data_bytes() + up.gap_bytes(), total_span);
+    }
+
+    /// Record extraction over a lossless capture of a TLS stream
+    /// recovers every record exactly; resync stats stay zero.
+    #[test]
+    fn extraction_lossless(master in any::<[u8; 32]>(),
+                           sizes in prop::collection::vec(0usize..2500, 1..10),
+                           mss in 200usize..1448) {
+        let keys = SessionKeys::derive(&master, CipherSuite::Aead);
+        let mut engine = RecordEngine::client(&keys);
+        let mut wire = Vec::new();
+        for &s in &sizes {
+            wire.extend(engine.seal_payload(ContentType::ApplicationData, &vec![3u8; s]));
+        }
+        let mut tap = Tap::new();
+        let mut seq = 77u32;
+        for (i, piece) in wire.chunks(mss).enumerate() {
+            tap.record_segment(SimTime(i as u64 * 500), &seg(seq, piece.to_vec()));
+            seq = seq.wrapping_add(piece.len() as u32);
+        }
+        let flows = FlowReassembler::reassemble(&tap.into_trace());
+        let ex = extract_records(&flows[0].upstream);
+        prop_assert_eq!(ex.stats.gaps, 0);
+        prop_assert_eq!(ex.stats.records, sizes.len());
+        let lens: Vec<u16> = ex.records.iter().map(|r| r.record.length).collect();
+        let expect: Vec<u16> = sizes.iter().map(|&s| (s + 16) as u16).collect();
+        prop_assert_eq!(lens, expect);
+    }
+
+    /// Malformed frames in a trace are skipped, never panic.
+    #[test]
+    fn reassembler_total_on_garbage(frames in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 0..120), 0..10)) {
+        let trace = Trace {
+            packets: frames
+                .into_iter()
+                .enumerate()
+                .map(|(i, frame)| CapturedPacket { time: SimTime(i as u64), frame })
+                .collect(),
+        };
+        let _ = FlowReassembler::reassemble(&trace);
+    }
+}

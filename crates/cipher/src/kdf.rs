@@ -1,0 +1,90 @@
+//! Seed expansion and key derivation helpers (splitmix64).
+//!
+//! Splitmix64 is the standard seed expander: statistically excellent,
+//! trivially portable, and deterministic. Everything stochastic in the
+//! workspace (key schedules, per-subsystem RNG seeds) is derived through
+//! these functions so that a single session seed reproduces an identical
+//! byte-for-byte pcap.
+
+/// Advance `state` and return the next splitmix64 output.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    mix(*state)
+}
+
+/// The splitmix64 output finalizer, usable as a standalone 64-bit mixer.
+pub fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derive a labelled subkey from a 256-bit master key.
+///
+/// `label` provides domain separation so that e.g. the client-write and
+/// server-write keys of a connection never coincide.
+pub fn derive_key(master: &crate::Key, label: &str) -> crate::Key {
+    let mut state = 0x77_6d_2d_6b_64_66_5f_31u64; // "wm-kdf_1"
+    for chunk in master.chunks(8) {
+        state ^= u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        state = mix(state);
+    }
+    for b in label.as_bytes() {
+        state = mix(state ^ *b as u64);
+    }
+    let mut out = [0u8; 32];
+    for chunk in out.chunks_mut(8) {
+        chunk.copy_from_slice(&splitmix64(&mut state).to_le_bytes());
+    }
+    out
+}
+
+/// Derive a per-subsystem RNG seed from a session seed and a label.
+pub fn derive_seed(session_seed: u64, label: &str) -> u64 {
+    let mut state = session_seed;
+    for b in label.as_bytes() {
+        state = mix(state ^ *b as u64);
+    }
+    mix(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for seed 0 from the canonical implementation.
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(splitmix64(&mut s), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(splitmix64(&mut s), 0x06c4_5d18_8009_454f);
+    }
+
+    #[test]
+    fn derive_key_label_separation() {
+        let master = [0x42; 32];
+        let a = derive_key(&master, "client");
+        let b = derive_key(&master, "server");
+        assert_ne!(a, b);
+        assert_eq!(a, derive_key(&master, "client"));
+    }
+
+    #[test]
+    fn derive_seed_independent_labels() {
+        let a = derive_seed(1, "player");
+        let b = derive_seed(1, "link");
+        let c = derive_seed(2, "player");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mix_is_not_identity() {
+        // Note mix(0) == 0 — the splitmix finalizer has a fixed point at
+        // zero, which is why derive_* seed their state with a constant.
+        assert_ne!(mix(1), 1);
+        assert_ne!(mix(2), 2);
+        assert_ne!(mix(u64::MAX), u64::MAX);
+    }
+}

@@ -1,0 +1,180 @@
+//! Mac128: a SipHash-style keyed MAC with a 128-bit tag.
+//!
+//! SipHash's ARX permutation (SipRound) is run in a 2-4 configuration
+//! over 8-byte message words; the 128-bit tag is produced the way
+//! `SipHash-2-4-128` does it (two finalization passes with a domain
+//! separation byte). Used by the record layer for AEAD tags and by the
+//! CBC suite as its HMAC stand-in.
+
+/// Incremental MAC state.
+pub struct Mac128 {
+    v0: u64,
+    v1: u64,
+    v2: u64,
+    v3: u64,
+    buf: [u8; 8],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Mac128 {
+    /// Initialize with a 128-bit key (first 16 bytes of the record key).
+    pub fn new(key: &[u8; 16]) -> Self {
+        let k0 = u64::from_le_bytes(key[0..8].try_into().expect("8 bytes"));
+        let k1 = u64::from_le_bytes(key[8..16].try_into().expect("8 bytes"));
+        Mac128 {
+            v0: k0 ^ 0x736f_6d65_7073_6575,
+            v1: k1 ^ 0x646f_7261_6e64_6f6d ^ 0xee, // 128-bit tag domain sep
+            v2: k0 ^ 0x6c79_6765_6e65_7261,
+            v3: k1 ^ 0x7465_6462_7974_6573,
+            buf: [0; 8],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorb `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(8 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 8 {
+                let word = u64::from_le_bytes(self.buf);
+                self.compress(word);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= 8 {
+            let word = u64::from_le_bytes(rest[..8].try_into().expect("8 bytes"));
+            self.compress(word);
+            rest = &rest[8..];
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Finish and produce the 16-byte tag.
+    pub fn finalize(mut self) -> [u8; 16] {
+        // Final word: remaining bytes plus the total length in the top byte.
+        let mut last = [0u8; 8];
+        last[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        last[7] = self.total_len as u8;
+        self.compress(u64::from_le_bytes(last));
+
+        self.v2 ^= 0xee;
+        for _ in 0..4 {
+            self.round();
+        }
+        let first = self.v0 ^ self.v1 ^ self.v2 ^ self.v3;
+
+        self.v1 ^= 0xdd;
+        for _ in 0..4 {
+            self.round();
+        }
+        let second = self.v0 ^ self.v1 ^ self.v2 ^ self.v3;
+
+        let mut tag = [0u8; 16];
+        tag[..8].copy_from_slice(&first.to_le_bytes());
+        tag[8..].copy_from_slice(&second.to_le_bytes());
+        tag
+    }
+
+    /// One-shot convenience: MAC of `data` under `key`.
+    pub fn tag(key: &[u8; 16], data: &[u8]) -> [u8; 16] {
+        let mut mac = Mac128::new(key);
+        mac.update(data);
+        mac.finalize()
+    }
+
+    fn compress(&mut self, word: u64) {
+        self.v3 ^= word;
+        self.round();
+        self.round();
+        self.v0 ^= word;
+    }
+
+    #[inline]
+    fn round(&mut self) {
+        self.v0 = self.v0.wrapping_add(self.v1);
+        self.v1 = self.v1.rotate_left(13) ^ self.v0;
+        self.v0 = self.v0.rotate_left(32);
+        self.v2 = self.v2.wrapping_add(self.v3);
+        self.v3 = self.v3.rotate_left(16) ^ self.v2;
+        self.v0 = self.v0.wrapping_add(self.v3);
+        self.v3 = self.v3.rotate_left(21) ^ self.v0;
+        self.v2 = self.v2.wrapping_add(self.v1);
+        self.v1 = self.v1.rotate_left(17) ^ self.v2;
+        self.v2 = self.v2.rotate_left(32);
+    }
+}
+
+/// Constant-time-ish tag comparison (branch-free accumulate).
+pub fn tags_equal(a: &[u8; 16], b: &[u8; 16]) -> bool {
+    let mut acc = 0u8;
+    for i in 0..16 {
+        acc |= a[i] ^ b[i];
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: [u8; 16] = [7; 16];
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(Mac128::tag(&KEY, b"hello"), Mac128::tag(&KEY, b"hello"));
+    }
+
+    #[test]
+    fn key_sensitivity() {
+        let mut k2 = KEY;
+        k2[15] ^= 0x80;
+        assert_ne!(Mac128::tag(&KEY, b"hello"), Mac128::tag(&k2, b"hello"));
+    }
+
+    #[test]
+    fn message_sensitivity() {
+        assert_ne!(Mac128::tag(&KEY, b"hello"), Mac128::tag(&KEY, b"hellO"));
+        assert_ne!(Mac128::tag(&KEY, b""), Mac128::tag(&KEY, b"\0"));
+    }
+
+    #[test]
+    fn length_extension_distinct() {
+        // "ab" + "c" must not collide with "abc" absorbed differently.
+        let mut m1 = Mac128::new(&KEY);
+        m1.update(b"ab");
+        m1.update(b"c");
+        let mut m2 = Mac128::new(&KEY);
+        m2.update(b"abc");
+        assert_eq!(m1.finalize(), m2.finalize(), "chunking must not matter");
+    }
+
+    #[test]
+    fn chunking_invariance_long() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let whole = Mac128::tag(&KEY, &data);
+        let mut m = Mac128::new(&KEY);
+        for chunk in data.chunks(7) {
+            m.update(chunk);
+        }
+        assert_eq!(m.finalize(), whole);
+    }
+
+    #[test]
+    fn tags_equal_works() {
+        let a = Mac128::tag(&KEY, b"x");
+        let mut b = a;
+        assert!(tags_equal(&a, &b));
+        b[0] ^= 1;
+        assert!(!tags_equal(&a, &b));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the symmetric primitives.
+
+use proptest::prelude::*;
+use wm_cipher::block::{cbc_ciphertext_len, BlockCipher, BLOCK};
+use wm_cipher::{open, seal, Mac128, Wm20};
+
+fn arb_key() -> impl Strategy<Value = [u8; 32]> {
+    any::<[u8; 32]>()
+}
+
+fn arb_nonce() -> impl Strategy<Value = [u8; 12]> {
+    any::<[u8; 12]>()
+}
+
+proptest! {
+    /// Stream cipher: apply twice restores plaintext for any input.
+    #[test]
+    fn wm20_involution(key in arb_key(), nonce in arb_nonce(),
+                       counter in any::<u32>(),
+                       data in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let cipher = Wm20::new(&key, &nonce);
+        let mut buf = data.clone();
+        cipher.apply(counter, &mut buf);
+        cipher.apply(counter, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    /// AEAD round-trips any payload and AAD.
+    #[test]
+    fn aead_roundtrip(key in arb_key(), nonce in arb_nonce(),
+                      aad in prop::collection::vec(any::<u8>(), 0..64),
+                      plain in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let sealed = seal(&key, &nonce, &aad, &plain);
+        prop_assert_eq!(sealed.len(), plain.len() + wm_cipher::TAG_LEN);
+        let opened = open(&key, &nonce, &aad, &sealed).expect("authentic");
+        prop_assert_eq!(opened, plain);
+    }
+
+    /// Any single-bit flip in the sealed blob is rejected.
+    #[test]
+    fn aead_rejects_any_flip(key in arb_key(), nonce in arb_nonce(),
+                             plain in prop::collection::vec(any::<u8>(), 1..256),
+                             byte_idx in any::<prop::sample::Index>(),
+                             bit in 0u8..8) {
+        let sealed = seal(&key, &nonce, b"aad", &plain);
+        let mut corrupt = sealed.clone();
+        let i = byte_idx.index(corrupt.len());
+        corrupt[i] ^= 1 << bit;
+        prop_assert!(open(&key, &nonce, b"aad", &corrupt).is_err());
+    }
+
+    /// CBC round-trips any plaintext; ciphertext length is the exact
+    /// pad-to-block arithmetic the TLS suite model relies on.
+    #[test]
+    fn cbc_roundtrip(key in arb_key(), iv in any::<[u8; 16]>(),
+                     plain in prop::collection::vec(any::<u8>(), 0..1024)) {
+        let cipher = BlockCipher::new(&key);
+        let sealed = cipher.cbc_encrypt(&iv, &plain);
+        prop_assert_eq!(sealed.len(), BLOCK + cbc_ciphertext_len(plain.len()));
+        let opened = cipher.cbc_decrypt(&sealed);
+        prop_assert_eq!(opened.as_deref(), Some(&plain[..]));
+    }
+
+    /// Block encrypt/decrypt are inverse bijections on every block.
+    #[test]
+    fn block_bijection(key in arb_key(), block in any::<[u8; 16]>()) {
+        let cipher = BlockCipher::new(&key);
+        let mut b = block;
+        cipher.encrypt_block(&mut b);
+        cipher.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    /// MAC is invariant under arbitrary chunking of the input.
+    #[test]
+    fn mac_chunking_invariant(key in any::<[u8; 16]>(),
+                              data in prop::collection::vec(any::<u8>(), 0..512),
+                              cuts in prop::collection::vec(any::<prop::sample::Index>(), 0..8)) {
+        let whole = Mac128::tag(&key, &data);
+        let mut offsets: Vec<usize> = cuts.iter().map(|c| c.index(data.len() + 1)).collect();
+        offsets.push(0);
+        offsets.push(data.len());
+        offsets.sort_unstable();
+        let mut mac = Mac128::new(&key);
+        for w in offsets.windows(2) {
+            mac.update(&data[w[0]..w[1]]);
+        }
+        prop_assert_eq!(mac.finalize(), whole);
+    }
+
+    /// Different nonces never produce identical ciphertexts for
+    /// non-empty plaintexts (keystream reuse detector).
+    #[test]
+    fn nonce_separation(key in arb_key(), n1 in arb_nonce(), n2 in arb_nonce(),
+                        plain in prop::collection::vec(any::<u8>(), 16..128)) {
+        prop_assume!(n1 != n2);
+        let a = seal(&key, &n1, b"", &plain);
+        let b = seal(&key, &n2, b"", &plain);
+        prop_assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,251 @@
+//! The end-to-end White Mirror attack.
+//!
+//! Train once per operating condition on labelled sessions (as the
+//! authors did with their controlled captures), then point it at raw
+//! pcaps: it reassembles flows, reads record lengths, classifies the
+//! state reports and walks the story graph back to the viewer's
+//! choices.
+
+use crate::classify::{IntervalClassifier, RecordClassifier};
+use crate::decode::{ChoiceDecoder, DecodedChoice, DecoderConfig};
+use crate::features::{client_app_records, ClientFeatures};
+use crate::metrics::{choice_accuracy, ChoiceAccuracy, ConfusionMatrix};
+use wm_capture::labels::LabeledRecord;
+use wm_capture::tap::Trace;
+use wm_story::{Choice, ChoicePointId, StoryGraph};
+
+/// Attack configuration.
+#[derive(Debug, Clone)]
+pub struct WhiteMirrorConfig {
+    /// Band widening applied by the interval classifier.
+    pub slack: u16,
+    /// Decoder settings (window, time-awareness, time scale).
+    pub decoder: DecoderConfig,
+    /// Hypotheses tracked jointly (1 = greedy decoding; >1 enables the
+    /// beam decoder, which survives corrupted reports without
+    /// cascading — see `crate::beam`).
+    pub beam_width: usize,
+}
+
+impl WhiteMirrorConfig {
+    /// Band slack covering the report-length jitter that a finite
+    /// training set may not have exhibited: type-2 reports vary by up
+    /// to the selection-label length (~13 bytes) around the training
+    /// span, while the nearest "others" mass ends ~190 bytes below the
+    /// type-2 band — so ±8 widens safely.
+    pub const DEFAULT_SLACK: u16 = 8;
+
+    /// Real-time defaults: ±8 bytes of band slack, time-aware decoding.
+    pub fn realtime() -> Self {
+        WhiteMirrorConfig {
+            slack: Self::DEFAULT_SLACK,
+            decoder: DecoderConfig::realtime(),
+            beam_width: 8,
+        }
+    }
+
+    /// Defaults for a session simulated at `time_scale`.
+    pub fn scaled(time_scale: u32) -> Self {
+        WhiteMirrorConfig {
+            slack: Self::DEFAULT_SLACK,
+            decoder: DecoderConfig::scaled(time_scale),
+            beam_width: 8,
+        }
+    }
+}
+
+/// A decoded session.
+#[derive(Debug, Clone)]
+pub struct DecodedSession {
+    pub choices: Vec<DecodedChoice>,
+    /// Extraction statistics (gaps/resyncs observed in the capture).
+    pub features: ClientFeatures,
+}
+
+impl DecodedSession {
+    /// Compact "DNND…" string.
+    pub fn choice_string(&self) -> String {
+        self.choices
+            .iter()
+            .map(|d| match d.choice {
+                Choice::Default => 'D',
+                Choice::NonDefault => 'N',
+            })
+            .collect()
+    }
+}
+
+/// The trained attack.
+pub struct WhiteMirror {
+    classifier: IntervalClassifier,
+    cfg: WhiteMirrorConfig,
+}
+
+impl WhiteMirror {
+    /// Train the record classifier from labelled records (training
+    /// sessions under the same operating condition).
+    ///
+    /// Returns `None` when the training data lacks report examples.
+    pub fn train(labels: &[LabeledRecord], cfg: WhiteMirrorConfig) -> Option<Self> {
+        let classifier = IntervalClassifier::train(labels, cfg.slack)?;
+        Some(WhiteMirror { classifier, cfg })
+    }
+
+    /// The learned classifier.
+    pub fn classifier(&self) -> &IntervalClassifier {
+        &self.classifier
+    }
+
+    /// Reconstruct an attack from a previously saved classifier.
+    pub fn from_classifier(classifier: IntervalClassifier, cfg: WhiteMirrorConfig) -> Self {
+        WhiteMirror { classifier, cfg }
+    }
+
+    /// Persist the trained model to a JSON file.
+    pub fn save_model(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, wm_json::to_pretty_bytes(&self.classifier.to_json()))
+    }
+
+    /// Load a trained model from a JSON file.
+    pub fn load_model(path: &std::path::Path, cfg: WhiteMirrorConfig) -> std::io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        let doc = wm_json::parse(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let classifier = IntervalClassifier::from_json(&doc).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "model schema")
+        })?;
+        Ok(WhiteMirror { classifier, cfg })
+    }
+
+    /// Decode the viewer's choices from a raw capture.
+    pub fn decode_trace(&self, trace: &Trace, graph: &StoryGraph) -> DecodedSession {
+        let features = client_app_records(trace);
+        let choices = if self.cfg.beam_width > 1 && self.cfg.decoder.time_aware {
+            crate::beam::BeamDecoder::new(
+                &self.classifier,
+                graph,
+                self.cfg.decoder.clone(),
+                self.cfg.beam_width,
+            )
+            .decode(&features.records)
+        } else {
+            ChoiceDecoder::new(&self.classifier, graph, self.cfg.decoder.clone())
+                .decode(&features.records)
+        };
+        DecodedSession { choices, features }
+    }
+
+    /// Decode and score against ground truth.
+    pub fn evaluate(
+        &self,
+        trace: &Trace,
+        graph: &StoryGraph,
+        truth: &[(ChoicePointId, Choice)],
+    ) -> (DecodedSession, ChoiceAccuracy) {
+        let decoded = self.decode_trace(trace, graph);
+        let acc = choice_accuracy(&decoded.choices, truth);
+        (decoded, acc)
+    }
+
+    /// Per-record confusion of the trained classifier on held-out
+    /// labelled records.
+    pub fn record_confusion(&self, labels: &[LabeledRecord]) -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::default();
+        for l in labels {
+            m.record(l.class, self.classifier.classify(l.length));
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wm_capture::labels::RecordClass;
+    use wm_net::time::Duration;
+    use wm_player::ViewerScript;
+    use wm_sim::{run_session, SessionConfig};
+    use wm_story::bandersnatch::{bandersnatch, tiny_film};
+
+    fn run(seed: u64, choices: &[Choice]) -> wm_sim::SessionOutput {
+        let graph = Arc::new(tiny_film());
+        let script = ViewerScript::from_choices(choices, Duration::from_millis(900));
+        run_session(&SessionConfig::fast(graph, seed, script)).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_tiny_film() {
+        // Train on one session, attack another.
+        let train = run(100, &[Choice::NonDefault, Choice::Default, Choice::NonDefault]);
+        let attack = WhiteMirror::train(&train.labels, WhiteMirrorConfig::scaled(20)).unwrap();
+
+        let victim = run(200, &[Choice::Default, Choice::NonDefault, Choice::NonDefault]);
+        let graph = tiny_film();
+        let (decoded, acc) = attack.evaluate(&victim.trace, &graph, &victim.decisions);
+        assert_eq!(decoded.choice_string(), "DNN", "decoded {:?}", decoded.choices);
+        assert_eq!(acc.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn end_to_end_bandersnatch() {
+        let graph = Arc::new(bandersnatch());
+        let train_script = ViewerScript::sample(300, 14, 0.5);
+        let mut cfg = SessionConfig::fast(graph.clone(), 300, train_script);
+        cfg.player.time_scale = 40;
+        let train = run_session(&cfg).unwrap();
+        let attack = WhiteMirror::train(&train.labels, WhiteMirrorConfig::scaled(40)).unwrap();
+
+        let victim_script = ViewerScript::sample(301, 14, 0.5);
+        let mut vcfg = SessionConfig::fast(graph.clone(), 301, victim_script);
+        vcfg.player.time_scale = 40;
+        let victim = run_session(&vcfg).unwrap();
+        let (decoded, acc) = attack.evaluate(&victim.trace, &graph, &victim.decisions);
+        assert!(
+            acc.accuracy() >= 0.9,
+            "accuracy {} (decoded {}, truth {})",
+            acc.accuracy(),
+            decoded.choice_string(),
+            victim
+                .decisions
+                .iter()
+                .map(|(_, c)| if *c == Choice::Default { 'D' } else { 'N' })
+                .collect::<String>()
+        );
+    }
+
+    #[test]
+    fn training_requires_report_examples() {
+        let labels = vec![LabeledRecord {
+            time: wm_net::time::SimTime::ZERO,
+            length: 500,
+            class: RecordClass::Other,
+        }];
+        assert!(WhiteMirror::train(&labels, WhiteMirrorConfig::realtime()).is_none());
+    }
+
+    #[test]
+    fn model_save_load_roundtrip() {
+        let train = run(500, &[Choice::NonDefault, Choice::Default, Choice::NonDefault]);
+        let attack = WhiteMirror::train(&train.labels, WhiteMirrorConfig::scaled(20)).unwrap();
+        let dir = std::env::temp_dir().join("wm_model_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bands.json");
+        attack.save_model(&path).unwrap();
+        let loaded = WhiteMirror::load_model(&path, WhiteMirrorConfig::scaled(20)).unwrap();
+        assert_eq!(loaded.classifier().type1, attack.classifier().type1);
+        assert_eq!(loaded.classifier().type2, attack.classifier().type2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_confusion_on_heldout() {
+        let train = run(400, &[Choice::NonDefault, Choice::Default, Choice::NonDefault]);
+        let attack = WhiteMirror::train(&train.labels, WhiteMirrorConfig::scaled(20)).unwrap();
+        let heldout = run(401, &[Choice::Default, Choice::NonDefault, Choice::Default]);
+        let m = attack.record_confusion(&heldout.labels);
+        assert!(m.total() > 10);
+        assert!(m.accuracy() > 0.95, "record accuracy {}", m.accuracy());
+        assert_eq!(m.recall(RecordClass::Type1), 1.0);
+    }
+}

@@ -1,0 +1,353 @@
+//! Record-length classifiers.
+//!
+//! The paper distinguishes type-1 and type-2 state reports from all
+//! other client records "by their SSL record lengths". The natural
+//! formalization — and evidently what the authors did — is to learn,
+//! per operating condition, the length *band* each report type occupies
+//! and classify by band membership. That is [`IntervalClassifier`].
+//! Two standard 1-D alternatives are provided for comparison (used by
+//! the ablation benches): a histogram naive-Bayes and a k-nearest-
+//! neighbour vote.
+
+use wm_capture::labels::{LabeledRecord, RecordClass};
+use std::collections::BTreeMap;
+
+/// Anything that can label a record length.
+pub trait RecordClassifier {
+    /// Classify one sealed record length.
+    fn classify(&self, length: u16) -> RecordClass;
+
+    /// Short label for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's method: per-class inclusive length bands.
+///
+/// Training records of the `Other` class are used to *shrink nothing* —
+/// the bands are defined by the report classes alone; an observation is
+/// `Other` unless it falls inside a report band. A small symmetric
+/// `slack` widens each band to cover unseen jitter.
+#[derive(Debug, Clone)]
+pub struct IntervalClassifier {
+    pub type1: (u16, u16),
+    pub type2: (u16, u16),
+    pub slack: u16,
+}
+
+impl IntervalClassifier {
+    /// Learn the bands from labelled records.
+    ///
+    /// Returns `None` if either report class is absent from training —
+    /// the attack needs at least one example of each.
+    pub fn train(records: &[LabeledRecord], slack: u16) -> Option<Self> {
+        let band = |class: RecordClass| -> Option<(u16, u16)> {
+            let lens: Vec<u16> = records
+                .iter()
+                .filter(|r| r.class == class)
+                .map(|r| r.length)
+                .collect();
+            if lens.is_empty() {
+                return None;
+            }
+            Some((
+                *lens.iter().min().expect("non-empty"),
+                *lens.iter().max().expect("non-empty"),
+            ))
+        };
+        Some(IntervalClassifier {
+            type1: band(RecordClass::Type1)?,
+            type2: band(RecordClass::Type2)?,
+            slack,
+        })
+    }
+
+    fn in_band(&self, band: (u16, u16), length: u16) -> bool {
+        let lo = band.0.saturating_sub(self.slack);
+        let hi = band.1.saturating_add(self.slack);
+        (lo..=hi).contains(&length)
+    }
+}
+
+impl IntervalClassifier {
+    /// Serialize the trained bands (for reuse across runs — the
+    /// attacker trains once per condition and keeps the model).
+    pub fn to_json(&self) -> wm_json::Value {
+        wm_json::Value::object(vec![
+            ("type1Lo".into(), wm_json::Value::from(self.type1.0 as i64)),
+            ("type1Hi".into(), wm_json::Value::from(self.type1.1 as i64)),
+            ("type2Lo".into(), wm_json::Value::from(self.type2.0 as i64)),
+            ("type2Hi".into(), wm_json::Value::from(self.type2.1 as i64)),
+            ("slack".into(), wm_json::Value::from(self.slack as i64)),
+        ])
+    }
+
+    /// Reload a serialized model. Returns `None` on schema mismatch or
+    /// inconsistent bands.
+    pub fn from_json(v: &wm_json::Value) -> Option<Self> {
+        let get = |k: &str| -> Option<u16> {
+            let x = v.get(k)?.as_i64()?;
+            u16::try_from(x).ok()
+        };
+        let c = IntervalClassifier {
+            type1: (get("type1Lo")?, get("type1Hi")?),
+            type2: (get("type2Lo")?, get("type2Hi")?),
+            slack: get("slack")?,
+        };
+        (c.type1.0 <= c.type1.1 && c.type2.0 <= c.type2.1).then_some(c)
+    }
+}
+
+impl RecordClassifier for IntervalClassifier {
+    fn classify(&self, length: u16) -> RecordClass {
+        // Report bands are disjoint in every condition (type-2 carries
+        // ~800 extra bytes); test type-1 first regardless.
+        if self.in_band(self.type1, length) {
+            RecordClass::Type1
+        } else if self.in_band(self.type2, length) {
+            RecordClass::Type2
+        } else {
+            RecordClass::Other
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "interval"
+    }
+}
+
+/// Histogram naive-Bayes over binned lengths with Laplace smoothing.
+#[derive(Debug, Clone)]
+pub struct HistogramClassifier {
+    bin_width: u16,
+    /// bin → per-class counts.
+    bins: BTreeMap<u16, [u32; 3]>,
+    /// Class priors (record counts).
+    totals: [u32; 3],
+}
+
+impl HistogramClassifier {
+    pub fn train(records: &[LabeledRecord], bin_width: u16) -> Self {
+        let bin_width = bin_width.max(1);
+        let mut bins: BTreeMap<u16, [u32; 3]> = BTreeMap::new();
+        let mut totals = [0u32; 3];
+        for r in records {
+            let b = r.length / bin_width;
+            let idx = class_index(r.class);
+            bins.entry(b).or_default()[idx] += 1;
+            totals[idx] += 1;
+        }
+        HistogramClassifier { bin_width, bins, totals }
+    }
+}
+
+impl RecordClassifier for HistogramClassifier {
+    fn classify(&self, length: u16) -> RecordClass {
+        let b = length / self.bin_width;
+        let counts = self.bins.get(&b).copied().unwrap_or([0; 3]);
+        if counts == [0; 3] {
+            // Unseen bin: report bands are compact, so anything outside
+            // every observed bin is background traffic.
+            return RecordClass::Other;
+        }
+        let mut best = RecordClass::Other;
+        let mut best_score = f64::MIN;
+        for class in RecordClass::ALL {
+            let i = class_index(class);
+            let prior = (self.totals[i] as f64 + 1.0)
+                / (self.totals.iter().sum::<u32>() as f64 + 3.0);
+            let likelihood =
+                (counts[i] as f64 + 0.1) / (self.totals[i] as f64 + 1.0);
+            let score = prior.ln() + likelihood.ln();
+            if score > best_score {
+                best_score = score;
+                best = class;
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "histogram-bayes"
+    }
+}
+
+/// k-nearest-neighbour majority vote on the 1-D length axis.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    /// (length, class) sorted by length.
+    points: Vec<(u16, RecordClass)>,
+    k: usize,
+}
+
+impl KnnClassifier {
+    pub fn train(records: &[LabeledRecord], k: usize) -> Self {
+        let mut points: Vec<(u16, RecordClass)> =
+            records.iter().map(|r| (r.length, r.class)).collect();
+        points.sort_by_key(|(l, _)| *l);
+        KnnClassifier { points, k: k.max(1) }
+    }
+}
+
+impl RecordClassifier for KnnClassifier {
+    fn classify(&self, length: u16) -> RecordClass {
+        if self.points.is_empty() {
+            return RecordClass::Other;
+        }
+        // Expand a window around the insertion point.
+        let pos = self.points.partition_point(|(l, _)| *l < length);
+        let mut lo = pos;
+        let mut hi = pos;
+        let mut neighbours: Vec<(u16, RecordClass)> = Vec::with_capacity(self.k);
+        while neighbours.len() < self.k && (lo > 0 || hi < self.points.len()) {
+            let left_d = if lo > 0 {
+                Some(length.abs_diff(self.points[lo - 1].0))
+            } else {
+                None
+            };
+            let right_d = if hi < self.points.len() {
+                Some(length.abs_diff(self.points[hi].0))
+            } else {
+                None
+            };
+            match (left_d, right_d) {
+                (Some(l), Some(r)) if l <= r => {
+                    lo -= 1;
+                    neighbours.push(self.points[lo]);
+                }
+                (Some(_), None) => {
+                    lo -= 1;
+                    neighbours.push(self.points[lo]);
+                }
+                (_, Some(_)) => {
+                    neighbours.push(self.points[hi]);
+                    hi += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        let mut votes = [0u32; 3];
+        for (_, class) in neighbours {
+            votes[class_index(class)] += 1;
+        }
+        let best = (0..3).max_by_key(|&i| votes[i]).expect("three classes");
+        class_from_index(best)
+    }
+
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+}
+
+fn class_index(c: RecordClass) -> usize {
+    match c {
+        RecordClass::Type1 => 0,
+        RecordClass::Type2 => 1,
+        RecordClass::Other => 2,
+    }
+}
+
+fn class_from_index(i: usize) -> RecordClass {
+    match i {
+        0 => RecordClass::Type1,
+        1 => RecordClass::Type2,
+        _ => RecordClass::Other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wm_net::time::SimTime;
+
+    fn labelled(length: u16, class: RecordClass) -> LabeledRecord {
+        LabeledRecord { time: SimTime::ZERO, length, class }
+    }
+
+    /// Training set mirroring the paper's Ubuntu condition.
+    fn training() -> Vec<LabeledRecord> {
+        let mut set = Vec::new();
+        for l in [2211u16, 2212, 2213, 2212, 2211] {
+            set.push(labelled(l, RecordClass::Type1));
+        }
+        for l in [2995u16, 3001, 3011, 3017, 2992] {
+            set.push(labelled(l, RecordClass::Type2));
+        }
+        for l in [540u16, 556, 873, 2266, 2430, 2788, 4420, 8800, 236, 37] {
+            set.push(labelled(l, RecordClass::Other));
+        }
+        set
+    }
+
+    #[test]
+    fn interval_learns_paper_bands() {
+        let c = IntervalClassifier::train(&training(), 0).unwrap();
+        assert_eq!(c.type1, (2211, 2213));
+        assert_eq!(c.type2, (2992, 3017));
+        assert_eq!(c.classify(2212), RecordClass::Type1);
+        assert_eq!(c.classify(3000), RecordClass::Type2);
+        assert_eq!(c.classify(2500), RecordClass::Other);
+        assert_eq!(c.classify(540), RecordClass::Other);
+        assert_eq!(c.classify(16400), RecordClass::Other);
+    }
+
+    #[test]
+    fn interval_slack_widens() {
+        let c = IntervalClassifier::train(&training(), 2).unwrap();
+        assert_eq!(c.classify(2209), RecordClass::Type1);
+        assert_eq!(c.classify(2215), RecordClass::Type1);
+        assert_eq!(c.classify(2208), RecordClass::Other);
+    }
+
+    #[test]
+    fn interval_needs_both_classes() {
+        let only_others = vec![labelled(500, RecordClass::Other)];
+        assert!(IntervalClassifier::train(&only_others, 0).is_none());
+    }
+
+    #[test]
+    fn histogram_separates_bands() {
+        let c = HistogramClassifier::train(&training(), 8);
+        assert_eq!(c.classify(2212), RecordClass::Type1);
+        assert_eq!(c.classify(3000), RecordClass::Type2);
+        assert_eq!(c.classify(550), RecordClass::Other);
+        assert_eq!(c.classify(9000), RecordClass::Other, "unseen bin → prior (Other)");
+    }
+
+    #[test]
+    fn knn_separates_bands() {
+        let c = KnnClassifier::train(&training(), 3);
+        assert_eq!(c.classify(2212), RecordClass::Type1);
+        assert_eq!(c.classify(2996), RecordClass::Type2);
+        assert_eq!(c.classify(600), RecordClass::Other);
+        // Near a lone Other inlier between the bands.
+        assert_eq!(c.classify(2440), RecordClass::Other);
+    }
+
+    #[test]
+    fn knn_empty_training() {
+        let c = KnnClassifier::train(&[], 3);
+        assert_eq!(c.classify(2212), RecordClass::Other);
+    }
+
+    #[test]
+    fn interval_json_roundtrip() {
+        let c = IntervalClassifier::train(&training(), 4).unwrap();
+        let back = IntervalClassifier::from_json(&c.to_json()).unwrap();
+        assert_eq!(back.type1, c.type1);
+        assert_eq!(back.type2, c.type2);
+        assert_eq!(back.slack, c.slack);
+        // Malformed inputs are rejected.
+        assert!(IntervalClassifier::from_json(&wm_json::Value::Null).is_none());
+        let bad = wm_json::parse(
+            br#"{"type1Lo":10,"type1Hi":5,"type2Lo":20,"type2Hi":30,"slack":0}"#
+        ).unwrap();
+        assert!(IntervalClassifier::from_json(&bad).is_none());
+    }
+
+    #[test]
+    fn classifier_names() {
+        assert_eq!(IntervalClassifier::train(&training(), 0).unwrap().name(), "interval");
+        assert_eq!(HistogramClassifier::train(&training(), 8).name(), "histogram-bayes");
+        assert_eq!(KnnClassifier::train(&training(), 3).name(), "knn");
+    }
+}

@@ -1,0 +1,492 @@
+//! Choice-sequence decoding from classified record events.
+//!
+//! The insight from §III of the paper: "the number and type of JSON
+//! files sent indicate the choice made by the viewer". Concretely, at
+//! every choice point the client emits one type-1 report (question
+//! shown), and — iff the pick was non-default — one type-2 report
+//! within the ten-second window. The decoder walks the classified
+//! event stream:
+//!
+//! * each type-1 event opens a choice;
+//! * a type-2 event inside the window resolves it non-default;
+//! * the window closing (the next type-1, or timeout) resolves default.
+//!
+//! The time-aware variant additionally predicts when the *next*
+//! question should appear — the story graph's segment durations are
+//! public, and the question always precedes a segment boundary by the
+//! fixed window — and inserts a default decision when a type-1 report
+//! was lost (tap loss or a flush split). Without it, one missed report
+//! desynchronizes every later decision.
+
+use crate::classify::RecordClassifier;
+use wm_capture::labels::RecordClass;
+use wm_capture::records::TimedRecord;
+use wm_net::time::{Duration, SimTime};
+use wm_story::{Choice, ChoicePointId, SegmentEnd, SegmentId, StoryGraph};
+use wm_tls::ContentType;
+
+/// The film's choice window, content seconds (public knowledge).
+const WINDOW_SECS: f64 = 10.0;
+
+/// Decoder tunables.
+#[derive(Debug, Clone)]
+pub struct DecoderConfig {
+    /// The (possibly time-scaled) choice window.
+    pub window: Duration,
+    /// Time-aware mode: use segment durations to detect missed
+    /// questions (recommended; `false` gives the naive event decoder).
+    pub time_aware: bool,
+    /// The time scale the session was simulated at (1 for real time; an
+    /// attacker reads it off the chunk cadence trivially).
+    pub time_scale: u32,
+}
+
+impl DecoderConfig {
+    /// Real-time configuration (10 s window).
+    pub fn realtime() -> Self {
+        Self::scaled(1)
+    }
+
+    /// Configuration for a session simulated at `time_scale`.
+    pub fn scaled(time_scale: u32) -> Self {
+        DecoderConfig {
+            window: Duration::from_secs_f64(WINDOW_SECS / time_scale.max(1) as f64),
+            time_aware: true,
+            time_scale: time_scale.max(1),
+        }
+    }
+}
+
+/// One decoded decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedChoice {
+    pub cp: ChoicePointId,
+    pub choice: Choice,
+    /// Time of the type-1 event (or the predicted question time if the
+    /// report was missed).
+    pub time: SimTime,
+    /// Whether the question's type-1 report was actually observed.
+    pub observed: bool,
+}
+
+/// The graph-walking decoder.
+pub struct ChoiceDecoder<'a, C: RecordClassifier + ?Sized> {
+    classifier: &'a C,
+    graph: &'a StoryGraph,
+    cfg: DecoderConfig,
+}
+
+impl<'a, C: RecordClassifier + ?Sized> ChoiceDecoder<'a, C> {
+    pub fn new(classifier: &'a C, graph: &'a StoryGraph, cfg: DecoderConfig) -> Self {
+        ChoiceDecoder { classifier, graph, cfg }
+    }
+
+    /// Decode the choice sequence from client application records.
+    pub fn decode(&self, records: &[TimedRecord]) -> Vec<DecodedChoice> {
+        // Classify once, keep only report events.
+        let events: Vec<(SimTime, RecordClass)> = records
+            .iter()
+            .filter(|r| r.record.content_type == ContentType::ApplicationData)
+            .map(|r| (r.time, self.classifier.classify(r.record.length)))
+            .filter(|(_, c)| *c != RecordClass::Other)
+            .collect();
+        if self.cfg.time_aware {
+            let anchor = self.initial_question_time(records, &events);
+            self.decode_time_aware(&events, anchor)
+        } else {
+            self.decode_naive(&events)
+        }
+    }
+
+    /// Absolute prior for the first question's time: playback starts at
+    /// the client's first application record (the manifest fetch), and
+    /// the opening segment chain is public knowledge. Falls back to the
+    /// first observed type-1 when the capture has no app records at all.
+    pub(crate) fn initial_question_time(
+        &self,
+        records: &[TimedRecord],
+        events: &[(SimTime, RecordClass)],
+    ) -> SimTime {
+        // Playback begins when the manifest *response* lands, which is
+        // when the player issues its first chunk request — the second
+        // upstream application record (the first is the manifest GET).
+        let app_records: Vec<SimTime> = records
+            .iter()
+            .filter(|r| r.record.content_type == ContentType::ApplicationData)
+            .take(2)
+            .map(|r| r.time)
+            .collect();
+        let playback_start = app_records.get(1).or_else(|| app_records.first()).copied();
+        match playback_start {
+            Some(t) => {
+                t + Duration::from_secs_f64(
+                    initial_gap_secs(self.graph) / self.cfg.time_scale.max(1) as f64,
+                )
+            }
+            None => events
+                .iter()
+                .find(|(_, c)| *c == RecordClass::Type1)
+                .map(|(t, _)| *t)
+                .unwrap_or(SimTime::ZERO),
+        }
+    }
+
+    /// Naive decoding: consume type-1 events strictly in order.
+    fn decode_naive(&self, events: &[(SimTime, RecordClass)]) -> Vec<DecodedChoice> {
+        let mut out = Vec::new();
+        let mut cursor = 0usize;
+        self.walk(|_seg, cp| {
+            while cursor < events.len() && events[cursor].1 != RecordClass::Type1 {
+                cursor += 1;
+            }
+            let Some(&(t1_time, _)) = events.get(cursor) else {
+                out.push(DecodedChoice {
+                    cp,
+                    choice: Choice::Default,
+                    time: SimTime::ZERO,
+                    observed: false,
+                });
+                return Choice::Default;
+            };
+            cursor += 1;
+            let mut choice = Choice::Default;
+            let mut probe = cursor;
+            while probe < events.len() && events[probe].0.since(t1_time) <= self.cfg.window {
+                match events[probe].1 {
+                    RecordClass::Type2 => {
+                        choice = Choice::NonDefault;
+                        cursor = probe + 1;
+                        break;
+                    }
+                    RecordClass::Type1 => break,
+                    RecordClass::Other => {}
+                }
+                probe += 1;
+            }
+            out.push(DecodedChoice { cp, choice, time: t1_time, observed: true });
+            choice
+        });
+        out
+    }
+
+    /// Time-aware decoding: predict each question time from the graph.
+    fn decode_time_aware(
+        &self,
+        events: &[(SimTime, RecordClass)],
+        anchor: SimTime,
+    ) -> Vec<DecodedChoice> {
+        let mut out = Vec::new();
+        let mut cursor = 0usize;
+        let scale = self.cfg.time_scale as f64;
+        // Match tolerance: question times are tightly determined by the
+        // public segment durations (sub-second residuals in practice),
+        // so a tight window both rejects neighbouring questions and
+        // lets timing distinguish branches whose next-question gaps
+        // differ. Capped by half the shortest gap for short films.
+        let slack =
+            Duration::from_secs_f64((self.min_gap_secs() / 2.0).min(5.0).max(1.0) / scale);
+        // The anchor estimate carries the manifest RTT's uncertainty, so
+        // the first question gets a wider window; later predictions
+        // re-anchor on observed report times.
+        let first_slack = Duration(slack.micros() * 3);
+        let mut predicted: Option<SimTime> = None;
+
+        self.walk(|seg, cp| {
+            let slack = if predicted.is_none() { first_slack } else { slack };
+            let expect = predicted.unwrap_or(anchor);
+            // Look for a type-1 near the expected time.
+            let mut found: Option<SimTime> = None;
+            let mut probe = cursor;
+            while probe < events.len() {
+                let (t, class) = events[probe];
+                if t > expect + slack {
+                    break;
+                }
+                if class == RecordClass::Type1 && t + slack >= expect {
+                    found = Some(t);
+                    cursor = probe + 1;
+                    break;
+                }
+                probe += 1;
+            }
+            let (t1_time, observed) = match found {
+                Some(t) => (t, true),
+                None => (expect, false),
+            };
+            // Scan this question's own window for a type-2. The window
+            // is the question lead: min(10, segment duration / 2).
+            let dur = self.graph.segment(seg).duration_secs as f64;
+            let window = Duration::from_secs_f64(WINDOW_SECS.min(dur / 2.0) / scale);
+            let mut choice = Choice::Default;
+            let mut probe = cursor;
+            while probe < events.len() {
+                let (t, class) = events[probe];
+                if t > t1_time + window {
+                    break;
+                }
+                if t >= t1_time {
+                    match class {
+                        RecordClass::Type2 => {
+                            choice = Choice::NonDefault;
+                            cursor = probe + 1;
+                            break;
+                        }
+                        RecordClass::Type1 => break,
+                        RecordClass::Other => {}
+                    }
+                }
+                probe += 1;
+            }
+            out.push(DecodedChoice { cp, choice, time: t1_time, observed });
+
+            let gap = self.question_gap_secs(seg, cp, choice);
+            predicted = Some(t1_time + Duration::from_secs_f64(gap / scale));
+            choice
+        });
+        out
+    }
+
+    /// Content seconds from the question at `cp` (shown while `seg`
+    /// plays) to the next question, assuming `choice` is picked.
+    fn question_gap_secs(&self, seg: SegmentId, cp: ChoicePointId, choice: Choice) -> f64 {
+        let cur = self.graph.segment(seg);
+        // The question leads the boundary by min(10, dur/2).
+        let mut gap = WINDOW_SECS.min(cur.duration_secs as f64 / 2.0);
+        let mut current = self.graph.choice_point(cp).option(choice).target;
+        loop {
+            let s = self.graph.segment(current);
+            let dur = s.duration_secs as f64;
+            match s.end {
+                SegmentEnd::Choice(_) => {
+                    let lead = WINDOW_SECS.min(dur / 2.0);
+                    return gap + dur - lead;
+                }
+                SegmentEnd::Continue(next) => {
+                    gap += dur;
+                    current = next;
+                }
+                SegmentEnd::Ending => return gap + dur,
+            }
+        }
+    }
+
+    /// Shortest question-to-question gap anywhere in the film (content
+    /// seconds) — bounds the prediction tolerance.
+    fn min_gap_secs(&self) -> f64 {
+        let mut min_gap = f64::MAX;
+        for seg in self.graph.segments() {
+            if let SegmentEnd::Choice(cp) = seg.end {
+                for choice in [Choice::Default, Choice::NonDefault] {
+                    min_gap = min_gap.min(self.question_gap_secs(seg.id, cp, choice));
+                }
+            }
+        }
+        if min_gap == f64::MAX {
+            WINDOW_SECS
+        } else {
+            min_gap
+        }
+    }
+
+    /// Walk the graph, calling `decide` at each choice point with the
+    /// segment being played and the choice point id.
+    fn walk(&self, mut decide: impl FnMut(SegmentId, ChoicePointId) -> Choice) {
+        let mut current = self.graph.start();
+        loop {
+            match self.graph.segment(current).end {
+                SegmentEnd::Ending => return,
+                SegmentEnd::Continue(next) => current = next,
+                SegmentEnd::Choice(cp) => {
+                    let choice = decide(current, cp);
+                    current = self.graph.choice_point(cp).option(choice).target;
+                }
+            }
+        }
+    }
+}
+
+/// Content seconds from playback start to the first question: the
+/// opening Continue-chain plus the first choice segment's body minus
+/// its question lead.
+pub(crate) fn initial_gap_secs(graph: &StoryGraph) -> f64 {
+    let mut gap = 0.0;
+    let mut current = graph.start();
+    loop {
+        let s = graph.segment(current);
+        let dur = s.duration_secs as f64;
+        match s.end {
+            SegmentEnd::Choice(_) => {
+                return gap + dur - WINDOW_SECS.min(dur / 2.0);
+            }
+            SegmentEnd::Continue(next) => {
+                gap += dur;
+                current = next;
+            }
+            SegmentEnd::Ending => return gap + dur,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::IntervalClassifier;
+    use wm_capture::labels::LabeledRecord;
+    use wm_story::bandersnatch::tiny_film;
+    use wm_tls::observer::ObservedRecord;
+
+    fn classifier() -> IntervalClassifier {
+        let training = vec![
+            LabeledRecord { time: SimTime::ZERO, length: 2211, class: RecordClass::Type1 },
+            LabeledRecord { time: SimTime::ZERO, length: 2213, class: RecordClass::Type1 },
+            LabeledRecord { time: SimTime::ZERO, length: 2992, class: RecordClass::Type2 },
+            LabeledRecord { time: SimTime::ZERO, length: 3017, class: RecordClass::Type2 },
+            LabeledRecord { time: SimTime::ZERO, length: 540, class: RecordClass::Other },
+        ];
+        IntervalClassifier::train(&training, 0).unwrap()
+    }
+
+    fn rec(time_ms: u64, length: u16) -> TimedRecord {
+        TimedRecord {
+            time: SimTime(time_ms * 1000),
+            record: ObservedRecord {
+                stream_offset: 0,
+                content_type: ContentType::ApplicationData,
+                version: (3, 3),
+                length,
+            },
+        }
+    }
+
+    fn naive_cfg() -> DecoderConfig {
+        DecoderConfig {
+            window: Duration::from_secs(10),
+            time_aware: false,
+            time_scale: 1,
+        }
+    }
+
+    // tiny_film timeline (content == real time here):
+    //   q0 at 4 s (intro 8 s, lead 4); boundary 8 s;
+    //   branch segment 4 s, lead 2 → q1 at 10 s; boundary 12 s;
+    //   next segment 4 s, lead 2 → q2 at 14 s.
+    #[test]
+    fn naive_decodes_clean_stream() {
+        let c = classifier();
+        let g = tiny_film();
+        let records = vec![
+            rec(0, 540), // manifest fetch: playback-start marker
+            rec(4_000, 2212),  // q0 type-1 (default)
+            rec(10_000, 2212), // q1 type-1
+            rec(11_500, 3001), // q1 type-2 → non-default
+            rec(14_000, 2212), // q2 type-1 (default)
+            rec(15_000, 540),  // chunk GET noise
+        ];
+        let decoder = ChoiceDecoder::new(&c, &g, naive_cfg());
+        let decoded = decoder.decode(&records);
+        let picks: Vec<Choice> = decoded.iter().map(|d| d.choice).collect();
+        assert_eq!(picks, vec![Choice::Default, Choice::NonDefault, Choice::Default]);
+        assert!(decoded.iter().all(|d| d.observed));
+    }
+
+    #[test]
+    fn naive_type2_outside_window_ignored() {
+        let c = classifier();
+        let g = tiny_film();
+        let records = vec![
+            rec(0, 540), // manifest fetch: playback-start marker
+            rec(4_000, 2212),
+            rec(15_500, 3001), // 11.5 s after q0: outside its window
+            rec(20_000, 2212),
+            rec(30_000, 2212),
+        ];
+        let decoder = ChoiceDecoder::new(&c, &g, naive_cfg());
+        let picks: Vec<Choice> = decoder.decode(&records).iter().map(|d| d.choice).collect();
+        assert_eq!(picks[0], Choice::Default);
+    }
+
+    #[test]
+    fn naive_missing_reports_default_fill() {
+        let c = classifier();
+        let g = tiny_film();
+        let records = vec![rec(0, 540), rec(4_000, 2212)];
+        let decoder = ChoiceDecoder::new(&c, &g, naive_cfg());
+        let decoded = decoder.decode(&records);
+        assert_eq!(decoded.len(), 3);
+        assert!(decoded[0].observed);
+        assert!(!decoded[1].observed);
+        assert!(!decoded[2].observed);
+    }
+
+    #[test]
+    fn time_aware_survives_missing_type1() {
+        let c = classifier();
+        let g = tiny_film();
+        // q1's type-1 is LOST; its type-2 arrives at 11.5 s. The naive
+        // decoder would bind q2's type-1 (14 s) to q1 and desync.
+        let records = vec![
+            rec(0, 540), // manifest fetch: playback-start marker
+            rec(4_000, 2212),  // q0 (default)
+            rec(11_500, 3001), // q1 type-2, question report lost
+            rec(14_000, 2212), // q2 (default)
+        ];
+        let cfg = DecoderConfig { time_aware: true, ..naive_cfg() };
+        let decoder = ChoiceDecoder::new(&c, &g, cfg);
+        let decoded = decoder.decode(&records);
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded[0].choice, Choice::Default);
+        assert_eq!(decoded[1].choice, Choice::NonDefault);
+        assert!(!decoded[1].observed, "q1's report was lost but decoded anyway");
+        assert_eq!(decoded[2].choice, Choice::Default);
+        assert!(decoded[2].observed);
+    }
+
+    #[test]
+    fn time_aware_clean_stream_matches_naive() {
+        let c = classifier();
+        let g = tiny_film();
+        let records = vec![
+            rec(0, 540), // manifest fetch: playback-start marker
+            rec(4_000, 2212),
+            rec(10_000, 2212),
+            rec(11_500, 3001),
+            rec(14_000, 2212),
+        ];
+        let naive = ChoiceDecoder::new(&c, &g, naive_cfg()).decode(&records);
+        let cfg = DecoderConfig { time_aware: true, ..naive_cfg() };
+        let aware = ChoiceDecoder::new(&c, &g, cfg).decode(&records);
+        let n: Vec<Choice> = naive.iter().map(|d| d.choice).collect();
+        let a: Vec<Choice> = aware.iter().map(|d| d.choice).collect();
+        assert_eq!(n, a);
+    }
+
+    #[test]
+    fn empty_stream_decodes_all_default() {
+        let c = classifier();
+        let g = tiny_film();
+        let decoder = ChoiceDecoder::new(&c, &g, naive_cfg());
+        let decoded = decoder.decode(&[]);
+        assert_eq!(decoded.len(), 3);
+        assert!(decoded.iter().all(|d| d.choice == Choice::Default && !d.observed));
+    }
+
+    #[test]
+    fn gap_prediction_matches_timeline() {
+        let c = classifier();
+        let g = tiny_film();
+        let cfg = DecoderConfig { time_aware: true, ..naive_cfg() };
+        let decoder = ChoiceDecoder::new(&c, &g, cfg);
+        // q0 on segment 0 → default branch: question gap 4 + (4-2) = 6 s.
+        assert_eq!(
+            decoder.question_gap_secs(SegmentId(0), ChoicePointId(0), Choice::Default),
+            6.0
+        );
+        // q2 is shown on segment 3; its non-default branch is a 6 s
+        // segment then the 5 s ending: gap = 2 + 6 + 5 = 13 (no further
+        // question).
+        assert_eq!(
+            decoder.question_gap_secs(SegmentId(3), ChoicePointId(2), Choice::NonDefault),
+            13.0
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Human-readable session reports.
+//!
+//! Turns a decoded session into the artefact an analyst actually reads:
+//! the narrated path through the film, the evidence quality per
+//! decision, and the semantic exposure summary. Used by the `wm` CLI
+//! and the examples.
+
+use crate::attack::DecodedSession;
+use crate::decode::DecodedChoice;
+use wm_story::{Choice, ChoiceTag, SegmentEnd, StoryGraph};
+
+/// Render a full analyst report for one decoded session.
+pub fn session_report(graph: &StoryGraph, decoded: &DecodedSession) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("film: {}\n", graph.title()));
+    out.push_str(&format!(
+        "capture: {} client records, {} gaps, {} resyncs\n",
+        decoded.features.records.len(),
+        decoded.features.stats.gaps,
+        decoded.features.stats.resyncs
+    ));
+    out.push_str(&format!("decoded choices: {}\n\n", decoded.choice_string()));
+
+    for d in &decoded.choices {
+        let cp = graph.choice_point(d.cp);
+        out.push_str(&format!(
+            "  [{}] {:<48} -> {}\n",
+            if d.observed { "seen" } else { "pred" },
+            cp.question,
+            cp.option(d.choice).label
+        ));
+    }
+
+    out.push_str(&format!("\nending reached: {}\n", ending_of(graph, &decoded.choices)));
+
+    let exposure = tag_exposure(graph, &decoded.choices);
+    let tagged: Vec<String> = exposure
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(t, n)| format!("{}×{}", t.label(), n))
+        .collect();
+    out.push_str(&format!("semantic exposure: {}\n", if tagged.is_empty() {
+        "none".to_string()
+    } else {
+        tagged.join(", ")
+    }));
+    let observed = decoded.choices.iter().filter(|d| d.observed).count();
+    out.push_str(&format!(
+        "evidence: {}/{} questions directly observed\n",
+        observed,
+        decoded.choices.len()
+    ));
+    out
+}
+
+/// Name of the ending the decoded path reaches.
+pub fn ending_of(graph: &StoryGraph, choices: &[DecodedChoice]) -> &'static str {
+    let mut current = graph.start();
+    let mut idx = 0;
+    loop {
+        match graph.segment(current).end {
+            SegmentEnd::Ending => return graph.segment(current).name,
+            SegmentEnd::Continue(next) => current = next,
+            SegmentEnd::Choice(cp) => {
+                let choice = choices
+                    .get(idx)
+                    .map(|d| d.choice)
+                    .unwrap_or(Choice::Default);
+                idx += 1;
+                current = graph.choice_point(cp).option(choice).target;
+            }
+        }
+    }
+}
+
+/// Count of picked options carrying each tag.
+pub fn tag_exposure(graph: &StoryGraph, choices: &[DecodedChoice]) -> Vec<(ChoiceTag, u32)> {
+    let mut counts: Vec<(ChoiceTag, u32)> =
+        ChoiceTag::ALL.iter().map(|&t| (t, 0)).collect();
+    for d in choices {
+        for tag in graph.choice_point(d.cp).option(d.choice).tags {
+            if let Some(entry) = counts.iter_mut().find(|(t, _)| t == tag) {
+                entry.1 += 1;
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::ClientFeatures;
+    use wm_net::time::SimTime;
+    use wm_story::bandersnatch::tiny_film;
+
+    fn decoded(picks: &[Choice]) -> DecodedSession {
+        let graph = tiny_film();
+        // Walk to bind cps to picks.
+        let seq = wm_story::ChoiceSequence(picks.to_vec());
+        let walk = wm_story::path::walk(&graph, &seq);
+        DecodedSession {
+            choices: walk
+                .encountered
+                .iter()
+                .zip(walk.choices.0.iter())
+                .map(|(cp, c)| DecodedChoice {
+                    cp: *cp,
+                    choice: *c,
+                    time: SimTime::ZERO,
+                    observed: true,
+                })
+                .collect(),
+            features: ClientFeatures::default(),
+        }
+    }
+
+    #[test]
+    fn report_contains_the_narrative() {
+        let g = tiny_film();
+        let d = decoded(&[Choice::NonDefault, Choice::Default, Choice::NonDefault]);
+        let r = session_report(&g, &d);
+        assert!(r.contains("decoded choices: NDN"));
+        assert!(r.contains("ending reached: ending"));
+        assert!(r.contains("3/3 questions directly observed"));
+        assert!(r.contains("first?"));
+    }
+
+    #[test]
+    fn ending_matches_walk() {
+        let g = tiny_film();
+        let d = decoded(&[Choice::Default; 3]);
+        assert_eq!(ending_of(&g, &d.choices), "ending");
+    }
+
+    #[test]
+    fn exposure_counts() {
+        let g = tiny_film();
+        // Third pick non-default carries Violence in tiny_film.
+        let d = decoded(&[Choice::Default, Choice::Default, Choice::NonDefault]);
+        let exposure = tag_exposure(&g, &d.choices);
+        let violence = exposure.iter().find(|(t, _)| *t == ChoiceTag::Violence).unwrap().1;
+        assert_eq!(violence, 1);
+    }
+
+    #[test]
+    fn short_decode_falls_back_to_defaults() {
+        let g = tiny_film();
+        let d = decoded(&[Choice::NonDefault]);
+        // ending_of pads with defaults beyond the decoded prefix.
+        assert_eq!(ending_of(&g, &d.choices[..1]), "ending");
+    }
+}

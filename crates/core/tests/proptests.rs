@@ -1,0 +1,237 @@
+//! Property-based tests for the attack pipeline.
+
+use proptest::prelude::*;
+use wm_capture::labels::{LabeledRecord, RecordClass};
+use wm_capture::records::TimedRecord;
+use wm_core::classify::{HistogramClassifier, IntervalClassifier, KnnClassifier, RecordClassifier};
+use wm_core::metrics::{choice_accuracy, ConfusionMatrix};
+use wm_core::{BeamDecoder, ChoiceDecoder, DecodedChoice, DecoderConfig};
+use wm_net::time::SimTime;
+use wm_story::bandersnatch::tiny_film;
+use wm_story::{Choice, ChoicePointId};
+use wm_tls::observer::ObservedRecord;
+use wm_tls::ContentType;
+
+fn labelled(length: u16, class: RecordClass) -> LabeledRecord {
+    LabeledRecord { time: SimTime::ZERO, length, class }
+}
+
+/// A well-separated synthetic training set with configurable band
+/// positions (type-2 strictly above type-1 by ≥ 200).
+fn arb_training() -> impl Strategy<Value = (Vec<LabeledRecord>, (u16, u16), (u16, u16))> {
+    (1500u16..2500, 0u16..12, 200u16..400, 0u16..30).prop_map(|(t1_lo, t1_w, gap, t2_w)| {
+        let t1 = (t1_lo, t1_lo + t1_w);
+        let t2_lo = t1.1 + gap;
+        let t2 = (t2_lo, t2_lo + t2_w);
+        let mut set = Vec::new();
+        for l in [t1.0, (t1.0 + t1.1) / 2, t1.1] {
+            set.push(labelled(l, RecordClass::Type1));
+        }
+        for l in [t2.0, (t2.0 + t2.1) / 2, t2.1] {
+            set.push(labelled(l, RecordClass::Type2));
+        }
+        for l in [300u16, 550, 900, 5000, 9000] {
+            set.push(labelled(l, RecordClass::Other));
+        }
+        (set, t1, t2)
+    })
+}
+
+proptest! {
+    /// The interval classifier recalls every training example of the
+    /// report classes, for any band geometry.
+    #[test]
+    fn interval_perfect_training_recall((set, _, _) in arb_training(), slack in 0u16..8) {
+        let c = IntervalClassifier::train(&set, slack).expect("both classes present");
+        let mut m = ConfusionMatrix::default();
+        for r in &set {
+            m.record(r.class, c.classify(r.length));
+        }
+        prop_assert_eq!(m.recall(RecordClass::Type1), 1.0);
+        prop_assert_eq!(m.recall(RecordClass::Type2), 1.0);
+    }
+
+    /// All three classifier families agree on points well inside the
+    /// bands and far outside them.
+    #[test]
+    fn classifier_families_agree_on_clear_points((set, t1, t2) in arb_training()) {
+        let interval = IntervalClassifier::train(&set, 0).expect("train");
+        let hist = HistogramClassifier::train(&set, 4);
+        let knn = KnnClassifier::train(&set, 3);
+        let mid_t1 = (t1.0 + t1.1) / 2;
+        let mid_t2 = (t2.0 + t2.1) / 2;
+        for (len, want) in [
+            (mid_t1, RecordClass::Type1),
+            (mid_t2, RecordClass::Type2),
+            (300u16, RecordClass::Other),
+            (9000u16, RecordClass::Other),
+        ] {
+            prop_assert_eq!(interval.classify(len), want, "interval at {}", len);
+            prop_assert_eq!(hist.classify(len), want, "hist at {}", len);
+            prop_assert_eq!(knn.classify(len), want, "knn at {}", len);
+        }
+    }
+
+    /// Confusion-matrix identities hold for arbitrary prediction
+    /// streams: total preserved, accuracy within [0,1], row sums match.
+    #[test]
+    fn confusion_identities(pairs in prop::collection::vec(
+        (0usize..3, 0usize..3), 0..200)) {
+        const CLASSES: [RecordClass; 3] =
+            [RecordClass::Type1, RecordClass::Type2, RecordClass::Other];
+        let mut m = ConfusionMatrix::default();
+        for (t, p) in &pairs {
+            m.record(CLASSES[*t], CLASSES[*p]);
+        }
+        prop_assert_eq!(m.total(), pairs.len() as u64);
+        let acc = m.accuracy();
+        prop_assert!((0.0..=1.0).contains(&acc));
+        for class in CLASSES {
+            prop_assert!((0.0..=1.0).contains(&m.precision(class)));
+            prop_assert!((0.0..=1.0).contains(&m.recall(class)));
+        }
+    }
+
+    /// choice_accuracy is symmetric in totals and bounded.
+    #[test]
+    fn choice_accuracy_bounds(decoded_bits in prop::collection::vec(any::<bool>(), 0..20),
+                              truth_bits in prop::collection::vec(any::<bool>(), 0..20)) {
+        let decoded: Vec<DecodedChoice> = decoded_bits
+            .iter()
+            .enumerate()
+            .map(|(i, b)| DecodedChoice {
+                cp: ChoicePointId(i as u16),
+                choice: if *b { Choice::NonDefault } else { Choice::Default },
+                time: SimTime::ZERO,
+                observed: true,
+            })
+            .collect();
+        let truth: Vec<(ChoicePointId, Choice)> = truth_bits
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                (ChoicePointId(i as u16), if *b { Choice::NonDefault } else { Choice::Default })
+            })
+            .collect();
+        let acc = choice_accuracy(&decoded, &truth);
+        prop_assert_eq!(acc.total as usize, decoded.len().max(truth.len()));
+        prop_assert!(acc.correct <= acc.total);
+        prop_assert!((0.0..=1.0).contains(&acc.accuracy()));
+    }
+
+    /// Decoders always emit one decision per choice point on the walked
+    /// path and never panic, for arbitrary classified event streams.
+    #[test]
+    fn decoders_total_and_path_consistent(
+        events in prop::collection::vec((0u64..60_000, 0usize..3), 0..40)
+    ) {
+        let graph = tiny_film();
+        let training = vec![
+            labelled(2211, RecordClass::Type1),
+            labelled(2213, RecordClass::Type1),
+            labelled(2992, RecordClass::Type2),
+            labelled(3017, RecordClass::Type2),
+        ];
+        let classifier = IntervalClassifier::train(&training, 0).expect("train");
+        // Map class index to a length inside/outside the bands.
+        let mut records: Vec<TimedRecord> = events
+            .iter()
+            .map(|(ms, class)| TimedRecord {
+                time: SimTime(ms * 1000),
+                record: ObservedRecord {
+                    stream_offset: 0,
+                    content_type: ContentType::ApplicationData,
+                    version: (3, 3),
+                    length: match class {
+                        0 => 2212,
+                        1 => 3000,
+                        _ => 700,
+                    },
+                },
+            })
+            .collect();
+        records.sort_by_key(|r| r.time);
+        for time_aware in [false, true] {
+            let cfg = DecoderConfig { time_aware, ..DecoderConfig::scaled(1) };
+            let decoded = ChoiceDecoder::new(&classifier, &graph, cfg).decode(&records);
+            // The decode must trace a real path: its cp sequence equals
+            // the walk induced by its own choices.
+            let seq = wm_story::ChoiceSequence(decoded.iter().map(|d| d.choice).collect());
+            let walk = wm_story::path::walk(&graph, &seq);
+            prop_assert_eq!(decoded.len(), walk.encountered.len());
+            for (d, cp) in decoded.iter().zip(walk.encountered.iter()) {
+                prop_assert_eq!(d.cp, *cp);
+            }
+        }
+        let cfg = DecoderConfig::scaled(1);
+        let decoded = BeamDecoder::new(&classifier, &graph, cfg, 8).decode(&records);
+        let seq = wm_story::ChoiceSequence(decoded.iter().map(|d| d.choice).collect());
+        let walk = wm_story::path::walk(&graph, &seq);
+        prop_assert_eq!(decoded.len(), walk.encountered.len());
+    }
+
+    /// On a *clean* event stream generated from a true path (correct
+    /// question times, no noise), every decoder recovers the path
+    /// exactly.
+    #[test]
+    fn decoders_exact_on_clean_streams(bits in prop::collection::vec(any::<bool>(), 3)) {
+        let graph = tiny_film();
+        let truth: Vec<Choice> = bits
+            .iter()
+            .map(|b| if *b { Choice::NonDefault } else { Choice::Default })
+            .collect();
+        // tiny_film question times (content secs): 4, 10, 14 when every
+        // branch is 4 s — true for all paths in tiny_film's first two
+        // levels; the third question time depends only on segment
+        // durations of level-2 branches, all 4 s.
+        let q_times = [4_000u64, 10_000, 14_000];
+        let mut records = vec![TimedRecord {
+            time: SimTime(0),
+            record: ObservedRecord {
+                stream_offset: 0,
+                content_type: ContentType::ApplicationData,
+                version: (3, 3),
+                length: 700, // playback-start marker (manifest fetch)
+            },
+        }];
+        for (i, &q) in q_times.iter().enumerate() {
+            records.push(TimedRecord {
+                time: SimTime(q * 1000),
+                record: ObservedRecord {
+                    stream_offset: 0,
+                    content_type: ContentType::ApplicationData,
+                    version: (3, 3),
+                    length: 2212,
+                },
+            });
+            if truth[i] == Choice::NonDefault {
+                records.push(TimedRecord {
+                    time: SimTime((q + 1200) * 1000),
+                    record: ObservedRecord {
+                        stream_offset: 0,
+                        content_type: ContentType::ApplicationData,
+                        version: (3, 3),
+                        length: 3000,
+                    },
+                });
+            }
+        }
+        let training = vec![
+            labelled(2211, RecordClass::Type1),
+            labelled(2213, RecordClass::Type1),
+            labelled(2992, RecordClass::Type2),
+            labelled(3017, RecordClass::Type2),
+        ];
+        let classifier = IntervalClassifier::train(&training, 0).expect("train");
+        for time_aware in [false, true] {
+            let cfg = DecoderConfig { time_aware, ..DecoderConfig::scaled(1) };
+            let decoded = ChoiceDecoder::new(&classifier, &graph, cfg).decode(&records);
+            let picks: Vec<Choice> = decoded.iter().map(|d| d.choice).collect();
+            prop_assert_eq!(&picks, &truth, "greedy time_aware={}", time_aware);
+        }
+        let decoded =
+            BeamDecoder::new(&classifier, &graph, DecoderConfig::scaled(1), 8).decode(&records);
+        let picks: Vec<Choice> = decoded.iter().map(|d| d.choice).collect();
+        prop_assert_eq!(&picks, &truth, "beam");
+    }
+}

@@ -1,0 +1,185 @@
+//! Viewer specifications and the Table I summary.
+
+use wm_behavior::BehaviorAttributes;
+use wm_cipher::kdf::derive_seed;
+use wm_net::conditions::{ConnectionType, LinkConditions, TimeOfDay};
+use wm_net::rng::SimRng;
+use wm_player::{Browser, DeviceForm, Os, Profile};
+
+/// The operational half of a data point (Table I, upper block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperationalConditions {
+    pub profile: Profile,
+    pub link: LinkConditions,
+}
+
+impl OperationalConditions {
+    /// Every cell of the operational grid (72 combinations).
+    pub fn grid() -> Vec<OperationalConditions> {
+        let mut out = Vec::new();
+        for os in Os::ALL {
+            for browser in Browser::ALL {
+                for device in DeviceForm::ALL {
+                    for conn in ConnectionType::ALL {
+                        for tod in TimeOfDay::ALL {
+                            out.push(OperationalConditions {
+                                profile: Profile::new(os, browser, device),
+                                link: LinkConditions::new(conn, tod),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.profile.label(), self.link.label())
+    }
+}
+
+/// One volunteer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewerSpec {
+    pub id: u32,
+    /// Session seed (drives everything stochastic for this viewer).
+    pub seed: u64,
+    pub behavior: BehaviorAttributes,
+    pub operational: OperationalConditions,
+}
+
+/// The dataset: named collection of viewer specs.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    pub name: String,
+    pub viewers: Vec<ViewerSpec>,
+}
+
+impl DatasetSpec {
+    /// Generate `n` viewers. Operational conditions cycle through the
+    /// full grid (so 100 viewers cover all 72 cells at least once, as
+    /// the paper's diversity table implies); behaviour is sampled.
+    pub fn generate(name: &str, n: usize, seed: u64) -> Self {
+        let grid = OperationalConditions::grid();
+        let mut rng = SimRng::new(derive_seed(seed, "dataset behaviours"));
+        let viewers = (0..n)
+            .map(|i| ViewerSpec {
+                id: i as u32,
+                seed: derive_seed(seed, &format!("viewer {i}")),
+                behavior: BehaviorAttributes::sample(&mut rng),
+                operational: grid[i % grid.len()],
+            })
+            .collect();
+        DatasetSpec { name: name.to_owned(), viewers }
+    }
+
+    /// Attribute marginals (the content of Table I for this corpus).
+    pub fn table1(&self) -> Table1Summary {
+        let mut s = Table1Summary::default();
+        for v in &self.viewers {
+            *s.os.entry(v.operational.profile.os.label()).or_insert(0) += 1;
+            *s.browser.entry(v.operational.profile.browser.label()).or_insert(0) += 1;
+            *s.device.entry(v.operational.profile.device.label()).or_insert(0) += 1;
+            *s.connection.entry(v.operational.link.connection.label()).or_insert(0) += 1;
+            *s.time_of_day.entry(v.operational.link.time_of_day.label()).or_insert(0) += 1;
+            *s.age.entry(v.behavior.age.label()).or_insert(0) += 1;
+            *s.gender.entry(v.behavior.gender.label()).or_insert(0) += 1;
+            *s.political.entry(v.behavior.political.label()).or_insert(0) += 1;
+            *s.mind.entry(v.behavior.mind.label()).or_insert(0) += 1;
+        }
+        s
+    }
+}
+
+/// Marginal counts for every Table I attribute.
+#[derive(Debug, Clone, Default)]
+pub struct Table1Summary {
+    pub os: std::collections::BTreeMap<&'static str, usize>,
+    pub browser: std::collections::BTreeMap<&'static str, usize>,
+    pub device: std::collections::BTreeMap<&'static str, usize>,
+    pub connection: std::collections::BTreeMap<&'static str, usize>,
+    pub time_of_day: std::collections::BTreeMap<&'static str, usize>,
+    pub age: std::collections::BTreeMap<&'static str, usize>,
+    pub gender: std::collections::BTreeMap<&'static str, usize>,
+    pub political: std::collections::BTreeMap<&'static str, usize>,
+    pub mind: std::collections::BTreeMap<&'static str, usize>,
+}
+
+impl std::fmt::Display for Table1Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let row = |f: &mut std::fmt::Formatter<'_>,
+                   attr: &str,
+                   counts: &std::collections::BTreeMap<&'static str, usize>|
+         -> std::fmt::Result {
+            let values: Vec<String> =
+                counts.iter().map(|(k, v)| format!("{k} ({v})")).collect();
+            writeln!(f, "  {:<22} {}", attr, values.join(", "))
+        };
+        writeln!(f, "Operational")?;
+        row(f, "Operating System", &self.os)?;
+        row(f, "Browser", &self.browser)?;
+        row(f, "Platform", &self.device)?;
+        row(f, "Connection Type", &self.connection)?;
+        row(f, "Traffic Conditions", &self.time_of_day)?;
+        writeln!(f, "Behavioral")?;
+        row(f, "Age-group", &self.age)?;
+        row(f, "Gender", &self.gender)?;
+        row(f, "Political Alignment", &self.political)?;
+        row(f, "State of Mind", &self.mind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_72_cells() {
+        assert_eq!(OperationalConditions::grid().len(), 72);
+    }
+
+    #[test]
+    fn generate_100_viewers() {
+        let d = DatasetSpec::generate("iitm-bandersnatch-synth", 100, 2019);
+        assert_eq!(d.viewers.len(), 100);
+        // Seeds are unique.
+        let mut seeds: Vec<u64> = d.viewers.iter().map(|v| v.seed).collect();
+        seeds.sort();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 100);
+        // Conditions cycle the grid: first 72 viewers cover every cell.
+        let cells: std::collections::HashSet<String> =
+            d.viewers[..72].iter().map(|v| v.operational.label()).collect();
+        assert_eq!(cells.len(), 72);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DatasetSpec::generate("a", 50, 7);
+        let b = DatasetSpec::generate("a", 50, 7);
+        assert_eq!(a.viewers, b.viewers);
+        let c = DatasetSpec::generate("a", 50, 8);
+        assert_ne!(a.viewers, c.viewers);
+    }
+
+    #[test]
+    fn table1_covers_all_attributes() {
+        let d = DatasetSpec::generate("t", 100, 1);
+        let t = d.table1();
+        assert_eq!(t.os.values().sum::<usize>(), 100);
+        assert_eq!(t.age.values().sum::<usize>(), 100);
+        assert_eq!(t.os.len(), 3);
+        assert_eq!(t.browser.len(), 2);
+        assert_eq!(t.connection.len(), 2);
+        assert_eq!(t.time_of_day.len(), 3);
+        // Behavioural domains (sampled, so all values should appear in
+        // 100 draws with overwhelming probability).
+        assert_eq!(t.gender.len(), 3);
+        assert_eq!(t.political.len(), 4);
+        assert_eq!(t.mind.len(), 4);
+        let rendered = t.to_string();
+        assert!(rendered.contains("Political Alignment"));
+        assert!(rendered.contains("Traffic Conditions"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the countermeasure transforms.
+
+use proptest::prelude::*;
+use wm_defense::lz::{compress, decompress};
+use wm_defense::Defense;
+use wm_http::{Request, RequestParser};
+
+fn arb_body() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // JSON-ish printable bodies (the realistic case).
+        "[ -~]{0,1500}".prop_map(String::into_bytes),
+        // Arbitrary bytes (the adversarial case).
+        prop::collection::vec(any::<u8>(), 0..1500),
+        // Highly repetitive (compression stress).
+        (any::<u8>(), 0usize..3000).prop_map(|(b, n)| vec![b; n]),
+    ]
+}
+
+proptest! {
+    /// LZ round-trips every input.
+    #[test]
+    fn lz_roundtrip(data in arb_body()) {
+        let c = compress(&data);
+        let d = decompress(&c);
+        prop_assert_eq!(d.as_deref(), Some(&data[..]));
+    }
+
+    /// The decompressor never panics on arbitrary input and never
+    /// produces output from obviously malformed streams.
+    #[test]
+    fn lz_decompress_total(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decompress(&data);
+    }
+
+    /// Split preserves the exact byte stream (only framing changes).
+    #[test]
+    fn split_stream_identity(body in arb_body(), max in 64usize..900) {
+        let req = Request::new("POST", "/interact/state")
+            .header("Host", "www.netflix.com")
+            .body(body);
+        let writes = Defense::Split { max }.encode(&req);
+        prop_assert!(writes.iter().all(|w| w.len() <= max.max(64)));
+        let glued: Vec<u8> = writes.concat();
+        prop_assert_eq!(glued, req.to_bytes());
+    }
+
+    /// Padding always reaches the exact target when feasible and the
+    /// padded request still parses with the original body prefix.
+    #[test]
+    fn pad_exact_and_parseable(body in "[ -~]{2,600}", size in 1200usize..5000) {
+        let req = Request::new("POST", "/interact/state")
+            .header("Host", "www.netflix.com")
+            .body(body.clone().into_bytes());
+        let writes = Defense::PadToConstant { size }.encode(&req);
+        prop_assert_eq!(writes.len(), 1);
+        if size >= req.serialized_len() {
+            prop_assert_eq!(writes[0].len(), size);
+        }
+        let mut parser = RequestParser::new();
+        let parsed = parser.feed(&writes[0]).expect("padded request parses").remove(0);
+        prop_assert!(parsed.body.starts_with(body.as_bytes()));
+        prop_assert!(parsed.body[body.len()..].iter().all(|&b| b == b' '));
+    }
+
+    /// Compression round-trips through the server-side decoder.
+    #[test]
+    fn compress_decode_roundtrip(body in arb_body()) {
+        let req = Request::new("POST", "/interact/state").body(body.clone());
+        let writes = Defense::Compress.encode(&req);
+        let mut parser = RequestParser::new();
+        let parsed = parser.feed(&writes[0]).expect("compressed request parses").remove(0);
+        let decoded = Defense::Compress
+            .decode_body(parsed.header_value("content-encoding"), &parsed.body)
+            .expect("decodes");
+        prop_assert_eq!(decoded, body);
+    }
+
+    /// Padding makes any two bodies the same wire length (the defense's
+    /// entire point).
+    #[test]
+    fn pad_equalizes(a in "[ -~]{0,800}", b in "[ -~]{0,800}") {
+        let size = 4096usize;
+        let ra = Request::new("POST", "/s").body(a.into_bytes());
+        let rb = Request::new("POST", "/s").body(b.into_bytes());
+        let wa = Defense::PadToConstant { size }.encode(&ra);
+        let wb = Defense::PadToConstant { size }.encode(&rb);
+        prop_assert_eq!(wa[0].len(), wb[0].len());
+    }
+}

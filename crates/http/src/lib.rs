@@ -1,0 +1,230 @@
+//! # wm-http — minimal HTTP/1.1 framing
+//!
+//! The Netflix player speaks HTTPS: HTTP requests and responses inside
+//! the TLS stream. Header bytes count toward the TLS record lengths the
+//! eavesdropper observes, so requests are serialized byte-exactly here
+//! (header order and spacing fixed, `Content-Length` framing only — the
+//! state-report POSTs the paper studies are small single-record bodies,
+//! not chunked).
+//!
+//! The module provides [`Request`]/[`Response`] builders with exact
+//! serialized sizes, plus incremental parsers ([`RequestParser`],
+//! [`ResponseParser`]) used by the simulated server and player.
+
+use std::fmt;
+
+mod parse;
+
+pub use parse::{ParsePhase, RequestParser, ResponseParser};
+
+/// An HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    /// Headers in serialization order (order matters for byte layout).
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Build a request; a `Content-Length` header is appended
+    /// automatically when a body is present.
+    pub fn new(method: &str, path: &str) -> Self {
+        Request {
+            method: method.to_owned(),
+            path: path.to_owned(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Append a header (chainable).
+    pub fn header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// Attach a body (chainable).
+    pub fn body(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Serialize to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_len());
+        out.extend_from_slice(self.method.as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.path.as_bytes());
+        out.extend_from_slice(b" HTTP/1.1\r\n");
+        for (name, value) in &self.headers {
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        if !self.body.is_empty() {
+            out.extend_from_slice(b"Content-Length: ");
+            out.extend_from_slice(self.body.len().to_string().as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Exact length of [`Request::to_bytes`].
+    pub fn serialized_len(&self) -> usize {
+        let mut n = self.method.len() + 1 + self.path.len() + 11; // " HTTP/1.1\r\n"
+        for (name, value) in &self.headers {
+            n += name.len() + 2 + value.len() + 2;
+        }
+        if !self.body.is_empty() {
+            n += 16 + dec_len(self.body.len()) + 2; // "Content-Length: …\r\n"
+        }
+        n + 2 + self.body.len()
+    }
+
+    /// Look up a header value (case-insensitive name match).
+    pub fn header_value(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// An HTTP/1.1 response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    pub status: u16,
+    pub reason: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn new(status: u16, reason: &str) -> Self {
+        Response {
+            status,
+            reason: reason.to_owned(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// `200 OK` shorthand.
+    pub fn ok() -> Self {
+        Response::new(200, "OK")
+    }
+
+    pub fn header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    pub fn body(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Serialize to wire bytes (Content-Length always present, matching
+    /// real origin servers).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(b"HTTP/1.1 ");
+        out.extend_from_slice(self.status.to_string().as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.reason.as_bytes());
+        out.extend_from_slice(b"\r\n");
+        for (name, value) in &self.headers {
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        out.extend_from_slice(b"Content-Length: ");
+        out.extend_from_slice(self.body.len().to_string().as_bytes());
+        out.extend_from_slice(b"\r\n\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    pub fn header_value(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} ({} body bytes)", self.method, self.path, self.body.len())
+    }
+}
+
+fn dec_len(mut v: usize) -> usize {
+    let mut n = 1;
+    while v >= 10 {
+        v /= 10;
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_wire_format() {
+        let req = Request::new("POST", "/state")
+            .header("Host", "www.netflix.com")
+            .body(b"{\"x\":1}".to_vec());
+        let bytes = req.to_bytes();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        assert!(text.starts_with("POST /state HTTP/1.1\r\n"));
+        assert!(text.contains("Host: www.netflix.com\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"x\":1}"));
+        assert_eq!(bytes.len(), req.serialized_len());
+    }
+
+    #[test]
+    fn get_without_body_has_no_content_length() {
+        let req = Request::new("GET", "/chunk/1");
+        let text = String::from_utf8(req.to_bytes()).unwrap();
+        assert!(!text.contains("Content-Length"));
+        assert_eq!(req.to_bytes().len(), req.serialized_len());
+    }
+
+    #[test]
+    fn serialized_len_matches_across_sizes() {
+        for body_len in [0usize, 1, 9, 10, 99, 100, 1000, 12345] {
+            let req = Request::new("POST", "/x")
+                .header("A", "b")
+                .body(vec![b'z'; body_len]);
+            assert_eq!(req.to_bytes().len(), req.serialized_len(), "body {body_len}");
+        }
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let resp = Response::ok()
+            .header("Content-Type", "application/json")
+            .body(b"{}".to_vec());
+        let text = String::from_utf8(resp.to_bytes()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn header_lookup_case_insensitive() {
+        let req = Request::new("GET", "/").header("X-Netflix-Esn", "NFCDIE-02");
+        assert_eq!(req.header_value("x-netflix-esn"), Some("NFCDIE-02"));
+        assert_eq!(req.header_value("missing"), None);
+    }
+}

@@ -1,0 +1,299 @@
+//! Incremental HTTP/1.1 message parsers.
+//!
+//! Both simulated endpoints read their peer's bytes from a TLS plaintext
+//! stream that arrives in arbitrary-sized pieces, so parsing is
+//! incremental: feed bytes, pop complete messages. Only
+//! `Content-Length` framing is supported (all simulated traffic uses
+//! it; see the crate docs).
+
+use crate::{Request, Response};
+
+/// Where the parser currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParsePhase {
+    /// Accumulating header bytes (until `\r\n\r\n`).
+    Headers,
+    /// Headers parsed; accumulating `remaining` body bytes.
+    Body,
+}
+
+/// Generic head-then-body accumulator shared by both parsers.
+struct Accumulator {
+    buf: Vec<u8>,
+    phase: ParsePhase,
+    /// Parsed head lines (start line + headers) once phase is Body.
+    head: Vec<String>,
+    body_remaining: usize,
+    body: Vec<u8>,
+}
+
+impl Accumulator {
+    fn new() -> Self {
+        Accumulator {
+            buf: Vec::new(),
+            phase: ParsePhase::Headers,
+            head: Vec::new(),
+            body_remaining: 0,
+            body: Vec::new(),
+        }
+    }
+
+    /// Feed bytes; returns `Some((head_lines, body))` per complete
+    /// message. Returns `Err` on malformed heads.
+    fn feed(&mut self, mut bytes: &[u8], out: &mut Vec<(Vec<String>, Vec<u8>)>) -> Result<(), String> {
+        while !bytes.is_empty() {
+            match self.phase {
+                ParsePhase::Headers => {
+                    self.buf.extend_from_slice(bytes);
+                    bytes = &[];
+                    if let Some(end) = find_double_crlf(&self.buf) {
+                        let head_bytes = self.buf[..end].to_vec();
+                        let rest = self.buf[end + 4..].to_vec();
+                        self.buf.clear();
+                        let head_text = String::from_utf8(head_bytes)
+                            .map_err(|_| "non-UTF-8 header block".to_string())?;
+                        self.head = head_text.split("\r\n").map(str::to_owned).collect();
+                        self.body_remaining = content_length(&self.head)?;
+                        self.body = Vec::with_capacity(self.body_remaining);
+                        self.phase = ParsePhase::Body;
+                        // Re-feed what followed the head.
+                        self.feed(&rest, out)?;
+                    }
+                }
+                ParsePhase::Body => {
+                    let take = bytes.len().min(self.body_remaining);
+                    self.body.extend_from_slice(&bytes[..take]);
+                    self.body_remaining -= take;
+                    bytes = &bytes[take..];
+                    if self.body_remaining == 0 {
+                        out.push((std::mem::take(&mut self.head), std::mem::take(&mut self.body)));
+                        self.phase = ParsePhase::Headers;
+                    }
+                }
+            }
+        }
+        // Zero-length bodies complete immediately even with no trailing bytes.
+        if self.phase == ParsePhase::Body && self.body_remaining == 0 {
+            out.push((std::mem::take(&mut self.head), std::mem::take(&mut self.body)));
+            self.phase = ParsePhase::Headers;
+        }
+        Ok(())
+    }
+
+    fn phase(&self) -> ParsePhase {
+        self.phase
+    }
+}
+
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn content_length(head: &[String]) -> Result<usize, String> {
+    for line in &head[1..] {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                return value
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad Content-Length: {value:?}"));
+            }
+        }
+    }
+    Ok(0)
+}
+
+fn split_headers(head: &[String]) -> Result<Vec<(String, String)>, String> {
+    head[1..]
+        .iter()
+        .map(|line| {
+            line.split_once(':')
+                .map(|(n, v)| (n.trim().to_owned(), v.trim().to_owned()))
+                .ok_or_else(|| format!("malformed header line {line:?}"))
+        })
+        .collect()
+}
+
+/// Incremental request parser (server side).
+pub struct RequestParser {
+    acc: Accumulator,
+}
+
+impl RequestParser {
+    pub fn new() -> Self {
+        RequestParser { acc: Accumulator::new() }
+    }
+
+    /// Current phase (tests and flow-control use this).
+    pub fn phase(&self) -> ParsePhase {
+        self.acc.phase()
+    }
+
+    /// Feed stream bytes; returns the requests completed by this feed.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Vec<Request>, String> {
+        let mut raw = Vec::new();
+        self.acc.feed(bytes, &mut raw)?;
+        raw.into_iter()
+            .map(|(head, body)| {
+                let mut parts = head[0].split(' ');
+                let method = parts.next().unwrap_or("").to_owned();
+                let path = parts.next().unwrap_or("").to_owned();
+                let version = parts.next().unwrap_or("");
+                if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+                    return Err(format!("malformed request line {:?}", head[0]));
+                }
+                Ok(Request {
+                    method,
+                    path,
+                    headers: strip_content_length(split_headers(&head)?),
+                    body,
+                })
+            })
+            .collect()
+    }
+}
+
+impl Default for RequestParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Incremental response parser (client side).
+pub struct ResponseParser {
+    acc: Accumulator,
+}
+
+impl ResponseParser {
+    pub fn new() -> Self {
+        ResponseParser { acc: Accumulator::new() }
+    }
+
+    pub fn phase(&self) -> ParsePhase {
+        self.acc.phase()
+    }
+
+    /// Feed stream bytes; returns the responses completed by this feed.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Vec<Response>, String> {
+        let mut raw = Vec::new();
+        self.acc.feed(bytes, &mut raw)?;
+        raw.into_iter()
+            .map(|(head, body)| {
+                let mut parts = head[0].splitn(3, ' ');
+                let version = parts.next().unwrap_or("");
+                let status: u16 = parts
+                    .next()
+                    .unwrap_or("")
+                    .parse()
+                    .map_err(|_| format!("bad status line {:?}", head[0]))?;
+                let reason = parts.next().unwrap_or("").to_owned();
+                if !version.starts_with("HTTP/1.") {
+                    return Err(format!("bad status line {:?}", head[0]));
+                }
+                Ok(Response {
+                    status,
+                    reason,
+                    headers: strip_content_length(split_headers(&head)?),
+                    body,
+                })
+            })
+            .collect()
+    }
+}
+
+impl Default for ResponseParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The builders re-add Content-Length on serialization; strip it on
+/// parse so `parse(serialize(m)) == m`.
+fn strip_content_length(headers: Vec<(String, String)>) -> Vec<(String, String)> {
+    headers
+        .into_iter()
+        .filter(|(n, _)| !n.eq_ignore_ascii_case("content-length"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::new("POST", "/api/state")
+            .header("Host", "www.netflix.com")
+            .header("X-Esn", "NFCDIE-02-XYZ")
+            .body(b"{\"event\":1}".to_vec());
+        let mut p = RequestParser::new();
+        let got = p.feed(&req.to_bytes()).unwrap();
+        assert_eq!(got, vec![req]);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::ok()
+            .header("Content-Type", "application/json")
+            .body(b"ok".to_vec());
+        let mut p = ResponseParser::new();
+        let got = p.feed(&resp.to_bytes()).unwrap();
+        assert_eq!(got, vec![resp]);
+    }
+
+    #[test]
+    fn byte_at_a_time() {
+        let req = Request::new("GET", "/chunk/42").header("Host", "nflx");
+        let bytes = req.to_bytes();
+        let mut p = RequestParser::new();
+        let mut got = Vec::new();
+        for b in &bytes {
+            got.extend(p.feed(std::slice::from_ref(b)).unwrap());
+        }
+        assert_eq!(got, vec![req]);
+    }
+
+    #[test]
+    fn pipelined_messages() {
+        let a = Request::new("GET", "/a");
+        let b = Request::new("POST", "/b").body(b"xyz".to_vec());
+        let mut wire = a.to_bytes();
+        wire.extend(b.to_bytes());
+        let mut p = RequestParser::new();
+        let got = p.feed(&wire).unwrap();
+        assert_eq!(got, vec![a, b]);
+    }
+
+    #[test]
+    fn body_split_across_feeds() {
+        let req = Request::new("POST", "/s").body(vec![b'q'; 1000]);
+        let bytes = req.to_bytes();
+        let mut p = RequestParser::new();
+        let first = p.feed(&bytes[..bytes.len() - 500]).unwrap();
+        assert!(first.is_empty());
+        assert_eq!(p.phase(), ParsePhase::Body);
+        let second = p.feed(&bytes[bytes.len() - 500..]).unwrap();
+        assert_eq!(second, vec![req]);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        let mut p = RequestParser::new();
+        assert!(p.feed(b"NOT A REQUEST\r\n\r\n").is_err());
+        let mut p2 = RequestParser::new();
+        assert!(p2
+            .feed(b"POST /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n")
+            .is_err());
+        let mut p3 = ResponseParser::new();
+        assert!(p3.feed(b"HTTP/1.1 abc Bad\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn zero_length_body_completes_without_more_bytes() {
+        let mut p = ResponseParser::new();
+        let got = p.feed(b"HTTP/1.1 204 No Content\r\nContent-Length: 0\r\n\r\n").unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].status, 204);
+        assert!(got[0].body.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for HTTP framing.
+
+use proptest::prelude::*;
+use wm_http::{Request, RequestParser, Response, ResponseParser};
+
+fn arb_token() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9-]{0,15}".prop_map(|s| s)
+}
+
+fn arb_header_value() -> impl Strategy<Value = String> {
+    "[ -~&&[^:\r\n]]{0,40}".prop_map(|s| s.trim().to_string())
+}
+
+proptest! {
+    /// Requests round-trip through the parser for any method, path,
+    /// headers and body, under any feed chunking.
+    #[test]
+    fn request_roundtrip(method in "(GET|POST|PUT)",
+                         path in "/[a-z0-9/._-]{0,30}",
+                         headers in prop::collection::vec((arb_token(), arb_header_value()), 0..6),
+                         body in prop::collection::vec(any::<u8>(), 0..800),
+                         chunk in 1usize..256) {
+        // Content-Length is parser-internal; exclude colliding names.
+        let mut req = Request::new(&method, &path);
+        for (n, v) in &headers {
+            if n.eq_ignore_ascii_case("content-length") {
+                continue;
+            }
+            req = req.header(n, v);
+        }
+        let req = req.body(body);
+        prop_assert_eq!(req.to_bytes().len(), req.serialized_len());
+        let bytes = req.to_bytes();
+        let mut parser = RequestParser::new();
+        let mut got = Vec::new();
+        for piece in bytes.chunks(chunk) {
+            got.extend(parser.feed(piece).expect("own request"));
+        }
+        prop_assert_eq!(got, vec![req]);
+    }
+
+    /// Responses round-trip likewise.
+    #[test]
+    fn response_roundtrip(status in 100u16..600,
+                          reason in "[A-Za-z ]{0,16}",
+                          body in prop::collection::vec(any::<u8>(), 0..800),
+                          chunk in 1usize..256) {
+        let resp = Response::new(status, reason.trim()).body(body);
+        let bytes = resp.to_bytes();
+        let mut parser = ResponseParser::new();
+        let mut got = Vec::new();
+        for piece in bytes.chunks(chunk) {
+            got.extend(parser.feed(piece).expect("own response"));
+        }
+        prop_assert_eq!(got.len(), 1);
+        prop_assert_eq!(got[0].status, resp.status);
+        prop_assert_eq!(&got[0].body, &resp.body);
+    }
+
+    /// Pipelined request sequences parse back in order.
+    #[test]
+    fn pipelining(bodies in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 0..100), 1..6)) {
+        let reqs: Vec<Request> = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| Request::new("POST", &format!("/r/{i}")).body(b))
+            .collect();
+        let wire: Vec<u8> = reqs.iter().flat_map(Request::to_bytes).collect();
+        let mut parser = RequestParser::new();
+        let got = parser.feed(&wire).expect("own requests");
+        prop_assert_eq!(got, reqs);
+    }
+
+    /// The parser never panics on arbitrary bytes.
+    #[test]
+    fn parser_total(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let mut p = RequestParser::new();
+        let _ = p.feed(&bytes);
+        let mut p = ResponseParser::new();
+        let _ = p.feed(&bytes);
+    }
+}

@@ -1,0 +1,155 @@
+//! JSON number representation and decimal formatting.
+
+use std::fmt;
+
+/// A JSON number.
+///
+/// The simulated Netflix player only ever emits two shapes of number:
+/// signed integers (timestamps in milliseconds, segment indices, byte
+/// offsets) and fixed-point values with exactly three fractional digits
+/// (playback positions in seconds). Restricting [`Number`] to these two
+/// shapes keeps serialization total: every representable number has
+/// exactly one textual form, so `serialized_len` can be computed without
+/// allocating.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Number {
+    /// An integer, serialized as its decimal digits (`-?[0-9]+`).
+    Int(i64),
+    /// A fixed-point value with three fractional digits, stored as the
+    /// value multiplied by 1000. `Fixed3(1234)` serializes as `1.234`.
+    Fixed3(i64),
+}
+
+impl Number {
+    /// Number of bytes this number occupies when serialized.
+    pub fn serialized_len(&self) -> usize {
+        match *self {
+            Number::Int(v) => (v < 0) as usize + dec_len_u64(v.unsigned_abs()),
+            Number::Fixed3(v) => {
+                // sign + integral digits + '.' + exactly 3 fraction digits
+                let neg = v < 0;
+                let abs = v.unsigned_abs();
+                let int_part = abs / 1000;
+                (neg as usize) + dec_len_u64(int_part) + 1 + 3
+            }
+        }
+    }
+
+    /// Append the canonical textual form to `out`.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        match *self {
+            Number::Int(v) => {
+                let mut buf = [0u8; 20];
+                let s = fmt_i64(v, &mut buf);
+                out.extend_from_slice(s);
+            }
+            Number::Fixed3(v) => {
+                if v < 0 {
+                    out.push(b'-');
+                }
+                let abs = v.unsigned_abs();
+                let mut buf = [0u8; 20];
+                let s = fmt_u64(abs / 1000, &mut buf);
+                out.extend_from_slice(s);
+                out.push(b'.');
+                let frac = (abs % 1000) as u32;
+                out.push(b'0' + (frac / 100) as u8);
+                out.push(b'0' + (frac / 10 % 10) as u8);
+                out.push(b'0' + (frac % 10) as u8);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf);
+        f.write_str(std::str::from_utf8(&buf).expect("ascii"))
+    }
+}
+
+/// Number of decimal digits in `v` (1 for 0).
+pub(crate) fn dec_len_u64(mut v: u64) -> usize {
+    let mut n = 1;
+    while v >= 10 {
+        v /= 10;
+        n += 1;
+    }
+    n
+}
+
+fn fmt_u64(mut v: u64, buf: &mut [u8; 20]) -> &[u8] {
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    &buf[i..]
+}
+
+fn fmt_i64(v: i64, buf: &mut [u8; 20]) -> &[u8] {
+    if v < 0 {
+        let digits_len = fmt_u64(v.unsigned_abs(), buf).len();
+        let digits_start = buf.len() - digits_len;
+        buf[digits_start - 1] = b'-';
+        &buf[digits_start - 1..]
+    } else {
+        fmt_u64(v as u64, buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_lengths() {
+        for v in [0i64, 1, 9, 10, 99, 100, -1, -10, i64::MAX, i64::MIN] {
+            assert_eq!(
+                Number::Int(v).serialized_len(),
+                v.to_string().len(),
+                "len mismatch for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn int_text() {
+        for v in [0i64, 7, 42, -42, 1000, i64::MAX, i64::MIN] {
+            let mut out = Vec::new();
+            Number::Int(v).write_to(&mut out);
+            assert_eq!(out, v.to_string().into_bytes());
+        }
+    }
+
+    #[test]
+    fn fixed3_text() {
+        let cases = [
+            (0i64, "0.000"),
+            (1, "0.001"),
+            (999, "0.999"),
+            (1000, "1.000"),
+            (1234, "1.234"),
+            (-1234, "-1.234"),
+            (-5, "-0.005"),
+            (123_456_789, "123456.789"),
+        ];
+        for (v, want) in cases {
+            let mut out = Vec::new();
+            Number::Fixed3(v).write_to(&mut out);
+            assert_eq!(out, want.as_bytes(), "for {v}");
+            assert_eq!(Number::Fixed3(v).serialized_len(), want.len(), "len for {v}");
+        }
+    }
+
+    #[test]
+    fn debug_formats_like_text() {
+        assert_eq!(format!("{:?}", Number::Int(-3)), "-3");
+        assert_eq!(format!("{:?}", Number::Fixed3(1500)), "1.500");
+    }
+}

@@ -1,0 +1,172 @@
+//! Compact JSON serializer.
+//!
+//! The output format mirrors `JSON.stringify(value)` with no indent
+//! argument: no whitespace anywhere, object members in insertion order.
+//! This is what the Netflix web player's state reporter emits, and it is
+//! the byte stream whose length leaks through TLS.
+
+use crate::escape::escape_into;
+use crate::value::Value;
+
+/// Serialize `value` to its compact byte form.
+///
+/// Guaranteed to produce exactly [`Value::serialized_len`] bytes; the
+/// property tests in this crate enforce that invariant.
+pub fn to_bytes(value: &Value) -> Vec<u8> {
+    let mut out = Vec::with_capacity(value.serialized_len());
+    write_value(value, &mut out);
+    out
+}
+
+/// Append the compact serialization of `value` to `out`.
+pub fn write_value(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.extend_from_slice(b"null"),
+        Value::Bool(true) => out.extend_from_slice(b"true"),
+        Value::Bool(false) => out.extend_from_slice(b"false"),
+        Value::Num(n) => n.write_to(out),
+        Value::Str(s) => {
+            out.push(b'"');
+            escape_into(s, out);
+            out.push(b'"');
+        }
+        Value::Array(items) => {
+            out.push(b'[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(b',');
+                }
+                write_value(item, out);
+            }
+            out.push(b']');
+        }
+        Value::Object(members) => {
+            out.push(b'{');
+            for (i, (k, v)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(b',');
+                }
+                out.push(b'"');
+                escape_into(k, out);
+                out.push(b'"');
+                out.push(b':');
+                write_value(v, out);
+            }
+            out.push(b'}');
+        }
+    }
+}
+
+/// Serialize `value` with two-space indentation (for human-facing
+/// artifacts like dataset manifests; the compact form remains the
+/// side-channel-relevant one).
+pub fn to_pretty_bytes(value: &Value) -> Vec<u8> {
+    let mut out = Vec::with_capacity(value.serialized_len() * 2);
+    write_pretty(value, 0, &mut out);
+    out.push(b'\n');
+    out
+}
+
+fn write_pretty(value: &Value, depth: usize, out: &mut Vec<u8>) {
+    const INDENT: &[u8] = b"  ";
+    let pad = |out: &mut Vec<u8>, depth: usize| {
+        for _ in 0..depth {
+            out.extend_from_slice(INDENT);
+        }
+    };
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.extend_from_slice(b"[\n");
+            for (i, item) in items.iter().enumerate() {
+                pad(out, depth + 1);
+                write_pretty(item, depth + 1, out);
+                if i + 1 < items.len() {
+                    out.push(b',');
+                }
+                out.push(b'\n');
+            }
+            pad(out, depth);
+            out.push(b']');
+        }
+        Value::Object(members) if !members.is_empty() => {
+            out.extend_from_slice(b"{\n");
+            for (i, (k, v)) in members.iter().enumerate() {
+                pad(out, depth + 1);
+                out.push(b'"');
+                escape_into(k, out);
+                out.extend_from_slice(b"\": ");
+                write_pretty(v, depth + 1, out);
+                if i + 1 < members.len() {
+                    out.push(b',');
+                }
+                out.push(b'\n');
+            }
+            pad(out, depth);
+            out.push(b'}');
+        }
+        other => write_value(other, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Number;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(to_bytes(&Value::Null), b"null");
+        assert_eq!(to_bytes(&Value::Bool(true)), b"true");
+        assert_eq!(to_bytes(&Value::Bool(false)), b"false");
+        assert_eq!(to_bytes(&Value::from(-17i64)), b"-17");
+        assert_eq!(to_bytes(&Value::Num(Number::Fixed3(1500))), b"1.500");
+        assert_eq!(to_bytes(&Value::from("hi")), b"\"hi\"");
+    }
+
+    #[test]
+    fn nested_compact_layout() {
+        let v = Value::object(vec![
+            ("a".into(), Value::array(vec![Value::from(1i64), Value::Null])),
+            ("b".into(), Value::object(vec![("c".into(), Value::from(true))])),
+        ]);
+        assert_eq!(to_bytes(&v), br#"{"a":[1,null],"b":{"c":true}}"#);
+    }
+
+    #[test]
+    fn length_oracle_matches() {
+        let v = Value::object(vec![
+            ("key with \"quotes\"".into(), Value::from("va\\lue")),
+            ("n".into(), Value::Num(Number::Fixed3(-123))),
+            ("arr".into(), Value::array(vec![])),
+        ]);
+        assert_eq!(to_bytes(&v).len(), v.serialized_len());
+    }
+
+    #[test]
+    fn pretty_roundtrips_through_parser() {
+        let v = Value::object(vec![
+            ("name".into(), Value::from("demo")),
+            (
+                "items".into(),
+                Value::array(vec![Value::from(1i64), Value::object(vec![
+                    ("k".into(), Value::Bool(true)),
+                ])]),
+            ),
+            ("empty".into(), Value::array(vec![])),
+        ]);
+        let pretty = to_pretty_bytes(&v);
+        let text = String::from_utf8(pretty.clone()).unwrap();
+        assert!(text.contains("\n  \"items\": [\n"));
+        assert!(text.ends_with("}\n"));
+        assert_eq!(crate::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn preserves_member_order() {
+        let v = Value::object(vec![
+            ("z".into(), Value::from(1i64)),
+            ("a".into(), Value::from(2i64)),
+        ]);
+        assert_eq!(to_bytes(&v), br#"{"z":1,"a":2}"#);
+    }
+}

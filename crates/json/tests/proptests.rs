@@ -1,0 +1,67 @@
+//! Property-based tests for the JSON substrate.
+//!
+//! The invariants here are load-bearing for the whole reproduction: the
+//! attack's observable is a serialized length, so the length oracle, the
+//! serializer and the parser must agree on every representable document.
+
+use proptest::prelude::*;
+use wm_json::{parse, to_bytes, Number, Value};
+
+/// Strategy producing arbitrary JSON values of bounded depth/size.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(|v| Value::Num(Number::Int(v))),
+        any::<i64>().prop_map(|v| Value::Num(Number::Fixed3(v))),
+        // Strings over a mix of plain text, quotes, controls and non-ASCII.
+        "[a-zA-Z0-9 \"\\\\\\t\\n\u{1}é世]{0,24}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            prop::collection::vec(("[a-zA-Z0-9_\" ]{0,12}", inner), 0..6)
+                .prop_map(|members| Value::Object(
+                    members.into_iter().map(|(k, v)| (k, v)).collect()
+                )),
+        ]
+    })
+}
+
+proptest! {
+    /// `serialized_len` is an exact oracle for `to_bytes().len()`.
+    #[test]
+    fn length_oracle_is_exact(v in arb_value()) {
+        prop_assert_eq!(to_bytes(&v).len(), v.serialized_len());
+    }
+
+    /// Everything the serializer emits parses back to the same tree.
+    #[test]
+    fn serializer_parser_roundtrip(v in arb_value()) {
+        let bytes = to_bytes(&v);
+        let parsed = parse(&bytes).ok();
+        prop_assert_eq!(parsed.as_ref(), Some(&v));
+    }
+
+    /// The serializer's output is valid UTF-8 (JSON text requirement).
+    #[test]
+    fn output_is_utf8(v in arb_value()) {
+        prop_assert!(std::str::from_utf8(&to_bytes(&v)).is_ok());
+    }
+
+    /// The parser never panics on arbitrary input bytes.
+    #[test]
+    fn parser_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = parse(&bytes);
+    }
+
+    /// Parsing arbitrary ASCII that may look JSON-ish never panics and, if
+    /// it succeeds, reserializing yields a parseable document again.
+    #[test]
+    fn reparse_stability(s in "[\\[\\]{}\",:0-9a-z.\\- ]{0,64}") {
+        if let Ok(v) = parse(s.as_bytes()) {
+            let bytes = to_bytes(&v);
+            prop_assert_eq!(parse(&bytes).ok(), Some(v));
+        }
+    }
+}

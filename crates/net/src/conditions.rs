@@ -1,0 +1,165 @@
+//! Table I's operational conditions, mapped to link parameters.
+//!
+//! The dataset varies *connection type* (wired/wireless) and *traffic
+//! conditions* (morning/noon/night). Here those attributes become
+//! concrete link-model parameters: cross-traffic utilization scales the
+//! effective bandwidth and raises loss/jitter, and wireless links add
+//! their own loss floor and jitter. The OS/browser/device axes live in
+//! the player profile (`wm-player`), not here — they shape payload
+//! bytes, not the channel.
+
+use crate::link::LinkParams;
+use crate::time::Duration;
+
+/// Connection medium (Table I: "Connection Type").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConnectionType {
+    Wired,
+    Wireless,
+}
+
+impl ConnectionType {
+    pub const ALL: [ConnectionType; 2] = [ConnectionType::Wired, ConnectionType::Wireless];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ConnectionType::Wired => "Ethernet",
+            ConnectionType::Wireless => "WiFi",
+        }
+    }
+}
+
+/// Time-of-day traffic condition (Table I: "Traffic Conditions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeOfDay {
+    Morning,
+    Noon,
+    Night,
+}
+
+impl TimeOfDay {
+    pub const ALL: [TimeOfDay; 3] = [TimeOfDay::Morning, TimeOfDay::Noon, TimeOfDay::Night];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            TimeOfDay::Morning => "Morning",
+            TimeOfDay::Noon => "Noon",
+            TimeOfDay::Night => "Night",
+        }
+    }
+
+    /// Fraction of the access link consumed by cross traffic. Night is
+    /// residential prime time.
+    fn utilization(self) -> f64 {
+        match self {
+            TimeOfDay::Morning => 0.25,
+            TimeOfDay::Noon => 0.45,
+            TimeOfDay::Night => 0.70,
+        }
+    }
+}
+
+/// One cell of the operational grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkConditions {
+    pub connection: ConnectionType,
+    pub time_of_day: TimeOfDay,
+}
+
+impl LinkConditions {
+    pub fn new(connection: ConnectionType, time_of_day: TimeOfDay) -> Self {
+        LinkConditions { connection, time_of_day }
+    }
+
+    /// Human-readable label ("Ethernet/Night").
+    pub fn label(self) -> String {
+        format!("{}/{}", self.connection.label(), self.time_of_day.label())
+    }
+
+    /// Downstream (server → client) link parameters.
+    pub fn downstream(self) -> LinkParams {
+        self.build(true)
+    }
+
+    /// Upstream (client → server) link parameters.
+    pub fn upstream(self) -> LinkParams {
+        self.build(false)
+    }
+
+    fn build(self, down: bool) -> LinkParams {
+        let (raw_bw, base_loss, jitter_us) = match self.connection {
+            // 100/40 Mbps cable-ish; sub-millisecond jitter.
+            ConnectionType::Wired => {
+                (if down { 100e6 } else { 40e6 }, 0.0004, 400)
+            }
+            // 40/15 Mbps 802.11; more jitter, a real loss floor.
+            ConnectionType::Wireless => {
+                (if down { 40e6 } else { 15e6 }, 0.004, 2500)
+            }
+        };
+        let util = self.time_of_day.utilization();
+        LinkParams {
+            bandwidth_bps: raw_bw * (1.0 - util),
+            // One-way propagation to a regional CDN node.
+            propagation: Duration::from_micros(9_000),
+            jitter_std: Duration::from_micros(jitter_us + (util * 3_000.0) as u64),
+            // Congestion inflates loss roughly linearly.
+            loss_prob: base_loss * (1.0 + 4.0 * util),
+            // The passive tap drops more when the medium is busy;
+            // monitor-mode wireless capture is notoriously lossy.
+            tap_loss_prob: match self.connection {
+                ConnectionType::Wired => 0.0001 + 0.0005 * util,
+                ConnectionType::Wireless => 0.001 + 0.006 * util,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_complete() {
+        let mut count = 0;
+        for c in ConnectionType::ALL {
+            for t in TimeOfDay::ALL {
+                let lc = LinkConditions::new(c, t);
+                let down = lc.downstream();
+                let up = lc.upstream();
+                assert!(down.bandwidth_bps > up.bandwidth_bps);
+                assert!(down.loss_prob > 0.0 && down.loss_prob < 0.05);
+                count += 1;
+            }
+        }
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn night_is_worse_than_morning() {
+        for c in ConnectionType::ALL {
+            let m = LinkConditions::new(c, TimeOfDay::Morning).downstream();
+            let n = LinkConditions::new(c, TimeOfDay::Night).downstream();
+            assert!(n.bandwidth_bps < m.bandwidth_bps);
+            assert!(n.loss_prob > m.loss_prob);
+            assert!(n.jitter_std > m.jitter_std);
+            assert!(n.tap_loss_prob > m.tap_loss_prob);
+        }
+    }
+
+    #[test]
+    fn wireless_is_lossier_than_wired() {
+        for t in TimeOfDay::ALL {
+            let w = LinkConditions::new(ConnectionType::Wired, t).downstream();
+            let wl = LinkConditions::new(ConnectionType::Wireless, t).downstream();
+            assert!(wl.loss_prob > w.loss_prob);
+            assert!(wl.tap_loss_prob > w.tap_loss_prob);
+        }
+    }
+
+    #[test]
+    fn labels() {
+        let lc = LinkConditions::new(ConnectionType::Wired, TimeOfDay::Night);
+        assert_eq!(lc.label(), "Ethernet/Night");
+    }
+}

@@ -1,0 +1,184 @@
+//! One-directional link model.
+//!
+//! Each direction of the access path is a serializing queue: a packet
+//! occupies the link for `bits / bandwidth`, waits behind earlier
+//! packets, then takes a propagation delay plus jitter to arrive — or is
+//! lost. The *tap* (the eavesdropper's vantage point) sits at the
+//! client's access link and sees packets just after serialization, with
+//! its own independent drop probability: capture loss, not network
+//! loss, which is exactly the distinction that costs the attack accuracy
+//! under busy wireless conditions.
+
+use crate::rng::SimRng;
+use crate::time::{Duration, SimTime};
+
+/// Parameters of one link direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Effective bandwidth in bits per second (cross-traffic already
+    /// subtracted by the condition model).
+    pub bandwidth_bps: f64,
+    /// One-way propagation delay.
+    pub propagation: Duration,
+    /// Standard deviation of per-packet jitter (half-normal, additive).
+    pub jitter_std: Duration,
+    /// Probability a packet is lost on the path (after the tap).
+    pub loss_prob: f64,
+    /// Probability the monitoring tap misses a packet the path delivers.
+    pub tap_loss_prob: f64,
+}
+
+impl LinkParams {
+    /// An idealized lossless, low-latency link (unit tests).
+    pub fn ideal() -> Self {
+        LinkParams {
+            bandwidth_bps: 1e9,
+            propagation: Duration::from_micros(1_000),
+            jitter_std: Duration::ZERO,
+            loss_prob: 0.0,
+            tap_loss_prob: 0.0,
+        }
+    }
+}
+
+/// Outcome of offering one packet to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transit {
+    /// When the tap (positioned right after the sender's access port)
+    /// observes the packet — `None` if the tap missed it.
+    pub tap_at: Option<SimTime>,
+    /// When the packet arrives at the receiver — `None` if lost en route.
+    pub arrives_at: Option<SimTime>,
+}
+
+/// One direction of the path, with its serialization queue.
+pub struct Link {
+    params: LinkParams,
+    busy_until: SimTime,
+}
+
+impl Link {
+    pub fn new(params: LinkParams) -> Self {
+        Link { params, busy_until: SimTime::ZERO }
+    }
+
+    pub fn params(&self) -> &LinkParams {
+        &self.params
+    }
+
+    /// Offer a packet of `wire_len` bytes at time `now`.
+    pub fn transmit(&mut self, now: SimTime, wire_len: usize, rng: &mut SimRng) -> Transit {
+        let ser = Duration::from_secs_f64(wire_len as f64 * 8.0 / self.params.bandwidth_bps);
+        let start = now.max(self.busy_until);
+        let tx_done = start + ser;
+        self.busy_until = tx_done;
+
+        // The tap sees the packet as it leaves the access port.
+        let tap_at = if rng.chance(self.params.tap_loss_prob) {
+            None
+        } else {
+            Some(tx_done)
+        };
+
+        if rng.chance(self.params.loss_prob) {
+            return Transit { tap_at, arrives_at: None };
+        }
+        let jitter = if self.params.jitter_std == Duration::ZERO {
+            Duration::ZERO
+        } else {
+            // Half-normal: jitter only ever delays.
+            let j = rng.normal(0.0, self.params.jitter_std.as_secs_f64()).abs();
+            Duration::from_secs_f64(j)
+        };
+        Transit {
+            tap_at,
+            arrives_at: Some(tx_done + self.params.propagation + jitter),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_link_is_deterministic() {
+        let mut link = Link::new(LinkParams::ideal());
+        let mut rng = SimRng::new(1);
+        let t = link.transmit(SimTime::ZERO, 1250, &mut rng); // 10 µs at 1 Gbps
+        assert_eq!(t.tap_at, Some(SimTime(10)));
+        assert_eq!(t.arrives_at, Some(SimTime(1_010)));
+    }
+
+    #[test]
+    fn serialization_queues_back_to_back() {
+        let mut link = Link::new(LinkParams::ideal());
+        let mut rng = SimRng::new(1);
+        let a = link.transmit(SimTime::ZERO, 12_500, &mut rng); // 100 µs
+        let b = link.transmit(SimTime::ZERO, 12_500, &mut rng); // queued behind a
+        assert_eq!(a.tap_at, Some(SimTime(100)));
+        assert_eq!(b.tap_at, Some(SimTime(200)));
+        // A later packet after the queue drains is not delayed.
+        let c = link.transmit(SimTime(1_000), 12_500, &mut rng);
+        assert_eq!(c.tap_at, Some(SimTime(1_100)));
+    }
+
+    #[test]
+    fn loss_rate_approximates_parameter() {
+        let mut params = LinkParams::ideal();
+        params.loss_prob = 0.10;
+        let mut link = Link::new(params);
+        let mut rng = SimRng::new(42);
+        let n = 20_000;
+        let delivered = (0..n)
+            .filter(|_| link.transmit(SimTime::ZERO, 100, &mut rng).arrives_at.is_some())
+            .count();
+        let rate = 1.0 - delivered as f64 / n as f64;
+        assert!((rate - 0.10).abs() < 0.01, "observed loss {rate}");
+    }
+
+    #[test]
+    fn tap_loss_independent_of_path_loss() {
+        let mut params = LinkParams::ideal();
+        params.tap_loss_prob = 0.5;
+        params.loss_prob = 0.0;
+        let mut link = Link::new(params);
+        let mut rng = SimRng::new(9);
+        let n = 10_000;
+        let mut tap_missed = 0;
+        for _ in 0..n {
+            let t = link.transmit(SimTime::ZERO, 100, &mut rng);
+            assert!(t.arrives_at.is_some(), "path must deliver");
+            if t.tap_at.is_none() {
+                tap_missed += 1;
+            }
+        }
+        let rate = tap_missed as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.02, "tap miss rate {rate}");
+    }
+
+    #[test]
+    fn jitter_only_delays() {
+        let mut params = LinkParams::ideal();
+        params.jitter_std = Duration::from_micros(500);
+        let mut link = Link::new(params);
+        let mut rng = SimRng::new(5);
+        for _ in 0..1000 {
+            let t = link.transmit(SimTime(10_000), 125, &mut rng);
+            let floor = SimTime(10_000).micros() + 1 /* ser */ + 1_000 /* prop */;
+            assert!(t.arrives_at.unwrap().micros() >= floor);
+        }
+    }
+
+    #[test]
+    fn bigger_packets_take_longer() {
+        let mut params = LinkParams::ideal();
+        params.bandwidth_bps = 8e6; // 1 byte per µs
+        let mut link = Link::new(params);
+        let mut rng = SimRng::new(2);
+        let small = link.transmit(SimTime::ZERO, 100, &mut rng).tap_at.unwrap();
+        assert_eq!(small, SimTime(100));
+        let big = link.transmit(SimTime(1_000), 1_000, &mut rng).tap_at.unwrap();
+        assert_eq!(big, SimTime(2_000));
+    }
+}

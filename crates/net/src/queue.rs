@@ -1,0 +1,181 @@
+//! The discrete-event queue driving a session.
+//!
+//! Deliberately simple (see the smoltcp design notes): a binary heap of
+//! `(time, sequence-number, event)` with a monotonic tiebreak so that
+//! two events scheduled for the same instant pop in scheduling order —
+//! which keeps sessions deterministic regardless of heap internals.
+
+use crate::tcp::TcpSegment;
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which of the two session endpoints an event targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PeerId {
+    Client,
+    Server,
+}
+
+impl PeerId {
+    /// The other endpoint.
+    pub fn peer(self) -> PeerId {
+        match self {
+            PeerId::Client => PeerId::Server,
+            PeerId::Server => PeerId::Client,
+        }
+    }
+}
+
+/// Opaque timer discriminator. Each subsystem defines its own constants
+/// (TCP retransmission, the player's 10-second choice timer, chunk pacing
+/// ticks, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerKind(pub u32);
+
+/// An event in the simulation.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A TCP segment arrives at `to` (the link already applied delay and
+    /// loss; dropped segments are simply never scheduled).
+    SegmentArrival { to: PeerId, segment: TcpSegment },
+    /// A timer fires at its owner.
+    Timer { owner: PeerId, kind: TimerKind },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    time: SimTime,
+    tie: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.tie == other.tie
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.tie).cmp(&(other.time, other.tie))
+    }
+}
+
+/// Time-ordered event queue.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    next_tie: u64,
+    now: SimTime,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; the queue clamps to
+    /// `now` and debug-asserts so tests catch it.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        let tie = self.next_tie;
+        self.next_tie += 1;
+        self.heap.push(Reverse(Scheduled { time: at, tie, event }));
+    }
+
+    /// Pop the next event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        let Reverse(s) = self.heap.pop()?;
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is drained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    fn timer(owner: PeerId, kind: u32) -> Event {
+        Event::Timer { owner, kind: TimerKind(kind) }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(300), timer(PeerId::Client, 3));
+        q.schedule(SimTime(100), timer(PeerId::Client, 1));
+        q.schedule(SimTime(200), timer(PeerId::Client, 2));
+        let kinds: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| match e {
+            Event::Timer { kind, .. } => kind.0,
+            _ => unreachable!(),
+        })
+        .collect();
+        assert_eq!(kinds, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_within_same_instant() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime(500), timer(PeerId::Server, i));
+        }
+        let kinds: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| match e {
+            Event::Timer { kind, .. } => kind.0,
+            _ => unreachable!(),
+        })
+        .collect();
+        assert_eq!(kinds, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(50), timer(PeerId::Client, 0));
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime(50));
+        // New events may be scheduled relative to the advanced clock.
+        q.schedule(q.now() + Duration::from_micros(10), timer(PeerId::Client, 1));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime(60));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime(1), timer(PeerId::Client, 0));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the network substrate.
+
+use proptest::prelude::*;
+use wm_net::headers::{build_frame, parse_frame, FlowId, TcpFlags, FRAME_OVERHEAD};
+use wm_net::tcp::{unwrap_u32, TcpEndpoint, TcpSegment, MSS};
+use wm_net::time::SimTime;
+
+fn arb_flow() -> impl Strategy<Value = FlowId> {
+    (any::<[u8; 4]>(), any::<u16>(), any::<[u8; 4]>(), any::<u16>()).prop_map(
+        |(src_ip, src_port, dst_ip, dst_port)| FlowId { src_ip, src_port, dst_ip, dst_port },
+    )
+}
+
+proptest! {
+    /// Frames round-trip for any flow, sequence numbers and payload.
+    #[test]
+    fn frame_roundtrip(flow in arb_flow(), seq in any::<u32>(), ack in any::<u32>(),
+                       ts in any::<u32>(), id in any::<u16>(),
+                       payload in prop::collection::vec(any::<u8>(), 0..1600)) {
+        let frame = build_frame(&flow, seq, ack, TcpFlags::PSH_ACK, ts, 0, id, &payload);
+        prop_assert_eq!(frame.len(), FRAME_OVERHEAD + payload.len());
+        let (f, tcp, p) = parse_frame(&frame).expect("parse own frame");
+        prop_assert_eq!(f, flow);
+        prop_assert_eq!(tcp.seq, seq);
+        prop_assert_eq!(tcp.ack, ack);
+        prop_assert_eq!(tcp.ts_val, ts);
+        prop_assert_eq!(p, &payload[..]);
+    }
+
+    /// Truncating a frame anywhere never panics the parser.
+    #[test]
+    fn frame_parser_total(flow in arb_flow(),
+                          payload in prop::collection::vec(any::<u8>(), 0..200),
+                          cut in any::<prop::sample::Index>()) {
+        let frame = build_frame(&flow, 1, 2, TcpFlags::ACK, 3, 4, 5, &payload);
+        let cut = cut.index(frame.len() + 1);
+        let _ = parse_frame(&frame[..cut]);
+    }
+
+    /// Flow canonicalization is direction-invariant and idempotent.
+    #[test]
+    fn flow_canonical(flow in arb_flow()) {
+        let c = flow.canonical();
+        prop_assert_eq!(c, flow.reversed().canonical());
+        prop_assert_eq!(c, c.canonical());
+        prop_assert!(c == flow || c == flow.reversed());
+    }
+
+    /// Sequence unwrap: wrapping any 64-bit offset to 32 bits and
+    /// unwrapping near the true value recovers it exactly.
+    #[test]
+    fn unwrap_recovers(base in 0u64..(1 << 48), delta in -(1i64 << 20)..(1i64 << 20)) {
+        let truth = base.saturating_add_signed(delta);
+        let wire = truth as u32;
+        prop_assert_eq!(unwrap_u32(base, wire), truth);
+    }
+
+    /// Any byte stream delivered through two TCP endpoints arrives
+    /// intact, whatever the write chunking.
+    #[test]
+    fn tcp_delivers_any_stream(data in prop::collection::vec(any::<u8>(), 0..20_000),
+                               cuts in prop::collection::vec(any::<prop::sample::Index>(), 0..6)) {
+        let flow = FlowId {
+            src_ip: [10, 0, 0, 1], src_port: 40000,
+            dst_ip: [10, 0, 0, 2], dst_port: 443,
+        };
+        let mut a = TcpEndpoint::new(flow, 100, 200);
+        let mut b = TcpEndpoint::new(flow.reversed(), 200, 100);
+        let mut offsets: Vec<usize> = cuts.iter().map(|c| c.index(data.len() + 1)).collect();
+        offsets.push(0);
+        offsets.push(data.len());
+        offsets.sort_unstable();
+        for w in offsets.windows(2) {
+            a.write(&data[w[0]..w[1]]);
+        }
+        let mut to_b: Vec<TcpSegment> = a.flush(SimTime(1));
+        let mut to_a: Vec<TcpSegment> = Vec::new();
+        let mut received = Vec::new();
+        for _ in 0..10_000 {
+            if to_a.is_empty() && to_b.is_empty() {
+                break;
+            }
+            for seg in std::mem::take(&mut to_b) {
+                let act = b.on_segment(SimTime(2), &seg);
+                received.extend(act.delivered);
+                to_a.extend(act.to_send);
+            }
+            for seg in std::mem::take(&mut to_a) {
+                let act = a.on_segment(SimTime(2), &seg);
+                to_b.extend(act.to_send);
+            }
+        }
+        prop_assert_eq!(received, data);
+        prop_assert!(a.fully_acked());
+    }
+
+    /// Delivery is invariant to segment reordering (reassembly).
+    #[test]
+    fn tcp_reorder_invariant(data in prop::collection::vec(any::<u8>(), 1..(MSS * 6)),
+                             shuffle_seed in any::<u64>()) {
+        let flow = FlowId {
+            src_ip: [10, 0, 0, 1], src_port: 40000,
+            dst_ip: [10, 0, 0, 2], dst_port: 443,
+        };
+        let mut a = TcpEndpoint::new(flow, 1, 2);
+        let mut b = TcpEndpoint::new(flow.reversed(), 2, 1);
+        a.write(&data);
+        let mut segs = a.flush(SimTime(1));
+        // Deterministic pseudo-shuffle.
+        let mut s = shuffle_seed;
+        for i in (1..segs.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (s >> 33) as usize % (i + 1);
+            segs.swap(i, j);
+        }
+        let mut received = Vec::new();
+        for seg in &segs {
+            received.extend(b.on_segment(SimTime(2), seg).delivered);
+        }
+        prop_assert_eq!(received, data);
+    }
+
+    /// Duplicated segments never duplicate delivered bytes.
+    #[test]
+    fn tcp_duplicate_invariant(data in prop::collection::vec(any::<u8>(), 1..(MSS * 3)),
+                               dup in any::<prop::sample::Index>()) {
+        let flow = FlowId {
+            src_ip: [10, 0, 0, 1], src_port: 40000,
+            dst_ip: [10, 0, 0, 2], dst_port: 443,
+        };
+        let mut a = TcpEndpoint::new(flow, 1, 2);
+        let mut b = TcpEndpoint::new(flow.reversed(), 2, 1);
+        a.write(&data);
+        let segs = a.flush(SimTime(1));
+        let dup_idx = dup.index(segs.len());
+        let mut received = Vec::new();
+        for (i, seg) in segs.iter().enumerate() {
+            received.extend(b.on_segment(SimTime(2), seg).delivered);
+            if i == dup_idx {
+                received.extend(b.on_segment(SimTime(2), seg).delivered);
+            }
+        }
+        prop_assert_eq!(received, data);
+    }
+}

@@ -1,0 +1,126 @@
+//! Viewer scripts: the decisions a (simulated) human makes.
+//!
+//! A script is the pre-sampled sequence of picks and reaction delays a
+//! viewer will produce at successive choice points. Scripts come from
+//! the behaviour model (`wm-behavior`) in dataset generation, or from
+//! explicit constructors in tests; the player consumes them in
+//! encounter order. A delay at or beyond the choice window means the
+//! timer lapses and the player auto-selects the default — exactly the
+//! fallback the film implements.
+
+use wm_net::rng::SimRng;
+use wm_net::time::Duration;
+use wm_story::Choice;
+
+/// One scripted decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptEntry {
+    /// What the viewer picks (if they act before the window closes).
+    pub choice: Choice,
+    /// Reaction time from question display to click.
+    pub delay: Duration,
+}
+
+/// A full session's decisions, in encounter order.
+#[derive(Debug, Clone, Default)]
+pub struct ViewerScript {
+    pub entries: Vec<ScriptEntry>,
+}
+
+impl ViewerScript {
+    /// Script from explicit choices with a fixed reaction time.
+    pub fn from_choices(choices: &[Choice], delay: Duration) -> Self {
+        ViewerScript {
+            entries: choices.iter().map(|&choice| ScriptEntry { choice, delay }).collect(),
+        }
+    }
+
+    /// Random script: each pick is default with probability `p_default`,
+    /// delays are truncated-normal human reaction times (mean 4 s).
+    pub fn sample(seed: u64, len: usize, p_default: f64) -> Self {
+        let mut rng = SimRng::new(seed);
+        let entries = (0..len)
+            .map(|_| {
+                let choice = if rng.chance(p_default) {
+                    Choice::Default
+                } else {
+                    Choice::NonDefault
+                };
+                let delay_s = rng.normal_clamped(4.0, 2.0, 0.8, 9.5);
+                ScriptEntry { choice, delay: Duration::from_secs_f64(delay_s) }
+            })
+            .collect();
+        ViewerScript { entries }
+    }
+
+    /// The scripted entry for the `i`-th encountered choice point;
+    /// exhausted scripts time out (→ default pick at window close).
+    pub fn entry(&self, i: usize, window: Duration) -> ScriptEntry {
+        self.entries.get(i).copied().unwrap_or(ScriptEntry {
+            choice: Choice::Default,
+            delay: window, // lapse
+        })
+    }
+
+    /// The pick sequence (for ground-truth comparison).
+    pub fn choices(&self) -> Vec<Choice> {
+        self.entries.iter().map(|e| e.choice).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_script() {
+        let s = ViewerScript::from_choices(
+            &[Choice::Default, Choice::NonDefault],
+            Duration::from_secs(3),
+        );
+        assert_eq!(s.entries.len(), 2);
+        assert_eq!(s.entry(1, Duration::from_secs(10)).choice, Choice::NonDefault);
+    }
+
+    #[test]
+    fn exhausted_script_times_out_to_default() {
+        let s = ViewerScript::from_choices(&[Choice::NonDefault], Duration::from_secs(2));
+        let window = Duration::from_secs(10);
+        let e = s.entry(5, window);
+        assert_eq!(e.choice, Choice::Default);
+        assert_eq!(e.delay, window);
+    }
+
+    #[test]
+    fn sample_is_deterministic() {
+        let a = ViewerScript::sample(11, 16, 0.6);
+        let b = ViewerScript::sample(11, 16, 0.6);
+        assert_eq!(a.choices(), b.choices());
+        assert_ne!(
+            ViewerScript::sample(12, 16, 0.6).choices(),
+            a.choices(),
+            "different seed, different script (16 coin flips)"
+        );
+    }
+
+    #[test]
+    fn sampled_delays_humanlike() {
+        let s = ViewerScript::sample(3, 100, 0.5);
+        for e in &s.entries {
+            let secs = e.delay.as_secs_f64();
+            assert!((0.8..=9.5).contains(&secs), "delay {secs}");
+        }
+    }
+
+    #[test]
+    fn p_default_extremes() {
+        assert!(ViewerScript::sample(1, 50, 1.0)
+            .choices()
+            .iter()
+            .all(|c| *c == Choice::Default));
+        assert!(ViewerScript::sample(1, 50, 0.0)
+            .choices()
+            .iter()
+            .all(|c| *c == Choice::NonDefault));
+    }
+}

@@ -1,0 +1,26 @@
+//! # wm-sim — end-to-end session simulation
+//!
+//! Wires every substrate into one deterministic viewing session:
+//!
+//! ```text
+//!   Player ──HTTP──> TLS record engine ──TCP──> link ──> Server
+//!     ▲                                   │
+//!     │                                  tap (wm-capture)
+//!     └──────────── responses ◄───────────┘
+//! ```
+//!
+//! Real bytes flow the whole way: the player's HTTP requests are sealed
+//! into genuine TLS records, segmented by TCP-lite, carried over the
+//! lossy link models, observed by the passive tap (which serializes
+//! real Ethernet/IPv4/TCP frames into a pcap-able trace), reassembled
+//! and decrypted by the peer, parsed and answered.
+//!
+//! [`run_session`] returns the artifacts of one viewing: the capture
+//! trace, the ground-truth choice sequence and timeline, per-record
+//! labels for classifier training, and transfer statistics.
+
+pub mod config;
+pub mod session;
+
+pub use config::{SessionConfig, SessionOutput, SessionStats};
+pub use session::run_session;

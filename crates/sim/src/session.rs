@@ -1,0 +1,702 @@
+//! The session event loop.
+
+use crate::config::{SessionConfig, SessionOutput, SessionStats};
+use std::collections::VecDeque;
+use wm_capture::labels::{LabeledRecord, RecordClass};
+use wm_capture::tap::Tap;
+use wm_cipher::kdf::{derive_key, derive_seed};
+use wm_http::{Request, RequestParser, ResponseParser};
+use wm_net::headers::{FlowId, TcpFlags, FRAME_OVERHEAD};
+use wm_net::link::Link;
+use wm_net::queue::{Event, EventQueue, PeerId, TimerKind};
+use wm_net::rng::SimRng;
+use wm_net::tcp::{TcpEndpoint, TcpSegment};
+use wm_net::time::{Duration, SimTime};
+use wm_netflix::{NetflixServer, ServerConfig};
+use wm_player::{Player, PlayerActions, RequestKind};
+use wm_tls::handshake::{simulate_handshake, Sender};
+use wm_tls::record::{ContentType, MAX_FRAGMENT, RECORD_HEADER_LEN};
+use wm_tls::{RecordEngine, SessionKeys};
+
+/// Session-layer timer kinds (player kinds start at 0x100).
+const TCP_RTO: TimerKind = TimerKind(1);
+const SERVER_SEND: TimerKind = TimerKind(2);
+const HS_FLIGHT: TimerKind = TimerKind(3);
+const PLAYER_START: TimerKind = TimerKind(4);
+
+/// Hard ceiling on processed events (runaway guard).
+const MAX_EVENTS: u64 = 100_000_000;
+
+/// Run one complete viewing session.
+///
+/// Deterministic: equal configs produce byte-identical traces.
+pub fn run_session(config: &SessionConfig) -> Result<SessionOutput, String> {
+    SessionState::new(config).run()
+}
+
+struct SessionState<'a> {
+    cfg: &'a SessionConfig,
+    queue: EventQueue,
+    rng: SimRng,
+
+    client_tcp: TcpEndpoint,
+    server_tcp: TcpEndpoint,
+    client_tls: RecordEngine,
+    server_tls: RecordEngine,
+    up_link: Link,
+    down_link: Link,
+
+    /// Bytes of peer handshake transcript each side must discard before
+    /// the record engines take over.
+    client_skip: usize,
+    server_skip: usize,
+    hs_flights: Vec<(Sender, Vec<u8>)>,
+    hs_cursor: usize,
+
+    player: Player,
+    server: NetflixServer,
+    req_parser: RequestParser,
+    resp_parser: ResponseParser,
+    /// Responses waiting for their service delay.
+    server_out: VecDeque<(SimTime, Vec<u8>)>,
+
+    /// (time, segment) pairs the tap observed, ordered at finish.
+    tapped: Vec<(SimTime, TcpSegment)>,
+    labels: Vec<LabeledRecord>,
+    player_done: bool,
+    events: u64,
+}
+
+const CLIENT_FLOW: FlowId = FlowId {
+    src_ip: [192, 168, 1, 23],
+    src_port: 51_744,
+    dst_ip: [198, 38, 120, 10],
+    dst_port: 443,
+};
+
+impl<'a> SessionState<'a> {
+    fn new(cfg: &'a SessionConfig) -> Self {
+        let seed = cfg.seed;
+        let master = {
+            let mut key = [0u8; 32];
+            let mut s = derive_seed(seed, "tls master");
+            for chunk in key.chunks_mut(8) {
+                chunk.copy_from_slice(&wm_cipher::kdf::splitmix64(&mut s).to_le_bytes());
+            }
+            key
+        };
+        let keys = SessionKeys {
+            client_write: derive_key(&master, "client write key"),
+            server_write: derive_key(&master, "server write key"),
+            suite: cfg.suite,
+        };
+        let isn_c = derive_seed(seed, "client isn") as u32;
+        let isn_s = derive_seed(seed, "server isn") as u32;
+
+        let hs = simulate_handshake(&cfg.profile.handshake_shape(), derive_seed(seed, "handshake"));
+        let client_hs_bytes: usize = hs
+            .iter()
+            .filter(|f| f.sender == Sender::Client)
+            .map(|f| f.wire.len())
+            .sum();
+        let server_hs_bytes: usize = hs
+            .iter()
+            .filter(|f| f.sender == Sender::Server)
+            .map(|f| f.wire.len())
+            .sum();
+
+        let mut player_cfg = cfg.player.clone();
+        if cfg.defense.injects_dummies() {
+            player_cfg.dummy_reports = true;
+        }
+        let player = Player::new(
+            cfg.profile,
+            cfg.graph.clone(),
+            cfg.script.clone(),
+            player_cfg,
+            seed,
+        );
+        let server = NetflixServer::new(cfg.graph.clone(), ServerConfig { media_scale: cfg.media_scale });
+
+        SessionState {
+            cfg,
+            queue: EventQueue::new(),
+            rng: SimRng::new(derive_seed(seed, "links")),
+            client_tcp: TcpEndpoint::new(CLIENT_FLOW, isn_c, isn_s),
+            server_tcp: TcpEndpoint::new(CLIENT_FLOW.reversed(), isn_s, isn_c),
+            client_tls: RecordEngine::client(&keys),
+            server_tls: RecordEngine::server(&keys),
+            up_link: Link::new(cfg.conditions.upstream()),
+            down_link: Link::new(cfg.conditions.downstream()),
+            client_skip: server_hs_bytes,
+            server_skip: client_hs_bytes,
+            hs_flights: hs.into_iter().map(|f| (f.sender, f.wire)).collect(),
+            hs_cursor: 0,
+            player,
+            server,
+            req_parser: RequestParser::new(),
+            resp_parser: ResponseParser::new(),
+            server_out: VecDeque::new(),
+            tapped: Vec::new(),
+            labels: Vec::new(),
+            player_done: false,
+            events: 0,
+        }
+    }
+
+    fn run(mut self) -> Result<SessionOutput, String> {
+        self.emit_syn_exchange();
+        // First handshake flight shortly after the TCP handshake.
+        self.queue
+            .schedule(SimTime(45_000), Event::Timer { owner: PeerId::Client, kind: HS_FLIGHT });
+
+        while let Some((now, event)) = self.queue.pop() {
+            self.events += 1;
+            if self.events > MAX_EVENTS {
+                return Err(format!("event budget exhausted at {now}"));
+            }
+            match event {
+                Event::SegmentArrival { to, segment } => self.on_segment(now, to, &segment),
+                Event::Timer { owner, kind } => self.on_timer(now, owner, kind),
+            }
+        }
+
+        if !self.player_done {
+            return Err("queue drained before the session completed".into());
+        }
+
+        // Assemble the capture in time order.
+        self.tapped.sort_by_key(|(t, _)| *t);
+        let mut tap = Tap::new();
+        let (syn_times, tapped) = (self.syn_times(), std::mem::take(&mut self.tapped));
+        tap.record_control(syn_times.0, &CLIENT_FLOW, 0, 0, TcpFlags::SYN);
+        tap.record_control(syn_times.1, &CLIENT_FLOW.reversed(), 0, 1, TcpFlags::SYN_ACK);
+        tap.record_control(syn_times.2, &CLIENT_FLOW, 1, 1, TcpFlags::ACK);
+        for (t, seg) in tapped {
+            tap.record_segment(t, &seg);
+        }
+        let packets = tap.len();
+        let trace = tap.into_trace();
+
+        Ok(SessionOutput {
+            trace,
+            truth: self.player.truth().to_vec(),
+            decisions: self.player.decisions(),
+            labels: self.labels,
+            server_log: self.server.state_log().to_vec(),
+            stats: SessionStats {
+                duration: self.queue.now(),
+                packets_captured: packets,
+                client_tcp: self.client_tcp.stats,
+                server_tcp: self.server_tcp.stats,
+                events: self.events,
+            },
+        })
+    }
+
+    /// SYN / SYN-ACK / ACK frame times (recorded for pcap realism; the
+    /// endpoints start established).
+    fn syn_times(&self) -> (SimTime, SimTime, SimTime) {
+        (SimTime(1_000), SimTime(19_000), SimTime(38_000))
+    }
+
+    fn emit_syn_exchange(&mut self) {
+        // Times are nominal; the handshake flights start at 45 ms.
+    }
+
+    // ---- event handlers -------------------------------------------------
+
+    fn on_timer(&mut self, now: SimTime, owner: PeerId, kind: TimerKind) {
+        match (owner, kind) {
+            (_, TCP_RTO) => self.on_rto(now, owner),
+            (PeerId::Server, SERVER_SEND) => self.on_server_send(now),
+            (PeerId::Client, HS_FLIGHT) => self.on_hs_flight(now),
+            (PeerId::Client, PLAYER_START) => {
+                let actions = self.player.start(now);
+                self.apply_player_actions(now, actions);
+            }
+            (PeerId::Client, kind) => {
+                let actions = self.player.on_timer(now, kind);
+                self.apply_player_actions(now, actions);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_hs_flight(&mut self, now: SimTime) {
+        if self.hs_cursor >= self.hs_flights.len() {
+            // Handshake done: hand over to the player.
+            self.queue
+                .schedule(now + Duration::from_millis(5), Event::Timer {
+                    owner: PeerId::Client,
+                    kind: PLAYER_START,
+                });
+            return;
+        }
+        let (sender, wire) = self.hs_flights[self.hs_cursor].clone();
+        self.hs_cursor += 1;
+        match sender {
+            Sender::Client => {
+                self.client_tcp.write(&wire);
+                self.flush_tcp(now, PeerId::Client);
+            }
+            Sender::Server => {
+                self.server_tcp.write(&wire);
+                self.flush_tcp(now, PeerId::Server);
+            }
+        }
+        // Next flight one half-RTT plus processing later.
+        self.queue.schedule(
+            now + Duration::from_millis(60),
+            Event::Timer { owner: PeerId::Client, kind: HS_FLIGHT },
+        );
+    }
+
+    fn on_rto(&mut self, now: SimTime, owner: PeerId) {
+        let ep = match owner {
+            PeerId::Client => &mut self.client_tcp,
+            PeerId::Server => &mut self.server_tcp,
+        };
+        match ep.rto_deadline() {
+            Some(d) if now >= d => {
+                let segs = ep.on_rto(now);
+                for seg in segs {
+                    self.send_segment(now, owner.peer(), seg);
+                }
+                self.arm_rto(now, owner);
+            }
+            _ => {} // stale or disarmed
+        }
+    }
+
+    fn on_server_send(&mut self, now: SimTime) {
+        while let Some((ready, _)) = self.server_out.front() {
+            if *ready > now {
+                break;
+            }
+            let (_, bytes) = self.server_out.pop_front().expect("peeked");
+            let wire = self
+                .server_tls
+                .seal_payload(ContentType::ApplicationData, &bytes);
+            self.server_tcp.write(&wire);
+        }
+        self.flush_tcp(now, PeerId::Server);
+    }
+
+    fn on_segment(&mut self, now: SimTime, to: PeerId, seg: &TcpSegment) {
+        let actions = match to {
+            PeerId::Client => self.client_tcp.on_segment(now, seg),
+            PeerId::Server => self.server_tcp.on_segment(now, seg),
+        };
+        for out in actions.to_send {
+            self.send_segment(now, to.peer(), out);
+        }
+        self.arm_rto(now, to);
+        if actions.delivered.is_empty() {
+            return;
+        }
+        match to {
+            PeerId::Server => self.server_deliver(now, &actions.delivered),
+            PeerId::Client => self.client_deliver(now, &actions.delivered),
+        }
+    }
+
+    // ---- byte delivery ----------------------------------------------------
+
+    fn server_deliver(&mut self, now: SimTime, bytes: &[u8]) {
+        let bytes = skip_bytes(&mut self.server_skip, bytes);
+        if bytes.is_empty() {
+            return;
+        }
+        self.server_tls.feed(bytes);
+        let records = match self.server_tls.drain_records() {
+            Ok(r) => r,
+            Err(e) => panic!("server record layer failed: {e}"),
+        };
+        let mut got_request = false;
+        for (_, plaintext) in records {
+            let requests = self
+                .req_parser
+                .feed(&plaintext)
+                .unwrap_or_else(|e| panic!("server HTTP parse failed: {e}"));
+            for mut req in requests {
+                // Server-side decode hook (compression defense).
+                if let Some(decoded) = self
+                    .cfg
+                    .defense
+                    .decode_body(req.header_value("content-encoding"), &req.body)
+                {
+                    req.body = decoded;
+                }
+                let resp = self.server.handle(&req);
+                let delay = Duration::from_micros(
+                    400 + self.rng.exponential(300.0) as u64,
+                );
+                let ready = self
+                    .server_out
+                    .back()
+                    .map(|(t, _)| *t)
+                    .unwrap_or(SimTime::ZERO)
+                    .max(now + delay);
+                self.server_out.push_back((ready, resp.to_bytes()));
+                self.queue
+                    .schedule(ready, Event::Timer { owner: PeerId::Server, kind: SERVER_SEND });
+                got_request = true;
+            }
+        }
+        let _ = got_request;
+    }
+
+    fn client_deliver(&mut self, now: SimTime, bytes: &[u8]) {
+        let bytes = skip_bytes(&mut self.client_skip, bytes);
+        if bytes.is_empty() {
+            return;
+        }
+        self.client_tls.feed(bytes);
+        let records = match self.client_tls.drain_records() {
+            Ok(r) => r,
+            Err(e) => panic!("client record layer failed: {e}"),
+        };
+        for (_, plaintext) in records {
+            let responses = self
+                .resp_parser
+                .feed(&plaintext)
+                .unwrap_or_else(|e| panic!("client HTTP parse failed: {e}"));
+            for resp in responses {
+                let actions = self.player.on_response(now, &resp);
+                self.apply_player_actions(now, actions);
+            }
+        }
+    }
+
+    // ---- player plumbing ---------------------------------------------------
+
+    fn apply_player_actions(&mut self, now: SimTime, actions: PlayerActions) {
+        for out in actions.requests {
+            let is_state = matches!(
+                out.kind,
+                RequestKind::StateType1 | RequestKind::StateType2 | RequestKind::DummyReport
+            );
+            let writes: Vec<Vec<u8>> = if is_state {
+                // A deployed countermeasure controls record framing
+                // below the browser's flush quirks; only undefended
+                // posts are subject to the rare header/body flush split.
+                if out.split_flush && self.cfg.defense == wm_defense::Defense::None {
+                    split_at_header_boundary(&out.request)
+                } else {
+                    self.cfg.defense.encode(&out.request)
+                }
+            } else {
+                vec![out.request.to_bytes()]
+            };
+            let whole_report = is_state && writes.len() == 1;
+            for write in &writes {
+                let wire = self
+                    .client_tls
+                    .seal_payload(ContentType::ApplicationData, write);
+                // Label each record of this write.
+                let n_records = write.len().div_ceil(MAX_FRAGMENT).max(1);
+                let class = match out.kind {
+                    RequestKind::StateType1 if whole_report && n_records == 1 => RecordClass::Type1,
+                    RequestKind::StateType2 if whole_report && n_records == 1 => RecordClass::Type2,
+                    _ => RecordClass::Other,
+                };
+                if n_records == 1 {
+                    self.labels.push(LabeledRecord {
+                        time: now,
+                        length: (wire.len() - RECORD_HEADER_LEN) as u16,
+                        class,
+                    });
+                } else {
+                    // Fragmented write (never a clean state report).
+                    let mut obs = wm_tls::RecordObserver::new();
+                    for r in obs.feed(&wire) {
+                        self.labels.push(LabeledRecord {
+                            time: now,
+                            length: r.length,
+                            class: RecordClass::Other,
+                        });
+                    }
+                }
+                self.client_tcp.write(&wire);
+            }
+            self.flush_tcp(now, PeerId::Client);
+        }
+        for (at, kind) in actions.timers {
+            // Player callbacks can request timers "now" while the clock
+            // already advanced; clamp rather than panic.
+            self.queue
+                .schedule(at.max(self.queue.now()), Event::Timer { owner: PeerId::Client, kind });
+        }
+        if actions.done {
+            self.player_done = true;
+        }
+    }
+
+    // ---- transmission -------------------------------------------------------
+
+    fn flush_tcp(&mut self, now: SimTime, owner: PeerId) {
+        let segs = match owner {
+            PeerId::Client => self.client_tcp.flush(now),
+            PeerId::Server => self.server_tcp.flush(now),
+        };
+        for seg in segs {
+            self.send_segment(now, owner.peer(), seg);
+        }
+        self.arm_rto(now, owner);
+    }
+
+    fn send_segment(&mut self, now: SimTime, to: PeerId, seg: TcpSegment) {
+        let link = match to {
+            PeerId::Server => &mut self.up_link,
+            PeerId::Client => &mut self.down_link,
+        };
+        let wire_len = FRAME_OVERHEAD + seg.payload.len();
+        let transit = link.transmit(now, wire_len, &mut self.rng);
+        if let Some(tap_at) = transit.tap_at {
+            self.tapped.push((tap_at, seg.clone()));
+        }
+        if let Some(at) = transit.arrives_at {
+            self.queue.schedule(at, Event::SegmentArrival { to, segment: seg });
+        }
+    }
+
+    fn arm_rto(&mut self, _now: SimTime, owner: PeerId) {
+        let deadline = match owner {
+            PeerId::Client => self.client_tcp.rto_deadline(),
+            PeerId::Server => self.server_tcp.rto_deadline(),
+        };
+        if let Some(d) = deadline {
+            self.queue
+                .schedule(d.max(self.queue.now()), Event::Timer { owner, kind: TCP_RTO });
+        }
+    }
+}
+
+/// Consume up to `skip` bytes from the front of `bytes`.
+fn skip_bytes<'b>(skip: &mut usize, bytes: &'b [u8]) -> &'b [u8] {
+    let take = (*skip).min(bytes.len());
+    *skip -= take;
+    &bytes[take..]
+}
+
+/// A flush split writes the HTTP head and the body separately.
+fn split_at_header_boundary(req: &Request) -> Vec<Vec<u8>> {
+    let bytes = req.to_bytes();
+    match bytes.windows(4).position(|w| w == b"\r\n\r\n") {
+        Some(pos) if pos + 4 < bytes.len() => {
+            vec![bytes[..pos + 4].to_vec(), bytes[pos + 4..].to_vec()]
+        }
+        _ => vec![bytes],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wm_defense::Defense;
+    use crate::config::SessionConfig;
+    use std::sync::Arc;
+    use wm_capture::flow::FlowReassembler;
+    use wm_capture::records::extract_records;
+    use wm_netflix::StateEventKind;
+    use wm_player::ViewerScript;
+    use wm_story::bandersnatch::{bandersnatch, tiny_film};
+    use wm_story::Choice;
+    use wm_tls::CipherSuite;
+
+    fn tiny_session(seed: u64, choices: &[Choice]) -> SessionOutput {
+        let graph = Arc::new(tiny_film());
+        let script = ViewerScript::from_choices(choices, Duration::from_millis(900));
+        let cfg = SessionConfig::fast(graph, seed, script);
+        run_session(&cfg).expect("session must complete")
+    }
+
+    #[test]
+    fn tiny_session_completes() {
+        let out = tiny_session(1, &[Choice::Default, Choice::NonDefault, Choice::Default]);
+        assert_eq!(out.choice_string(), "DND");
+        assert!(out.stats.packets_captured > 10);
+        assert!(out.stats.duration > SimTime::ZERO);
+    }
+
+    #[test]
+    fn server_log_matches_truth() {
+        let out = tiny_session(2, &[Choice::NonDefault, Choice::NonDefault, Choice::Default]);
+        let t1 = out.server_log.iter().filter(|e| e.kind == StateEventKind::Type1).count();
+        let t2 = out.server_log.iter().filter(|e| e.kind == StateEventKind::Type2).count();
+        assert_eq!(t1, 3, "one type-1 per choice point");
+        assert_eq!(t2, 2, "one type-2 per non-default pick");
+    }
+
+    #[test]
+    fn labels_cover_state_posts() {
+        let out = tiny_session(3, &[Choice::NonDefault, Choice::Default, Choice::NonDefault]);
+        let t1 = out.labels.iter().filter(|l| l.class == RecordClass::Type1).count();
+        let t2 = out.labels.iter().filter(|l| l.class == RecordClass::Type2).count();
+        let split_posts = out
+            .truth
+            .iter()
+            .filter(|e| matches!(e, wm_player::TruthEvent::QuestionShown { .. }))
+            .count();
+        assert!(t1 <= split_posts);
+        // Allow for rare flush splits, but the common case is exact.
+        assert!(t1 + 1 >= 3, "type-1 labels {t1}");
+        assert_eq!(t2, 2);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let a = tiny_session(7, &[Choice::Default, Choice::NonDefault, Choice::Default]);
+        let b = tiny_session(7, &[Choice::Default, Choice::NonDefault, Choice::Default]);
+        assert_eq!(a.trace.to_pcap_bytes(), b.trace.to_pcap_bytes(), "byte-identical replay");
+        assert_eq!(a.stats.events, b.stats.events);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = tiny_session(1, &[Choice::Default; 3]);
+        let b = tiny_session(2, &[Choice::Default; 3]);
+        assert_ne!(a.trace.to_pcap_bytes(), b.trace.to_pcap_bytes());
+    }
+
+    #[test]
+    fn capture_reassembles_and_extracts_records() {
+        let out = tiny_session(4, &[Choice::NonDefault, Choice::Default, Choice::Default]);
+        let flows = FlowReassembler::reassemble(&out.trace);
+        assert_eq!(flows.len(), 1);
+        let up = extract_records(&flows[0].upstream);
+        assert!(up.stats.records > 5, "client records: {}", up.stats.records);
+        // The type-1 band must be visible in the extracted lengths.
+        let t1_band = up
+            .records
+            .iter()
+            .filter(|r| (2200..=2213).contains(&r.record.length))
+            .count();
+        assert_eq!(t1_band, 3, "three type-1 posts in the (tiny-film-widened) band");
+        let t2_band = up
+            .records
+            .iter()
+            .filter(|r| (2960..=3017).contains(&r.record.length))
+            .count();
+        assert_eq!(t2_band, 1, "one type-2 post in the (tiny-film-widened) band");
+    }
+
+    #[test]
+    fn cbc_suite_sessions_work() {
+        let graph = Arc::new(tiny_film());
+        let script = ViewerScript::from_choices(&[Choice::NonDefault; 3], Duration::from_millis(900));
+        let mut cfg = SessionConfig::fast(graph, 5, script);
+        cfg.suite = CipherSuite::Cbc;
+        let out = run_session(&cfg).expect("cbc session");
+        assert_eq!(out.choice_string(), "NNN");
+        // CBC quantizes: type-1 lengths are block multiples (+IV).
+        for l in out.labels.iter().filter(|l| l.class == RecordClass::Type1) {
+            assert_eq!((l.length as usize - 16) % 16, 0, "CBC length {}", l.length);
+        }
+    }
+
+    #[test]
+    fn defenses_run_end_to_end() {
+        for defense in [
+            Defense::Split { max: 700 },
+            Defense::Compress,
+            Defense::PadToConstant { size: 4096 },
+        ] {
+            let graph = Arc::new(tiny_film());
+            let script =
+                ViewerScript::from_choices(&[Choice::NonDefault, Choice::Default, Choice::NonDefault], Duration::from_millis(900));
+            let mut cfg = SessionConfig::fast(graph, 6, script);
+            cfg.defense = defense;
+            let out = run_session(&cfg).unwrap_or_else(|e| panic!("{}: {e}", defense.label()));
+            assert_eq!(out.choice_string(), "NDN", "{}", defense.label());
+            // The server still understood every state report.
+            let t1 = out
+                .server_log
+                .iter()
+                .filter(|e| e.kind == StateEventKind::Type1)
+                .count();
+            assert_eq!(t1, 3, "{}", defense.label());
+        }
+    }
+
+    #[test]
+    fn padded_posts_have_constant_length() {
+        let graph = Arc::new(tiny_film());
+        let script = ViewerScript::from_choices(&[Choice::NonDefault; 3], Duration::from_millis(900));
+        let mut cfg = SessionConfig::fast(graph, 8, script);
+        cfg.defense = Defense::PadToConstant { size: 4096 };
+        let out = run_session(&cfg).unwrap();
+        let state_lens: Vec<u16> = out
+            .labels
+            .iter()
+            .filter(|l| l.class != RecordClass::Other)
+            .map(|l| l.length)
+            .collect();
+        assert!(!state_lens.is_empty());
+        assert!(
+            state_lens.iter().all(|&l| l == state_lens[0]),
+            "padded lengths must be constant: {state_lens:?}"
+        );
+    }
+
+    #[test]
+    fn pad_with_dummies_equalizes_post_pattern() {
+        let graph = Arc::new(tiny_film());
+        // One default, two non-default picks.
+        let script = ViewerScript::from_choices(
+            &[Choice::Default, Choice::NonDefault, Choice::NonDefault],
+            Duration::from_millis(900),
+        );
+        let mut cfg = SessionConfig::fast(graph, 31, script);
+        cfg.defense = Defense::PadWithDummies { size: 4096 };
+        let out = run_session(&cfg).unwrap();
+        assert_eq!(out.choice_string(), "DNN");
+        // Count padded posts in the capture: every question must have
+        // exactly two (type-1 + either the real type-2 or a dummy).
+        let flows = FlowReassembler::reassemble(&out.trace);
+        let up = extract_records(&flows[0].upstream);
+        let padded = up
+            .records
+            .iter()
+            .filter(|r| r.record.length == 4096 + 16)
+            .count();
+        assert_eq!(padded, 6, "3 questions × 2 posts each");
+    }
+
+    #[test]
+    fn full_film_fast_session() {
+        let graph = Arc::new(bandersnatch());
+        let script = ViewerScript::sample(11, 14, 0.5);
+        let expected: Vec<Choice> = script.choices();
+        let mut cfg = SessionConfig::fast(graph, 11, script);
+        cfg.player.time_scale = 40;
+        let out = run_session(&cfg).expect("bandersnatch session");
+        assert!(out.decisions.len() >= 3);
+        for (i, (_, c)) in out.decisions.iter().enumerate() {
+            assert_eq!(*c, expected[i], "decision {i}");
+        }
+        // Trace sanity: plenty of traffic in both directions.
+        assert!(out.stats.packets_captured > 200);
+        assert!(out.stats.client_tcp.bytes_sent > 10_000);
+        assert!(out.stats.server_tcp.bytes_sent > 100_000);
+    }
+
+    #[test]
+    fn lossy_wireless_night_session_completes() {
+        let graph = Arc::new(tiny_film());
+        let script = ViewerScript::from_choices(&[Choice::NonDefault; 3], Duration::from_millis(900));
+        let mut cfg = SessionConfig::fast(graph, 9, script);
+        cfg.conditions = wm_net::conditions::LinkConditions::new(
+            wm_net::conditions::ConnectionType::Wireless,
+            wm_net::conditions::TimeOfDay::Night,
+        );
+        let out = run_session(&cfg).expect("lossy session");
+        assert_eq!(out.choice_string(), "NNN");
+        // Loss should have forced at least some retransmission over the
+        // whole session (probabilistic but overwhelmingly likely given
+        // thousands of packets at ~1% loss).
+        let rtx = out.stats.client_tcp.retransmissions + out.stats.server_tcp.retransmissions;
+        assert!(rtx > 0, "expected retransmissions on a lossy link");
+    }
+}

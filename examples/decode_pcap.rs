@@ -1,0 +1,93 @@
+//! Attack a saved dataset: read pcaps from disk, decode choices,
+//! score against the manifest's ground truth.
+//!
+//! ```sh
+//! cargo run --release --example build_dataset -- 12 2019 /tmp/wm-ds
+//! cargo run --release --example decode_pcap -- /tmp/wm-ds
+//! ```
+//!
+//! Training uses the first viewer of each platform profile (their
+//! ground truth is in the manifest — the attacker's own controlled
+//! viewings); every other viewer is decoded blind from their pcap.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use white_mirror::capture::Trace;
+use white_mirror::core::{choice_accuracy, ChoiceAccuracy};
+use white_mirror::dataset::load_manifest;
+use white_mirror::prelude::*;
+use white_mirror::story::ChoiceSequence;
+
+/// Must match the `SimOptions` used by `build_dataset`.
+const TIME_SCALE: u32 = 20;
+
+fn main() {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("iitm-bandersnatch-synth"));
+    let graph = Arc::new(story::bandersnatch::bandersnatch());
+
+    let (spec, truths) = load_manifest(&dir).expect("dataset manifest");
+    println!("dataset {} — {} viewers", spec.name, spec.viewers.len());
+
+    // Group viewers by platform profile; first of each group trains.
+    let mut by_profile: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, v) in spec.viewers.iter().enumerate() {
+        by_profile.entry(v.operational.profile.label()).or_default().push(i);
+    }
+
+    let load_trace = |i: usize| -> Trace {
+        let (_, file) = &truths[i];
+        Trace::read_pcap_file(&dir.join("traces").join(file)).expect("trace file")
+    };
+
+    let mut total = ChoiceAccuracy::default();
+    let mut decoded_viewers = 0;
+    for (profile, members) in &by_profile {
+        // Train on the first member: replay their session to get
+        // labelled records (the attacker controls this viewing, so
+        // regenerating it from the manifest seed is legitimate).
+        let trainer = &spec.viewers[members[0]];
+        let opts = white_mirror::dataset::SimOptions {
+            media_scale: 512,
+            time_scale: TIME_SCALE,
+            ..Default::default()
+        };
+        let cfg = white_mirror::dataset::run::session_config(graph.clone(), trainer, &opts);
+        let train_out = run_session(&cfg).expect("training replay");
+        let Some(attack) =
+            WhiteMirror::train(&train_out.labels, WhiteMirrorConfig::scaled(TIME_SCALE))
+        else {
+            println!("  {profile}: no report examples in the training viewing, skipped");
+            continue;
+        };
+
+        for &i in &members[1..] {
+            let trace = load_trace(i);
+            let decoded = attack.decode_trace(&trace, &graph);
+            let truth_seq = ChoiceSequence::from_compact(&truths[i].0).expect("manifest truth");
+            // Rebuild (cp, choice) pairs by walking the graph.
+            let walk = story::path::walk(&graph, &truth_seq);
+            let truth: Vec<_> = walk.encountered.into_iter().zip(walk.choices.0).collect();
+            let acc = choice_accuracy(&decoded.choices, &truth);
+            total.merge(&acc);
+            decoded_viewers += 1;
+            println!(
+                "  viewer {:>3} ({profile:<28}) decoded {:<16} truth {:<16} {:>5.1}%",
+                spec.viewers[i].id,
+                decoded.choice_string(),
+                truths[i].0,
+                100.0 * acc.accuracy()
+            );
+        }
+    }
+    println!(
+        "\n{} viewers decoded blind from disk: {:.1}% of choices recovered ({} / {})",
+        decoded_viewers,
+        100.0 * total.accuracy(),
+        total.correct,
+        total.total
+    );
+}

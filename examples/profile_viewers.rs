@@ -1,0 +1,119 @@
+//! Behavioural profiling from encrypted traffic — the "high-level
+//! implications" of §VI.
+//!
+//! ```sh
+//! cargo run --release --example profile_viewers
+//! ```
+//!
+//! Generates a small IITM-Bandersnatch-style corpus, decodes every
+//! viewer's choices *from their pcap alone*, converts decoded paths
+//! into semantic tag exposure (violence, defiance, withdrawal, …), and
+//! shows how the inferred tag profile correlates with the viewers'
+//! actual (hidden) state of mind — the privacy harm the paper warns
+//! about.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use white_mirror::behavior::StateOfMind;
+use white_mirror::dataset::{run_dataset, DatasetSpec, SimOptions};
+use white_mirror::prelude::*;
+use white_mirror::story::{ChoiceTag, SegmentEnd};
+
+fn main() {
+    let graph = Arc::new(story::bandersnatch::bandersnatch());
+    let spec = DatasetSpec::generate("profiling-demo", 72, 7_777);
+    let opts = SimOptions { media_scale: 1024, time_scale: 40, ..SimOptions::default() };
+    println!("running {} viewer sessions…", spec.viewers.len());
+    let records = run_dataset(&graph, &spec, &opts);
+
+    // The record-length bands are platform-specific (Figure 2), so the
+    // attacker trains one classifier per platform profile — the grid
+    // cycles link conditions fastest, so viewers come in blocks of six
+    // sharing a profile. Train on the first two of each block, decode
+    // the other four blind.
+    let mut attacks: BTreeMap<String, WhiteMirror> = BTreeMap::new();
+    let mut decoded_count = 0;
+    for block in records.chunks(6) {
+        let mut training = Vec::new();
+        for r in &block[..2.min(block.len())] {
+            training.extend(r.output.labels.iter().copied());
+        }
+        let profile = block[0].spec.operational.profile.label();
+        if let Some(a) = WhiteMirror::train(&training, WhiteMirrorConfig::scaled(opts.time_scale)) {
+            attacks.insert(profile, a);
+        }
+    }
+
+    // Decode every non-training viewer and accumulate tag exposure.
+    let mut per_mind: BTreeMap<&'static str, (f64, usize)> = BTreeMap::new();
+    let mut total_acc = white_mirror::core::ChoiceAccuracy::default();
+    for (i, r) in records.iter().enumerate() {
+        if i % 6 < 2 {
+            continue; // training viewer
+        }
+        let Some(attack) = attacks.get(&r.spec.operational.profile.label()) else {
+            continue;
+        };
+        decoded_count += 1;
+        let decoded = attack.decode_trace(&r.output.trace, &graph);
+        let acc = white_mirror::core::choice_accuracy(&decoded.choices, &r.output.decisions);
+        total_acc.merge(&acc);
+
+        // Tag exposure of the decoded path.
+        let violence = tag_share(&graph, &decoded, ChoiceTag::Violence);
+        let mind = r.spec.behavior.mind.label();
+        let entry = per_mind.entry(mind).or_insert((0.0, 0));
+        entry.0 += violence;
+        entry.1 += 1;
+    }
+
+    println!(
+        "\ndecoded {decoded_count} viewers blind; per-choice accuracy {:.1}%\n",
+        100.0 * total_acc.accuracy()
+    );
+    println!("inferred violence exposure by (hidden) state of mind:");
+    for (mind, (sum, n)) in &per_mind {
+        println!("  {:<12} {:.2} avg tagged picks per viewing  (n={n})", mind, sum / *n as f64);
+    }
+    let stressed = per_mind.get(StateOfMind::Stressed.label());
+    let happy = per_mind.get(StateOfMind::Happy.label());
+    if let (Some((s, sn)), Some((h, hn))) = (stressed, happy) {
+        println!(
+            "\n→ stressed viewers show {:.2}× the violent-pick rate of happy ones,\n  recovered purely from encrypted traffic.",
+            (s / *sn as f64) / (h / *hn as f64).max(1e-9)
+        );
+    }
+}
+
+/// How many decoded picks carry `tag`.
+fn tag_share(
+    graph: &StoryGraph,
+    decoded: &white_mirror::core::DecodedSession,
+    tag: ChoiceTag,
+) -> f64 {
+    decoded
+        .choices
+        .iter()
+        .filter(|d| {
+            graph
+                .choice_point(d.cp)
+                .option(d.choice)
+                .tags
+                .contains(&tag)
+        })
+        .count() as f64
+}
+
+// Silence an unused-import lint when the example is built without the
+// prelude's StoryGraph path being otherwise exercised.
+#[allow(unused)]
+fn _assert_graph_walkable(g: &StoryGraph) {
+    let mut cur = g.start();
+    loop {
+        match g.segment(cur).end {
+            SegmentEnd::Ending => break,
+            SegmentEnd::Continue(n) => cur = n,
+            SegmentEnd::Choice(cp) => cur = g.choice_point(cp).default_target(),
+        }
+    }
+}

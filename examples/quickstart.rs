@@ -1,0 +1,70 @@
+//! Quickstart: simulate one Bandersnatch viewing, capture it, attack it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Prints the victim's true choice string, the decoded one, and where
+//! the two state-report length bands sat in the capture.
+
+use std::sync::Arc;
+use white_mirror::prelude::*;
+
+fn main() {
+    let graph = Arc::new(story::bandersnatch::bandersnatch());
+    println!("film: {} ({} segments, {} choice points, {} endings)",
+        graph.title(),
+        graph.segments().len(),
+        graph.choice_points().len(),
+        graph.endings().len());
+
+    // --- training session (the attacker's own controlled viewing) ----
+    let train_script = ViewerScript::sample(1001, 14, 0.5);
+    let mut train_cfg = SessionConfig::fast(graph.clone(), 1001, train_script);
+    train_cfg.player.time_scale = 40;
+    let train = run_session(&train_cfg).expect("training session");
+    println!(
+        "trained on {} labelled records ({} type-1, {} type-2)",
+        train.labels.len(),
+        train.labels.iter().filter(|l| l.class == RecordClass::Type1).count(),
+        train.labels.iter().filter(|l| l.class == RecordClass::Type2).count(),
+    );
+    let attack = WhiteMirror::train(&train.labels, WhiteMirrorConfig::scaled(40))
+        .expect("training needs report examples");
+    println!(
+        "learned bands: type-1 {:?}  type-2 {:?}",
+        attack.classifier().type1,
+        attack.classifier().type2
+    );
+
+    // --- victim session ----------------------------------------------
+    let victim_script = ViewerScript::sample(2002, 14, 0.5);
+    let mut victim_cfg = SessionConfig::fast(graph.clone(), 2002, victim_script);
+    victim_cfg.player.time_scale = 40;
+    let victim = run_session(&victim_cfg).expect("victim session");
+    println!(
+        "victim session: {} packets captured, {} choices made",
+        victim.stats.packets_captured,
+        victim.decisions.len()
+    );
+
+    // --- the attack: pcap in, choices out -----------------------------
+    let (decoded, accuracy) = attack.evaluate(&victim.trace, &graph, &victim.decisions);
+    println!("truth:   {}", victim.choice_string());
+    println!("decoded: {}", decoded.choice_string());
+    println!(
+        "accuracy: {:.1}% ({} / {} choices)",
+        100.0 * accuracy.accuracy(),
+        accuracy.correct,
+        accuracy.total
+    );
+    for d in &decoded.choices {
+        let cp = graph.choice_point(d.cp);
+        println!(
+            "  [{}] {:<48} -> {}",
+            if d.observed { "seen" } else { "pred" },
+            cp.question,
+            cp.option(d.choice).label
+        );
+    }
+}

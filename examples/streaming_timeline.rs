@@ -1,0 +1,104 @@
+//! Figure 1, reproduced live: the streaming process of Bandersnatch.
+//!
+//! ```sh
+//! cargo run --release --example streaming_timeline
+//! ```
+//!
+//! Runs a session where the viewer takes the default at Q1 and the
+//! non-default at Q2 (exactly the walkthrough in the paper's Figure 1)
+//! and prints the resulting event timeline: segment streaming,
+//! questions, type-1/type-2 state reports, prefetch and cancellation.
+
+use std::sync::Arc;
+use white_mirror::netflix::StateEventKind;
+use white_mirror::player::TruthEvent;
+use white_mirror::prelude::*;
+
+fn main() {
+    let graph = Arc::new(story::bandersnatch::bandersnatch());
+    // Figure 1's walkthrough: S1 default at Q1, S2' non-default at Q2.
+    let script = ViewerScript::from_choices(
+        &[Choice::Default, Choice::NonDefault],
+        white_mirror::net::time::Duration::from_secs(4),
+    );
+    let mut cfg = SessionConfig::fast(graph.clone(), 42, script);
+    cfg.player.time_scale = 20;
+    let out = run_session(&cfg).expect("session");
+
+    println!("=== Figure 1: the streaming process (reproduced) ===\n");
+    for event in &out.truth {
+        match event {
+            TruthEvent::SegmentStarted { time, segment } => {
+                let seg = graph.segment(*segment);
+                println!(
+                    "{:>10}  segment {:>2} starts   {:<40} ({} s of content)",
+                    time.to_string(),
+                    segment.0,
+                    seg.name,
+                    seg.duration_secs
+                );
+            }
+            TruthEvent::QuestionShown { time, cp } => {
+                let q = graph.choice_point(*cp);
+                println!(
+                    "{:>10}  Q{} on screen        \"{}\"  → type-1 JSON posted, default branch prefetch starts",
+                    time.to_string(),
+                    cp.0 + 1,
+                    q.question
+                );
+            }
+            TruthEvent::Decision { time, cp, choice, timed_out, type2_sent } => {
+                let q = graph.choice_point(*cp);
+                let how = if *timed_out { "timer lapsed" } else { "viewer clicked" };
+                match choice {
+                    Choice::Default => println!(
+                        "{:>10}  Q{} decided ({how})  \"{}\" → streaming continues uninterrupted",
+                        time.to_string(),
+                        cp.0 + 1,
+                        q.option(*choice).label
+                    ),
+                    Choice::NonDefault => println!(
+                        "{:>10}  Q{} decided ({how})  \"{}\" → prefetch cancelled, type-2 JSON posted ({})",
+                        time.to_string(),
+                        cp.0 + 1,
+                        q.option(*choice).label,
+                        if *type2_sent { "sent" } else { "suppressed" }
+                    ),
+                }
+            }
+            TruthEvent::SessionEnded { time } => {
+                println!("{:>10}  credits — session ends", time.to_string());
+            }
+        }
+    }
+
+    println!("\n=== what the server logged ===");
+    for e in &out.server_log {
+        let kind = match e.kind {
+            StateEventKind::Type1 => "type-1",
+            StateEventKind::Type2 => "type-2",
+        };
+        println!(
+            "  {kind} state report: choice point {:>2}, segment {:>2}, body {} bytes",
+            e.choice_point.0, e.segment.0, e.body_len
+        );
+    }
+
+    println!("\n=== what the eavesdropper saw (client records near the reports) ===");
+    let features = white_mirror::core::client_app_records(&out.trace);
+    for r in &features.records {
+        if r.record.length > 2000 && r.record.length < 3200 {
+            println!(
+                "  {:>10}  client record, {} bytes",
+                r.time.to_string(),
+                r.record.length
+            );
+        }
+    }
+    println!(
+        "\ncapture: {} packets, {} client app records, {} gaps",
+        out.stats.packets_captured,
+        features.records.len(),
+        features.stats.gaps
+    );
+}

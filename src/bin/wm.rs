@@ -1,0 +1,331 @@
+//! `wm` — the White Mirror command-line tool.
+//!
+//! ```text
+//! wm info
+//!     Print the reconstructed Bandersnatch structure.
+//!
+//! wm simulate --seed N [--out FILE.pcap] [--os ubuntu|windows|macos]
+//!             [--browser firefox|chrome] [--conn wired|wireless]
+//!             [--tod morning|noon|night] [--defense none|split:MAX|
+//!             compress|pad:SIZE|pad+dummies:SIZE] [--p-default P]
+//!     Run one viewing session, print the ground truth, optionally
+//!     save the capture as a pcap.
+//!
+//! wm attack --pcap FILE.pcap [--train-seed N]... [--model FILE.json]
+//!           [--save-model FILE.json] [--os ...] [...]
+//!     Train on controlled sessions (same platform/conditions flags) —
+//!     or reload a saved model — then decode the viewer's choices from
+//!     the capture and print the analyst report.
+//!
+//! wm dataset --n N --seed S --out DIR
+//!     Generate and save a synthetic IITM-Bandersnatch dataset.
+//! ```
+//!
+//! Everything is deterministic; sessions run at 20× playback with media
+//! bytes scaled 512× (see DESIGN.md).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use white_mirror::behavior::BehaviorAttributes;
+use white_mirror::capture::Trace;
+use white_mirror::core::session_report;
+use white_mirror::dataset::{run_dataset, save_dataset, DatasetSpec};
+use white_mirror::net::rng::SimRng;
+use white_mirror::player::{Browser, DeviceForm, Os};
+use white_mirror::prelude::*;
+use white_mirror::story::SegmentEnd;
+
+const TIME_SCALE: u32 = 20;
+const MEDIA_SCALE: u32 = 512;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{}", USAGE);
+        return ExitCode::FAILURE;
+    };
+    let flags = Flags::parse(&args[1..]);
+    let result = match command.as_str() {
+        "info" => cmd_info(),
+        "simulate" => cmd_simulate(&flags),
+        "attack" => cmd_attack(&flags),
+        "dataset" => cmd_dataset(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{}", USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("wm: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: wm <info|simulate|attack|dataset> [flags]
+  wm info
+  wm simulate --seed N [--out FILE.pcap] [--os X] [--browser X] [--conn X] [--tod X] [--defense X] [--p-default P]
+  wm attack --pcap FILE.pcap [--train-seed N ...] [--model F] [--save-model F] [--os X] [--browser X] [--conn X] [--tod X]
+  wm dataset [--n N] [--seed S] [--out DIR]";
+
+/// Minimal `--key value` flag parser (repeatable keys collect).
+struct Flags {
+    entries: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Flags {
+        let mut entries = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(key) = args[i].strip_prefix("--") {
+                let value = args.get(i + 1).cloned().unwrap_or_default();
+                entries.push((key.to_string(), value));
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        Flags { entries }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_all(&self, key: &str) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+}
+
+fn parse_profile(flags: &Flags) -> Result<Profile, String> {
+    let os = match flags.get("os").unwrap_or("ubuntu") {
+        "ubuntu" | "linux" => Os::Ubuntu,
+        "windows" => Os::Windows,
+        "macos" | "mac" => Os::MacOs,
+        other => return Err(format!("unknown --os {other:?}")),
+    };
+    let browser = match flags.get("browser").unwrap_or("firefox") {
+        "firefox" => Browser::Firefox,
+        "chrome" => Browser::Chrome,
+        other => return Err(format!("unknown --browser {other:?}")),
+    };
+    Ok(Profile::new(os, browser, DeviceForm::Desktop))
+}
+
+fn parse_conditions(flags: &Flags) -> Result<LinkConditions, String> {
+    let conn = match flags.get("conn").unwrap_or("wired") {
+        "wired" | "ethernet" => ConnectionType::Wired,
+        "wireless" | "wifi" => ConnectionType::Wireless,
+        other => return Err(format!("unknown --conn {other:?}")),
+    };
+    let tod = match flags.get("tod").unwrap_or("morning") {
+        "morning" => TimeOfDay::Morning,
+        "noon" => TimeOfDay::Noon,
+        "night" => TimeOfDay::Night,
+        other => return Err(format!("unknown --tod {other:?}")),
+    };
+    Ok(LinkConditions::new(conn, tod))
+}
+
+fn parse_defense(flags: &Flags) -> Result<Defense, String> {
+    let spec = flags.get("defense").unwrap_or("none");
+    let parse_size = |s: &str, what: &str| -> Result<usize, String> {
+        s.parse().map_err(|_| format!("bad {what} size {s:?}"))
+    };
+    Ok(match spec {
+        "none" => Defense::None,
+        "compress" => Defense::Compress,
+        s if s.starts_with("split:") => Defense::Split { max: parse_size(&s[6..], "split")? },
+        s if s.starts_with("pad+dummies:") => {
+            Defense::PadWithDummies { size: parse_size(&s[12..], "pad")? }
+        }
+        s if s.starts_with("pad:") => Defense::PadToConstant { size: parse_size(&s[4..], "pad")? },
+        other => return Err(format!("unknown --defense {other:?}")),
+    })
+}
+
+fn build_config(flags: &Flags, seed: u64) -> Result<SessionConfig, String> {
+    let graph = Arc::new(story::bandersnatch::bandersnatch());
+    let p_default: f64 = flags
+        .get("p-default")
+        .map(|v| v.parse().map_err(|_| format!("bad --p-default {v:?}")))
+        .transpose()?
+        .unwrap_or(0.5);
+    // Behaviour-driven script seeded per session.
+    let mut rng = SimRng::new(seed ^ 0xbeef);
+    let behavior = BehaviorAttributes::sample(&mut rng);
+    let script = if flags.get("p-default").is_some() {
+        ViewerScript::sample(seed, 20, p_default)
+    } else {
+        white_mirror::behavior::script_for(&graph, &behavior, seed)
+    };
+    let mut cfg = SessionConfig::baseline(graph, seed, script);
+    cfg.profile = parse_profile(flags)?;
+    cfg.conditions = parse_conditions(flags)?;
+    cfg.defense = parse_defense(flags)?;
+    cfg.media_scale = MEDIA_SCALE;
+    cfg.player.time_scale = TIME_SCALE;
+    Ok(cfg)
+}
+
+fn cmd_info() -> Result<(), String> {
+    let graph = story::bandersnatch::bandersnatch();
+    println!("{}", graph.title());
+    println!(
+        "{} segments, {} choice points, {} endings, up to {} decisions per viewing\n",
+        graph.segments().len(),
+        graph.choice_points().len(),
+        graph.endings().len(),
+        graph.max_choices_on_path()
+    );
+    println!("choice points (default option first):");
+    for cp in graph.choice_points() {
+        println!(
+            "  Q{:<3} {:<46} [{} | {}]",
+            cp.id.0 + 1,
+            cp.question,
+            cp.options[0].label,
+            cp.options[1].label
+        );
+    }
+    println!("\nendings:");
+    for id in graph.endings() {
+        println!("  {}", graph.segment(id).name);
+    }
+    let linear: u32 = {
+        // Longest possible viewing in content time.
+        fn depth(g: &StoryGraph, id: white_mirror::story::SegmentId, memo: &mut Vec<Option<u32>>) -> u32 {
+            if let Some(d) = memo[id.0 as usize] {
+                return d;
+            }
+            let s = g.segment(id);
+            let d = s.duration_secs
+                + match s.end {
+                    SegmentEnd::Ending => 0,
+                    SegmentEnd::Continue(n) => depth(g, n, memo),
+                    SegmentEnd::Choice(cp) => {
+                        let cp = g.choice_point(cp);
+                        depth(g, cp.options[0].target, memo)
+                            .max(depth(g, cp.options[1].target, memo))
+                    }
+                };
+            memo[id.0 as usize] = Some(d);
+            d
+        }
+        let mut memo = vec![None; graph.segments().len()];
+        depth(&graph, graph.start(), &mut memo)
+    };
+    println!("\nlongest viewing: {} min of content", linear / 60);
+    Ok(())
+}
+
+fn cmd_simulate(flags: &Flags) -> Result<(), String> {
+    let seed: u64 = flags
+        .get("seed")
+        .ok_or("simulate requires --seed N")?
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    let cfg = build_config(flags, seed)?;
+    let graph = cfg.graph.clone();
+    let out = run_session(&cfg).map_err(|e| format!("session failed: {e}"))?;
+    let summary = out.trace.summary();
+    println!(
+        "session complete: {} packets ({} up / {} down), {:.1} MiB down, {} choices, defense {}",
+        summary.packets,
+        summary.upstream_packets,
+        summary.downstream_packets,
+        summary.downstream_payload_bytes as f64 / (1024.0 * 1024.0),
+        out.decisions.len(),
+        cfg.defense.label()
+    );
+    println!("ground truth: {}", out.choice_string());
+    for (cp, choice) in &out.decisions {
+        let q = graph.choice_point(*cp);
+        println!("  {:<46} -> {}", q.question, q.option(*choice).label);
+    }
+    if let Some(path) = flags.get("out") {
+        out.trace
+            .write_pcap_file(&PathBuf::from(path))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("capture written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_attack(flags: &Flags) -> Result<(), String> {
+    let pcap = flags.get("pcap").ok_or("attack requires --pcap FILE")?;
+    let trace = Trace::read_pcap_file(&PathBuf::from(pcap))
+        .map_err(|e| format!("reading {pcap}: {e}"))?;
+    let attack = if let Some(model) = flags.get("model") {
+        WhiteMirror::load_model(&PathBuf::from(model), WhiteMirrorConfig::scaled(TIME_SCALE))
+            .map_err(|e| format!("loading model {model}: {e}"))?
+    } else {
+        let train_seeds: Vec<u64> = {
+            let given = flags.get_all("train-seed");
+            if given.is_empty() {
+                vec![424_242, 424_243]
+            } else {
+                given
+                    .iter()
+                    .map(|s| s.parse().map_err(|_| format!("bad --train-seed {s:?}")))
+                    .collect::<Result<_, String>>()?
+            }
+        };
+        let mut labels = Vec::new();
+        for seed in train_seeds {
+            let cfg = build_config(flags, seed)?;
+            labels.extend(
+                run_session(&cfg)
+                    .map_err(|e| format!("training session failed: {e}"))?
+                    .labels,
+            );
+        }
+        WhiteMirror::train(&labels, WhiteMirrorConfig::scaled(TIME_SCALE))
+            .ok_or("training sessions produced no state reports")?
+    };
+    if let Some(path) = flags.get("save-model") {
+        attack
+            .save_model(&PathBuf::from(path))
+            .map_err(|e| format!("saving model {path}: {e}"))?;
+        println!("model saved to {path}");
+    }
+    println!(
+        "trained: type-1 band {:?}, type-2 band {:?}\n",
+        attack.classifier().type1,
+        attack.classifier().type2
+    );
+    let graph = story::bandersnatch::bandersnatch();
+    let decoded = attack.decode_trace(&trace, &graph);
+    print!("{}", session_report(&graph, &decoded));
+    Ok(())
+}
+
+fn cmd_dataset(flags: &Flags) -> Result<(), String> {
+    let n: usize = flags.get("n").unwrap_or("20").parse().map_err(|_| "bad --n")?;
+    let seed: u64 = flags.get("seed").unwrap_or("2019").parse().map_err(|_| "bad --seed")?;
+    let out = PathBuf::from(flags.get("out").unwrap_or("iitm-bandersnatch-synth"));
+    let graph = Arc::new(story::bandersnatch::bandersnatch());
+    let spec = DatasetSpec::generate("IITM-Bandersnatch-synthetic", n, seed);
+    println!("{}", spec.table1());
+    let opts = white_mirror::dataset::SimOptions {
+        media_scale: MEDIA_SCALE,
+        time_scale: TIME_SCALE,
+        ..Default::default()
+    };
+    let records = run_dataset(&graph, &spec, &opts);
+    save_dataset(&out, &spec.name, &records).map_err(|e| format!("saving: {e}"))?;
+    println!("saved {} traces to {}", records.len(), out.display());
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! Cross-crate grid: every defense × both cipher suites runs end to
+//! end, the server understands every session, and the length channel's
+//! fate matches E5's conclusions.
+
+use std::sync::Arc;
+use white_mirror::capture::RecordClass;
+use white_mirror::netflix::StateEventKind;
+use white_mirror::prelude::*;
+
+const TIME_SCALE: u32 = 40;
+
+fn run(seed: u64, suite: CipherSuite, defense: Defense) -> SessionOutput {
+    let graph = Arc::new(story::bandersnatch::bandersnatch());
+    let mut cfg = SessionConfig::fast(graph, seed, ViewerScript::sample(seed, 17, 0.5));
+    cfg.player.time_scale = TIME_SCALE;
+    cfg.suite = suite;
+    cfg.defense = defense;
+    run_session(&cfg).unwrap_or_else(|e| panic!("{} + {:?}: {e}", defense.label(), suite))
+}
+
+#[test]
+fn every_defense_and_suite_completes() {
+    for suite in [CipherSuite::Aead, CipherSuite::Cbc] {
+        for defense in [
+            Defense::None,
+            Defense::Split { max: 700 },
+            Defense::Compress,
+            Defense::PadToConstant { size: 4096 },
+            Defense::PadWithDummies { size: 4096 },
+        ] {
+            let out = run(77_000, suite, defense);
+            // The server validated one type-1 per question regardless of
+            // the wire transform.
+            let questions = out
+                .truth
+                .iter()
+                .filter(|e| matches!(e, white_mirror::player::TruthEvent::QuestionShown { .. }))
+                .count();
+            let t1 = out
+                .server_log
+                .iter()
+                .filter(|e| e.kind == StateEventKind::Type1)
+                .count();
+            assert_eq!(t1, questions, "{} + {:?}", defense.label(), suite);
+            // And one type-2 per non-default pick.
+            let n = out
+                .decisions
+                .iter()
+                .filter(|(_, c)| *c == Choice::NonDefault)
+                .count();
+            let t2 = out
+                .server_log
+                .iter()
+                .filter(|e| e.kind == StateEventKind::Type2)
+                .count();
+            assert_eq!(t2, n, "{} + {:?}", defense.label(), suite);
+        }
+    }
+}
+
+#[test]
+fn split_leaves_no_single_record_signature() {
+    let out = run(77_100, CipherSuite::Aead, Defense::Split { max: 700 });
+    assert!(
+        out.labels.iter().all(|l| l.class == RecordClass::Other),
+        "split posts must not be labelled as clean reports"
+    );
+    // And the interval classifier therefore cannot train.
+    assert!(WhiteMirror::train(&out.labels, WhiteMirrorConfig::scaled(TIME_SCALE)).is_none());
+}
+
+#[test]
+fn padded_reports_are_indistinguishable_by_length() {
+    let out = run(77_200, CipherSuite::Aead, Defense::PadToConstant { size: 4096 });
+    let lens: Vec<u16> = out
+        .labels
+        .iter()
+        .filter(|l| l.class != RecordClass::Other)
+        .map(|l| l.length)
+        .collect();
+    assert!(!lens.is_empty());
+    assert!(lens.iter().all(|&l| l == lens[0]), "padded lengths differ: {lens:?}");
+}
+
+#[test]
+fn dummies_double_the_padded_posts() {
+    let padded = run(77_300, CipherSuite::Aead, Defense::PadToConstant { size: 4096 });
+    let dummied = run(77_300, CipherSuite::Aead, Defense::PadWithDummies { size: 4096 });
+    let count = |out: &SessionOutput| {
+        let features = white_mirror::core::client_app_records(&out.trace);
+        features
+            .records
+            .iter()
+            .filter(|r| r.record.length == 4096 + 16)
+            .count()
+    };
+    let questions = padded
+        .truth
+        .iter()
+        .filter(|e| matches!(e, white_mirror::player::TruthEvent::QuestionShown { .. }))
+        .count();
+    let non_defaults = padded
+        .decisions
+        .iter()
+        .filter(|(_, c)| *c == Choice::NonDefault)
+        .count();
+    // Same viewer (same seed): pad → q + n posts; dummies → 2q posts.
+    assert_eq!(count(&padded), questions + non_defaults);
+    assert_eq!(count(&dummied), 2 * questions);
+}
+
+#[test]
+fn cbc_defended_sessions_still_validate_server_side() {
+    let out = run(77_400, CipherSuite::Cbc, Defense::Compress);
+    assert!(!out.server_log.is_empty());
+    // CBC quantization: every labelled report length is block-aligned
+    // after removing the explicit IV.
+    for l in out.labels.iter().filter(|l| l.class != RecordClass::Other) {
+        assert_eq!((l.length as usize - 16) % 16, 0, "length {}", l.length);
+    }
+}

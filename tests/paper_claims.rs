@@ -1,0 +1,292 @@
+//! The paper's claims, as executable assertions.
+//!
+//! Each test quotes a claim from *White Mirror* (Mitra et al., 2019)
+//! and checks the reproduction exhibits it. This is the repository's
+//! contract: if a refactor breaks one of the paper's observables,
+//! a test here names the exact sentence that no longer holds.
+
+use std::sync::Arc;
+use white_mirror::capture::RecordClass;
+use white_mirror::core::{choice_accuracy, ChoiceAccuracy};
+use white_mirror::prelude::*;
+
+const TIME_SCALE: u32 = 40;
+
+fn session(seed: u64, profile: Profile, conditions: LinkConditions) -> SessionOutput {
+    let graph = Arc::new(story::bandersnatch::bandersnatch());
+    let mut cfg = SessionConfig::fast(graph, seed, ViewerScript::sample(seed, 17, 0.5));
+    cfg.player.time_scale = TIME_SCALE;
+    cfg.profile = profile;
+    cfg.conditions = conditions;
+    run_session(&cfg).expect("session")
+}
+
+fn wired_morning() -> LinkConditions {
+    LinkConditions::new(ConnectionType::Wired, TimeOfDay::Morning)
+}
+
+/// §I: "the viewers are asked choice-questions such as 'Frosties or
+/// sugar-puffs?', 'visit therapist or follow Colin?', 'throw tea over
+/// computer or shout at dad?'."
+#[test]
+fn claim_the_named_questions_exist() {
+    let graph = story::bandersnatch::bandersnatch();
+    let questions: Vec<&str> = graph.choice_points().iter().map(|c| c.question).collect();
+    assert!(questions.iter().any(|q| q.contains("Frosties")));
+    assert!(questions.iter().any(|q| q.contains("Haynes") || q.contains("Colin")));
+    assert!(questions.iter().any(|q| q.contains("tea")));
+}
+
+/// §III: "the streaming process is check-pointed at each choice-
+/// question … The first segment of the movie (i.e., Segment 0) is
+/// common for all viewers."
+#[test]
+fn claim_segment_zero_is_common() {
+    let graph = story::bandersnatch::bandersnatch();
+    // Every sampled path starts with the same segment.
+    for seed in 0..20 {
+        let w = story::path::sample_path(&graph, seed, 0.5);
+        assert_eq!(w.steps[0].segment, graph.start());
+    }
+}
+
+/// §III: "the viewers are then given ten seconds to choose one out of
+/// two options" — every choice point is binary, and the window is the
+/// film's constant.
+#[test]
+fn claim_binary_choices_and_ten_second_window() {
+    let graph = story::bandersnatch::bandersnatch();
+    for cp in graph.choice_points() {
+        assert_eq!(cp.options.len(), 2, "choices are binary");
+    }
+    // The window constant is encoded in the decoder configuration.
+    let cfg = white_mirror::core::DecoderConfig::realtime();
+    assert_eq!(cfg.window.micros(), 10_000_000);
+}
+
+/// §III: "Netflix considers one of the choices to be the default
+/// branch and prefetches chunks belonging to the default segment …
+/// if the choice Si' is chosen, the prefetching for Si stops."
+#[test]
+fn claim_default_prefetch_and_cancellation() {
+    let out = session(90_001, Profile::ubuntu_firefox_desktop(), wired_morning());
+    // Every non-default decision reported a cancelled prefetch.
+    let type2 = out
+        .server_log
+        .iter()
+        .filter(|e| e.kind == white_mirror::netflix::StateEventKind::Type2)
+        .count();
+    let non_defaults = out
+        .decisions
+        .iter()
+        .filter(|(_, c)| *c == Choice::NonDefault)
+        .count();
+    assert!(non_defaults > 0, "script must exercise non-defaults");
+    assert_eq!(type2, non_defaults);
+}
+
+/// §III: "the number and type of JSON files sent indicate the choice
+/// made by the viewer."
+#[test]
+fn claim_json_count_and_type_encode_the_choice() {
+    let out = session(90_002, Profile::ubuntu_firefox_desktop(), wired_morning());
+    let t1 = out.labels.iter().filter(|l| l.class == RecordClass::Type1).count();
+    let t2 = out.labels.iter().filter(|l| l.class == RecordClass::Type2).count();
+    let questions = out.decisions.len();
+    let non_defaults = out
+        .decisions
+        .iter()
+        .filter(|(_, c)| *c == Choice::NonDefault)
+        .count();
+    // Allow for the rare flush split (labelled Other), but the default
+    // case must hold exactly on this clean-condition seed.
+    assert_eq!(t1, questions);
+    assert_eq!(t2, non_defaults);
+}
+
+/// §III + Figure 2: "the packets carrying the encrypted type-1 and
+/// type-2 JSON files can be distinguished from other packets by their
+/// SSL record lengths" — for BOTH published conditions, using the
+/// paper's own bucket edges.
+#[test]
+fn claim_figure2_bucket_membership() {
+    for (profile, t1_bucket, t2_bucket) in [
+        (Profile::ubuntu_firefox_desktop(), (2211u16, 2213u16), (2992u16, 3017u16)),
+        (Profile::windows_firefox_desktop(), (2341, 2343), (3118, 3147)),
+    ] {
+        let out = session(90_003, profile, wired_morning());
+        for l in &out.labels {
+            match l.class {
+                RecordClass::Type1 => assert!(
+                    (t1_bucket.0..=t1_bucket.1).contains(&l.length),
+                    "{}: type-1 length {} outside the paper bucket {:?}",
+                    profile.label(),
+                    l.length,
+                    t1_bucket
+                ),
+                RecordClass::Type2 => assert!(
+                    (t2_bucket.0..=t2_bucket.1).contains(&l.length),
+                    "{}: type-2 length {} outside the paper bucket {:?}",
+                    profile.label(),
+                    l.length,
+                    t2_bucket
+                ),
+                RecordClass::Other => {
+                    let in_t1 = (t1_bucket.0..=t1_bucket.1).contains(&l.length);
+                    let in_t2 = (t2_bucket.0..=t2_bucket.1).contains(&l.length);
+                    assert!(
+                        !in_t1 && !in_t2,
+                        "{}: 'other' record of {} bytes inside a report bucket",
+                        profile.label(),
+                        l.length
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// §III: "This observation was found to be consistent across various
+/// operating systems, browsers, devices, connection media, and network
+/// conditions."
+#[test]
+fn claim_consistency_across_conditions() {
+    // The same platform's bands hold regardless of the link condition.
+    let profile = Profile::ubuntu_firefox_desktop();
+    for conn in ConnectionType::ALL {
+        for tod in TimeOfDay::ALL {
+            let out = session(90_004, profile, LinkConditions::new(conn, tod));
+            for l in out.labels.iter().filter(|l| l.class == RecordClass::Type1) {
+                assert!(
+                    (2211..=2213).contains(&l.length),
+                    "{conn:?}/{tod:?}: type-1 {} left the band",
+                    l.length
+                );
+            }
+        }
+    }
+}
+
+/// §V: "the choices made by a user can be revealed 96% of the time in
+/// the worst case" — aggregate accuracy across a condition spread must
+/// be at least the paper's worst case.
+#[test]
+fn claim_headline_accuracy() {
+    let graph = Arc::new(story::bandersnatch::bandersnatch());
+    // Train per condition, decode three victims each, across four
+    // representative conditions (clean → worst).
+    let conditions = [
+        (ConnectionType::Wired, TimeOfDay::Morning),
+        (ConnectionType::Wired, TimeOfDay::Night),
+        (ConnectionType::Wireless, TimeOfDay::Noon),
+        (ConnectionType::Wireless, TimeOfDay::Night),
+    ];
+    let mut total = ChoiceAccuracy::default();
+    for (i, (conn, tod)) in conditions.iter().enumerate() {
+        let link = LinkConditions::new(*conn, *tod);
+        let mut labels = Vec::new();
+        for t in 0..3u64 {
+            let out = session(91_000 + i as u64 * 10 + t, Profile::ubuntu_firefox_desktop(), link);
+            labels.extend(out.labels);
+        }
+        let attack = WhiteMirror::train(&labels, WhiteMirrorConfig::scaled(TIME_SCALE)).unwrap();
+        for v in 0..3u64 {
+            let out = session(92_000 + i as u64 * 10 + v, Profile::ubuntu_firefox_desktop(), link);
+            let (decoded, acc) = attack.evaluate(&out.trace, &graph, &out.decisions);
+            let _ = decoded;
+            total.merge(&acc);
+        }
+    }
+    assert!(
+        total.accuracy() >= 0.96,
+        "aggregate accuracy {:.3} below the paper's worst case ({}/{} choices)",
+        total.accuracy(),
+        total.correct,
+        total.total
+    );
+}
+
+/// §II: "inter-video features cannot be used to differentiate between
+/// segments from the same video. For instance … the bitrate of chunks
+/// pertaining to each choice will be the same."
+#[test]
+fn claim_bitrate_is_branch_invariant() {
+    // Both branches of every choice point stream on the same ladder;
+    // the manifest assigns chunk sizes by bitrate and duration only.
+    let graph = story::bandersnatch::bandersnatch();
+    let manifest = white_mirror::netflix::Manifest::for_title(&graph, 64);
+    for cp in graph.choice_points() {
+        let a = graph.segment(cp.options[0].target);
+        let b = graph.segment(cp.options[1].target);
+        for bitrate in &manifest.ladder {
+            // Same per-second byte cost on both branches.
+            let full_a = manifest.chunk_bytes(a.duration_secs, 0, *bitrate);
+            let full_b = manifest.chunk_bytes(b.duration_secs, 0, *bitrate);
+            assert_eq!(full_a, full_b, "cp {:?} at {bitrate} bps", cp.question);
+        }
+    }
+}
+
+/// §VI: "An easy fix for the problem would be to either split the JSON
+/// file or to compress it … However, there could be timing side-
+/// channels that may still exist even after this fix."
+#[test]
+fn claim_fixes_leave_residual_channels() {
+    let graph = Arc::new(story::bandersnatch::bandersnatch());
+    // Under constant-size padding the record-length signature is gone…
+    let mut cfg = SessionConfig::fast(graph.clone(), 93_000, ViewerScript::sample(93_000, 17, 0.5));
+    cfg.player.time_scale = TIME_SCALE;
+    cfg.defense = Defense::PadToConstant { size: 4096 };
+    let out = run_session(&cfg).unwrap();
+    let report_lens: std::collections::HashSet<u16> = out
+        .labels
+        .iter()
+        .filter(|l| l.class != RecordClass::Other)
+        .map(|l| l.length)
+        .collect();
+    assert_eq!(report_lens.len(), 1, "padding must equalize report lengths");
+    // …but the report *pattern* still reveals every non-default pick.
+    let features = white_mirror::core::client_app_records(&out.trace);
+    let mut tcfg = white_mirror::defense::TimingDecoderConfig::new(
+        white_mirror::net::time::Duration::from_secs_f64(10.0 / TIME_SCALE as f64),
+    );
+    tcfg.burst_gap =
+        white_mirror::net::time::Duration::from_secs_f64(0.5 / TIME_SCALE as f64);
+    tcfg.exact_post_len = Some(4096 + 16);
+    let events = white_mirror::defense::TimingDecoder::new(tcfg).decode(&features.records);
+    let decoded: Vec<white_mirror::core::DecodedChoice> = events
+        .iter()
+        .zip(out.decisions.iter())
+        .map(|(e, (cp, _))| white_mirror::core::DecodedChoice {
+            cp: *cp,
+            choice: e.choice,
+            time: e.time,
+            observed: true,
+        })
+        .collect();
+    let acc = choice_accuracy(&decoded, &out.decisions);
+    assert!(
+        acc.accuracy() >= 0.9,
+        "timing channel under padding decoded only {:.2}",
+        acc.accuracy()
+    );
+}
+
+/// Abstract: "we built the first interactive video traffic dataset of
+/// 100 viewers" — the synthetic counterpart generates 100 diverse
+/// viewers with Table I's attribute domains.
+#[test]
+fn claim_dataset_scale_and_diversity() {
+    let spec = white_mirror::dataset::DatasetSpec::generate("claims", 100, 2019);
+    assert_eq!(spec.viewers.len(), 100);
+    let t = spec.table1();
+    assert_eq!(t.os.len(), 3);
+    assert_eq!(t.browser.len(), 2);
+    assert_eq!(t.device.len(), 2);
+    assert_eq!(t.connection.len(), 2);
+    assert_eq!(t.time_of_day.len(), 3);
+    assert_eq!(t.age.len(), 4);
+    assert_eq!(t.gender.len(), 3);
+    assert_eq!(t.political.len(), 4);
+    assert_eq!(t.mind.len(), 4);
+}
