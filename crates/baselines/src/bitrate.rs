@@ -44,7 +44,10 @@ impl BitrateBaseline {
     /// Train from labelled sessions; `window` is the post-question span
     /// measured (scaled like the capture).
     pub fn train(sessions: &[(&Trace, &[LabeledWindow])], window: Duration) -> Self {
-        let mut b = BitrateBaseline { window, ..Default::default() };
+        let mut b = BitrateBaseline {
+            window,
+            ..Default::default()
+        };
         for (trace, windows) in sessions {
             for w in *windows {
                 let bytes = downstream_bytes_in(trace, w.question_time, window) as f64;
@@ -132,10 +135,7 @@ mod tests {
     #[test]
     fn untrained_cells_fall_back() {
         let b = BitrateBaseline::train(&[], Duration::from_secs(1));
-        let picks = b.decode(
-            &Trace::new(),
-            &[(ChoicePointId(0), SimTime::ZERO)],
-        );
+        let picks = b.decode(&Trace::new(), &[(ChoicePointId(0), SimTime::ZERO)]);
         assert_eq!(picks, vec![Choice::Default]);
     }
 }

@@ -40,7 +40,12 @@ impl BurstKnnBaseline {
                 training.entry(w.cp).or_default().push((v, w.choice));
             }
         }
-        BurstKnnBaseline { bin_len, bins, k: k.max(1), training }
+        BurstKnnBaseline {
+            bin_len,
+            bins,
+            k: k.max(1),
+            training,
+        }
     }
 
     /// Decode one victim session given its question times.
@@ -52,10 +57,8 @@ impl BurstKnnBaseline {
                 let Some(candidates) = self.training.get(cp) else {
                     return Choice::Default;
                 };
-                let mut scored: Vec<(f64, Choice)> = candidates
-                    .iter()
-                    .map(|(tv, c)| (l2(&v, tv), *c))
-                    .collect();
+                let mut scored: Vec<(f64, Choice)> =
+                    candidates.iter().map(|(tv, c)| (l2(&v, tv), *c)).collect();
                 scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
                 let votes_n = scored
                     .iter()
@@ -112,8 +115,16 @@ mod tests {
         let big = make_trace(5_000);
         let small = make_trace(500);
         let cp = ChoicePointId(0);
-        let w_default = [LabeledWindow { cp, choice: Choice::Default, question_time: SimTime::ZERO }];
-        let w_non = [LabeledWindow { cp, choice: Choice::NonDefault, question_time: SimTime::ZERO }];
+        let w_default = [LabeledWindow {
+            cp,
+            choice: Choice::Default,
+            question_time: SimTime::ZERO,
+        }];
+        let w_non = [LabeledWindow {
+            cp,
+            choice: Choice::NonDefault,
+            question_time: SimTime::ZERO,
+        }];
         let sessions: Vec<(&Trace, &[LabeledWindow])> =
             vec![(&big, &w_default[..]), (&small, &w_non[..])];
         let b = BurstKnnBaseline::train(&sessions, Duration::from_millis(500), 2, 1);

@@ -40,7 +40,11 @@ pub fn burst_vector(trace: &Trace, t0: SimTime, bin_len: Duration, bins: usize) 
 
 /// Euclidean distance between burst vectors.
 pub fn l2(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b.iter()).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f64>()
+        .sqrt()
 }
 
 #[cfg(test)]
@@ -85,7 +89,10 @@ mod tests {
     fn burst_vector_bins() {
         let mut tap = Tap::new();
         for i in 0..4u64 {
-            tap.record_segment(SimTime(i * 500_000), &seg(flow_down(), (i as usize + 1) * 10));
+            tap.record_segment(
+                SimTime(i * 500_000),
+                &seg(flow_down(), (i as usize + 1) * 10),
+            );
         }
         let trace = tap.into_trace();
         let v = burst_vector(&trace, SimTime::ZERO, Duration::from_millis(500), 4);

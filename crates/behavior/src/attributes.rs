@@ -120,10 +120,14 @@ impl BehaviorAttributes {
     pub fn sample(rng: &mut SimRng) -> Self {
         let age = AgeGroup::ALL[rng.weighted_index(&[0.15, 0.40, 0.25, 0.20])];
         let gender = Gender::ALL[rng.weighted_index(&[0.50, 0.38, 0.12])];
-        let political =
-            PoliticalAlignment::ALL[rng.weighted_index(&[0.30, 0.25, 0.15, 0.30])];
+        let political = PoliticalAlignment::ALL[rng.weighted_index(&[0.30, 0.25, 0.15, 0.30])];
         let mind = StateOfMind::ALL[rng.weighted_index(&[0.35, 0.30, 0.15, 0.20])];
-        BehaviorAttributes { age, gender, political, mind }
+        BehaviorAttributes {
+            age,
+            gender,
+            political,
+            mind,
+        }
     }
 
     /// "20-25/Male/Liberal/Happy"-style label.
@@ -153,17 +157,23 @@ mod tests {
     #[test]
     fn sampling_is_deterministic_and_covers_domains() {
         let mut rng = SimRng::new(5);
-        let profiles: Vec<BehaviorAttributes> =
-            (0..500).map(|_| BehaviorAttributes::sample(&mut rng)).collect();
+        let profiles: Vec<BehaviorAttributes> = (0..500)
+            .map(|_| BehaviorAttributes::sample(&mut rng))
+            .collect();
         let mut rng2 = SimRng::new(5);
-        let again: Vec<BehaviorAttributes> =
-            (0..500).map(|_| BehaviorAttributes::sample(&mut rng2)).collect();
+        let again: Vec<BehaviorAttributes> = (0..500)
+            .map(|_| BehaviorAttributes::sample(&mut rng2))
+            .collect();
         assert_eq!(profiles, again);
         for age in AgeGroup::ALL {
             assert!(profiles.iter().any(|p| p.age == age), "{:?} unsampled", age);
         }
         for mind in StateOfMind::ALL {
-            assert!(profiles.iter().any(|p| p.mind == mind), "{:?} unsampled", mind);
+            assert!(
+                profiles.iter().any(|p| p.mind == mind),
+                "{:?} unsampled",
+                mind
+            );
         }
     }
 

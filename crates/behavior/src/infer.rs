@@ -40,7 +40,11 @@ impl AttributePosterior {
             .map(|&m| {
                 (
                     m,
-                    self.cells.iter().filter(|(a, _)| a.mind == m).map(|(_, p)| p).sum(),
+                    self.cells
+                        .iter()
+                        .filter(|(a, _)| a.mind == m)
+                        .map(|(_, p)| p)
+                        .sum(),
                 )
             })
             .collect()
@@ -53,7 +57,11 @@ impl AttributePosterior {
             .map(|&v| {
                 (
                     v,
-                    self.cells.iter().filter(|(a, _)| a.political == v).map(|(_, p)| p).sum(),
+                    self.cells
+                        .iter()
+                        .filter(|(a, _)| a.political == v)
+                        .map(|(_, p)| p)
+                        .sum(),
                 )
             })
             .collect()
@@ -66,7 +74,11 @@ impl AttributePosterior {
             .map(|&v| {
                 (
                     v,
-                    self.cells.iter().filter(|(a, _)| a.age == v).map(|(_, p)| p).sum(),
+                    self.cells
+                        .iter()
+                        .filter(|(a, _)| a.age == v)
+                        .map(|(_, p)| p)
+                        .sum(),
                 )
             })
             .collect()
@@ -84,7 +96,12 @@ pub fn infer_attributes(
         for gender in Gender::ALL {
             for political in PoliticalAlignment::ALL {
                 for mind in StateOfMind::ALL {
-                    let attrs = BehaviorAttributes { age, gender, political, mind };
+                    let attrs = BehaviorAttributes {
+                        age,
+                        gender,
+                        political,
+                        mind,
+                    };
                     let model = BehaviorModel::new(attrs);
                     let mut log_like = 0.0f64;
                     for (cp, choice) in choices {
@@ -181,7 +198,11 @@ mod tests {
         let mut correct = 0;
         let total = 60u64;
         for seed in 0..total {
-            let mind = if seed % 2 == 0 { StateOfMind::Stressed } else { StateOfMind::Happy };
+            let mind = if seed % 2 == 0 {
+                StateOfMind::Stressed
+            } else {
+                StateOfMind::Happy
+            };
             let attrs = BehaviorAttributes {
                 age: AgeGroup::From25To30,
                 gender: Gender::Undisclosed,
@@ -194,9 +215,7 @@ mod tests {
             }
             let post = infer_attributes(&g, &choices);
             let marginals = post.mind_marginals();
-            let p = |m: StateOfMind| {
-                marginals.iter().find(|(v, _)| *v == m).expect("marginal").1
-            };
+            let p = |m: StateOfMind| marginals.iter().find(|(v, _)| *v == m).expect("marginal").1;
             let inferred = if p(StateOfMind::Stressed) > p(StateOfMind::Happy) {
                 StateOfMind::Stressed
             } else {
@@ -246,7 +265,11 @@ mod tests {
         let mut correct = 0;
         let total = 40u64;
         for seed in 0..total {
-            let mind = if seed % 2 == 0 { StateOfMind::Stressed } else { StateOfMind::Happy };
+            let mind = if seed % 2 == 0 {
+                StateOfMind::Stressed
+            } else {
+                StateOfMind::Happy
+            };
             let attrs = BehaviorAttributes {
                 age: AgeGroup::Over30,
                 gender: Gender::Female,
@@ -264,9 +287,7 @@ mod tests {
             }
             let post = infer_attributes(&g, &choices);
             let marginals = post.mind_marginals();
-            let p = |m: StateOfMind| {
-                marginals.iter().find(|(v, _)| *v == m).expect("marginal").1
-            };
+            let p = |m: StateOfMind| marginals.iter().find(|(v, _)| *v == m).expect("marginal").1;
             let inferred = if p(StateOfMind::Stressed) > p(StateOfMind::Happy) {
                 StateOfMind::Stressed
             } else {

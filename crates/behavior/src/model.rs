@@ -107,7 +107,11 @@ pub fn script_for(graph: &StoryGraph, attrs: &BehaviorAttributes, seed: u64) -> 
             SegmentEnd::Continue(next) => current = next,
             SegmentEnd::Choice(cp_id) => {
                 let p = model.p_default(graph, cp_id);
-                let choice = if rng.chance(p) { Choice::Default } else { Choice::NonDefault };
+                let choice = if rng.chance(p) {
+                    Choice::Default
+                } else {
+                    Choice::NonDefault
+                };
                 // Sad/distracted viewers occasionally let the timer lapse.
                 let lapse_p = match attrs.mind {
                     StateOfMind::Sad => 0.06,
@@ -172,7 +176,11 @@ mod tests {
     #[test]
     fn scripts_walk_to_an_ending() {
         let g = bandersnatch();
-        let script = script_for(&g, &attrs(StateOfMind::Happy, PoliticalAlignment::Centrist), 9);
+        let script = script_for(
+            &g,
+            &attrs(StateOfMind::Happy, PoliticalAlignment::Centrist),
+            9,
+        );
         assert!(!script.entries.is_empty());
         assert!(script.entries.len() <= g.max_choices_on_path());
     }
@@ -197,15 +205,10 @@ mod tests {
         let count_attacks = |mind: StateOfMind| -> usize {
             (0..400)
                 .filter(|seed| {
-                    let script = script_for(
-                        &g,
-                        &attrs(mind, PoliticalAlignment::Undisclosed),
-                        *seed,
-                    );
-                    let walk = wm_story::path::walk(
-                        &g,
-                        &wm_story::ChoiceSequence(script.choices()),
-                    );
+                    let script =
+                        script_for(&g, &attrs(mind, PoliticalAlignment::Undisclosed), *seed);
+                    let walk =
+                        wm_story::path::walk(&g, &wm_story::ChoiceSequence(script.choices()));
                     walk.steps.iter().any(|s| {
                         matches!(s.decision, Some((cp, c))
                             if cp == wm_story::ChoicePointId(12) && c == Choice::NonDefault)

@@ -1,11 +1,13 @@
-//! Criterion micro-benchmarks of the reproduction pipeline.
+//! Std-only micro-benchmarks of the reproduction pipeline
+//! (`harness = false`; the offline build environment has no criterion).
 //!
 //! Not paper artifacts (those are the `wm-bench` binaries) but
 //! engineering benchmarks: how fast the substrate simulates and how
-//! fast the attack runs over captures.
+//! fast the attack runs over captures. Timings are collected into
+//! `wm-telemetry` histograms and printed as one report.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::sync::Arc;
+use std::time::Instant;
 use wm_capture::flow::FlowReassembler;
 use wm_capture::records::extract_records;
 use wm_core::classify::{HistogramClassifier, IntervalClassifier, KnnClassifier, RecordClassifier};
@@ -15,118 +17,101 @@ use wm_player::ViewerScript;
 use wm_sim::{run_session, SessionConfig};
 use wm_story::bandersnatch::{bandersnatch, tiny_film};
 use wm_story::Choice;
+use wm_telemetry::Registry;
 
-fn cipher_throughput(c: &mut Criterion) {
+/// Run `f` `iters` times, recording per-iteration ns into `name`.
+fn bench<T>(reg: &Registry, name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    let hist = reg.histogram(name);
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        hist.record(start.elapsed().as_nanos() as u64);
+    }
+}
+
+fn main() {
+    let reg = Registry::new();
+
+    // --- cipher throughput ------------------------------------------------
     let key = [7u8; 32];
     let nonce = [9u8; 12];
-    let mut g = c.benchmark_group("cipher");
     for size in [1_448usize, 16_384, 262_144] {
         let data = vec![0xa5u8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("wm20_seal_{size}"), |b| {
-            b.iter_batched(
-                || data.clone(),
-                |plain| wm_cipher::seal(&key, &nonce, b"aad", &plain),
-                BatchSize::SmallInput,
-            )
+        bench(&reg, &format!("cipher.wm20_seal_{size}_ns"), 50, || {
+            wm_cipher::seal(&key, &nonce, b"aad", &data)
         });
     }
-    g.finish();
-}
 
-fn session_simulation(c: &mut Criterion) {
+    // --- session simulation -----------------------------------------------
     let tiny = Arc::new(tiny_film());
     let full = Arc::new(bandersnatch());
-    let mut g = c.benchmark_group("session");
-    g.sample_size(10);
-    g.bench_function("tiny_film_session", |b| {
-        b.iter(|| {
-            let script =
-                ViewerScript::from_choices(&[Choice::NonDefault; 3], Duration::from_millis(900));
-            run_session(&SessionConfig::fast(tiny.clone(), 1, script)).unwrap()
-        })
+    bench(&reg, "session.tiny_film_ns", 10, || {
+        let script =
+            ViewerScript::from_choices(&[Choice::NonDefault; 3], Duration::from_millis(900));
+        run_session(&SessionConfig::fast(tiny.clone(), 1, script)).unwrap()
     });
-    g.bench_function("bandersnatch_session_40x", |b| {
-        b.iter(|| {
-            let script = ViewerScript::sample(2, 14, 0.5);
-            let mut cfg = SessionConfig::fast(full.clone(), 2, script);
-            cfg.player.time_scale = 40;
-            run_session(&cfg).unwrap()
-        })
+    bench(&reg, "session.bandersnatch_40x_ns", 5, || {
+        let script = ViewerScript::sample(2, 14, 0.5);
+        let mut cfg = SessionConfig::fast(full.clone(), 2, script);
+        cfg.player.time_scale = 40;
+        run_session(&cfg).unwrap()
     });
-    g.finish();
-}
 
-fn capture_pipeline(c: &mut Criterion) {
-    let graph = Arc::new(bandersnatch());
-    let mut cfg = SessionConfig::fast(graph.clone(), 3, ViewerScript::sample(3, 14, 0.5));
+    // --- capture pipeline ---------------------------------------------------
+    let mut cfg = SessionConfig::fast(full.clone(), 3, ViewerScript::sample(3, 14, 0.5));
     cfg.player.time_scale = 40;
     let out = run_session(&cfg).unwrap();
     let pcap = out.trace.to_pcap_bytes();
-
-    let mut g = c.benchmark_group("capture");
-    g.throughput(Throughput::Bytes(pcap.len() as u64));
-    g.bench_function("pcap_parse", |b| {
-        b.iter(|| wm_capture::tap::Trace::from_pcap_bytes(&pcap).unwrap())
+    bench(&reg, "capture.pcap_parse_ns", 20, || {
+        wm_capture::tap::Trace::from_pcap_bytes(&pcap).unwrap()
     });
-    g.bench_function("flow_reassembly", |b| {
-        b.iter(|| FlowReassembler::reassemble(&out.trace))
+    bench(&reg, "capture.flow_reassembly_ns", 20, || {
+        FlowReassembler::reassemble(&out.trace)
     });
     let flows = FlowReassembler::reassemble(&out.trace);
-    g.bench_function("record_extraction", |b| {
-        b.iter(|| extract_records(&flows[0].upstream))
+    bench(&reg, "capture.record_extraction_ns", 20, || {
+        extract_records(&flows[0].upstream)
     });
-    g.finish();
-}
 
-fn classifiers(c: &mut Criterion) {
-    let graph = Arc::new(bandersnatch());
-    let mut cfg = SessionConfig::fast(graph.clone(), 4, ViewerScript::sample(4, 14, 0.5));
-    cfg.player.time_scale = 40;
-    let out = run_session(&cfg).unwrap();
-    let interval = IntervalClassifier::train(&out.labels, 8).unwrap();
-    let hist = HistogramClassifier::train(&out.labels, 8);
-    let knn = KnnClassifier::train(&out.labels, 5);
-    let lengths: Vec<u16> = out.labels.iter().map(|l| l.length).collect();
+    // --- classifiers --------------------------------------------------------
+    let mut ccfg = SessionConfig::fast(full.clone(), 4, ViewerScript::sample(4, 14, 0.5));
+    ccfg.player.time_scale = 40;
+    let cout = run_session(&ccfg).unwrap();
+    let interval = IntervalClassifier::train(&cout.labels, 8).unwrap();
+    let hist_cls = HistogramClassifier::train(&cout.labels, 8);
+    let knn = KnnClassifier::train(&cout.labels, 5);
+    let lengths: Vec<u16> = cout.labels.iter().map(|l| l.length).collect();
+    bench(&reg, "classify.interval_ns", 100, || {
+        lengths
+            .iter()
+            .filter(|&&l| interval.classify(l) != wm_capture::RecordClass::Other)
+            .count()
+    });
+    bench(&reg, "classify.histogram_ns", 100, || {
+        lengths
+            .iter()
+            .filter(|&&l| hist_cls.classify(l) != wm_capture::RecordClass::Other)
+            .count()
+    });
+    bench(&reg, "classify.knn_ns", 100, || {
+        lengths
+            .iter()
+            .filter(|&&l| knn.classify(l) != wm_capture::RecordClass::Other)
+            .count()
+    });
 
-    let mut g = c.benchmark_group("classify");
-    g.throughput(Throughput::Elements(lengths.len() as u64));
-    g.bench_function("interval", |b| {
-        b.iter(|| lengths.iter().map(|&l| interval.classify(l)).filter(|c| *c != wm_capture::RecordClass::Other).count())
-    });
-    g.bench_function("histogram", |b| {
-        b.iter(|| lengths.iter().map(|&l| hist.classify(l)).filter(|c| *c != wm_capture::RecordClass::Other).count())
-    });
-    g.bench_function("knn", |b| {
-        b.iter(|| lengths.iter().map(|&l| knn.classify(l)).filter(|c| *c != wm_capture::RecordClass::Other).count())
-    });
-    g.finish();
-}
-
-fn attack_end_to_end(c: &mut Criterion) {
-    let graph = Arc::new(bandersnatch());
-    let mut tcfg = SessionConfig::fast(graph.clone(), 5, ViewerScript::sample(5, 14, 0.5));
+    // --- attack end to end ---------------------------------------------------
+    let mut tcfg = SessionConfig::fast(full.clone(), 5, ViewerScript::sample(5, 14, 0.5));
     tcfg.player.time_scale = 40;
     let train = run_session(&tcfg).unwrap();
     let attack = WhiteMirror::train(&train.labels, WhiteMirrorConfig::scaled(40)).unwrap();
-    let mut vcfg = SessionConfig::fast(graph.clone(), 6, ViewerScript::sample(6, 14, 0.5));
+    let mut vcfg = SessionConfig::fast(full.clone(), 6, ViewerScript::sample(6, 14, 0.5));
     vcfg.player.time_scale = 40;
     let victim = run_session(&vcfg).unwrap();
-
-    let mut g = c.benchmark_group("attack");
-    g.sample_size(20);
-    g.bench_function("decode_trace", |b| {
-        b.iter(|| attack.decode_trace(&victim.trace, &graph))
+    bench(&reg, "attack.decode_trace_ns", 20, || {
+        attack.decode_trace(&victim.trace, &full)
     });
-    g.finish();
-}
 
-criterion_group!(
-    benches,
-    cipher_throughput,
-    session_simulation,
-    capture_pipeline,
-    classifiers,
-    attack_end_to_end
-);
-criterion_main!(benches);
+    println!("=== pipeline micro-benchmarks (ns per iteration) ===\n");
+    print!("{}", reg.snapshot().render_table());
+}

@@ -30,15 +30,23 @@ fn main() {
     let train: Vec<SessionOutput> = (0..TRAIN_SESSIONS)
         .map(|i| {
             let seed = 90_000 + i;
-            run_session(&harness_cfg(&graph, seed, ViewerScript::sample(seed, 14, 0.5)))
-                .expect("training session")
+            run_session(&harness_cfg(
+                &graph,
+                seed,
+                ViewerScript::sample(seed, 14, 0.5),
+            ))
+            .expect("training session")
         })
         .collect();
     let victims: Vec<SessionOutput> = (0..VICTIMS)
         .map(|i| {
             let seed = 91_000 + i;
-            run_session(&harness_cfg(&graph, seed, ViewerScript::sample(seed, 14, 0.5)))
-                .expect("victim session")
+            run_session(&harness_cfg(
+                &graph,
+                seed,
+                ViewerScript::sample(seed, 14, 0.5),
+            ))
+            .expect("victim session")
         })
         .collect();
 
@@ -78,23 +86,45 @@ fn main() {
     let mut burst_acc = ChoiceAccuracy::default();
     let mut majority_acc = ChoiceAccuracy::default();
     for v in &victims {
-        let questions: Vec<(ChoicePointId, SimTime)> =
-            windows_of(v).iter().map(|w| (w.cp, w.question_time)).collect();
+        let questions: Vec<(ChoicePointId, SimTime)> = windows_of(v)
+            .iter()
+            .map(|w| (w.cp, w.question_time))
+            .collect();
         bitrate_acc.merge(&score(&bitrate.decode(&v.trace, &questions), v));
         burst_acc.merge(&score(&burst.decode(&v.trace, &questions), v));
         let maj: Vec<Choice> = questions.iter().map(|_| majority.predict()).collect();
         majority_acc.merge(&score(&maj, v));
     }
 
-    println!("{:<44} {:>10} {:>16}", "technique", "accuracy", "question times");
+    println!(
+        "{:<44} {:>10} {:>16}",
+        "technique", "accuracy", "question times"
+    );
     let rows = [
-        ("White Mirror (record lengths, this paper)", wm_acc, "self-recovered"),
-        ("bitrate fingerprint (Reed–Kranch style)", bitrate_acc, "given"),
-        ("burst-series kNN (Beauty-and-the-Burst)", burst_acc, "given"),
+        (
+            "White Mirror (record lengths, this paper)",
+            wm_acc,
+            "self-recovered",
+        ),
+        (
+            "bitrate fingerprint (Reed–Kranch style)",
+            bitrate_acc,
+            "given",
+        ),
+        (
+            "burst-series kNN (Beauty-and-the-Burst)",
+            burst_acc,
+            "given",
+        ),
         ("majority class (floor)", majority_acc, "given"),
     ];
     for (name, acc, times) in rows {
-        println!("{:<44} {:>9.1}% {:>16}", name, 100.0 * acc.accuracy(), times);
+        println!(
+            "{:<44} {:>9.1}% {:>16}",
+            name,
+            100.0 * acc.accuracy(),
+            times
+        );
     }
     println!(
         "\n{} choices evaluated per technique; paper's claim holds: downstream",
@@ -115,7 +145,11 @@ fn windows_of(s: &SessionOutput) -> Vec<LabeledWindow> {
     questions
         .into_iter()
         .zip(s.decisions.iter())
-        .map(|((cp, t), (_, choice))| LabeledWindow { cp, choice: *choice, question_time: t })
+        .map(|((cp, t), (_, choice))| LabeledWindow {
+            cp,
+            choice: *choice,
+            question_time: t,
+        })
         .collect()
 }
 

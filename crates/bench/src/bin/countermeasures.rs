@@ -11,14 +11,18 @@
 //! cargo run --release -p wm-bench --bin countermeasures
 //! ```
 
-use wm_bench::{graph, harness_cfg, TIME_SCALE};
+use wm_bench::{graph, harness_cfg, write_bench_json, TIME_SCALE};
 use wm_capture::records::TimedRecord;
-use wm_core::{choice_accuracy, client_app_records, ChoiceAccuracy, DecodedChoice, WhiteMirror, WhiteMirrorConfig};
+use wm_core::{
+    choice_accuracy, client_app_records, AttackTelemetry, ChoiceAccuracy, DecodedChoice,
+    WhiteMirror, WhiteMirrorConfig,
+};
 use wm_defense::{Defense, TimingDecoder, TimingDecoderConfig};
 use wm_net::time::{Duration, SimTime};
 use wm_player::ViewerScript;
 use wm_sim::{run_session, SessionOutput};
 use wm_story::Choice;
+use wm_telemetry::{Registry, Snapshot};
 
 const VICTIMS: u64 = 6;
 
@@ -38,6 +42,10 @@ fn main() {
         "defense", "length", "burst-total", "timing/count"
     );
 
+    let attack_registry = Registry::new();
+    let mut telemetry = Snapshot::default();
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+
     for defense in defenses {
         // Attacker retrains under the deployed defense.
         let mut train_labels = Vec::new();
@@ -46,10 +54,16 @@ fn main() {
             let mut cfg = harness_cfg(&graph, seed, ViewerScript::sample(seed, 14, 0.5));
             cfg.defense = defense;
             let out = run_session(&cfg).expect("training session");
+            telemetry.merge(&out.telemetry);
             train_labels.extend(out.labels.iter().copied());
             train_sessions.push(out);
         }
-        let attack = WhiteMirror::train(&train_labels, WhiteMirrorConfig::scaled(TIME_SCALE));
+        let attack = WhiteMirror::train(&train_labels, WhiteMirrorConfig::scaled(TIME_SCALE)).map(
+            |mut a| {
+                a.set_telemetry(AttackTelemetry::register(&attack_registry));
+                a
+            },
+        );
         let burst_bands = learn_burst_bands(&train_sessions);
 
         let mut length_acc = ChoiceAccuracy::default();
@@ -61,6 +75,7 @@ fn main() {
             let mut cfg = harness_cfg(&graph, seed, ViewerScript::sample(seed, 14, 0.45));
             cfg.defense = defense;
             let out = run_session(&cfg).expect("victim session");
+            telemetry.merge(&out.telemetry);
 
             if let Some(a) = &attack {
                 let (_, acc) = a.evaluate(&out.trace, &graph, &out.decisions);
@@ -101,6 +116,15 @@ fn main() {
                 "—".into()
             },
         );
+        let key: String = defense
+            .label()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        if attack.is_some() {
+            metrics.push((format!("length_accuracy.{key}"), length_acc.accuracy()));
+        }
+        metrics.push((format!("burst_accuracy.{key}"), burst_acc.accuracy()));
     }
     println!("\n* constant decoder output (every question shows two identical posts):");
     println!("  the score is the class base rate — zero information extracted.");
@@ -111,6 +135,10 @@ fn main() {
     println!("report count/timing still reveals the pick. Only padding combined with dummy");
     println!("second posts (this reproduction's extension) drives every channel to the");
     println!("all-default floor.");
+
+    telemetry.merge(&attack_registry.snapshot());
+    let metric_refs: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    write_bench_json("countermeasures", &metric_refs, &telemetry);
 }
 
 /// Burst-total bands learned from training sessions. Split posts carry
@@ -139,7 +167,11 @@ fn learn_burst_bands(sessions: &[SessionOutput]) -> ((u64, u64), (u64, u64)) {
                 wm_player::TruthEvent::QuestionShown { time, .. } => {
                     t1_totals.extend(nearest(*time));
                 }
-                wm_player::TruthEvent::Decision { time, type2_sent: true, .. } => {
+                wm_player::TruthEvent::Decision {
+                    time,
+                    type2_sent: true,
+                    ..
+                } => {
                     t2_totals.extend(nearest(*time));
                 }
                 _ => {}
@@ -162,7 +194,10 @@ fn robust_band(totals: &mut [u64]) -> (u64, u64) {
         .copied()
         .filter(|&v| v + 200 >= med && v <= med + 200)
         .collect();
-    (*kept.first().expect("median kept"), *kept.last().expect("median kept"))
+    (
+        *kept.first().expect("median kept"),
+        *kept.last().expect("median kept"),
+    )
 }
 
 struct Burst {
@@ -187,7 +222,11 @@ fn bursts_of(records: &[TimedRecord]) -> Vec<Burst> {
                 b.total += r.record.length as u64;
                 b.end = r.time;
             }
-            _ => out.push(Burst { start: r.time, end: r.time, total: r.record.length as u64 }),
+            _ => out.push(Burst {
+                start: r.time,
+                end: r.time,
+                total: r.record.length as u64,
+            }),
         }
     }
     out
@@ -221,18 +260,28 @@ fn burst_total_decode(
             },
         });
     }
-    pseudo.extend(bursts_of(&features.records).into_iter().map(|b| TimedRecord {
-        time: b.start,
-        record: wm_tls::observer::ObservedRecord {
-            stream_offset: 0,
-            content_type: wm_tls::ContentType::ApplicationData,
-            version: (3, 3),
-            length: b.total.min(u16::MAX as u64) as u16,
-        },
-    }));
+    pseudo.extend(
+        bursts_of(&features.records)
+            .into_iter()
+            .map(|b| TimedRecord {
+                time: b.start,
+                record: wm_tls::observer::ObservedRecord {
+                    stream_offset: 0,
+                    content_type: wm_tls::ContentType::ApplicationData,
+                    version: (3, 3),
+                    length: b.total.min(u16::MAX as u64) as u16,
+                },
+            }),
+    );
     let classifier = wm_core::IntervalClassifier {
-        type1: (t1_lo.min(u16::MAX as u64) as u16, t1_hi.min(u16::MAX as u64) as u16),
-        type2: (t2_lo.min(u16::MAX as u64) as u16, t2_hi.min(u16::MAX as u64) as u16),
+        type1: (
+            t1_lo.min(u16::MAX as u64) as u16,
+            t1_hi.min(u16::MAX as u64) as u16,
+        ),
+        type2: (
+            t2_lo.min(u16::MAX as u64) as u16,
+            t2_hi.min(u16::MAX as u64) as u16,
+        ),
         slack: 10,
     };
     wm_core::BeamDecoder::new(

@@ -36,7 +36,13 @@ fn main() {
                     graph.choice_point(*cp).question
                 );
             }
-            TruthEvent::Decision { time, cp, choice, type2_sent, .. } => {
+            TruthEvent::Decision {
+                time,
+                cp,
+                choice,
+                type2_sent,
+                ..
+            } => {
                 let label = graph.choice_point(*cp).option(*choice).label;
                 match choice {
                     Choice::Default => {
@@ -55,8 +61,16 @@ fn main() {
     }
 
     // Verify the figure's claims mechanically.
-    let t1 = out.labels.iter().filter(|l| l.class == RecordClass::Type1).count();
-    let t2 = out.labels.iter().filter(|l| l.class == RecordClass::Type2).count();
+    let t1 = out
+        .labels
+        .iter()
+        .filter(|l| l.class == RecordClass::Type1)
+        .count();
+    let t2 = out
+        .labels
+        .iter()
+        .filter(|l| l.class == RecordClass::Type2)
+        .count();
     let decisions = out.decisions.len();
     let non_defaults = out
         .decisions
@@ -64,8 +78,14 @@ fn main() {
         .filter(|(_, c)| *c == Choice::NonDefault)
         .count();
     println!("\nchecks (paper §III):");
-    println!("  type-1 JSONs sent  = questions shown    : {t1} = {decisions}  {}", ok(t1 == decisions));
-    println!("  type-2 JSONs sent  = non-default picks  : {t2} = {non_defaults}  {}", ok(t2 == non_defaults));
+    println!(
+        "  type-1 JSONs sent  = questions shown    : {t1} = {decisions}  {}",
+        ok(t1 == decisions)
+    );
+    println!(
+        "  type-2 JSONs sent  = non-default picks  : {t2} = {non_defaults}  {}",
+        ok(t2 == non_defaults)
+    );
     println!(
         "  prefetch cancellations reported server-side: {}  {}",
         out.server_log

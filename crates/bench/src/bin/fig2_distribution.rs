@@ -51,8 +51,10 @@ const SESSIONS_PER_CONDITION: u64 = 10;
 fn main() {
     let graph = graph();
     println!("=== Figure 2 (reproduced): SSL record length distribution ===");
-    println!("classes: type-1 JSON / type-2 JSON / others; {} sessions per condition\n",
-        SESSIONS_PER_CONDITION);
+    println!(
+        "classes: type-1 JSON / type-2 JSON / others; {} sessions per condition\n",
+        SESSIONS_PER_CONDITION
+    );
 
     for panel in panels() {
         // Collect labelled client records for this condition.

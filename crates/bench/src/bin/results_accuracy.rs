@@ -10,9 +10,16 @@
 //! cargo run --release -p wm-bench --bin results_accuracy
 //! ```
 
-use wm_bench::{compare_line, graph, run_viewer, sample_behavior, train_attack_for, TIME_SCALE};
-use wm_core::{choice_accuracy, client_app_records, ChoiceAccuracy, ChoiceDecoder, DecoderConfig};
+use wm_bench::{
+    compare_line, graph, run_viewer, sample_behavior, train_attack_for, write_bench_json,
+    TIME_SCALE,
+};
+use wm_core::{
+    choice_accuracy, client_app_records, AttackTelemetry, ChoiceAccuracy, ChoiceDecoder,
+    DecoderConfig,
+};
 use wm_dataset::{OperationalConditions, ViewerSpec};
+use wm_telemetry::{Registry, Snapshot};
 
 /// Sessions per condition used to evaluate (the paper used one viewing
 /// each; more victims per condition tightens the estimate — the
@@ -29,12 +36,25 @@ fn main() {
         (0..10).map(|i| &grid[(i * 7) % grid.len()]).collect();
 
     println!("=== §V Results (reproduced): choice identification accuracy ===\n");
-    println!("10 conditions, {} victim sessions each; attack trained per condition\n", VICTIMS_PER_CONDITION);
+    println!(
+        "10 conditions, {} victim sessions each; attack trained per condition\n",
+        VICTIMS_PER_CONDITION
+    );
+
+    // Attack-side metrics (classify/decode timings, per-class record
+    // counts) accumulate in one registry across all conditions;
+    // session-side snapshots merge per victim.
+    let attack_registry = Registry::new();
+    let mut telemetry = Snapshot::default();
 
     let mut per_condition: Vec<(String, ChoiceAccuracy, ChoiceAccuracy)> = Vec::new();
     for (i, cond) in conditions.iter().enumerate() {
-        let (attack, _) =
-            train_attack_for(&graph, cond, &[40_000 + i as u64, 41_000 + i as u64, 42_000 + i as u64]);
+        let (mut attack, _) = train_attack_for(
+            &graph,
+            cond,
+            &[40_000 + i as u64, 41_000 + i as u64, 42_000 + i as u64],
+        );
+        attack.set_telemetry(AttackTelemetry::register(&attack_registry));
         let mut agg = ChoiceAccuracy::default();
         let mut greedy_agg = ChoiceAccuracy::default();
         let mut per_session = Vec::new();
@@ -47,6 +67,7 @@ fn main() {
                 operational: **cond,
             };
             let out = run_viewer(&graph, &viewer);
+            telemetry.merge(&out.telemetry);
             let (_, acc) = attack.evaluate(&out.trace, &graph, &out.decisions);
             per_session.push(acc.accuracy());
             agg.merge(&acc);
@@ -91,20 +112,53 @@ fn main() {
         .expect("ten conditions");
 
     println!();
-    println!("{}", compare_line("mean accuracy (beam decoder)", 100.0 * overall.accuracy(), "—"));
-    println!("{}", compare_line("mean accuracy (paper-style greedy)", 100.0 * overall_greedy.accuracy(), "—"));
-    println!("{}", compare_line(
-        &format!("worst case, beam ({})", worst.0),
-        100.0 * worst.1.accuracy(),
-        "96% worst case",
-    ));
-    println!("{}", compare_line(
-        &format!("worst case, greedy ({})", worst_greedy.0),
-        100.0 * worst_greedy.2.accuracy(),
-        "96% worst case",
-    ));
+    println!(
+        "{}",
+        compare_line(
+            "mean accuracy (beam decoder)",
+            100.0 * overall.accuracy(),
+            "—"
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            "mean accuracy (paper-style greedy)",
+            100.0 * overall_greedy.accuracy(),
+            "—"
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            &format!("worst case, beam ({})", worst.0),
+            100.0 * worst.1.accuracy(),
+            "96% worst case",
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            &format!("worst case, greedy ({})", worst_greedy.0),
+            100.0 * worst_greedy.2.accuracy(),
+            "96% worst case",
+        )
+    );
     println!(
         "\n  choices evaluated: {} total, {} correct, {} path-misaligned",
         overall.total, overall.correct, overall.misaligned
+    );
+
+    telemetry.merge(&attack_registry.snapshot());
+    write_bench_json(
+        "results_accuracy",
+        &[
+            ("mean_accuracy_beam", overall.accuracy()),
+            ("mean_accuracy_greedy", overall_greedy.accuracy()),
+            ("worst_case_beam", worst.1.accuracy()),
+            ("worst_case_greedy", worst_greedy.2.accuracy()),
+            ("choices_total", overall.total as f64),
+        ],
+        &telemetry,
     );
 }

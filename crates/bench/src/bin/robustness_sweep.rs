@@ -12,27 +12,36 @@
 //! ```
 
 use std::sync::Arc;
-use wm_bench::{graph, run_viewer, sample_behavior, train_attack_for, viewer_cfg, TIME_SCALE};
+use wm_bench::{
+    graph, run_viewer, sample_behavior, train_attack_for, viewer_cfg, write_bench_json, TIME_SCALE,
+};
 use wm_core::classify::{HistogramClassifier, KnnClassifier, RecordClassifier};
 use wm_core::{
-    choice_accuracy, client_app_records, BeamDecoder, ChoiceAccuracy, ChoiceDecoder,
-    DecoderConfig, IntervalClassifier, WhiteMirrorConfig,
+    choice_accuracy, client_app_records, BeamDecoder, ChoiceAccuracy, ChoiceDecoder, DecoderConfig,
+    IntervalClassifier, WhiteMirrorConfig,
 };
 use wm_dataset::{OperationalConditions, ViewerSpec};
 use wm_net::conditions::{ConnectionType, TimeOfDay};
 use wm_player::{Browser, DeviceForm, Os, Profile};
 use wm_sim::run_session;
 use wm_story::StoryGraph;
+use wm_telemetry::Snapshot;
 use wm_tls::CipherSuite;
 
 const VICTIMS: u64 = 4;
 
 fn main() {
     let graph = graph();
+    let mut telemetry = Snapshot::default();
+    let mut link_acc = ChoiceAccuracy::default();
+    let mut platform_acc = ChoiceAccuracy::default();
 
     // ---- sweep 1: connection × time-of-day (fixed platform) -------------
     println!("=== E8a: link-condition sweep (Desktop/Firefox/Ubuntu) ===\n");
-    println!("{:<22} {:>10} {:>10} {:>12}", "condition", "accuracy", "gaps/sess", "resyncs/sess");
+    println!(
+        "{:<22} {:>10} {:>10} {:>12}",
+        "condition", "accuracy", "gaps/sess", "resyncs/sess"
+    );
     for conn in ConnectionType::ALL {
         for tod in TimeOfDay::ALL {
             let cond = OperationalConditions {
@@ -52,10 +61,12 @@ fn main() {
                     operational: cond,
                 };
                 let out = run_viewer(&graph, &viewer);
+                telemetry.merge(&out.telemetry);
                 let (decoded, a) = attack.evaluate(&out.trace, &graph, &out.decisions);
                 gaps += decoded.features.stats.gaps;
                 resyncs += decoded.features.stats.resyncs;
                 acc.merge(&a);
+                link_acc.merge(&a);
             }
             println!(
                 "{:<22} {:>9.1}% {:>10.1} {:>12.1}",
@@ -90,16 +101,22 @@ fn main() {
                     operational: cond,
                 };
                 let out = run_viewer(&graph, &viewer);
+                telemetry.merge(&out.telemetry);
                 let (_, a) = attack.evaluate(&out.trace, &graph, &out.decisions);
                 acc.merge(&a);
+                platform_acc.merge(&a);
             }
-            println!("{:<28} {:>9.1}%", cond.profile.label(), 100.0 * acc.accuracy());
+            println!(
+                "{:<28} {:>9.1}%",
+                cond.profile.label(),
+                100.0 * acc.accuracy()
+            );
         }
     }
 
     // ---- ablation: classifier family + decoder --------------------------
     println!("\n=== E8c: classifier × decoder ablation (worst link: WiFi/Night) ===\n");
-    ablation(&graph);
+    telemetry.merge(&ablation(&graph));
 
     // ---- suite ablation ---------------------------------------------------
     println!("\n=== E8d: cipher-suite ablation (Ethernet/Morning) ===\n");
@@ -107,11 +124,19 @@ fn main() {
     for suite in [CipherSuite::Aead, CipherSuite::Cbc] {
         let cond = OperationalConditions {
             profile: Profile::ubuntu_firefox_desktop(),
-            link: wm_net::conditions::LinkConditions::new(ConnectionType::Wired, TimeOfDay::Morning),
+            link: wm_net::conditions::LinkConditions::new(
+                ConnectionType::Wired,
+                TimeOfDay::Morning,
+            ),
         };
         let mut labels = Vec::new();
         for seed in [64_001u64, 64_002] {
-            let viewer = ViewerSpec { id: 0, seed, behavior: sample_behavior(seed), operational: cond };
+            let viewer = ViewerSpec {
+                id: 0,
+                seed,
+                behavior: sample_behavior(seed),
+                operational: cond,
+            };
             let mut cfg = viewer_cfg(&graph, &viewer);
             cfg.suite = suite;
             labels.extend(run_session(&cfg).expect("train").labels);
@@ -121,10 +146,16 @@ fn main() {
         let mut acc = ChoiceAccuracy::default();
         for v in 0..VICTIMS {
             let seed = 65_000 + v;
-            let viewer = ViewerSpec { id: 0, seed, behavior: sample_behavior(seed), operational: cond };
+            let viewer = ViewerSpec {
+                id: 0,
+                seed,
+                behavior: sample_behavior(seed),
+                operational: cond,
+            };
             let mut cfg = viewer_cfg(&graph, &viewer);
             cfg.suite = suite;
             let out = run_session(&cfg).expect("victim");
+            telemetry.merge(&out.telemetry);
             let (_, a) = attack.evaluate(&out.trace, &graph, &out.decisions);
             acc.merge(&a);
         }
@@ -133,9 +164,18 @@ fn main() {
     println!("\nCBC quantizes record lengths to 16-byte blocks; the bands widen but stay");
     println!("disjoint, so the attack survives the suite family — as the paper's");
     println!("\"consistent across operating conditions\" observation implies.");
+
+    write_bench_json(
+        "robustness_sweep",
+        &[
+            ("link_sweep_accuracy", link_acc.accuracy()),
+            ("platform_sweep_accuracy", platform_acc.accuracy()),
+        ],
+        &telemetry,
+    );
 }
 
-fn ablation(graph: &Arc<StoryGraph>) {
+fn ablation(graph: &Arc<StoryGraph>) -> Snapshot {
     let cond = OperationalConditions {
         profile: Profile::ubuntu_firefox_desktop(),
         link: wm_net::conditions::LinkConditions::new(ConnectionType::Wireless, TimeOfDay::Night),
@@ -143,10 +183,16 @@ fn ablation(graph: &Arc<StoryGraph>) {
     // Shared training data.
     let mut labels = Vec::new();
     for seed in [66_001u64, 66_002, 66_003] {
-        let viewer = ViewerSpec { id: 0, seed, behavior: sample_behavior(seed), operational: cond };
+        let viewer = ViewerSpec {
+            id: 0,
+            seed,
+            behavior: sample_behavior(seed),
+            operational: cond,
+        };
         labels.extend(run_viewer(graph, &viewer).labels);
     }
-    let interval = IntervalClassifier::train(&labels, WhiteMirrorConfig::DEFAULT_SLACK).expect("train");
+    let interval =
+        IntervalClassifier::train(&labels, WhiteMirrorConfig::DEFAULT_SLACK).expect("train");
     let hist = HistogramClassifier::train(&labels, 8);
     let knn = KnnClassifier::train(&labels, 5);
 
@@ -154,14 +200,26 @@ fn ablation(graph: &Arc<StoryGraph>) {
     let victims: Vec<_> = (0..VICTIMS)
         .map(|v| {
             let seed = 67_000 + v;
-            let viewer = ViewerSpec { id: 0, seed, behavior: sample_behavior(seed), operational: cond };
+            let viewer = ViewerSpec {
+                id: 0,
+                seed,
+                behavior: sample_behavior(seed),
+                operational: cond,
+            };
             run_viewer(graph, &viewer)
         })
         .collect();
+    let telemetry = Snapshot::merged(victims.iter().map(|o| &o.telemetry));
 
-    println!("{:<22} {:>12} {:>12} {:>12}", "classifier", "naive", "time-aware", "beam(8)");
-    let rows: Vec<(&str, &dyn RecordClassifier)> =
-        vec![("interval (paper)", &interval), ("histogram-bayes", &hist), ("knn(k=5)", &knn)];
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "classifier", "naive", "time-aware", "beam(8)"
+    );
+    let rows: Vec<(&str, &dyn RecordClassifier)> = vec![
+        ("interval (paper)", &interval),
+        ("histogram-bayes", &hist),
+        ("knn(k=5)", &knn),
+    ];
     for (name, classifier) in rows {
         let mut naive = ChoiceAccuracy::default();
         let mut aware = ChoiceAccuracy::default();
@@ -188,4 +246,5 @@ fn ablation(graph: &Arc<StoryGraph>) {
             100.0 * beam.accuracy()
         );
     }
+    telemetry
 }

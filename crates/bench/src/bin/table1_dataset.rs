@@ -9,7 +9,10 @@ use wm_dataset::DatasetSpec;
 
 fn main() {
     let spec = DatasetSpec::generate("IITM-Bandersnatch-synthetic", 100, 2019);
-    println!("=== Table I (reproduced): attributes of the {} dataset ===\n", spec.name);
+    println!(
+        "=== Table I (reproduced): attributes of the {} dataset ===\n",
+        spec.name
+    );
     println!("{}", spec.table1());
     println!("paper attribute domains covered:");
     println!("  OS:        Windows, Linux(Ubuntu), Mac        ✓");
@@ -21,5 +24,8 @@ fn main() {
     println!("  Gender:    Male, Female, Undisclosed          ✓");
     println!("  Political: Liberal, Centrist, Communist, Und. ✓");
     println!("  Mind:      Happy, Stressed, Sad, Undisclosed  ✓");
-    println!("\n{} viewers; operational grid cells cycled so all 72 combinations occur.", spec.viewers.len());
+    println!(
+        "\n{} viewers; operational grid cells cycled so all 72 combinations occur.",
+        spec.viewers.len()
+    );
 }

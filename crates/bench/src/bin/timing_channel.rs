@@ -24,7 +24,10 @@ fn main() {
     println!("=== §VI timing channel (E6): choices from report patterns alone ===\n");
 
     println!("pad-size sweep (Ethernet/Morning):");
-    println!("  {:<14} {:>12} {:>22}", "pad size", "accuracy", "posts detected/session");
+    println!(
+        "  {:<14} {:>12} {:>22}",
+        "pad size", "accuracy", "posts detected/session"
+    );
     for pad in [3600usize, 4096, 6000, 8192] {
         let (acc, posts) = measure(
             &graph,

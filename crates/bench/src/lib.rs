@@ -18,6 +18,7 @@
 //!
 //! Run any of them with `cargo run --release -p wm-bench --bin <name>`.
 
+use std::fmt::Write as _;
 use std::sync::Arc;
 use wm_capture::labels::LabeledRecord;
 use wm_core::{WhiteMirror, WhiteMirrorConfig};
@@ -25,6 +26,7 @@ use wm_dataset::{OperationalConditions, SimOptions, ViewerSpec};
 use wm_player::ViewerScript;
 use wm_sim::{run_session, SessionConfig, SessionOutput};
 use wm_story::StoryGraph;
+use wm_telemetry::Snapshot;
 
 /// The time scale every harness runs at (playback 40× so a full
 /// Bandersnatch session simulates in well under a second).
@@ -43,6 +45,7 @@ pub fn harness_cfg(graph: &Arc<StoryGraph>, seed: u64, script: ViewerScript) -> 
     let mut cfg = SessionConfig::baseline(graph.clone(), seed, script);
     cfg.media_scale = MEDIA_SCALE;
     cfg.player.time_scale = TIME_SCALE;
+    cfg.telemetry = true;
     cfg
 }
 
@@ -51,6 +54,7 @@ pub fn viewer_cfg(graph: &Arc<StoryGraph>, viewer: &ViewerSpec) -> SessionConfig
     let opts = SimOptions {
         media_scale: MEDIA_SCALE,
         time_scale: TIME_SCALE,
+        telemetry: true,
         ..SimOptions::default()
     };
     wm_dataset::run::session_config(graph.clone(), viewer, &opts)
@@ -102,6 +106,33 @@ pub fn bar(pct: f64, width: usize) -> String {
 /// Format "measured vs paper" lines consistently across harnesses.
 pub fn compare_line(label: &str, measured: f64, paper: &str) -> String {
     format!("  {label:<44} measured {measured:>6.1}%   paper: {paper}")
+}
+
+/// Serialize a bench report: headline metrics plus the merged
+/// telemetry snapshot (per-stage span timings, per-class record
+/// counters, …) aggregated across every session the harness ran.
+pub fn bench_json(name: &str, metrics: &[(&str, f64)], telemetry: &Snapshot) -> String {
+    let mut s = String::with_capacity(512);
+    let _ = write!(s, "{{\"bench\":\"{name}\",\"metrics\":{{");
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{k}\":{v:.6}");
+    }
+    s.push_str("},\"telemetry\":");
+    s.push_str(&telemetry.to_json_string());
+    s.push('}');
+    s
+}
+
+/// Write `BENCH_<name>.json` in the working directory and report where.
+pub fn write_bench_json(name: &str, metrics: &[(&str, f64)], telemetry: &Snapshot) {
+    let path = std::path::PathBuf::from(format!("BENCH_{name}.json"));
+    match std::fs::write(&path, bench_json(name, metrics, telemetry)) {
+        Ok(()) => println!("\n  wrote {}", path.display()),
+        Err(e) => eprintln!("\n  could not write {}: {e}", path.display()),
+    }
 }
 
 #[cfg(test)]

@@ -146,20 +146,26 @@ struct DirectionAssembler {
 
 impl DirectionAssembler {
     fn new() -> Self {
-        DirectionAssembler { base_seq: None, segments: BTreeMap::new(), last_rel: 0 }
+        DirectionAssembler {
+            base_seq: None,
+            segments: BTreeMap::new(),
+            last_rel: 0,
+        }
     }
 
     fn add(&mut self, time: SimTime, seq: u32, payload: &[u8]) {
         let base = *self.base_seq.get_or_insert(seq);
         let raw = seq.wrapping_sub(base) as i64; // 0..2^32
-        // Choose raw + k·2^32 closest to the last seen offset.
+                                                 // Choose raw + k·2^32 closest to the last seen offset.
         let span = 1i64 << 32;
         let k = (self.last_rel - raw + span / 2).div_euclid(span);
         let rel = raw + k * span;
         self.last_rel = self.last_rel.max(rel);
         // Keep the earliest copy of each offset (retransmissions are
         // later and carry identical bytes).
-        self.segments.entry(rel).or_insert_with(|| (payload.to_vec(), time));
+        self.segments
+            .entry(rel)
+            .or_insert_with(|| (payload.to_vec(), time));
     }
 
     fn finish(self) -> StreamView {
@@ -320,7 +326,10 @@ mod tests {
     #[test]
     fn multiple_flows_separated() {
         let mut tap = Tap::new();
-        let other = FlowId { src_port: 52000, ..client_flow() };
+        let other = FlowId {
+            src_port: 52000,
+            ..client_flow()
+        };
         tap.record_segment(SimTime(1), &seg(client_flow(), 0, b"flow-one"));
         tap.record_segment(SimTime(2), &seg(other, 0, b"flow-two"));
         let flows = FlowReassembler::reassemble(&tap.into_trace());

@@ -90,7 +90,8 @@ impl PcapWriter {
         self.buf.extend_from_slice(&ts_sec.to_le_bytes());
         self.buf.extend_from_slice(&ts_usec.to_le_bytes());
         self.buf.extend_from_slice(&(incl as u32).to_le_bytes());
-        self.buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(frame.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(&frame[..incl]);
     }
 
@@ -152,7 +153,12 @@ impl<'a> PcapReader<'a> {
         if linktype != LINKTYPE_ETHERNET {
             return Err(PcapError::BadLinkType(linktype));
         }
-        Ok(PcapReader { bytes, pos: GLOBAL_HEADER_LEN, swapped, nanos })
+        Ok(PcapReader {
+            bytes,
+            pos: GLOBAL_HEADER_LEN,
+            swapped,
+            nanos,
+        })
     }
 
     fn read_u32(&self, off: usize) -> u32 {
@@ -185,7 +191,12 @@ impl<'a> PcapReader<'a> {
         }
         let data = self.bytes[data_start..data_start + incl_len].to_vec();
         self.pos = data_start + incl_len;
-        Ok(Some(PcapPacket { ts_sec, ts_usec: ts_frac, orig_len, data }))
+        Ok(Some(PcapPacket {
+            ts_sec,
+            ts_usec: ts_frac,
+            orig_len,
+            data,
+        }))
     }
 
     /// Read all remaining packets.
@@ -246,7 +257,10 @@ mod tests {
 
     #[test]
     fn reader_rejects_garbage() {
-        assert_eq!(PcapReader::new(b"notpcap").err(), Some(PcapError::Truncated));
+        assert_eq!(
+            PcapReader::new(b"notpcap").err(),
+            Some(PcapError::Truncated)
+        );
         let mut junk = vec![0u8; GLOBAL_HEADER_LEN];
         junk[0..4].copy_from_slice(&0xdeadbeefu32.to_le_bytes());
         assert_eq!(PcapReader::new(&junk).err(), Some(PcapError::BadMagic));
@@ -291,6 +305,9 @@ mod tests {
         buf.extend_from_slice(&MAGIC_US.to_le_bytes());
         buf.extend_from_slice(&[0u8; 16]);
         buf.extend_from_slice(&101u32.to_le_bytes()); // LINKTYPE_RAW
-        assert_eq!(PcapReader::new(&buf).err(), Some(PcapError::BadLinkType(101)));
+        assert_eq!(
+            PcapReader::new(&buf).err(),
+            Some(PcapError::BadLinkType(101))
+        );
     }
 }

@@ -236,10 +236,7 @@ mod tests {
         rest.extend_from_slice(&r4);
         let gap_start = first.len() as u64;
         let resume = (r1.len() + r2.len()) as u64;
-        let view = view_of(vec![
-            (0, first, SimTime(1)),
-            (resume, rest, SimTime(9)),
-        ]);
+        let view = view_of(vec![(0, first, SimTime(1)), (resume, rest, SimTime(9))]);
         let ex = extract_records(&view);
         assert_eq!(ex.stats.gaps, 1);
         assert_eq!(ex.stats.resyncs, 1);

@@ -6,9 +6,11 @@
 //! artifact the attack pipeline consumes.
 
 use crate::pcap::{PcapPacket, PcapReader, PcapWriter};
+use std::sync::Arc;
 use wm_net::headers::{build_frame, parse_frame, FlowId, TcpFlags};
 use wm_net::tcp::TcpSegment;
 use wm_net::time::SimTime;
+use wm_telemetry::{Counter, Registry};
 
 /// One captured frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,7 +59,13 @@ impl Trace {
     pub fn from_pcap_bytes(bytes: &[u8]) -> Result<Self, crate::pcap::PcapError> {
         let mut r = PcapReader::new(bytes)?;
         let mut packets = Vec::new();
-        while let Some(PcapPacket { ts_sec, ts_usec, data, .. }) = r.next_packet()? {
+        while let Some(PcapPacket {
+            ts_sec,
+            ts_usec,
+            data,
+            ..
+        }) = r.next_packet()?
+        {
             packets.push(CapturedPacket {
                 time: SimTime(ts_sec as u64 * 1_000_000 + ts_usec as u64),
                 frame: data,
@@ -89,11 +97,25 @@ impl Trace {
 pub struct Tap {
     trace: Trace,
     next_ip_id: u16,
+    frames_tapped: Option<Arc<Counter>>,
+    bytes_tapped: Option<Arc<Counter>>,
 }
 
 impl Tap {
     pub fn new() -> Self {
-        Tap { trace: Trace::new(), next_ip_id: 1 }
+        Tap {
+            trace: Trace::new(),
+            next_ip_id: 1,
+            frames_tapped: None,
+            bytes_tapped: None,
+        }
+    }
+
+    /// Attach telemetry counters `capture.frames_tapped` and
+    /// `capture.bytes_tapped` (observation only).
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.frames_tapped = Some(registry.counter("capture.frames_tapped"));
+        self.bytes_tapped = Some(registry.counter("capture.bytes_tapped"));
     }
 
     /// Record a TCP segment observed at `time`.
@@ -111,11 +133,24 @@ impl Tap {
             ip_id,
             &seg.payload,
         );
+        if let Some(c) = &self.frames_tapped {
+            c.inc();
+        }
+        if let Some(c) = &self.bytes_tapped {
+            c.add(frame.len() as u64);
+        }
         self.trace.packets.push(CapturedPacket { time, frame });
     }
 
     /// Record a bare control segment (SYN/SYN-ACK/FIN) with no payload.
-    pub fn record_control(&mut self, time: SimTime, flow: &FlowId, seq: u32, ack: u32, flags: TcpFlags) {
+    pub fn record_control(
+        &mut self,
+        time: SimTime,
+        flow: &FlowId,
+        seq: u32,
+        ack: u32,
+        flags: TcpFlags,
+    ) {
         let seg = TcpSegment {
             flow: *flow,
             seq,
@@ -163,7 +198,10 @@ pub struct TraceSummary {
 impl Trace {
     /// Compute direction-split statistics (server = port 443 side).
     pub fn summary(&self) -> TraceSummary {
-        let mut s = TraceSummary { packets: self.packets.len(), ..Default::default() };
+        let mut s = TraceSummary {
+            packets: self.packets.len(),
+            ..Default::default()
+        };
         for (_, flow, _, payload) in segments_of(self) {
             if flow.dst_port == 443 {
                 s.upstream_packets += 1;

@@ -105,7 +105,10 @@ mod tests {
     #[test]
     fn rejects_wrong_aad() {
         let sealed = seal(&KEY, &NONCE, b"aad-1", b"payload");
-        assert_eq!(open(&KEY, &NONCE, b"aad-2", &sealed), Err(AeadError::BadTag));
+        assert_eq!(
+            open(&KEY, &NONCE, b"aad-2", &sealed),
+            Err(AeadError::BadTag)
+        );
     }
 
     #[test]
@@ -132,7 +135,10 @@ mod tests {
     #[test]
     fn rejects_truncation() {
         let sealed = seal(&KEY, &NONCE, b"", b"payload");
-        assert_eq!(open(&KEY, &NONCE, b"", &sealed[..10]), Err(AeadError::TooShort));
+        assert_eq!(
+            open(&KEY, &NONCE, b"", &sealed[..10]),
+            Err(AeadError::TooShort)
+        );
         assert!(open(&KEY, &NONCE, b"", &sealed[..sealed.len() - 1]).is_err());
     }
 

@@ -184,7 +184,11 @@ mod tests {
         b[0] = 1;
         c.encrypt_block(&mut a);
         c.encrypt_block(&mut b);
-        let differing: u32 = a.iter().zip(b.iter()).map(|(x, y)| (x ^ y).count_ones()).sum();
+        let differing: u32 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
         assert!(differing > 32, "only {differing} bits differ");
     }
 
@@ -196,7 +200,11 @@ mod tests {
             let plaintext: Vec<u8> = (0..len).map(|i| i as u8).collect();
             let ct = c.cbc_encrypt(&iv, &plaintext);
             assert_eq!(ct.len(), BLOCK + cbc_ciphertext_len(len), "len {len}");
-            assert_eq!(c.cbc_decrypt(&ct).as_deref(), Some(&plaintext[..]), "len {len}");
+            assert_eq!(
+                c.cbc_decrypt(&ct).as_deref(),
+                Some(&plaintext[..]),
+                "len {len}"
+            );
         }
     }
 

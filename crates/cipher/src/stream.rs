@@ -31,7 +31,10 @@ impl Wm20 {
         for (i, w) in nonce_words.iter_mut().enumerate() {
             *w = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
         }
-        Wm20 { key_words, nonce_words }
+        Wm20 {
+            key_words,
+            nonce_words,
+        }
     }
 
     /// Produce the 64-byte keystream block for `counter`.
@@ -135,7 +138,10 @@ mod tests {
         c.apply(5, &mut long);
         // Reconstruct from individual keystream blocks.
         let mut expect = Vec::new();
-        for (i, chunk) in [0usize, 64, 128, 192].iter().zip([64usize, 64, 64, 8].iter()) {
+        for (i, chunk) in [0usize, 64, 128, 192]
+            .iter()
+            .zip([64usize, 64, 64, 8].iter())
+        {
             let ks = c.block(5 + (*i as u32) / 64);
             expect.extend_from_slice(&ks[..*chunk]);
         }

@@ -10,9 +10,12 @@ use crate::classify::{IntervalClassifier, RecordClassifier};
 use crate::decode::{ChoiceDecoder, DecodedChoice, DecoderConfig};
 use crate::features::{client_app_records, ClientFeatures};
 use crate::metrics::{choice_accuracy, ChoiceAccuracy, ConfusionMatrix};
+use std::sync::Arc;
 use wm_capture::labels::LabeledRecord;
 use wm_capture::tap::Trace;
+use wm_capture::RecordClass;
 use wm_story::{Choice, ChoicePointId, StoryGraph};
+use wm_telemetry::{Counter, Histogram, Registry};
 
 /// Attack configuration.
 #[derive(Debug, Clone)]
@@ -75,10 +78,37 @@ impl DecodedSession {
     }
 }
 
+/// Attack-side telemetry handles (see `wm-telemetry`): wall-clock
+/// timings of the classify and decode stages plus per-class record
+/// counts as seen by the trained classifier.
+pub struct AttackTelemetry {
+    classify_ns: Arc<Histogram>,
+    decode_ns: Arc<Histogram>,
+    sessions_decoded: Arc<Counter>,
+    records_type1: Arc<Counter>,
+    records_type2: Arc<Counter>,
+    records_other: Arc<Counter>,
+}
+
+impl AttackTelemetry {
+    /// Register the attack's metrics under `core.*`.
+    pub fn register(registry: &Registry) -> Self {
+        AttackTelemetry {
+            classify_ns: registry.histogram("core.classify_ns"),
+            decode_ns: registry.histogram("core.decode_ns"),
+            sessions_decoded: registry.counter("core.sessions_decoded"),
+            records_type1: registry.counter("core.records.type1"),
+            records_type2: registry.counter("core.records.type2"),
+            records_other: registry.counter("core.records.other"),
+        }
+    }
+}
+
 /// The trained attack.
 pub struct WhiteMirror {
     classifier: IntervalClassifier,
     cfg: WhiteMirrorConfig,
+    telemetry: Option<AttackTelemetry>,
 }
 
 impl WhiteMirror {
@@ -88,7 +118,18 @@ impl WhiteMirror {
     /// Returns `None` when the training data lacks report examples.
     pub fn train(labels: &[LabeledRecord], cfg: WhiteMirrorConfig) -> Option<Self> {
         let classifier = IntervalClassifier::train(labels, cfg.slack)?;
-        Some(WhiteMirror { classifier, cfg })
+        Some(WhiteMirror {
+            classifier,
+            cfg,
+            telemetry: None,
+        })
+    }
+
+    /// Attach telemetry handles (observation only; decode output is
+    /// unchanged). Counter values are seed-deterministic; the `*_ns`
+    /// timing histograms are wall-clock and are not.
+    pub fn set_telemetry(&mut self, telemetry: AttackTelemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// The learned classifier.
@@ -98,7 +139,11 @@ impl WhiteMirror {
 
     /// Reconstruct an attack from a previously saved classifier.
     pub fn from_classifier(classifier: IntervalClassifier, cfg: WhiteMirrorConfig) -> Self {
-        WhiteMirror { classifier, cfg }
+        WhiteMirror {
+            classifier,
+            cfg,
+            telemetry: None,
+        }
     }
 
     /// Persist the trained model to a JSON file.
@@ -111,16 +156,42 @@ impl WhiteMirror {
         let bytes = std::fs::read(path)?;
         let doc = wm_json::parse(&bytes)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        let classifier = IntervalClassifier::from_json(&doc).ok_or_else(|| {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, "model schema")
-        })?;
-        Ok(WhiteMirror { classifier, cfg })
+        let classifier = IntervalClassifier::from_json(&doc)
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "model schema"))?;
+        Ok(WhiteMirror {
+            classifier,
+            cfg,
+            telemetry: None,
+        })
     }
 
     /// Decode the viewer's choices from a raw capture.
     pub fn decode_trace(&self, trace: &Trace, graph: &StoryGraph) -> DecodedSession {
         let features = client_app_records(trace);
-        let choices = if self.cfg.beam_width > 1 && self.cfg.decoder.time_aware {
+        if let Some(t) = &self.telemetry {
+            // Classify pass: count the capture's records by learned
+            // class and time the sweep.
+            let _span = t.decode_ns.span();
+            {
+                let _span = t.classify_ns.span();
+                for r in &features.records {
+                    match self.classifier.classify(r.record.length) {
+                        RecordClass::Type1 => t.records_type1.inc(),
+                        RecordClass::Type2 => t.records_type2.inc(),
+                        RecordClass::Other => t.records_other.inc(),
+                    }
+                }
+            }
+            t.sessions_decoded.inc();
+            let choices = self.run_decoder(&features, graph);
+            return DecodedSession { choices, features };
+        }
+        let choices = self.run_decoder(&features, graph);
+        DecodedSession { choices, features }
+    }
+
+    fn run_decoder(&self, features: &ClientFeatures, graph: &StoryGraph) -> Vec<DecodedChoice> {
+        if self.cfg.beam_width > 1 && self.cfg.decoder.time_aware {
             crate::beam::BeamDecoder::new(
                 &self.classifier,
                 graph,
@@ -131,8 +202,7 @@ impl WhiteMirror {
         } else {
             ChoiceDecoder::new(&self.classifier, graph, self.cfg.decoder.clone())
                 .decode(&features.records)
-        };
-        DecodedSession { choices, features }
+        }
     }
 
     /// Decode and score against ground truth.
@@ -177,13 +247,24 @@ mod tests {
     #[test]
     fn end_to_end_tiny_film() {
         // Train on one session, attack another.
-        let train = run(100, &[Choice::NonDefault, Choice::Default, Choice::NonDefault]);
+        let train = run(
+            100,
+            &[Choice::NonDefault, Choice::Default, Choice::NonDefault],
+        );
         let attack = WhiteMirror::train(&train.labels, WhiteMirrorConfig::scaled(20)).unwrap();
 
-        let victim = run(200, &[Choice::Default, Choice::NonDefault, Choice::NonDefault]);
+        let victim = run(
+            200,
+            &[Choice::Default, Choice::NonDefault, Choice::NonDefault],
+        );
         let graph = tiny_film();
         let (decoded, acc) = attack.evaluate(&victim.trace, &graph, &victim.decisions);
-        assert_eq!(decoded.choice_string(), "DNN", "decoded {:?}", decoded.choices);
+        assert_eq!(
+            decoded.choice_string(),
+            "DNN",
+            "decoded {:?}",
+            decoded.choices
+        );
         assert_eq!(acc.accuracy(), 1.0);
     }
 
@@ -226,7 +307,10 @@ mod tests {
 
     #[test]
     fn model_save_load_roundtrip() {
-        let train = run(500, &[Choice::NonDefault, Choice::Default, Choice::NonDefault]);
+        let train = run(
+            500,
+            &[Choice::NonDefault, Choice::Default, Choice::NonDefault],
+        );
         let attack = WhiteMirror::train(&train.labels, WhiteMirrorConfig::scaled(20)).unwrap();
         let dir = std::env::temp_dir().join("wm_model_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -240,7 +324,10 @@ mod tests {
 
     #[test]
     fn record_confusion_on_heldout() {
-        let train = run(400, &[Choice::NonDefault, Choice::Default, Choice::NonDefault]);
+        let train = run(
+            400,
+            &[Choice::NonDefault, Choice::Default, Choice::NonDefault],
+        );
         let attack = WhiteMirror::train(&train.labels, WhiteMirrorConfig::scaled(20)).unwrap();
         let heldout = run(401, &[Choice::Default, Choice::NonDefault, Choice::Default]);
         let m = attack.record_confusion(&heldout.labels);

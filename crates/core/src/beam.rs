@@ -66,7 +66,12 @@ impl<'a, C: RecordClassifier + ?Sized> BeamDecoder<'a, C> {
         cfg: DecoderConfig,
         beam_width: usize,
     ) -> Self {
-        BeamDecoder { classifier, graph, cfg, beam_width: beam_width.max(1) }
+        BeamDecoder {
+            classifier,
+            graph,
+            cfg,
+            beam_width: beam_width.max(1),
+        }
     }
 
     /// Decode the most plausible choice sequence.
@@ -82,8 +87,7 @@ impl<'a, C: RecordClassifier + ?Sized> BeamDecoder<'a, C> {
         // Tight slack: see ChoiceDecoder::decode_time_aware — question
         // times are near-deterministic, and a tight window is what lets
         // the beam use timing to pick the branch when a report is lost.
-        let slack =
-            Duration::from_secs_f64((self.min_gap_secs() / 2.0).min(5.0).max(1.0) / scale);
+        let slack = Duration::from_secs_f64((self.min_gap_secs() / 2.0).min(5.0).max(1.0) / scale);
         // Absolute anchor: playback start plus the public opening-chain
         // duration — robust even when the first question's report is
         // lost. Playback begins at the manifest response, marked by the
@@ -222,7 +226,12 @@ impl<'a, C: RecordClassifier + ?Sized> BeamDecoder<'a, C> {
             probe += 1;
         }
 
-        let base = hyp.score + if observed { SCORE_T1_OBSERVED } else { SCORE_T1_MISSING };
+        let base = hyp.score
+            + if observed {
+                SCORE_T1_OBSERVED
+            } else {
+                SCORE_T1_MISSING
+            };
         for choice in [Choice::Default, Choice::NonDefault] {
             let t2_score = match (choice, t2_at) {
                 (Choice::NonDefault, Some(_)) => SCORE_T2_MATCH,
@@ -236,7 +245,12 @@ impl<'a, C: RecordClassifier + ?Sized> BeamDecoder<'a, C> {
                 (Choice::NonDefault, Some(idx)) => idx + 1,
                 _ => cursor_after_t1,
             };
-            child.decisions.push(DecodedChoice { cp, choice, time: t1_time, observed });
+            child.decisions.push(DecodedChoice {
+                cp,
+                choice,
+                time: t1_time,
+                observed,
+            });
             let gap = self.question_gap_secs(hyp.at, cp, choice);
             child.predicted = Some(t1_time + Duration::from_secs_f64(gap / scale));
             child.at = self.graph.choice_point(cp).option(choice).target;
@@ -246,7 +260,12 @@ impl<'a, C: RecordClassifier + ?Sized> BeamDecoder<'a, C> {
 
     /// Content seconds from the question at `cp` (on segment `seg`) to
     /// the next question along `choice` (mirrors the greedy decoder).
-    fn question_gap_secs(&self, seg: SegmentId, cp: wm_story::ChoicePointId, choice: Choice) -> f64 {
+    fn question_gap_secs(
+        &self,
+        seg: SegmentId,
+        cp: wm_story::ChoicePointId,
+        choice: Choice,
+    ) -> f64 {
         let cur = self.graph.segment(seg);
         let mut gap = 10.0_f64.min(cur.duration_secs as f64 / 2.0);
         let mut current = self.graph.choice_point(cp).option(choice).target;
@@ -291,10 +310,26 @@ mod tests {
 
     fn classifier() -> IntervalClassifier {
         let t = vec![
-            LabeledRecord { time: SimTime::ZERO, length: 2211, class: RecordClass::Type1 },
-            LabeledRecord { time: SimTime::ZERO, length: 2213, class: RecordClass::Type1 },
-            LabeledRecord { time: SimTime::ZERO, length: 2992, class: RecordClass::Type2 },
-            LabeledRecord { time: SimTime::ZERO, length: 3017, class: RecordClass::Type2 },
+            LabeledRecord {
+                time: SimTime::ZERO,
+                length: 2211,
+                class: RecordClass::Type1,
+            },
+            LabeledRecord {
+                time: SimTime::ZERO,
+                length: 2213,
+                class: RecordClass::Type1,
+            },
+            LabeledRecord {
+                time: SimTime::ZERO,
+                length: 2992,
+                class: RecordClass::Type2,
+            },
+            LabeledRecord {
+                time: SimTime::ZERO,
+                length: 3017,
+                class: RecordClass::Type2,
+            },
         ];
         IntervalClassifier::train(&t, 0).unwrap()
     }
@@ -312,7 +347,11 @@ mod tests {
     }
 
     fn cfg() -> DecoderConfig {
-        DecoderConfig { window: Duration::from_secs(10), time_aware: true, time_scale: 1 }
+        DecoderConfig {
+            window: Duration::from_secs(10),
+            time_aware: true,
+            time_scale: 1,
+        }
     }
 
     #[test]
@@ -330,7 +369,10 @@ mod tests {
         let beam = BeamDecoder::new(&c, &g, cfg(), 8);
         let decoded = beam.decode(&records);
         let picks: Vec<Choice> = decoded.iter().map(|d| d.choice).collect();
-        assert_eq!(picks, vec![Choice::Default, Choice::NonDefault, Choice::Default]);
+        assert_eq!(
+            picks,
+            vec![Choice::Default, Choice::NonDefault, Choice::Default]
+        );
     }
 
     #[test]
@@ -345,7 +387,7 @@ mod tests {
         let c = classifier();
         let g = tiny_film();
         let records = vec![
-            rec(0, 540), // manifest fetch: playback-start marker
+            rec(0, 540),       // manifest fetch: playback-start marker
             rec(4_000, 2212),  // q0, t2 lost
             rec(10_000, 2212), // q1
             rec(14_000, 2212), // q2
@@ -381,7 +423,12 @@ mod tests {
     fn beam_width_one_is_greedy_like() {
         let c = classifier();
         let g = tiny_film();
-        let records = vec![rec(0, 540), rec(4_000, 2212), rec(10_000, 2212), rec(14_000, 2212)];
+        let records = vec![
+            rec(0, 540),
+            rec(4_000, 2212),
+            rec(10_000, 2212),
+            rec(14_000, 2212),
+        ];
         let beam = BeamDecoder::new(&c, &g, cfg(), 1);
         let decoded = beam.decode(&records);
         assert_eq!(decoded.len(), 3);
@@ -395,6 +442,8 @@ mod tests {
         let beam = BeamDecoder::new(&c, &g, cfg(), 4);
         let decoded = beam.decode(&[]);
         assert_eq!(decoded.len(), 3);
-        assert!(decoded.iter().all(|d| d.choice == Choice::Default && !d.observed));
+        assert!(decoded
+            .iter()
+            .all(|d| d.choice == Choice::Default && !d.observed));
     }
 }

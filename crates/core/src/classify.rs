@@ -9,8 +9,8 @@
 //! the ablation benches): a histogram naive-Bayes and a k-nearest-
 //! neighbour vote.
 
-use wm_capture::labels::{LabeledRecord, RecordClass};
 use std::collections::BTreeMap;
+use wm_capture::labels::{LabeledRecord, RecordClass};
 
 /// Anything that can label a record length.
 pub trait RecordClassifier {
@@ -136,7 +136,11 @@ impl HistogramClassifier {
             bins.entry(b).or_default()[idx] += 1;
             totals[idx] += 1;
         }
-        HistogramClassifier { bin_width, bins, totals }
+        HistogramClassifier {
+            bin_width,
+            bins,
+            totals,
+        }
     }
 }
 
@@ -153,10 +157,9 @@ impl RecordClassifier for HistogramClassifier {
         let mut best_score = f64::MIN;
         for class in RecordClass::ALL {
             let i = class_index(class);
-            let prior = (self.totals[i] as f64 + 1.0)
-                / (self.totals.iter().sum::<u32>() as f64 + 3.0);
-            let likelihood =
-                (counts[i] as f64 + 0.1) / (self.totals[i] as f64 + 1.0);
+            let prior =
+                (self.totals[i] as f64 + 1.0) / (self.totals.iter().sum::<u32>() as f64 + 3.0);
+            let likelihood = (counts[i] as f64 + 0.1) / (self.totals[i] as f64 + 1.0);
             let score = prior.ln() + likelihood.ln();
             if score > best_score {
                 best_score = score;
@@ -184,7 +187,10 @@ impl KnnClassifier {
         let mut points: Vec<(u16, RecordClass)> =
             records.iter().map(|r| (r.length, r.class)).collect();
         points.sort_by_key(|(l, _)| *l);
-        KnnClassifier { points, k: k.max(1) }
+        KnnClassifier {
+            points,
+            k: k.max(1),
+        }
     }
 }
 
@@ -260,7 +266,11 @@ mod tests {
     use wm_net::time::SimTime;
 
     fn labelled(length: u16, class: RecordClass) -> LabeledRecord {
-        LabeledRecord { time: SimTime::ZERO, length, class }
+        LabeledRecord {
+            time: SimTime::ZERO,
+            length,
+            class,
+        }
     }
 
     /// Training set mirroring the paper's Ubuntu condition.
@@ -310,7 +320,11 @@ mod tests {
         assert_eq!(c.classify(2212), RecordClass::Type1);
         assert_eq!(c.classify(3000), RecordClass::Type2);
         assert_eq!(c.classify(550), RecordClass::Other);
-        assert_eq!(c.classify(9000), RecordClass::Other, "unseen bin → prior (Other)");
+        assert_eq!(
+            c.classify(9000),
+            RecordClass::Other,
+            "unseen bin → prior (Other)"
+        );
     }
 
     #[test]
@@ -338,16 +352,22 @@ mod tests {
         assert_eq!(back.slack, c.slack);
         // Malformed inputs are rejected.
         assert!(IntervalClassifier::from_json(&wm_json::Value::Null).is_none());
-        let bad = wm_json::parse(
-            br#"{"type1Lo":10,"type1Hi":5,"type2Lo":20,"type2Hi":30,"slack":0}"#
-        ).unwrap();
+        let bad =
+            wm_json::parse(br#"{"type1Lo":10,"type1Hi":5,"type2Lo":20,"type2Hi":30,"slack":0}"#)
+                .unwrap();
         assert!(IntervalClassifier::from_json(&bad).is_none());
     }
 
     #[test]
     fn classifier_names() {
-        assert_eq!(IntervalClassifier::train(&training(), 0).unwrap().name(), "interval");
-        assert_eq!(HistogramClassifier::train(&training(), 8).name(), "histogram-bayes");
+        assert_eq!(
+            IntervalClassifier::train(&training(), 0).unwrap().name(),
+            "interval"
+        );
+        assert_eq!(
+            HistogramClassifier::train(&training(), 8).name(),
+            "histogram-bayes"
+        );
         assert_eq!(KnnClassifier::train(&training(), 3).name(), "knn");
     }
 }

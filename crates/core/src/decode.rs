@@ -78,7 +78,11 @@ pub struct ChoiceDecoder<'a, C: RecordClassifier + ?Sized> {
 
 impl<'a, C: RecordClassifier + ?Sized> ChoiceDecoder<'a, C> {
     pub fn new(classifier: &'a C, graph: &'a StoryGraph, cfg: DecoderConfig) -> Self {
-        ChoiceDecoder { classifier, graph, cfg }
+        ChoiceDecoder {
+            classifier,
+            graph,
+            cfg,
+        }
     }
 
     /// Decode the choice sequence from client application records.
@@ -163,7 +167,12 @@ impl<'a, C: RecordClassifier + ?Sized> ChoiceDecoder<'a, C> {
                 }
                 probe += 1;
             }
-            out.push(DecodedChoice { cp, choice, time: t1_time, observed: true });
+            out.push(DecodedChoice {
+                cp,
+                choice,
+                time: t1_time,
+                observed: true,
+            });
             choice
         });
         out
@@ -183,8 +192,7 @@ impl<'a, C: RecordClassifier + ?Sized> ChoiceDecoder<'a, C> {
         // so a tight window both rejects neighbouring questions and
         // lets timing distinguish branches whose next-question gaps
         // differ. Capped by half the shortest gap for short films.
-        let slack =
-            Duration::from_secs_f64((self.min_gap_secs() / 2.0).min(5.0).max(1.0) / scale);
+        let slack = Duration::from_secs_f64((self.min_gap_secs() / 2.0).min(5.0).max(1.0) / scale);
         // The anchor estimate carries the manifest RTT's uncertainty, so
         // the first question gets a wider window; later predictions
         // re-anchor on observed report times.
@@ -192,7 +200,11 @@ impl<'a, C: RecordClassifier + ?Sized> ChoiceDecoder<'a, C> {
         let mut predicted: Option<SimTime> = None;
 
         self.walk(|seg, cp| {
-            let slack = if predicted.is_none() { first_slack } else { slack };
+            let slack = if predicted.is_none() {
+                first_slack
+            } else {
+                slack
+            };
             let expect = predicted.unwrap_or(anchor);
             // Look for a type-1 near the expected time.
             let mut found: Option<SimTime> = None;
@@ -237,7 +249,12 @@ impl<'a, C: RecordClassifier + ?Sized> ChoiceDecoder<'a, C> {
                 }
                 probe += 1;
             }
-            out.push(DecodedChoice { cp, choice, time: t1_time, observed });
+            out.push(DecodedChoice {
+                cp,
+                choice,
+                time: t1_time,
+                observed,
+            });
 
             let gap = self.question_gap_secs(seg, cp, choice);
             predicted = Some(t1_time + Duration::from_secs_f64(gap / scale));
@@ -337,11 +354,31 @@ mod tests {
 
     fn classifier() -> IntervalClassifier {
         let training = vec![
-            LabeledRecord { time: SimTime::ZERO, length: 2211, class: RecordClass::Type1 },
-            LabeledRecord { time: SimTime::ZERO, length: 2213, class: RecordClass::Type1 },
-            LabeledRecord { time: SimTime::ZERO, length: 2992, class: RecordClass::Type2 },
-            LabeledRecord { time: SimTime::ZERO, length: 3017, class: RecordClass::Type2 },
-            LabeledRecord { time: SimTime::ZERO, length: 540, class: RecordClass::Other },
+            LabeledRecord {
+                time: SimTime::ZERO,
+                length: 2211,
+                class: RecordClass::Type1,
+            },
+            LabeledRecord {
+                time: SimTime::ZERO,
+                length: 2213,
+                class: RecordClass::Type1,
+            },
+            LabeledRecord {
+                time: SimTime::ZERO,
+                length: 2992,
+                class: RecordClass::Type2,
+            },
+            LabeledRecord {
+                time: SimTime::ZERO,
+                length: 3017,
+                class: RecordClass::Type2,
+            },
+            LabeledRecord {
+                time: SimTime::ZERO,
+                length: 540,
+                class: RecordClass::Other,
+            },
         ];
         IntervalClassifier::train(&training, 0).unwrap()
     }
@@ -375,7 +412,7 @@ mod tests {
         let c = classifier();
         let g = tiny_film();
         let records = vec![
-            rec(0, 540), // manifest fetch: playback-start marker
+            rec(0, 540),       // manifest fetch: playback-start marker
             rec(4_000, 2212),  // q0 type-1 (default)
             rec(10_000, 2212), // q1 type-1
             rec(11_500, 3001), // q1 type-2 → non-default
@@ -385,7 +422,10 @@ mod tests {
         let decoder = ChoiceDecoder::new(&c, &g, naive_cfg());
         let decoded = decoder.decode(&records);
         let picks: Vec<Choice> = decoded.iter().map(|d| d.choice).collect();
-        assert_eq!(picks, vec![Choice::Default, Choice::NonDefault, Choice::Default]);
+        assert_eq!(
+            picks,
+            vec![Choice::Default, Choice::NonDefault, Choice::Default]
+        );
         assert!(decoded.iter().all(|d| d.observed));
     }
 
@@ -425,18 +465,24 @@ mod tests {
         // q1's type-1 is LOST; its type-2 arrives at 11.5 s. The naive
         // decoder would bind q2's type-1 (14 s) to q1 and desync.
         let records = vec![
-            rec(0, 540), // manifest fetch: playback-start marker
+            rec(0, 540),       // manifest fetch: playback-start marker
             rec(4_000, 2212),  // q0 (default)
             rec(11_500, 3001), // q1 type-2, question report lost
             rec(14_000, 2212), // q2 (default)
         ];
-        let cfg = DecoderConfig { time_aware: true, ..naive_cfg() };
+        let cfg = DecoderConfig {
+            time_aware: true,
+            ..naive_cfg()
+        };
         let decoder = ChoiceDecoder::new(&c, &g, cfg);
         let decoded = decoder.decode(&records);
         assert_eq!(decoded.len(), 3);
         assert_eq!(decoded[0].choice, Choice::Default);
         assert_eq!(decoded[1].choice, Choice::NonDefault);
-        assert!(!decoded[1].observed, "q1's report was lost but decoded anyway");
+        assert!(
+            !decoded[1].observed,
+            "q1's report was lost but decoded anyway"
+        );
         assert_eq!(decoded[2].choice, Choice::Default);
         assert!(decoded[2].observed);
     }
@@ -453,7 +499,10 @@ mod tests {
             rec(14_000, 2212),
         ];
         let naive = ChoiceDecoder::new(&c, &g, naive_cfg()).decode(&records);
-        let cfg = DecoderConfig { time_aware: true, ..naive_cfg() };
+        let cfg = DecoderConfig {
+            time_aware: true,
+            ..naive_cfg()
+        };
         let aware = ChoiceDecoder::new(&c, &g, cfg).decode(&records);
         let n: Vec<Choice> = naive.iter().map(|d| d.choice).collect();
         let a: Vec<Choice> = aware.iter().map(|d| d.choice).collect();
@@ -467,14 +516,19 @@ mod tests {
         let decoder = ChoiceDecoder::new(&c, &g, naive_cfg());
         let decoded = decoder.decode(&[]);
         assert_eq!(decoded.len(), 3);
-        assert!(decoded.iter().all(|d| d.choice == Choice::Default && !d.observed));
+        assert!(decoded
+            .iter()
+            .all(|d| d.choice == Choice::Default && !d.observed));
     }
 
     #[test]
     fn gap_prediction_matches_timeline() {
         let c = classifier();
         let g = tiny_film();
-        let cfg = DecoderConfig { time_aware: true, ..naive_cfg() };
+        let cfg = DecoderConfig {
+            time_aware: true,
+            ..naive_cfg()
+        };
         let decoder = ChoiceDecoder::new(&c, &g, cfg);
         // q0 on segment 0 → default branch: question gap 4 + (4-2) = 6 s.
         assert_eq!(

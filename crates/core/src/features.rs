@@ -39,7 +39,8 @@ pub fn client_app_records(trace: &Trace) -> ClientFeatures {
             }
         }
     }
-    out.records.sort_by_key(|r| (r.time, r.record.stream_offset));
+    out.records
+        .sort_by_key(|r| (r.time, r.record.stream_offset));
     out
 }
 

@@ -33,7 +33,7 @@ pub mod features;
 pub mod metrics;
 pub mod report;
 
-pub use attack::{DecodedSession, WhiteMirror, WhiteMirrorConfig};
+pub use attack::{AttackTelemetry, DecodedSession, WhiteMirror, WhiteMirrorConfig};
 pub use beam::BeamDecoder;
 pub use classify::{HistogramClassifier, IntervalClassifier, KnnClassifier, RecordClassifier};
 pub use decode::{ChoiceDecoder, DecodedChoice, DecoderConfig};

@@ -73,7 +73,11 @@ impl ConfusionMatrix {
 
 impl std::fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "{:>12} | {:>8} {:>8} {:>8}", "truth\\pred", "type-1", "type-2", "others")?;
+        writeln!(
+            f,
+            "{:>12} | {:>8} {:>8} {:>8}",
+            "truth\\pred", "type-1", "type-2", "others"
+        )?;
         for (i, name) in ["type-1", "type-2", "others"].iter().enumerate() {
             writeln!(
                 f,

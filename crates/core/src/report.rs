@@ -31,7 +31,10 @@ pub fn session_report(graph: &StoryGraph, decoded: &DecodedSession) -> String {
         ));
     }
 
-    out.push_str(&format!("\nending reached: {}\n", ending_of(graph, &decoded.choices)));
+    out.push_str(&format!(
+        "\nending reached: {}\n",
+        ending_of(graph, &decoded.choices)
+    ));
 
     let exposure = tag_exposure(graph, &decoded.choices);
     let tagged: Vec<String> = exposure
@@ -39,11 +42,14 @@ pub fn session_report(graph: &StoryGraph, decoded: &DecodedSession) -> String {
         .filter(|(_, n)| *n > 0)
         .map(|(t, n)| format!("{}×{}", t.label(), n))
         .collect();
-    out.push_str(&format!("semantic exposure: {}\n", if tagged.is_empty() {
-        "none".to_string()
-    } else {
-        tagged.join(", ")
-    }));
+    out.push_str(&format!(
+        "semantic exposure: {}\n",
+        if tagged.is_empty() {
+            "none".to_string()
+        } else {
+            tagged.join(", ")
+        }
+    ));
     let observed = decoded.choices.iter().filter(|d| d.observed).count();
     out.push_str(&format!(
         "evidence: {}/{} questions directly observed\n",
@@ -75,8 +81,7 @@ pub fn ending_of(graph: &StoryGraph, choices: &[DecodedChoice]) -> &'static str 
 
 /// Count of picked options carrying each tag.
 pub fn tag_exposure(graph: &StoryGraph, choices: &[DecodedChoice]) -> Vec<(ChoiceTag, u32)> {
-    let mut counts: Vec<(ChoiceTag, u32)> =
-        ChoiceTag::ALL.iter().map(|&t| (t, 0)).collect();
+    let mut counts: Vec<(ChoiceTag, u32)> = ChoiceTag::ALL.iter().map(|&t| (t, 0)).collect();
     for d in choices {
         for tag in graph.choice_point(d.cp).option(d.choice).tags {
             if let Some(entry) = counts.iter_mut().find(|(t, _)| t == tag) {
@@ -139,7 +144,11 @@ mod tests {
         // Third pick non-default carries Violence in tiny_film.
         let d = decoded(&[Choice::Default, Choice::Default, Choice::NonDefault]);
         let exposure = tag_exposure(&g, &d.choices);
-        let violence = exposure.iter().find(|(t, _)| *t == ChoiceTag::Violence).unwrap().1;
+        let violence = exposure
+            .iter()
+            .find(|(t, _)| *t == ChoiceTag::Violence)
+            .unwrap()
+            .1;
         assert_eq!(violence, 1);
     }
 

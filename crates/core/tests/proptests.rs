@@ -1,6 +1,9 @@
 //! Property-based tests for the attack pipeline.
+//!
+//! Hand-rolled: the offline build environment has no proptest, so each
+//! property runs over a few hundred cases drawn from a local splitmix64
+//! driver. Failures print the case number for replay.
 
-use proptest::prelude::*;
 use wm_capture::labels::{LabeledRecord, RecordClass};
 use wm_capture::records::TimedRecord;
 use wm_core::classify::{HistogramClassifier, IntervalClassifier, KnnClassifier, RecordClassifier};
@@ -12,49 +15,81 @@ use wm_story::{Choice, ChoicePointId};
 use wm_tls::observer::ObservedRecord;
 use wm_tls::ContentType;
 
+/// Minimal splitmix64 case generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+    fn bools(&mut self, len: usize) -> Vec<bool> {
+        (0..len).map(|_| self.below(2) == 1).collect()
+    }
+}
+
 fn labelled(length: u16, class: RecordClass) -> LabeledRecord {
-    LabeledRecord { time: SimTime::ZERO, length, class }
+    LabeledRecord {
+        time: SimTime::ZERO,
+        length,
+        class,
+    }
 }
 
-/// A well-separated synthetic training set with configurable band
-/// positions (type-2 strictly above type-1 by ≥ 200).
-fn arb_training() -> impl Strategy<Value = (Vec<LabeledRecord>, (u16, u16), (u16, u16))> {
-    (1500u16..2500, 0u16..12, 200u16..400, 0u16..30).prop_map(|(t1_lo, t1_w, gap, t2_w)| {
-        let t1 = (t1_lo, t1_lo + t1_w);
-        let t2_lo = t1.1 + gap;
-        let t2 = (t2_lo, t2_lo + t2_w);
-        let mut set = Vec::new();
-        for l in [t1.0, (t1.0 + t1.1) / 2, t1.1] {
-            set.push(labelled(l, RecordClass::Type1));
-        }
-        for l in [t2.0, (t2.0 + t2.1) / 2, t2.1] {
-            set.push(labelled(l, RecordClass::Type2));
-        }
-        for l in [300u16, 550, 900, 5000, 9000] {
-            set.push(labelled(l, RecordClass::Other));
-        }
-        (set, t1, t2)
-    })
+/// A well-separated synthetic training set with random band positions
+/// (type-2 strictly above type-1 by ≥ 200).
+fn arb_training(rng: &mut Rng) -> (Vec<LabeledRecord>, (u16, u16), (u16, u16)) {
+    let t1_lo = 1500 + rng.below(1000) as u16;
+    let t1_w = rng.below(12) as u16;
+    let gap = 200 + rng.below(200) as u16;
+    let t2_w = rng.below(30) as u16;
+    let t1 = (t1_lo, t1_lo + t1_w);
+    let t2_lo = t1.1 + gap;
+    let t2 = (t2_lo, t2_lo + t2_w);
+    let mut set = Vec::new();
+    for l in [t1.0, (t1.0 + t1.1) / 2, t1.1] {
+        set.push(labelled(l, RecordClass::Type1));
+    }
+    for l in [t2.0, (t2.0 + t2.1) / 2, t2.1] {
+        set.push(labelled(l, RecordClass::Type2));
+    }
+    for l in [300u16, 550, 900, 5000, 9000] {
+        set.push(labelled(l, RecordClass::Other));
+    }
+    (set, t1, t2)
 }
 
-proptest! {
-    /// The interval classifier recalls every training example of the
-    /// report classes, for any band geometry.
-    #[test]
-    fn interval_perfect_training_recall((set, _, _) in arb_training(), slack in 0u16..8) {
+/// The interval classifier recalls every training example of the
+/// report classes, for any band geometry.
+#[test]
+fn interval_perfect_training_recall() {
+    for case in 0..200u64 {
+        let mut rng = Rng(0xC0_0000 + case);
+        let (set, _, _) = arb_training(&mut rng);
+        let slack = rng.below(8) as u16;
         let c = IntervalClassifier::train(&set, slack).expect("both classes present");
         let mut m = ConfusionMatrix::default();
         for r in &set {
             m.record(r.class, c.classify(r.length));
         }
-        prop_assert_eq!(m.recall(RecordClass::Type1), 1.0);
-        prop_assert_eq!(m.recall(RecordClass::Type2), 1.0);
+        assert_eq!(m.recall(RecordClass::Type1), 1.0, "case {case}");
+        assert_eq!(m.recall(RecordClass::Type2), 1.0, "case {case}");
     }
+}
 
-    /// All three classifier families agree on points well inside the
-    /// bands and far outside them.
-    #[test]
-    fn classifier_families_agree_on_clear_points((set, t1, t2) in arb_training()) {
+/// All three classifier families agree on points well inside the
+/// bands and far outside them.
+#[test]
+fn classifier_families_agree_on_clear_points() {
+    for case in 0..200u64 {
+        let mut rng = Rng(0xC0_1000 + case);
+        let (set, t1, t2) = arb_training(&mut rng);
         let interval = IntervalClassifier::train(&set, 0).expect("train");
         let hist = HistogramClassifier::train(&set, 4);
         let knn = KnnClassifier::train(&set, 3);
@@ -66,42 +101,59 @@ proptest! {
             (300u16, RecordClass::Other),
             (9000u16, RecordClass::Other),
         ] {
-            prop_assert_eq!(interval.classify(len), want, "interval at {}", len);
-            prop_assert_eq!(hist.classify(len), want, "hist at {}", len);
-            prop_assert_eq!(knn.classify(len), want, "knn at {}", len);
+            assert_eq!(
+                interval.classify(len),
+                want,
+                "case {case}: interval at {len}"
+            );
+            assert_eq!(hist.classify(len), want, "case {case}: hist at {len}");
+            assert_eq!(knn.classify(len), want, "case {case}: knn at {len}");
         }
     }
+}
 
-    /// Confusion-matrix identities hold for arbitrary prediction
-    /// streams: total preserved, accuracy within [0,1], row sums match.
-    #[test]
-    fn confusion_identities(pairs in prop::collection::vec(
-        (0usize..3, 0usize..3), 0..200)) {
-        const CLASSES: [RecordClass; 3] =
-            [RecordClass::Type1, RecordClass::Type2, RecordClass::Other];
+/// Confusion-matrix identities hold for arbitrary prediction
+/// streams: total preserved, accuracy within [0,1], row sums match.
+#[test]
+fn confusion_identities() {
+    const CLASSES: [RecordClass; 3] = [RecordClass::Type1, RecordClass::Type2, RecordClass::Other];
+    for case in 0..200u64 {
+        let mut rng = Rng(0xC0_2000 + case);
+        let n = rng.below(200);
+        let pairs: Vec<(usize, usize)> = (0..n).map(|_| (rng.below(3), rng.below(3))).collect();
         let mut m = ConfusionMatrix::default();
         for (t, p) in &pairs {
             m.record(CLASSES[*t], CLASSES[*p]);
         }
-        prop_assert_eq!(m.total(), pairs.len() as u64);
+        assert_eq!(m.total(), pairs.len() as u64, "case {case}");
         let acc = m.accuracy();
-        prop_assert!((0.0..=1.0).contains(&acc));
+        assert!((0.0..=1.0).contains(&acc), "case {case}");
         for class in CLASSES {
-            prop_assert!((0.0..=1.0).contains(&m.precision(class)));
-            prop_assert!((0.0..=1.0).contains(&m.recall(class)));
+            assert!((0.0..=1.0).contains(&m.precision(class)), "case {case}");
+            assert!((0.0..=1.0).contains(&m.recall(class)), "case {case}");
         }
     }
+}
 
-    /// choice_accuracy is symmetric in totals and bounded.
-    #[test]
-    fn choice_accuracy_bounds(decoded_bits in prop::collection::vec(any::<bool>(), 0..20),
-                              truth_bits in prop::collection::vec(any::<bool>(), 0..20)) {
+/// choice_accuracy is symmetric in totals and bounded.
+#[test]
+fn choice_accuracy_bounds() {
+    for case in 0..200u64 {
+        let mut rng = Rng(0xC0_3000 + case);
+        let decoded_len = rng.below(20);
+        let decoded_bits = rng.bools(decoded_len);
+        let truth_len = rng.below(20);
+        let truth_bits = rng.bools(truth_len);
         let decoded: Vec<DecodedChoice> = decoded_bits
             .iter()
             .enumerate()
             .map(|(i, b)| DecodedChoice {
                 cp: ChoicePointId(i as u16),
-                choice: if *b { Choice::NonDefault } else { Choice::Default },
+                choice: if *b {
+                    Choice::NonDefault
+                } else {
+                    Choice::Default
+                },
                 time: SimTime::ZERO,
                 observed: true,
             })
@@ -110,39 +162,51 @@ proptest! {
             .iter()
             .enumerate()
             .map(|(i, b)| {
-                (ChoicePointId(i as u16), if *b { Choice::NonDefault } else { Choice::Default })
+                (
+                    ChoicePointId(i as u16),
+                    if *b {
+                        Choice::NonDefault
+                    } else {
+                        Choice::Default
+                    },
+                )
             })
             .collect();
         let acc = choice_accuracy(&decoded, &truth);
-        prop_assert_eq!(acc.total as usize, decoded.len().max(truth.len()));
-        prop_assert!(acc.correct <= acc.total);
-        prop_assert!((0.0..=1.0).contains(&acc.accuracy()));
+        assert_eq!(
+            acc.total as usize,
+            decoded.len().max(truth.len()),
+            "case {case}"
+        );
+        assert!(acc.correct <= acc.total, "case {case}");
+        assert!((0.0..=1.0).contains(&acc.accuracy()), "case {case}");
     }
+}
 
-    /// Decoders always emit one decision per choice point on the walked
-    /// path and never panic, for arbitrary classified event streams.
-    #[test]
-    fn decoders_total_and_path_consistent(
-        events in prop::collection::vec((0u64..60_000, 0usize..3), 0..40)
-    ) {
-        let graph = tiny_film();
-        let training = vec![
-            labelled(2211, RecordClass::Type1),
-            labelled(2213, RecordClass::Type1),
-            labelled(2992, RecordClass::Type2),
-            labelled(3017, RecordClass::Type2),
-        ];
-        let classifier = IntervalClassifier::train(&training, 0).expect("train");
+/// Decoders always emit one decision per choice point on the walked
+/// path and never panic, for arbitrary classified event streams.
+#[test]
+fn decoders_total_and_path_consistent() {
+    let graph = tiny_film();
+    let training = vec![
+        labelled(2211, RecordClass::Type1),
+        labelled(2213, RecordClass::Type1),
+        labelled(2992, RecordClass::Type2),
+        labelled(3017, RecordClass::Type2),
+    ];
+    let classifier = IntervalClassifier::train(&training, 0).expect("train");
+    for case in 0..100u64 {
+        let mut rng = Rng(0xC0_4000 + case);
+        let n = rng.below(40);
         // Map class index to a length inside/outside the bands.
-        let mut records: Vec<TimedRecord> = events
-            .iter()
-            .map(|(ms, class)| TimedRecord {
-                time: SimTime(ms * 1000),
+        let mut records: Vec<TimedRecord> = (0..n)
+            .map(|_| TimedRecord {
+                time: SimTime(rng.below(60_000) as u64 * 1000),
                 record: ObservedRecord {
                     stream_offset: 0,
                     content_type: ContentType::ApplicationData,
                     version: (3, 3),
-                    length: match class {
+                    length: match rng.below(3) {
                         0 => 2212,
                         1 => 3000,
                         _ => 700,
@@ -152,33 +216,51 @@ proptest! {
             .collect();
         records.sort_by_key(|r| r.time);
         for time_aware in [false, true] {
-            let cfg = DecoderConfig { time_aware, ..DecoderConfig::scaled(1) };
+            let cfg = DecoderConfig {
+                time_aware,
+                ..DecoderConfig::scaled(1)
+            };
             let decoded = ChoiceDecoder::new(&classifier, &graph, cfg).decode(&records);
             // The decode must trace a real path: its cp sequence equals
             // the walk induced by its own choices.
             let seq = wm_story::ChoiceSequence(decoded.iter().map(|d| d.choice).collect());
             let walk = wm_story::path::walk(&graph, &seq);
-            prop_assert_eq!(decoded.len(), walk.encountered.len());
+            assert_eq!(decoded.len(), walk.encountered.len(), "case {case}");
             for (d, cp) in decoded.iter().zip(walk.encountered.iter()) {
-                prop_assert_eq!(d.cp, *cp);
+                assert_eq!(d.cp, *cp, "case {case}");
             }
         }
         let cfg = DecoderConfig::scaled(1);
         let decoded = BeamDecoder::new(&classifier, &graph, cfg, 8).decode(&records);
         let seq = wm_story::ChoiceSequence(decoded.iter().map(|d| d.choice).collect());
         let walk = wm_story::path::walk(&graph, &seq);
-        prop_assert_eq!(decoded.len(), walk.encountered.len());
+        assert_eq!(decoded.len(), walk.encountered.len(), "case {case}");
     }
+}
 
-    /// On a *clean* event stream generated from a true path (correct
-    /// question times, no noise), every decoder recovers the path
-    /// exactly.
-    #[test]
-    fn decoders_exact_on_clean_streams(bits in prop::collection::vec(any::<bool>(), 3)) {
-        let graph = tiny_film();
-        let truth: Vec<Choice> = bits
-            .iter()
-            .map(|b| if *b { Choice::NonDefault } else { Choice::Default })
+/// On a *clean* event stream generated from a true path (correct
+/// question times, no noise), every decoder recovers the path
+/// exactly.
+#[test]
+fn decoders_exact_on_clean_streams() {
+    let graph = tiny_film();
+    let training = vec![
+        labelled(2211, RecordClass::Type1),
+        labelled(2213, RecordClass::Type1),
+        labelled(2992, RecordClass::Type2),
+        labelled(3017, RecordClass::Type2),
+    ];
+    let classifier = IntervalClassifier::train(&training, 0).expect("train");
+    // All 8 combinations of 3 binary choices.
+    for case in 0..8u64 {
+        let truth: Vec<Choice> = (0..3)
+            .map(|i| {
+                if (case >> i) & 1 == 1 {
+                    Choice::NonDefault
+                } else {
+                    Choice::Default
+                }
+            })
             .collect();
         // tiny_film question times (content secs): 4, 10, 14 when every
         // branch is 4 s — true for all paths in tiny_film's first two
@@ -216,22 +298,21 @@ proptest! {
                 });
             }
         }
-        let training = vec![
-            labelled(2211, RecordClass::Type1),
-            labelled(2213, RecordClass::Type1),
-            labelled(2992, RecordClass::Type2),
-            labelled(3017, RecordClass::Type2),
-        ];
-        let classifier = IntervalClassifier::train(&training, 0).expect("train");
         for time_aware in [false, true] {
-            let cfg = DecoderConfig { time_aware, ..DecoderConfig::scaled(1) };
+            let cfg = DecoderConfig {
+                time_aware,
+                ..DecoderConfig::scaled(1)
+            };
             let decoded = ChoiceDecoder::new(&classifier, &graph, cfg).decode(&records);
             let picks: Vec<Choice> = decoded.iter().map(|d| d.choice).collect();
-            prop_assert_eq!(&picks, &truth, "greedy time_aware={}", time_aware);
+            assert_eq!(
+                &picks, &truth,
+                "case {case}: greedy time_aware={time_aware}"
+            );
         }
         let decoded =
             BeamDecoder::new(&classifier, &graph, DecoderConfig::scaled(1), 8).decode(&records);
         let picks: Vec<Choice> = decoded.iter().map(|d| d.choice).collect();
-        prop_assert_eq!(&picks, &truth, "beam");
+        assert_eq!(&picks, &truth, "case {case}: beam");
     }
 }

@@ -28,14 +28,24 @@ pub fn save_dataset(dir: &Path, name: &str, records: &[SessionRecord]) -> std::i
     for r in records {
         let file = format!("viewer_{:03}.pcap", r.spec.id);
         r.output.trace.write_pcap_file(&traces.join(&file))?;
-        viewers.push(viewer_json(&r.spec, Some(&r.output.choice_string()), Some(&file)));
+        viewers.push(viewer_json(
+            &r.spec,
+            Some(&r.output.choice_string()),
+            Some(&file),
+        ));
     }
     let manifest = Value::object(vec![
         ("name".into(), Value::from(name)),
-        ("paper".into(), Value::from("White Mirror (SIGCOMM 2019 posters)")),
+        (
+            "paper".into(),
+            Value::from("White Mirror (SIGCOMM 2019 posters)"),
+        ),
         ("viewers".into(), Value::array(viewers)),
     ]);
-    std::fs::write(dir.join("manifest.json"), wm_json::to_pretty_bytes(&manifest))
+    std::fs::write(
+        dir.join("manifest.json"),
+        wm_json::to_pretty_bytes(&manifest),
+    )
 }
 
 /// Reload a manifest into a spec plus per-viewer ground truth and trace
@@ -45,10 +55,18 @@ pub fn load_manifest(dir: &Path) -> std::io::Result<(DatasetSpec, Vec<(String, S
     let doc = wm_json::parse(&bytes)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
     let bad = || std::io::Error::new(std::io::ErrorKind::InvalidData, "manifest schema");
-    let name = doc.get("name").and_then(Value::as_str).ok_or_else(bad)?.to_owned();
+    let name = doc
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or_else(bad)?
+        .to_owned();
     let mut viewers = Vec::new();
     let mut truths = Vec::new();
-    for v in doc.get("viewers").and_then(Value::as_array).ok_or_else(bad)? {
+    for v in doc
+        .get("viewers")
+        .and_then(Value::as_array)
+        .ok_or_else(bad)?
+    {
         let (spec, truth, trace) = viewer_from_json(v).ok_or_else(bad)?;
         viewers.push(spec);
         truths.push((truth, trace));
@@ -60,15 +78,39 @@ fn viewer_json(spec: &ViewerSpec, choices: Option<&str>, trace: Option<&str>) ->
     let mut members = vec![
         ("id".to_string(), Value::from(spec.id as i64)),
         ("seed".to_string(), Value::from(spec.seed as i64)),
-        ("os".to_string(), Value::from(spec.operational.profile.os.label())),
-        ("browser".to_string(), Value::from(spec.operational.profile.browser.label())),
-        ("device".to_string(), Value::from(spec.operational.profile.device.label())),
-        ("connection".to_string(), Value::from(spec.operational.link.connection.label())),
-        ("timeOfDay".to_string(), Value::from(spec.operational.link.time_of_day.label())),
+        (
+            "os".to_string(),
+            Value::from(spec.operational.profile.os.label()),
+        ),
+        (
+            "browser".to_string(),
+            Value::from(spec.operational.profile.browser.label()),
+        ),
+        (
+            "device".to_string(),
+            Value::from(spec.operational.profile.device.label()),
+        ),
+        (
+            "connection".to_string(),
+            Value::from(spec.operational.link.connection.label()),
+        ),
+        (
+            "timeOfDay".to_string(),
+            Value::from(spec.operational.link.time_of_day.label()),
+        ),
         ("age".to_string(), Value::from(spec.behavior.age.label())),
-        ("gender".to_string(), Value::from(spec.behavior.gender.label())),
-        ("political".to_string(), Value::from(spec.behavior.political.label())),
-        ("stateOfMind".to_string(), Value::from(spec.behavior.mind.label())),
+        (
+            "gender".to_string(),
+            Value::from(spec.behavior.gender.label()),
+        ),
+        (
+            "political".to_string(),
+            Value::from(spec.behavior.political.label()),
+        ),
+        (
+            "stateOfMind".to_string(),
+            Value::from(spec.behavior.mind.label()),
+        ),
     ];
     if let Some(c) = choices {
         members.push(("choices".to_string(), Value::from(c)));
@@ -137,14 +179,27 @@ fn viewer_from_json(v: &Value) -> Option<(ViewerSpec, String, String)> {
     let spec = ViewerSpec {
         id: v.get("id")?.as_i64()? as u32,
         seed: v.get("seed")?.as_i64()? as u64,
-        behavior: BehaviorAttributes { age, gender, political, mind },
+        behavior: BehaviorAttributes {
+            age,
+            gender,
+            political,
+            mind,
+        },
         operational: OperationalConditions {
             profile: Profile::new(os, browser, device),
             link: LinkConditions::new(connection, tod),
         },
     };
-    let truth = v.get("choices").and_then(Value::as_str).unwrap_or("").to_owned();
-    let trace = v.get("trace").and_then(Value::as_str).unwrap_or("").to_owned();
+    let truth = v
+        .get("choices")
+        .and_then(Value::as_str)
+        .unwrap_or("")
+        .to_owned();
+    let trace = v
+        .get("trace")
+        .and_then(Value::as_str)
+        .unwrap_or("")
+        .to_owned();
     Some((spec, truth, trace))
 }
 
@@ -159,7 +214,11 @@ mod tests {
     fn save_and_reload_roundtrip() {
         let graph = Arc::new(tiny_film());
         let spec = DatasetSpec::generate("roundtrip", 4, 42);
-        let opts = SimOptions { media_scale: 2048, time_scale: 20, ..SimOptions::default() };
+        let opts = SimOptions {
+            media_scale: 2048,
+            time_scale: 20,
+            ..SimOptions::default()
+        };
         let records = run_dataset(&graph, &spec, &opts);
 
         let dir = std::env::temp_dir().join("wm_dataset_io_test");

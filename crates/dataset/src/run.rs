@@ -8,6 +8,7 @@ use wm_net::conditions::{ConnectionType, TimeOfDay};
 use wm_player::PlayerConfig;
 use wm_sim::{run_session, SessionConfig, SessionOutput};
 use wm_story::StoryGraph;
+use wm_telemetry::Snapshot;
 use wm_tls::CipherSuite;
 
 /// Knobs shared by every session of a dataset run.
@@ -19,6 +20,10 @@ pub struct SimOptions {
     pub time_scale: u32,
     pub suite: CipherSuite,
     pub defense: Defense,
+    /// Collect per-session telemetry (merged run-wide by
+    /// [`aggregate_telemetry`]). Observation only — traces are
+    /// byte-identical either way.
+    pub telemetry: bool,
 }
 
 impl Default for SimOptions {
@@ -28,6 +33,7 @@ impl Default for SimOptions {
             time_scale: 20,
             suite: CipherSuite::Aead,
             defense: Defense::None,
+            telemetry: false,
         }
     }
 }
@@ -74,7 +80,18 @@ pub fn session_config(
         script: script_for(&graph, &viewer.behavior, viewer.seed),
         graph,
         defense: opts.defense,
+        telemetry: opts.telemetry,
     }
+}
+
+/// Merge every session's snapshot into one run-level report.
+///
+/// Each worker thread fills its sessions' snapshots independently;
+/// because [`Snapshot::merge`] is exact, commutative and associative,
+/// the aggregate is identical regardless of worker count or completion
+/// order.
+pub fn aggregate_telemetry(records: &[SessionRecord]) -> Snapshot {
+    Snapshot::merged(records.iter().map(|r| &r.output.telemetry))
 }
 
 /// Run every viewer's session, in parallel across available cores.
@@ -87,8 +104,7 @@ pub fn run_dataset(
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
         .min(spec.viewers.len().max(1));
-    let mut records: Vec<Option<SessionRecord>> =
-        (0..spec.viewers.len()).map(|_| None).collect();
+    let mut records: Vec<Option<SessionRecord>> = (0..spec.viewers.len()).map(|_| None).collect();
     let chunks: Vec<Vec<ViewerSpec>> = spec
         .viewers
         .chunks(spec.viewers.len().div_ceil(workers))
@@ -104,10 +120,12 @@ pub fn run_dataset(
                     .iter()
                     .map(|viewer| {
                         let cfg = session_config(graph.clone(), viewer, &opts);
-                        let output = run_session(&cfg).unwrap_or_else(|e| {
-                            panic!("viewer {} session failed: {e}", viewer.id)
-                        });
-                        SessionRecord { spec: *viewer, output }
+                        let output = run_session(&cfg)
+                            .unwrap_or_else(|e| panic!("viewer {} session failed: {e}", viewer.id));
+                        SessionRecord {
+                            spec: *viewer,
+                            output,
+                        }
                     })
                     .collect::<Vec<_>>()
             }));
@@ -120,7 +138,10 @@ pub fn run_dataset(
             }
         }
     });
-    records.into_iter().map(|r| r.expect("all sessions ran")).collect()
+    records
+        .into_iter()
+        .map(|r| r.expect("all sessions ran"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -134,6 +155,7 @@ mod tests {
             time_scale: 20,
             suite: CipherSuite::Aead,
             defense: Defense::None,
+            telemetry: false,
         }
     }
 
@@ -165,6 +187,37 @@ mod tests {
                 x.spec.id
             );
         }
+    }
+
+    #[test]
+    fn telemetry_aggregates_across_workers() {
+        let graph = Arc::new(tiny_film());
+        let spec = DatasetSpec::generate("mini", 6, 55);
+        let opts = SimOptions {
+            telemetry: true,
+            ..fast_opts()
+        };
+        let records = run_dataset(&graph, &spec, &opts);
+        let total = aggregate_telemetry(&records);
+        // The merged counters equal the per-session sums exactly.
+        let per_session: u64 = records
+            .iter()
+            .map(|r| r.output.telemetry.counters["sim.events"])
+            .sum();
+        assert_eq!(total.counters["sim.events"], per_session);
+        assert_eq!(
+            total.counters["capture.frames_tapped"],
+            records
+                .iter()
+                .map(|r| r.output.stats.packets_captured as u64)
+                .sum::<u64>()
+        );
+        // Aggregation is order-independent: reversing gives the same report.
+        let reversed = Snapshot::merged(records.iter().rev().map(|r| &r.output.telemetry));
+        assert_eq!(total, reversed);
+        // A second run reproduces every seed-deterministic counter.
+        let again = aggregate_telemetry(&run_dataset(&graph, &spec, &opts));
+        assert_eq!(total.counters, again.counters);
     }
 
     #[test]

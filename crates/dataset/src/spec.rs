@@ -71,7 +71,10 @@ impl DatasetSpec {
                 operational: grid[i % grid.len()],
             })
             .collect();
-        DatasetSpec { name: name.to_owned(), viewers }
+        DatasetSpec {
+            name: name.to_owned(),
+            viewers,
+        }
     }
 
     /// Attribute marginals (the content of Table I for this corpus).
@@ -79,10 +82,18 @@ impl DatasetSpec {
         let mut s = Table1Summary::default();
         for v in &self.viewers {
             *s.os.entry(v.operational.profile.os.label()).or_insert(0) += 1;
-            *s.browser.entry(v.operational.profile.browser.label()).or_insert(0) += 1;
-            *s.device.entry(v.operational.profile.device.label()).or_insert(0) += 1;
-            *s.connection.entry(v.operational.link.connection.label()).or_insert(0) += 1;
-            *s.time_of_day.entry(v.operational.link.time_of_day.label()).or_insert(0) += 1;
+            *s.browser
+                .entry(v.operational.profile.browser.label())
+                .or_insert(0) += 1;
+            *s.device
+                .entry(v.operational.profile.device.label())
+                .or_insert(0) += 1;
+            *s.connection
+                .entry(v.operational.link.connection.label())
+                .or_insert(0) += 1;
+            *s.time_of_day
+                .entry(v.operational.link.time_of_day.label())
+                .or_insert(0) += 1;
             *s.age.entry(v.behavior.age.label()).or_insert(0) += 1;
             *s.gender.entry(v.behavior.gender.label()).or_insert(0) += 1;
             *s.political.entry(v.behavior.political.label()).or_insert(0) += 1;
@@ -112,8 +123,7 @@ impl std::fmt::Display for Table1Summary {
                    attr: &str,
                    counts: &std::collections::BTreeMap<&'static str, usize>|
          -> std::fmt::Result {
-            let values: Vec<String> =
-                counts.iter().map(|(k, v)| format!("{k} ({v})")).collect();
+            let values: Vec<String> = counts.iter().map(|(k, v)| format!("{k} ({v})")).collect();
             writeln!(f, "  {:<22} {}", attr, values.join(", "))
         };
         writeln!(f, "Operational")?;
@@ -149,8 +159,10 @@ mod tests {
         seeds.dedup();
         assert_eq!(seeds.len(), 100);
         // Conditions cycle the grid: first 72 viewers cover every cell.
-        let cells: std::collections::HashSet<String> =
-            d.viewers[..72].iter().map(|v| v.operational.label()).collect();
+        let cells: std::collections::HashSet<String> = d.viewers[..72]
+            .iter()
+            .map(|v| v.operational.label())
+            .collect();
         assert_eq!(cells.len(), 72);
     }
 

@@ -108,8 +108,7 @@ pub fn decompress(input: &[u8]) -> Option<Vec<u8>> {
             }
             0x01 => {
                 let len = *input.get(i + 1)? as usize;
-                let dist =
-                    ((*input.get(i + 2)? as usize) << 8) | *input.get(i + 3)? as usize;
+                let dist = ((*input.get(i + 2)? as usize) << 8) | *input.get(i + 3)? as usize;
                 if len < 4 || dist == 0 || dist > out.len() {
                     return None;
                 }

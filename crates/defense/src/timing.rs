@@ -99,9 +99,7 @@ impl TimingDecoder {
             let mut biggest = candidates[i].record.length;
             let mut last = start;
             let mut j = i + 1;
-            while j < candidates.len()
-                && candidates[j].time.since(last) <= self.cfg.burst_gap
-            {
+            while j < candidates.len() && candidates[j].time.since(last) <= self.cfg.burst_gap {
                 total += candidates[j].record.length as usize;
                 biggest = biggest.max(candidates[j].record.length);
                 last = candidates[j].time;
@@ -116,7 +114,10 @@ impl TimingDecoder {
                     None => biggest < self.cfg.max_record_len,
                 };
             if qualifies {
-                posts.push(DetectedPost { time: start, total_len: total });
+                posts.push(DetectedPost {
+                    time: start,
+                    total_len: total,
+                });
             }
             i = j;
         }
@@ -139,7 +140,11 @@ impl TimingDecoder {
             events.push(TimingEvent {
                 time: anchor.time,
                 posts: n,
-                choice: if n >= 2 { Choice::NonDefault } else { Choice::Default },
+                choice: if n >= 2 {
+                    Choice::NonDefault
+                } else {
+                    Choice::Default
+                },
             });
             i = j;
         }

@@ -84,9 +84,7 @@ impl Defense {
                 };
                 vec![wrapped.to_bytes()]
             }
-            Defense::PadWithDummies { size } => {
-                Defense::PadToConstant { size }.encode(req)
-            }
+            Defense::PadWithDummies { size } => Defense::PadToConstant { size }.encode(req),
             Defense::PadToConstant { size } => {
                 // Pad with trailing spaces after the JSON document —
                 // insignificant whitespace the server's parser skips.
@@ -206,7 +204,10 @@ mod tests {
         let writes = Defense::PadToConstant { size: 600 }.encode(&req);
         let mut parser = wm_http::RequestParser::new();
         let parsed = parser.feed(&writes[0]).unwrap().remove(0);
-        assert!(wm_json::parse(&parsed.body).is_ok(), "trailing spaces tolerated");
+        assert!(
+            wm_json::parse(&parsed.body).is_ok(),
+            "trailing spaces tolerated"
+        );
     }
 
     #[test]
@@ -223,6 +224,9 @@ mod tests {
         assert_eq!(Defense::None.label(), "none");
         assert_eq!(Defense::Split { max: 700 }.label(), "split(max=700)");
         assert_eq!(Defense::Compress.label(), "compress");
-        assert_eq!(Defense::PadToConstant { size: 4096 }.label(), "pad(size=4096)");
+        assert_eq!(
+            Defense::PadToConstant { size: 4096 }.label(),
+            "pad(size=4096)"
+        );
     }
 }

@@ -1,89 +1,157 @@
 //! Property-based tests for the countermeasure transforms.
+//!
+//! Hand-rolled: the offline build environment has no proptest, so each
+//! property runs over a few hundred cases drawn from a local splitmix64
+//! driver. Failures print the case number for replay.
 
-use proptest::prelude::*;
 use wm_defense::lz::{compress, decompress};
 use wm_defense::Defense;
 use wm_http::{Request, RequestParser};
 
-fn arb_body() -> impl Strategy<Value = Vec<u8>> {
-    prop_oneof![
-        // JSON-ish printable bodies (the realistic case).
-        "[ -~]{0,1500}".prop_map(String::into_bytes),
-        // Arbitrary bytes (the adversarial case).
-        prop::collection::vec(any::<u8>(), 0..1500),
-        // Highly repetitive (compression stress).
-        (any::<u8>(), 0usize..3000).prop_map(|(b, n)| vec![b; n]),
-    ]
+/// Minimal splitmix64 case generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+    fn printable(&mut self, max_len: usize) -> Vec<u8> {
+        let len = self.below(max_len + 1);
+        (0..len).map(|_| (0x20 + self.below(0x5f)) as u8).collect()
+    }
+    /// JSON-ish printable, arbitrary, or highly repetitive bodies —
+    /// the realistic, adversarial and compression-stress cases.
+    fn body(&mut self) -> Vec<u8> {
+        match self.below(3) {
+            0 => self.printable(1500),
+            1 => {
+                let len = self.below(1500);
+                (0..len).map(|_| self.next() as u8).collect()
+            }
+            _ => {
+                let b = self.next() as u8;
+                vec![b; self.below(3000)]
+            }
+        }
+    }
 }
 
-proptest! {
-    /// LZ round-trips every input.
-    #[test]
-    fn lz_roundtrip(data in arb_body()) {
+/// LZ round-trips every input.
+#[test]
+fn lz_roundtrip() {
+    for case in 0..200u64 {
+        let mut rng = Rng(0xDE_0000 + case);
+        let data = rng.body();
         let c = compress(&data);
         let d = decompress(&c);
-        prop_assert_eq!(d.as_deref(), Some(&data[..]));
+        assert_eq!(d.as_deref(), Some(&data[..]), "case {case}");
     }
+}
 
-    /// The decompressor never panics on arbitrary input and never
-    /// produces output from obviously malformed streams.
-    #[test]
-    fn lz_decompress_total(data in prop::collection::vec(any::<u8>(), 0..512)) {
+/// The decompressor never panics on arbitrary input and never
+/// produces output from obviously malformed streams.
+#[test]
+fn lz_decompress_total() {
+    for case in 0..300u64 {
+        let mut rng = Rng(0xDE_1000 + case);
+        let len = rng.below(512);
+        let data: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
         let _ = decompress(&data);
     }
+}
 
-    /// Split preserves the exact byte stream (only framing changes).
-    #[test]
-    fn split_stream_identity(body in arb_body(), max in 64usize..900) {
+/// Split preserves the exact byte stream (only framing changes).
+#[test]
+fn split_stream_identity() {
+    for case in 0..150u64 {
+        let mut rng = Rng(0xDE_2000 + case);
+        let body = rng.body();
+        let max = 64 + rng.below(836);
         let req = Request::new("POST", "/interact/state")
             .header("Host", "www.netflix.com")
             .body(body);
         let writes = Defense::Split { max }.encode(&req);
-        prop_assert!(writes.iter().all(|w| w.len() <= max.max(64)));
+        assert!(writes.iter().all(|w| w.len() <= max.max(64)), "case {case}");
         let glued: Vec<u8> = writes.concat();
-        prop_assert_eq!(glued, req.to_bytes());
+        assert_eq!(glued, req.to_bytes(), "case {case}");
     }
+}
 
-    /// Padding always reaches the exact target when feasible and the
-    /// padded request still parses with the original body prefix.
-    #[test]
-    fn pad_exact_and_parseable(body in "[ -~]{2,600}", size in 1200usize..5000) {
+/// Padding always reaches the exact target when feasible and the
+/// padded request still parses with the original body prefix.
+#[test]
+fn pad_exact_and_parseable() {
+    for case in 0..150u64 {
+        let mut rng = Rng(0xDE_3000 + case);
+        let body = {
+            let mut b = rng.printable(600);
+            while b.len() < 2 {
+                b.push(b'x');
+            }
+            b
+        };
+        let size = 1200 + rng.below(3800);
         let req = Request::new("POST", "/interact/state")
             .header("Host", "www.netflix.com")
-            .body(body.clone().into_bytes());
+            .body(body.clone());
         let writes = Defense::PadToConstant { size }.encode(&req);
-        prop_assert_eq!(writes.len(), 1);
+        assert_eq!(writes.len(), 1, "case {case}");
         if size >= req.serialized_len() {
-            prop_assert_eq!(writes[0].len(), size);
+            assert_eq!(writes[0].len(), size, "case {case}");
         }
         let mut parser = RequestParser::new();
-        let parsed = parser.feed(&writes[0]).expect("padded request parses").remove(0);
-        prop_assert!(parsed.body.starts_with(body.as_bytes()));
-        prop_assert!(parsed.body[body.len()..].iter().all(|&b| b == b' '));
+        let parsed = parser
+            .feed(&writes[0])
+            .expect("padded request parses")
+            .remove(0);
+        assert!(parsed.body.starts_with(&body), "case {case}");
+        assert!(
+            parsed.body[body.len()..].iter().all(|&b| b == b' '),
+            "case {case}"
+        );
     }
+}
 
-    /// Compression round-trips through the server-side decoder.
-    #[test]
-    fn compress_decode_roundtrip(body in arb_body()) {
+/// Compression round-trips through the server-side decoder.
+#[test]
+fn compress_decode_roundtrip() {
+    for case in 0..150u64 {
+        let mut rng = Rng(0xDE_4000 + case);
+        let body = rng.body();
         let req = Request::new("POST", "/interact/state").body(body.clone());
         let writes = Defense::Compress.encode(&req);
         let mut parser = RequestParser::new();
-        let parsed = parser.feed(&writes[0]).expect("compressed request parses").remove(0);
+        let parsed = parser
+            .feed(&writes[0])
+            .expect("compressed request parses")
+            .remove(0);
         let decoded = Defense::Compress
             .decode_body(parsed.header_value("content-encoding"), &parsed.body)
             .expect("decodes");
-        prop_assert_eq!(decoded, body);
+        assert_eq!(decoded, body, "case {case}");
     }
+}
 
-    /// Padding makes any two bodies the same wire length (the defense's
-    /// entire point).
-    #[test]
-    fn pad_equalizes(a in "[ -~]{0,800}", b in "[ -~]{0,800}") {
+/// Padding makes any two bodies the same wire length (the defense's
+/// entire point).
+#[test]
+fn pad_equalizes() {
+    for case in 0..150u64 {
+        let mut rng = Rng(0xDE_5000 + case);
+        let a = rng.printable(800);
+        let b = rng.printable(800);
         let size = 4096usize;
-        let ra = Request::new("POST", "/s").body(a.into_bytes());
-        let rb = Request::new("POST", "/s").body(b.into_bytes());
+        let ra = Request::new("POST", "/s").body(a);
+        let rb = Request::new("POST", "/s").body(b);
         let wa = Defense::PadToConstant { size }.encode(&ra);
         let wb = Defense::PadToConstant { size }.encode(&rb);
-        prop_assert_eq!(wa[0].len(), wb[0].len());
+        assert_eq!(wa[0].len(), wb[0].len(), "case {case}");
     }
 }

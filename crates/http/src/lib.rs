@@ -161,7 +161,13 @@ impl Response {
 
 impl fmt::Display for Request {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} ({} body bytes)", self.method, self.path, self.body.len())
+        write!(
+            f,
+            "{} {} ({} body bytes)",
+            self.method,
+            self.path,
+            self.body.len()
+        )
     }
 }
 
@@ -206,7 +212,11 @@ mod tests {
             let req = Request::new("POST", "/x")
                 .header("A", "b")
                 .body(vec![b'z'; body_len]);
-            assert_eq!(req.to_bytes().len(), req.serialized_len(), "body {body_len}");
+            assert_eq!(
+                req.to_bytes().len(),
+                req.serialized_len(),
+                "body {body_len}"
+            );
         }
     }
 

@@ -40,7 +40,11 @@ impl Accumulator {
 
     /// Feed bytes; returns `Some((head_lines, body))` per complete
     /// message. Returns `Err` on malformed heads.
-    fn feed(&mut self, mut bytes: &[u8], out: &mut Vec<(Vec<String>, Vec<u8>)>) -> Result<(), String> {
+    fn feed(
+        &mut self,
+        mut bytes: &[u8],
+        out: &mut Vec<(Vec<String>, Vec<u8>)>,
+    ) -> Result<(), String> {
         while !bytes.is_empty() {
             match self.phase {
                 ParsePhase::Headers => {
@@ -66,7 +70,10 @@ impl Accumulator {
                     self.body_remaining -= take;
                     bytes = &bytes[take..];
                     if self.body_remaining == 0 {
-                        out.push((std::mem::take(&mut self.head), std::mem::take(&mut self.body)));
+                        out.push((
+                            std::mem::take(&mut self.head),
+                            std::mem::take(&mut self.body),
+                        ));
                         self.phase = ParsePhase::Headers;
                     }
                 }
@@ -74,7 +81,10 @@ impl Accumulator {
         }
         // Zero-length bodies complete immediately even with no trailing bytes.
         if self.phase == ParsePhase::Body && self.body_remaining == 0 {
-            out.push((std::mem::take(&mut self.head), std::mem::take(&mut self.body)));
+            out.push((
+                std::mem::take(&mut self.head),
+                std::mem::take(&mut self.body),
+            ));
             self.phase = ParsePhase::Headers;
         }
         Ok(())
@@ -121,7 +131,9 @@ pub struct RequestParser {
 
 impl RequestParser {
     pub fn new() -> Self {
-        RequestParser { acc: Accumulator::new() }
+        RequestParser {
+            acc: Accumulator::new(),
+        }
     }
 
     /// Current phase (tests and flow-control use this).
@@ -166,7 +178,9 @@ pub struct ResponseParser {
 
 impl ResponseParser {
     pub fn new() -> Self {
-        ResponseParser { acc: Accumulator::new() }
+        ResponseParser {
+            acc: Accumulator::new(),
+        }
     }
 
     pub fn phase(&self) -> ParsePhase {
@@ -291,7 +305,9 @@ mod tests {
     #[test]
     fn zero_length_body_completes_without_more_bytes() {
         let mut p = ResponseParser::new();
-        let got = p.feed(b"HTTP/1.1 204 No Content\r\nContent-Length: 0\r\n\r\n").unwrap();
+        let got = p
+            .feed(b"HTTP/1.1 204 No Content\r\nContent-Length: 0\r\n\r\n")
+            .unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].status, 204);
         assert!(got[0].body.is_empty());

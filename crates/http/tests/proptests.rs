@@ -1,27 +1,80 @@
 //! Property-based tests for HTTP framing.
+//!
+//! Hand-rolled: the offline build environment has no proptest, so each
+//! property runs over a few hundred cases drawn from a local splitmix64
+//! driver. Failures print the case number for replay.
 
-use proptest::prelude::*;
 use wm_http::{Request, RequestParser, Response, ResponseParser};
 
-fn arb_token() -> impl Strategy<Value = String> {
-    "[A-Za-z][A-Za-z0-9-]{0,15}".prop_map(|s| s)
+/// Minimal splitmix64 case generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+    fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        let len = self.below(max_len + 1);
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+    fn pick_char(&mut self, pool: &[u8]) -> char {
+        pool[self.below(pool.len())] as char
+    }
+    /// `[A-Za-z][A-Za-z0-9-]{0,15}` — a header-name token.
+    fn token(&mut self) -> String {
+        const FIRST: &[u8] = b"ABCXYZabcxyz";
+        const REST: &[u8] = b"ABCXYZabcxyz019-";
+        let mut s = String::new();
+        s.push(self.pick_char(FIRST));
+        for _ in 0..self.below(16) {
+            s.push(self.pick_char(REST));
+        }
+        s
+    }
+    /// Printable-ASCII header value without `:` or CR/LF, trimmed.
+    fn header_value(&mut self) -> String {
+        let len = self.below(41);
+        let s: String = (0..len)
+            .map(|_| {
+                let c = (0x20 + self.below(0x5f)) as u8 as char;
+                if c == ':' {
+                    ';'
+                } else {
+                    c
+                }
+            })
+            .collect();
+        s.trim().to_string()
+    }
 }
 
-fn arb_header_value() -> impl Strategy<Value = String> {
-    "[ -~&&[^:\r\n]]{0,40}".prop_map(|s| s.trim().to_string())
-}
-
-proptest! {
-    /// Requests round-trip through the parser for any method, path,
-    /// headers and body, under any feed chunking.
-    #[test]
-    fn request_roundtrip(method in "(GET|POST|PUT)",
-                         path in "/[a-z0-9/._-]{0,30}",
-                         headers in prop::collection::vec((arb_token(), arb_header_value()), 0..6),
-                         body in prop::collection::vec(any::<u8>(), 0..800),
-                         chunk in 1usize..256) {
+/// Requests round-trip through the parser for any method, path,
+/// headers and body, under any feed chunking.
+#[test]
+fn request_roundtrip() {
+    const PATH_POOL: &[u8] = b"abcxyz019/._-";
+    for case in 0..200u64 {
+        let mut rng = Rng(0x47_0000 + case);
+        let method = ["GET", "POST", "PUT"][rng.below(3)];
+        let mut path = String::from("/");
+        for _ in 0..rng.below(31) {
+            path.push(rng.pick_char(PATH_POOL));
+        }
+        let n_headers = rng.below(6);
+        let headers: Vec<(String, String)> = (0..n_headers)
+            .map(|_| (rng.token(), rng.header_value()))
+            .collect();
+        let body = rng.bytes(799);
+        let chunk = 1 + rng.below(255);
         // Content-Length is parser-internal; exclude colliding names.
-        let mut req = Request::new(&method, &path);
+        let mut req = Request::new(method, &path);
         for (n, v) in &headers {
             if n.eq_ignore_ascii_case("content-length") {
                 continue;
@@ -29,22 +82,29 @@ proptest! {
             req = req.header(n, v);
         }
         let req = req.body(body);
-        prop_assert_eq!(req.to_bytes().len(), req.serialized_len());
+        assert_eq!(req.to_bytes().len(), req.serialized_len(), "case {case}");
         let bytes = req.to_bytes();
         let mut parser = RequestParser::new();
         let mut got = Vec::new();
         for piece in bytes.chunks(chunk) {
             got.extend(parser.feed(piece).expect("own request"));
         }
-        prop_assert_eq!(got, vec![req]);
+        assert_eq!(got, vec![req], "case {case}");
     }
+}
 
-    /// Responses round-trip likewise.
-    #[test]
-    fn response_roundtrip(status in 100u16..600,
-                          reason in "[A-Za-z ]{0,16}",
-                          body in prop::collection::vec(any::<u8>(), 0..800),
-                          chunk in 1usize..256) {
+/// Responses round-trip likewise.
+#[test]
+fn response_roundtrip() {
+    const REASON_POOL: &[u8] = b"ABCXYZabcxyz ";
+    for case in 0..200u64 {
+        let mut rng = Rng(0x47_1000 + case);
+        let status = 100 + rng.below(500) as u16;
+        let reason: String = (0..rng.below(17))
+            .map(|_| rng.pick_char(REASON_POOL))
+            .collect();
+        let body = rng.bytes(799);
+        let chunk = 1 + rng.below(255);
         let resp = Response::new(status, reason.trim()).body(body);
         let bytes = resp.to_bytes();
         let mut parser = ResponseParser::new();
@@ -52,29 +112,34 @@ proptest! {
         for piece in bytes.chunks(chunk) {
             got.extend(parser.feed(piece).expect("own response"));
         }
-        prop_assert_eq!(got.len(), 1);
-        prop_assert_eq!(got[0].status, resp.status);
-        prop_assert_eq!(&got[0].body, &resp.body);
+        assert_eq!(got.len(), 1, "case {case}");
+        assert_eq!(got[0].status, resp.status, "case {case}");
+        assert_eq!(&got[0].body, &resp.body, "case {case}");
     }
+}
 
-    /// Pipelined request sequences parse back in order.
-    #[test]
-    fn pipelining(bodies in prop::collection::vec(
-        prop::collection::vec(any::<u8>(), 0..100), 1..6)) {
-        let reqs: Vec<Request> = bodies
-            .into_iter()
-            .enumerate()
-            .map(|(i, b)| Request::new("POST", &format!("/r/{i}")).body(b))
+/// Pipelined request sequences parse back in order.
+#[test]
+fn pipelining() {
+    for case in 0..150u64 {
+        let mut rng = Rng(0x47_2000 + case);
+        let n = 1 + rng.below(5);
+        let reqs: Vec<Request> = (0..n)
+            .map(|i| Request::new("POST", &format!("/r/{i}")).body(rng.bytes(99)))
             .collect();
         let wire: Vec<u8> = reqs.iter().flat_map(Request::to_bytes).collect();
         let mut parser = RequestParser::new();
         let got = parser.feed(&wire).expect("own requests");
-        prop_assert_eq!(got, reqs);
+        assert_eq!(got, reqs, "case {case}");
     }
+}
 
-    /// The parser never panics on arbitrary bytes.
-    #[test]
-    fn parser_total(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+/// The parser never panics on arbitrary bytes.
+#[test]
+fn parser_total() {
+    for case in 0..300u64 {
+        let mut rng = Rng(0x47_3000 + case);
+        let bytes = rng.bytes(399);
         let mut p = RequestParser::new();
         let _ = p.feed(&bytes);
         let mut p = ResponseParser::new();

@@ -23,7 +23,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -33,7 +37,11 @@ impl std::error::Error for ParseError {}
 ///
 /// Trailing whitespace is allowed; any other trailing bytes are an error.
 pub fn parse(input: &[u8]) -> Result<Value, ParseError> {
-    let mut p = Parser { input, pos: 0, depth: 0 };
+    let mut p = Parser {
+        input,
+        pos: 0,
+        depth: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -58,7 +66,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &'static str) -> ParseError {
-        ParseError { offset: self.pos, message }
+        ParseError {
+            offset: self.pos,
+            message,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -101,9 +112,15 @@ impl<'a> Parser<'a> {
         }
         match self.peek() {
             None => Err(self.err("unexpected end of input")),
-            Some(b'n') => self.literal(b"null", "expected 'null'").map(|_| Value::Null),
-            Some(b't') => self.literal(b"true", "expected 'true'").map(|_| Value::Bool(true)),
-            Some(b'f') => self.literal(b"false", "expected 'false'").map(|_| Value::Bool(false)),
+            Some(b'n') => self
+                .literal(b"null", "expected 'null'")
+                .map(|_| Value::Null),
+            Some(b't') => self
+                .literal(b"true", "expected 'true'")
+                .map(|_| Value::Bool(true)),
+            Some(b'f') => self
+                .literal(b"false", "expected 'false'")
+                .map(|_| Value::Bool(false)),
             Some(b'"') => self.string().map(Value::Str),
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
@@ -130,7 +147,10 @@ impl<'a> Parser<'a> {
             }
         }
         let body = &self.input[start..self.pos - 1];
-        unescape(body).ok_or(ParseError { offset: start, message: "malformed string escape" })
+        unescape(body).ok_or(ParseError {
+            offset: start,
+            message: "malformed string escape",
+        })
     }
 
     fn number(&mut self) -> Result<Value, ParseError> {
@@ -289,7 +309,10 @@ mod tests {
         assert_eq!(
             v,
             Value::object(vec![
-                ("a".into(), Value::array(vec![Value::from(1i64), Value::from(2i64)])),
+                (
+                    "a".into(),
+                    Value::array(vec![Value::from(1i64), Value::from(2i64)])
+                ),
                 ("b".into(), Value::Null),
             ])
         );
@@ -347,8 +370,14 @@ mod tests {
         let v = Value::object(vec![
             ("esn".into(), Value::from("NFCDIE-03-ABCDEF0123456789")),
             ("pos".into(), Value::Num(Number::Fixed3(914_250))),
-            ("flags".into(), Value::array(vec![Value::Bool(true), Value::Null])),
-            ("nested".into(), Value::object(vec![("k".into(), Value::from(-1i64))])),
+            (
+                "flags".into(),
+                Value::array(vec![Value::Bool(true), Value::Null]),
+            ),
+            (
+                "nested".into(),
+                Value::object(vec![("k".into(), Value::from(-1i64))]),
+            ),
         ]);
         assert_eq!(parse(&to_bytes(&v)).unwrap(), v);
     }

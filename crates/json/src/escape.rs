@@ -159,7 +159,14 @@ mod tests {
 
     #[test]
     fn unescape_roundtrip() {
-        for s in ["", "plain", r#"q"uo\te"#, "tab\tnl\n", "\u{1}\u{1f}", "héllo 世界"] {
+        for s in [
+            "",
+            "plain",
+            r#"q"uo\te"#,
+            "tab\tnl\n",
+            "\u{1}\u{1f}",
+            "héllo 世界",
+        ] {
             let escaped = esc(s);
             assert_eq!(unescape(&escaped).as_deref(), Some(s), "roundtrip {s:?}");
         }

@@ -143,7 +143,11 @@ mod tests {
             let mut out = Vec::new();
             Number::Fixed3(v).write_to(&mut out);
             assert_eq!(out, want.as_bytes(), "for {v}");
-            assert_eq!(Number::Fixed3(v).serialized_len(), want.len(), "len for {v}");
+            assert_eq!(
+                Number::Fixed3(v).serialized_len(),
+                want.len(),
+                "len for {v}"
+            );
         }
     }
 

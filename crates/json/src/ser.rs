@@ -126,8 +126,14 @@ mod tests {
     #[test]
     fn nested_compact_layout() {
         let v = Value::object(vec![
-            ("a".into(), Value::array(vec![Value::from(1i64), Value::Null])),
-            ("b".into(), Value::object(vec![("c".into(), Value::from(true))])),
+            (
+                "a".into(),
+                Value::array(vec![Value::from(1i64), Value::Null]),
+            ),
+            (
+                "b".into(),
+                Value::object(vec![("c".into(), Value::from(true))]),
+            ),
         ]);
         assert_eq!(to_bytes(&v), br#"{"a":[1,null],"b":{"c":true}}"#);
     }
@@ -148,9 +154,10 @@ mod tests {
             ("name".into(), Value::from("demo")),
             (
                 "items".into(),
-                Value::array(vec![Value::from(1i64), Value::object(vec![
-                    ("k".into(), Value::Bool(true)),
-                ])]),
+                Value::array(vec![
+                    Value::from(1i64),
+                    Value::object(vec![("k".into(), Value::Bool(true))]),
+                ]),
             ),
             ("empty".into(), Value::array(vec![])),
         ]);

@@ -3,65 +3,119 @@
 //! The invariants here are load-bearing for the whole reproduction: the
 //! attack's observable is a serialized length, so the length oracle, the
 //! serializer and the parser must agree on every representable document.
+//!
+//! Hand-rolled: the offline build environment has no proptest, so each
+//! property runs over a few hundred cases drawn from a local splitmix64
+//! driver. Failures print the case number for replay.
 
-use proptest::prelude::*;
 use wm_json::{parse, to_bytes, Number, Value};
 
-/// Strategy producing arbitrary JSON values of bounded depth/size.
-fn arb_value() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(|v| Value::Num(Number::Int(v))),
-        any::<i64>().prop_map(|v| Value::Num(Number::Fixed3(v))),
-        // Strings over a mix of plain text, quotes, controls and non-ASCII.
-        "[a-zA-Z0-9 \"\\\\\\t\\n\u{1}é世]{0,24}".prop_map(Value::Str),
-    ];
-    leaf.prop_recursive(4, 64, 8, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
-            prop::collection::vec(("[a-zA-Z0-9_\" ]{0,12}", inner), 0..6)
-                .prop_map(|members| Value::Object(
-                    members.into_iter().map(|(k, v)| (k, v)).collect()
-                )),
-        ]
-    })
+/// Minimal splitmix64 case generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
 }
 
-proptest! {
-    /// `serialized_len` is an exact oracle for `to_bytes().len()`.
-    #[test]
-    fn length_oracle_is_exact(v in arb_value()) {
-        prop_assert_eq!(to_bytes(&v).len(), v.serialized_len());
-    }
+/// A string over a mix of plain text, quotes, escapes, controls and
+/// non-ASCII — the characters most likely to break escaping logic.
+fn arb_string(rng: &mut Rng, max_len: usize) -> String {
+    const POOL: &[char] = &[
+        'a', 'Z', '0', '9', ' ', '"', '\\', '\t', '\n', '\u{1}', 'é', '世', '_', '.',
+    ];
+    let len = rng.below(max_len + 1);
+    (0..len).map(|_| POOL[rng.below(POOL.len())]).collect()
+}
 
-    /// Everything the serializer emits parses back to the same tree.
-    #[test]
-    fn serializer_parser_roundtrip(v in arb_value()) {
+/// Arbitrary JSON value of bounded depth: leaves at depth 0, containers
+/// above with up to 5 children each.
+fn arb_value(rng: &mut Rng, depth: usize) -> Value {
+    let choices = if depth == 0 { 5 } else { 7 };
+    match rng.below(choices) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.below(2) == 1),
+        2 => Value::Num(Number::Int(rng.next() as i64)),
+        3 => Value::Num(Number::Fixed3(rng.next() as i64)),
+        4 => Value::Str(arb_string(rng, 24)),
+        5 => {
+            let n = rng.below(6);
+            Value::Array((0..n).map(|_| arb_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.below(6);
+            Value::Object(
+                (0..n)
+                    .map(|_| (arb_string(rng, 12), arb_value(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// `serialized_len` is an exact oracle for `to_bytes().len()`.
+#[test]
+fn length_oracle_is_exact() {
+    for case in 0..400u64 {
+        let mut rng = Rng(0x15 + case);
+        let v = arb_value(&mut rng, 4);
+        assert_eq!(to_bytes(&v).len(), v.serialized_len(), "case {case}: {v:?}");
+    }
+}
+
+/// Everything the serializer emits parses back to the same tree.
+#[test]
+fn serializer_parser_roundtrip() {
+    for case in 0..400u64 {
+        let mut rng = Rng(0x1500 + case);
+        let v = arb_value(&mut rng, 4);
         let bytes = to_bytes(&v);
         let parsed = parse(&bytes).ok();
-        prop_assert_eq!(parsed.as_ref(), Some(&v));
+        assert_eq!(parsed.as_ref(), Some(&v), "case {case}");
     }
+}
 
-    /// The serializer's output is valid UTF-8 (JSON text requirement).
-    #[test]
-    fn output_is_utf8(v in arb_value()) {
-        prop_assert!(std::str::from_utf8(&to_bytes(&v)).is_ok());
+/// The serializer's output is valid UTF-8 (JSON text requirement).
+#[test]
+fn output_is_utf8() {
+    for case in 0..400u64 {
+        let mut rng = Rng(0x15_0000 + case);
+        let v = arb_value(&mut rng, 4);
+        assert!(std::str::from_utf8(&to_bytes(&v)).is_ok(), "case {case}");
     }
+}
 
-    /// The parser never panics on arbitrary input bytes.
-    #[test]
-    fn parser_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+/// The parser never panics on arbitrary input bytes.
+#[test]
+fn parser_total_on_garbage() {
+    for case in 0..400u64 {
+        let mut rng = Rng(0x15_1000 + case);
+        let len = rng.below(256);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
         let _ = parse(&bytes);
     }
+}
 
-    /// Parsing arbitrary ASCII that may look JSON-ish never panics and, if
-    /// it succeeds, reserializing yields a parseable document again.
-    #[test]
-    fn reparse_stability(s in "[\\[\\]{}\",:0-9a-z.\\- ]{0,64}") {
-        if let Ok(v) = parse(s.as_bytes()) {
+/// Parsing arbitrary ASCII that may look JSON-ish never panics and, if
+/// it succeeds, reserializing yields a parseable document again.
+#[test]
+fn reparse_stability() {
+    const POOL: &[u8] = b"[]{}\",:0123456789abcz.- ";
+    for case in 0..400u64 {
+        let mut rng = Rng(0x15_2000 + case);
+        let len = rng.below(64);
+        let s: Vec<u8> = (0..len).map(|_| POOL[rng.below(POOL.len())]).collect();
+        if let Ok(v) = parse(&s) {
             let bytes = to_bytes(&v);
-            prop_assert_eq!(parse(&bytes).ok(), Some(v));
+            assert_eq!(parse(&bytes).ok(), Some(v), "case {case}");
         }
     }
 }

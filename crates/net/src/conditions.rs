@@ -68,7 +68,10 @@ pub struct LinkConditions {
 
 impl LinkConditions {
     pub fn new(connection: ConnectionType, time_of_day: TimeOfDay) -> Self {
-        LinkConditions { connection, time_of_day }
+        LinkConditions {
+            connection,
+            time_of_day,
+        }
     }
 
     /// Human-readable label ("Ethernet/Night").
@@ -89,13 +92,9 @@ impl LinkConditions {
     fn build(self, down: bool) -> LinkParams {
         let (raw_bw, base_loss, jitter_us) = match self.connection {
             // 100/40 Mbps cable-ish; sub-millisecond jitter.
-            ConnectionType::Wired => {
-                (if down { 100e6 } else { 40e6 }, 0.0004, 400)
-            }
+            ConnectionType::Wired => (if down { 100e6 } else { 40e6 }, 0.0004, 400),
             // 40/15 Mbps 802.11; more jitter, a real loss floor.
-            ConnectionType::Wireless => {
-                (if down { 40e6 } else { 15e6 }, 0.004, 2500)
-            }
+            ConnectionType::Wireless => (if down { 40e6 } else { 15e6 }, 0.004, 2500),
         };
         let util = self.time_of_day.utilization();
         LinkParams {

@@ -30,11 +30,41 @@ pub struct TcpFlags {
 }
 
 impl TcpFlags {
-    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, fin: false, psh: false, rst: false };
-    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false, psh: false, rst: false };
-    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, psh: false, rst: false };
-    pub const PSH_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, psh: true, rst: false };
-    pub const FIN_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: true, psh: false, rst: false };
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+        psh: false,
+        rst: false,
+    };
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        psh: false,
+        rst: false,
+    };
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        psh: false,
+        rst: false,
+    };
+    pub const PSH_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        psh: true,
+        rst: false,
+    };
+    pub const FIN_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: true,
+        psh: false,
+        rst: false,
+    };
 
     fn to_byte(self) -> u8 {
         (self.fin as u8)
@@ -188,8 +218,8 @@ impl TcpHeader {
         let mut i = 20;
         while i < data_offset {
             match bytes[i] {
-                0x00 => break,       // end of options
-                0x01 => i += 1,      // NOP
+                0x00 => break,  // end of options
+                0x01 => i += 1, // NOP
                 0x08 if i + 10 <= data_offset => {
                     ts_val = u32::from_be_bytes(bytes[i + 2..i + 6].try_into().ok()?);
                     ts_ecr = u32::from_be_bytes(bytes[i + 6..i + 10].try_into().ok()?);

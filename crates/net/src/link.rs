@@ -11,6 +11,8 @@
 
 use crate::rng::SimRng;
 use crate::time::{Duration, SimTime};
+use std::sync::Arc;
+use wm_telemetry::{Counter, Histogram, Registry};
 
 /// Parameters of one link direction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,15 +53,50 @@ pub struct Transit {
     pub arrives_at: Option<SimTime>,
 }
 
+/// Per-direction link telemetry handles (see `wm-telemetry`).
+///
+/// `queue_wait_us` is the serialization-queue backlog each packet sat
+/// behind before occupying the link — the discrete-event analogue of
+/// instantaneous queue depth.
+pub struct LinkTelemetry {
+    delivered: Arc<Counter>,
+    lost: Arc<Counter>,
+    tap_lost: Arc<Counter>,
+    queue_wait_us: Arc<Histogram>,
+}
+
+impl LinkTelemetry {
+    /// Register this direction's metrics under `net.link.<label>.*`.
+    pub fn register(registry: &Registry, label: &str) -> Self {
+        LinkTelemetry {
+            delivered: registry.counter(&format!("net.link.{label}.delivered")),
+            lost: registry.counter(&format!("net.link.{label}.lost")),
+            tap_lost: registry.counter(&format!("net.link.{label}.tap_lost")),
+            queue_wait_us: registry.histogram(&format!("net.link.{label}.queue_wait_us")),
+        }
+    }
+}
+
 /// One direction of the path, with its serialization queue.
 pub struct Link {
     params: LinkParams,
     busy_until: SimTime,
+    telemetry: Option<LinkTelemetry>,
 }
 
 impl Link {
     pub fn new(params: LinkParams) -> Self {
-        Link { params, busy_until: SimTime::ZERO }
+        Link {
+            params,
+            busy_until: SimTime::ZERO,
+            telemetry: None,
+        }
+    }
+
+    /// Attach telemetry handles (observation only; never changes
+    /// packet outcomes).
+    pub fn set_telemetry(&mut self, telemetry: LinkTelemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     pub fn params(&self) -> &LinkParams {
@@ -72,16 +109,32 @@ impl Link {
         let start = now.max(self.busy_until);
         let tx_done = start + ser;
         self.busy_until = tx_done;
+        if let Some(t) = &self.telemetry {
+            t.queue_wait_us
+                .record(start.micros().saturating_sub(now.micros()));
+        }
 
         // The tap sees the packet as it leaves the access port.
         let tap_at = if rng.chance(self.params.tap_loss_prob) {
+            if let Some(t) = &self.telemetry {
+                t.tap_lost.inc();
+            }
             None
         } else {
             Some(tx_done)
         };
 
         if rng.chance(self.params.loss_prob) {
-            return Transit { tap_at, arrives_at: None };
+            if let Some(t) = &self.telemetry {
+                t.lost.inc();
+            }
+            return Transit {
+                tap_at,
+                arrives_at: None,
+            };
+        }
+        if let Some(t) = &self.telemetry {
+            t.delivered.inc();
         }
         let jitter = if self.params.jitter_std == Duration::ZERO {
             Duration::ZERO
@@ -131,7 +184,11 @@ mod tests {
         let mut rng = SimRng::new(42);
         let n = 20_000;
         let delivered = (0..n)
-            .filter(|_| link.transmit(SimTime::ZERO, 100, &mut rng).arrives_at.is_some())
+            .filter(|_| {
+                link.transmit(SimTime::ZERO, 100, &mut rng)
+                    .arrives_at
+                    .is_some()
+            })
             .count();
         let rate = 1.0 - delivered as f64 / n as f64;
         assert!((rate - 0.10).abs() < 0.01, "observed loss {rate}");
@@ -171,6 +228,51 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_counts_outcomes() {
+        let mut params = LinkParams::ideal();
+        params.loss_prob = 0.3;
+        params.tap_loss_prob = 0.2;
+        let mut link = Link::new(params);
+        let reg = Registry::new();
+        link.set_telemetry(LinkTelemetry::register(&reg, "up"));
+        let mut rng = SimRng::new(21);
+        let n = 5_000u64;
+        let mut delivered = 0u64;
+        let mut tapped = 0u64;
+        for _ in 0..n {
+            let t = link.transmit(SimTime::ZERO, 100, &mut rng);
+            delivered += t.arrives_at.is_some() as u64;
+            tapped += t.tap_at.is_some() as u64;
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["net.link.up.delivered"], delivered);
+        assert_eq!(snap.counters["net.link.up.lost"], n - delivered);
+        assert_eq!(snap.counters["net.link.up.tap_lost"], n - tapped);
+        // Back-to-back sends at t=0 queue behind each other.
+        assert_eq!(snap.histograms["net.link.up.queue_wait_us"].count, n);
+        assert!(snap.histograms["net.link.up.queue_wait_us"].max > 0);
+    }
+
+    #[test]
+    fn telemetry_does_not_change_outcomes() {
+        let mut params = LinkParams::ideal();
+        params.loss_prob = 0.1;
+        params.jitter_std = Duration::from_micros(300);
+        let run = |with_telemetry: bool| -> Vec<Transit> {
+            let mut link = Link::new(params);
+            let reg = Registry::new();
+            if with_telemetry {
+                link.set_telemetry(LinkTelemetry::register(&reg, "x"));
+            }
+            let mut rng = SimRng::new(77);
+            (0..500)
+                .map(|i| link.transmit(SimTime(i * 10), 500, &mut rng))
+                .collect()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
     fn bigger_packets_take_longer() {
         let mut params = LinkParams::ideal();
         params.bandwidth_bps = 8e6; // 1 byte per µs
@@ -178,7 +280,10 @@ mod tests {
         let mut rng = SimRng::new(2);
         let small = link.transmit(SimTime::ZERO, 100, &mut rng).tap_at.unwrap();
         assert_eq!(small, SimTime(100));
-        let big = link.transmit(SimTime(1_000), 1_000, &mut rng).tap_at.unwrap();
+        let big = link
+            .transmit(SimTime(1_000), 1_000, &mut rng)
+            .tap_at
+            .unwrap();
         assert_eq!(big, SimTime(2_000));
     }
 }

@@ -93,11 +93,19 @@ impl EventQueue {
     /// Scheduling in the past is a logic error; the queue clamps to
     /// `now` and debug-asserts so tests catch it.
     pub fn schedule(&mut self, at: SimTime, event: Event) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         let tie = self.next_tie;
         self.next_tie += 1;
-        self.heap.push(Reverse(Scheduled { time: at, tie, event }));
+        self.heap.push(Reverse(Scheduled {
+            time: at,
+            tie,
+            event,
+        }));
     }
 
     /// Pop the next event, advancing the clock.
@@ -124,7 +132,10 @@ mod tests {
     use crate::time::Duration;
 
     fn timer(owner: PeerId, kind: u32) -> Event {
-        Event::Timer { owner, kind: TimerKind(kind) }
+        Event::Timer {
+            owner,
+            kind: TimerKind(kind),
+        }
     }
 
     #[test]
@@ -133,11 +144,12 @@ mod tests {
         q.schedule(SimTime(300), timer(PeerId::Client, 3));
         q.schedule(SimTime(100), timer(PeerId::Client, 1));
         q.schedule(SimTime(200), timer(PeerId::Client, 2));
-        let kinds: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| match e {
-            Event::Timer { kind, .. } => kind.0,
-            _ => unreachable!(),
-        })
-        .collect();
+        let kinds: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Timer { kind, .. } => kind.0,
+                _ => unreachable!(),
+            })
+            .collect();
         assert_eq!(kinds, vec![1, 2, 3]);
     }
 
@@ -147,11 +159,12 @@ mod tests {
         for i in 0..10 {
             q.schedule(SimTime(500), timer(PeerId::Server, i));
         }
-        let kinds: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| match e {
-            Event::Timer { kind, .. } => kind.0,
-            _ => unreachable!(),
-        })
-        .collect();
+        let kinds: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Timer { kind, .. } => kind.0,
+                _ => unreachable!(),
+            })
+            .collect();
         assert_eq!(kinds, (0..10).collect::<Vec<_>>());
     }
 
@@ -163,7 +176,10 @@ mod tests {
         q.pop();
         assert_eq!(q.now(), SimTime(50));
         // New events may be scheduled relative to the advanced clock.
-        q.schedule(q.now() + Duration::from_micros(10), timer(PeerId::Client, 1));
+        q.schedule(
+            q.now() + Duration::from_micros(10),
+            timer(PeerId::Client, 1),
+        );
         let (t, _) = q.pop().unwrap();
         assert_eq!(t, SimTime(60));
     }

@@ -1,39 +1,88 @@
 //! Seeded randomness for the simulator.
 //!
-//! A thin wrapper over `rand`'s `StdRng` adding the distributions the
-//! link and behaviour models use. Every subsystem gets its own labelled
-//! seed (see `wm_cipher::kdf::derive_seed`), so adding randomness to one
+//! A self-contained xoshiro256++ generator (seeded through splitmix64)
+//! adding the distributions the link and behaviour models use. The
+//! workspace builds offline, so no external `rand` crate is involved.
+//! Every subsystem gets its own labelled seed (see
+//! `wm_cipher::kdf::derive_seed`), so adding randomness to one
 //! component never perturbs another — a property the regression tests
 //! rely on.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 /// Deterministic RNG with simulation-friendly helpers.
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// Splitmix64 step (duplicated from `wm-cipher` to keep this crate
+/// dependency-free; the constants are the canonical ones).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Create from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(seed) }
+        let mut s = seed;
+        SimRng {
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
     }
 
     /// Uniform integer in `[lo, hi]` (inclusive).
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         debug_assert!(lo <= hi);
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        let range = span + 1;
+        // Unbiased via rejection of the tail zone.
+        let zone = u64::MAX - (u64::MAX - range + 1) % range;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return lo + v % range;
+            }
+        }
     }
 
     /// Uniform in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `(0, 1]` (never zero; safe under `ln`).
+    fn unit_open(&mut self) -> f64 {
+        ((self.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform float in `[lo, hi)`.
     pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        self.inner.gen_range(lo..hi)
+        lo + self.unit() * (hi - lo)
     }
 
     /// Bernoulli trial.
@@ -43,14 +92,14 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
     /// Normal sample via Box–Muller.
     pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
-        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1 = self.unit_open();
+        let u2 = self.unit();
         let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         mean + std_dev * z
     }
@@ -68,15 +117,14 @@ impl SimRng {
 
     /// Exponential sample with the given mean.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        -mean * u.ln()
+        -mean * self.unit_open().ln()
     }
 
     /// Choose an index in `0..n` with the given relative weights.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().sum();
         debug_assert!(total > 0.0, "weights must not all be zero");
-        let mut x = self.inner.gen::<f64>() * total;
+        let mut x = self.unit() * total;
         for (i, w) in weights.iter().enumerate() {
             x -= w;
             if x < 0.0 {
@@ -88,7 +136,7 @@ impl SimRng {
 
     /// Pick a uniformly random element of a slice.
     pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
-        let i = self.inner.gen_range(0..items.len());
+        let i = self.uniform_u64(0, items.len() as u64 - 1) as usize;
         &items[i]
     }
 }
@@ -122,6 +170,15 @@ mod tests {
         assert!(r.chance(1.0));
         assert!(!r.chance(-0.5));
         assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn unit_stays_in_range() {
+        let mut r = SimRng::new(10);
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u), "unit {u}");
+        }
     }
 
     #[test]

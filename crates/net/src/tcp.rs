@@ -153,11 +153,21 @@ impl TcpEndpoint {
                 flow: self.flow,
                 seq: self.wire_seq(abs),
                 ack: self.wire_ack(),
-                flags: if is_last { TcpFlags::PSH_ACK } else { TcpFlags::ACK },
+                flags: if is_last {
+                    TcpFlags::PSH_ACK
+                } else {
+                    TcpFlags::ACK
+                },
                 payload: payload.clone(),
                 retransmit: false,
             });
-            self.inflight.insert(abs, Inflight { payload, retransmitted: false });
+            self.inflight.insert(
+                abs,
+                Inflight {
+                    payload,
+                    retransmitted: false,
+                },
+            );
         }
         if !self.inflight.is_empty() && self.rto_deadline.is_none() {
             self.rto_deadline = Some(now + self.rto);
@@ -294,7 +304,11 @@ pub fn unwrap_u32(base: u64, wire_off: u32) -> u64 {
     let span = 1u64 << 32;
     let high = base & !(span - 1);
     let candidate = high | wire_off as u64;
-    let alts = [candidate.wrapping_sub(span), candidate, candidate.wrapping_add(span)];
+    let alts = [
+        candidate.wrapping_sub(span),
+        candidate,
+        candidate.wrapping_add(span),
+    ];
     alts.into_iter()
         .min_by_key(|c| c.abs_diff(base))
         .expect("non-empty")
@@ -315,11 +329,18 @@ mod tests {
 
     fn pair() -> (TcpEndpoint, TcpEndpoint) {
         let f = flow();
-        (TcpEndpoint::new(f, 1000, 5000), TcpEndpoint::new(f.reversed(), 5000, 1000))
+        (
+            TcpEndpoint::new(f, 1000, 5000),
+            TcpEndpoint::new(f.reversed(), 5000, 1000),
+        )
     }
 
     /// Deliver segments between endpoints until quiescent (no loss).
-    fn pump(a: &mut TcpEndpoint, b: &mut TcpEndpoint, initial: Vec<TcpSegment>) -> (Vec<u8>, Vec<u8>) {
+    fn pump(
+        a: &mut TcpEndpoint,
+        b: &mut TcpEndpoint,
+        initial: Vec<TcpSegment>,
+    ) -> (Vec<u8>, Vec<u8>) {
         let mut to_a: Vec<TcpSegment> = Vec::new();
         let mut to_b: Vec<TcpSegment> = initial;
         let mut a_bytes = Vec::new();
@@ -471,8 +492,7 @@ mod tests {
         let mut init = a.flush(SimTime(1));
         init.extend(b.flush(SimTime(1)));
         // pump handles "to b" first; split manually.
-        let (to_b, to_a): (Vec<_>, Vec<_>) =
-            init.into_iter().partition(|s| s.flow.dst_port == 443);
+        let (to_b, to_a): (Vec<_>, Vec<_>) = init.into_iter().partition(|s| s.flow.dst_port == 443);
         let mut a_recv = Vec::new();
         let mut b_recv = Vec::new();
         let mut qa = to_a;

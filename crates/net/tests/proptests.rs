@@ -1,72 +1,109 @@
 //! Property-based tests for the network substrate.
+//!
+//! Hand-rolled: the offline build environment has no proptest, so each
+//! property runs over a few hundred cases drawn from the crate's own
+//! seeded `SimRng`. Failures print the case seed for replay.
 
-use proptest::prelude::*;
 use wm_net::headers::{build_frame, parse_frame, FlowId, TcpFlags, FRAME_OVERHEAD};
+use wm_net::rng::SimRng;
 use wm_net::tcp::{unwrap_u32, TcpEndpoint, TcpSegment, MSS};
 use wm_net::time::SimTime;
 
-fn arb_flow() -> impl Strategy<Value = FlowId> {
-    (any::<[u8; 4]>(), any::<u16>(), any::<[u8; 4]>(), any::<u16>()).prop_map(
-        |(src_ip, src_port, dst_ip, dst_port)| FlowId { src_ip, src_port, dst_ip, dst_port },
-    )
+fn arb_flow(rng: &mut SimRng) -> FlowId {
+    FlowId {
+        src_ip: (rng.next_u64() as u32).to_be_bytes(),
+        src_port: rng.next_u64() as u16,
+        dst_ip: (rng.next_u64() as u32).to_be_bytes(),
+        dst_port: rng.next_u64() as u16,
+    }
 }
 
-proptest! {
-    /// Frames round-trip for any flow, sequence numbers and payload.
-    #[test]
-    fn frame_roundtrip(flow in arb_flow(), seq in any::<u32>(), ack in any::<u32>(),
-                       ts in any::<u32>(), id in any::<u16>(),
-                       payload in prop::collection::vec(any::<u8>(), 0..1600)) {
-        let frame = build_frame(&flow, seq, ack, TcpFlags::PSH_ACK, ts, 0, id, &payload);
-        prop_assert_eq!(frame.len(), FRAME_OVERHEAD + payload.len());
-        let (f, tcp, p) = parse_frame(&frame).expect("parse own frame");
-        prop_assert_eq!(f, flow);
-        prop_assert_eq!(tcp.seq, seq);
-        prop_assert_eq!(tcp.ack, ack);
-        prop_assert_eq!(tcp.ts_val, ts);
-        prop_assert_eq!(p, &payload[..]);
-    }
+fn arb_bytes(rng: &mut SimRng, max_len: usize) -> Vec<u8> {
+    let len = rng.uniform_u64(0, max_len as u64) as usize;
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
 
-    /// Truncating a frame anywhere never panics the parser.
-    #[test]
-    fn frame_parser_total(flow in arb_flow(),
-                          payload in prop::collection::vec(any::<u8>(), 0..200),
-                          cut in any::<prop::sample::Index>()) {
+/// Frames round-trip for any flow, sequence numbers and payload.
+#[test]
+fn frame_roundtrip() {
+    for case in 0..300u64 {
+        let mut rng = SimRng::new(0x00F0_0000 + case);
+        let flow = arb_flow(&mut rng);
+        let seq = rng.next_u64() as u32;
+        let ack = rng.next_u64() as u32;
+        let ts = rng.next_u64() as u32;
+        let id = rng.next_u64() as u16;
+        let payload = arb_bytes(&mut rng, 1_599);
+        let frame = build_frame(&flow, seq, ack, TcpFlags::PSH_ACK, ts, 0, id, &payload);
+        assert_eq!(frame.len(), FRAME_OVERHEAD + payload.len(), "case {case}");
+        let (f, tcp, p) = parse_frame(&frame).expect("parse own frame");
+        assert_eq!(f, flow, "case {case}");
+        assert_eq!(tcp.seq, seq, "case {case}");
+        assert_eq!(tcp.ack, ack, "case {case}");
+        assert_eq!(tcp.ts_val, ts, "case {case}");
+        assert_eq!(p, &payload[..], "case {case}");
+    }
+}
+
+/// Truncating a frame anywhere never panics the parser.
+#[test]
+fn frame_parser_total() {
+    for case in 0..200u64 {
+        let mut rng = SimRng::new(0x00F1_0000 + case);
+        let flow = arb_flow(&mut rng);
+        let payload = arb_bytes(&mut rng, 199);
         let frame = build_frame(&flow, 1, 2, TcpFlags::ACK, 3, 4, 5, &payload);
-        let cut = cut.index(frame.len() + 1);
+        let cut = rng.uniform_u64(0, frame.len() as u64) as usize;
         let _ = parse_frame(&frame[..cut]);
     }
+}
 
-    /// Flow canonicalization is direction-invariant and idempotent.
-    #[test]
-    fn flow_canonical(flow in arb_flow()) {
+/// Flow canonicalization is direction-invariant and idempotent.
+#[test]
+fn flow_canonical() {
+    for case in 0..300u64 {
+        let mut rng = SimRng::new(0x00F2_0000 + case);
+        let flow = arb_flow(&mut rng);
         let c = flow.canonical();
-        prop_assert_eq!(c, flow.reversed().canonical());
-        prop_assert_eq!(c, c.canonical());
-        prop_assert!(c == flow || c == flow.reversed());
+        assert_eq!(c, flow.reversed().canonical(), "case {case}");
+        assert_eq!(c, c.canonical(), "case {case}");
+        assert!(c == flow || c == flow.reversed(), "case {case}");
     }
+}
 
-    /// Sequence unwrap: wrapping any 64-bit offset to 32 bits and
-    /// unwrapping near the true value recovers it exactly.
-    #[test]
-    fn unwrap_recovers(base in 0u64..(1 << 48), delta in -(1i64 << 20)..(1i64 << 20)) {
+/// Sequence unwrap: wrapping any 64-bit offset to 32 bits and
+/// unwrapping near the true value recovers it exactly.
+#[test]
+fn unwrap_recovers() {
+    for case in 0..500u64 {
+        let mut rng = SimRng::new(0x00F3_0000 + case);
+        let base = rng.uniform_u64(0, (1 << 48) - 1);
+        let delta = rng.uniform_u64(0, 1 << 21) as i64 - (1 << 20);
         let truth = base.saturating_add_signed(delta);
         let wire = truth as u32;
-        prop_assert_eq!(unwrap_u32(base, wire), truth);
+        assert_eq!(unwrap_u32(base, wire), truth, "case {case}");
     }
+}
 
-    /// Any byte stream delivered through two TCP endpoints arrives
-    /// intact, whatever the write chunking.
-    #[test]
-    fn tcp_delivers_any_stream(data in prop::collection::vec(any::<u8>(), 0..20_000),
-                               cuts in prop::collection::vec(any::<prop::sample::Index>(), 0..6)) {
+/// Any byte stream delivered through two TCP endpoints arrives
+/// intact, whatever the write chunking.
+#[test]
+fn tcp_delivers_any_stream() {
+    for case in 0..40u64 {
+        let mut rng = SimRng::new(0x00F4_0000 + case);
+        let data = arb_bytes(&mut rng, 19_999);
         let flow = FlowId {
-            src_ip: [10, 0, 0, 1], src_port: 40000,
-            dst_ip: [10, 0, 0, 2], dst_port: 443,
+            src_ip: [10, 0, 0, 1],
+            src_port: 40000,
+            dst_ip: [10, 0, 0, 2],
+            dst_port: 443,
         };
         let mut a = TcpEndpoint::new(flow, 100, 200);
         let mut b = TcpEndpoint::new(flow.reversed(), 200, 100);
-        let mut offsets: Vec<usize> = cuts.iter().map(|c| c.index(data.len() + 1)).collect();
+        let n_cuts = rng.uniform_u64(0, 5) as usize;
+        let mut offsets: Vec<usize> = (0..n_cuts)
+            .map(|_| rng.uniform_u64(0, data.len() as u64) as usize)
+            .collect();
         offsets.push(0);
         offsets.push(data.len());
         offsets.sort_unstable();
@@ -90,49 +127,63 @@ proptest! {
                 to_b.extend(act.to_send);
             }
         }
-        prop_assert_eq!(received, data);
-        prop_assert!(a.fully_acked());
+        assert_eq!(received, data, "case {case}");
+        assert!(a.fully_acked(), "case {case}");
     }
+}
 
-    /// Delivery is invariant to segment reordering (reassembly).
-    #[test]
-    fn tcp_reorder_invariant(data in prop::collection::vec(any::<u8>(), 1..(MSS * 6)),
-                             shuffle_seed in any::<u64>()) {
+/// Delivery is invariant to segment reordering (reassembly).
+#[test]
+fn tcp_reorder_invariant() {
+    for case in 0..60u64 {
+        let mut rng = SimRng::new(0x00F5_0000 + case);
+        let mut data = arb_bytes(&mut rng, MSS as u64 as usize * 6 - 1);
+        if data.is_empty() {
+            data.push(0xaa);
+        }
         let flow = FlowId {
-            src_ip: [10, 0, 0, 1], src_port: 40000,
-            dst_ip: [10, 0, 0, 2], dst_port: 443,
+            src_ip: [10, 0, 0, 1],
+            src_port: 40000,
+            dst_ip: [10, 0, 0, 2],
+            dst_port: 443,
         };
         let mut a = TcpEndpoint::new(flow, 1, 2);
         let mut b = TcpEndpoint::new(flow.reversed(), 2, 1);
         a.write(&data);
         let mut segs = a.flush(SimTime(1));
-        // Deterministic pseudo-shuffle.
-        let mut s = shuffle_seed;
+        // Fisher–Yates shuffle.
         for i in (1..segs.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let j = (s >> 33) as usize % (i + 1);
+            let j = rng.uniform_u64(0, i as u64) as usize;
             segs.swap(i, j);
         }
         let mut received = Vec::new();
         for seg in &segs {
             received.extend(b.on_segment(SimTime(2), seg).delivered);
         }
-        prop_assert_eq!(received, data);
+        assert_eq!(received, data, "case {case}");
     }
+}
 
-    /// Duplicated segments never duplicate delivered bytes.
-    #[test]
-    fn tcp_duplicate_invariant(data in prop::collection::vec(any::<u8>(), 1..(MSS * 3)),
-                               dup in any::<prop::sample::Index>()) {
+/// Duplicated segments never duplicate delivered bytes.
+#[test]
+fn tcp_duplicate_invariant() {
+    for case in 0..60u64 {
+        let mut rng = SimRng::new(0x00F6_0000 + case);
+        let mut data = arb_bytes(&mut rng, MSS * 3 - 1);
+        if data.is_empty() {
+            data.push(0xbb);
+        }
         let flow = FlowId {
-            src_ip: [10, 0, 0, 1], src_port: 40000,
-            dst_ip: [10, 0, 0, 2], dst_port: 443,
+            src_ip: [10, 0, 0, 1],
+            src_port: 40000,
+            dst_ip: [10, 0, 0, 2],
+            dst_port: 443,
         };
         let mut a = TcpEndpoint::new(flow, 1, 2);
         let mut b = TcpEndpoint::new(flow.reversed(), 2, 1);
         a.write(&data);
         let segs = a.flush(SimTime(1));
-        let dup_idx = dup.index(segs.len());
+        let dup_idx = rng.uniform_u64(0, segs.len() as u64 - 1) as usize;
         let mut received = Vec::new();
         for (i, seg) in segs.iter().enumerate() {
             received.extend(b.on_segment(SimTime(2), seg).delivered);
@@ -140,6 +191,6 @@ proptest! {
                 received.extend(b.on_segment(SimTime(2), seg).delivered);
             }
         }
-        prop_assert_eq!(received, data);
+        assert_eq!(received, data, "case {case}");
     }
 }

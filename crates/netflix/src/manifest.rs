@@ -140,10 +140,8 @@ mod tests {
     #[test]
     fn from_json_rejects_malformed() {
         assert!(Manifest::from_json(&Value::Null).is_none());
-        assert!(Manifest::from_json(&Value::object(vec![(
-            "title".into(),
-            Value::from("x")
-        )]))
-        .is_none());
+        assert!(
+            Manifest::from_json(&Value::object(vec![("title".into(), Value::from("x"))])).is_none()
+        );
     }
 }

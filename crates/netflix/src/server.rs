@@ -5,6 +5,7 @@ use std::sync::Arc;
 use wm_http::{Request, Response};
 use wm_json::{parse, Value};
 use wm_story::{ChoicePointId, SegmentId, StoryGraph};
+use wm_telemetry::{Counter, Registry};
 
 /// Ids in state-report bodies are offset by this constant so they
 /// always serialize as two digits (a width-discipline convention shared
@@ -43,18 +44,59 @@ pub struct StateLogEntry {
     pub body_len: usize,
 }
 
+/// Server-side telemetry handles (see `wm-telemetry`).
+pub struct ServerTelemetry {
+    requests: Arc<Counter>,
+    chunks_served: Arc<Counter>,
+    chunk_bytes: Arc<Counter>,
+    state_type1: Arc<Counter>,
+    state_type2: Arc<Counter>,
+    dummy_posts: Arc<Counter>,
+    background_posts: Arc<Counter>,
+    rejected: Arc<Counter>,
+}
+
+impl ServerTelemetry {
+    /// Register the server's metrics under `netflix.*`.
+    pub fn register(registry: &Registry) -> Self {
+        ServerTelemetry {
+            requests: registry.counter("netflix.requests"),
+            chunks_served: registry.counter("netflix.chunks_served"),
+            chunk_bytes: registry.counter("netflix.chunk_bytes"),
+            state_type1: registry.counter("netflix.state_posts.type1"),
+            state_type2: registry.counter("netflix.state_posts.type2"),
+            dummy_posts: registry.counter("netflix.state_posts.dummy"),
+            background_posts: registry.counter("netflix.background_posts"),
+            rejected: registry.counter("netflix.rejected"),
+        }
+    }
+}
+
 /// The interactive streaming origin.
 pub struct NetflixServer {
     graph: Arc<StoryGraph>,
     manifest: Manifest,
     state_log: Vec<StateLogEntry>,
     requests_served: u64,
+    telemetry: Option<ServerTelemetry>,
 }
 
 impl NetflixServer {
     pub fn new(graph: Arc<StoryGraph>, config: ServerConfig) -> Self {
         let manifest = Manifest::for_title(&graph, config.media_scale);
-        NetflixServer { graph, manifest, state_log: Vec::new(), requests_served: 0 }
+        NetflixServer {
+            graph,
+            manifest,
+            state_log: Vec::new(),
+            requests_served: 0,
+            telemetry: None,
+        }
+    }
+
+    /// Attach telemetry handles (observation only; responses are
+    /// unchanged).
+    pub fn set_telemetry(&mut self, telemetry: ServerTelemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// The manifest this server serves.
@@ -75,20 +117,45 @@ impl NetflixServer {
     /// Handle one request.
     pub fn handle(&mut self, req: &Request) -> Response {
         self.requests_served += 1;
+        if let Some(t) = &self.telemetry {
+            t.requests.inc();
+        }
         let path = req.path.clone();
         let (route, _query) = path.split_once('?').unwrap_or((path.as_str(), ""));
         match (req.method.as_str(), route) {
             ("GET", "/manifest") => self.serve_manifest(),
-            ("GET", p) if p.starts_with("/media/") => self.serve_chunk(&path),
+            ("GET", p) if p.starts_with("/media/") => {
+                let resp = self.serve_chunk(&path);
+                if let Some(t) = &self.telemetry {
+                    if resp.status == 200 {
+                        t.chunks_served.inc();
+                        t.chunk_bytes.add(resp.body.len() as u64);
+                    } else {
+                        t.rejected.inc();
+                    }
+                }
+                resp
+            }
             ("POST", "/interact/state") => self.handle_state(req),
             ("POST", "/interact/state-echo") => {
                 // Defense-injected dummy post: acknowledged, not logged.
+                if let Some(t) = &self.telemetry {
+                    t.dummy_posts.inc();
+                }
                 Response::ok().body(b"{\"persisted\":true}".to_vec())
             }
             ("POST", "/log" | "/hb" | "/diag") => {
+                if let Some(t) = &self.telemetry {
+                    t.background_posts.inc();
+                }
                 Response::ok().body(b"{\"logged\":true}".to_vec())
             }
-            _ => Response::new(404, "Not Found").body(b"{}".to_vec()),
+            _ => {
+                if let Some(t) = &self.telemetry {
+                    t.rejected.inc();
+                }
+                Response::new(404, "Not Found").body(b"{}".to_vec())
+            }
         }
     }
 
@@ -112,7 +179,9 @@ impl NetflixServer {
         if chunk_idx >= count || !self.manifest.ladder.contains(&bitrate) {
             return Response::new(404, "Not Found").body(b"{}".to_vec());
         }
-        let size = self.manifest.chunk_bytes(seg.duration_secs, chunk_idx, bitrate);
+        let size = self
+            .manifest
+            .chunk_bytes(seg.duration_secs, chunk_idx, bitrate);
         Response::ok()
             .header("Content-Type", "video/mp4")
             .body(chunk_body(seg_id, chunk_idx, size))
@@ -120,11 +189,23 @@ impl NetflixServer {
 
     fn handle_state(&mut self, req: &Request) -> Response {
         let Ok(doc) = parse(&req.body) else {
+            if let Some(t) = &self.telemetry {
+                t.rejected.inc();
+            }
             return Response::new(400, "Bad Request").body(b"{\"error\":\"json\"}".to_vec());
         };
         let Some(entry) = self.validate_state(&doc, req.body.len()) else {
+            if let Some(t) = &self.telemetry {
+                t.rejected.inc();
+            }
             return Response::new(422, "Unprocessable").body(b"{\"error\":\"schema\"}".to_vec());
         };
+        if let Some(t) = &self.telemetry {
+            match entry.kind {
+                StateEventKind::Type1 => t.state_type1.inc(),
+                StateEventKind::Type2 => t.state_type2.inc(),
+            }
+        }
         self.state_log.push(entry);
         Response::ok()
             .header("Content-Type", "application/json")
@@ -199,7 +280,10 @@ mod tests {
         let mut members = vec![
             ("esn".to_string(), Value::from("NFCDIE-02-TEST")),
             ("event".to_string(), Value::from("interactiveStateSnapshot")),
-            ("choicePointId".to_string(), Value::from(cp + STATE_ID_OFFSET)),
+            (
+                "choicePointId".to_string(),
+                Value::from(cp + STATE_ID_OFFSET),
+            ),
             ("segmentId".to_string(), Value::from(seg + STATE_ID_OFFSET)),
         ];
         if type2 {
@@ -242,7 +326,7 @@ mod tests {
     fn rejects_bad_chunk_requests() {
         let mut s = server();
         for path in [
-            "/media/999/0?br=3000000", // no such segment
+            "/media/999/0?br=3000000",  // no such segment
             "/media/0/9999?br=3000000", // no such chunk
             "/media/0/0?br=1234",       // not on the ladder
             "/media/0/0",               // missing query
@@ -273,7 +357,8 @@ mod tests {
         let r = s.handle(&Request::new("POST", "/interact/state").body(b"{oops".to_vec()));
         assert_eq!(r.status, 400);
         // Valid JSON, missing fields.
-        let r = s.handle(&Request::new("POST", "/interact/state").body(b"{\"esn\":\"x\"}".to_vec()));
+        let r =
+            s.handle(&Request::new("POST", "/interact/state").body(b"{\"esn\":\"x\"}".to_vec()));
         assert_eq!(r.status, 422);
         // Out-of-range choice point.
         let r = s.handle(&Request::new("POST", "/interact/state").body(state_body(99, 0, false)));

@@ -19,7 +19,10 @@ pub struct ThroughputEstimator {
 impl ThroughputEstimator {
     /// Estimator over the last `capacity` chunk downloads.
     pub fn new(capacity: usize) -> Self {
-        ThroughputEstimator { samples: Vec::new(), capacity: capacity.max(1) }
+        ThroughputEstimator {
+            samples: Vec::new(),
+            capacity: capacity.max(1),
+        }
     }
 
     /// Record one download: `bytes` transferred in `micros` µs.

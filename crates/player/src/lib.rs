@@ -31,8 +31,8 @@ pub mod viewer;
 
 pub use abr::ThroughputEstimator;
 pub use player::{
-    timer_kinds, OutRequest, Player, PlayerActions, PlayerConfig, PlayerPhase, RequestKind,
-    TruthEvent,
+    timer_kinds, OutRequest, Player, PlayerActions, PlayerConfig, PlayerPhase, PlayerTelemetry,
+    RequestKind, TruthEvent,
 };
 pub use profile::{Browser, DeviceForm, Os, Profile};
 pub use state::StateJsonBuilder;

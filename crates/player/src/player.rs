@@ -31,6 +31,7 @@ use wm_net::rng::SimRng;
 use wm_net::time::{Duration, SimTime};
 use wm_netflix::Manifest;
 use wm_story::{Choice, ChoicePointId, SegmentEnd, SegmentId, StoryGraph};
+use wm_telemetry::{Counter, Registry};
 
 /// Timer kinds owned by the player (the session layer routes them back).
 pub mod timer_kinds {
@@ -56,7 +57,11 @@ pub mod timer_kinds {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RequestKind {
     Manifest,
-    Chunk { segment: SegmentId, idx: u32, prefetch: bool },
+    Chunk {
+        segment: SegmentId,
+        idx: u32,
+        prefetch: bool,
+    },
     StateType1,
     StateType2,
     /// A defense-injected dummy second post (see `wm_defense`).
@@ -64,6 +69,54 @@ pub enum RequestKind {
     Telemetry,
     Heartbeat,
     Diagnostic,
+}
+
+/// Per-player telemetry handles (see `wm-telemetry`): one request
+/// counter per [`RequestKind`] plus a received-chunk counter. All
+/// requests funnel through the `push_request`/`push_state_request`
+/// choke points, so these count every byte source on the wire.
+pub struct PlayerTelemetry {
+    manifest: Arc<Counter>,
+    chunk: Arc<Counter>,
+    state_type1: Arc<Counter>,
+    state_type2: Arc<Counter>,
+    dummy_report: Arc<Counter>,
+    telemetry: Arc<Counter>,
+    heartbeat: Arc<Counter>,
+    diagnostic: Arc<Counter>,
+    split_flushes: Arc<Counter>,
+    chunks_received: Arc<Counter>,
+}
+
+impl PlayerTelemetry {
+    /// Register the player's metrics under `player.*`.
+    pub fn register(registry: &Registry) -> Self {
+        PlayerTelemetry {
+            manifest: registry.counter("player.requests.manifest"),
+            chunk: registry.counter("player.requests.chunk"),
+            state_type1: registry.counter("player.requests.state_type1"),
+            state_type2: registry.counter("player.requests.state_type2"),
+            dummy_report: registry.counter("player.requests.dummy_report"),
+            telemetry: registry.counter("player.requests.telemetry"),
+            heartbeat: registry.counter("player.requests.heartbeat"),
+            diagnostic: registry.counter("player.requests.diagnostic"),
+            split_flushes: registry.counter("player.split_flushes"),
+            chunks_received: registry.counter("player.chunks_received"),
+        }
+    }
+
+    fn count(&self, kind: RequestKind) {
+        match kind {
+            RequestKind::Manifest => self.manifest.inc(),
+            RequestKind::Chunk { .. } => self.chunk.inc(),
+            RequestKind::StateType1 => self.state_type1.inc(),
+            RequestKind::StateType2 => self.state_type2.inc(),
+            RequestKind::DummyReport => self.dummy_report.inc(),
+            RequestKind::Telemetry => self.telemetry.inc(),
+            RequestKind::Heartbeat => self.heartbeat.inc(),
+            RequestKind::Diagnostic => self.diagnostic.inc(),
+        }
+    }
 }
 
 /// A request the session layer should transmit.
@@ -87,8 +140,14 @@ pub struct PlayerActions {
 /// Ground-truth events (the dataset's labels).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TruthEvent {
-    SegmentStarted { time: SimTime, segment: SegmentId },
-    QuestionShown { time: SimTime, cp: ChoicePointId },
+    SegmentStarted {
+        time: SimTime,
+        segment: SegmentId,
+    },
+    QuestionShown {
+        time: SimTime,
+        cp: ChoicePointId,
+    },
     Decision {
         time: SimTime,
         cp: ChoicePointId,
@@ -96,7 +155,9 @@ pub enum TruthEvent {
         timed_out: bool,
         type2_sent: bool,
     },
-    SessionEnded { time: SimTime },
+    SessionEnded {
+        time: SimTime,
+    },
 }
 
 /// Player phase.
@@ -207,6 +268,7 @@ pub struct Player {
 
     truth: Vec<TruthEvent>,
     done: bool,
+    telemetry_handles: Option<PlayerTelemetry>,
 }
 
 impl Player {
@@ -241,7 +303,14 @@ impl Player {
             prefetch_received: 0,
             truth: Vec::new(),
             done: false,
+            telemetry_handles: None,
         }
+    }
+
+    /// Attach telemetry handles (observation only; never changes the
+    /// request stream — the player's RNG is untouched).
+    pub fn set_telemetry(&mut self, telemetry: PlayerTelemetry) {
+        self.telemetry_handles = Some(telemetry);
     }
 
     /// Ground truth collected so far.
@@ -316,15 +385,26 @@ impl Player {
             RequestKind::Manifest => {
                 let doc = wm_json::parse(&resp.body).expect("manifest must parse");
                 let manifest = Manifest::from_json(&doc).expect("manifest schema");
-                self.bitrate = manifest.ladder[self.cfg.abr_start_rung.min(manifest.ladder.len() - 1)];
+                self.bitrate =
+                    manifest.ladder[self.cfg.abr_start_rung.min(manifest.ladder.len() - 1)];
                 self.manifest = Some(manifest);
                 self.phase = PlayerPhase::Streaming;
                 self.begin_segment(now, self.graph.start(), &mut actions);
             }
-            RequestKind::Chunk { segment, idx, prefetch } => {
-                self.est.record(resp.body.len(), now.since(sent_at).micros());
+            RequestKind::Chunk {
+                segment,
+                idx,
+                prefetch,
+            } => {
+                if let Some(t) = &self.telemetry_handles {
+                    t.chunks_received.inc();
+                }
+                self.est
+                    .record(resp.body.len(), now.since(sent_at).micros());
                 let m = self.manifest.as_ref().expect("streaming implies manifest");
-                self.bitrate = self.est.select(&m.ladder, self.cfg.abr_start_rung, self.cfg.abr_safety);
+                self.bitrate =
+                    self.est
+                        .select(&m.ladder, self.cfg.abr_start_rung, self.cfg.abr_safety);
                 if prefetch {
                     self.prefetch_received += 1;
                 } else {
@@ -396,7 +476,10 @@ impl Player {
     fn begin_segment(&mut self, now: SimTime, id: SegmentId, actions: &mut PlayerActions) {
         self.current_segment = id;
         self.seg_play_start = now;
-        self.truth.push(TruthEvent::SegmentStarted { time: now, segment: id });
+        self.truth.push(TruthEvent::SegmentStarted {
+            time: now,
+            segment: id,
+        });
         self.enqueue_segment(id, 0, false);
         self.pump_downloads(now, actions);
 
@@ -430,7 +513,10 @@ impl Player {
         let play_end = self.seg_play_start + self.scaled_secs(dur);
         let window = self.scaled_secs(lead);
 
-        self.truth.push(TruthEvent::QuestionShown { time: now, cp: cp_id });
+        self.truth.push(TruthEvent::QuestionShown {
+            time: now,
+            cp: cp_id,
+        });
 
         // Type-1 state report.
         let position_ms = self.content_pos_ms + ((dur - lead) * 1000.0) as i64;
@@ -449,7 +535,11 @@ impl Player {
         let count = m.chunk_count(self.graph.segment(default_target).duration_secs);
         let planned = count.min(self.cfg.prefetch_limit);
         for idx in 0..planned {
-            self.dl_queue.push_back(QueuedChunk { segment: default_target, idx, prefetch: true });
+            self.dl_queue.push_back(QueuedChunk {
+                segment: default_target,
+                idx,
+                prefetch: true,
+            });
         }
         self.pump_downloads(now, actions);
 
@@ -459,10 +549,21 @@ impl Player {
         let entry = self.script.entry(self.encounter_idx, content_window);
         let timed_out = entry.delay >= content_window;
         let delay_sim = self.scaled_secs(entry.delay.as_secs_f64()).min(window);
-        let choice = if timed_out { Choice::Default } else { entry.choice };
-        actions.timers.push((now + delay_sim, timer_kinds::VIEWER_DECIDES));
+        let choice = if timed_out {
+            Choice::Default
+        } else {
+            entry.choice
+        };
+        actions
+            .timers
+            .push((now + delay_sim, timer_kinds::VIEWER_DECIDES));
         let _ = planned;
-        self.pending = Some(PendingChoice { cp: cp_id, play_end, choice, timed_out });
+        self.pending = Some(PendingChoice {
+            cp: cp_id,
+            play_end,
+            choice,
+            timed_out,
+        });
     }
 
     fn on_decision(&mut self, now: SimTime, actions: &mut PlayerActions) {
@@ -531,7 +632,9 @@ impl Player {
         });
         self.next_segment = Some(target);
         self.phase = PlayerPhase::Streaming;
-        actions.timers.push((pending.play_end, timer_kinds::SEGMENT_END));
+        actions
+            .timers
+            .push((pending.play_end, timer_kinds::SEGMENT_END));
         self.pump_downloads(now, actions);
     }
 
@@ -565,7 +668,11 @@ impl Player {
         let m = self.manifest.as_ref().expect("manifest before downloads");
         let count = m.chunk_count(self.graph.segment(id).duration_secs);
         for idx in from..count {
-            self.dl_queue.push_back(QueuedChunk { segment: id, idx, prefetch });
+            self.dl_queue.push_back(QueuedChunk {
+                segment: id,
+                idx,
+                prefetch,
+            });
         }
     }
 
@@ -582,9 +689,11 @@ impl Player {
             .in_flight
             .iter()
             .filter_map(|(k, _)| match k {
-                RequestKind::Chunk { segment, idx, prefetch: true } if *segment == target => {
-                    Some(*idx + 1)
-                }
+                RequestKind::Chunk {
+                    segment,
+                    idx,
+                    prefetch: true,
+                } if *segment == target => Some(*idx + 1),
                 _ => None,
             })
             .max()
@@ -625,7 +734,11 @@ impl Player {
 
     /// Issue the next chunk request if pacing allows.
     fn pump_downloads(&mut self, now: SimTime, actions: &mut PlayerActions) {
-        if self.in_flight.iter().any(|(k, _)| matches!(k, RequestKind::Chunk { .. })) {
+        if self
+            .in_flight
+            .iter()
+            .any(|(k, _)| matches!(k, RequestKind::Chunk { .. }))
+        {
             return; // one chunk at a time
         }
         let Some(&next) = self.dl_queue.front() else {
@@ -643,10 +756,7 @@ impl Player {
             }
         }
         self.dl_queue.pop_front();
-        let path = format!(
-            "/media/{}/{}?br={}",
-            next.segment.0, next.idx, self.bitrate
-        );
+        let path = format!("/media/{}/{}?br={}", next.segment.0, next.idx, self.bitrate);
         let req = Request::new("GET", &path)
             .header("Host", "www.netflix.com")
             .header("User-Agent", self.profile.user_agent())
@@ -656,7 +766,11 @@ impl Player {
             actions,
             now,
             req,
-            RequestKind::Chunk { segment: next.segment, idx: next.idx, prefetch: next.prefetch },
+            RequestKind::Chunk {
+                segment: next.segment,
+                idx: next.idx,
+                prefetch: next.prefetch,
+            },
         );
     }
 
@@ -681,7 +795,10 @@ impl Player {
             self.rng.uniform_u64(t2 as u64 - 12, t2 as u64 + 6) as usize
         } else {
             let mut target = self.rng.uniform_u64(2250, 2800) as usize;
-            for report in [self.profile.type1_target_len(), self.profile.type2_target_len()] {
+            for report in [
+                self.profile.type1_target_len(),
+                self.profile.type2_target_len(),
+            ] {
                 if target.abs_diff(report) < 30 {
                     target = report + 30 + (target % 17);
                 }
@@ -714,7 +831,9 @@ impl Player {
             .header("Cookie", self.json.cookie());
         let plain_target = sealed_target.saturating_sub(wm_cipher::TAG_LEN);
         // Iterate: Content-Length digits shift with the body size.
-        let mut body_len = plain_target.saturating_sub(base.serialized_len() + 24).max(2);
+        let mut body_len = plain_target
+            .saturating_sub(base.serialized_len() + 24)
+            .max(2);
         for _ in 0..4 {
             let req = base.clone().body(telemetry_body(body_len));
             let total = req.serialized_len();
@@ -735,8 +854,15 @@ impl Player {
         request: Request,
         kind: RequestKind,
     ) {
+        if let Some(t) = &self.telemetry_handles {
+            t.count(kind);
+        }
         self.in_flight.push_back((kind, now));
-        actions.requests.push(OutRequest { request, kind, split_flush: false });
+        actions.requests.push(OutRequest {
+            request,
+            kind,
+            split_flush: false,
+        });
     }
 
     /// State posts may rarely be flush-split into two records.
@@ -749,8 +875,18 @@ impl Player {
     ) {
         let p = self.profile.split_flush_prob() + self.cfg.split_flush_extra;
         let split = self.rng.chance(p);
+        if let Some(t) = &self.telemetry_handles {
+            t.count(kind);
+            if split {
+                t.split_flushes.inc();
+            }
+        }
         self.in_flight.push_back((kind, now));
-        actions.requests.push(OutRequest { request, kind, split_flush: split });
+        actions.requests.push(OutRequest {
+            request,
+            kind,
+            split_flush: split,
+        });
     }
 }
 
@@ -806,10 +942,16 @@ mod tests {
             // Requests are answered LATENCY later via a timer with a
             // reserved kind (0xdead + index into a response queue).
             for out in actions.requests {
-                self.sent.push((self.now, out.kind, out.request.serialized_len(), out.split_flush));
+                self.sent.push((
+                    self.now,
+                    out.kind,
+                    out.request.serialized_len(),
+                    out.split_flush,
+                ));
                 let resp = self.server.handle(&out.request);
                 self.responses.push_back(resp);
-                self.timers.push(Reverse((self.now + LATENCY, 0xdead, self.tie)));
+                self.timers
+                    .push(Reverse((self.now + LATENCY, 0xdead, self.tie)));
                 self.tie += 1;
             }
             for (at, kind) in actions.timers {
@@ -843,7 +985,10 @@ mod tests {
     fn run_session(choices: &[Choice]) -> Driver {
         let graph = Arc::new(bandersnatch());
         let script = ViewerScript::from_choices(choices, Duration::from_secs(3));
-        let cfg = PlayerConfig { time_scale: 20, ..PlayerConfig::default() };
+        let cfg = PlayerConfig {
+            time_scale: 20,
+            ..PlayerConfig::default()
+        };
         let player = Player::new(
             Profile::ubuntu_firefox_desktop(),
             graph.clone(),
@@ -874,7 +1019,10 @@ mod tests {
         // Refuse the job (N at choice 3), then defaults.
         let d = run_session(&[Choice::Default, Choice::Default, Choice::NonDefault]);
         let log = d.server.state_log();
-        let type2: Vec<_> = log.iter().filter(|e| e.kind == StateEventKind::Type2).collect();
+        let type2: Vec<_> = log
+            .iter()
+            .filter(|e| e.kind == StateEventKind::Type2)
+            .collect();
         assert_eq!(type2.len(), 1, "exactly one non-default pick");
         assert_eq!(type2[0].choice_point, wm_story::ChoicePointId(2));
         // The walk continues past the refusal: more than 3 decisions.
@@ -885,15 +1033,26 @@ mod tests {
     fn type1_count_matches_choice_points_encountered() {
         let d = run_session(&[Choice::NonDefault; 14]);
         let log = d.server.state_log();
-        let t1 = log.iter().filter(|e| e.kind == StateEventKind::Type1).count();
-        let t2 = log.iter().filter(|e| e.kind == StateEventKind::Type2).count();
+        let t1 = log
+            .iter()
+            .filter(|e| e.kind == StateEventKind::Type1)
+            .count();
+        let t2 = log
+            .iter()
+            .filter(|e| e.kind == StateEventKind::Type2)
+            .count();
         assert_eq!(t1, d.player.decisions().len());
         assert_eq!(t2, d.player.decisions().len(), "every pick was non-default");
     }
 
     #[test]
     fn ground_truth_matches_script() {
-        let choices = [Choice::Default, Choice::NonDefault, Choice::NonDefault, Choice::Default];
+        let choices = [
+            Choice::Default,
+            Choice::NonDefault,
+            Choice::NonDefault,
+            Choice::Default,
+        ];
         let d = run_session(&choices);
         let decisions = d.player.decisions();
         for (i, (_, c)) in decisions.iter().enumerate().take(choices.len()) {
@@ -919,7 +1078,10 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(matches!(truth.last(), Some(TruthEvent::SessionEnded { .. })));
+        assert!(matches!(
+            truth.last(),
+            Some(TruthEvent::SessionEnded { .. })
+        ));
     }
 
     #[test]
@@ -941,7 +1103,12 @@ mod tests {
             assert_eq!(choice, Choice::Default, "timeouts must apply the default");
         }
         for e in d.player.truth() {
-            if let TruthEvent::Decision { timed_out, type2_sent, .. } = e {
+            if let TruthEvent::Decision {
+                timed_out,
+                type2_sent,
+                ..
+            } = e
+            {
                 assert!(*timed_out);
                 assert!(!*type2_sent);
             }
@@ -984,14 +1151,12 @@ mod tests {
             }
             let sealed = plain_len + wm_cipher::TAG_LEN;
             match kind {
-                RequestKind::StateType1 => assert!(
-                    (2211..=2213).contains(&sealed),
-                    "type-1 sealed {sealed}"
-                ),
-                RequestKind::StateType2 => assert!(
-                    (2992..=3017).contains(&sealed),
-                    "type-2 sealed {sealed}"
-                ),
+                RequestKind::StateType1 => {
+                    assert!((2211..=2213).contains(&sealed), "type-1 sealed {sealed}")
+                }
+                RequestKind::StateType2 => {
+                    assert!((2992..=3017).contains(&sealed), "type-2 sealed {sealed}")
+                }
                 _ => {}
             }
         }
@@ -1043,6 +1208,9 @@ mod tests {
         d.run();
         assert!(d.player.is_done());
         let picks: Vec<Choice> = d.player.decisions().iter().map(|(_, c)| *c).collect();
-        assert_eq!(picks, vec![Choice::NonDefault, Choice::Default, Choice::NonDefault]);
+        assert_eq!(
+            picks,
+            vec![Choice::NonDefault, Choice::Default, Choice::NonDefault]
+        );
     }
 }

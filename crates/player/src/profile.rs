@@ -79,7 +79,11 @@ pub struct Profile {
 
 impl Profile {
     pub fn new(os: Os, browser: Browser, device: DeviceForm) -> Self {
-        Profile { os, browser, device }
+        Profile {
+            os,
+            browser,
+            device,
+        }
     }
 
     /// The paper's Figure 2 conditions.
@@ -107,7 +111,12 @@ impl Profile {
     /// "Desktop/Firefox/Ubuntu"-style label, matching the paper's figure
     /// captions.
     pub fn label(self) -> String {
-        format!("{}/{}/{}", self.device.label(), self.browser.label(), self.os.label())
+        format!(
+            "{}/{}/{}",
+            self.device.label(),
+            self.browser.label(),
+            self.os.label()
+        )
     }
 
     /// 2019-era User-Agent string.
@@ -239,8 +248,7 @@ mod tests {
     fn twelve_profiles() {
         let all = Profile::all();
         assert_eq!(all.len(), 12);
-        let labels: std::collections::HashSet<String> =
-            all.iter().map(|p| p.label()).collect();
+        let labels: std::collections::HashSet<String> = all.iter().map(|p| p.label()).collect();
         assert_eq!(labels.len(), 12);
     }
 

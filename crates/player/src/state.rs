@@ -143,7 +143,7 @@ impl StateJsonBuilder {
     /// two-digit sequence number and ids.
     fn reference_type1_fields() -> Type1Fields {
         Type1Fields {
-            session_ms: 8_888_888, // 13-digit timestamp either way
+            session_ms: 8_888_888,  // 13-digit timestamp either way
             position_ms: 8_888_888, // "8888.888"
             segment_id: 78,         // +10 → "88"
             choice_point_id: 78,
@@ -193,7 +193,10 @@ impl StateJsonBuilder {
             ("position".into(), Value::Num(Number::Fixed3(f.position_ms))),
             ("videoId".into(), Value::from(80_988_062i64)),
             ("momentId".into(), Value::from(43_000 + cp * 97)),
-            ("segmentId".into(), Value::from(f.segment_id as i64 + ID_OFFSET)),
+            (
+                "segmentId".into(),
+                Value::from(f.segment_id as i64 + ID_OFFSET),
+            ),
             ("choicePointId".into(), Value::from(cp)),
             ("sessionId".into(), Value::from(self.session_id.clone())),
             ("requestId".into(), Value::from(self.request_id.clone())),
@@ -258,7 +261,10 @@ impl StateJsonBuilder {
                 (
                     "cancelledPrefetch".into(),
                     Value::object(vec![
-                        ("segmentId".into(), Value::from(f.selection_segment as i64 + ID_OFFSET)),
+                        (
+                            "segmentId".into(),
+                            Value::from(f.selection_segment as i64 + ID_OFFSET),
+                        ),
                         ("chunks".into(), Value::from(f.cancelled_chunks as i64)),
                         ("bytes".into(), Value::from(f.cancelled_bytes as i64)),
                     ]),
@@ -286,7 +292,9 @@ impl StateJsonBuilder {
 /// no JSON-escaped characters, so escaped length == length).
 fn pad_blob(n: usize) -> String {
     const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
-    (0..n).map(|i| ALPHABET[(i * 7 + 13) % ALPHABET.len()] as char).collect()
+    (0..n)
+        .map(|i| ALPHABET[(i * 7 + 13) % ALPHABET.len()] as char)
+        .collect()
 }
 
 /// Exactly `n` decimal digits derived from a seed.
@@ -411,7 +419,10 @@ mod tests {
         let mut b = StateJsonBuilder::new(Profile::ubuntu_firefox_desktop(), 9);
         let req = b.type1_request(&fields(120_000, 3, 1));
         let doc = wm_json::parse(&req.body).unwrap();
-        assert_eq!(doc.get("event").and_then(Value::as_str), Some("interactiveStateSnapshot"));
+        assert_eq!(
+            doc.get("event").and_then(Value::as_str),
+            Some("interactiveStateSnapshot")
+        );
         assert!(doc.get("interactionDiff").is_none());
         let t2 = Type2Fields {
             base: fields(120_000, 3, 1),
@@ -424,7 +435,9 @@ mod tests {
         let doc2 = wm_json::parse(&req2.body).unwrap();
         let diff = doc2.get("interactionDiff").expect("type-2 marker");
         assert_eq!(
-            diff.get("selection").and_then(|s| s.get("label")).and_then(Value::as_str),
+            diff.get("selection")
+                .and_then(|s| s.get("label"))
+                .and_then(Value::as_str),
             Some("Now 2")
         );
     }

@@ -31,7 +31,10 @@ impl ViewerScript {
     /// Script from explicit choices with a fixed reaction time.
     pub fn from_choices(choices: &[Choice], delay: Duration) -> Self {
         ViewerScript {
-            entries: choices.iter().map(|&choice| ScriptEntry { choice, delay }).collect(),
+            entries: choices
+                .iter()
+                .map(|&choice| ScriptEntry { choice, delay })
+                .collect(),
         }
     }
 
@@ -47,7 +50,10 @@ impl ViewerScript {
                     Choice::NonDefault
                 };
                 let delay_s = rng.normal_clamped(4.0, 2.0, 0.8, 9.5);
-                ScriptEntry { choice, delay: Duration::from_secs_f64(delay_s) }
+                ScriptEntry {
+                    choice,
+                    delay: Duration::from_secs_f64(delay_s),
+                }
             })
             .collect();
         ViewerScript { entries }
@@ -79,7 +85,10 @@ mod tests {
             Duration::from_secs(3),
         );
         assert_eq!(s.entries.len(), 2);
-        assert_eq!(s.entry(1, Duration::from_secs(10)).choice, Choice::NonDefault);
+        assert_eq!(
+            s.entry(1, Duration::from_secs(10)).choice,
+            Choice::NonDefault
+        );
     }
 
     #[test]

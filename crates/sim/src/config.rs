@@ -10,6 +10,7 @@ use wm_net::time::SimTime;
 use wm_netflix::StateLogEntry;
 use wm_player::{PlayerConfig, Profile, TruthEvent, ViewerScript};
 use wm_story::{Choice, ChoicePointId, StoryGraph};
+use wm_telemetry::Snapshot;
 use wm_tls::CipherSuite;
 
 /// Everything describing one viewing session.
@@ -34,6 +35,10 @@ pub struct SessionConfig {
     pub script: ViewerScript,
     /// Countermeasure applied to state reports.
     pub defense: Defense,
+    /// Collect per-session telemetry (see `wm-telemetry`). Observation
+    /// only: the trace, labels and truth are byte-identical either way;
+    /// disabled sessions return an empty [`Snapshot`].
+    pub telemetry: bool,
 }
 
 impl SessionConfig {
@@ -53,6 +58,7 @@ impl SessionConfig {
             media_scale: 64,
             script,
             defense: Defense::None,
+            telemetry: false,
         }
     }
 
@@ -94,6 +100,10 @@ pub struct SessionOutput {
     /// Server-side state-report log (cross-checked against `truth`).
     pub server_log: Vec<StateLogEntry>,
     pub stats: SessionStats,
+    /// Per-session metric snapshot (empty unless
+    /// [`SessionConfig::telemetry`] was set). Counters are
+    /// seed-deterministic; `*_ns` timing histograms are wall-clock.
+    pub telemetry: Snapshot,
 }
 
 impl SessionOutput {

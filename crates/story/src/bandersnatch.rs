@@ -26,7 +26,12 @@ use crate::model::{
 use ChoiceTag::*;
 
 fn seg(id: u16, name: &'static str, duration_secs: u32, end: SegmentEnd) -> Segment {
-    Segment { id: SegmentId(id), name, duration_secs, end }
+    Segment {
+        id: SegmentId(id),
+        name,
+        duration_secs,
+        end,
+    }
 }
 
 fn cont(next: u16) -> SegmentEnd {
@@ -47,8 +52,16 @@ fn cp(
         id: ChoicePointId(id),
         question,
         options: [
-            ChoiceOption { label: default.0, target: SegmentId(default.1), tags: default.2 },
-            ChoiceOption { label: other.0, target: SegmentId(other.1), tags: other.2 },
+            ChoiceOption {
+                label: default.0,
+                target: SegmentId(default.1),
+                tags: default.2,
+            },
+            ChoiceOption {
+                label: other.0,
+                target: SegmentId(other.1),
+                tags: other.2,
+            },
         ],
     }
 }
@@ -101,7 +114,12 @@ pub fn bandersnatch() -> StoryGraph {
         seg(38, "ending: the office fight", 90, SegmentEnd::Ending),
         seg(39, "burying the body in the garden", 140, cont(41)),
         seg(40, "dealing with the body properly", 160, choice(15)),
-        seg(41, "ending: the dog finds the patio", 120, SegmentEnd::Ending),
+        seg(
+            41,
+            "ending: the dog finds the patio",
+            120,
+            SegmentEnd::Ending,
+        ),
         seg(42, "phoning colin for help", 90, choice(20)),
         seg(43, "phoning the studio instead", 80, cont(44)),
         seg(44, "the final crunch", 150, cont(45)),
@@ -124,79 +142,153 @@ pub fn bandersnatch() -> StoryGraph {
     ];
 
     let choice_points = vec![
-        cp(0, "Frosties or Sugar Puffs?",
+        cp(
+            0,
+            "Frosties or Sugar Puffs?",
             ("Frosties", 1, &[Comfort]),
-            ("Sugar Puffs", 2, &[Novelty])),
-        cp(1, "Thompson Twins or Now 2?",
+            ("Sugar Puffs", 2, &[Novelty]),
+        ),
+        cp(
+            1,
+            "Thompson Twins or Now 2?",
             ("Thompson Twins", 4, &[Comfort, Nostalgia]),
-            ("Now 2", 5, &[Novelty])),
-        cp(2, "Accept the job offer?",
+            ("Now 2", 5, &[Novelty]),
+        ),
+        cp(
+            2,
+            "Accept the job offer?",
             ("Accept", 7, &[Compliance]),
-            ("Refuse", 9, &[Defiance])),
-        cp(3, "Talk about mum?",
+            ("Refuse", 9, &[Defiance]),
+        ),
+        cp(
+            3,
+            "Talk about mum?",
             ("No", 11, &[Withdrawal]),
-            ("Yes", 10, &[Engagement, Nostalgia])),
-        cp(4, "Visit Dr Haynes or follow Colin?",
+            ("Yes", 10, &[Engagement, Nostalgia]),
+        ),
+        cp(
+            4,
+            "Visit Dr Haynes or follow Colin?",
             ("Visit Dr Haynes", 13, &[Compliance, Engagement]),
-            ("Follow Colin", 14, &[Risk, Novelty])),
-        cp(5, "Open up or deflect?",
+            ("Follow Colin", 14, &[Risk, Novelty]),
+        ),
+        cp(
+            5,
+            "Open up or deflect?",
             ("Deflect", 16, &[Withdrawal]),
-            ("Open up", 15, &[Engagement])),
-        cp(6, "Take the acid?",
+            ("Open up", 15, &[Engagement]),
+        ),
+        cp(
+            6,
+            "Take the acid?",
             ("Refuse", 18, &[Rationality]),
-            ("Take it", 17, &[Risk])),
-        cp(7, "Who jumps?",
+            ("Take it", 17, &[Risk]),
+        ),
+        cp(
+            7,
+            "Who jumps?",
             ("Colin jumps", 19, &[Rationality]),
-            ("You jump", 20, &[Risk])),
-        cp(8, "Throw tea over the computer or shout at dad?",
+            ("You jump", 20, &[Risk]),
+        ),
+        cp(
+            8,
+            "Throw tea over the computer or shout at dad?",
             ("Shout at dad", 23, &[Defiance]),
-            ("Throw tea", 22, &[Violence])),
-        cp(9, "Bite nails or pull earlobe?",
+            ("Throw tea", 22, &[Violence]),
+        ),
+        cp(
+            9,
+            "Bite nails or pull earlobe?",
             ("Bite nails", 25, &[Comfort]),
-            ("Pull earlobe", 26, &[Novelty])),
-        cp(10, "Pick up the photo or the book?",
+            ("Pull earlobe", 26, &[Novelty]),
+        ),
+        cp(
+            10,
+            "Pick up the photo or the book?",
             ("The book", 29, &[Rationality, Paranoia]),
-            ("The photo", 28, &[Nostalgia])),
-        cp(11, "Destroy the computer or hit the desk?",
+            ("The photo", 28, &[Nostalgia]),
+        ),
+        cp(
+            11,
+            "Destroy the computer or hit the desk?",
             ("Hit the desk", 32, &[Defiance]),
-            ("Destroy computer", 31, &[Violence])),
-        cp(12, "Back off or attack dad?",
+            ("Destroy computer", 31, &[Violence]),
+        ),
+        cp(
+            12,
+            "Back off or attack dad?",
             ("Back off", 34, &[Mercy]),
-            ("Attack", 35, &[Violence])),
-        cp(13, "See Haynes or run?",
+            ("Attack", 35, &[Violence]),
+        ),
+        cp(
+            13,
+            "See Haynes or run?",
             ("See Haynes", 36, &[Engagement, Compliance]),
-            ("Run", 37, &[Withdrawal])),
-        cp(14, "Bury the body or chop it up?",
+            ("Run", 37, &[Withdrawal]),
+        ),
+        cp(
+            14,
+            "Bury the body or chop it up?",
             ("Bury it", 39, &[Paranoia]),
-            ("Chop it up", 40, &[Violence, Risk])),
-        cp(15, "Phone Colin or phone the studio?",
+            ("Chop it up", 40, &[Violence, Risk]),
+        ),
+        cp(
+            15,
+            "Phone Colin or phone the studio?",
             ("Phone Colin", 42, &[Engagement]),
-            ("Phone the studio", 43, &[Paranoia, Withdrawal])),
-        cp(16, "Crunch through the night?",
+            ("Phone the studio", 43, &[Paranoia, Withdrawal]),
+        ),
+        cp(
+            16,
+            "Crunch through the night?",
             ("Crunch", 46, &[Compliance, Risk]),
-            ("Get some sleep", 47, &[Rationality])),
-        cp(17, "Tell him about the rabbit?",
+            ("Get some sleep", 47, &[Rationality]),
+        ),
+        cp(
+            17,
+            "Tell him about the rabbit?",
             ("Stop there", 48, &[Withdrawal]),
-            ("The rabbit", 49, &[Nostalgia, Engagement])),
-        cp(18, "Take the prescription?",
+            ("The rabbit", 49, &[Nostalgia, Engagement]),
+        ),
+        cp(
+            18,
+            "Take the prescription?",
             ("Take the pills", 50, &[Compliance]),
-            ("Bin the pills", 51, &[Defiance, Paranoia])),
-        cp(19, "Fight him or go for the window?",
+            ("Bin the pills", 51, &[Defiance, Paranoia]),
+        ),
+        cp(
+            19,
+            "Fight him or go for the window?",
             ("Fight", 52, &[Violence, Risk]),
-            ("The window", 53, &[Risk, Novelty])),
-        cp(20, "Tell Colin everything?",
+            ("The window", 53, &[Risk, Novelty]),
+        ),
+        cp(
+            20,
+            "Tell Colin everything?",
             ("Keep it vague", 54, &[Withdrawal, Paranoia]),
-            ("Everything", 55, &[Engagement, Risk])),
-        cp(21, "Read on into the night?",
+            ("Everything", 55, &[Engagement, Risk]),
+        ),
+        cp(
+            21,
+            "Read on into the night?",
             ("Put it down", 56, &[Rationality]),
-            ("Read on", 57, &[Paranoia, Novelty])),
-        cp(22, "Keep running or turn back?",
+            ("Read on", 57, &[Paranoia, Novelty]),
+        ),
+        cp(
+            22,
+            "Keep running or turn back?",
             ("Turn back", 58, &[Compliance]),
-            ("The morning train", 59, &[Withdrawal, Nostalgia])),
+            ("The morning train", 59, &[Withdrawal, Nostalgia]),
+        ),
     ];
 
-    StoryGraph::new("Black Mirror: Bandersnatch (reconstruction)", segments, choice_points, SegmentId(0))
-        .expect("bandersnatch graph must validate")
+    StoryGraph::new(
+        "Black Mirror: Bandersnatch (reconstruction)",
+        segments,
+        choice_points,
+        SegmentId(0),
+    )
+    .expect("bandersnatch graph must validate")
 }
 
 /// A 3-choice miniature film for fast unit tests in downstream crates.
@@ -278,7 +370,11 @@ mod tests {
         for seed in 0..1500 {
             reached.insert(sample_path(&g, seed, 0.5).ending);
         }
-        assert_eq!(reached.len(), g.endings().len(), "all endings hit in 500 samples");
+        assert_eq!(
+            reached.len(),
+            g.endings().len(),
+            "all endings hit in 500 samples"
+        );
     }
 
     #[test]
@@ -286,8 +382,11 @@ mod tests {
         let g = bandersnatch();
         for cp in g.choice_points() {
             assert_eq!(cp.default_target(), cp.options[0].target);
-            assert_ne!(cp.options[0].target, cp.options[1].target,
-                "both options of {:?} lead to the same segment", cp.question);
+            assert_ne!(
+                cp.options[0].target, cp.options[1].target,
+                "both options of {:?} lead to the same segment",
+                cp.question
+            );
         }
     }
 

@@ -28,7 +28,9 @@ impl std::fmt::Display for GraphError {
             GraphError::MisnumberedSegment(i) => write!(f, "segment {i} id mismatch"),
             GraphError::MisnumberedChoicePoint(i) => write!(f, "choice point {i} id mismatch"),
             GraphError::DanglingSegment(i) => write!(f, "reference to missing segment {i}"),
-            GraphError::DanglingChoicePoint(i) => write!(f, "reference to missing choice point {i}"),
+            GraphError::DanglingChoicePoint(i) => {
+                write!(f, "reference to missing choice point {i}")
+            }
             GraphError::Unreachable(i) => write!(f, "segment {i} unreachable"),
             GraphError::Cycle => write!(f, "story graph contains a cycle"),
             GraphError::NoEnding => write!(f, "no ending reachable"),
@@ -94,7 +96,12 @@ impl StoryGraph {
             }
         }
 
-        let graph = StoryGraph { title, segments, choice_points, start };
+        let graph = StoryGraph {
+            title,
+            segments,
+            choice_points,
+            start,
+        };
         graph.check_reachability()?;
         graph.check_acyclic()?;
         if !graph.segments.iter().any(Segment::is_ending) {
@@ -141,8 +148,7 @@ impl StoryGraph {
                 indegree[next.0 as usize] += 1;
             }
         }
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         let mut visited = 0;
         while let Some(i) = queue.pop_front() {
             visited += 1;
@@ -193,7 +199,11 @@ impl StoryGraph {
 
     /// Endings.
     pub fn endings(&self) -> Vec<SegmentId> {
-        self.segments.iter().filter(|s| s.is_ending()).map(|s| s.id).collect()
+        self.segments
+            .iter()
+            .filter(|s| s.is_ending())
+            .map(|s| s.id)
+            .collect()
     }
 
     /// Maximum number of choice points on any path from the start — the
@@ -231,7 +241,12 @@ mod tests {
     use crate::model::{ChoiceOption, ChoiceTag};
 
     fn seg(id: u16, name: &'static str, end: SegmentEnd) -> Segment {
-        Segment { id: SegmentId(id), name, duration_secs: 60, end }
+        Segment {
+            id: SegmentId(id),
+            name,
+            duration_secs: 60,
+            end,
+        }
     }
 
     fn cp(id: u16, a: u16, b: u16) -> ChoicePoint {
@@ -239,8 +254,16 @@ mod tests {
             id: ChoicePointId(id),
             question: "?",
             options: [
-                ChoiceOption { label: "a", target: SegmentId(a), tags: &[ChoiceTag::Comfort] },
-                ChoiceOption { label: "b", target: SegmentId(b), tags: &[ChoiceTag::Novelty] },
+                ChoiceOption {
+                    label: "a",
+                    target: SegmentId(a),
+                    tags: &[ChoiceTag::Comfort],
+                },
+                ChoiceOption {
+                    label: "b",
+                    target: SegmentId(b),
+                    tags: &[ChoiceTag::Novelty],
+                },
             ],
         }
     }

@@ -25,5 +25,7 @@ pub mod model;
 pub mod path;
 
 pub use graph::{GraphError, StoryGraph};
-pub use model::{Choice, ChoiceOption, ChoicePoint, ChoicePointId, ChoiceTag, Segment, SegmentEnd, SegmentId};
+pub use model::{
+    Choice, ChoiceOption, ChoicePoint, ChoicePointId, ChoiceTag, Segment, SegmentEnd, SegmentId,
+};
 pub use path::{sample_path, ChoiceSequence, PathWalk};

@@ -205,8 +205,16 @@ mod tests {
             id: ChoicePointId(0),
             question: "q?",
             options: [
-                ChoiceOption { label: "a", target: SegmentId(1), tags: &[ChoiceTag::Comfort] },
-                ChoiceOption { label: "b", target: SegmentId(2), tags: &[ChoiceTag::Novelty] },
+                ChoiceOption {
+                    label: "a",
+                    target: SegmentId(1),
+                    tags: &[ChoiceTag::Comfort],
+                },
+                ChoiceOption {
+                    label: "b",
+                    target: SegmentId(2),
+                    tags: &[ChoiceTag::Novelty],
+                },
             ],
         };
         assert_eq!(cp.default_target(), SegmentId(1));

@@ -2,8 +2,21 @@
 
 use crate::graph::StoryGraph;
 use crate::model::{Choice, ChoicePointId, SegmentEnd, SegmentId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+/// Splitmix64 step (std-only; the workspace builds offline without the
+/// `rand` crate). Used solely by [`sample_path`]'s biased coin.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform f64 in `[0, 1)` from a splitmix64 state.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
 
 /// The decisions a viewer made, in encounter order.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -91,7 +104,10 @@ pub fn walk(graph: &StoryGraph, choices: &ChoiceSequence) -> PathWalk {
         let seg = graph.segment(current);
         match seg.end {
             SegmentEnd::Ending => {
-                steps.push(WalkStep { segment: current, decision: None });
+                steps.push(WalkStep {
+                    segment: current,
+                    decision: None,
+                });
                 return PathWalk {
                     steps,
                     choices: ChoiceSequence(applied),
@@ -100,14 +116,20 @@ pub fn walk(graph: &StoryGraph, choices: &ChoiceSequence) -> PathWalk {
                 };
             }
             SegmentEnd::Continue(next) => {
-                steps.push(WalkStep { segment: current, decision: None });
+                steps.push(WalkStep {
+                    segment: current,
+                    decision: None,
+                });
                 current = next;
             }
             SegmentEnd::Choice(cp_id) => {
                 let choice = choices.0.get(idx).copied().unwrap_or(Choice::Default);
                 idx += 1;
                 let cp = graph.choice_point(cp_id);
-                steps.push(WalkStep { segment: current, decision: Some((cp_id, choice)) });
+                steps.push(WalkStep {
+                    segment: current,
+                    decision: Some((cp_id, choice)),
+                });
                 applied.push(choice);
                 encountered.push(cp_id);
                 current = cp.option(choice).target;
@@ -120,7 +142,7 @@ pub fn walk(graph: &StoryGraph, choices: &ChoiceSequence) -> PathWalk {
 /// biased coin at every choice point (`p_default` = probability of the
 /// default branch).
 pub fn sample_path(graph: &StoryGraph, seed: u64, p_default: f64) -> PathWalk {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng_state = seed;
     let mut choices = Vec::new();
     let mut current = graph.start();
     loop {
@@ -128,7 +150,7 @@ pub fn sample_path(graph: &StoryGraph, seed: u64, p_default: f64) -> PathWalk {
             SegmentEnd::Ending => break,
             SegmentEnd::Continue(next) => current = next,
             SegmentEnd::Choice(cp_id) => {
-                let choice = if rng.gen::<f64>() < p_default {
+                let choice = if unit(&mut rng_state) < p_default {
                     Choice::Default
                 } else {
                     Choice::NonDefault
@@ -210,6 +232,9 @@ mod tests {
     fn walk_duration_positive() {
         let g = bandersnatch();
         let w = sample_path(&g, 3, 0.5);
-        assert!(w.duration_secs(&g) > 600, "a viewing should exceed 10 minutes");
+        assert!(
+            w.duration_secs(&g) > 600,
+            "a viewing should exceed 10 minutes"
+        );
     }
 }

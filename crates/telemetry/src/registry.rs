@@ -1,0 +1,112 @@
+//! The named-metric registry.
+
+use crate::metric::{Counter, Histogram};
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A named collection of counters and histograms.
+///
+/// Registration (name lookup) takes a mutex, so components fetch their
+/// handles once at wiring time; the handles themselves are `Arc`s whose
+/// updates are lock-free. Names are dotted stage paths
+/// (`"net.link.up.delivered"`, `"core.decode_ns"`).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// An immutable snapshot of every metric's current state.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), HistogramSnapshot::of(v)))
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_handle() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(3);
+        b.add(4);
+        assert_eq!(reg.counter("x").get(), 7);
+    }
+
+    #[test]
+    fn snapshot_reflects_state() {
+        let reg = Registry::new();
+        reg.counter("a").add(2);
+        reg.histogram("h").record(100);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["a"], 2);
+        assert_eq!(snap.histograms["h"].count, 1);
+        assert_eq!(snap.histograms["h"].sum, 100);
+    }
+
+    #[test]
+    fn concurrent_increments_sum_exactly() {
+        let reg = Arc::new(Registry::new());
+        let c = reg.counter("races");
+        let h = reg.histogram("values");
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let c = c.clone();
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        c.inc();
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), threads * per_thread);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms["values"].count, threads * per_thread);
+        assert_eq!(
+            snap.histograms["values"].sum,
+            threads * (per_thread * (per_thread - 1) / 2)
+        );
+    }
+}

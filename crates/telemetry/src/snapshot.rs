@@ -1,0 +1,502 @@
+//! Immutable, mergeable metric snapshots with JSON and table renderers.
+//!
+//! The JSON codec is hand-rolled (std-only) and round-trips exactly:
+//! `Snapshot::from_json_str(&snap.to_json_string()) == Some(snap)`.
+
+use crate::metric::{Histogram, BUCKETS};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Frozen state of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    /// Smallest recorded value; 0 when `count == 0`.
+    pub min: u64,
+    /// Largest recorded value; 0 when `count == 0`.
+    pub max: u64,
+    /// Sparse `(bucket_index, count)` pairs, ascending by index.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Snapshot a live histogram.
+    pub fn of(h: &Histogram) -> Self {
+        let counts = h.bucket_counts();
+        HistogramSnapshot {
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min().unwrap_or(0),
+            max: h.max().unwrap_or(0),
+            buckets: counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (i as u8, c))
+                .collect(),
+        }
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile from the log2 buckets: the geometric
+    /// midpoint of the bucket where the cumulative count crosses `q`,
+    /// clamped to the exact `[min, max]`.
+    pub fn approx_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(i, c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                let (lo, hi) = Histogram::bucket_bounds(i as usize);
+                let mid = ((lo as f64) * (hi.max(1) as f64)).sqrt() as u64;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram snapshot into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+        let mut merged: BTreeMap<u8, u64> = self.buckets.iter().copied().collect();
+        for &(i, c) in &other.buckets {
+            *merged.entry(i).or_insert(0) += c;
+        }
+        self.buckets = merged.into_iter().collect();
+    }
+}
+
+/// Frozen state of a whole registry; the unit of aggregation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Fold `other` into `self`. Exact, commutative and associative:
+    /// u64 additions plus min/max, so any merge tree over the same
+    /// snapshots yields identical results.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Merge a list of snapshots into one (run-level aggregation).
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a Snapshot>) -> Snapshot {
+        let mut out = Snapshot::default();
+        for p in parts {
+            out.merge(p);
+        }
+        out
+    }
+
+    /// Machine-readable JSON (single line).
+    pub fn to_json_string(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{}:{v}", json_string(k));
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                json_string(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max
+            );
+            for (j, (b, c)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "[{b},{c}]");
+            }
+            s.push_str("]}");
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Parse the JSON produced by [`Snapshot::to_json_string`].
+    pub fn from_json_str(json: &str) -> Option<Snapshot> {
+        let mut p = Parser {
+            bytes: json.as_bytes(),
+            pos: 0,
+        };
+        let snap = p.snapshot()?;
+        p.skip_ws();
+        if p.pos == p.bytes.len() {
+            Some(snap)
+        } else {
+            None
+        }
+    }
+
+    /// Human-readable report: counters then histogram summaries.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters\n");
+            let width = self.counters.keys().map(String::len).max().unwrap_or(0);
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<width$}  {v:>12}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let width = self
+                .histograms
+                .keys()
+                .map(String::len)
+                .max()
+                .unwrap_or(0)
+                .max(4);
+            let _ = writeln!(
+                out,
+                "histograms (ns for *_ns, µs for *_us)\n  {:<width$}  {:>9} {:>14} {:>10} {:>10} {:>10} {:>10}",
+                "name", "count", "sum", "min", "mean", "~p99", "max"
+            );
+            for (k, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {k:<width$}  {:>9} {:>14} {:>10} {:>10.0} {:>10} {:>10}",
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.mean(),
+                    h.approx_quantile(0.99),
+                    h.max
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Escape a metric name as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal recursive-descent parser for the snapshot schema only.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).ok()?;
+                    let ch = rest.chars().next()?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    fn key(&mut self, expected: &str) -> Option<()> {
+        let k = self.string()?;
+        if k != expected {
+            return None;
+        }
+        self.eat(b':')
+    }
+
+    fn snapshot(&mut self) -> Option<Snapshot> {
+        self.eat(b'{')?;
+        self.key("counters")?;
+        let counters = self.counters()?;
+        self.eat(b',')?;
+        self.key("histograms")?;
+        let histograms = self.histograms()?;
+        self.eat(b'}')?;
+        Some(Snapshot {
+            counters,
+            histograms,
+        })
+    }
+
+    fn counters(&mut self) -> Option<BTreeMap<String, u64>> {
+        self.eat(b'{')?;
+        let mut out = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.eat(b'}')?;
+            return Some(out);
+        }
+        loop {
+            let name = self.string()?;
+            self.eat(b':')?;
+            out.insert(name, self.u64()?);
+            match self.peek()? {
+                b',' => self.eat(b',')?,
+                b'}' => {
+                    self.eat(b'}')?;
+                    return Some(out);
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn histograms(&mut self) -> Option<BTreeMap<String, HistogramSnapshot>> {
+        self.eat(b'{')?;
+        let mut out = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.eat(b'}')?;
+            return Some(out);
+        }
+        loop {
+            let name = self.string()?;
+            self.eat(b':')?;
+            out.insert(name, self.histogram()?);
+            match self.peek()? {
+                b',' => self.eat(b',')?,
+                b'}' => {
+                    self.eat(b'}')?;
+                    return Some(out);
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn histogram(&mut self) -> Option<HistogramSnapshot> {
+        self.eat(b'{')?;
+        self.key("count")?;
+        let count = self.u64()?;
+        self.eat(b',')?;
+        self.key("sum")?;
+        let sum = self.u64()?;
+        self.eat(b',')?;
+        self.key("min")?;
+        let min = self.u64()?;
+        self.eat(b',')?;
+        self.key("max")?;
+        let max = self.u64()?;
+        self.eat(b',')?;
+        self.key("buckets")?;
+        self.eat(b'[')?;
+        let mut buckets = Vec::new();
+        if self.peek() == Some(b']') {
+            self.eat(b']')?;
+        } else {
+            loop {
+                self.eat(b'[')?;
+                let idx = self.u64()?;
+                if idx >= BUCKETS as u64 {
+                    return None;
+                }
+                self.eat(b',')?;
+                let c = self.u64()?;
+                self.eat(b']')?;
+                buckets.push((idx as u8, c));
+                match self.peek()? {
+                    b',' => self.eat(b',')?,
+                    b']' => {
+                        self.eat(b']')?;
+                        break;
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        self.eat(b'}')?;
+        Some(HistogramSnapshot {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> Snapshot {
+        let reg = Registry::new();
+        reg.counter("a.events").add(7);
+        reg.counter("b.frames").add(123_456);
+        let h = reg.histogram("lat_ns");
+        for v in [3u64, 900, 900, 40_000, 0] {
+            h.record(v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn json_roundtrip_exact() {
+        let snap = sample();
+        let json = snap.to_json_string();
+        let back = Snapshot::from_json_str(&json).expect("parses");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let snap = Snapshot::default();
+        assert_eq!(Snapshot::from_json_str(&snap.to_json_string()), Some(snap));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut json = sample().to_json_string();
+        json.push('x');
+        assert_eq!(Snapshot::from_json_str(&json), None);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let a = sample();
+        let b = sample();
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.counters["a.events"], 14);
+        assert_eq!(m.histograms["lat_ns"].count, 10);
+        assert_eq!(m.histograms["lat_ns"].sum, 2 * a.histograms["lat_ns"].sum);
+        assert_eq!(m.histograms["lat_ns"].min, 0);
+        assert_eq!(m.histograms["lat_ns"].max, 40_000);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let a = sample();
+        let mut left = Snapshot::default();
+        left.merge(&a);
+        assert_eq!(left, a);
+        let mut right = a.clone();
+        right.merge(&Snapshot::default());
+        assert_eq!(right, a);
+    }
+
+    #[test]
+    fn table_lists_every_metric() {
+        let table = sample().render_table();
+        for name in ["a.events", "b.frames", "lat_ns"] {
+            assert!(table.contains(name), "{table}");
+        }
+    }
+
+    #[test]
+    fn quantiles_bounded_by_min_max() {
+        let h = &sample().histograms["lat_ns"];
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.approx_quantile(q);
+            assert!(v >= h.min && v <= h.max, "q{q} -> {v}");
+        }
+    }
+}

@@ -8,10 +8,12 @@
 
 use crate::record::{fragment, ContentType, RecordHeader, MAX_CIPHERTEXT, RECORD_HEADER_LEN};
 use crate::suite::{CipherSuite, CBC_MAC_LEN};
+use std::sync::Arc;
 use wm_cipher::block::{BlockCipher, BLOCK};
 use wm_cipher::kdf::{derive_key, mix};
 use wm_cipher::mac::{tags_equal, Mac128};
 use wm_cipher::{open, seal, Key, Nonce};
+use wm_telemetry::{Counter, Registry};
 
 /// Key material for one connection, both directions.
 #[derive(Clone)]
@@ -53,6 +55,30 @@ impl std::fmt::Display for TlsError {
 
 impl std::error::Error for TlsError {}
 
+/// Record-layer telemetry handles for one engine (see `wm-telemetry`).
+///
+/// `bytes_*` count plaintext payload bytes; record counts include every
+/// fragment sealed or authenticated.
+pub struct EngineTelemetry {
+    records_sealed: Arc<Counter>,
+    bytes_sealed: Arc<Counter>,
+    records_opened: Arc<Counter>,
+    bytes_opened: Arc<Counter>,
+}
+
+impl EngineTelemetry {
+    /// Register this engine's metrics under `tls.<label>.*`
+    /// (label is conventionally `client` or `server`).
+    pub fn register(registry: &Registry, label: &str) -> Self {
+        EngineTelemetry {
+            records_sealed: registry.counter(&format!("tls.{label}.records_sealed")),
+            bytes_sealed: registry.counter(&format!("tls.{label}.bytes_sealed")),
+            records_opened: registry.counter(&format!("tls.{label}.records_opened")),
+            bytes_opened: registry.counter(&format!("tls.{label}.bytes_opened")),
+        }
+    }
+}
+
 /// One endpoint's record engine (seals with its write key, opens with
 /// the peer's).
 pub struct RecordEngine {
@@ -63,6 +89,7 @@ pub struct RecordEngine {
     read_seq: u64,
     /// Bytes received but not yet parsed into complete records.
     rx_buf: Vec<u8>,
+    telemetry: Option<EngineTelemetry>,
 }
 
 impl RecordEngine {
@@ -84,7 +111,14 @@ impl RecordEngine {
             write_seq: 0,
             read_seq: 0,
             rx_buf: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attach telemetry handles (observation only; never changes wire
+    /// bytes or authentication outcomes).
+    pub fn set_telemetry(&mut self, telemetry: EngineTelemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// The cipher suite this engine protects records with.
@@ -106,8 +140,15 @@ impl RecordEngine {
     fn seal_fragment(&mut self, content_type: ContentType, payload: &[u8], wire: &mut Vec<u8>) {
         let seq = self.write_seq;
         self.write_seq += 1;
+        if let Some(t) = &self.telemetry {
+            t.records_sealed.inc();
+            t.bytes_sealed.add(payload.len() as u64);
+        }
         let ct_len = self.suite.ciphertext_len(payload.len());
-        assert!(ct_len <= MAX_CIPHERTEXT, "fragmenting should have capped this");
+        assert!(
+            ct_len <= MAX_CIPHERTEXT,
+            "fragmenting should have capped this"
+        );
         let header = RecordHeader {
             content_type,
             version: (3, 3),
@@ -148,8 +189,9 @@ impl RecordEngine {
         if self.rx_buf.len() < RECORD_HEADER_LEN {
             return Ok(None);
         }
-        let header_bytes: [u8; RECORD_HEADER_LEN] =
-            self.rx_buf[..RECORD_HEADER_LEN].try_into().expect("header length");
+        let header_bytes: [u8; RECORD_HEADER_LEN] = self.rx_buf[..RECORD_HEADER_LEN]
+            .try_into()
+            .expect("header length");
         let header = RecordHeader::parse(&header_bytes).ok_or(TlsError::Desync)?;
         let total = RECORD_HEADER_LEN + header.length as usize;
         if self.rx_buf.len() < total {
@@ -172,8 +214,7 @@ impl RecordEngine {
                     return Err(TlsError::BadRecord);
                 }
                 let mac_start = plain.len() - CBC_MAC_LEN;
-                let got_mac: [u8; CBC_MAC_LEN] =
-                    plain[mac_start..].try_into().expect("mac length");
+                let got_mac: [u8; CBC_MAC_LEN] = plain[mac_start..].try_into().expect("mac length");
                 plain.truncate(mac_start);
                 let expect = cbc_mac(&self.read_key, seq, &header, &plain);
                 if !mac20_equal(&expect, &got_mac) {
@@ -182,6 +223,10 @@ impl RecordEngine {
                 plain
             }
         };
+        if let Some(t) = &self.telemetry {
+            t.records_opened.inc();
+            t.bytes_opened.add(plaintext.len() as u64);
+        }
         Ok(Some((header.content_type, plaintext)))
     }
 
@@ -369,6 +414,35 @@ mod tests {
             let (_, plain) = client.next_record().unwrap().unwrap();
             assert_eq!(plain, reply.as_bytes());
         }
+    }
+
+    #[test]
+    fn telemetry_counts_records_and_bytes() {
+        let (mut client, mut server) = pair(CipherSuite::Aead);
+        let reg = Registry::new();
+        client.set_telemetry(EngineTelemetry::register(&reg, "client"));
+        server.set_telemetry(EngineTelemetry::register(&reg, "server"));
+        // One small record plus a two-fragment payload.
+        let small = client.seal_payload(ContentType::ApplicationData, b"hi");
+        let big_payload = vec![0x5a; (1 << 14) + 100];
+        let big = client.seal_payload(ContentType::ApplicationData, &big_payload);
+        server.feed(&small);
+        server.feed(&big);
+        let records = server.drain_records().unwrap();
+        assert_eq!(records.len(), 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["tls.client.records_sealed"], 3);
+        assert_eq!(
+            snap.counters["tls.client.bytes_sealed"],
+            2 + big_payload.len() as u64
+        );
+        assert_eq!(snap.counters["tls.server.records_opened"], 3);
+        assert_eq!(
+            snap.counters["tls.server.bytes_opened"],
+            2 + big_payload.len() as u64
+        );
+        // The server sealed nothing.
+        assert_eq!(snap.counters["tls.server.records_sealed"], 0);
     }
 
     #[test]

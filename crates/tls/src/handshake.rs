@@ -87,7 +87,13 @@ pub fn simulate_handshake(shape: &HandshakeShape, seed: u64) -> Vec<Flight> {
     let sh = jitter(&mut state, shape.server_hello);
 
     let mut flights = Vec::new();
-    flights.push(flight(Sender::Client, "ClientHello", ContentType::Handshake, ch, &mut state));
+    flights.push(flight(
+        Sender::Client,
+        "ClientHello",
+        ContentType::Handshake,
+        ch,
+        &mut state,
+    ));
 
     // Server flight: ServerHello, Certificate, ServerKeyExchange and
     // ServerHelloDone ride in consecutive records on the wire.
@@ -98,7 +104,13 @@ pub fn simulate_handshake(shape: &HandshakeShape, seed: u64) -> Vec<Flight> {
         ("ServerKeyExchange", shape.server_kx),
         ("ServerHelloDone", 4usize),
     ] {
-        let f = flight(Sender::Server, desc, ContentType::Handshake, len, &mut state);
+        let f = flight(
+            Sender::Server,
+            desc,
+            ContentType::Handshake,
+            len,
+            &mut state,
+        );
         server_wire.extend_from_slice(&f.wire);
         let _ = desc;
     }
@@ -163,7 +175,11 @@ fn flight(
     }
     let last = splitmix64(state).to_le_bytes();
     wire.extend_from_slice(&last[..remaining]);
-    Flight { sender, wire, description }
+    Flight {
+        sender,
+        wire,
+        description,
+    }
 }
 
 #[cfg(test)]
@@ -203,7 +219,11 @@ mod tests {
         let mut obs = RecordObserver::new();
         for f in flights.iter().filter(|f| f.sender == Sender::Client) {
             for r in obs.feed(&f.wire) {
-                assert!(r.length <= 2188, "client handshake record {} too long", r.length);
+                assert!(
+                    r.length <= 2188,
+                    "client handshake record {} too long",
+                    r.length
+                );
             }
         }
     }

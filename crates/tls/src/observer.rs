@@ -60,8 +60,9 @@ impl RecordObserver {
             if self.buf.len() < RECORD_HEADER_LEN {
                 break;
             }
-            let header_bytes: [u8; RECORD_HEADER_LEN] =
-                self.buf[..RECORD_HEADER_LEN].try_into().expect("header length");
+            let header_bytes: [u8; RECORD_HEADER_LEN] = self.buf[..RECORD_HEADER_LEN]
+                .try_into()
+                .expect("header length");
             let Some(header) = RecordHeader::parse(&header_bytes) else {
                 self.desynced = true;
                 break;

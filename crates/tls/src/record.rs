@@ -88,7 +88,11 @@ impl RecordHeader {
         if length as usize > MAX_CIPHERTEXT {
             return None;
         }
-        Some(RecordHeader { content_type, version, length })
+        Some(RecordHeader {
+            content_type,
+            version,
+            length,
+        })
     }
 }
 
@@ -131,7 +135,7 @@ mod tests {
         assert!(RecordHeader::parse(&[0, 3, 3, 0, 1]).is_none()); // bad type
         assert!(RecordHeader::parse(&[23, 2, 0, 0, 1]).is_none()); // SSLv2-ish
         assert!(RecordHeader::parse(&[23, 3, 9, 0, 1]).is_none()); // bad minor
-        // Length over the ciphertext bound.
+                                                                   // Length over the ciphertext bound.
         let over = (MAX_CIPHERTEXT + 1) as u16;
         assert!(RecordHeader::parse(&[23, 3, 3, (over >> 8) as u8, over as u8]).is_none());
     }

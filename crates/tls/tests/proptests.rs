@@ -1,28 +1,62 @@
 //! Property-based tests for the record layer.
+//!
+//! Hand-rolled: the offline build environment has no proptest, so each
+//! property runs over a few hundred cases drawn from a local splitmix64
+//! driver. Failures print the case number for replay.
 
-use proptest::prelude::*;
 use wm_tls::conn::{RecordEngine, SessionKeys};
 use wm_tls::observer::RecordObserver;
 use wm_tls::record::{ContentType, MAX_FRAGMENT, RECORD_HEADER_LEN};
 use wm_tls::suite::CipherSuite;
 
+/// Minimal splitmix64 case generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+    fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        let len = self.below(max_len + 1);
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+    fn array<const N: usize>(&mut self) -> [u8; N] {
+        let mut a = [0u8; N];
+        for b in &mut a {
+            *b = self.next() as u8;
+        }
+        a
+    }
+    fn suite(&mut self) -> CipherSuite {
+        if self.below(2) == 0 {
+            CipherSuite::Aead
+        } else {
+            CipherSuite::Cbc
+        }
+    }
+}
+
 fn keys(master: [u8; 32], suite: CipherSuite) -> SessionKeys {
     SessionKeys::derive(&master, suite)
 }
 
-fn arb_suite() -> impl Strategy<Value = CipherSuite> {
-    prop_oneof![Just(CipherSuite::Aead), Just(CipherSuite::Cbc)]
-}
-
-proptest! {
-    /// Any payload sequence round-trips client → server, in order,
-    /// under both suites and arbitrary TCP-like re-chunking.
-    #[test]
-    fn stream_roundtrip(master in any::<[u8; 32]>(), suite in arb_suite(),
-                        payloads in prop::collection::vec(
-                            prop::collection::vec(any::<u8>(), 0..512), 1..8),
-                        chunk in 1usize..700) {
-        let k = keys(master, suite);
+/// Any payload sequence round-trips client → server, in order,
+/// under both suites and arbitrary TCP-like re-chunking.
+#[test]
+fn stream_roundtrip() {
+    for case in 0..150u64 {
+        let mut rng = Rng(0x715_0000 + case);
+        let k = keys(rng.array(), rng.suite());
+        let n_payloads = 1 + rng.below(7);
+        let payloads: Vec<Vec<u8>> = (0..n_payloads).map(|_| rng.bytes(511)).collect();
+        let chunk = 1 + rng.below(699);
         let mut client = RecordEngine::client(&k);
         let mut server = RecordEngine::server(&k);
         let mut wire = Vec::new();
@@ -37,16 +71,21 @@ proptest! {
             }
         }
         // Empty-payload records still arrive as empty messages.
-        prop_assert_eq!(received, payloads);
+        assert_eq!(received, payloads, "case {case}");
     }
+}
 
-    /// The observer recovers exactly the record lengths the sender
-    /// produced, without keys, for any payload sizes and re-chunking.
-    #[test]
-    fn observer_sees_exact_lengths(master in any::<[u8; 32]>(), suite in arb_suite(),
-                                   sizes in prop::collection::vec(0usize..3000, 1..10),
-                                   chunk in 1usize..900) {
-        let k = keys(master, suite);
+/// The observer recovers exactly the record lengths the sender
+/// produced, without keys, for any payload sizes and re-chunking.
+#[test]
+fn observer_sees_exact_lengths() {
+    for case in 0..150u64 {
+        let mut rng = Rng(0x715_1000 + case);
+        let suite = rng.suite();
+        let k = keys(rng.array(), suite);
+        let n_sizes = 1 + rng.below(9);
+        let sizes: Vec<usize> = (0..n_sizes).map(|_| rng.below(3000)).collect();
+        let chunk = 1 + rng.below(899);
         let mut client = RecordEngine::client(&k);
         let mut wire = Vec::new();
         let mut expected = Vec::new();
@@ -59,70 +98,86 @@ proptest! {
         for piece in wire.chunks(chunk) {
             seen.extend(obs.feed(piece).into_iter().map(|r| r.length));
         }
-        prop_assert!(!obs.is_desynced());
-        prop_assert_eq!(seen, expected);
+        assert!(!obs.is_desynced(), "case {case}");
+        assert_eq!(seen, expected, "case {case}");
     }
+}
 
-    /// Suite length arithmetic brackets the plaintext length for any
-    /// size (AEAD exactly; CBC within one block).
-    #[test]
-    fn suite_inverse_sound(suite in arb_suite(), len in 0usize..20000) {
-        let ct = suite.ciphertext_len(len.min(MAX_FRAGMENT));
-        let (lo, hi) = suite.plaintext_len_range(ct).expect("valid ciphertext length");
-        let len = len.min(MAX_FRAGMENT);
-        prop_assert!(lo <= len && len <= hi, "{len} not in [{lo}, {hi}]");
+/// Suite length arithmetic brackets the plaintext length for any
+/// size (AEAD exactly; CBC within one block).
+#[test]
+fn suite_inverse_sound() {
+    for case in 0..400u64 {
+        let mut rng = Rng(0x715_2000 + case);
+        let suite = rng.suite();
+        let len = rng.below(20_000).min(MAX_FRAGMENT);
+        let ct = suite.ciphertext_len(len);
+        let (lo, hi) = suite
+            .plaintext_len_range(ct)
+            .expect("valid ciphertext length");
+        assert!(
+            lo <= len && len <= hi,
+            "case {case}: {len} not in [{lo}, {hi}]"
+        );
     }
+}
 
-    /// Oversized payloads fragment into ≤ 2^14 plaintext records that
-    /// reassemble exactly.
-    #[test]
-    fn fragmentation_reassembles(master in any::<[u8; 32]>(),
-                                 extra in 0usize..5000) {
-        let k = keys(master, CipherSuite::Aead);
+/// Oversized payloads fragment into ≤ 2^14 plaintext records that
+/// reassemble exactly.
+#[test]
+fn fragmentation_reassembles() {
+    for case in 0..30u64 {
+        let mut rng = Rng(0x715_3000 + case);
+        let k = keys(rng.array(), CipherSuite::Aead);
+        let extra = rng.below(5000);
         let mut client = RecordEngine::client(&k);
         let mut server = RecordEngine::server(&k);
         let payload = vec![0x42u8; MAX_FRAGMENT + extra];
         let wire = client.seal_payload(ContentType::ApplicationData, &payload);
         server.feed(&wire);
         let records = server.drain_records().expect("authentic");
-        prop_assert_eq!(records.len(), if extra == 0 { 1 } else { 2 });
+        assert_eq!(records.len(), if extra == 0 { 1 } else { 2 }, "case {case}");
         let total: Vec<u8> = records.into_iter().flat_map(|(_, p)| p).collect();
-        prop_assert_eq!(total, payload);
+        assert_eq!(total, payload, "case {case}");
     }
+}
 
-    /// Corrupting any wire byte of a record makes the receiver reject
-    /// it (header corruption may desync instead — also an error).
-    #[test]
-    fn any_corruption_detected(master in any::<[u8; 32]>(), suite in arb_suite(),
-                               len in 1usize..300,
-                               idx in any::<prop::sample::Index>()) {
-        let k = keys(master, suite);
+/// Corrupting any wire byte of a record makes the receiver reject
+/// it (header corruption may desync instead — also an error).
+#[test]
+fn any_corruption_detected() {
+    for case in 0..300u64 {
+        let mut rng = Rng(0x715_4000 + case);
+        let k = keys(rng.array(), rng.suite());
+        let len = 1 + rng.below(299);
         let mut client = RecordEngine::client(&k);
         let mut server = RecordEngine::server(&k);
         let mut wire = client.seal_payload(ContentType::ApplicationData, &vec![7u8; len]);
-        let i = idx.index(wire.len());
+        let i = rng.below(wire.len());
         wire[i] ^= 0x20;
         server.feed(&wire);
         // Either the record header desyncs, the body fails auth, or —
         // if the corrupted length field now describes a longer record —
         // the engine keeps waiting (no plaintext released).
-        match server.drain_records() {
-            Ok(records) => prop_assert!(records.is_empty(), "corrupted record released"),
-            Err(_) => {}
+        if let Ok(records) = server.drain_records() {
+            assert!(records.is_empty(), "case {case}: corrupted record released");
         }
     }
+}
 
-    /// Record headers on the wire always carry the protocol version and
-    /// a length consistent with the body (structural wire invariant).
-    #[test]
-    fn wire_structure(master in any::<[u8; 32]>(), suite in arb_suite(),
-                      len in 0usize..2000) {
-        let k = keys(master, suite);
+/// Record headers on the wire always carry the protocol version and
+/// a length consistent with the body (structural wire invariant).
+#[test]
+fn wire_structure() {
+    for case in 0..200u64 {
+        let mut rng = Rng(0x715_5000 + case);
+        let k = keys(rng.array(), rng.suite());
+        let len = rng.below(2000);
         let mut client = RecordEngine::client(&k);
         let wire = client.seal_payload(ContentType::ApplicationData, &vec![1u8; len]);
-        prop_assert_eq!(wire[0], 23); // application_data
-        prop_assert_eq!((wire[1], wire[2]), (3, 3));
+        assert_eq!(wire[0], 23, "case {case}"); // application_data
+        assert_eq!((wire[1], wire[2]), (3, 3), "case {case}");
         let l = u16::from_be_bytes([wire[3], wire[4]]) as usize;
-        prop_assert_eq!(wire.len(), RECORD_HEADER_LEN + l);
+        assert_eq!(wire.len(), RECORD_HEADER_LEN + l, "case {case}");
     }
 }

@@ -29,11 +29,18 @@ fn main() {
     println!("generating {n} viewer sessions (seed {seed})…");
     println!("\n{}", spec.table1());
 
-    let opts = SimOptions { media_scale: 512, time_scale: 20, ..SimOptions::default() };
+    let opts = SimOptions {
+        media_scale: 512,
+        time_scale: 20,
+        ..SimOptions::default()
+    };
     let records = run_dataset(&graph, &spec, &opts);
 
     save_dataset(&out, &spec.name, &records).expect("write dataset");
-    let total_packets: usize = records.iter().map(|r| r.output.stats.packets_captured).sum();
+    let total_packets: usize = records
+        .iter()
+        .map(|r| r.output.stats.packets_captured)
+        .sum();
     let total_bytes: u64 = records.iter().map(|r| r.output.trace.total_bytes()).sum();
     println!(
         "saved {} traces ({} packets, {:.1} MiB of frames) to {}",
@@ -42,5 +49,8 @@ fn main() {
         total_bytes as f64 / (1024.0 * 1024.0),
         out.display()
     );
-    println!("ground truth per viewer is in {}/manifest.json", out.display());
+    println!(
+        "ground truth per viewer is in {}/manifest.json",
+        out.display()
+    );
 }

@@ -26,7 +26,10 @@ fn main() {
         Defense::PadToConstant { size: 4096 },
     ];
 
-    println!("{:<18} {:>14} {:>14}", "defense", "length-decoder", "timing-decoder");
+    println!(
+        "{:<18} {:>14} {:>14}",
+        "defense", "length-decoder", "timing-decoder"
+    );
     for defense in defenses {
         // Train under the same defense (the attacker adapts), across
         // several controlled sessions so the learned bands cover the
@@ -48,13 +51,14 @@ fn main() {
         let victim = run_session(&victim_cfg).expect("victim session");
 
         // (a) record-length attack.
-        let length_acc = match WhiteMirror::train(&training_labels, WhiteMirrorConfig::scaled(TIME_SCALE)) {
-            Some(attack) => {
-                let (_, acc) = attack.evaluate(&victim.trace, &graph, &victim.decisions);
-                format!("{:>13.1}%", 100.0 * acc.accuracy())
-            }
-            None => "  no signature".to_string(),
-        };
+        let length_acc =
+            match WhiteMirror::train(&training_labels, WhiteMirrorConfig::scaled(TIME_SCALE)) {
+                Some(attack) => {
+                    let (_, acc) = attack.evaluate(&victim.trace, &graph, &victim.decisions);
+                    format!("{:>13.1}%", 100.0 * acc.accuracy())
+                }
+                None => "  no signature".to_string(),
+            };
 
         // (b) timing/count attack — meaningful when the post sizes are
         // known-constant (padding); without that hint, background

@@ -35,7 +35,10 @@ fn main() {
     // Group viewers by platform profile; first of each group trains.
     let mut by_profile: BTreeMap<String, Vec<usize>> = BTreeMap::new();
     for (i, v) in spec.viewers.iter().enumerate() {
-        by_profile.entry(v.operational.profile.label()).or_default().push(i);
+        by_profile
+            .entry(v.operational.profile.label())
+            .or_default()
+            .push(i);
     }
 
     let load_trace = |i: usize| -> Trace {

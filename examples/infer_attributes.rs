@@ -52,7 +52,11 @@ fn main() {
     println!("viewer  truth      inferred   P(stressed)  P(happy)   decode");
     let mut correct = 0;
     for v in 0..VIEWERS {
-        let mind = if v % 2 == 0 { StateOfMind::Stressed } else { StateOfMind::Happy };
+        let mind = if v % 2 == 0 {
+            StateOfMind::Stressed
+        } else {
+            StateOfMind::Happy
+        };
         let behavior = BehaviorAttributes {
             age: AgeGroup::From25To30,
             gender: Gender::Undisclosed,
@@ -65,7 +69,12 @@ fn main() {
         let mut decode_total = 0usize;
         for k in 0..3u64 {
             let seed = 6_000 + v * 10 + k;
-            let viewer = ViewerSpec { id: v as u32, seed, behavior, operational: cond };
+            let viewer = ViewerSpec {
+                id: v as u32,
+                seed,
+                behavior,
+                operational: cond,
+            };
             let opts = white_mirror::dataset::SimOptions {
                 media_scale: 1024,
                 time_scale: TIME_SCALE,

@@ -22,7 +22,11 @@ use white_mirror::story::{ChoiceTag, SegmentEnd};
 fn main() {
     let graph = Arc::new(story::bandersnatch::bandersnatch());
     let spec = DatasetSpec::generate("profiling-demo", 72, 7_777);
-    let opts = SimOptions { media_scale: 1024, time_scale: 40, ..SimOptions::default() };
+    let opts = SimOptions {
+        media_scale: 1024,
+        time_scale: 40,
+        ..SimOptions::default()
+    };
     println!("running {} viewer sessions…", spec.viewers.len());
     let records = run_dataset(&graph, &spec, &opts);
 
@@ -73,7 +77,11 @@ fn main() {
     );
     println!("inferred violence exposure by (hidden) state of mind:");
     for (mind, (sum, n)) in &per_mind {
-        println!("  {:<12} {:.2} avg tagged picks per viewing  (n={n})", mind, sum / *n as f64);
+        println!(
+            "  {:<12} {:.2} avg tagged picks per viewing  (n={n})",
+            mind,
+            sum / *n as f64
+        );
     }
     let stressed = per_mind.get(StateOfMind::Stressed.label());
     let happy = per_mind.get(StateOfMind::Happy.label());

@@ -12,22 +12,33 @@ use white_mirror::prelude::*;
 
 fn main() {
     let graph = Arc::new(story::bandersnatch::bandersnatch());
-    println!("film: {} ({} segments, {} choice points, {} endings)",
+    println!(
+        "film: {} ({} segments, {} choice points, {} endings)",
         graph.title(),
         graph.segments().len(),
         graph.choice_points().len(),
-        graph.endings().len());
+        graph.endings().len()
+    );
 
     // --- training session (the attacker's own controlled viewing) ----
     let train_script = ViewerScript::sample(1001, 14, 0.5);
     let mut train_cfg = SessionConfig::fast(graph.clone(), 1001, train_script);
     train_cfg.player.time_scale = 40;
+    train_cfg.telemetry = true;
     let train = run_session(&train_cfg).expect("training session");
     println!(
         "trained on {} labelled records ({} type-1, {} type-2)",
         train.labels.len(),
-        train.labels.iter().filter(|l| l.class == RecordClass::Type1).count(),
-        train.labels.iter().filter(|l| l.class == RecordClass::Type2).count(),
+        train
+            .labels
+            .iter()
+            .filter(|l| l.class == RecordClass::Type1)
+            .count(),
+        train
+            .labels
+            .iter()
+            .filter(|l| l.class == RecordClass::Type2)
+            .count(),
     );
     let attack = WhiteMirror::train(&train.labels, WhiteMirrorConfig::scaled(40))
         .expect("training needs report examples");
@@ -41,6 +52,7 @@ fn main() {
     let victim_script = ViewerScript::sample(2002, 14, 0.5);
     let mut victim_cfg = SessionConfig::fast(graph.clone(), 2002, victim_script);
     victim_cfg.player.time_scale = 40;
+    victim_cfg.telemetry = true;
     let victim = run_session(&victim_cfg).expect("victim session");
     println!(
         "victim session: {} packets captured, {} choices made",
@@ -67,4 +79,10 @@ fn main() {
             cp.option(d.choice).label
         );
     }
+
+    // --- telemetry: what both sessions did, stage by stage ------------
+    let mut telemetry = train.telemetry.clone();
+    telemetry.merge(&victim.telemetry);
+    println!("\ntelemetry (train + victim sessions merged):");
+    println!("{}", telemetry.render_table());
 }

@@ -47,9 +47,19 @@ fn main() {
                     q.question
                 );
             }
-            TruthEvent::Decision { time, cp, choice, timed_out, type2_sent } => {
+            TruthEvent::Decision {
+                time,
+                cp,
+                choice,
+                timed_out,
+                type2_sent,
+            } => {
                 let q = graph.choice_point(*cp);
-                let how = if *timed_out { "timer lapsed" } else { "viewer clicked" };
+                let how = if *timed_out {
+                    "timer lapsed"
+                } else {
+                    "viewer clicked"
+                };
                 match choice {
                     Choice::Default => println!(
                         "{:>10}  Q{} decided ({how})  \"{}\" → streaming continues uninterrupted",

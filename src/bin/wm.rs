@@ -147,11 +147,15 @@ fn parse_defense(flags: &Flags) -> Result<Defense, String> {
     Ok(match spec {
         "none" => Defense::None,
         "compress" => Defense::Compress,
-        s if s.starts_with("split:") => Defense::Split { max: parse_size(&s[6..], "split")? },
-        s if s.starts_with("pad+dummies:") => {
-            Defense::PadWithDummies { size: parse_size(&s[12..], "pad")? }
-        }
-        s if s.starts_with("pad:") => Defense::PadToConstant { size: parse_size(&s[4..], "pad")? },
+        s if s.starts_with("split:") => Defense::Split {
+            max: parse_size(&s[6..], "split")?,
+        },
+        s if s.starts_with("pad+dummies:") => Defense::PadWithDummies {
+            size: parse_size(&s[12..], "pad")?,
+        },
+        s if s.starts_with("pad:") => Defense::PadToConstant {
+            size: parse_size(&s[4..], "pad")?,
+        },
         other => return Err(format!("unknown --defense {other:?}")),
     })
 }
@@ -206,7 +210,11 @@ fn cmd_info() -> Result<(), String> {
     }
     let linear: u32 = {
         // Longest possible viewing in content time.
-        fn depth(g: &StoryGraph, id: white_mirror::story::SegmentId, memo: &mut Vec<Option<u32>>) -> u32 {
+        fn depth(
+            g: &StoryGraph,
+            id: white_mirror::story::SegmentId,
+            memo: &mut Vec<Option<u32>>,
+        ) -> u32 {
             if let Some(d) = memo[id.0 as usize] {
                 return d;
             }
@@ -217,8 +225,11 @@ fn cmd_info() -> Result<(), String> {
                     SegmentEnd::Continue(n) => depth(g, n, memo),
                     SegmentEnd::Choice(cp) => {
                         let cp = g.choice_point(cp);
-                        depth(g, cp.options[0].target, memo)
-                            .max(depth(g, cp.options[1].target, memo))
+                        depth(g, cp.options[0].target, memo).max(depth(
+                            g,
+                            cp.options[1].target,
+                            memo,
+                        ))
                     }
                 };
             memo[id.0 as usize] = Some(d);
@@ -266,8 +277,8 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
 
 fn cmd_attack(flags: &Flags) -> Result<(), String> {
     let pcap = flags.get("pcap").ok_or("attack requires --pcap FILE")?;
-    let trace = Trace::read_pcap_file(&PathBuf::from(pcap))
-        .map_err(|e| format!("reading {pcap}: {e}"))?;
+    let trace =
+        Trace::read_pcap_file(&PathBuf::from(pcap)).map_err(|e| format!("reading {pcap}: {e}"))?;
     let attack = if let Some(model) = flags.get("model") {
         WhiteMirror::load_model(&PathBuf::from(model), WhiteMirrorConfig::scaled(TIME_SCALE))
             .map_err(|e| format!("loading model {model}: {e}"))?
@@ -313,8 +324,16 @@ fn cmd_attack(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_dataset(flags: &Flags) -> Result<(), String> {
-    let n: usize = flags.get("n").unwrap_or("20").parse().map_err(|_| "bad --n")?;
-    let seed: u64 = flags.get("seed").unwrap_or("2019").parse().map_err(|_| "bad --seed")?;
+    let n: usize = flags
+        .get("n")
+        .unwrap_or("20")
+        .parse()
+        .map_err(|_| "bad --n")?;
+    let seed: u64 = flags
+        .get("seed")
+        .unwrap_or("2019")
+        .parse()
+        .map_err(|_| "bad --seed")?;
     let out = PathBuf::from(flags.get("out").unwrap_or("iitm-bandersnatch-synth"));
     let graph = Arc::new(story::bandersnatch::bandersnatch());
     let spec = DatasetSpec::generate("IITM-Bandersnatch-synthetic", n, seed);

@@ -11,7 +11,11 @@ use white_mirror::prelude::*;
 use white_mirror::story::ChoiceSequence;
 
 fn opts() -> SimOptions {
-    SimOptions { media_scale: 1024, time_scale: 40, ..SimOptions::default() }
+    SimOptions {
+        media_scale: 1024,
+        time_scale: 40,
+        ..SimOptions::default()
+    }
 }
 
 #[test]
@@ -44,8 +48,7 @@ fn full_pipeline_from_disk() {
         };
         for v in &block[1..] {
             let idx = v.id as usize;
-            let trace =
-                Trace::read_pcap_file(&dir.join("traces").join(&truths[idx].1)).unwrap();
+            let trace = Trace::read_pcap_file(&dir.join("traces").join(&truths[idx].1)).unwrap();
             let decoded = attack.decode_trace(&trace, &graph);
             let truth_seq = ChoiceSequence::from_compact(&truths[idx].0).unwrap();
             let walk = story::path::walk(&graph, &truth_seq);
@@ -94,16 +97,23 @@ fn inference_chain_runs_on_decoded_output() {
 fn manifest_is_pretty_and_parseable() {
     let graph = Arc::new(story::bandersnatch::tiny_film());
     let spec = DatasetSpec::generate("pretty-it", 2, 5);
-    let records = run_dataset(&graph, &spec, &SimOptions {
-        media_scale: 2048,
-        time_scale: 20,
-        ..SimOptions::default()
-    });
+    let records = run_dataset(
+        &graph,
+        &spec,
+        &SimOptions {
+            media_scale: 2048,
+            time_scale: 20,
+            ..SimOptions::default()
+        },
+    );
     let dir = std::env::temp_dir().join("wm_it_pretty");
     let _ = std::fs::remove_dir_all(&dir);
     save_dataset(&dir, "pretty-it", &records).unwrap();
     let text = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
-    assert!(text.contains("\n  \"viewers\": [\n"), "manifest is indented");
+    assert!(
+        text.contains("\n  \"viewers\": [\n"),
+        "manifest is indented"
+    );
     assert!(white_mirror::json::parse(text.as_bytes()).is_ok());
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -71,7 +71,11 @@ fn split_leaves_no_single_record_signature() {
 
 #[test]
 fn padded_reports_are_indistinguishable_by_length() {
-    let out = run(77_200, CipherSuite::Aead, Defense::PadToConstant { size: 4096 });
+    let out = run(
+        77_200,
+        CipherSuite::Aead,
+        Defense::PadToConstant { size: 4096 },
+    );
     let lens: Vec<u16> = out
         .labels
         .iter()
@@ -79,13 +83,24 @@ fn padded_reports_are_indistinguishable_by_length() {
         .map(|l| l.length)
         .collect();
     assert!(!lens.is_empty());
-    assert!(lens.iter().all(|&l| l == lens[0]), "padded lengths differ: {lens:?}");
+    assert!(
+        lens.iter().all(|&l| l == lens[0]),
+        "padded lengths differ: {lens:?}"
+    );
 }
 
 #[test]
 fn dummies_double_the_padded_posts() {
-    let padded = run(77_300, CipherSuite::Aead, Defense::PadToConstant { size: 4096 });
-    let dummied = run(77_300, CipherSuite::Aead, Defense::PadWithDummies { size: 4096 });
+    let padded = run(
+        77_300,
+        CipherSuite::Aead,
+        Defense::PadToConstant { size: 4096 },
+    );
+    let dummied = run(
+        77_300,
+        CipherSuite::Aead,
+        Defense::PadWithDummies { size: 4096 },
+    );
     let count = |out: &SessionOutput| {
         let features = white_mirror::core::client_app_records(&out.trace);
         features

@@ -1,0 +1,108 @@
+//! Golden-trace regression test.
+//!
+//! `tests/fixtures/golden_trace.json` freezes one fast Bandersnatch
+//! session end-to-end: the learned classifier bands, the classified
+//! client-record sequence (every TLS record length the eavesdropper
+//! sees, with its class), and the decoded choice path. Any refactor of
+//! the tls/net/player stack that silently shifts record lengths,
+//! framing, timing or decoding breaks this test — which is the point.
+//! Regenerate deliberately (and explain why in the PR) if the change
+//! is intended.
+
+use std::sync::Arc;
+use white_mirror::capture::RecordClass;
+use white_mirror::core::{client_app_records, RecordClassifier};
+use white_mirror::prelude::*;
+
+const TIME_SCALE: u32 = 40;
+
+fn fast_cfg(graph: &Arc<StoryGraph>, seed: u64) -> SessionConfig {
+    let mut cfg = SessionConfig::fast(graph.clone(), seed, ViewerScript::sample(seed, 14, 0.5));
+    cfg.player.time_scale = TIME_SCALE;
+    cfg
+}
+
+#[test]
+fn pipeline_reproduces_golden_trace() {
+    let bytes = std::fs::read(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/golden_trace.json"
+    ))
+    .expect("fixture present");
+    let doc = white_mirror::json::parse(&bytes).expect("fixture parses");
+
+    let train_seeds: Vec<u64> = doc
+        .get("train_seeds")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_i64().unwrap() as u64)
+        .collect();
+    let victim_seed = doc.get("victim_seed").unwrap().as_i64().unwrap() as u64;
+    let band = |key: &str| {
+        let a = doc.get(key).unwrap().as_array().unwrap();
+        (a[0].as_i64().unwrap() as u16, a[1].as_i64().unwrap() as u16)
+    };
+
+    // Re-run the frozen pipeline.
+    let graph = Arc::new(story::bandersnatch::bandersnatch());
+    let mut labels = Vec::new();
+    for &seed in &train_seeds {
+        labels.extend(run_session(&fast_cfg(&graph, seed)).expect("train").labels);
+    }
+    let attack = WhiteMirror::train(&labels, WhiteMirrorConfig::scaled(TIME_SCALE)).expect("train");
+    assert_eq!(
+        attack.classifier().type1,
+        band("type1_band"),
+        "learned type-1 band drifted"
+    );
+    assert_eq!(
+        attack.classifier().type2,
+        band("type2_band"),
+        "learned type-2 band drifted"
+    );
+
+    let victim = run_session(&fast_cfg(&graph, victim_seed)).expect("victim");
+    let truth: String = victim
+        .decisions
+        .iter()
+        .map(|(_, c)| if *c == Choice::Default { 'D' } else { 'N' })
+        .collect();
+    assert_eq!(
+        truth,
+        doc.get("truth").unwrap().as_str().unwrap(),
+        "ground-truth path drifted"
+    );
+
+    let decoded = attack.decode_trace(&victim.trace, &graph);
+    assert_eq!(
+        decoded.choice_string(),
+        doc.get("decoded").unwrap().as_str().unwrap(),
+        "decoded choice path drifted"
+    );
+
+    // The classified record sequence, record by record.
+    let features = client_app_records(&victim.trace);
+    let expected = doc.get("records").unwrap().as_array().unwrap();
+    assert_eq!(
+        features.records.len(),
+        expected.len(),
+        "client record count drifted"
+    );
+    for (i, (got, want)) in features.records.iter().zip(expected.iter()).enumerate() {
+        let want = want.as_array().unwrap();
+        let want_len = want[0].as_i64().unwrap() as u16;
+        let want_class = match want[1].as_str().unwrap() {
+            "1" => RecordClass::Type1,
+            "2" => RecordClass::Type2,
+            _ => RecordClass::Other,
+        };
+        assert_eq!(got.record.length, want_len, "record {i} length drifted");
+        assert_eq!(
+            attack.classifier().classify(got.record.length),
+            want_class,
+            "record {i} class drifted"
+        );
+    }
+}

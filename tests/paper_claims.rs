@@ -33,7 +33,9 @@ fn claim_the_named_questions_exist() {
     let graph = story::bandersnatch::bandersnatch();
     let questions: Vec<&str> = graph.choice_points().iter().map(|c| c.question).collect();
     assert!(questions.iter().any(|q| q.contains("Frosties")));
-    assert!(questions.iter().any(|q| q.contains("Haynes") || q.contains("Colin")));
+    assert!(questions
+        .iter()
+        .any(|q| q.contains("Haynes") || q.contains("Colin")));
     assert!(questions.iter().any(|q| q.contains("tea")));
 }
 
@@ -90,8 +92,16 @@ fn claim_default_prefetch_and_cancellation() {
 #[test]
 fn claim_json_count_and_type_encode_the_choice() {
     let out = session(90_002, Profile::ubuntu_firefox_desktop(), wired_morning());
-    let t1 = out.labels.iter().filter(|l| l.class == RecordClass::Type1).count();
-    let t2 = out.labels.iter().filter(|l| l.class == RecordClass::Type2).count();
+    let t1 = out
+        .labels
+        .iter()
+        .filter(|l| l.class == RecordClass::Type1)
+        .count();
+    let t2 = out
+        .labels
+        .iter()
+        .filter(|l| l.class == RecordClass::Type2)
+        .count();
     let questions = out.decisions.len();
     let non_defaults = out
         .decisions
@@ -111,8 +121,16 @@ fn claim_json_count_and_type_encode_the_choice() {
 #[test]
 fn claim_figure2_bucket_membership() {
     for (profile, t1_bucket, t2_bucket) in [
-        (Profile::ubuntu_firefox_desktop(), (2211u16, 2213u16), (2992u16, 3017u16)),
-        (Profile::windows_firefox_desktop(), (2341, 2343), (3118, 3147)),
+        (
+            Profile::ubuntu_firefox_desktop(),
+            (2211u16, 2213u16),
+            (2992u16, 3017u16),
+        ),
+        (
+            Profile::windows_firefox_desktop(),
+            (2341, 2343),
+            (3118, 3147),
+        ),
     ] {
         let out = session(90_003, profile, wired_morning());
         for l in &out.labels {
@@ -186,12 +204,20 @@ fn claim_headline_accuracy() {
         let link = LinkConditions::new(*conn, *tod);
         let mut labels = Vec::new();
         for t in 0..3u64 {
-            let out = session(91_000 + i as u64 * 10 + t, Profile::ubuntu_firefox_desktop(), link);
+            let out = session(
+                91_000 + i as u64 * 10 + t,
+                Profile::ubuntu_firefox_desktop(),
+                link,
+            );
             labels.extend(out.labels);
         }
         let attack = WhiteMirror::train(&labels, WhiteMirrorConfig::scaled(TIME_SCALE)).unwrap();
         for v in 0..3u64 {
-            let out = session(92_000 + i as u64 * 10 + v, Profile::ubuntu_firefox_desktop(), link);
+            let out = session(
+                92_000 + i as u64 * 10 + v,
+                Profile::ubuntu_firefox_desktop(),
+                link,
+            );
             let (decoded, acc) = attack.evaluate(&out.trace, &graph, &out.decisions);
             let _ = decoded;
             total.merge(&acc);
@@ -250,8 +276,7 @@ fn claim_fixes_leave_residual_channels() {
     let mut tcfg = white_mirror::defense::TimingDecoderConfig::new(
         white_mirror::net::time::Duration::from_secs_f64(10.0 / TIME_SCALE as f64),
     );
-    tcfg.burst_gap =
-        white_mirror::net::time::Duration::from_secs_f64(0.5 / TIME_SCALE as f64);
+    tcfg.burst_gap = white_mirror::net::time::Duration::from_secs_f64(0.5 / TIME_SCALE as f64);
     tcfg.exact_post_len = Some(4096 + 16);
     let events = white_mirror::defense::TimingDecoder::new(tcfg).decode(&features.records);
     let decoded: Vec<white_mirror::core::DecodedChoice> = events
