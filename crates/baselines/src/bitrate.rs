@@ -11,7 +11,7 @@
 use crate::features::{downstream_bytes_in, LabeledWindow};
 use std::collections::BTreeMap;
 use wm_capture::tap::Trace;
-use wm_net::time::{Duration, SimTime};
+use wm_capture::time::{Duration, SimTime};
 use wm_story::{Choice, ChoicePointId};
 
 /// Per-(choice point, branch) running mean of downstream volume.

@@ -13,7 +13,7 @@
 use crate::features::{burst_vector, l2, LabeledWindow};
 use std::collections::BTreeMap;
 use wm_capture::tap::Trace;
-use wm_net::time::{Duration, SimTime};
+use wm_capture::time::{Duration, SimTime};
 use wm_story::{Choice, ChoicePointId};
 
 /// The burst-vector k-NN baseline.
@@ -82,9 +82,9 @@ impl BurstKnnBaseline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wm_capture::headers::{FlowId, TcpFlags};
     use wm_capture::tap::Tap;
-    use wm_net::headers::{FlowId, TcpFlags};
-    use wm_net::tcp::TcpSegment;
+    use wm_capture::tcp::TcpSegment;
 
     fn downstream(payload: usize) -> TcpSegment {
         TcpSegment {

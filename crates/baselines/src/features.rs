@@ -1,8 +1,8 @@
 //! Downstream traffic features shared by the baselines.
 
+use wm_capture::headers::parse_frame;
 use wm_capture::tap::Trace;
-use wm_net::headers::parse_frame;
-use wm_net::time::{Duration, SimTime};
+use wm_capture::time::{Duration, SimTime};
 use wm_story::{Choice, ChoicePointId};
 
 /// One labelled training window.
@@ -50,9 +50,9 @@ pub fn l2(a: &[f64], b: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wm_capture::headers::{FlowId, TcpFlags};
     use wm_capture::tap::Tap;
-    use wm_net::headers::{FlowId, TcpFlags};
-    use wm_net::tcp::TcpSegment;
+    use wm_capture::tcp::TcpSegment;
 
     fn flow_down() -> FlowId {
         FlowId {

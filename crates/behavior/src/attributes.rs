@@ -1,6 +1,6 @@
 //! The behavioural attribute domains of Table I.
 
-use wm_net::rng::SimRng;
+use wm_capture::rng::SimRng;
 
 /// Age group (Table I: `< 20`, `20-25`, `25-30`, `> 30`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

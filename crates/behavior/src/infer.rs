@@ -281,7 +281,7 @@ mod tests {
                 choices.extend(viewer_choices(&g, &attrs, 2000 + seed * 10 + k));
             }
             for (i, (_, c)) in choices.iter_mut().enumerate() {
-                if (seed as usize + i) % 7 == 0 {
+                if (seed as usize + i).is_multiple_of(7) {
                     *c = c.flipped();
                 }
             }

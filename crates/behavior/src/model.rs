@@ -7,10 +7,10 @@
 //! (and thus the timeout rate), which is visible in the trace timing.
 
 use crate::attributes::{AgeGroup, BehaviorAttributes, Gender, PoliticalAlignment, StateOfMind};
-use wm_net::rng::SimRng;
-use wm_net::time::Duration;
-use wm_player::{ScriptEntry, ViewerScript};
+use wm_capture::rng::SimRng;
+use wm_capture::time::Duration;
 use wm_story::{Choice, ChoiceTag, SegmentEnd, StoryGraph};
+use wm_story::{ScriptEntry, ViewerScript};
 
 /// Additive affinity of `attrs` for one tag (positive = drawn to it).
 pub fn tag_affinity(attrs: &BehaviorAttributes, tag: ChoiceTag) -> f64 {

@@ -50,7 +50,12 @@ impl StreamView {
     pub fn gap_bytes(&self) -> u64 {
         self.chunks
             .windows(2)
-            .map(|w| w[1].start_offset - (w[0].start_offset + w[0].data.len() as u64))
+            .map(|w| match w {
+                [a, b] => b
+                    .start_offset
+                    .saturating_sub(a.start_offset + a.data.len() as u64),
+                _ => 0,
+            })
             .sum()
     }
 
@@ -92,7 +97,8 @@ impl FlowReassembler {
     /// Run reassembly over the full trace.
     pub fn reassemble(trace: &Trace) -> Vec<FlowStreams> {
         // Group segments by canonical flow.
-        let mut flows: BTreeMap<FlowId, Vec<(SimTime, FlowId, u32, Vec<u8>)>> = BTreeMap::new();
+        type Segment = (SimTime, FlowId, u32, Vec<u8>);
+        let mut flows: BTreeMap<FlowId, Vec<Segment>> = BTreeMap::new();
         for (time, flow, tcp, payload) in segments_of(trace) {
             if payload.is_empty() {
                 continue; // pure ACKs and control segments carry no stream bytes
@@ -181,7 +187,8 @@ impl DirectionAssembler {
                         // Contiguous or overlapping: append the new tail.
                         if end > last_end {
                             let skip = (last_end - abs) as usize;
-                            last.data.extend_from_slice(&payload[skip..]);
+                            last.data
+                                .extend_from_slice(payload.get(skip..).unwrap_or_default());
                             last.marks.push((last_end, time));
                         }
                         // Fully contained duplicates contribute nothing.

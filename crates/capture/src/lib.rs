@@ -33,3 +33,38 @@ pub use labels::{LabeledRecord, RecordClass};
 pub use pcap::{PcapError, PcapPacket, PcapReader, PcapWriter};
 pub use records::{extract_records, ExtractStats, Extraction, TimedRecord};
 pub use tap::{CapturedPacket, Tap, Trace, TraceSummary};
+
+// ---------------------------------------------------------------------
+// The attacker's window onto the wire.
+//
+// The layering lint (`wm-lint`) forbids attacker-side crates
+// (`wm-core`, `wm-baselines`, `wm-behavior`) from depending on the
+// victim-side simulation crates (`wm-net`, `wm-tls`, `wm-player`,
+// `wm-netflix`): an on-path adversary never sees victim internals, only
+// what crosses the wire. Everything such an observer legitimately has —
+// capture timestamps, cleartext frame headers, key-less TLS record
+// metadata, and a seeded RNG for its own modelling — is re-exported
+// here so this crate is the attacker's *entire* vocabulary.
+
+/// Simulation-time vocabulary (`SimTime`, `Duration`): pcap timestamps.
+pub mod time {
+    pub use wm_net::time::*;
+}
+
+/// Deterministic seeded RNG for attacker-side modelling.
+pub mod rng {
+    pub use wm_net::rng::*;
+}
+
+/// Cleartext Ethernet/IPv4/TCP header vocabulary visible on the wire.
+pub mod headers {
+    pub use wm_net::headers::*;
+}
+
+/// TCP segment vocabulary (sequence numbers, payload sizes).
+pub mod tcp {
+    pub use wm_net::tcp::*;
+}
+
+pub use wm_tls::observer::{ObservedRecord, RecordObserver};
+pub use wm_tls::record::ContentType;

@@ -92,7 +92,8 @@ impl PcapWriter {
         self.buf.extend_from_slice(&(incl as u32).to_le_bytes());
         self.buf
             .extend_from_slice(&(frame.len() as u32).to_le_bytes());
-        self.buf.extend_from_slice(&frame[..incl]);
+        self.buf
+            .extend_from_slice(frame.get(..incl).unwrap_or(frame));
     }
 
     /// Finish and take the file bytes.
@@ -133,7 +134,7 @@ impl<'a> PcapReader<'a> {
         if bytes.len() < GLOBAL_HEADER_LEN {
             return Err(PcapError::Truncated);
         }
-        let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+        let magic = read_u32_at(bytes, 0, false)?;
         let (swapped, nanos) = match magic {
             0xa1b2_c3d4 => (false, false),
             0xd4c3_b2a1 => (true, false),
@@ -141,15 +142,7 @@ impl<'a> PcapReader<'a> {
             0x4d3c_b2a1 => (true, true),
             _ => return Err(PcapError::BadMagic),
         };
-        let rd32 = |off: usize| -> u32 {
-            let raw: [u8; 4] = bytes[off..off + 4].try_into().expect("4 bytes");
-            if swapped {
-                u32::from_be_bytes(raw)
-            } else {
-                u32::from_le_bytes(raw)
-            }
-        };
-        let linktype = rd32(20);
+        let linktype = read_u32_at(bytes, 20, swapped)?;
         if linktype != LINKTYPE_ETHERNET {
             return Err(PcapError::BadLinkType(linktype));
         }
@@ -161,13 +154,8 @@ impl<'a> PcapReader<'a> {
         })
     }
 
-    fn read_u32(&self, off: usize) -> u32 {
-        let raw: [u8; 4] = self.bytes[off..off + 4].try_into().expect("4 bytes");
-        if self.swapped {
-            u32::from_be_bytes(raw)
-        } else {
-            u32::from_le_bytes(raw)
-        }
+    fn read_u32(&self, off: usize) -> Result<u32, PcapError> {
+        read_u32_at(self.bytes, off, self.swapped)
     }
 
     /// Read the next packet, or `None` at clean EOF.
@@ -175,22 +163,23 @@ impl<'a> PcapReader<'a> {
         if self.pos == self.bytes.len() {
             return Ok(None);
         }
-        if self.pos + PACKET_HEADER_LEN > self.bytes.len() {
-            return Err(PcapError::Truncated);
-        }
-        let ts_sec = self.read_u32(self.pos);
-        let mut ts_frac = self.read_u32(self.pos + 4);
+        let ts_sec = self.read_u32(self.pos)?;
+        let mut ts_frac = self.read_u32(self.pos + 4)?;
         if self.nanos {
             ts_frac /= 1_000;
         }
-        let incl_len = self.read_u32(self.pos + 8) as usize;
-        let orig_len = self.read_u32(self.pos + 12);
+        let incl_len = self.read_u32(self.pos + 8)? as usize;
+        let orig_len = self.read_u32(self.pos + 12)?;
         let data_start = self.pos + PACKET_HEADER_LEN;
-        if data_start + incl_len > self.bytes.len() {
-            return Err(PcapError::Truncated);
-        }
-        let data = self.bytes[data_start..data_start + incl_len].to_vec();
-        self.pos = data_start + incl_len;
+        let data_end = data_start
+            .checked_add(incl_len)
+            .ok_or(PcapError::Truncated)?;
+        let data = self
+            .bytes
+            .get(data_start..data_end)
+            .ok_or(PcapError::Truncated)?
+            .to_vec();
+        self.pos = data_end;
         Ok(Some(PcapPacket {
             ts_sec,
             ts_usec: ts_frac,
@@ -207,6 +196,20 @@ impl<'a> PcapReader<'a> {
         }
         Ok(out)
     }
+}
+
+/// Read 4 bytes at `off` in the file's byte order, or `Truncated` if
+/// the buffer ends first.
+fn read_u32_at(bytes: &[u8], off: usize, swapped: bool) -> Result<u32, PcapError> {
+    let raw = bytes
+        .get(off..)
+        .and_then(|s| s.first_chunk::<4>())
+        .ok_or(PcapError::Truncated)?;
+    Ok(if swapped {
+        u32::from_be_bytes(*raw)
+    } else {
+        u32::from_le_bytes(*raw)
+    })
 }
 
 #[cfg(test)]

@@ -71,7 +71,7 @@ pub fn extract_records(view: &StreamView) -> Extraction {
                     out.stats.resyncs += 1;
                     out.stats.skipped_bytes += skip as u64;
                     carry_offset = chunk.start_offset + skip as u64;
-                    carry = chunk.data[skip..].to_vec();
+                    carry = chunk.data.get(skip..).unwrap_or_default().to_vec();
                 }
                 None => {
                     out.stats.skipped_bytes += chunk.data.len() as u64;
@@ -97,12 +97,10 @@ fn drain_records(
     out: &mut Extraction,
 ) {
     loop {
-        if carry.len() < RECORD_HEADER_LEN {
+        let Some(header_bytes) = carry.first_chunk::<RECORD_HEADER_LEN>() else {
             return;
-        }
-        let header_bytes: [u8; RECORD_HEADER_LEN] =
-            carry[..RECORD_HEADER_LEN].try_into().expect("header len");
-        let Some(header) = RecordHeader::parse(&header_bytes) else {
+        };
+        let Some(header) = RecordHeader::parse(header_bytes) else {
             // Mid-stream desync should not happen on our own traces; if
             // it does, drop the rest of this contiguous run.
             out.stats.skipped_bytes += carry.len() as u64;
@@ -145,9 +143,13 @@ fn find_resync(data: &[u8]) -> Option<usize> {
                 }
                 continue 'outer;
             }
-            let hdr: [u8; RECORD_HEADER_LEN] =
-                data[pos..pos + RECORD_HEADER_LEN].try_into().expect("len");
-            let Some(h) = RecordHeader::parse(&hdr) else {
+            let Some(hdr) = data
+                .get(pos..)
+                .and_then(|s| s.first_chunk::<RECORD_HEADER_LEN>())
+            else {
+                continue 'outer;
+            };
+            let Some(h) = RecordHeader::parse(hdr) else {
                 continue 'outer;
             };
             pos += RECORD_HEADER_LEN + h.length as usize;
@@ -250,7 +252,7 @@ mod tests {
         let mut eng = engine();
         let r1 = eng.seal_payload(ContentType::ApplicationData, &vec![1; 800]);
         let r2 = eng.seal_payload(ContentType::ApplicationData, &vec![2; 600]);
-        let r3 = eng.seal_payload(ContentType::ApplicationData, &vec![3; 200]);
+        let r3 = eng.seal_payload(ContentType::ApplicationData, &[3; 200]);
         // The tap missed r1 entirely and the first 100 bytes of r2.
         let mut rest = r2[100..].to_vec();
         rest.extend_from_slice(&r3);

@@ -83,7 +83,7 @@ impl BlockCipher {
         let pad_len = BLOCK - (plaintext.len() % BLOCK);
         let mut padded = Vec::with_capacity(plaintext.len() + pad_len);
         padded.extend_from_slice(plaintext);
-        padded.extend(std::iter::repeat((pad_len - 1) as u8).take(pad_len));
+        padded.extend(std::iter::repeat_n((pad_len - 1) as u8, pad_len));
 
         let mut out = Vec::with_capacity(BLOCK + padded.len());
         out.extend_from_slice(iv);
@@ -104,7 +104,7 @@ impl BlockCipher {
     ///
     /// Returns `None` on bad length or malformed padding.
     pub fn cbc_decrypt(&self, data: &[u8]) -> Option<Vec<u8>> {
-        if data.len() < 2 * BLOCK || data.len() % BLOCK != 0 {
+        if data.len() < 2 * BLOCK || !data.len().is_multiple_of(BLOCK) {
             return None;
         }
         let mut prev: [u8; BLOCK] = data[..BLOCK].try_into().expect("iv");

@@ -233,10 +233,10 @@ mod tests {
     use super::*;
     use std::sync::Arc;
     use wm_capture::labels::RecordClass;
-    use wm_net::time::Duration;
-    use wm_player::ViewerScript;
+    use wm_capture::time::Duration;
     use wm_sim::{run_session, SessionConfig};
     use wm_story::bandersnatch::{bandersnatch, tiny_film};
+    use wm_story::ViewerScript;
 
     fn run(seed: u64, choices: &[Choice]) -> wm_sim::SessionOutput {
         let graph = Arc::new(tiny_film());
@@ -298,7 +298,7 @@ mod tests {
     #[test]
     fn training_requires_report_examples() {
         let labels = vec![LabeledRecord {
-            time: wm_net::time::SimTime::ZERO,
+            time: wm_capture::time::SimTime::ZERO,
             length: 500,
             class: RecordClass::Other,
         }];

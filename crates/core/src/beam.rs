@@ -26,9 +26,9 @@ use crate::classify::RecordClassifier;
 use crate::decode::{DecodedChoice, DecoderConfig};
 use wm_capture::labels::RecordClass;
 use wm_capture::records::TimedRecord;
-use wm_net::time::{Duration, SimTime};
+use wm_capture::time::{Duration, SimTime};
+use wm_capture::ContentType;
 use wm_story::{Choice, SegmentEnd, SegmentId, StoryGraph};
-use wm_tls::ContentType;
 
 /// Scoring weights (balanced so contributions centre on zero).
 const SCORE_T1_OBSERVED: f64 = 1.0;
@@ -87,7 +87,7 @@ impl<'a, C: RecordClassifier + ?Sized> BeamDecoder<'a, C> {
         // Tight slack: see ChoiceDecoder::decode_time_aware — question
         // times are near-deterministic, and a tight window is what lets
         // the beam use timing to pick the branch when a report is lost.
-        let slack = Duration::from_secs_f64((self.min_gap_secs() / 2.0).min(5.0).max(1.0) / scale);
+        let slack = Duration::from_secs_f64((self.min_gap_secs() / 2.0).clamp(1.0, 5.0) / scale);
         // Absolute anchor: playback start plus the public opening-chain
         // duration — robust even when the first question's report is
         // lost. Playback begins at the manifest response, marked by the
@@ -130,7 +130,7 @@ impl<'a, C: RecordClassifier + ?Sized> BeamDecoder<'a, C> {
             for hyp in live.drain(..) {
                 self.advance(hyp, &events, slack, scale, &mut next, &mut finished);
             }
-            next.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+            next.sort_by(|a, b| b.score.total_cmp(&a.score));
             next.truncate(self.beam_width);
             live = next;
         }
@@ -138,7 +138,9 @@ impl<'a, C: RecordClassifier + ?Sized> BeamDecoder<'a, C> {
 
         // Penalize unexplained report events, then pick the best.
         for h in &mut finished {
-            let unexplained = events[h.cursor.min(events.len())..]
+            let unexplained = events
+                .get(h.cursor..)
+                .unwrap_or_default()
                 .iter()
                 .filter(|(_, c)| *c == RecordClass::Type1)
                 .count();
@@ -146,7 +148,7 @@ impl<'a, C: RecordClassifier + ?Sized> BeamDecoder<'a, C> {
         }
         finished
             .into_iter()
-            .max_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"))
+            .max_by(|a, b| a.score.total_cmp(&b.score))
             .map(|h| h.decisions)
             .unwrap_or_default()
     }
@@ -167,8 +169,8 @@ impl<'a, C: RecordClassifier + ?Sized> BeamDecoder<'a, C> {
         } else {
             slack
         };
-        // Roll through Continue segments.
-        loop {
+        // Roll through Continue segments to the next choice point.
+        let cp = loop {
             match self.graph.segment(hyp.at).end {
                 SegmentEnd::Ending => {
                     hyp.finished = true;
@@ -176,19 +178,15 @@ impl<'a, C: RecordClassifier + ?Sized> BeamDecoder<'a, C> {
                     return;
                 }
                 SegmentEnd::Continue(n) => hyp.at = n,
-                SegmentEnd::Choice(_) => break,
+                SegmentEnd::Choice(cp) => break cp,
             }
-        }
-        let SegmentEnd::Choice(cp) = self.graph.segment(hyp.at).end else {
-            unreachable!("loop exits only at a choice");
         };
 
         let expect = hyp.predicted.unwrap_or(SimTime::ZERO);
         // Find a type-1 near the prediction.
         let mut found: Option<(usize, SimTime)> = None;
         let mut probe = hyp.cursor;
-        while probe < events.len() {
-            let (t, class) = events[probe];
+        while let Some(&(t, class)) = events.get(probe) {
             if t > expect + slack {
                 break;
             }
@@ -208,8 +206,7 @@ impl<'a, C: RecordClassifier + ?Sized> BeamDecoder<'a, C> {
         let window = Duration::from_secs_f64(10.0_f64.min(dur / 2.0) / scale);
         let mut t2_at: Option<usize> = None;
         let mut probe = cursor_after_t1;
-        while probe < events.len() {
-            let (t, class) = events[probe];
+        while let Some(&(t, class)) = events.get(probe) {
             if t > t1_time + window {
                 break;
             }
@@ -305,8 +302,8 @@ mod tests {
     use super::*;
     use crate::classify::IntervalClassifier;
     use wm_capture::labels::LabeledRecord;
+    use wm_capture::ObservedRecord;
     use wm_story::bandersnatch::tiny_film;
-    use wm_tls::observer::ObservedRecord;
 
     fn classifier() -> IntervalClassifier {
         let t = vec![

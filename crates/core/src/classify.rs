@@ -263,7 +263,7 @@ fn class_from_index(i: usize) -> RecordClass {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wm_net::time::SimTime;
+    use wm_capture::time::SimTime;
 
     fn labelled(length: u16, class: RecordClass) -> LabeledRecord {
         LabeledRecord {

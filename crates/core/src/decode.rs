@@ -21,9 +21,9 @@
 use crate::classify::RecordClassifier;
 use wm_capture::labels::RecordClass;
 use wm_capture::records::TimedRecord;
-use wm_net::time::{Duration, SimTime};
+use wm_capture::time::{Duration, SimTime};
+use wm_capture::ContentType;
 use wm_story::{Choice, ChoicePointId, SegmentEnd, SegmentId, StoryGraph};
-use wm_tls::ContentType;
 
 /// The film's choice window, content seconds (public knowledge).
 const WINDOW_SECS: f64 = 10.0;
@@ -140,7 +140,10 @@ impl<'a, C: RecordClassifier + ?Sized> ChoiceDecoder<'a, C> {
         let mut out = Vec::new();
         let mut cursor = 0usize;
         self.walk(|_seg, cp| {
-            while cursor < events.len() && events[cursor].1 != RecordClass::Type1 {
+            while events
+                .get(cursor)
+                .is_some_and(|e| e.1 != RecordClass::Type1)
+            {
                 cursor += 1;
             }
             let Some(&(t1_time, _)) = events.get(cursor) else {
@@ -155,8 +158,11 @@ impl<'a, C: RecordClassifier + ?Sized> ChoiceDecoder<'a, C> {
             cursor += 1;
             let mut choice = Choice::Default;
             let mut probe = cursor;
-            while probe < events.len() && events[probe].0.since(t1_time) <= self.cfg.window {
-                match events[probe].1 {
+            while let Some(&(t, class)) = events.get(probe) {
+                if t.since(t1_time) > self.cfg.window {
+                    break;
+                }
+                match class {
                     RecordClass::Type2 => {
                         choice = Choice::NonDefault;
                         cursor = probe + 1;
@@ -192,7 +198,7 @@ impl<'a, C: RecordClassifier + ?Sized> ChoiceDecoder<'a, C> {
         // so a tight window both rejects neighbouring questions and
         // lets timing distinguish branches whose next-question gaps
         // differ. Capped by half the shortest gap for short films.
-        let slack = Duration::from_secs_f64((self.min_gap_secs() / 2.0).min(5.0).max(1.0) / scale);
+        let slack = Duration::from_secs_f64((self.min_gap_secs() / 2.0).clamp(1.0, 5.0) / scale);
         // The anchor estimate carries the manifest RTT's uncertainty, so
         // the first question gets a wider window; later predictions
         // re-anchor on observed report times.
@@ -209,8 +215,7 @@ impl<'a, C: RecordClassifier + ?Sized> ChoiceDecoder<'a, C> {
             // Look for a type-1 near the expected time.
             let mut found: Option<SimTime> = None;
             let mut probe = cursor;
-            while probe < events.len() {
-                let (t, class) = events[probe];
+            while let Some(&(t, class)) = events.get(probe) {
                 if t > expect + slack {
                     break;
                 }
@@ -231,8 +236,7 @@ impl<'a, C: RecordClassifier + ?Sized> ChoiceDecoder<'a, C> {
             let window = Duration::from_secs_f64(WINDOW_SECS.min(dur / 2.0) / scale);
             let mut choice = Choice::Default;
             let mut probe = cursor;
-            while probe < events.len() {
-                let (t, class) = events[probe];
+            while let Some(&(t, class)) = events.get(probe) {
                 if t > t1_time + window {
                     break;
                 }
@@ -349,8 +353,8 @@ mod tests {
     use super::*;
     use crate::classify::IntervalClassifier;
     use wm_capture::labels::LabeledRecord;
+    use wm_capture::ObservedRecord;
     use wm_story::bandersnatch::tiny_film;
-    use wm_tls::observer::ObservedRecord;
 
     fn classifier() -> IntervalClassifier {
         let training = vec![

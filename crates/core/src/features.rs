@@ -3,7 +3,7 @@
 use wm_capture::flow::FlowReassembler;
 use wm_capture::records::{extract_records, ExtractStats, TimedRecord};
 use wm_capture::tap::Trace;
-use wm_tls::ContentType;
+use wm_capture::ContentType;
 
 /// The eavesdropper's working set for one session.
 #[derive(Debug, Clone, Default)]
@@ -48,11 +48,11 @@ pub fn client_app_records(trace: &Trace) -> ClientFeatures {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use wm_net::time::Duration;
-    use wm_player::ViewerScript;
+    use wm_capture::time::Duration;
     use wm_sim::{run_session, SessionConfig};
     use wm_story::bandersnatch::tiny_film;
     use wm_story::Choice;
+    use wm_story::ViewerScript;
 
     #[test]
     fn extracts_client_records_from_session() {

@@ -140,7 +140,7 @@ pub fn choice_accuracy(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wm_net::time::SimTime;
+    use wm_capture::time::SimTime;
 
     fn dc(cp: u16, choice: Choice) -> DecodedChoice {
         DecodedChoice {

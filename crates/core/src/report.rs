@@ -96,7 +96,7 @@ pub fn tag_exposure(graph: &StoryGraph, choices: &[DecodedChoice]) -> Vec<(Choic
 mod tests {
     use super::*;
     use crate::features::ClientFeatures;
-    use wm_net::time::SimTime;
+    use wm_capture::time::SimTime;
     use wm_story::bandersnatch::tiny_film;
 
     fn decoded(picks: &[Choice]) -> DecodedSession {

@@ -6,14 +6,14 @@
 
 use wm_capture::labels::{LabeledRecord, RecordClass};
 use wm_capture::records::TimedRecord;
+use wm_capture::time::SimTime;
+use wm_capture::ContentType;
+use wm_capture::ObservedRecord;
 use wm_core::classify::{HistogramClassifier, IntervalClassifier, KnnClassifier, RecordClassifier};
 use wm_core::metrics::{choice_accuracy, ConfusionMatrix};
 use wm_core::{BeamDecoder, ChoiceDecoder, DecodedChoice, DecoderConfig};
-use wm_net::time::SimTime;
 use wm_story::bandersnatch::tiny_film;
 use wm_story::{Choice, ChoicePointId};
-use wm_tls::observer::ObservedRecord;
-use wm_tls::ContentType;
 
 /// Minimal splitmix64 case generator.
 struct Rng(u64);

@@ -110,7 +110,7 @@ impl TimingDecoder {
                     // Padded posts: every post is exactly the padded
                     // size (or, split, a multiple of it) — the diag
                     // bound does not apply since sizes are known.
-                    Some(exact) => biggest == exact || total % exact as usize == 0,
+                    Some(exact) => biggest == exact || total.is_multiple_of(exact as usize),
                     None => biggest < self.cfg.max_record_len,
                 };
             if qualifies {

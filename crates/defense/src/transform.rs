@@ -97,7 +97,7 @@ impl Defense {
                     let mut pad = size - base_len;
                     for _ in 0..4 {
                         let mut body = req.body.clone();
-                        body.extend(std::iter::repeat(b' ').take(pad));
+                        body.extend(std::iter::repeat_n(b' ', pad));
                         let candidate = Request {
                             method: req.method.clone(),
                             path: req.path.clone(),

@@ -15,7 +15,7 @@ use std::fmt;
 
 mod parse;
 
-pub use parse::{ParsePhase, RequestParser, ResponseParser};
+pub use parse::{ParseError, ParsePhase, RequestParser, ResponseParser};
 
 /// An HTTP/1.1 request.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -8,6 +8,39 @@
 
 use crate::{Request, Response};
 
+/// A malformed message head, as a typed error.
+///
+/// Both parsers consume bytes that (from the server's perspective)
+/// originate from an untrusted peer, so every malformation maps to a
+/// variant here — the parse path never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The header block is not valid UTF-8.
+    NonUtf8Head,
+    /// `Content-Length` is present but not a decimal `usize`.
+    BadContentLength(String),
+    /// A header line has no `:` separator.
+    MalformedHeaderLine(String),
+    /// The request line is not `METHOD PATH HTTP/1.x`.
+    MalformedRequestLine(String),
+    /// The status line is not `HTTP/1.x CODE [reason]`.
+    BadStatusLine(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::NonUtf8Head => write!(f, "non-UTF-8 header block"),
+            ParseError::BadContentLength(v) => write!(f, "bad Content-Length: {v:?}"),
+            ParseError::MalformedHeaderLine(l) => write!(f, "malformed header line {l:?}"),
+            ParseError::MalformedRequestLine(l) => write!(f, "malformed request line {l:?}"),
+            ParseError::BadStatusLine(l) => write!(f, "bad status line {l:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
 /// Where the parser currently is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ParsePhase {
@@ -44,18 +77,18 @@ impl Accumulator {
         &mut self,
         mut bytes: &[u8],
         out: &mut Vec<(Vec<String>, Vec<u8>)>,
-    ) -> Result<(), String> {
+    ) -> Result<(), ParseError> {
         while !bytes.is_empty() {
             match self.phase {
                 ParsePhase::Headers => {
                     self.buf.extend_from_slice(bytes);
                     bytes = &[];
                     if let Some(end) = find_double_crlf(&self.buf) {
-                        let head_bytes = self.buf[..end].to_vec();
-                        let rest = self.buf[end + 4..].to_vec();
+                        let head_bytes = self.buf.get(..end).unwrap_or_default().to_vec();
+                        let rest = self.buf.get(end + 4..).unwrap_or_default().to_vec();
                         self.buf.clear();
-                        let head_text = String::from_utf8(head_bytes)
-                            .map_err(|_| "non-UTF-8 header block".to_string())?;
+                        let head_text =
+                            String::from_utf8(head_bytes).map_err(|_| ParseError::NonUtf8Head)?;
                         self.head = head_text.split("\r\n").map(str::to_owned).collect();
                         self.body_remaining = content_length(&self.head)?;
                         self.body = Vec::with_capacity(self.body_remaining);
@@ -66,9 +99,10 @@ impl Accumulator {
                 }
                 ParsePhase::Body => {
                     let take = bytes.len().min(self.body_remaining);
-                    self.body.extend_from_slice(&bytes[..take]);
-                    self.body_remaining -= take;
-                    bytes = &bytes[take..];
+                    let (chunk, rest) = bytes.split_at_checked(take).unwrap_or((bytes, &[]));
+                    self.body.extend_from_slice(chunk);
+                    self.body_remaining -= chunk.len();
+                    bytes = rest;
                     if self.body_remaining == 0 {
                         out.push((
                             std::mem::take(&mut self.head),
@@ -99,27 +133,37 @@ fn find_double_crlf(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn content_length(head: &[String]) -> Result<usize, String> {
-    for line in &head[1..] {
+/// The head lines after the start line (empty when the head is empty).
+fn header_lines(head: &[String]) -> &[String] {
+    head.get(1..).unwrap_or_default()
+}
+
+/// The start line of a head block (`""` when the head is empty).
+fn start_line(head: &[String]) -> &str {
+    head.first().map(String::as_str).unwrap_or_default()
+}
+
+fn content_length(head: &[String]) -> Result<usize, ParseError> {
+    for line in header_lines(head) {
         if let Some((name, value)) = line.split_once(':') {
             if name.trim().eq_ignore_ascii_case("content-length") {
                 return value
                     .trim()
                     .parse::<usize>()
-                    .map_err(|_| format!("bad Content-Length: {value:?}"));
+                    .map_err(|_| ParseError::BadContentLength(value.trim().to_owned()));
             }
         }
     }
     Ok(0)
 }
 
-fn split_headers(head: &[String]) -> Result<Vec<(String, String)>, String> {
-    head[1..]
+fn split_headers(head: &[String]) -> Result<Vec<(String, String)>, ParseError> {
+    header_lines(head)
         .iter()
         .map(|line| {
             line.split_once(':')
                 .map(|(n, v)| (n.trim().to_owned(), v.trim().to_owned()))
-                .ok_or_else(|| format!("malformed header line {line:?}"))
+                .ok_or_else(|| ParseError::MalformedHeaderLine(line.clone()))
         })
         .collect()
 }
@@ -142,17 +186,19 @@ impl RequestParser {
     }
 
     /// Feed stream bytes; returns the requests completed by this feed.
-    pub fn feed(&mut self, bytes: &[u8]) -> Result<Vec<Request>, String> {
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Vec<Request>, ParseError> {
         let mut raw = Vec::new();
         self.acc.feed(bytes, &mut raw)?;
         raw.into_iter()
             .map(|(head, body)| {
-                let mut parts = head[0].split(' ');
+                let mut parts = start_line(&head).split(' ');
                 let method = parts.next().unwrap_or("").to_owned();
                 let path = parts.next().unwrap_or("").to_owned();
                 let version = parts.next().unwrap_or("");
                 if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
-                    return Err(format!("malformed request line {:?}", head[0]));
+                    return Err(ParseError::MalformedRequestLine(
+                        start_line(&head).to_owned(),
+                    ));
                 }
                 Ok(Request {
                     method,
@@ -188,21 +234,21 @@ impl ResponseParser {
     }
 
     /// Feed stream bytes; returns the responses completed by this feed.
-    pub fn feed(&mut self, bytes: &[u8]) -> Result<Vec<Response>, String> {
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Vec<Response>, ParseError> {
         let mut raw = Vec::new();
         self.acc.feed(bytes, &mut raw)?;
         raw.into_iter()
             .map(|(head, body)| {
-                let mut parts = head[0].splitn(3, ' ');
+                let mut parts = start_line(&head).splitn(3, ' ');
                 let version = parts.next().unwrap_or("");
                 let status: u16 = parts
                     .next()
                     .unwrap_or("")
                     .parse()
-                    .map_err(|_| format!("bad status line {:?}", head[0]))?;
+                    .map_err(|_| ParseError::BadStatusLine(start_line(&head).to_owned()))?;
                 let reason = parts.next().unwrap_or("").to_owned();
                 if !version.starts_with("HTTP/1.") {
-                    return Err(format!("bad status line {:?}", head[0]));
+                    return Err(ParseError::BadStatusLine(start_line(&head).to_owned()));
                 }
                 Ok(Response {
                     status,

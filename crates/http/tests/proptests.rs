@@ -4,7 +4,7 @@
 //! property runs over a few hundred cases drawn from a local splitmix64
 //! driver. Failures print the case number for replay.
 
-use wm_http::{Request, RequestParser, Response, ResponseParser};
+use wm_http::{ParseError, Request, RequestParser, Response, ResponseParser};
 
 /// Minimal splitmix64 case generator.
 struct Rng(u64);
@@ -145,4 +145,69 @@ fn parser_total() {
         let mut p = ResponseParser::new();
         let _ = p.feed(&bytes);
     }
+}
+
+/// Mutating one byte of a valid request (or truncating it) never
+/// panics: the parser either produces requests, keeps waiting for more
+/// input, or returns a typed error — under any feed chunking.
+#[test]
+fn mutated_requests_never_panic() {
+    for case in 0..300u64 {
+        let mut rng = Rng(0x47_4000 + case);
+        let req = Request::new("POST", "/pbo/choice")
+            .header("X-Netflix.esn", "NFCDIE-03-ABC")
+            .body(rng.bytes(199));
+        let mut bytes = req.to_bytes();
+        match rng.below(3) {
+            0 => {
+                let at = rng.below(bytes.len());
+                bytes[at] = rng.next() as u8;
+            }
+            1 => bytes.truncate(rng.below(bytes.len() + 1)),
+            _ => {
+                let at = rng.below(bytes.len());
+                bytes.insert(at, rng.next() as u8);
+            }
+        }
+        let chunk = 1 + rng.below(64);
+        let mut parser = RequestParser::new();
+        for piece in bytes.chunks(chunk) {
+            if parser.feed(piece).is_err() {
+                break; // typed error: fine, just must not panic
+            }
+        }
+    }
+}
+
+/// Structurally malformed heads are rejected with the *right* typed
+/// error, so callers can tell protocol violations apart.
+#[test]
+fn malformed_heads_yield_typed_errors() {
+    let feed_req = |bytes: &[u8]| RequestParser::new().feed(bytes);
+    let feed_resp = |bytes: &[u8]| ResponseParser::new().feed(bytes);
+
+    assert!(matches!(
+        feed_req(b"POST /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n"),
+        Err(ParseError::BadContentLength(v)) if v == "banana"
+    ));
+    assert!(matches!(
+        feed_req(b"POST /x HTTP/1.1\r\nNoColonHere\r\n\r\n"),
+        Err(ParseError::MalformedHeaderLine(_))
+    ));
+    assert!(matches!(
+        feed_req(b"NOT-A-REQUEST-LINE\r\n\r\n"),
+        Err(ParseError::MalformedRequestLine(_))
+    ));
+    assert!(matches!(
+        feed_req(b"POST /x HTTP/1.1\r\nX: \xff\xfe\r\n\r\n"),
+        Err(ParseError::NonUtf8Head)
+    ));
+    assert!(matches!(
+        feed_resp(b"HTTP/1.1 banana OK\r\n\r\n"),
+        Err(ParseError::BadStatusLine(_))
+    ));
+    // Errors are values: Display/Error impls must hold up.
+    let err = feed_req(b"oops\r\n\r\n").expect_err("malformed");
+    assert!(!err.to_string().is_empty());
+    let _: &dyn std::error::Error = &err;
 }

@@ -88,7 +88,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8, message: &'static str) -> Result<(), ParseError> {
+    fn expect_byte(&mut self, b: u8, message: &'static str) -> Result<(), ParseError> {
         if self.bump() == Some(b) {
             Ok(())
         } else {
@@ -98,7 +98,11 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, lit: &'static [u8], message: &'static str) -> Result<(), ParseError> {
-        if self.input[self.pos..].starts_with(lit) {
+        if self
+            .input
+            .get(self.pos..)
+            .is_some_and(|rest| rest.starts_with(lit))
+        {
             self.pos += lit.len();
             Ok(())
         } else {
@@ -130,7 +134,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"', "expected '\"'")?;
+        self.expect_byte(b'"', "expected '\"'")?;
         let start = self.pos;
         loop {
             match self.bump() {
@@ -146,7 +150,8 @@ impl<'a> Parser<'a> {
                 Some(_) => {}
             }
         }
-        let body = &self.input[start..self.pos - 1];
+        // The closing quote was just consumed, so `pos - 1 >= start`.
+        let body = self.input.get(start..self.pos - 1).unwrap_or_default();
         unescape(body).ok_or(ParseError {
             offset: start,
             message: "malformed string escape",
@@ -164,11 +169,11 @@ impl<'a> Parser<'a> {
         while matches!(self.peek(), Some(b'0'..=b'9')) {
             self.pos += 1;
         }
-        let int_digits = &self.input[int_start..self.pos];
+        let int_digits = self.input.get(int_start..self.pos).unwrap_or_default();
         if int_digits.is_empty() {
             return Err(self.err("expected digit"));
         }
-        if int_digits.len() > 1 && int_digits[0] == b'0' {
+        if int_digits.len() > 1 && int_digits.first() == Some(&b'0') {
             return Err(self.err("leading zero in number"));
         }
         let mut magnitude: u64 = 0;
@@ -187,7 +192,7 @@ impl<'a> Parser<'a> {
         while matches!(self.peek(), Some(b'0'..=b'9')) {
             self.pos += 1;
         }
-        let frac_digits = &self.input[frac_start..self.pos];
+        let frac_digits = self.input.get(frac_start..self.pos).unwrap_or_default();
         if frac_digits.is_empty() {
             return Err(self.err("expected fraction digit"));
         }
@@ -210,7 +215,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, ParseError> {
-        self.expect(b'[', "expected '['")?;
+        self.expect_byte(b'[', "expected '['")?;
         self.depth += 1;
         let mut items = Vec::new();
         self.skip_ws();
@@ -237,7 +242,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, ParseError> {
-        self.expect(b'{', "expected '{'")?;
+        self.expect_byte(b'{', "expected '{'")?;
         self.depth += 1;
         let mut members = Vec::new();
         self.skip_ws();
@@ -250,7 +255,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':', "expected ':'")?;
+            self.expect_byte(b':', "expected ':'")?;
             self.skip_ws();
             let value = self.value()?;
             members.push((key, value));
@@ -355,13 +360,8 @@ mod tests {
 
     #[test]
     fn rejects_excessive_depth() {
-        let mut doc = Vec::new();
-        for _ in 0..200 {
-            doc.push(b'[');
-        }
-        for _ in 0..200 {
-            doc.push(b']');
-        }
+        let mut doc = vec![b'['; 200];
+        doc.extend(std::iter::repeat_n(b']', 200));
         assert!(parse(&doc).is_err());
     }
 

@@ -35,7 +35,9 @@ pub fn escape_into(s: &str, out: &mut Vec<u8>) {
             0x0d => out.extend_from_slice(b"\\r"),
             0x00..=0x1f => {
                 out.extend_from_slice(b"\\u00");
+                // wm-lint: allow(panic/index, reason = "nibble index is masked to 0..16")
                 out.push(HEX[(b >> 4) as usize]);
+                // wm-lint: allow(panic/index, reason = "nibble index is masked to 0..16")
                 out.push(HEX[(b & 0xf) as usize]);
             }
             _ => out.push(b),
@@ -53,11 +55,10 @@ const HEX: &[u8; 16] = b"0123456789abcdef";
 pub fn unescape(body: &[u8]) -> Option<String> {
     let mut out = String::with_capacity(body.len());
     let mut i = 0;
-    while i < body.len() {
-        let b = body[i];
+    while let Some(&b) = body.get(i) {
         if b != b'\\' {
             // Validate UTF-8 incrementally by slicing at char boundaries.
-            let rest = std::str::from_utf8(&body[i..]).ok()?;
+            let rest = std::str::from_utf8(body.get(i..)?).ok()?;
             let ch = rest.chars().next()?;
             out.push(ch);
             i += ch.len_utf8();

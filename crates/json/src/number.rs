@@ -65,7 +65,9 @@ impl fmt::Debug for Number {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut buf = Vec::new();
         self.write_to(&mut buf);
-        f.write_str(std::str::from_utf8(&buf).expect("ascii"))
+        // `write_to` emits pure ASCII, so the lossy conversion never
+        // actually substitutes anything.
+        f.write_str(&String::from_utf8_lossy(&buf))
     }
 }
 
@@ -80,27 +82,30 @@ pub(crate) fn dec_len_u64(mut v: u64) -> usize {
 }
 
 fn fmt_u64(mut v: u64, buf: &mut [u8; 20]) -> &[u8] {
-    let mut i = buf.len();
-    loop {
-        i -= 1;
-        buf[i] = b'0' + (v % 10) as u8;
+    let mut start = buf.len();
+    for slot in buf.iter_mut().rev() {
+        *slot = b'0' + (v % 10) as u8;
+        start -= 1;
         v /= 10;
         if v == 0 {
             break;
         }
     }
-    &buf[i..]
+    buf.get(start..).unwrap_or_default()
 }
 
 fn fmt_i64(v: i64, buf: &mut [u8; 20]) -> &[u8] {
-    if v < 0 {
-        let digits_len = fmt_u64(v.unsigned_abs(), buf).len();
-        let digits_start = buf.len() - digits_len;
-        buf[digits_start - 1] = b'-';
-        &buf[digits_start - 1..]
-    } else {
-        fmt_u64(v as u64, buf)
+    if v >= 0 {
+        return fmt_u64(v as u64, buf);
     }
+    let digits_len = fmt_u64(v.unsigned_abs(), buf).len();
+    // An i64 magnitude has at most 19 digits, so the 20-byte buffer
+    // always leaves a slot for the sign.
+    let sign = (buf.len() - digits_len).saturating_sub(1);
+    if let Some(slot) = buf.get_mut(sign) {
+        *slot = b'-';
+    }
+    buf.get(sign..).unwrap_or_default()
 }
 
 #[cfg(test)]

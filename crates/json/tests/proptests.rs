@@ -104,6 +104,58 @@ fn parser_total_on_garbage() {
     }
 }
 
+/// Mutating or truncating a valid document never panics; failures come
+/// back as a typed [`wm_json::ParseError`] whose offset points inside
+/// (or just past) the input, so error positions are always usable.
+#[test]
+fn mutated_documents_yield_typed_errors() {
+    for case in 0..400u64 {
+        let mut rng = Rng(0x15_3000 + case);
+        let v = arb_value(&mut rng, 3);
+        let mut bytes = to_bytes(&v);
+        match rng.below(3) {
+            0 => {
+                let at = rng.below(bytes.len());
+                bytes[at] = rng.next() as u8;
+            }
+            1 => bytes.truncate(rng.below(bytes.len() + 1)),
+            _ => {
+                let at = rng.below(bytes.len());
+                bytes.insert(at, rng.next() as u8);
+            }
+        }
+        if let Err(e) = parse(&bytes) {
+            assert!(
+                e.offset <= bytes.len(),
+                "case {case}: offset {} out of bounds ({} bytes)",
+                e.offset,
+                bytes.len()
+            );
+            assert!(!e.message.is_empty(), "case {case}");
+            // Errors are values: Display/Error impls must hold up.
+            assert!(e.to_string().contains(e.message), "case {case}");
+            let _: &dyn std::error::Error = &e;
+        }
+    }
+}
+
+/// Every strict prefix of a container document is rejected with a
+/// typed error (never a panic, never a silent success) — a truncated
+/// state blob cannot be mistaken for the full report. The root is
+/// wrapped in an array so the closing bracket is always the last byte.
+#[test]
+fn every_strict_prefix_of_container_is_rejected() {
+    for case in 0..100u64 {
+        let mut rng = Rng(0x15_4000 + case);
+        let v = Value::Array(vec![arb_value(&mut rng, 3)]);
+        let bytes = to_bytes(&v);
+        for cut in 0..bytes.len() {
+            let e = parse(&bytes[..cut]).expect_err("strict prefix must not parse");
+            assert!(e.offset <= cut, "case {case} cut {cut}");
+        }
+    }
+}
+
 /// Parsing arbitrary ASCII that may look JSON-ish never panics and, if
 /// it succeeds, reserializing yields a parseable document again.
 #[test]

@@ -1,0 +1,382 @@
+//! A lightweight Rust lexer.
+//!
+//! `wm-lint` does not need a full parse tree: every invariant it checks
+//! is visible in the token stream (identifier paths, method calls,
+//! indexing brackets) plus the comments (suppressions). The lexer
+//! therefore produces exactly those two artifacts, with line numbers,
+//! and is careful about the cases that break naive regex scanning:
+//! strings (including raw strings with `#` fences), char literals vs.
+//! lifetimes, nested block comments, and raw identifiers.
+
+/// One significant token (comments and whitespace are kept separately).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are not distinguished here; rules
+    /// that care carry their own keyword table).
+    Ident(String),
+    /// A single punctuation byte (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// String / byte-string / raw-string literal (contents dropped).
+    Str,
+    /// Char literal.
+    Char,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// Numeric literal (contents dropped).
+    Number,
+}
+
+/// A token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A comment with the 1-based line it *ends* on (suppressions attach to
+/// the following line, so the end line is the useful anchor).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// Lexer output: significant tokens plus comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize Rust source. The lexer is total: unexpected bytes become
+/// `Punct` tokens rather than errors, so a half-written file still
+/// lints.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_lines {
+        ($range:expr) => {
+            for &c in &b[$range] {
+                if c == b'\n' {
+                    line += 1;
+                }
+            }
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                bump_lines!(start..i);
+                out.comments.push(Comment {
+                    text: src[start..i.min(src.len())].to_string(),
+                    line,
+                });
+            }
+            b'"' => {
+                let start = i;
+                i = skip_string(b, i);
+                bump_lines!(start..i);
+                out.tokens.push(Token {
+                    tok: Tok::Str,
+                    line,
+                });
+            }
+            b'\'' => {
+                // Lifetime/label vs. char literal. `'a'` is a char;
+                // `'a` followed by anything but `'` is a lifetime.
+                let is_lifetime = match (b.get(i + 1), b.get(i + 2)) {
+                    (Some(&n), Some(&after)) if is_ident_start(n) => after != b'\'',
+                    (Some(&n), None) if is_ident_start(n) => true,
+                    _ => false,
+                };
+                if is_lifetime {
+                    i += 1;
+                    while i < b.len() && is_ident_cont(b[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() {
+                        match b[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    bump_lines!(start..i.min(b.len()));
+                    out.tokens.push(Token {
+                        tok: Tok::Char,
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                i += 1;
+                while i < b.len() && (is_ident_cont(b[i])) {
+                    i += 1;
+                }
+                // A single `.` followed by a digit continues the number
+                // (`1.5`); `1..2` and `1.max(…)` do not.
+                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    i += 1;
+                    while i < b.len() && is_ident_cont(b[i]) {
+                        i += 1;
+                    }
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Number,
+                    line,
+                });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                i += 1;
+                while i < b.len() && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let next = b.get(i).copied();
+                // `r#ident` raw identifier: `#` followed by an ident
+                // start (a raw *string* would have `"` or more `#`s).
+                let is_raw_ident = word == "r"
+                    && next == Some(b'#')
+                    && b.get(i + 1).is_some_and(|&n| is_ident_start(n));
+                if is_raw_ident {
+                    i += 1; // '#'
+                    let id_start = i;
+                    while i < b.len() && is_ident_cont(b[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Ident(src[id_start..i].to_string()),
+                        line,
+                    });
+                } else if matches!(word, "r" | "br" | "cr")
+                    && matches!(next, Some(b'"') | Some(b'#'))
+                {
+                    // Raw string, possibly with `#` fences.
+                    let str_start = i;
+                    i = skip_raw_string(b, i);
+                    bump_lines!(str_start..i);
+                    out.tokens.push(Token {
+                        tok: Tok::Str,
+                        line,
+                    });
+                } else if matches!(word, "b" | "c") && next == Some(b'"') {
+                    // Byte / C string (escapes, no fences).
+                    let str_start = i;
+                    i = skip_string(b, i);
+                    bump_lines!(str_start..i);
+                    out.tokens.push(Token {
+                        tok: Tok::Str,
+                        line,
+                    });
+                } else {
+                    out.tokens.push(Token {
+                        tok: Tok::Ident(word.to_string()),
+                        line,
+                    });
+                }
+            }
+            _ => {
+                out.tokens.push(Token {
+                    tok: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skip a `"`-delimited string starting at `b[i] == b'"'`; returns the
+/// index past the closing quote.
+fn skip_string(b: &[u8], mut i: usize) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip a raw string starting at the fence (`b[i]` is `#` or `"`);
+/// returns the index past the closing fence.
+fn skip_raw_string(b: &[u8], mut i: usize) -> usize {
+    let mut fences = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        fences += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&b'"') {
+        return i;
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < fences && b.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == fences {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let l = lex("fn main() { let x = 1; }");
+        assert_eq!(
+            idents("fn main() { let x = 1; }"),
+            ["fn", "main", "let", "x"]
+        );
+        assert!(l.comments.is_empty());
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // `HashMap` inside a string must not look like an identifier.
+        assert!(idents(r#"let s = "HashMap::new()";"#)
+            .iter()
+            .all(|w| w != "HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r####"let s = r#"quote " inside"#; let t = 2;"####;
+        assert_eq!(idents(src), ["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let l = lex("let c = 'x'; fn f<'a>(v: &'a str) {} 'outer: loop {}");
+        let chars = l.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        let lifetimes = l.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        assert_eq!(chars, 1);
+        assert_eq!(lifetimes, 3);
+    }
+
+    #[test]
+    fn escaped_quote_in_char() {
+        let l = lex(r"let c = '\''; let d = 1;");
+        assert_eq!(l.tokens.iter().filter(|t| t.tok == Tok::Char).count(), 1);
+    }
+
+    #[test]
+    fn line_numbers() {
+        let l = lex("a\nb\n  c");
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 3]);
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let l = lex("// one\nlet x = 1; // two\n/* three\nspans */ let y;");
+        let texts: Vec<&str> = l.comments.iter().map(|c| c.text.as_str()).collect();
+        assert_eq!(texts.len(), 3);
+        assert!(texts[0].contains("one"));
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+        // Block comment ends on line 4.
+        assert_eq!(l.comments[2].line, 4);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* b */ c */ let x;");
+        assert_eq!(idents("/* a /* b */ c */ let x;"), ["let", "x"]);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn byte_strings() {
+        assert_eq!(idents(r#"let v = b"Instant::now()";"#), ["let", "v"]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("let r#fn = r#type;"), ["let", "fn", "type"]);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let l = lex("for i in 0..10 { let f = 1.5; let h = 0xff; }");
+        let nums = l.tokens.iter().filter(|t| t.tok == Tok::Number).count();
+        assert_eq!(nums, 4);
+    }
+}

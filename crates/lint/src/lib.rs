@@ -1,0 +1,130 @@
+//! # wm-lint — workspace invariant checker
+//!
+//! The White Mirror pipeline rests on three invariants that ordinary
+//! compilation cannot enforce:
+//!
+//! 1. **Determinism.** Golden-trace and byte-identity tests only prove
+//!    something if the same seed always produces the same bytes, so
+//!    byte-producing crates must not read wall clocks or iterate
+//!    randomized hash collections, and nothing may draw unseeded
+//!    entropy.
+//! 2. **Panic-safety.** Attacker-facing parse paths (pcap, TLS record
+//!    reassembly, HTTP heads, JSON) consume adversarial bytes and must
+//!    return typed errors rather than panic.
+//! 3. **Layering.** Attacker crates model an on-path observer; their
+//!    declared dependencies are confined to the capture window and
+//!    public vocabulary so the attack cannot quietly cheat by reaching
+//!    into victim internals.
+//!
+//! `wm-lint` enforces all three with a lightweight Rust lexer
+//! ([`lexer`]), a token-pattern rule engine ([`rules`]), and a minimal
+//! manifest reader ([`manifest`]). It walks every `crates/*/src` file
+//! plus each crate's `Cargo.toml`, skips `#[cfg(test)]` items, honours
+//! inline `// wm-lint: allow(<rule>, reason = "...")` suppressions, and
+//! can emit a machine-readable JSON report ([`report`]). The binary's
+//! `--deny` mode (exit 1 on any finding) is wired into CI.
+
+pub mod lexer;
+pub mod manifest;
+pub mod report;
+pub mod rules;
+
+pub use rules::Finding;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Outcome of a workspace scan.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files inspected (sources + manifests).
+    pub files_scanned: usize,
+}
+
+/// Scan the workspace rooted at `root` (the directory containing
+/// `crates/`). The walk order is sorted, so output is deterministic.
+pub fn scan_workspace(root: &Path) -> io::Result<ScanResult> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut result = ScanResult::default();
+    for dir in &crate_dirs {
+        scan_crate(root, dir, &mut result)?;
+    }
+    result
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(result)
+}
+
+fn scan_crate(root: &Path, dir: &Path, result: &mut ScanResult) -> io::Result<()> {
+    let manifest_path = dir.join("Cargo.toml");
+    let mut crate_name = dir
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    if let Ok(text) = fs::read_to_string(&manifest_path) {
+        let m = manifest::parse(&text);
+        if !m.name.is_empty() {
+            crate_name = m.name.clone();
+        }
+        result.files_scanned += 1;
+        result
+            .findings
+            .extend(rules::check_manifest(&rel(root, &manifest_path), &m));
+    }
+
+    let src_dir = dir.join("src");
+    if !src_dir.is_dir() {
+        return Ok(());
+    }
+    let mut sources = Vec::new();
+    collect_rs(&src_dir, &mut sources)?;
+    for path in sources {
+        // Non-UTF-8 sources cannot be valid Rust; read lossily so the
+        // lint still sees whatever decodes.
+        let bytes = fs::read(&path)?;
+        let src = String::from_utf8_lossy(&bytes);
+        result.files_scanned += 1;
+        result
+            .findings
+            .extend(rules::check_source(&crate_name, &rel(root, &path), &src));
+    }
+    Ok(())
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted at every level.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with `/` separators.
+fn rel(root: &Path, path: &Path) -> String {
+    let r = path.strip_prefix(root).unwrap_or(path);
+    r.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

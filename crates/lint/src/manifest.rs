@@ -1,0 +1,176 @@
+//! Minimal `Cargo.toml` reader.
+//!
+//! `wm-lint` only needs three facts per manifest: the package name, the
+//! declared `[dependencies]`, and the declared `[dev-dependencies]`.
+//! Cargo's manifests in this workspace are plain (no multi-line arrays
+//! in dependency sections), so a line-oriented scan is sufficient and
+//! keeps the tool std-only.
+
+/// One declared dependency with the line it appears on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dep {
+    pub name: String,
+    pub line: u32,
+}
+
+/// The subset of a manifest the lint cares about.
+#[derive(Debug, Default, Clone)]
+pub struct Manifest {
+    /// `package.name`, empty if absent (e.g. the virtual workspace root).
+    pub name: String,
+    /// Keys of `[dependencies]` (and `[dependencies.<x>]` tables).
+    pub dependencies: Vec<Dep>,
+    /// Keys of `[dev-dependencies]`. Kept separate because dev-deps are
+    /// exempt from layering: tests may legitimately simulate a victim.
+    pub dev_dependencies: Vec<Dep>,
+    /// Keys of `[build-dependencies]`, held to the same layering rules
+    /// as normal dependencies (build scripts shape shipped bytes).
+    pub build_dependencies: Vec<Dep>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Package,
+    Deps,
+    DevDeps,
+    BuildDeps,
+    Other,
+}
+
+/// Parse a manifest. Total: unknown syntax is skipped, not an error.
+pub fn parse(text: &str) -> Manifest {
+    let mut m = Manifest::default();
+    let mut section = Section::Other;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header.trim_end_matches(']').trim();
+            section = match header {
+                "package" => Section::Package,
+                "dependencies" => Section::Deps,
+                "dev-dependencies" => Section::DevDeps,
+                "build-dependencies" => Section::BuildDeps,
+                _ => {
+                    // `[dependencies.foo]` style tables declare one dep.
+                    if let Some(dep) = header.strip_prefix("dependencies.") {
+                        m.dependencies.push(Dep {
+                            name: unquote(dep),
+                            line: line_no,
+                        });
+                    } else if let Some(dep) = header.strip_prefix("dev-dependencies.") {
+                        m.dev_dependencies.push(Dep {
+                            name: unquote(dep),
+                            line: line_no,
+                        });
+                    } else if let Some(dep) = header.strip_prefix("build-dependencies.") {
+                        m.build_dependencies.push(Dep {
+                            name: unquote(dep),
+                            line: line_no,
+                        });
+                    }
+                    Section::Other
+                }
+            };
+            continue;
+        }
+        let Some(eq) = line.find('=') else { continue };
+        let key = line.get(..eq).unwrap_or_default().trim();
+        let val = line.get(eq + 1..).unwrap_or_default().trim();
+        match section {
+            Section::Package if key == "name" => {
+                m.name = unquote(val);
+            }
+            Section::Deps | Section::DevDeps | Section::BuildDeps => {
+                // `wm-json.workspace = true` → key is `wm-json.workspace`;
+                // strip at the first dot. Quoted keys are unquoted first.
+                let bare = unquote(key);
+                let name = bare.split('.').next().unwrap_or_default().to_string();
+                if name.is_empty() {
+                    continue;
+                }
+                let dep = Dep {
+                    name,
+                    line: line_no,
+                };
+                match section {
+                    Section::Deps => m.dependencies.push(dep),
+                    Section::DevDeps => m.dev_dependencies.push(dep),
+                    Section::BuildDeps => m.build_dependencies.push(dep),
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    m
+}
+
+fn unquote(s: &str) -> String {
+    s.trim().trim_matches('"').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+[package]
+name = "wm-core"
+version.workspace = true
+
+[dependencies]
+wm-telemetry.workspace = true
+wm-json.workspace = true
+wm-capture = { path = "../capture" }
+
+[dependencies.wm-story]
+path = "../story"
+
+[dev-dependencies]
+wm-sim.workspace = true
+
+[features]
+default = []
+"#;
+
+    fn names(deps: &[Dep]) -> Vec<&str> {
+        deps.iter().map(|d| d.name.as_str()).collect()
+    }
+
+    #[test]
+    fn reads_package_name() {
+        assert_eq!(parse(SAMPLE).name, "wm-core");
+    }
+
+    #[test]
+    fn collects_dependencies_in_both_styles() {
+        let m = parse(SAMPLE);
+        assert_eq!(
+            names(&m.dependencies),
+            ["wm-telemetry", "wm-json", "wm-capture", "wm-story"]
+        );
+    }
+
+    #[test]
+    fn dev_dependencies_are_separate() {
+        let m = parse(SAMPLE);
+        assert_eq!(names(&m.dev_dependencies), ["wm-sim"]);
+        assert!(m.build_dependencies.is_empty());
+    }
+
+    #[test]
+    fn feature_keys_are_not_deps() {
+        let m = parse(SAMPLE);
+        assert!(!names(&m.dependencies).contains(&"default"));
+    }
+
+    #[test]
+    fn dep_lines_are_recorded() {
+        let m = parse("[dependencies]\nwm-tls.workspace = true\n");
+        assert_eq!(m.dependencies[0].line, 2);
+    }
+}

@@ -1,0 +1,94 @@
+//! Machine-readable findings report.
+//!
+//! The JSON report is built with the workspace's own `wm-json` so the
+//! lint stays std-only, and is what CI uploads as an artifact: a stable
+//! schema with per-rule counts (every known rule appears, zero or not)
+//! plus the full finding list.
+
+use crate::rules::{Finding, ALL_RULES};
+use wm_json::{to_pretty_bytes, Value};
+
+/// Render findings as a pretty-printed JSON document.
+pub fn to_json(findings: &[Finding], files_scanned: usize) -> Vec<u8> {
+    let counts: Vec<(String, Value)> = ALL_RULES
+        .iter()
+        .map(|rule| {
+            let n = findings.iter().filter(|f| f.rule == *rule).count() as i64;
+            (rule.to_string(), Value::from(n))
+        })
+        .collect();
+    let items: Vec<Value> = findings
+        .iter()
+        .map(|f| {
+            Value::object(vec![
+                ("rule".into(), Value::from(f.rule)),
+                ("file".into(), Value::from(f.file.as_str())),
+                ("line".into(), Value::from(f.line as i64)),
+                ("message".into(), Value::from(f.message.as_str())),
+            ])
+        })
+        .collect();
+    let doc = Value::object(vec![
+        ("tool".into(), Value::from("wm-lint")),
+        ("files_scanned".into(), Value::from(files_scanned as i64)),
+        ("total_findings".into(), Value::from(findings.len() as i64)),
+        ("counts".into(), Value::object(counts)),
+        ("findings".into(), Value::array(items)),
+    ]);
+    to_pretty_bytes(&doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                rule: crate::rules::PANIC_INDEX,
+                file: "crates/capture/src/pcap.rs".into(),
+                line: 12,
+                message: "unchecked indexing".into(),
+            },
+            Finding {
+                rule: crate::rules::PANIC_INDEX,
+                file: "crates/json/src/de.rs".into(),
+                line: 3,
+                message: "unchecked indexing".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn report_parses_and_counts() {
+        let bytes = to_json(&sample(), 42);
+        let doc = wm_json::parse(&bytes).expect("report must be valid JSON");
+        assert_eq!(doc.get("tool").and_then(Value::as_str), Some("wm-lint"));
+        assert_eq!(doc.get("files_scanned").and_then(Value::as_i64), Some(42));
+        assert_eq!(doc.get("total_findings").and_then(Value::as_i64), Some(2));
+        let counts = doc.get("counts").expect("counts");
+        assert_eq!(counts.get("panic/index").and_then(Value::as_i64), Some(2));
+        // Every rule is present, even at zero, so dashboards see a
+        // stable schema.
+        for rule in ALL_RULES {
+            assert!(counts.get(rule).is_some(), "missing count for {rule}");
+        }
+        let items = doc
+            .get("findings")
+            .and_then(Value::as_array)
+            .expect("findings");
+        assert_eq!(items.len(), 2);
+        assert_eq!(
+            items[0].get("file").and_then(Value::as_str),
+            Some("crates/capture/src/pcap.rs")
+        );
+        assert_eq!(items[0].get("line").and_then(Value::as_i64), Some(12));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let bytes = to_json(&[], 0);
+        let doc = wm_json::parse(&bytes).expect("valid");
+        assert_eq!(doc.get("total_findings").and_then(Value::as_i64), Some(0));
+    }
+}

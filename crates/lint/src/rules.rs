@@ -1,0 +1,786 @@
+//! The rule engine.
+//!
+//! Three rule families guard the invariants the traffic-analysis
+//! pipeline depends on:
+//!
+//! * **determinism** — byte-producing crates must not consult wall
+//!   clocks or iterate randomized hash collections, and nothing in the
+//!   workspace may draw unseeded randomness. Golden-trace tests only
+//!   mean something if the same seed always yields the same bytes.
+//! * **panic** — attacker-facing parse paths consume adversarial bytes
+//!   (pcap frames, TLS records, HTTP heads, JSON blobs) and must return
+//!   errors, never panic: no `unwrap`/`expect`, no panicking macros, no
+//!   unchecked indexing.
+//! * **layering** — attacker crates may only see what an on-path
+//!   observer sees. Their declared dependencies are restricted to the
+//!   capture window and public vocabulary crates; reaching into victim
+//!   internals (`wm-netflix`, `wm-player`, `wm-tls`) would let the
+//!   "attack" cheat.
+//!
+//! Findings may be silenced with an inline
+//! `// wm-lint: allow(<rule>, reason = "...")` comment on the offending
+//! line or the line above; the reason is mandatory.
+
+use crate::lexer::{lex, Comment, Tok, Token};
+use crate::manifest::Manifest;
+
+/// A single rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier, e.g. `panic/index`.
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+pub const WALL_CLOCK: &str = "determinism/wall-clock";
+pub const HASH_COLLECTIONS: &str = "determinism/hash-collections";
+pub const UNSEEDED_RNG: &str = "determinism/unseeded-rng";
+pub const PANIC_UNWRAP: &str = "panic/unwrap";
+pub const PANIC_MACRO: &str = "panic/macro";
+pub const PANIC_INDEX: &str = "panic/index";
+pub const LAYERING: &str = "layering/dependency";
+pub const MISSING_REASON: &str = "suppression/missing-reason";
+
+/// Every rule the engine can emit, for `--help` and the report header.
+pub const ALL_RULES: &[&str] = &[
+    WALL_CLOCK,
+    HASH_COLLECTIONS,
+    UNSEEDED_RNG,
+    PANIC_UNWRAP,
+    PANIC_MACRO,
+    PANIC_INDEX,
+    LAYERING,
+    MISSING_REASON,
+];
+
+/// Crates whose outputs are bytes-on-the-wire (or inputs to them);
+/// iteration order and clocks in these crates shape golden traces.
+pub const BYTE_PRODUCING_CRATES: &[&str] = &[
+    "wm-net",
+    "wm-netflix",
+    "wm-player",
+    "wm-sim",
+    "wm-story",
+    "wm-tls",
+];
+
+/// Attacker-side crates: everything they may declare in
+/// `[dependencies]`. The capture window (`wm-capture`) re-exports the
+/// wire-observable vocabulary; `wm-story` is the public story graph an
+/// attacker reconstructs offline; telemetry and JSON are inert
+/// utilities. Other attacker crates are also fine (the pipeline layers
+/// internally). `[dev-dependencies]` are exempt — integration tests
+/// legitimately stand up a simulated victim.
+pub const ATTACKER_CRATES: &[&str] = &["wm-baselines", "wm-behavior", "wm-core"];
+pub const ATTACKER_ALLOWED_DEPS: &[&str] = &[
+    "wm-baselines",
+    "wm-behavior",
+    "wm-capture",
+    "wm-core",
+    "wm-json",
+    "wm-story",
+    "wm-telemetry",
+];
+
+/// Crates allowed to read wall clocks: the benchmark harness times real
+/// executions by definition. Everything else must justify a clock with
+/// a suppression (telemetry's span timers do exactly that).
+const WALL_CLOCK_EXEMPT: &[&str] = &["wm-bench"];
+
+/// Does the wall-clock rule apply to this crate?
+pub fn wall_clock_applies(crate_name: &str) -> bool {
+    !WALL_CLOCK_EXEMPT.contains(&crate_name)
+}
+
+/// Does the hash-collection rule apply to this crate?
+pub fn hash_collections_apply(crate_name: &str) -> bool {
+    BYTE_PRODUCING_CRATES.contains(&crate_name)
+}
+
+/// Attacker-facing parse paths: every byte they consume is
+/// adversary-controlled, so the panic family applies.
+pub fn panic_rules_apply(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/json/src/")
+        || rel_path.starts_with("crates/http/src/")
+        || rel_path.starts_with("crates/capture/src/")
+        || rel_path == "crates/core/src/decode.rs"
+        || rel_path == "crates/core/src/beam.rs"
+}
+
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "type", "union",
+    "unsafe", "use", "where", "while", "yield",
+];
+
+/// Lint one Rust source file. `rel_path` is workspace-relative with
+/// `/` separators (it selects path-scoped rules and labels findings).
+pub fn check_source(crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding> {
+    let lexed = lex(src);
+    let tokens = strip_test_items(&lexed.tokens);
+    let mut findings = Vec::new();
+
+    if wall_clock_applies(crate_name) {
+        wall_clock_rule(&tokens, rel_path, &mut findings);
+    }
+    if hash_collections_apply(crate_name) {
+        hash_collections_rule(&tokens, rel_path, &mut findings);
+    }
+    unseeded_rng_rule(&tokens, rel_path, &mut findings);
+    if panic_rules_apply(rel_path) {
+        panic_unwrap_rule(&tokens, rel_path, &mut findings);
+        panic_macro_rule(&tokens, rel_path, &mut findings);
+        panic_index_rule(&tokens, rel_path, &mut findings);
+    }
+
+    let suppressions = collect_suppressions(&lexed.comments, rel_path, &mut findings);
+    findings.retain(|f| {
+        f.rule == MISSING_REASON
+            || !suppressions
+                .iter()
+                .any(|s| s.matches(f.rule) && (f.line == s.line || f.line == s.line + 1))
+    });
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Lint one `Cargo.toml`. Only the layering family applies.
+pub fn check_manifest(rel_path: &str, m: &Manifest) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if !ATTACKER_CRATES.contains(&m.name.as_str()) {
+        return findings;
+    }
+    for dep in m.dependencies.iter().chain(&m.build_dependencies) {
+        if !ATTACKER_ALLOWED_DEPS.contains(&dep.name.as_str()) {
+            findings.push(Finding {
+                rule: LAYERING,
+                file: rel_path.to_string(),
+                line: dep.line,
+                message: format!(
+                    "attacker crate `{}` declares dependency `{}`; attacker crates may only \
+                     depend on {:?} (dev-dependencies are exempt)",
+                    m.name, dep.name, ATTACKER_ALLOWED_DEPS
+                ),
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Token rules
+// ---------------------------------------------------------------------
+
+fn ident(t: &Token) -> Option<&str> {
+    match &t.tok {
+        Tok::Ident(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn is_punct(t: Option<&Token>, c: char) -> bool {
+    matches!(t, Some(Token { tok: Tok::Punct(p), .. }) if *p == c)
+}
+
+fn wall_clock_rule(tokens: &[Token], file: &str, out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(name) = ident(t) else { continue };
+        if !matches!(name, "Instant" | "SystemTime") {
+            continue;
+        }
+        if is_punct(tokens.get(i + 1), ':')
+            && is_punct(tokens.get(i + 2), ':')
+            && tokens.get(i + 3).and_then(ident) == Some("now")
+        {
+            out.push(Finding {
+                rule: WALL_CLOCK,
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{name}::now()` reads the wall clock; byte-producing code must use \
+                     simulated time (`wm_net::time`) so traces are reproducible"
+                ),
+            });
+        }
+    }
+}
+
+fn hash_collections_rule(tokens: &[Token], file: &str, out: &mut Vec<Finding>) {
+    for t in tokens {
+        let Some(name) = ident(t) else { continue };
+        if matches!(name, "HashMap" | "HashSet" | "RandomState") {
+            out.push(Finding {
+                rule: HASH_COLLECTIONS,
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{name}` has randomized iteration order; use `BTreeMap`/`BTreeSet` or a \
+                     sorted `Vec` so emitted bytes are deterministic"
+                ),
+            });
+        }
+    }
+}
+
+fn unseeded_rng_rule(tokens: &[Token], file: &str, out: &mut Vec<Finding>) {
+    for t in tokens {
+        let Some(name) = ident(t) else { continue };
+        if matches!(
+            name,
+            "thread_rng" | "ThreadRng" | "OsRng" | "from_entropy" | "getrandom"
+        ) {
+            out.push(Finding {
+                rule: UNSEEDED_RNG,
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{name}` draws OS entropy; all randomness must flow from an explicit \
+                     seed (`SimRng`) so runs are reproducible"
+                ),
+            });
+        }
+    }
+}
+
+fn panic_unwrap_rule(tokens: &[Token], file: &str, out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(name) = ident(t) else { continue };
+        if !matches!(name, "unwrap" | "expect") {
+            continue;
+        }
+        // `.unwrap()` / `.expect("…")` method calls, and
+        // `Result::unwrap` style paths passed as functions — both panic
+        // on Err. Bare identifiers named `unwrap` (e.g. a local) are
+        // left alone.
+        let method = i > 0 && is_punct(tokens.get(i - 1), '.');
+        let path = i > 0 && is_punct(tokens.get(i - 1), ':');
+        if method || path {
+            out.push(Finding {
+                rule: PANIC_UNWRAP,
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "`.{name}()` panics on malformed input; attacker-facing parse paths must \
+                     propagate a typed error instead"
+                ),
+            });
+        }
+    }
+}
+
+fn panic_macro_rule(tokens: &[Token], file: &str, out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(name) = ident(t) else { continue };
+        if !matches!(
+            name,
+            "panic"
+                | "unreachable"
+                | "todo"
+                | "unimplemented"
+                | "assert"
+                | "assert_eq"
+                | "assert_ne"
+        ) {
+            continue;
+        }
+        if is_punct(tokens.get(i + 1), '!') {
+            out.push(Finding {
+                rule: PANIC_MACRO,
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{name}!` aborts on adversarial input; return an error (debug_assert! is \
+                     permitted for internal invariants)"
+                ),
+            });
+        }
+    }
+}
+
+fn panic_index_rule(tokens: &[Token], file: &str, out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !matches!(t.tok, Tok::Punct('[')) || i == 0 {
+            continue;
+        }
+        // `expr[...]` indexing: the `[` directly follows a value — an
+        // identifier (not a keyword), a call/paren close, or a prior
+        // index close. Attributes (`#[`), macros (`vec![`), slice
+        // patterns and array literals/types all follow other tokens.
+        let indexing = match &tokens[i - 1].tok {
+            Tok::Ident(name) => !KEYWORDS.contains(&name.as_str()),
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('?') => true,
+            _ => false,
+        };
+        if indexing {
+            out.push(Finding {
+                rule: PANIC_INDEX,
+                file: file.to_string(),
+                line: t.line,
+                message: "unchecked indexing panics out of bounds; use `.get(..)` and handle \
+                          `None`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// `#[cfg(test)]` stripping
+// ---------------------------------------------------------------------
+
+/// Drop every item gated behind `#[cfg(test)]` (or `#[cfg(any/all(..
+/// test ..))]`). Test code may unwrap and assert freely.
+fn strip_test_items(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(attr_end) = cfg_test_attr_end(tokens, i) {
+            i = skip_item(tokens, attr_end + 1);
+        } else {
+            out.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// If `tokens[i..]` starts a `#[cfg(.. test ..)]` attribute, return the
+/// index of its closing `]`.
+fn cfg_test_attr_end(tokens: &[Token], i: usize) -> Option<usize> {
+    if !is_punct(tokens.get(i), '#') || !is_punct(tokens.get(i + 1), '[') {
+        return None;
+    }
+    if tokens.get(i + 2).and_then(ident) != Some("cfg") {
+        return None;
+    }
+    let close = matching(tokens, i + 1, '[', ']')?;
+    let mentions_test = tokens
+        .get(i + 3..close)?
+        .iter()
+        .any(|t| ident(t) == Some("test"));
+    mentions_test.then_some(close)
+}
+
+/// Skip one item starting at `i` (past its attributes): consume any
+/// further attributes, then everything through the first `;` or the
+/// matching close of the first `{` block.
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    while is_punct(tokens.get(i), '#') && is_punct(tokens.get(i + 1), '[') {
+        match matching(tokens, i + 1, '[', ']') {
+            Some(close) => i = close + 1,
+            None => return tokens.len(),
+        }
+    }
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct(';') => return i + 1,
+            Tok::Punct('{') => {
+                return match matching(tokens, i, '{', '}') {
+                    Some(close) => close + 1,
+                    None => tokens.len(),
+                };
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Index of the close punct matching the open punct at `tokens[open]`.
+fn matching(tokens: &[Token], open: usize, open_c: char, close_c: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct(c) if c == open_c => depth += 1,
+            Tok::Punct(c) if c == close_c => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------
+
+struct Suppression {
+    rule: String,
+    line: u32,
+}
+
+impl Suppression {
+    /// A suppression matches its exact rule or a whole family
+    /// (`allow(panic, ...)` silences every `panic/*` rule).
+    fn matches(&self, rule: &str) -> bool {
+        rule == self.rule
+            || (rule.len() > self.rule.len()
+                && rule.starts_with(&self.rule)
+                && rule.as_bytes().get(self.rule.len()) == Some(&b'/'))
+    }
+}
+
+/// Parse `wm-lint: allow(rule, reason = "...")` directives out of the
+/// comment stream. Directives without a non-empty reason do not
+/// suppress anything and are themselves reported.
+fn collect_suppressions(
+    comments: &[Comment],
+    file: &str,
+    findings: &mut Vec<Finding>,
+) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(at) = c.text.find("wm-lint:") else {
+            continue;
+        };
+        let rest = c
+            .text
+            .get(at + "wm-lint:".len()..)
+            .unwrap_or_default()
+            .trim_start();
+        let Some(body) = rest.strip_prefix("allow") else {
+            findings.push(Finding {
+                rule: MISSING_REASON,
+                file: file.to_string(),
+                line: c.line,
+                message: "unrecognized wm-lint directive; expected \
+                          `wm-lint: allow(<rule>, reason = \"...\")`"
+                    .to_string(),
+            });
+            continue;
+        };
+        let body = body.trim_start();
+        let Some(body) = body.strip_prefix('(') else {
+            findings.push(Finding {
+                rule: MISSING_REASON,
+                file: file.to_string(),
+                line: c.line,
+                message: "malformed wm-lint allow; expected \
+                          `allow(<rule>, reason = \"...\")`"
+                    .to_string(),
+            });
+            continue;
+        };
+        let rule_end = body.find([',', ')']).unwrap_or(body.len());
+        let rule = body.get(..rule_end).unwrap_or_default().trim().to_string();
+        let reason = extract_reason(body.get(rule_end..).unwrap_or_default());
+        match reason {
+            Some(r) if !r.trim().is_empty() => out.push(Suppression { rule, line: c.line }),
+            _ => findings.push(Finding {
+                rule: MISSING_REASON,
+                file: file.to_string(),
+                line: c.line,
+                message: format!(
+                    "suppression of `{rule}` has no reason; every allow must say why the \
+                     violation is sound"
+                ),
+            }),
+        }
+    }
+    out
+}
+
+/// From `, reason = "why"` (or similar), pull out `why`.
+fn extract_reason(s: &str) -> Option<&str> {
+    let after = s.split_once("reason")?.1.trim_start();
+    let after = after.strip_prefix('=')?.trim_start();
+    let after = after.strip_prefix('"')?;
+    after.split_once('"').map(|(reason, _)| reason)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    // Paths chosen so the path-scoped panic family is active/inactive.
+    const PARSE_PATH: &str = "crates/json/src/fixture.rs";
+    const NON_PARSE_PATH: &str = "crates/netflix/src/fixture.rs";
+
+    #[test]
+    fn wall_clock_fires_in_byte_producing_crate() {
+        let f = check_source(
+            "wm-player",
+            NON_PARSE_PATH,
+            "fn t() -> Instant { Instant::now() }",
+        );
+        assert_eq!(rules_of(&f), [WALL_CLOCK]);
+        let f = check_source(
+            "wm-net",
+            NON_PARSE_PATH,
+            "fn t() -> u64 { SystemTime::now().elapsed() }",
+        );
+        assert_eq!(rules_of(&f), [WALL_CLOCK]);
+    }
+
+    #[test]
+    fn wall_clock_exempts_bench() {
+        let f = check_source("wm-bench", NON_PARSE_PATH, "let t = Instant::now();");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn instant_in_string_or_comment_is_fine() {
+        let src = r#"// Instant::now() is forbidden here
+            let s = "Instant::now()";"#;
+        assert!(check_source("wm-sim", NON_PARSE_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn hash_collections_fire_only_in_byte_producing_crates() {
+        let src = "use std::collections::HashMap; fn f() { let m: HashMap<u8, u8>; }";
+        let f = check_source("wm-tls", NON_PARSE_PATH, src);
+        assert!(f.iter().all(|f| f.rule == HASH_COLLECTIONS));
+        assert_eq!(f.len(), 2);
+        // Attacker/utility crates may hash internally (they emit no bytes).
+        assert!(check_source("wm-telemetry", "crates/telemetry/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn randomstate_and_hashset_fire() {
+        let f = check_source(
+            "wm-story",
+            NON_PARSE_PATH,
+            "let s: HashSet<u8> = HashSet::default(); let r = RandomState::new();",
+        );
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn unseeded_rng_fires_everywhere() {
+        for krate in ["wm-core", "wm-sim", "wm-bench"] {
+            let f = check_source(krate, NON_PARSE_PATH, "let mut rng = thread_rng();");
+            assert_eq!(rules_of(&f), [UNSEEDED_RNG], "{krate}");
+        }
+        let f = check_source("wm-json", NON_PARSE_PATH, "let r = OsRng.next_u64();");
+        assert_eq!(rules_of(&f), [UNSEEDED_RNG]);
+    }
+
+    #[test]
+    fn unwrap_and_expect_fire_on_parse_paths() {
+        let f = check_source("wm-json", PARSE_PATH, "let v = parse(b).unwrap();");
+        assert_eq!(rules_of(&f), [PANIC_UNWRAP]);
+        let f = check_source("wm-json", PARSE_PATH, "let v = parse(b).expect(\"ok\");");
+        assert_eq!(rules_of(&f), [PANIC_UNWRAP]);
+        let f = check_source("wm-json", PARSE_PATH, "xs.map(Result::unwrap)");
+        assert_eq!(rules_of(&f), [PANIC_UNWRAP]);
+    }
+
+    #[test]
+    fn unwrap_outside_parse_paths_is_fine() {
+        let f = check_source("wm-netflix", NON_PARSE_PATH, "let v = parse(b).unwrap();");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let src =
+            "let v = x.unwrap_or_default(); let w = y.unwrap_or(0); let z = z.unwrap_or_else(f);";
+        assert!(check_source("wm-json", PARSE_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_fire_on_parse_paths() {
+        for src in [
+            "panic!(\"boom\")",
+            "unreachable!()",
+            "todo!()",
+            "unimplemented!()",
+            "assert!(x > 0);",
+            "assert_eq!(a, b);",
+            "assert_ne!(a, b);",
+        ] {
+            let f = check_source("wm-http", "crates/http/src/parse.rs", src);
+            assert_eq!(rules_of(&f), [PANIC_MACRO], "{src}");
+        }
+    }
+
+    #[test]
+    fn debug_assert_is_permitted() {
+        let f = check_source("wm-http", "crates/http/src/parse.rs", "debug_assert!(ok);");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn indexing_fires_on_parse_paths() {
+        for src in [
+            "let b = buf[0];",
+            "let s = &buf[1..4];",
+            "let x = f()[0];",
+            "let y = grid[i][j];",
+        ] {
+            let f = check_source("wm-capture", "crates/capture/src/pcap.rs", src);
+            assert!(
+                f.iter().any(|f| f.rule == PANIC_INDEX),
+                "expected panic/index for {src}: {f:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_indexing_brackets_are_fine() {
+        for src in [
+            "#[derive(Debug)] struct S;",
+            "let v = vec![1, 2, 3];",
+            "let a = [0u8; 4];",
+            "let t: [u8; 4] = x;",
+            "let [a, b] = pair;",
+            "if let [x, ..] = slice {}",
+            "fn f() -> [u8; 2] { y }",
+        ] {
+            let f = check_source("wm-capture", "crates/capture/src/pcap.rs", src);
+            assert!(
+                f.iter().all(|f| f.rule != PANIC_INDEX),
+                "false positive for {src}: {f:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = r#"
+            pub fn shipping() -> u8 { 0 }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {
+                    let v = parse(b"x").unwrap();
+                    let b = buf[0];
+                    panic!("fine in tests");
+                    let m: HashMap<u8, u8> = HashMap::new();
+                    let t = Instant::now();
+                }
+            }
+        "#;
+        assert!(check_source("wm-sim", "crates/sim/src/x.rs", src).is_empty());
+        assert!(check_source("wm-json", PARSE_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn cfg_all_test_is_also_stripped() {
+        let src = "#[cfg(all(test, feature = \"x\"))] mod t { fn f() { x.unwrap() } }";
+        assert!(check_source("wm-json", PARSE_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn code_after_test_mod_is_still_checked() {
+        let src = "#[cfg(test)] mod t { fn f() { a.unwrap() } }\npub fn g() { b.unwrap(); }";
+        let f = check_source("wm-json", PARSE_PATH, src);
+        assert_eq!(rules_of(&f), [PANIC_UNWRAP]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn suppression_with_reason_silences_same_line() {
+        let src = "let b = buf[0]; // wm-lint: allow(panic/index, reason = \"len checked above\")";
+        assert!(check_source("wm-capture", "crates/capture/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_with_reason_silences_next_line() {
+        let src = "// wm-lint: allow(panic/index, reason = \"len checked above\")\nlet b = buf[0];";
+        assert!(check_source("wm-capture", "crates/capture/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_does_not_reach_two_lines_down() {
+        let src =
+            "// wm-lint: allow(panic/index, reason = \"only covers next line\")\nlet a = 1;\nlet b = buf[0];";
+        let f = check_source("wm-capture", "crates/capture/src/x.rs", src);
+        assert_eq!(rules_of(&f), [PANIC_INDEX]);
+    }
+
+    #[test]
+    fn suppression_of_other_rule_does_not_silence() {
+        let src = "// wm-lint: allow(determinism/wall-clock, reason = \"n/a\")\nlet b = buf[0];";
+        let f = check_source("wm-capture", "crates/capture/src/x.rs", src);
+        assert_eq!(rules_of(&f), [PANIC_INDEX]);
+    }
+
+    #[test]
+    fn family_suppression_covers_members() {
+        let src = "// wm-lint: allow(panic, reason = \"fixture\")\nlet b = buf[0].unwrap();";
+        assert!(check_source("wm-capture", "crates/capture/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_without_reason_is_reported_and_inert() {
+        let src = "// wm-lint: allow(panic/index)\nlet b = buf[0];";
+        let f = check_source("wm-capture", "crates/capture/src/x.rs", src);
+        assert_eq!(rules_of(&f), [MISSING_REASON, PANIC_INDEX]);
+    }
+
+    #[test]
+    fn suppression_with_empty_reason_is_reported() {
+        let src = "// wm-lint: allow(panic/index, reason = \"  \")\nlet b = buf[0];";
+        let f = check_source("wm-capture", "crates/capture/src/x.rs", src);
+        assert!(rules_of(&f).contains(&MISSING_REASON));
+    }
+
+    #[test]
+    fn malformed_directive_is_reported() {
+        let f = check_source(
+            "wm-json",
+            NON_PARSE_PATH,
+            "// wm-lint: disable-everything\nlet x = 1;",
+        );
+        assert_eq!(rules_of(&f), [MISSING_REASON]);
+    }
+
+    #[test]
+    fn layering_flags_victim_dep_in_attacker_crate() {
+        let m = crate::manifest::parse(
+            "[package]\nname = \"wm-core\"\n[dependencies]\nwm-tls.workspace = true\nwm-json.workspace = true\n",
+        );
+        let f = check_manifest("crates/core/Cargo.toml", &m);
+        assert_eq!(rules_of(&f), [LAYERING]);
+        assert!(f[0].message.contains("wm-tls"));
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn layering_allows_capture_window_and_dev_deps() {
+        let m = crate::manifest::parse(
+            "[package]\nname = \"wm-behavior\"\n[dependencies]\nwm-capture.workspace = true\nwm-story.workspace = true\n[dev-dependencies]\nwm-sim.workspace = true\n",
+        );
+        assert!(check_manifest("crates/behavior/Cargo.toml", &m).is_empty());
+    }
+
+    #[test]
+    fn layering_ignores_victim_crates() {
+        let m = crate::manifest::parse(
+            "[package]\nname = \"wm-player\"\n[dependencies]\nwm-tls.workspace = true\n",
+        );
+        assert!(check_manifest("crates/player/Cargo.toml", &m).is_empty());
+    }
+
+    #[test]
+    fn findings_sort_by_line() {
+        let src = "let a = buf[0];\nlet b = parse(x).unwrap();";
+        let f = check_source("wm-json", PARSE_PATH, src);
+        assert_eq!(rules_of(&f), [PANIC_INDEX, PANIC_UNWRAP]);
+    }
+}

@@ -1,0 +1,128 @@
+//! End-to-end checks for the workspace scanner.
+//!
+//! Two halves: the real workspace must be clean (this is the same gate
+//! CI runs via `wm-lint --deny`), and a synthetic workspace seeded with
+//! one violation per rule family must light every rule up — proving the
+//! walker, crate classification and path scoping all work outside unit
+//! tests.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use wm_lint::rules;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint → crates → workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let result = wm_lint::scan_workspace(&workspace_root()).expect("scan");
+    assert!(
+        result.findings.is_empty(),
+        "workspace must be lint-clean:\n{}",
+        result
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the scan actually visited the workspace (17 crates of
+    // sources + manifests), not an empty directory.
+    assert!(
+        result.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        result.files_scanned
+    );
+}
+
+#[test]
+fn scan_is_deterministic() {
+    let root = workspace_root();
+    let a = wm_lint::scan_workspace(&root).expect("scan a");
+    let b = wm_lint::scan_workspace(&root).expect("scan b");
+    assert_eq!(a.findings, b.findings);
+    assert_eq!(a.files_scanned, b.files_scanned);
+    let ra = wm_lint::report::to_json(&a.findings, a.files_scanned);
+    let rb = wm_lint::report::to_json(&b.findings, b.files_scanned);
+    assert_eq!(ra, rb, "JSON report must be byte-identical across runs");
+}
+
+/// Build a throwaway workspace under the target dir with one violation
+/// per rule family and check each is reported.
+#[test]
+fn seeded_violations_all_fire() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("wm-lint-fixture");
+    let _ = fs::remove_dir_all(&dir);
+
+    let mk = |rel: &str, contents: &str| {
+        let path = dir.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        fs::write(path, contents).expect("write fixture");
+    };
+
+    // A "victim" byte-producing crate with determinism violations.
+    mk("crates/tls/Cargo.toml", "[package]\nname = \"wm-tls\"\n");
+    mk(
+        "crates/tls/src/lib.rs",
+        "pub fn emit() -> u64 {\n\
+         let t = Instant::now();\n\
+         let m: HashMap<u8, u8> = HashMap::new();\n\
+         let r = thread_rng().next_u64();\n\
+         0\n}\n",
+    );
+    // An attacker parse path with panic violations.
+    mk("crates/json/Cargo.toml", "[package]\nname = \"wm-json\"\n");
+    mk(
+        "crates/json/src/de.rs",
+        "pub fn de(b: &[u8]) -> u8 {\n\
+         let first = b[0];\n\
+         let v = std::str::from_utf8(b).unwrap();\n\
+         panic!(\"bad\");\n}\n",
+    );
+    // A suppression without a reason.
+    mk(
+        "crates/json/src/lenient.rs",
+        "// wm-lint: allow(panic/index)\npub fn f(b: &[u8]) -> u8 { b[1] }\n",
+    );
+    // An attacker crate reaching into the victim stack.
+    mk(
+        "crates/core/Cargo.toml",
+        "[package]\nname = \"wm-core\"\n\n[dependencies]\nwm-player = { path = \"../player\" }\n",
+    );
+    mk("crates/core/src/lib.rs", "pub fn attack() {}\n");
+
+    let result = wm_lint::scan_workspace(&dir).expect("scan fixture");
+    let fired: Vec<&str> = result.findings.iter().map(|f| f.rule).collect();
+    for rule in [
+        rules::WALL_CLOCK,
+        rules::HASH_COLLECTIONS,
+        rules::UNSEEDED_RNG,
+        rules::PANIC_INDEX,
+        rules::PANIC_UNWRAP,
+        rules::PANIC_MACRO,
+        rules::MISSING_REASON,
+        rules::LAYERING,
+    ] {
+        assert!(
+            fired.contains(&rule),
+            "expected {rule} to fire; got {fired:?}"
+        );
+    }
+    // The unjustified suppression must not silence the indexing it sits on.
+    assert!(
+        result
+            .findings
+            .iter()
+            .any(|f| f.rule == rules::PANIC_INDEX && f.file.ends_with("lenient.rs")),
+        "reason-less suppression should be inert"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}

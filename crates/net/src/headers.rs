@@ -252,6 +252,7 @@ impl TcpHeader {
 }
 
 /// Build a complete Ethernet/IPv4/TCP frame around `payload`.
+#[allow(clippy::too_many_arguments)]
 pub fn build_frame(
     flow: &FlowId,
     seq: u32,

@@ -275,20 +275,16 @@ impl TcpEndpoint {
         // Naive overlap handling: keep the first copy of any offset.
         // (Both ends are our own stack, so inconsistent overlaps cannot
         // occur; duplicates from retransmission can.)
-        if !self.reasm.contains_key(&abs) {
-            self.reasm.insert(abs, payload.to_vec());
-        }
+        self.reasm.entry(abs).or_insert_with(|| payload.to_vec());
     }
 
     fn drain_reasm(&mut self, out: &mut Vec<u8>) {
-        loop {
-            let Some((&abs, _)) = self.reasm.range(..=self.rcv_nxt).next_back() else {
+        // The range bound keeps `abs <= rcv_nxt`, so every chunk found
+        // here is deliverable (possibly after trimming).
+        while let Some((&abs, _)) = self.reasm.range(..=self.rcv_nxt).next_back() {
+            let Some(chunk) = self.reasm.remove(&abs) else {
                 break;
             };
-            if abs > self.rcv_nxt {
-                break;
-            }
-            let chunk = self.reasm.remove(&abs).expect("present");
             let skip = (self.rcv_nxt - abs) as usize;
             if skip < chunk.len() {
                 out.extend_from_slice(&chunk[skip..]);

@@ -27,7 +27,6 @@ pub mod abr;
 pub mod player;
 pub mod profile;
 pub mod state;
-pub mod viewer;
 
 pub use abr::ThroughputEstimator;
 pub use player::{
@@ -36,4 +35,4 @@ pub use player::{
 };
 pub use profile::{Browser, DeviceForm, Os, Profile};
 pub use state::StateJsonBuilder;
-pub use viewer::{ScriptEntry, ViewerScript};
+pub use wm_story::{ScriptEntry, ViewerScript};

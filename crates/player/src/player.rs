@@ -22,7 +22,6 @@
 use crate::abr::ThroughputEstimator;
 use crate::profile::Profile;
 use crate::state::{StateJsonBuilder, Type1Fields, Type2Fields};
-use crate::viewer::ViewerScript;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use wm_http::{Request, Response};
@@ -30,6 +29,7 @@ use wm_net::queue::TimerKind;
 use wm_net::rng::SimRng;
 use wm_net::time::{Duration, SimTime};
 use wm_netflix::Manifest;
+use wm_story::ViewerScript;
 use wm_story::{Choice, ChoicePointId, SegmentEnd, SegmentId, StoryGraph};
 use wm_telemetry::{Counter, Registry};
 

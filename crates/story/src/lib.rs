@@ -23,9 +23,11 @@ pub mod bandersnatch;
 pub mod graph;
 pub mod model;
 pub mod path;
+pub mod script;
 
 pub use graph::{GraphError, StoryGraph};
 pub use model::{
     Choice, ChoiceOption, ChoicePoint, ChoicePointId, ChoiceTag, Segment, SegmentEnd, SegmentId,
 };
 pub use path::{sample_path, ChoiceSequence, PathWalk};
+pub use script::{ScriptEntry, ViewerScript};

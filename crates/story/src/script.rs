@@ -8,9 +8,9 @@
 //! timer lapses and the player auto-selects the default — exactly the
 //! fallback the film implements.
 
+use crate::Choice;
 use wm_net::rng::SimRng;
 use wm_net::time::Duration;
-use wm_story::Choice;
 
 /// One scripted decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -131,6 +131,7 @@ impl Histogram {
     pub fn span(&self) -> Span<'_> {
         Span {
             hist: self,
+            // wm-lint: allow(determinism/wall-clock, reason = "telemetry spans measure real elapsed wall time by design; span durations are observability output and never feed simulated bytes")
             start: Instant::now(),
         }
     }

@@ -145,7 +145,7 @@ mod tests {
             length: 236,
         };
         wire.extend_from_slice(&hs_header.to_bytes());
-        wire.extend(std::iter::repeat(0xaa).take(236));
+        wire.extend(std::iter::repeat_n(0xaa, 236));
         wire.extend(client.seal_payload(ContentType::ApplicationData, b"data"));
         let mut obs = RecordObserver::new();
         let records = obs.feed(&wire);

@@ -88,7 +88,7 @@ mod tests {
         for len in 1..=11 {
             assert_eq!(CipherSuite::Cbc.ciphertext_len(len), base, "len {len}");
         }
-        assert_eq!(CipherSuite::Cbc.ciphertext_len(12), base + BLOCK as usize);
+        assert_eq!(CipherSuite::Cbc.ciphertext_len(12), base + BLOCK);
     }
 
     #[test]

@@ -48,6 +48,45 @@ fn telemetry_collection_does_not_perturb_the_session() {
     assert_eq!(plain.stats.events, observed.stats.events);
 }
 
+/// The JSON state blobs the player posts are byte-identical across
+/// replays — the serialized *length* is the paper's observable, so any
+/// order instability (e.g. a hash-map-backed object) would corrupt the
+/// side channel itself. This pins the post-refactor guarantee that all
+/// byte paths use order-preserving structures.
+#[test]
+fn state_blob_serialization_is_order_stable() {
+    use white_mirror::capture::flow::FlowReassembler;
+    let a = run_session(&cfg(7, false)).expect("session a");
+    let b = run_session(&cfg(7, false)).expect("session b");
+    let lens = |t: &white_mirror::capture::Trace| -> Vec<(u64, u64)> {
+        FlowReassembler::reassemble(t)
+            .iter()
+            .map(|f| (f.upstream.data_bytes(), f.downstream.data_bytes()))
+            .collect()
+    };
+    assert_eq!(
+        lens(&a.trace),
+        lens(&b.trace),
+        "per-flow byte counts must replay exactly"
+    );
+}
+
+/// Full pipeline determinism across seeds: the attacker's decoded
+/// choices from identical traces are identical, including the
+/// tie-breaking paths inside the beam search (f64 `total_cmp`).
+#[test]
+fn decode_is_deterministic_per_trace() {
+    for seed in [3u64, 41, 97] {
+        let a = run_session(&cfg(seed, false)).expect("session");
+        let b = run_session(&cfg(seed, false)).expect("session");
+        assert_eq!(
+            a.decisions, b.decisions,
+            "seed {seed}: decisions must replay exactly"
+        );
+        assert_eq!(a.labels, b.labels, "seed {seed}");
+    }
+}
+
 #[test]
 fn different_seed_differs() {
     let a = run_session(&cfg(41, true)).expect("seed 41");

@@ -1,0 +1,25 @@
+//! Workspace invariant gate: the tier-1 test suite fails if any
+//! `wm-lint` rule fires, mirroring the `wm-lint --deny` step CI runs.
+//!
+//! Keeping this in the root suite means a developer cannot land a
+//! wall-clock read in a byte-producing crate, a panicking parse path,
+//! or an attacker→victim dependency without `cargo test` going red
+//! locally — no CI round-trip needed.
+
+#[test]
+fn workspace_passes_wm_lint_deny() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let result = wm_lint::scan_workspace(root).expect("scan workspace");
+    assert!(
+        result.findings.is_empty(),
+        "wm-lint found {} violation(s):\n{}\n\
+         (suppress only with `// wm-lint: allow(<rule>, reason = \"...\")` and a real reason)",
+        result.findings.len(),
+        result
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
