@@ -162,6 +162,7 @@ fn score(picks: &[Choice], s: &SessionOutput) -> ChoiceAccuracy {
             choice: *c,
             time: SimTime::ZERO,
             observed: true,
+            confidence: 1.0,
         })
         .collect();
     choice_accuracy(&decoded, &s.decisions)

@@ -317,6 +317,7 @@ fn score_positional(picks: &[Choice], out: &SessionOutput) -> ChoiceAccuracy {
             choice: *c,
             time: SimTime::ZERO,
             observed: true,
+            confidence: 1.0,
         })
         .collect();
     choice_accuracy(&decoded, &out.decisions)

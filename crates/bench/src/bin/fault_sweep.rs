@@ -1,0 +1,116 @@
+//! E9: attack robustness vs fault intensity.
+//!
+//! Sweeps `wm-chaos` fault plans of growing intensity over victim
+//! sessions and measures what the eavesdropper retains: choice
+//! accuracy, mean per-choice confidence, and the recovery machinery's
+//! footprint (reconnects, tap-blind frames, failed sessions). The
+//! headline claim this harness checks is *graceful degradation*:
+//! confidence should fall before correctness does.
+//!
+//! ```sh
+//! cargo run --release -p wm-bench --bin fault_sweep [-- --smoke]
+//! ```
+//!
+//! `--smoke` (or `WM_FAULT_SWEEP_SMOKE=1`) shrinks the matrix for CI.
+
+use wm_bench::{graph, sample_behavior, train_attack_for, viewer_cfg, write_bench_json};
+use wm_chaos::FaultPlan;
+use wm_core::ChoiceAccuracy;
+use wm_dataset::{OperationalConditions, ViewerSpec};
+use wm_net::time::Duration;
+use wm_sim::{run_session, run_session_lossy};
+use wm_telemetry::Snapshot;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("WM_FAULT_SWEEP_SMOKE").is_ok_and(|v| v == "1");
+    let intensities: &[f64] = if smoke {
+        &[0.0, 1.0]
+    } else {
+        &[0.0, 0.5, 1.0, 2.0, 4.0]
+    };
+    let victims: u64 = if smoke { 2 } else { 6 };
+
+    let graph = graph();
+    let cond = OperationalConditions::grid()[0];
+    let (attack, _) = train_attack_for(&graph, &cond, &[70_001, 70_002, 70_003]);
+
+    // Fault horizon: how long a clean victim session actually runs, so
+    // generated faults land mid-stream at every intensity.
+    let probe = ViewerSpec {
+        id: u32::MAX,
+        seed: 70_100,
+        behavior: sample_behavior(70_100),
+        operational: cond,
+    };
+    let probe_out = run_session(&viewer_cfg(&graph, &probe)).expect("probe session");
+    let horizon = Duration(probe_out.stats.duration.0);
+
+    println!("=== E9: accuracy vs fault intensity ({victims} victims/point) ===\n");
+    println!(
+        "{:>9} {:>10} {:>12} {:>11} {:>10} {:>8}",
+        "intensity", "accuracy", "confidence", "reconnects", "tap-drops", "failed"
+    );
+
+    let mut telemetry = Snapshot::default();
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    for &intensity in intensities {
+        let mut acc = ChoiceAccuracy::default();
+        let mut conf_sum = 0.0f64;
+        let mut conf_n = 0u64;
+        let mut reconnects = 0u64;
+        let mut tap_drops = 0u64;
+        let mut failed = 0u64;
+        for v in 0..victims {
+            let seed = 71_000 + v;
+            let viewer = ViewerSpec {
+                id: v as u32,
+                seed,
+                behavior: sample_behavior(seed),
+                operational: cond,
+            };
+            let mut cfg = viewer_cfg(&graph, &viewer);
+            cfg.chaos = if intensity > 0.0 {
+                FaultPlan::generate(seed, intensity, horizon)
+            } else {
+                FaultPlan::none()
+            };
+            let (out, err) = run_session_lossy(&cfg);
+            telemetry.merge(&out.telemetry);
+            reconnects += out.stats.reconnects;
+            tap_drops += out.stats.tap_frames_dropped;
+            if err.is_some() {
+                // The partial capture is still decodable, but the truth
+                // is incomplete; score only completed sessions.
+                failed += 1;
+                continue;
+            }
+            let (decoded, a) = attack.evaluate(&out.trace, &graph, &out.decisions);
+            conf_sum += decoded.mean_confidence();
+            conf_n += 1;
+            acc.merge(&a);
+        }
+        let confidence = if conf_n > 0 {
+            conf_sum / conf_n as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:>9.2} {:>9.1}% {:>12.3} {:>11} {:>10} {:>8}",
+            intensity,
+            100.0 * acc.accuracy(),
+            confidence,
+            reconnects,
+            tap_drops,
+            failed
+        );
+        let key = format!("{intensity:.2}").replace('.', "_");
+        metrics.push((format!("accuracy_i{key}"), acc.accuracy()));
+        metrics.push((format!("confidence_i{key}"), confidence));
+        metrics.push((format!("failed_i{key}"), failed as f64));
+        metrics.push((format!("reconnects_i{key}"), reconnects as f64));
+    }
+
+    let borrowed: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    write_bench_json("fault_sweep", &borrowed, &telemetry);
+}

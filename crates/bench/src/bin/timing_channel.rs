@@ -86,6 +86,7 @@ fn measure(
                 choice: e.choice,
                 time: e.time,
                 observed: true,
+                confidence: 1.0,
             })
             .collect();
         agg.merge(&choice_accuracy(&decoded, &out.decisions));

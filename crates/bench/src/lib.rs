@@ -15,6 +15,7 @@
 //! | `timing_channel` | §VI — the residual timing channel (E6) |
 //! | `baseline_comparison` | §II — prior-work features fail intra-video (E7) |
 //! | `robustness_sweep` | robustness across conditions + classifier ablation (E8) |
+//! | `fault_sweep` | accuracy vs `wm-chaos` fault intensity (E9) |
 //!
 //! Run any of them with `cargo run --release -p wm-bench --bin <name>`.
 

@@ -38,6 +38,10 @@ pub struct ExtractStats {
 pub struct Extraction {
     pub records: Vec<TimedRecord>,
     pub stats: ExtractStats,
+    /// Capture timestamp at which each gap's post-gap chunk resumed
+    /// (one entry per counted gap, in stream order). Downstream
+    /// decoders use these to mark choice windows the tap was blind in.
+    pub gap_times: Vec<SimTime>,
 }
 
 /// Minimum chained headers required to accept a resync offset (or one
@@ -59,6 +63,9 @@ pub fn extract_records(view: &StreamView) -> Extraction {
         };
         if gap {
             out.stats.gaps += 1;
+            if let Some(t) = view.time_at(chunk.start_offset) {
+                out.gap_times.push(t);
+            }
             // The carried partial record can never complete.
             carry.clear();
         }
@@ -242,6 +249,7 @@ mod tests {
         let ex = extract_records(&view);
         assert_eq!(ex.stats.gaps, 1);
         assert_eq!(ex.stats.resyncs, 1);
+        assert_eq!(ex.gap_times, vec![SimTime(9)], "gap stamped at resume time");
         let lens: Vec<u16> = ex.records.iter().map(|r| r.record.length).collect();
         assert_eq!(lens, vec![1016, 416, 316], "r2 dropped, r3/r4 recovered");
         assert!(gap_start > 0);

@@ -76,7 +76,22 @@ impl DecodedSession {
             })
             .collect()
     }
+
+    /// Mean per-choice confidence (1.0 when every report was observed
+    /// on an intact capture; degrades before correctness does as faults
+    /// mount).
+    pub fn mean_confidence(&self) -> f64 {
+        if self.choices.is_empty() {
+            return 1.0;
+        }
+        self.choices.iter().map(|d| d.confidence).sum::<f64>() / self.choices.len() as f64
+    }
 }
+
+/// Confidence multiplier for a decision whose choice window overlaps a
+/// capture gap: the tap may have missed the very report that would
+/// flip the decision.
+const GAP_CONFIDENCE_FACTOR: f64 = 0.5;
 
 /// Attack-side telemetry handles (see `wm-telemetry`): wall-clock
 /// timings of the classify and decode stages plus per-class record
@@ -183,11 +198,32 @@ impl WhiteMirror {
                 }
             }
             t.sessions_decoded.inc();
-            let choices = self.run_decoder(&features, graph);
+            let mut choices = self.run_decoder(&features, graph);
+            self.apply_gap_confidence(&mut choices, &features);
             return DecodedSession { choices, features };
         }
-        let choices = self.run_decoder(&features, graph);
+        let mut choices = self.run_decoder(&features, graph);
+        self.apply_gap_confidence(&mut choices, &features);
         DecodedSession { choices, features }
+    }
+
+    /// Downgrade decisions whose choice window a capture gap overlaps:
+    /// the decode stays whatever the surviving evidence supports, but
+    /// the attacker reports reduced certainty there.
+    fn apply_gap_confidence(&self, choices: &mut [DecodedChoice], features: &ClientFeatures) {
+        if features.gap_times.is_empty() {
+            return;
+        }
+        let window = self.cfg.decoder.window;
+        for d in choices.iter_mut() {
+            let near_gap = features
+                .gap_times
+                .iter()
+                .any(|&g| g + window >= d.time && g <= d.time + window);
+            if near_gap {
+                d.confidence *= GAP_CONFIDENCE_FACTOR;
+            }
+        }
     }
 
     fn run_decoder(&self, features: &ClientFeatures, graph: &StoryGraph) -> Vec<DecodedChoice> {
@@ -293,6 +329,49 @@ mod tests {
                 .map(|(_, c)| if *c == Choice::Default { 'D' } else { 'N' })
                 .collect::<String>()
         );
+    }
+
+    #[test]
+    fn tap_gap_downgrades_confidence() {
+        let train = run(
+            100,
+            &[Choice::NonDefault, Choice::Default, Choice::NonDefault],
+        );
+        let attack = WhiteMirror::train(&train.labels, WhiteMirrorConfig::scaled(20)).unwrap();
+        let graph = Arc::new(tiny_film());
+        let script = ViewerScript::from_choices(
+            &[Choice::Default, Choice::NonDefault, Choice::NonDefault],
+            Duration::from_millis(900),
+        );
+        let mut cfg = SessionConfig::fast(graph.clone(), 200, script);
+        let mut plan = wm_chaos::FaultPlan::none();
+        plan.push(
+            wm_capture::time::SimTime(400_000),
+            wm_chaos::FaultKind::TapGap {
+                duration: Duration::from_millis(300),
+            },
+        );
+        cfg.chaos = plan;
+        let victim = run_session(&cfg).unwrap();
+        assert!(victim.stats.tap_frames_dropped > 0);
+        let decoded = attack.decode_trace(&victim.trace, &graph);
+        assert!(
+            decoded.features.stats.gaps > 0,
+            "the blind span must surface as a reassembly gap"
+        );
+        assert!(!decoded.features.gap_times.is_empty());
+        assert!(
+            decoded.mean_confidence() < 1.0,
+            "gap must downgrade confidence (got {})",
+            decoded.mean_confidence()
+        );
+        // Degradation is graceful: the full choice sequence still comes
+        // out, each with an explicit confidence.
+        assert_eq!(decoded.choices.len(), victim.decisions.len());
+        assert!(decoded
+            .choices
+            .iter()
+            .all(|d| d.confidence > 0.0 && d.confidence <= 1.0));
     }
 
     #[test]

@@ -84,6 +84,9 @@ impl<'a, C: RecordClassifier + ?Sized> BeamDecoder<'a, C> {
             .collect();
 
         let scale = self.cfg.time_scale.max(1) as f64;
+        // Duplicate suppression (see `decode::dedup_report_events`).
+        let dedup = Duration::from_secs_f64((self.min_gap_secs() / 3.0).clamp(0.5, 2.0) / scale);
+        let events = crate::decode::dedup_report_events(&events, dedup);
         // Tight slack: see ChoiceDecoder::decode_time_aware — question
         // times are near-deterministic, and a tight window is what lets
         // the beam use timing to pick the branch when a report is lost.
@@ -247,6 +250,11 @@ impl<'a, C: RecordClassifier + ?Sized> BeamDecoder<'a, C> {
                 choice,
                 time: t1_time,
                 observed,
+                confidence: if observed {
+                    crate::decode::CONFIDENCE_OBSERVED
+                } else {
+                    crate::decode::CONFIDENCE_INFERRED
+                },
             });
             let gap = self.question_gap_secs(hyp.at, cp, choice);
             child.predicted = Some(t1_time + Duration::from_secs_f64(gap / scale));

@@ -58,7 +58,7 @@ impl DecoderConfig {
 }
 
 /// One decoded decision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DecodedChoice {
     pub cp: ChoicePointId,
     pub choice: Choice,
@@ -67,6 +67,42 @@ pub struct DecodedChoice {
     pub time: SimTime,
     /// Whether the question's type-1 report was actually observed.
     pub observed: bool,
+    /// How much the evidence supports this decision, in `[0, 1]`.
+    /// Observed reports decode at full confidence; inferred decisions
+    /// start lower, and capture gaps overlapping the choice window
+    /// downgrade it further (see `WhiteMirror::decode_trace`).
+    pub confidence: f64,
+}
+
+/// Confidence of a decision whose type-1 report was directly observed.
+pub const CONFIDENCE_OBSERVED: f64 = 1.0;
+/// Confidence of a decision inferred from timing alone (report lost).
+pub const CONFIDENCE_INFERRED: f64 = 0.55;
+/// Confidence when the event stream ran out entirely (blind fill).
+pub const CONFIDENCE_BLIND: f64 = 0.2;
+
+/// Collapse duplicate report events: a browser retry or an injected
+/// duplicate POST puts the *same* state JSON on the wire twice, which
+/// would otherwise open a phantom choice (naive decoder) or mask a
+/// type-2 behind a repeated type-1 (window scan stops at the next
+/// type-1). Events of the same class within `window` of the previous
+/// kept event of that class are dropped. Panic-free by construction.
+pub(crate) fn dedup_report_events(
+    events: &[(SimTime, RecordClass)],
+    window: Duration,
+) -> Vec<(SimTime, RecordClass)> {
+    let mut out: Vec<(SimTime, RecordClass)> = Vec::with_capacity(events.len());
+    for &(t, class) in events {
+        let dup = out
+            .iter()
+            .rev()
+            .find(|(_, c)| *c == class)
+            .is_some_and(|&(prev, _)| t.since(prev) <= window);
+        if !dup {
+            out.push((t, class));
+        }
+    }
+    out
 }
 
 /// The graph-walking decoder.
@@ -94,6 +130,11 @@ impl<'a, C: RecordClassifier + ?Sized> ChoiceDecoder<'a, C> {
             .map(|r| (r.time, self.classifier.classify(r.record.length)))
             .filter(|(_, c)| *c != RecordClass::Other)
             .collect();
+        // Duplicate suppression: retried/duplicated state POSTs repeat
+        // a report class well inside the question-to-question gap.
+        let scale = self.cfg.time_scale.max(1) as f64;
+        let dedup = Duration::from_secs_f64((self.min_gap_secs() / 3.0).clamp(0.5, 2.0) / scale);
+        let events = dedup_report_events(&events, dedup);
         if self.cfg.time_aware {
             let anchor = self.initial_question_time(records, &events);
             self.decode_time_aware(&events, anchor)
@@ -152,6 +193,7 @@ impl<'a, C: RecordClassifier + ?Sized> ChoiceDecoder<'a, C> {
                     choice: Choice::Default,
                     time: SimTime::ZERO,
                     observed: false,
+                    confidence: CONFIDENCE_BLIND,
                 });
                 return Choice::Default;
             };
@@ -178,6 +220,7 @@ impl<'a, C: RecordClassifier + ?Sized> ChoiceDecoder<'a, C> {
                 choice,
                 time: t1_time,
                 observed: true,
+                confidence: CONFIDENCE_OBSERVED,
             });
             choice
         });
@@ -258,6 +301,11 @@ impl<'a, C: RecordClassifier + ?Sized> ChoiceDecoder<'a, C> {
                 choice,
                 time: t1_time,
                 observed,
+                confidence: if observed {
+                    CONFIDENCE_OBSERVED
+                } else {
+                    CONFIDENCE_INFERRED
+                },
             });
 
             let gap = self.question_gap_secs(seg, cp, choice);
@@ -511,6 +559,79 @@ mod tests {
         let n: Vec<Choice> = naive.iter().map(|d| d.choice).collect();
         let a: Vec<Choice> = aware.iter().map(|d| d.choice).collect();
         assert_eq!(n, a);
+    }
+
+    #[test]
+    fn duplicate_reports_are_collapsed() {
+        let c = classifier();
+        let g = tiny_film();
+        // q1's type-1 hits the wire twice (browser retry / injected
+        // duplicate). Without dedup the repeated type-1 stops the
+        // type-2 window scan and q1 decodes default.
+        let records = vec![
+            rec(0, 540),       // manifest fetch: playback-start marker
+            rec(4_000, 2212),  // q0 (default)
+            rec(10_000, 2212), // q1 type-1
+            rec(10_050, 2212), // ... duplicated 50 ms later
+            rec(11_500, 3001), // q1 type-2 → non-default
+            rec(14_000, 2212), // q2 (default)
+        ];
+        for time_aware in [false, true] {
+            let cfg = DecoderConfig {
+                time_aware,
+                ..naive_cfg()
+            };
+            let decoded = ChoiceDecoder::new(&c, &g, cfg).decode(&records);
+            let picks: Vec<Choice> = decoded.iter().map(|d| d.choice).collect();
+            assert_eq!(
+                picks,
+                vec![Choice::Default, Choice::NonDefault, Choice::Default],
+                "time_aware={time_aware}"
+            );
+        }
+    }
+
+    #[test]
+    fn dedup_keeps_distinct_questions() {
+        // Two genuine type-1s separated by a real question gap must both
+        // survive the dedup pass.
+        let events = vec![
+            (SimTime(4_000_000), RecordClass::Type1),
+            (SimTime(10_000_000), RecordClass::Type1),
+        ];
+        let kept = dedup_report_events(&events, Duration::from_secs(2));
+        assert_eq!(kept.len(), 2);
+        // But a copy inside the window is dropped.
+        let events = vec![
+            (SimTime(4_000_000), RecordClass::Type1),
+            (SimTime(4_100_000), RecordClass::Type1),
+            (SimTime(5_000_000), RecordClass::Type2),
+        ];
+        let kept = dedup_report_events(&events, Duration::from_secs(2));
+        assert_eq!(kept.len(), 2, "duplicate type-1 dropped, type-2 kept");
+    }
+
+    #[test]
+    fn confidence_reflects_observation() {
+        let c = classifier();
+        let g = tiny_film();
+        // q1's type-1 lost: the inferred decision must carry lower
+        // confidence than the observed ones.
+        let records = vec![
+            rec(0, 540),
+            rec(4_000, 2212),
+            rec(11_500, 3001),
+            rec(14_000, 2212),
+        ];
+        let cfg = DecoderConfig {
+            time_aware: true,
+            ..naive_cfg()
+        };
+        let decoded = ChoiceDecoder::new(&c, &g, cfg).decode(&records);
+        assert_eq!(decoded[0].confidence, CONFIDENCE_OBSERVED);
+        assert_eq!(decoded[1].confidence, CONFIDENCE_INFERRED);
+        assert!(decoded[1].confidence < decoded[0].confidence);
+        assert_eq!(decoded[2].confidence, CONFIDENCE_OBSERVED);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use wm_capture::flow::FlowReassembler;
 use wm_capture::records::{extract_records, ExtractStats, TimedRecord};
 use wm_capture::tap::Trace;
+use wm_capture::time::SimTime;
 use wm_capture::ContentType;
 
 /// The eavesdropper's working set for one session.
@@ -14,6 +15,12 @@ pub struct ClientFeatures {
     pub stats: ExtractStats,
     /// Number of client handshake/CCS/alert records skipped.
     pub non_app_records: usize,
+    /// Capture timestamps where an upstream reassembly gap resumed
+    /// (tap blind spans), merged across flows in time order.
+    pub gap_times: Vec<SimTime>,
+    /// Distinct TCP flows in the capture (>1 means the client
+    /// reconnected mid-session).
+    pub flows: usize,
 }
 
 /// Extract the client-side application-data records from a capture.
@@ -26,11 +33,13 @@ pub struct ClientFeatures {
 pub fn client_app_records(trace: &Trace) -> ClientFeatures {
     let mut out = ClientFeatures::default();
     for flow in FlowReassembler::reassemble(trace) {
+        out.flows += 1;
         let extraction = extract_records(&flow.upstream);
         out.stats.records += extraction.stats.records;
         out.stats.gaps += extraction.stats.gaps;
         out.stats.resyncs += extraction.stats.resyncs;
         out.stats.skipped_bytes += extraction.stats.skipped_bytes;
+        out.gap_times.extend(extraction.gap_times);
         for r in extraction.records {
             if r.record.content_type == ContentType::ApplicationData {
                 out.records.push(r);
@@ -41,6 +50,7 @@ pub fn client_app_records(trace: &Trace) -> ClientFeatures {
     }
     out.records
         .sort_by_key(|r| (r.time, r.record.stream_offset));
+    out.gap_times.sort();
     out
 }
 

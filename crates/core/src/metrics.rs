@@ -148,6 +148,7 @@ mod tests {
             choice,
             time: SimTime::ZERO,
             observed: true,
+            confidence: 1.0,
         }
     }
 

@@ -114,6 +114,7 @@ mod tests {
                     choice: *c,
                     time: SimTime::ZERO,
                     observed: true,
+                    confidence: 1.0,
                 })
                 .collect(),
             features: ClientFeatures::default(),

@@ -156,6 +156,7 @@ fn choice_accuracy_bounds() {
                 },
                 time: SimTime::ZERO,
                 observed: true,
+                confidence: 1.0,
             })
             .collect();
         let truth: Vec<(ChoicePointId, Choice)> = truth_bits

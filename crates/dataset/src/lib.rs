@@ -20,5 +20,8 @@ pub mod run;
 pub mod spec;
 
 pub use io::{load_manifest, save_dataset};
-pub use run::{aggregate_telemetry, run_dataset, SessionRecord, SimOptions};
+pub use run::{
+    aggregate_telemetry, run_dataset, try_run_dataset, DatasetRun, SessionFailure, SessionRecord,
+    SimOptions,
+};
 pub use spec::{DatasetSpec, OperationalConditions, Table1Summary, ViewerSpec};

@@ -3,10 +3,12 @@
 use crate::spec::{DatasetSpec, ViewerSpec};
 use std::sync::Arc;
 use wm_behavior::script_for;
+use wm_chaos::FaultPlan;
 use wm_defense::Defense;
 use wm_net::conditions::{ConnectionType, TimeOfDay};
+use wm_net::time::Duration;
 use wm_player::PlayerConfig;
-use wm_sim::{run_session, SessionConfig, SessionOutput};
+use wm_sim::{run_session, SessionConfig, SessionError, SessionOutput};
 use wm_story::StoryGraph;
 use wm_telemetry::Snapshot;
 use wm_tls::CipherSuite;
@@ -24,6 +26,13 @@ pub struct SimOptions {
     /// [`aggregate_telemetry`]). Observation only — traces are
     /// byte-identical either way.
     pub telemetry: bool,
+    /// Fault-injection intensity (0.0 = clean sessions). Each viewer
+    /// gets its own deterministic [`FaultPlan`] derived from its seed,
+    /// so faulted runs replay byte-identically too.
+    pub chaos_intensity: f64,
+    /// Horizon for generated fault plans; should roughly match the
+    /// scaled wall of a session so faults land mid-stream.
+    pub chaos_horizon: Duration,
 }
 
 impl Default for SimOptions {
@@ -34,6 +43,8 @@ impl Default for SimOptions {
             suite: CipherSuite::Aead,
             defense: Defense::None,
             telemetry: false,
+            chaos_intensity: 0.0,
+            chaos_horizon: Duration::from_secs(8),
         }
     }
 }
@@ -81,6 +92,11 @@ pub fn session_config(
         graph,
         defense: opts.defense,
         telemetry: opts.telemetry,
+        chaos: if opts.chaos_intensity > 0.0 {
+            FaultPlan::generate(viewer.seed, opts.chaos_intensity, opts.chaos_horizon)
+        } else {
+            FaultPlan::none()
+        },
     }
 }
 
@@ -94,17 +110,36 @@ pub fn aggregate_telemetry(records: &[SessionRecord]) -> Snapshot {
     Snapshot::merged(records.iter().map(|r| &r.output.telemetry))
 }
 
+/// A session that could not run to completion, with its viewer spec
+/// so callers can re-run, skip or report it.
+#[derive(Debug)]
+pub struct SessionFailure {
+    pub spec: ViewerSpec,
+    pub error: SessionError,
+}
+
+/// Outcome of a fault-tolerant dataset run: every viewer lands in
+/// exactly one of the two vectors, each in encounter order.
+pub struct DatasetRun {
+    pub records: Vec<SessionRecord>,
+    pub failures: Vec<SessionFailure>,
+}
+
 /// Run every viewer's session, in parallel across available cores.
-pub fn run_dataset(
+/// Sessions that fail (possible under heavy [`SimOptions::chaos_intensity`])
+/// are collected as typed [`SessionFailure`]s instead of aborting the
+/// run — the rest of the dataset is still produced.
+pub fn try_run_dataset(
     graph: &Arc<StoryGraph>,
     spec: &DatasetSpec,
     opts: &SimOptions,
-) -> Vec<SessionRecord> {
+) -> DatasetRun {
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
         .min(spec.viewers.len().max(1));
-    let mut records: Vec<Option<SessionRecord>> = (0..spec.viewers.len()).map(|_| None).collect();
+    type Outcome = Result<SessionRecord, SessionFailure>;
+    let mut results: Vec<Option<Outcome>> = (0..spec.viewers.len()).map(|_| None).collect();
     let chunks: Vec<Vec<ViewerSpec>> = spec
         .viewers
         .chunks(spec.viewers.len().div_ceil(workers))
@@ -120,11 +155,15 @@ pub fn run_dataset(
                     .iter()
                     .map(|viewer| {
                         let cfg = session_config(graph.clone(), viewer, &opts);
-                        let output = run_session(&cfg)
-                            .unwrap_or_else(|e| panic!("viewer {} session failed: {e}", viewer.id));
-                        SessionRecord {
-                            spec: *viewer,
-                            output,
+                        match run_session(&cfg) {
+                            Ok(output) => Ok(SessionRecord {
+                                spec: *viewer,
+                                output,
+                            }),
+                            Err(error) => Err(SessionFailure {
+                                spec: *viewer,
+                                error,
+                            }),
                         }
                     })
                     .collect::<Vec<_>>()
@@ -132,16 +171,38 @@ pub fn run_dataset(
         }
         let mut idx = 0;
         for handle in handles {
-            for record in handle.join().expect("worker panicked") {
-                records[idx] = Some(record);
+            for outcome in handle.join().expect("worker panicked") {
+                results[idx] = Some(outcome);
                 idx += 1;
             }
         }
     });
-    records
-        .into_iter()
-        .map(|r| r.expect("all sessions ran"))
-        .collect()
+    let mut run = DatasetRun {
+        records: Vec::new(),
+        failures: Vec::new(),
+    };
+    for outcome in results {
+        match outcome.expect("all sessions ran") {
+            Ok(record) => run.records.push(record),
+            Err(failure) => run.failures.push(failure),
+        }
+    }
+    run
+}
+
+/// Run every viewer's session, panicking on the first failure. Clean
+/// (no-chaos) runs never fail; use [`try_run_dataset`] when injecting
+/// faults.
+pub fn run_dataset(
+    graph: &Arc<StoryGraph>,
+    spec: &DatasetSpec,
+    opts: &SimOptions,
+) -> Vec<SessionRecord> {
+    let run = try_run_dataset(graph, spec, opts);
+    if let Some(f) = run.failures.first() {
+        panic!("viewer {} session failed: {}", f.spec.id, f.error);
+    }
+    run.records
 }
 
 #[cfg(test)]
@@ -153,9 +214,7 @@ mod tests {
         SimOptions {
             media_scale: 2048,
             time_scale: 20,
-            suite: CipherSuite::Aead,
-            defense: Defense::None,
-            telemetry: false,
+            ..SimOptions::default()
         }
     }
 
@@ -218,6 +277,45 @@ mod tests {
         // A second run reproduces every seed-deterministic counter.
         let again = aggregate_telemetry(&run_dataset(&graph, &spec, &opts));
         assert_eq!(total.counters, again.counters);
+    }
+
+    #[test]
+    fn chaotic_dataset_is_fault_tolerant_and_reproducible() {
+        let graph = Arc::new(tiny_film());
+        let spec = DatasetSpec::generate("mini", 8, 123);
+        let opts = SimOptions {
+            chaos_intensity: 1.0,
+            chaos_horizon: Duration::from_secs(4),
+            ..fast_opts()
+        };
+        let a = try_run_dataset(&graph, &spec, &opts);
+        // Every viewer is accounted for, exactly once.
+        assert_eq!(a.records.len() + a.failures.len(), 8);
+        assert!(
+            !a.records.is_empty(),
+            "most faulted sessions still complete"
+        );
+        // Chaos actually happened somewhere in the batch.
+        let faults: u64 = a
+            .records
+            .iter()
+            .map(|r| r.output.stats.faults_applied)
+            .sum();
+        assert!(faults > 0, "intensity 1.0 must inject faults");
+        // The faulted run replays byte-identically.
+        let b = try_run_dataset(&graph, &spec, &opts);
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(b.records.iter()) {
+            assert_eq!(x.spec.id, y.spec.id);
+            assert_eq!(
+                x.output.trace.to_pcap_bytes(),
+                y.output.trace.to_pcap_bytes()
+            );
+        }
+        for (x, y) in a.failures.iter().zip(b.failures.iter()) {
+            assert_eq!(x.spec.id, y.spec.id);
+            assert_eq!(x.error, y.error);
+        }
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub const ALL_RULES: &[&str] = &[
 /// Crates whose outputs are bytes-on-the-wire (or inputs to them);
 /// iteration order and clocks in these crates shape golden traces.
 pub const BYTE_PRODUCING_CRATES: &[&str] = &[
+    "wm-chaos",
     "wm-net",
     "wm-netflix",
     "wm-player",

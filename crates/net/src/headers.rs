@@ -65,6 +65,13 @@ impl TcpFlags {
         psh: false,
         rst: false,
     };
+    pub const RST: TcpFlags = TcpFlags {
+        syn: false,
+        ack: false,
+        fin: false,
+        psh: false,
+        rst: true,
+    };
 
     fn to_byte(self) -> u8 {
         (self.fin as u8)

@@ -103,6 +103,16 @@ impl Link {
         &self.params
     }
 
+    /// Replace the link parameters mid-session (fault injection:
+    /// bandwidth collapses, blackouts). The serialization queue
+    /// (`busy_until`) is preserved so packets already committed to the
+    /// wire keep their departure times; only future packets see the
+    /// new parameters. Deterministic: the change itself draws no
+    /// randomness.
+    pub fn set_params(&mut self, params: LinkParams) {
+        self.params = params;
+    }
+
     /// Offer a packet of `wire_len` bytes at time `now`.
     pub fn transmit(&mut self, now: SimTime, wire_len: usize, rng: &mut SimRng) -> Transit {
         let ser = Duration::from_secs_f64(wire_len as f64 * 8.0 / self.params.bandwidth_bps);

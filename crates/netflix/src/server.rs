@@ -54,6 +54,8 @@ pub struct ServerTelemetry {
     dummy_posts: Arc<Counter>,
     background_posts: Arc<Counter>,
     rejected: Arc<Counter>,
+    duplicate_posts: Arc<Counter>,
+    deferred_posts: Arc<Counter>,
 }
 
 impl ServerTelemetry {
@@ -68,6 +70,8 @@ impl ServerTelemetry {
             dummy_posts: registry.counter("netflix.state_posts.dummy"),
             background_posts: registry.counter("netflix.background_posts"),
             rejected: registry.counter("netflix.rejected"),
+            duplicate_posts: registry.counter("netflix.state_posts.duplicate"),
+            deferred_posts: registry.counter("netflix.state_posts.deferred"),
         }
     }
 }
@@ -79,6 +83,15 @@ pub struct NetflixServer {
     state_log: Vec<StateLogEntry>,
     requests_served: u64,
     telemetry: Option<ServerTelemetry>,
+    /// `seq` numbers of state reports already persisted (sorted).
+    /// Retried/duplicated POSTs carry the same `seq`; persisting them
+    /// once keeps the log idempotent no matter how many copies the
+    /// player's retry machinery delivers.
+    seen_seqs: Vec<i64>,
+    /// Remaining state POSTs to answer `503 Service Unavailable`
+    /// (fault injection), with the advertised Retry-After seconds.
+    error_burst: u32,
+    retry_after_secs: u32,
 }
 
 impl NetflixServer {
@@ -90,7 +103,18 @@ impl NetflixServer {
             state_log: Vec::new(),
             requests_served: 0,
             telemetry: None,
+            seen_seqs: Vec::new(),
+            error_burst: 0,
+            retry_after_secs: 1,
         }
+    }
+
+    /// Fault mode: answer the next `burst` state POSTs with
+    /// `503 Service Unavailable` and a `Retry-After` hint, without
+    /// persisting them. The player's retry machinery must re-deliver.
+    pub fn arm_state_errors(&mut self, burst: u32, retry_after_secs: u32) {
+        self.error_burst = self.error_burst.saturating_add(burst);
+        self.retry_after_secs = retry_after_secs.max(1);
     }
 
     /// Attach telemetry handles (observation only; responses are
@@ -188,6 +212,15 @@ impl NetflixServer {
     }
 
     fn handle_state(&mut self, req: &Request) -> Response {
+        if self.error_burst > 0 {
+            self.error_burst -= 1;
+            if let Some(t) = &self.telemetry {
+                t.deferred_posts.inc();
+            }
+            return Response::new(503, "Service Unavailable")
+                .header("Retry-After", &self.retry_after_secs.to_string())
+                .body(b"{\"error\":\"overloaded\"}".to_vec());
+        }
         let Ok(doc) = parse(&req.body) else {
             if let Some(t) = &self.telemetry {
                 t.rejected.inc();
@@ -200,6 +233,22 @@ impl NetflixServer {
             }
             return Response::new(422, "Unprocessable").body(b"{\"error\":\"schema\"}".to_vec());
         };
+        // Idempotent persistence: a report's `seq` is its identity, so
+        // retried or duplicated deliveries are acknowledged (the client
+        // must stop retrying) but persisted exactly once.
+        if let Some(seq) = doc.get("seq").and_then(|v| v.as_i64()) {
+            match self.seen_seqs.binary_search(&seq) {
+                Ok(_) => {
+                    if let Some(t) = &self.telemetry {
+                        t.duplicate_posts.inc();
+                    }
+                    return Response::ok()
+                        .header("Content-Type", "application/json")
+                        .body(b"{\"persisted\":true,\"dup\":true}".to_vec());
+                }
+                Err(pos) => self.seen_seqs.insert(pos, seq),
+            }
+        }
         if let Some(t) = &self.telemetry {
             match entry.kind {
                 StateEventKind::Type1 => t.state_type1.inc(),
@@ -371,6 +420,47 @@ mod tests {
         let r = s.handle(&Request::new("POST", "/interact/state").body(wm_json::to_bytes(&doc)));
         assert_eq!(r.status, 422);
         assert!(s.state_log().is_empty());
+    }
+
+    fn state_body_with_seq(cp: i64, seg: i64, seq: i64) -> Vec<u8> {
+        let mut doc = parse(&state_body(cp, seg, false)).unwrap();
+        if let Value::Object(members) = &mut doc {
+            members.push(("seq".into(), Value::from(seq)));
+        }
+        wm_json::to_bytes(&doc)
+    }
+
+    #[test]
+    fn duplicate_seq_is_acknowledged_but_logged_once() {
+        let mut s = server();
+        let body = state_body_with_seq(2, 6, 5);
+        let r1 = s.handle(&Request::new("POST", "/interact/state").body(body.clone()));
+        assert_eq!(r1.status, 200);
+        let r2 = s.handle(&Request::new("POST", "/interact/state").body(body));
+        assert_eq!(r2.status, 200, "duplicates must still be acknowledged");
+        assert_eq!(s.state_log().len(), 1, "persisted exactly once");
+        // A different seq is a different report.
+        let r3 =
+            s.handle(&Request::new("POST", "/interact/state").body(state_body_with_seq(2, 6, 6)));
+        assert_eq!(r3.status, 200);
+        assert_eq!(s.state_log().len(), 2);
+    }
+
+    #[test]
+    fn armed_errors_defer_state_posts() {
+        let mut s = server();
+        s.arm_state_errors(2, 3);
+        let body = state_body_with_seq(2, 6, 1);
+        let r1 = s.handle(&Request::new("POST", "/interact/state").body(body.clone()));
+        assert_eq!(r1.status, 503);
+        assert_eq!(r1.header_value("Retry-After"), Some("3"));
+        let r2 = s.handle(&Request::new("POST", "/interact/state").body(body.clone()));
+        assert_eq!(r2.status, 503);
+        assert!(s.state_log().is_empty(), "503'd posts are not persisted");
+        // Burst exhausted: the retry now lands.
+        let r3 = s.handle(&Request::new("POST", "/interact/state").body(body));
+        assert_eq!(r3.status, 200);
+        assert_eq!(s.state_log().len(), 1);
     }
 
     #[test]

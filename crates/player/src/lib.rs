@@ -30,8 +30,8 @@ pub mod state;
 
 pub use abr::ThroughputEstimator;
 pub use player::{
-    timer_kinds, OutRequest, Player, PlayerActions, PlayerConfig, PlayerPhase, PlayerTelemetry,
-    RequestKind, TruthEvent,
+    timer_kinds, OutRequest, Player, PlayerActions, PlayerConfig, PlayerFault, PlayerPhase,
+    PlayerTelemetry, RequestKind, TruthEvent,
 };
 pub use profile::{Browser, DeviceForm, Os, Profile};
 pub use state::StateJsonBuilder;

@@ -31,7 +31,7 @@ use wm_net::time::{Duration, SimTime};
 use wm_netflix::Manifest;
 use wm_story::ViewerScript;
 use wm_story::{Choice, ChoicePointId, SegmentEnd, SegmentId, StoryGraph};
-use wm_telemetry::{Counter, Registry};
+use wm_telemetry::{Counter, Histogram, Registry};
 
 /// Timer kinds owned by the player (the session layer routes them back).
 pub mod timer_kinds {
@@ -51,6 +51,12 @@ pub mod timer_kinds {
     pub const HEARTBEAT: TimerKind = TimerKind(0x105);
     /// Batched diagnostics upload.
     pub const DIAG: TimerKind = TimerKind(0x106);
+    /// Re-send the oldest unacknowledged state report (after backoff).
+    pub const STATE_RETRY: TimerKind = TimerKind(0x107);
+    /// Check whether the oldest unacknowledged state report timed out.
+    pub const STATE_TIMEOUT: TimerKind = TimerKind(0x108);
+    /// Transmit a fault-delayed state report.
+    pub const DELAYED_POST: TimerKind = TimerKind(0x109);
 }
 
 /// What a request is for (drives ground-truth labels in captures).
@@ -86,6 +92,11 @@ pub struct PlayerTelemetry {
     diagnostic: Arc<Counter>,
     split_flushes: Arc<Counter>,
     chunks_received: Arc<Counter>,
+    retries: Arc<Counter>,
+    duplicate_posts: Arc<Counter>,
+    rebuffers: Arc<Counter>,
+    backoff_delay_us: Arc<Histogram>,
+    rebuffer_time_us: Arc<Histogram>,
 }
 
 impl PlayerTelemetry {
@@ -102,6 +113,11 @@ impl PlayerTelemetry {
             diagnostic: registry.counter("player.requests.diagnostic"),
             split_flushes: registry.counter("player.split_flushes"),
             chunks_received: registry.counter("player.chunks_received"),
+            retries: registry.counter("player.retries"),
+            duplicate_posts: registry.counter("player.duplicate_posts"),
+            rebuffers: registry.counter("player.rebuffers"),
+            backoff_delay_us: registry.histogram("player.backoff_delay_us"),
+            rebuffer_time_us: registry.histogram("player.rebuffer_time_us"),
         }
     }
 
@@ -220,6 +236,42 @@ impl Default for PlayerConfig {
 /// The choice window is ten seconds of content time (the film's timer).
 const CHOICE_WINDOW_SECS: f64 = 10.0;
 
+/// Ack timeout for a state report, in content seconds (scaled like all
+/// content durations). Far above any sane round trip, so clean sessions
+/// never resend.
+const STATE_TIMEOUT_SECS: f64 = 12.0;
+/// Retry backoff: `base * 2^(attempt-1)`, capped, with ±25% jitter.
+const RETRY_BASE_SECS: f64 = 1.0;
+const RETRY_CAP_SECS: f64 = 16.0;
+/// A report is abandoned after this many unanswered attempts.
+const MAX_STATE_ATTEMPTS: u32 = 6;
+
+/// Faults the session layer injects into the player (driven by the
+/// `wm-chaos` plan). These model client-side flakiness: the state
+/// report machinery re-posting or deferring a report. Both are
+/// idempotent server-side (sequence-number dedup), but they change
+/// what the eavesdropper sees on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlayerFault {
+    /// The next state report is transmitted twice (retransmit race):
+    /// two identical records on the wire, one logged server-side.
+    DuplicateNextStatePost,
+    /// The next state report is built on time but leaves late.
+    DelayNextStatePost { delay: Duration },
+}
+
+/// A state report awaiting a 2xx acknowledgement.
+struct UnackedState {
+    kind: RequestKind,
+    request: Request,
+    /// Copies currently in flight (the duplicate fault sends two; a
+    /// connection loss zeroes this — those responses will never come).
+    copies: u32,
+    /// Unanswered attempts so far (drives backoff; 0 = never retried).
+    attempts: u32,
+    last_sent: SimTime,
+}
+
 struct PendingChoice {
     cp: ChoicePointId,
     /// Sim time at which the current segment's playback ends.
@@ -266,6 +318,17 @@ pub struct Player {
     /// Prefetch chunk responses received in the current choice window.
     prefetch_received: u32,
 
+    // Fault/recovery state. All of it is inert in clean sessions: no
+    // extra RNG draws, no extra requests, no timer-driven byte output.
+    connected: bool,
+    unacked: VecDeque<UnackedState>,
+    offline_queue: Vec<OutRequest>,
+    delayed: VecDeque<(SimTime, Request, RequestKind, bool)>,
+    duplicate_next_state: bool,
+    delay_next_state: Option<Duration>,
+    refetch_manifest: bool,
+    disconnected_at: Option<SimTime>,
+
     truth: Vec<TruthEvent>,
     done: bool,
     telemetry_handles: Option<PlayerTelemetry>,
@@ -301,6 +364,14 @@ impl Player {
             bitrate: 0,
             downloaded_content_ms: 0,
             prefetch_received: 0,
+            connected: true,
+            unacked: VecDeque::new(),
+            offline_queue: Vec::new(),
+            delayed: VecDeque::new(),
+            duplicate_next_state: false,
+            delay_next_state: None,
+            refetch_manifest: false,
+            disconnected_at: None,
             truth: Vec::new(),
             done: false,
             telemetry_handles: None,
@@ -343,19 +414,19 @@ impl Player {
         Duration::from_secs_f64(secs / self.cfg.time_scale as f64)
     }
 
+    fn manifest_request(&self) -> Request {
+        Request::new("GET", "/manifest")
+            .header("Host", "www.netflix.com")
+            .header("User-Agent", self.profile.user_agent())
+            .header("Accept", "application/json")
+            .header("Cookie", self.json.cookie())
+    }
+
     /// Kick off the session: fetch the manifest, arm background timers.
     pub fn start(&mut self, now: SimTime) -> PlayerActions {
         let mut actions = PlayerActions::default();
-        self.push_request(
-            &mut actions,
-            now,
-            Request::new("GET", "/manifest")
-                .header("Host", "www.netflix.com")
-                .header("User-Agent", self.profile.user_agent())
-                .header("Accept", "application/json")
-                .header("Cookie", self.json.cookie()),
-            RequestKind::Manifest,
-        );
+        let req = self.manifest_request();
+        self.push_request(&mut actions, now, req, RequestKind::Manifest);
         let jitter = self.rng.uniform_f64(0.0, 5.0);
         actions.timers.push((
             now + self.scaled_secs(self.cfg.telemetry_period_secs as f64 + jitter),
@@ -419,11 +490,14 @@ impl Player {
                 }
                 self.pump_downloads(now, &mut actions);
             }
-            // Response bodies of posts and background traffic are
-            // ignored; their purpose is the bytes on the wire.
-            RequestKind::StateType1
-            | RequestKind::StateType2
-            | RequestKind::DummyReport
+            // State reports must be acknowledged; a 503 arms the
+            // backoff retry machinery.
+            RequestKind::StateType1 | RequestKind::StateType2 => {
+                self.on_state_response(now, kind, resp, &mut actions);
+            }
+            // Response bodies of background traffic are ignored; their
+            // purpose is the bytes on the wire.
+            RequestKind::DummyReport
             | RequestKind::Telemetry
             | RequestKind::Heartbeat
             | RequestKind::Diagnostic => {}
@@ -464,6 +538,9 @@ impl Player {
                     timer_kinds::DIAG,
                 ));
             }
+            timer_kinds::STATE_RETRY => self.retry_front(now, &mut actions),
+            timer_kinds::STATE_TIMEOUT => self.check_state_timeout(now, &mut actions),
+            timer_kinds::DELAYED_POST => self.flush_delayed(now, &mut actions),
             _ => {}
         }
         actions
@@ -857,12 +934,17 @@ impl Player {
         if let Some(t) = &self.telemetry_handles {
             t.count(kind);
         }
-        self.in_flight.push_back((kind, now));
-        actions.requests.push(OutRequest {
+        let out = OutRequest {
             request,
             kind,
             split_flush: false,
-        });
+        };
+        if self.connected {
+            self.in_flight.push_back((kind, now));
+            actions.requests.push(out);
+        } else {
+            self.offline_queue.push(out);
+        }
     }
 
     /// State posts may rarely be flush-split into two records.
@@ -881,12 +963,304 @@ impl Player {
                 t.split_flushes.inc();
             }
         }
+        let track = matches!(kind, RequestKind::StateType1 | RequestKind::StateType2);
+        if track {
+            if let Some(delay) = self.delay_next_state.take() {
+                // Fault: the report is built now but leaves late.
+                self.delayed.push_back((now + delay, request, kind, split));
+                actions
+                    .timers
+                    .push((now + delay, timer_kinds::DELAYED_POST));
+                return;
+            }
+        }
+        let mut copies = 1u32;
+        if track && self.duplicate_next_state {
+            self.duplicate_next_state = false;
+            copies = 2;
+            if let Some(t) = &self.telemetry_handles {
+                t.duplicate_posts.inc();
+            }
+        }
+        self.dispatch_state(actions, now, request, kind, split, copies);
+    }
+
+    /// Emit `copies` identical wire copies of a state post (or queue it
+    /// for the reconnect replay when the transport is down) and record
+    /// the report as unacknowledged if it needs a 2xx.
+    fn dispatch_state(
+        &mut self,
+        actions: &mut PlayerActions,
+        now: SimTime,
+        request: Request,
+        kind: RequestKind,
+        split: bool,
+        copies: u32,
+    ) {
+        let track = matches!(kind, RequestKind::StateType1 | RequestKind::StateType2);
+        if track {
+            self.unacked.push_back(UnackedState {
+                kind,
+                request: request.clone(),
+                copies: if self.connected { copies } else { 0 },
+                attempts: 0,
+                last_sent: now,
+            });
+            if !self.connected {
+                return; // replayed by on_reconnected
+            }
+            actions
+                .timers
+                .push((now + self.state_timeout(), timer_kinds::STATE_TIMEOUT));
+        } else if !self.connected {
+            self.offline_queue.push(OutRequest {
+                request,
+                kind,
+                split_flush: split,
+            });
+            return;
+        }
+        for i in 0..copies {
+            self.in_flight.push_back((kind, now));
+            actions.requests.push(OutRequest {
+                request: request.clone(),
+                kind,
+                split_flush: split && i == 0,
+            });
+        }
+    }
+
+    // ----- fault handling & recovery ------------------------------------
+
+    /// Inject a client-side fault (called by the session layer when the
+    /// chaos plan fires).
+    pub fn inject_fault(&mut self, fault: PlayerFault) {
+        match fault {
+            PlayerFault::DuplicateNextStatePost => self.duplicate_next_state = true,
+            PlayerFault::DelayNextStatePost { delay } => self.delay_next_state = Some(delay),
+        }
+    }
+
+    pub fn is_connected(&self) -> bool {
+        self.connected
+    }
+
+    fn state_timeout(&self) -> Duration {
+        self.scaled_secs(STATE_TIMEOUT_SECS)
+    }
+
+    /// Backoff before retry `attempt` (1-based): capped exponential
+    /// with ±25% jitter from the player's seeded RNG. Only ever drawn
+    /// on fault paths, so clean sessions see an untouched RNG stream.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(5);
+        let secs = (RETRY_BASE_SECS * (1u64 << exp) as f64).min(RETRY_CAP_SECS);
+        let jitter = 0.75 + self.rng.unit() * 0.5;
+        let d = self.scaled_secs(secs * jitter);
+        if let Some(t) = &self.telemetry_handles {
+            t.backoff_delay_us.record(d.micros());
+        }
+        d
+    }
+
+    /// A response for the oldest unacknowledged state report arrived.
+    fn on_state_response(
+        &mut self,
+        now: SimTime,
+        kind: RequestKind,
+        resp: &Response,
+        actions: &mut PlayerActions,
+    ) {
+        let Some(front) = self.unacked.front_mut() else {
+            return; // report already abandoned
+        };
+        if front.kind != kind {
+            return; // response to an abandoned report; ignore
+        }
+        if front.copies > 0 {
+            front.copies -= 1;
+        }
+        if resp.status == 503 {
+            if front.copies > 0 {
+                return; // a duplicate copy is still in flight
+            }
+            front.attempts += 1;
+            if front.attempts > MAX_STATE_ATTEMPTS {
+                self.unacked.pop_front();
+                return;
+            }
+            let attempt = front.attempts;
+            let delay = self.backoff(attempt);
+            actions.timers.push((now + delay, timer_kinds::STATE_RETRY));
+            return;
+        }
+        // Any non-503 status acknowledges the report (the server dedups
+        // replays by sequence number, so a duplicate's 2xx counts too).
+        if front.copies == 0 {
+            self.unacked.pop_front();
+        }
+    }
+
+    /// Re-send the oldest unacknowledged report (STATE_RETRY fired).
+    fn retry_front(&mut self, now: SimTime, actions: &mut PlayerActions) {
+        if !self.connected {
+            return; // on_reconnected replays the whole queue
+        }
+        let timeout = self.state_timeout();
+        let Some(front) = self.unacked.front_mut() else {
+            return;
+        };
+        if front.attempts == 0 {
+            return; // acked in the meantime; a fresh report is at front
+        }
+        front.copies += 1;
+        front.last_sent = now;
+        let kind = front.kind;
+        let request = front.request.clone();
+        if let Some(t) = &self.telemetry_handles {
+            t.retries.inc();
+        }
         self.in_flight.push_back((kind, now));
         actions.requests.push(OutRequest {
             request,
             kind,
-            split_flush: split,
+            split_flush: false,
         });
+        actions
+            .timers
+            .push((now + timeout, timer_kinds::STATE_TIMEOUT));
+    }
+
+    /// STATE_TIMEOUT fired: the oldest report may have gone unanswered.
+    fn check_state_timeout(&mut self, now: SimTime, actions: &mut PlayerActions) {
+        if !self.connected {
+            return;
+        }
+        let timeout = self.state_timeout();
+        let Some(front) = self.unacked.front_mut() else {
+            return; // everything acked; stale timer
+        };
+        if now.since(front.last_sent) < timeout {
+            // A newer report (or a retry) reset the clock; re-check at
+            // its deadline.
+            actions
+                .timers
+                .push((front.last_sent + timeout, timer_kinds::STATE_TIMEOUT));
+            return;
+        }
+        front.attempts += 1;
+        if front.attempts > MAX_STATE_ATTEMPTS {
+            self.unacked.pop_front();
+            return;
+        }
+        let attempt = front.attempts;
+        let delay = self.backoff(attempt);
+        actions.timers.push((now + delay, timer_kinds::STATE_RETRY));
+    }
+
+    /// DELAYED_POST fired: release fault-delayed reports that are due.
+    fn flush_delayed(&mut self, now: SimTime, actions: &mut PlayerActions) {
+        while let Some((due, ..)) = self.delayed.front() {
+            if *due > now {
+                break;
+            }
+            let (_, request, kind, split) = self.delayed.pop_front().expect("front exists");
+            self.dispatch_state(actions, now, request, kind, split, 1);
+        }
+    }
+
+    /// The transport died: every in-flight response is lost. Chunk
+    /// requests go back to the front of the download queue; state
+    /// reports stay unacknowledged for replay on reconnect.
+    pub fn on_connection_lost(&mut self, now: SimTime) {
+        if !self.connected || self.done {
+            return;
+        }
+        self.connected = false;
+        self.disconnected_at = Some(now);
+        if let Some(t) = &self.telemetry_handles {
+            t.rebuffers.inc();
+        }
+        if self
+            .in_flight
+            .iter()
+            .any(|(k, _)| matches!(k, RequestKind::Manifest))
+        {
+            self.refetch_manifest = true;
+        }
+        let lost: Vec<QueuedChunk> = self
+            .in_flight
+            .iter()
+            .filter_map(|(k, _)| match k {
+                RequestKind::Chunk {
+                    segment,
+                    idx,
+                    prefetch,
+                } => Some(QueuedChunk {
+                    segment: *segment,
+                    idx: *idx,
+                    prefetch: *prefetch,
+                }),
+                _ => None,
+            })
+            .collect();
+        for c in lost.into_iter().rev() {
+            self.dl_queue.push_front(c);
+        }
+        // No response will arrive for any outstanding copy.
+        for e in self.unacked.iter_mut() {
+            e.copies = 0;
+        }
+        self.in_flight.clear();
+    }
+
+    /// The transport is back (TLS session resumed on a fresh flow):
+    /// replay unacknowledged state reports, flush requests queued while
+    /// offline, resume downloads.
+    pub fn on_reconnected(&mut self, now: SimTime) -> PlayerActions {
+        let mut actions = PlayerActions::default();
+        if self.connected || self.done {
+            return actions;
+        }
+        self.connected = true;
+        let since = self.disconnected_at.take();
+        if let (Some(t), Some(since)) = (&self.telemetry_handles, since) {
+            t.rebuffer_time_us.record(now.since(since).micros());
+        }
+        if self.refetch_manifest {
+            self.refetch_manifest = false;
+            let req = self.manifest_request();
+            self.push_request(&mut actions, now, req, RequestKind::Manifest);
+        }
+        for i in 0..self.unacked.len() {
+            let (kind, request) = {
+                let e = &mut self.unacked[i];
+                e.copies += 1;
+                e.attempts += 1;
+                e.last_sent = now;
+                (e.kind, e.request.clone())
+            };
+            if let Some(t) = &self.telemetry_handles {
+                t.retries.inc();
+            }
+            self.in_flight.push_back((kind, now));
+            actions.requests.push(OutRequest {
+                request,
+                kind,
+                split_flush: false,
+            });
+        }
+        if !self.unacked.is_empty() {
+            actions
+                .timers
+                .push((now + self.state_timeout(), timer_kinds::STATE_TIMEOUT));
+        }
+        for out in std::mem::take(&mut self.offline_queue) {
+            self.in_flight.push_back((out.kind, now));
+            actions.requests.push(out);
+        }
+        self.pump_downloads(now, &mut actions);
+        actions
     }
 }
 
@@ -921,9 +1295,17 @@ mod tests {
         now: SimTime,
         sent: Vec<(SimTime, RequestKind, usize, bool)>,
         responses: VecDeque<Response>,
+        /// Optional connection-loss fault: at `disconnect_at` the
+        /// transport dies (in-flight responses are dropped) and comes
+        /// back `reconnect_after` later.
+        disconnect_at: Option<SimTime>,
+        reconnect_after: Duration,
+        down: bool,
     }
 
     const LATENCY: Duration = Duration(20_000); // 20 ms request→response
+    const DISCONNECT: u32 = 0xbeef;
+    const RECONNECT: u32 = 0xcafe;
 
     impl Driver {
         fn new(player: Player, server: NetflixServer) -> Self {
@@ -935,6 +1317,9 @@ mod tests {
                 now: SimTime::ZERO,
                 sent: Vec::new(),
                 responses: VecDeque::new(),
+                disconnect_at: None,
+                reconnect_after: Duration::ZERO,
+                down: false,
             }
         }
 
@@ -961,6 +1346,10 @@ mod tests {
         }
 
         fn run(&mut self) {
+            if let Some(at) = self.disconnect_at {
+                self.timers.push(Reverse((at, DISCONNECT, self.tie)));
+                self.tie += 1;
+            }
             let start = self.player.start(self.now);
             self.apply(start);
             let mut steps = 0;
@@ -968,11 +1357,28 @@ mod tests {
                 steps += 1;
                 assert!(steps < 1_000_000, "driver runaway");
                 self.now = at;
+                if kind == DISCONNECT {
+                    self.down = true;
+                    self.player.on_connection_lost(at);
+                    self.timers
+                        .push(Reverse((at + self.reconnect_after, RECONNECT, self.tie)));
+                    self.tie += 1;
+                    continue;
+                }
+                if kind == RECONNECT {
+                    self.down = false;
+                    let actions = self.player.on_reconnected(at);
+                    self.apply(actions);
+                    continue;
+                }
                 if self.player.is_done() {
                     continue;
                 }
                 let actions = if kind == 0xdead {
                     let resp = self.responses.pop_front().expect("response queued");
+                    if self.down {
+                        continue; // response lost with the connection
+                    }
                     self.player.on_response(at, &resp)
                 } else {
                     self.player.on_timer(at, TimerKind(kind))
@@ -982,7 +1388,7 @@ mod tests {
         }
     }
 
-    fn run_session(choices: &[Choice]) -> Driver {
+    fn make_driver(choices: &[Choice]) -> Driver {
         let graph = Arc::new(bandersnatch());
         let script = ViewerScript::from_choices(choices, Duration::from_secs(3));
         let cfg = PlayerConfig {
@@ -997,7 +1403,11 @@ mod tests {
             42,
         );
         let server = NetflixServer::new(graph, ServerConfig { media_scale: 4096 });
-        let mut d = Driver::new(player, server);
+        Driver::new(player, server)
+    }
+
+    fn run_session(choices: &[Choice]) -> Driver {
+        let mut d = make_driver(choices);
         d.run();
         d
     }
@@ -1212,5 +1622,98 @@ mod tests {
             picks,
             vec![Choice::NonDefault, Choice::Default, Choice::NonDefault]
         );
+    }
+
+    fn type1_sends(d: &Driver) -> Vec<SimTime> {
+        d.sent
+            .iter()
+            .filter(|(_, k, _, _)| *k == RequestKind::StateType1)
+            .map(|(t, ..)| *t)
+            .collect()
+    }
+
+    fn type1_logged(d: &Driver) -> usize {
+        d.server
+            .state_log()
+            .iter()
+            .filter(|e| e.kind == StateEventKind::Type1)
+            .count()
+    }
+
+    #[test]
+    fn duplicate_post_fault_is_deduped_server_side() {
+        let mut d = make_driver(&[Choice::Default; 3]);
+        d.player.inject_fault(PlayerFault::DuplicateNextStatePost);
+        d.run();
+        assert!(d.player.is_done());
+        let decisions = d.player.decisions().len();
+        // One extra wire copy, but the server logs each report once.
+        assert_eq!(type1_sends(&d).len(), decisions + 1);
+        assert_eq!(type1_logged(&d), decisions);
+        // The two copies leave back-to-back with identical bodies.
+        let times = type1_sends(&d);
+        assert_eq!(times[0], times[1]);
+    }
+
+    #[test]
+    fn armed_503_is_retried_until_persisted() {
+        let mut d = make_driver(&[Choice::Default; 3]);
+        d.server.arm_state_errors(1, 1);
+        d.run();
+        assert!(d.player.is_done());
+        let decisions = d.player.decisions().len();
+        // The 503'd report is re-sent after backoff; every report lands.
+        assert_eq!(type1_sends(&d).len(), decisions + 1);
+        assert_eq!(type1_logged(&d), decisions);
+        // The retry happens strictly later than the original.
+        let times = type1_sends(&d);
+        assert!(times[1] > times[0], "backoff must delay the retry");
+    }
+
+    #[test]
+    fn delayed_post_fault_still_delivers() {
+        let delay = Duration::from_millis(100);
+        let mut d = make_driver(&[Choice::Default; 3]);
+        d.player
+            .inject_fault(PlayerFault::DelayNextStatePost { delay });
+        d.run();
+        assert!(d.player.is_done());
+        let decisions = d.player.decisions().len();
+        assert_eq!(type1_logged(&d), decisions, "delayed report still lands");
+        // The first report leaves at least `delay` after its question.
+        let question_at = d
+            .player
+            .truth()
+            .iter()
+            .find_map(|e| match e {
+                TruthEvent::QuestionShown { time, .. } => Some(*time),
+                _ => None,
+            })
+            .expect("question shown");
+        let first_sent = type1_sends(&d)[0];
+        assert!(first_sent >= question_at + delay, "post must be deferred");
+    }
+
+    #[test]
+    fn reconnect_replays_unacked_state_posts() {
+        // Pass 1 (clean): find when the first type-1 leaves the player.
+        let clean = run_session(&[Choice::Default; 3]);
+        let first_post = type1_sends(&clean)[0];
+        let clean_decisions = clean.player.decisions().len();
+
+        // Pass 2: kill the connection right after that send, before its
+        // response can arrive; reconnect shortly after.
+        let mut d = make_driver(&[Choice::Default; 3]);
+        d.disconnect_at = Some(first_post + Duration(1));
+        d.reconnect_after = Duration::from_millis(50);
+        d.run();
+        assert!(d.player.is_done());
+        assert!(d.player.is_connected());
+        let decisions = d.player.decisions().len();
+        assert_eq!(decisions, clean_decisions, "walk is unaffected");
+        // The unanswered report is replayed on the new connection and
+        // deduped server-side: one extra send, same log.
+        assert!(type1_sends(&d).len() > decisions);
+        assert_eq!(type1_logged(&d), decisions);
     }
 }

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 use wm_capture::labels::LabeledRecord;
 use wm_capture::tap::Trace;
+use wm_chaos::FaultPlan;
 use wm_defense::Defense;
 use wm_net::conditions::LinkConditions;
 use wm_net::tcp::TcpStats;
@@ -39,6 +40,10 @@ pub struct SessionConfig {
     /// only: the trace, labels and truth are byte-identical either way;
     /// disabled sessions return an empty [`Snapshot`].
     pub telemetry: bool,
+    /// Fault-injection plan (see `wm-chaos`). The empty plan is a
+    /// no-op: such sessions replay byte-identically to builds without
+    /// the chaos machinery.
+    pub chaos: FaultPlan,
 }
 
 impl SessionConfig {
@@ -59,6 +64,7 @@ impl SessionConfig {
             script,
             defense: Defense::None,
             telemetry: false,
+            chaos: FaultPlan::none(),
         }
     }
 
@@ -84,6 +90,12 @@ pub struct SessionStats {
     pub server_tcp: TcpStats,
     /// Total events processed by the queue.
     pub events: u64,
+    /// Chaos faults actually applied during the session.
+    pub faults_applied: u64,
+    /// Connection resets recovered via TLS session resumption.
+    pub reconnects: u64,
+    /// Frames the tap missed inside injected capture gaps.
+    pub tap_frames_dropped: u64,
 }
 
 /// Everything a session leaves behind.

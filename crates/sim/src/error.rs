@@ -1,0 +1,74 @@
+//! Typed session failures.
+//!
+//! A faulted session that cannot complete (event budget blown, the
+//! queue drained with the player stuck, a record layer or HTTP parser
+//! desynced beyond recovery) surfaces *what* failed, *when* in sim
+//! time, and in which player phase — instead of a bare string. The
+//! partial capture up to the failure point is still available via
+//! [`crate::session::run_session_lossy`].
+
+use std::fmt;
+use wm_net::time::SimTime;
+use wm_player::PlayerPhase;
+
+/// What went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionErrorKind {
+    /// The event loop hit its runaway guard.
+    EventBudgetExhausted,
+    /// The queue drained before the player finished (deadlock: e.g. a
+    /// blackout outlived every retry timer).
+    QueueDrained,
+    /// A TLS record layer failed to open a record.
+    RecordLayer { side: Side, detail: String },
+    /// An HTTP parser rejected a reassembled byte stream.
+    HttpParse { side: Side, detail: String },
+}
+
+/// Which endpoint's pipeline failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    Client,
+    Server,
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::Client => write!(f, "client"),
+            Side::Server => write!(f, "server"),
+        }
+    }
+}
+
+/// A session that could not run to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionError {
+    pub kind: SessionErrorKind,
+    /// Player phase at the failure point.
+    pub phase: PlayerPhase,
+    /// Sim time at the failure point.
+    pub at: SimTime,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            SessionErrorKind::EventBudgetExhausted => {
+                write!(f, "event budget exhausted")?;
+            }
+            SessionErrorKind::QueueDrained => {
+                write!(f, "queue drained before the session completed")?;
+            }
+            SessionErrorKind::RecordLayer { side, detail } => {
+                write!(f, "{side} record layer failed: {detail}")?;
+            }
+            SessionErrorKind::HttpParse { side, detail } => {
+                write!(f, "{side} HTTP parse failed: {detail}")?;
+            }
+        }
+        write!(f, " (phase {:?}, at {})", self.phase, self.at)
+    }
+}
+
+impl std::error::Error for SessionError {}

@@ -20,7 +20,9 @@
 //! labels for classifier training, and transfer statistics.
 
 pub mod config;
+pub mod error;
 pub mod session;
 
 pub use config::{SessionConfig, SessionOutput, SessionStats};
-pub use session::run_session;
+pub use error::{SessionError, SessionErrorKind};
+pub use session::{run_session, run_session_lossy};

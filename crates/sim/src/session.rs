@@ -1,22 +1,24 @@
 //! The session event loop.
 
 use crate::config::{SessionConfig, SessionOutput, SessionStats};
+use crate::error::{SessionError, SessionErrorKind, Side};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use wm_capture::labels::{LabeledRecord, RecordClass};
 use wm_capture::tap::Tap;
+use wm_chaos::FaultKind;
 use wm_cipher::kdf::{derive_key, derive_seed};
 use wm_http::{Request, RequestParser, ResponseParser};
 use wm_net::headers::{FlowId, TcpFlags, FRAME_OVERHEAD};
-use wm_net::link::Link;
+use wm_net::link::{Link, LinkParams};
 use wm_net::queue::{Event, EventQueue, PeerId, TimerKind};
 use wm_net::rng::SimRng;
 use wm_net::tcp::{TcpEndpoint, TcpSegment};
 use wm_net::time::{Duration, SimTime};
 use wm_netflix::{NetflixServer, ServerConfig};
-use wm_player::{Player, PlayerActions, PlayerTelemetry, RequestKind};
-use wm_telemetry::{Histogram, Registry};
-use wm_tls::handshake::{simulate_handshake, Sender};
+use wm_player::{Player, PlayerActions, PlayerFault, PlayerTelemetry, RequestKind};
+use wm_telemetry::{Counter, Histogram, Registry};
+use wm_tls::handshake::{simulate_handshake, simulate_resumption, Sender};
 use wm_tls::record::{ContentType, MAX_FRAGMENT, RECORD_HEADER_LEN};
 use wm_tls::{RecordEngine, SessionKeys};
 
@@ -25,15 +27,33 @@ const TCP_RTO: TimerKind = TimerKind(1);
 const SERVER_SEND: TimerKind = TimerKind(2);
 const HS_FLIGHT: TimerKind = TimerKind(3);
 const PLAYER_START: TimerKind = TimerKind(4);
+/// The next chaos fault in the plan is due.
+const CHAOS: TimerKind = TimerKind(5);
+/// A transient link degradation (collapse/blackout) ends.
+const CHAOS_RESTORE: TimerKind = TimerKind(6);
 
 /// Hard ceiling on processed events (runaway guard).
 const MAX_EVENTS: u64 = 100_000_000;
 
 /// Run one complete viewing session.
 ///
-/// Deterministic: equal configs produce byte-identical traces.
-pub fn run_session(config: &SessionConfig) -> Result<SessionOutput, String> {
-    SessionState::new(config).run()
+/// Deterministic: equal configs (including the fault plan) produce
+/// byte-identical traces.
+pub fn run_session(config: &SessionConfig) -> Result<SessionOutput, SessionError> {
+    let (out, err) = run_session_lossy(config);
+    match err {
+        None => Ok(out),
+        Some(e) => Err(e),
+    }
+}
+
+/// Run a session, keeping whatever the tap captured even when the
+/// session cannot complete (fault-injection analysis wants the partial
+/// capture alongside the typed error).
+pub fn run_session_lossy(config: &SessionConfig) -> (SessionOutput, Option<SessionError>) {
+    let mut state = SessionState::new(config);
+    let err = state.drive().err();
+    (state.into_output(), err)
 }
 
 struct SessionState<'a> {
@@ -66,11 +86,59 @@ struct SessionState<'a> {
     tapped: Vec<(SimTime, TcpSegment)>,
     labels: Vec<LabeledRecord>,
     player_done: bool,
+    player_started: bool,
     events: u64,
+
+    // ---- chaos state (inert when the fault plan is empty) ----
+    /// Fault events not yet applied, in time order.
+    pending_faults: VecDeque<wm_chaos::FaultEvent>,
+    /// Session keys, kept for TLS session resumption after a reset.
+    keys: SessionKeys,
+    /// Undegraded link parameters (collapse/blackout restore target).
+    base_up: LinkParams,
+    base_down: LinkParams,
+    /// When the current link degradation ends (None = links nominal).
+    degraded_until: Option<SimTime>,
+    /// The tap records nothing before this time (capture gap).
+    tap_blind_until: SimTime,
+    /// Server responses are withheld until this time (stall fault).
+    server_stall_until: SimTime,
+    /// Current client flow (source port changes on every reconnect).
+    flow: FlowId,
+    /// Reconnect generation (0 = the original connection).
+    generation: u32,
+    /// Control frames (SYN exchanges, RSTs) replayed into the capture
+    /// at assembly time, merged with data segments by timestamp.
+    control_frames: Vec<(SimTime, FlowId, u32, u32, TcpFlags)>,
+    faults_applied: u64,
+    reconnects: u64,
+    tap_frames_dropped: u64,
+    chaos_tel: Option<ChaosTelemetry>,
 
     /// Per-session metric registry (None when telemetry is disabled).
     registry: Option<Registry>,
     spans: Option<SimSpans>,
+}
+
+/// Chaos telemetry handles (observation only).
+struct ChaosTelemetry {
+    faults: Arc<Counter>,
+    reconnects: Arc<Counter>,
+    tap_dropped: Arc<Counter>,
+    tap_gap_us: Arc<Histogram>,
+    duplicates: Arc<Counter>,
+}
+
+impl ChaosTelemetry {
+    fn register(registry: &Registry) -> Self {
+        ChaosTelemetry {
+            faults: registry.counter("chaos.faults_injected"),
+            reconnects: registry.counter("chaos.reconnects"),
+            tap_dropped: registry.counter("chaos.tap_frames_dropped"),
+            tap_gap_us: registry.histogram("chaos.tap_gap_us"),
+            duplicates: registry.counter("chaos.duplicate_posts_injected"),
+        }
+    }
 }
 
 /// Session-layer span histograms: wall-clock time spent in each
@@ -174,6 +242,10 @@ impl<'a> SessionState<'a> {
             (None, None)
         };
 
+        let chaos_tel = registry.as_ref().map(ChaosTelemetry::register);
+        let base_up = *up_link.params();
+        let base_down = *down_link.params();
+
         SessionState {
             cfg,
             queue: EventQueue::new(),
@@ -196,13 +268,36 @@ impl<'a> SessionState<'a> {
             tapped: Vec::new(),
             labels: Vec::new(),
             player_done: false,
+            player_started: false,
             events: 0,
+            pending_faults: cfg.chaos.events().iter().copied().collect(),
+            keys,
+            base_up,
+            base_down,
+            degraded_until: None,
+            tap_blind_until: SimTime::ZERO,
+            server_stall_until: SimTime::ZERO,
+            flow: CLIENT_FLOW,
+            generation: 0,
+            control_frames: Vec::new(),
+            faults_applied: 0,
+            reconnects: 0,
+            tap_frames_dropped: 0,
+            chaos_tel,
             registry,
             spans,
         }
     }
 
-    fn run(mut self) -> Result<SessionOutput, String> {
+    fn fail(&self, now: SimTime, kind: SessionErrorKind) -> SessionError {
+        SessionError {
+            kind,
+            phase: self.player.phase(),
+            at: now,
+        }
+    }
+
+    fn drive(&mut self) -> Result<(), SessionError> {
         self.emit_syn_exchange();
         // First handshake flight shortly after the TCP handshake.
         self.queue.schedule(
@@ -212,40 +307,67 @@ impl<'a> SessionState<'a> {
                 kind: HS_FLIGHT,
             },
         );
+        // Arm the first fault of the chaos plan (no-op when empty).
+        if let Some(f) = self.pending_faults.front() {
+            self.queue.schedule(
+                f.at,
+                Event::Timer {
+                    owner: PeerId::Server,
+                    kind: CHAOS,
+                },
+            );
+        }
 
         while let Some((now, event)) = self.queue.pop() {
             self.events += 1;
             if self.events > MAX_EVENTS {
-                return Err(format!("event budget exhausted at {now}"));
+                return Err(self.fail(now, SessionErrorKind::EventBudgetExhausted));
             }
             match event {
-                Event::SegmentArrival { to, segment } => self.on_segment(now, to, &segment),
+                Event::SegmentArrival { to, segment } => self.on_segment(now, to, &segment)?,
                 Event::Timer { owner, kind } => self.on_timer(now, owner, kind),
             }
         }
 
         if !self.player_done {
-            return Err("queue drained before the session completed".into());
+            return Err(self.fail(self.queue.now(), SessionErrorKind::QueueDrained));
         }
+        Ok(())
+    }
 
-        // Assemble the capture in time order.
+    /// Assemble whatever the tap captured (callable after a failed
+    /// drive: the partial capture is part of the fault analysis).
+    fn into_output(mut self) -> SessionOutput {
+        // Assemble the capture in time order: the initial SYN exchange,
+        // reconnect control frames (RST + new SYN exchange) and data
+        // segments, merged by timestamp.
         self.tapped.sort_by_key(|(t, _)| *t);
         let mut tap = Tap::new();
         if let Some(reg) = &self.registry {
             tap.set_telemetry(reg);
         }
-        let (syn_times, tapped) = (self.syn_times(), std::mem::take(&mut self.tapped));
-        tap.record_control(syn_times.0, &CLIENT_FLOW, 0, 0, TcpFlags::SYN);
-        tap.record_control(
-            syn_times.1,
-            &CLIENT_FLOW.reversed(),
-            0,
-            1,
-            TcpFlags::SYN_ACK,
-        );
-        tap.record_control(syn_times.2, &CLIENT_FLOW, 1, 1, TcpFlags::ACK);
+        let syn_times = self.syn_times();
+        let mut controls = vec![
+            (syn_times.0, CLIENT_FLOW, 0u32, 0u32, TcpFlags::SYN),
+            (syn_times.1, CLIENT_FLOW.reversed(), 0, 1, TcpFlags::SYN_ACK),
+            (syn_times.2, CLIENT_FLOW, 1, 1, TcpFlags::ACK),
+        ];
+        controls.extend(std::mem::take(&mut self.control_frames));
+        controls.sort_by_key(|(t, ..)| *t);
+        let tapped = std::mem::take(&mut self.tapped);
+        let mut ci = 0;
         for (t, seg) in tapped {
+            while ci < controls.len() && controls[ci].0 <= t {
+                let (ct, flow, seq, ack, flags) = controls[ci];
+                tap.record_control(ct, &flow, seq, ack, flags);
+                ci += 1;
+            }
             tap.record_segment(t, &seg);
+        }
+        while ci < controls.len() {
+            let (ct, flow, seq, ack, flags) = controls[ci];
+            tap.record_control(ct, &flow, seq, ack, flags);
+            ci += 1;
         }
         let packets = tap.len();
         let trace = tap.into_trace();
@@ -258,7 +380,7 @@ impl<'a> SessionState<'a> {
             None => Default::default(),
         };
 
-        Ok(SessionOutput {
+        SessionOutput {
             trace,
             truth: self.player.truth().to_vec(),
             decisions: self.player.decisions(),
@@ -270,9 +392,12 @@ impl<'a> SessionState<'a> {
                 client_tcp: self.client_tcp.stats,
                 server_tcp: self.server_tcp.stats,
                 events: self.events,
+                faults_applied: self.faults_applied,
+                reconnects: self.reconnects,
+                tap_frames_dropped: self.tap_frames_dropped,
             },
             telemetry,
-        })
+        }
     }
 
     /// SYN / SYN-ACK / ACK frame times (recorded for pcap realism; the
@@ -291,8 +416,11 @@ impl<'a> SessionState<'a> {
         match (owner, kind) {
             (_, TCP_RTO) => self.on_rto(now, owner),
             (PeerId::Server, SERVER_SEND) => self.on_server_send(now),
+            (PeerId::Server, CHAOS) => self.on_chaos(now),
+            (PeerId::Server, CHAOS_RESTORE) => self.on_chaos_restore(now),
             (PeerId::Client, HS_FLIGHT) => self.on_hs_flight(now),
             (PeerId::Client, PLAYER_START) => {
+                self.player_started = true;
                 let actions = {
                     let spans = self.spans.clone();
                     let _s = spans.as_ref().map(|s| s.player_ns.span());
@@ -314,7 +442,18 @@ impl<'a> SessionState<'a> {
 
     fn on_hs_flight(&mut self, now: SimTime) {
         if self.hs_cursor >= self.hs_flights.len() {
-            // Handshake done: hand over to the player.
+            if self.player_started {
+                // A resumption handshake just finished: the transport
+                // is back, let the player replay unacked state.
+                let actions = {
+                    let spans = self.spans.clone();
+                    let _s = spans.as_ref().map(|s| s.player_ns.span());
+                    self.player.on_reconnected(now)
+                };
+                self.apply_player_actions(now, actions);
+                return;
+            }
+            // Initial handshake done: hand over to the player.
             self.queue.schedule(
                 now + Duration::from_millis(5),
                 Event::Timer {
@@ -380,7 +519,21 @@ impl<'a> SessionState<'a> {
         self.flush_tcp(now, PeerId::Server);
     }
 
-    fn on_segment(&mut self, now: SimTime, to: PeerId, seg: &TcpSegment) {
+    fn on_segment(
+        &mut self,
+        now: SimTime,
+        to: PeerId,
+        seg: &TcpSegment,
+    ) -> Result<(), SessionError> {
+        // Segments from a flow torn down by a connection reset are
+        // stale: the receiving endpoint now belongs to the new flow.
+        let expected = match to {
+            PeerId::Server => self.flow,
+            PeerId::Client => self.flow.reversed(),
+        };
+        if seg.flow != expected {
+            return Ok(());
+        }
         let actions = match to {
             PeerId::Client => self.client_tcp.on_segment(now, seg),
             PeerId::Server => self.server_tcp.on_segment(now, seg),
@@ -390,7 +543,7 @@ impl<'a> SessionState<'a> {
         }
         self.arm_rto(now, to);
         if actions.delivered.is_empty() {
-            return;
+            return Ok(());
         }
         match to {
             PeerId::Server => self.server_deliver(now, &actions.delivered),
@@ -400,26 +553,36 @@ impl<'a> SessionState<'a> {
 
     // ---- byte delivery ----------------------------------------------------
 
-    fn server_deliver(&mut self, now: SimTime, bytes: &[u8]) {
+    fn server_deliver(&mut self, now: SimTime, bytes: &[u8]) -> Result<(), SessionError> {
         let bytes = skip_bytes(&mut self.server_skip, bytes);
         if bytes.is_empty() {
-            return;
+            return Ok(());
         }
         self.server_tls.feed(bytes);
         let records = {
             let spans = self.spans.clone();
             let _s = spans.as_ref().map(|s| s.open_ns.span());
-            match self.server_tls.drain_records() {
-                Ok(r) => r,
-                Err(e) => panic!("server record layer failed: {e}"),
-            }
+            self.server_tls.drain_records().map_err(|e| {
+                self.fail(
+                    now,
+                    SessionErrorKind::RecordLayer {
+                        side: Side::Server,
+                        detail: e.to_string(),
+                    },
+                )
+            })?
         };
         let mut got_request = false;
         for (_, plaintext) in records {
-            let requests = self
-                .req_parser
-                .feed(&plaintext)
-                .unwrap_or_else(|e| panic!("server HTTP parse failed: {e}"));
+            let requests = self.req_parser.feed(&plaintext).map_err(|e| {
+                self.fail(
+                    now,
+                    SessionErrorKind::HttpParse {
+                        side: Side::Server,
+                        detail: e.to_string(),
+                    },
+                )
+            })?;
             for mut req in requests {
                 // Server-side decode hook (compression defense).
                 if let Some(decoded) = self
@@ -440,7 +603,8 @@ impl<'a> SessionState<'a> {
                     .back()
                     .map(|(t, _)| *t)
                     .unwrap_or(SimTime::ZERO)
-                    .max(now + delay);
+                    .max(now + delay)
+                    .max(self.server_stall_until);
                 self.server_out.push_back((ready, resp.to_bytes()));
                 self.queue.schedule(
                     ready,
@@ -453,27 +617,38 @@ impl<'a> SessionState<'a> {
             }
         }
         let _ = got_request;
+        Ok(())
     }
 
-    fn client_deliver(&mut self, now: SimTime, bytes: &[u8]) {
+    fn client_deliver(&mut self, now: SimTime, bytes: &[u8]) -> Result<(), SessionError> {
         let bytes = skip_bytes(&mut self.client_skip, bytes);
         if bytes.is_empty() {
-            return;
+            return Ok(());
         }
         self.client_tls.feed(bytes);
         let records = {
             let spans = self.spans.clone();
             let _s = spans.as_ref().map(|s| s.open_ns.span());
-            match self.client_tls.drain_records() {
-                Ok(r) => r,
-                Err(e) => panic!("client record layer failed: {e}"),
-            }
+            self.client_tls.drain_records().map_err(|e| {
+                self.fail(
+                    now,
+                    SessionErrorKind::RecordLayer {
+                        side: Side::Client,
+                        detail: e.to_string(),
+                    },
+                )
+            })?
         };
         for (_, plaintext) in records {
-            let responses = self
-                .resp_parser
-                .feed(&plaintext)
-                .unwrap_or_else(|e| panic!("client HTTP parse failed: {e}"));
+            let responses = self.resp_parser.feed(&plaintext).map_err(|e| {
+                self.fail(
+                    now,
+                    SessionErrorKind::HttpParse {
+                        side: Side::Client,
+                        detail: e.to_string(),
+                    },
+                )
+            })?;
             for resp in responses {
                 let actions = {
                     let spans = self.spans.clone();
@@ -483,6 +658,7 @@ impl<'a> SessionState<'a> {
                 self.apply_player_actions(now, actions);
             }
         }
+        Ok(())
     }
 
     // ---- player plumbing ---------------------------------------------------
@@ -578,12 +754,225 @@ impl<'a> SessionState<'a> {
         let wire_len = FRAME_OVERHEAD + seg.payload.len();
         let transit = link.transmit(now, wire_len, &mut self.rng);
         if let Some(tap_at) = transit.tap_at {
-            self.tapped.push((tap_at, seg.clone()));
+            if tap_at < self.tap_blind_until {
+                // Injected capture gap: the path delivers, the
+                // eavesdropper's tap records nothing.
+                self.tap_frames_dropped += 1;
+                if let Some(t) = &self.chaos_tel {
+                    t.tap_dropped.inc();
+                }
+            } else {
+                self.tapped.push((tap_at, seg.clone()));
+            }
         }
         if let Some(at) = transit.arrives_at {
             self.queue
                 .schedule(at, Event::SegmentArrival { to, segment: seg });
         }
+    }
+
+    // ---- chaos --------------------------------------------------------------
+
+    /// CHAOS fired: apply every fault that is due and re-arm for the
+    /// next one.
+    fn on_chaos(&mut self, now: SimTime) {
+        while let Some(f) = self.pending_faults.front() {
+            if f.at > now {
+                break;
+            }
+            let f = self.pending_faults.pop_front().expect("peeked");
+            self.apply_fault(now, f.kind);
+        }
+        if let Some(f) = self.pending_faults.front() {
+            self.queue.schedule(
+                f.at,
+                Event::Timer {
+                    owner: PeerId::Server,
+                    kind: CHAOS,
+                },
+            );
+        }
+    }
+
+    fn apply_fault(&mut self, now: SimTime, kind: FaultKind) {
+        if self.player_done {
+            return; // the session is over; nothing left to disturb
+        }
+        self.faults_applied += 1;
+        if let Some(t) = &self.chaos_tel {
+            t.faults.inc();
+        }
+        match kind {
+            FaultKind::TapGap { duration } => {
+                self.tap_blind_until = self.tap_blind_until.max(now + duration);
+                if let Some(t) = &self.chaos_tel {
+                    t.tap_gap_us.record(duration.micros());
+                }
+            }
+            FaultKind::BandwidthCollapse { factor, duration } => {
+                let mut up = self.base_up;
+                let mut down = self.base_down;
+                up.bandwidth_bps = (up.bandwidth_bps * factor).max(1_000.0);
+                down.bandwidth_bps = (down.bandwidth_bps * factor).max(1_000.0);
+                self.up_link.set_params(up);
+                self.down_link.set_params(down);
+                self.schedule_restore(now + duration);
+            }
+            FaultKind::Blackout { duration } => {
+                // Total loss both ways: TCP retransmits carry the
+                // session across (and show up in the capture).
+                let mut up = self.base_up;
+                let mut down = self.base_down;
+                up.loss_prob = 1.0;
+                down.loss_prob = 1.0;
+                self.up_link.set_params(up);
+                self.down_link.set_params(down);
+                self.schedule_restore(now + duration);
+            }
+            FaultKind::ServerStall { stall } => {
+                let until = now + stall;
+                self.server_stall_until = self.server_stall_until.max(until);
+                // Already queued responses are withheld too; their
+                // SERVER_SEND timers fire early and find nothing ready,
+                // so re-arm at the stall horizon.
+                let mut bumped = false;
+                for e in self.server_out.iter_mut() {
+                    if e.0 < until {
+                        e.0 = until;
+                        bumped = true;
+                    }
+                }
+                if bumped {
+                    self.queue.schedule(
+                        until,
+                        Event::Timer {
+                            owner: PeerId::Server,
+                            kind: SERVER_SEND,
+                        },
+                    );
+                }
+            }
+            FaultKind::ServerError { burst, retry_after } => {
+                let secs = (retry_after.as_secs_f64().ceil() as u32).max(1);
+                self.server.arm_state_errors(burst, secs);
+            }
+            FaultKind::DuplicateStatePost => {
+                if let Some(t) = &self.chaos_tel {
+                    t.duplicates.inc();
+                }
+                self.player
+                    .inject_fault(PlayerFault::DuplicateNextStatePost);
+            }
+            FaultKind::DelayStatePost { delay } => {
+                self.player
+                    .inject_fault(PlayerFault::DelayNextStatePost { delay });
+            }
+            FaultKind::ConnectionReset => self.do_reset(now),
+        }
+    }
+
+    fn schedule_restore(&mut self, at: SimTime) {
+        self.degraded_until = Some(self.degraded_until.map_or(at, |d| d.max(at)));
+        self.queue.schedule(
+            at,
+            Event::Timer {
+                owner: PeerId::Server,
+                kind: CHAOS_RESTORE,
+            },
+        );
+    }
+
+    fn on_chaos_restore(&mut self, now: SimTime) {
+        if let Some(until) = self.degraded_until {
+            if now >= until {
+                self.up_link.set_params(self.base_up);
+                self.down_link.set_params(self.base_down);
+                self.degraded_until = None;
+            }
+        }
+    }
+
+    /// Mid-session TCP reset: tear down the flow and reconnect on a
+    /// fresh one with an abbreviated TLS resumption handshake. The
+    /// eavesdropper sees an RST, a new SYN exchange and a second flow
+    /// whose record stream must be stitched to the first.
+    fn do_reset(&mut self, now: SimTime) {
+        self.generation += 1;
+        self.reconnects += 1;
+        if let Some(t) = &self.chaos_tel {
+            t.reconnects.inc();
+        }
+        let gen = self.generation;
+        let seed = self.cfg.seed;
+
+        // The server closes the dying flow with an RST the tap can see.
+        if now >= self.tap_blind_until {
+            self.control_frames
+                .push((now, self.flow.reversed(), 0, 0, TcpFlags::RST));
+        } else {
+            self.tap_frames_dropped += 1;
+        }
+
+        // Only a started player holds transport state to mourn; a reset
+        // during the initial handshake just restarts the connection.
+        if self.player_started {
+            self.player.on_connection_lost(now);
+        }
+
+        // Fresh flow: new source port and ISNs, fresh record engines
+        // over the resumed TLS session, clean parsers. Responses queued
+        // on the old connection die with it (the player re-requests).
+        let isn_c = derive_seed(seed, &format!("client isn r{gen}")) as u32;
+        let isn_s = derive_seed(seed, &format!("server isn r{gen}")) as u32;
+        let mut flow = CLIENT_FLOW;
+        flow.src_port = CLIENT_FLOW.src_port + gen as u16;
+        self.flow = flow;
+        self.client_tcp = TcpEndpoint::new(flow, isn_c, isn_s);
+        self.server_tcp = TcpEndpoint::new(flow.reversed(), isn_s, isn_c);
+        self.client_tls = RecordEngine::client(&self.keys);
+        self.server_tls = RecordEngine::server(&self.keys);
+        self.req_parser = RequestParser::new();
+        self.resp_parser = ResponseParser::new();
+        self.server_out.clear();
+
+        let hs = simulate_resumption(
+            &self.cfg.profile.handshake_shape(),
+            derive_seed(seed, &format!("handshake r{gen}")),
+        );
+        self.client_skip = hs
+            .iter()
+            .filter(|f| f.sender == Sender::Server)
+            .map(|f| f.wire.len())
+            .sum();
+        self.server_skip = hs
+            .iter()
+            .filter(|f| f.sender == Sender::Client)
+            .map(|f| f.wire.len())
+            .sum();
+        self.hs_flights = hs.into_iter().map(|f| (f.sender, f.wire)).collect();
+        self.hs_cursor = 0;
+
+        // New SYN exchange ~30 ms of reconnect latency, then the
+        // resumption flights.
+        for (dt, fl, seq, ack, flags) in [
+            (8u64, flow, 0u32, 0u32, TcpFlags::SYN),
+            (18, flow.reversed(), 0, 1, TcpFlags::SYN_ACK),
+            (28, flow, 1, 1, TcpFlags::ACK),
+        ] {
+            let at = now + Duration::from_millis(dt);
+            if at >= self.tap_blind_until {
+                self.control_frames.push((at, fl, seq, ack, flags));
+            } else {
+                self.tap_frames_dropped += 1;
+            }
+        }
+        self.queue.schedule(
+            now + Duration::from_millis(35),
+            Event::Timer {
+                owner: PeerId::Client,
+                kind: HS_FLIGHT,
+            },
+        );
     }
 
     fn arm_rto(&mut self, _now: SimTime, owner: PeerId) {
@@ -907,6 +1296,178 @@ mod tests {
         assert!(out.stats.packets_captured > 200);
         assert!(out.stats.client_tcp.bytes_sent > 10_000);
         assert!(out.stats.server_tcp.bytes_sent > 100_000);
+    }
+
+    fn stress_plan() -> wm_chaos::FaultPlan {
+        let mut plan = wm_chaos::FaultPlan::none();
+        plan.push(
+            SimTime(200_000),
+            FaultKind::TapGap {
+                duration: Duration::from_millis(120),
+            },
+        )
+        .push(SimTime(400_000), FaultKind::ConnectionReset)
+        .push(
+            SimTime(700_000),
+            FaultKind::ServerStall {
+                stall: Duration::from_millis(80),
+            },
+        )
+        .push(SimTime(750_000), FaultKind::DuplicateStatePost);
+        plan
+    }
+
+    #[test]
+    fn chaotic_session_completes_with_correct_truth() {
+        let graph = Arc::new(tiny_film());
+        let script = ViewerScript::from_choices(
+            &[Choice::NonDefault, Choice::Default, Choice::NonDefault],
+            Duration::from_millis(900),
+        );
+        let mut cfg = SessionConfig::fast(graph, 21, script);
+        cfg.chaos = stress_plan();
+        let out = run_session(&cfg).expect("chaotic session completes");
+        assert_eq!(
+            out.choice_string(),
+            "NDN",
+            "faults must not change the walk"
+        );
+        assert_eq!(out.stats.faults_applied, 4);
+        assert_eq!(out.stats.reconnects, 1);
+        assert!(out.stats.tap_frames_dropped > 0, "tap gap must hide frames");
+        // Idempotent state handling: the duplicated post is logged once.
+        let t1 = out
+            .server_log
+            .iter()
+            .filter(|e| e.kind == StateEventKind::Type1)
+            .count();
+        assert_eq!(t1, 3, "duplicates must not double-log");
+    }
+
+    #[test]
+    fn chaotic_session_replays_byte_identically() {
+        let run = || {
+            let graph = Arc::new(tiny_film());
+            let script = ViewerScript::from_choices(
+                &[Choice::NonDefault, Choice::Default, Choice::NonDefault],
+                Duration::from_millis(900),
+            );
+            let mut cfg = SessionConfig::fast(graph, 21, script);
+            cfg.chaos = stress_plan();
+            run_session(&cfg).expect("chaotic session")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.trace.to_pcap_bytes(), b.trace.to_pcap_bytes());
+        assert_eq!(a.stats.events, b.stats.events);
+    }
+
+    #[test]
+    fn chaos_telemetry_surfaces_in_snapshot() {
+        let graph = Arc::new(tiny_film());
+        let script = ViewerScript::from_choices(
+            &[Choice::NonDefault, Choice::Default, Choice::NonDefault],
+            Duration::from_millis(900),
+        );
+        let mut cfg = SessionConfig::fast(graph, 21, script);
+        cfg.chaos = stress_plan();
+        cfg.telemetry = true;
+        let out = run_session(&cfg).expect("chaotic session");
+        let c = &out.telemetry.counters;
+        assert_eq!(c["chaos.faults_injected"], out.stats.faults_applied);
+        assert_eq!(c["chaos.reconnects"], out.stats.reconnects);
+        assert_eq!(c["chaos.tap_frames_dropped"], out.stats.tap_frames_dropped);
+        assert_eq!(c["chaos.duplicate_posts_injected"], 1);
+        assert_eq!(c["player.duplicate_posts"], 1);
+        assert!(
+            c["player.rebuffers"] >= 1,
+            "the reset must register a rebuffer"
+        );
+        assert!(
+            c["player.retries"] >= 1,
+            "reconnect replay counts as retries"
+        );
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        // A config with an explicit empty plan replays identically to
+        // the default config: the chaos machinery must be invisible.
+        let graph = Arc::new(tiny_film());
+        let script = ViewerScript::from_choices(
+            &[Choice::Default, Choice::NonDefault, Choice::Default],
+            Duration::from_millis(900),
+        );
+        let base = SessionConfig::fast(graph.clone(), 7, script.clone());
+        let mut explicit = SessionConfig::fast(graph, 7, script);
+        explicit.chaos = wm_chaos::FaultPlan::none();
+        let a = run_session(&base).unwrap();
+        let b = run_session(&explicit).unwrap();
+        assert_eq!(a.trace.to_pcap_bytes(), b.trace.to_pcap_bytes());
+        assert_eq!(a.stats.faults_applied, 0);
+        assert_eq!(a.stats.reconnects, 0);
+    }
+
+    #[test]
+    fn reset_produces_second_flow_with_resumption() {
+        let graph = Arc::new(tiny_film());
+        let script =
+            ViewerScript::from_choices(&[Choice::NonDefault; 3], Duration::from_millis(900));
+        let mut cfg = SessionConfig::fast(graph, 33, script);
+        let mut plan = wm_chaos::FaultPlan::none();
+        plan.push(SimTime(500_000), FaultKind::ConnectionReset);
+        cfg.chaos = plan;
+        let out = run_session(&cfg).expect("reset session completes");
+        assert_eq!(out.choice_string(), "NNN");
+        let flows = FlowReassembler::reassemble(&out.trace);
+        assert_eq!(flows.len(), 2, "the eavesdropper sees two flows");
+        // Every state report still lands exactly once server-side.
+        let t1 = out
+            .server_log
+            .iter()
+            .filter(|e| e.kind == StateEventKind::Type1)
+            .count();
+        assert_eq!(t1, 3);
+    }
+
+    #[test]
+    fn blackout_is_survived_by_retransmission() {
+        let graph = Arc::new(tiny_film());
+        let script = ViewerScript::from_choices(&[Choice::Default; 3], Duration::from_millis(900));
+        let mut cfg = SessionConfig::fast(graph, 40, script);
+        let mut plan = wm_chaos::FaultPlan::none();
+        plan.push(
+            SimTime(600_000),
+            FaultKind::Blackout {
+                duration: Duration::from_millis(150),
+            },
+        );
+        cfg.chaos = plan;
+        let out = run_session(&cfg).expect("blackout session completes");
+        assert_eq!(out.choice_string(), "DDD");
+        let rtx = out.stats.client_tcp.retransmissions + out.stats.server_tcp.retransmissions;
+        assert!(rtx > 0, "a blackout must force retransmissions");
+    }
+
+    #[test]
+    fn generated_plans_never_panic_the_pipeline() {
+        // Arbitrary valid plans either complete or fail with a typed
+        // error — never a panic; the lossy runner always yields the
+        // partial capture.
+        for seed in 0..6u64 {
+            let graph = Arc::new(tiny_film());
+            let script =
+                ViewerScript::from_choices(&[Choice::NonDefault; 3], Duration::from_millis(900));
+            let mut cfg = SessionConfig::fast(graph, seed, script);
+            cfg.chaos = wm_chaos::FaultPlan::generate(seed, 2.0, Duration::from_secs(4));
+            let (out, err) = run_session_lossy(&cfg);
+            if let Some(e) = err {
+                // Typed and displayable; the partial trace survives.
+                let _ = format!("{e}");
+            } else {
+                assert_eq!(out.choice_string(), "NNN");
+            }
+        }
     }
 
     #[test]

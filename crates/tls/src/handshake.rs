@@ -154,6 +154,66 @@ pub fn simulate_handshake(shape: &HandshakeShape, seed: u64) -> Vec<Flight> {
     flights
 }
 
+/// Produce an abbreviated session-resumption transcript.
+///
+/// When a connection is reset mid-session the client reconnects and
+/// resumes the TLS session (session-ID / ticket): no certificate, no
+/// key exchange — just ClientHello (carrying the ticket), the server's
+/// ServerHello+CCS+Finished, and the client's CCS+Finished. Three
+/// flights instead of four, an order of magnitude fewer bytes, and —
+/// crucially for the eavesdropper — a second flow whose record stream
+/// must be stitched to the first.
+pub fn simulate_resumption(shape: &HandshakeShape, seed: u64) -> Vec<Flight> {
+    let mut state = seed ^ 0x6873_6b5f_7265_7331; // "hsk_res1"
+    let jitter = |state: &mut u64, base: usize| -> usize {
+        base + (splitmix64(state) % 17) as usize // 0..=16 extra bytes
+    };
+    // The resuming ClientHello carries a ~32-byte session identifier on
+    // top of the full hello's extension block.
+    let ch = jitter(&mut state, shape.client_hello + 32);
+    let sh = jitter(&mut state, shape.server_hello);
+
+    let mut flights = Vec::new();
+    flights.push(flight(
+        Sender::Client,
+        "ClientHello(resume)",
+        ContentType::Handshake,
+        ch,
+        &mut state,
+    ));
+
+    let mut server_wire = Vec::new();
+    for (desc, ct, len) in [
+        ("ServerHello", ContentType::Handshake, sh),
+        ("ChangeCipherSpec", ContentType::ChangeCipherSpec, 1usize),
+        ("Finished", ContentType::Handshake, shape.finished),
+    ] {
+        let f = flight(Sender::Server, desc, ct, len, &mut state);
+        server_wire.extend_from_slice(&f.wire);
+    }
+    flights.push(Flight {
+        sender: Sender::Server,
+        wire: server_wire,
+        description: "ServerHello+CCS+Finished",
+    });
+
+    let mut fin_wire = Vec::new();
+    for (desc, ct, len) in [
+        ("ChangeCipherSpec", ContentType::ChangeCipherSpec, 1usize),
+        ("Finished", ContentType::Handshake, shape.finished),
+    ] {
+        let f = flight(Sender::Client, desc, ct, len, &mut state);
+        fin_wire.extend_from_slice(&f.wire);
+    }
+    flights.push(Flight {
+        sender: Sender::Client,
+        wire: fin_wire,
+        description: "CCS+Finished",
+    });
+
+    flights
+}
+
 fn flight(
     sender: Sender,
     description: &'static str,
@@ -237,6 +297,31 @@ mod tests {
             assert_eq!(x.wire, y.wire);
         }
         assert!(a.iter().zip(c.iter()).any(|(x, y)| x.wire != y.wire));
+    }
+
+    #[test]
+    fn resumption_is_abbreviated_and_deterministic() {
+        let shape = HandshakeShape::firefox();
+        let full = simulate_handshake(&shape, 5);
+        let resume = simulate_resumption(&shape, 5);
+        assert_eq!(resume.len(), 3, "CH / SH+CCS+Fin / CCS+Fin");
+        let bytes = |fs: &[Flight]| fs.iter().map(|f| f.wire.len()).sum::<usize>();
+        assert!(
+            bytes(&resume) < bytes(&full) / 2,
+            "resumption skips the certificate chain"
+        );
+        // Parses cleanly, stays below the type-1 cluster, replays.
+        let mut obs = RecordObserver::new();
+        for f in &resume {
+            for r in obs.feed(&f.wire) {
+                assert!(r.length <= 2188, "resumption record {} too long", r.length);
+            }
+        }
+        assert!(!obs.is_desynced());
+        let again = simulate_resumption(&shape, 5);
+        for (a, b) in resume.iter().zip(again.iter()) {
+            assert_eq!(a.wire, b.wire);
+        }
     }
 
     #[test]

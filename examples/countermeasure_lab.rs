@@ -86,6 +86,7 @@ fn main() {
                 choice: e.choice,
                 time: e.time,
                 observed: true,
+                confidence: 1.0,
             })
             .collect();
         let timing_acc = choice_accuracy(&decoded, &victim.decisions);

@@ -47,6 +47,7 @@
 pub use wm_baselines as baselines;
 pub use wm_behavior as behavior;
 pub use wm_capture as capture;
+pub use wm_chaos as chaos;
 pub use wm_cipher as cipher;
 pub use wm_core as core;
 pub use wm_dataset as dataset;
@@ -63,12 +64,13 @@ pub use wm_tls as tls;
 /// The names most programs need.
 pub mod prelude {
     pub use wm_capture::{RecordClass, Trace};
+    pub use wm_chaos::{FaultEvent, FaultKind, FaultPlan};
     pub use wm_core::{WhiteMirror, WhiteMirrorConfig};
-    pub use wm_dataset::{run_dataset, DatasetSpec, SimOptions};
+    pub use wm_dataset::{run_dataset, try_run_dataset, DatasetSpec, SimOptions};
     pub use wm_defense::Defense;
     pub use wm_net::conditions::{ConnectionType, LinkConditions, TimeOfDay};
     pub use wm_player::{Profile, ViewerScript};
-    pub use wm_sim::{run_session, SessionConfig, SessionOutput};
+    pub use wm_sim::{run_session, run_session_lossy, SessionConfig, SessionError, SessionOutput};
     pub use wm_story::{self as story, Choice, StoryGraph};
     pub use wm_tls::CipherSuite;
 }

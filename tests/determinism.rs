@@ -101,3 +101,69 @@ fn different_seed_differs() {
         "link/TLS/player counters track the seed-specific traffic"
     );
 }
+
+/// Chaos determinism: the same `(config, FaultPlan)` pair — including
+/// resets, stalls, tap gaps and duplicate POSTs — replays every
+/// artifact byte-identically, and an explicit empty plan is
+/// indistinguishable from no plan at all.
+#[test]
+fn chaotic_session_replays_byte_identically() {
+    let chaotic = |seed: u64| {
+        let mut c = cfg(seed, true);
+        c.chaos = FaultPlan::generate(seed, 1.5, Duration::from_secs(4));
+        c
+    };
+    for seed in [11u64, 29] {
+        let a = run_session_lossy(&chaotic(seed));
+        let b = run_session_lossy(&chaotic(seed));
+        assert_eq!(
+            a.0.trace.to_pcap_bytes(),
+            b.0.trace.to_pcap_bytes(),
+            "seed {seed}: faulted traces must be byte-identical"
+        );
+        assert_eq!(a.0.labels, b.0.labels, "seed {seed}");
+        assert_eq!(a.0.decisions, b.0.decisions, "seed {seed}");
+        assert_eq!(a.0.stats.faults_applied, b.0.stats.faults_applied);
+        assert_eq!(a.0.stats.reconnects, b.0.stats.reconnects);
+        assert_eq!(a.0.telemetry.counters, b.0.telemetry.counters);
+        assert_eq!(a.1.is_some(), b.1.is_some(), "seed {seed}: same outcome");
+    }
+}
+
+#[test]
+fn empty_fault_plan_is_invisible() {
+    let plain = run_session(&cfg(41, false)).expect("plain");
+    let mut with_plan = cfg(41, false);
+    with_plan.chaos = FaultPlan::none();
+    let explicit = run_session(&with_plan).expect("explicit empty plan");
+    assert_eq!(
+        plain.trace.to_pcap_bytes(),
+        explicit.trace.to_pcap_bytes(),
+        "an empty plan must not perturb a single byte"
+    );
+    assert_eq!(plain.labels, explicit.labels);
+    assert_eq!(plain.stats.events, explicit.stats.events);
+    assert_eq!(plain.stats.faults_applied, 0);
+}
+
+/// Fault plans generated across a spread of seeds and intensities never
+/// panic the pipeline: every session either completes or returns a
+/// typed error alongside its partial capture.
+#[test]
+fn arbitrary_fault_plans_never_panic() {
+    for seed in 0..10u64 {
+        for intensity in [0.5, 2.0, 6.0] {
+            let mut c = cfg(seed, false);
+            c.chaos = FaultPlan::generate(seed, intensity, Duration::from_secs(4));
+            let (out, err) = run_session_lossy(&c);
+            match err {
+                None => assert_eq!(out.decisions.len(), 3, "seed {seed} i{intensity}"),
+                Some(e) => {
+                    // Typed, displayable, and the capture survives.
+                    let _ = format!("{e}");
+                    assert!(out.stats.events > 0, "seed {seed} i{intensity}");
+                }
+            }
+        }
+    }
+}

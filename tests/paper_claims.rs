@@ -287,6 +287,7 @@ fn claim_fixes_leave_residual_channels() {
             choice: e.choice,
             time: e.time,
             observed: true,
+            confidence: 1.0,
         })
         .collect();
     let acc = choice_accuracy(&decoded, &out.decisions);
@@ -314,4 +315,114 @@ fn claim_dataset_scale_and_diversity() {
     assert_eq!(t.gender.len(), 3);
     assert_eq!(t.political.len(), 4);
     assert_eq!(t.mind.len(), 4);
+}
+
+/// Robustness under real-world faults: a wireless session suffering
+/// tap loss, a mid-stream connection reset (recovered via TLS session
+/// resumption on a fresh flow) and duplicated state POSTs still
+/// completes, still decodes, and degrades *gracefully* — the
+/// attacker's reported confidence drops before its correctness does,
+/// and retried/duplicated reports are never double-counted on either
+/// side of the wire.
+#[test]
+fn claim_graceful_degradation_under_faults() {
+    use white_mirror::chaos::{FaultKind, FaultPlan};
+    use white_mirror::net::time::{Duration, SimTime};
+
+    let graph = Arc::new(story::bandersnatch::bandersnatch());
+    let night = LinkConditions::new(ConnectionType::Wireless, TimeOfDay::Night);
+
+    // Train on clean sessions under the same condition.
+    let mut labels = Vec::new();
+    for seed in [9_001u64, 9_002] {
+        let out = session(seed, Profile::ubuntu_firefox_desktop(), night);
+        labels.extend(out.labels);
+    }
+    let attack = WhiteMirror::train(&labels, WhiteMirrorConfig::scaled(TIME_SCALE)).unwrap();
+
+    // Probe the clean victim for its duration and confidence.
+    let victim_cfg = |chaos: FaultPlan| {
+        let mut cfg =
+            SessionConfig::fast(graph.clone(), 9_100, ViewerScript::sample(9_100, 17, 0.5));
+        cfg.player.time_scale = TIME_SCALE;
+        cfg.conditions = night;
+        cfg.chaos = chaos;
+        cfg
+    };
+    let clean = run_session(&victim_cfg(FaultPlan::none())).expect("clean victim");
+    let clean_decoded = attack.decode_trace(&clean.trace, &graph);
+    let horizon = clean.stats.duration.0;
+
+    // A thoroughly bad wireless day, placed across the session.
+    let at = |frac: f64| SimTime((horizon as f64 * frac) as u64);
+    let frac_dur = |frac: f64| Duration((horizon as f64 * frac) as u64);
+    let mut plan = FaultPlan::none();
+    plan.push(at(0.20), FaultKind::DuplicateStatePost)
+        .push(at(0.30), FaultKind::ConnectionReset)
+        .push(
+            at(0.45),
+            FaultKind::ServerError {
+                burst: 1,
+                retry_after: frac_dur(0.01),
+            },
+        )
+        .push(
+            at(0.50),
+            FaultKind::TapGap {
+                duration: frac_dur(0.05),
+            },
+        )
+        .push(at(0.70), FaultKind::DuplicateStatePost);
+
+    let faulted = run_session(&victim_cfg(plan.clone())).expect("faulted session completes");
+    assert_eq!(faulted.stats.faults_applied, 5);
+    assert_eq!(faulted.stats.reconnects, 1, "reset recovered by resumption");
+    assert!(faulted.stats.tap_frames_dropped > 0, "tap gap was blind");
+
+    // The walk itself is fault-invariant: same decisions as clean.
+    assert_eq!(faulted.decisions, clean.decisions);
+
+    // Server-side: duplicates and retries are never double-counted.
+    let t1 = |log: &[white_mirror::netflix::StateLogEntry]| {
+        log.iter()
+            .filter(|e| e.kind == white_mirror::netflix::StateEventKind::Type1)
+            .count()
+    };
+    assert_eq!(t1(&faulted.server_log), faulted.decisions.len());
+    assert_eq!(faulted.server_log.len(), clean.server_log.len());
+
+    // Attacker-side: the full choice sequence comes out with explicit
+    // per-choice confidence; no phantom choices from duplicates.
+    let decoded = attack.decode_trace(&faulted.trace, &graph);
+    assert_eq!(decoded.choices.len(), faulted.decisions.len());
+    assert!(decoded
+        .choices
+        .iter()
+        .all(|d| d.confidence > 0.0 && d.confidence <= 1.0));
+    assert!(
+        decoded.features.flows >= 2,
+        "the eavesdropper sees the reconnect as a second flow"
+    );
+
+    // Graceful degradation: confidence drops before correctness.
+    let acc = choice_accuracy(&decoded.choices, &faulted.decisions);
+    assert!(
+        decoded.mean_confidence() < clean_decoded.mean_confidence(),
+        "faulted confidence {} must be below clean {}",
+        decoded.mean_confidence(),
+        clean_decoded.mean_confidence()
+    );
+    assert!(
+        acc.accuracy() >= 0.8,
+        "correctness must degrade more slowly than confidence (got {})",
+        acc.accuracy()
+    );
+
+    // And the whole faulted run replays byte-identically.
+    let again = run_session(&victim_cfg(plan)).expect("replay");
+    assert_eq!(
+        faulted.trace.to_pcap_bytes(),
+        again.trace.to_pcap_bytes(),
+        "chaos is deterministic"
+    );
 }
