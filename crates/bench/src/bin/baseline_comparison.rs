@@ -12,12 +12,13 @@
 //! ```
 
 use wm_baselines::{BitrateBaseline, BurstKnnBaseline, LabeledWindow, MajorityBaseline};
-use wm_bench::{graph, harness_cfg, TIME_SCALE};
+use wm_bench::{graph, harness_cfg, write_bench_json, TraceTally, TIME_SCALE};
 use wm_core::{choice_accuracy, ChoiceAccuracy, DecodedChoice, WhiteMirror, WhiteMirrorConfig};
 use wm_net::time::{Duration, SimTime};
 use wm_player::{TruthEvent, ViewerScript};
 use wm_sim::{run_session, SessionOutput};
 use wm_story::{Choice, ChoicePointId};
+use wm_telemetry::Snapshot;
 
 const TRAIN_SESSIONS: u64 = 8;
 const VICTIMS: u64 = 8;
@@ -132,6 +133,25 @@ fn main() {
     );
     println!("volume/burst features cannot separate branches of one title, while the");
     println!("upstream state-report lengths recover the full choice sequence.");
+
+    let mut telemetry = Snapshot::default();
+    let mut tally = TraceTally::default();
+    for s in train.iter().chain(victims.iter()) {
+        telemetry.merge(&s.telemetry);
+        tally.observe(&s.trace_events);
+    }
+    write_bench_json(
+        "baseline_comparison",
+        &[
+            ("white_mirror_accuracy", wm_acc.accuracy()),
+            ("bitrate_accuracy", bitrate_acc.accuracy()),
+            ("burst_knn_accuracy", burst_acc.accuracy()),
+            ("majority_accuracy", majority_acc.accuracy()),
+            ("choices_total", wm_acc.total as f64),
+        ],
+        &telemetry,
+        &tally,
+    );
 }
 
 /// Ground-truth (cp, choice, question time) triples of a session.

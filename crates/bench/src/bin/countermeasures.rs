@@ -11,7 +11,7 @@
 //! cargo run --release -p wm-bench --bin countermeasures
 //! ```
 
-use wm_bench::{graph, harness_cfg, write_bench_json, TIME_SCALE};
+use wm_bench::{graph, harness_cfg, write_bench_json, TraceTally, TIME_SCALE};
 use wm_capture::records::TimedRecord;
 use wm_core::{
     choice_accuracy, client_app_records, AttackTelemetry, ChoiceAccuracy, DecodedChoice,
@@ -44,6 +44,7 @@ fn main() {
 
     let attack_registry = Registry::new();
     let mut telemetry = Snapshot::default();
+    let mut tally = TraceTally::default();
     let mut metrics: Vec<(String, f64)> = Vec::new();
 
     for defense in defenses {
@@ -55,6 +56,7 @@ fn main() {
             cfg.defense = defense;
             let out = run_session(&cfg).expect("training session");
             telemetry.merge(&out.telemetry);
+            tally.observe(&out.trace_events);
             train_labels.extend(out.labels.iter().copied());
             train_sessions.push(out);
         }
@@ -76,6 +78,7 @@ fn main() {
             cfg.defense = defense;
             let out = run_session(&cfg).expect("victim session");
             telemetry.merge(&out.telemetry);
+            tally.observe(&out.trace_events);
 
             if let Some(a) = &attack {
                 let (_, acc) = a.evaluate(&out.trace, &graph, &out.decisions);
@@ -138,7 +141,7 @@ fn main() {
 
     telemetry.merge(&attack_registry.snapshot());
     let metric_refs: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-    write_bench_json("countermeasures", &metric_refs, &telemetry);
+    write_bench_json("countermeasures", &metric_refs, &telemetry, &tally);
 }
 
 /// Burst-total bands learned from training sessions. Split posts carry

@@ -13,7 +13,9 @@
 //!
 //! `--smoke` (or `WM_FAULT_SWEEP_SMOKE=1`) shrinks the matrix for CI.
 
-use wm_bench::{graph, sample_behavior, train_attack_for, viewer_cfg, write_bench_json};
+use wm_bench::{
+    graph, sample_behavior, train_attack_for, viewer_cfg, write_bench_json, TraceTally,
+};
 use wm_chaos::FaultPlan;
 use wm_core::ChoiceAccuracy;
 use wm_dataset::{OperationalConditions, ViewerSpec};
@@ -53,6 +55,7 @@ fn main() {
     );
 
     let mut telemetry = Snapshot::default();
+    let mut tally = TraceTally::default();
     let mut metrics: Vec<(String, f64)> = Vec::new();
     for &intensity in intensities {
         let mut acc = ChoiceAccuracy::default();
@@ -77,6 +80,7 @@ fn main() {
             };
             let (out, err) = run_session_lossy(&cfg);
             telemetry.merge(&out.telemetry);
+            tally.observe(&out.trace_events);
             reconnects += out.stats.reconnects;
             tap_drops += out.stats.tap_frames_dropped;
             if err.is_some() {
@@ -112,5 +116,5 @@ fn main() {
     }
 
     let borrowed: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-    write_bench_json("fault_sweep", &borrowed, &telemetry);
+    write_bench_json("fault_sweep", &borrowed, &telemetry, &tally);
 }

@@ -12,7 +12,7 @@
 
 use wm_bench::{
     compare_line, graph, run_viewer, sample_behavior, train_attack_for, write_bench_json,
-    TIME_SCALE,
+    TraceTally, TIME_SCALE,
 };
 use wm_core::{
     choice_accuracy, client_app_records, AttackTelemetry, ChoiceAccuracy, ChoiceDecoder,
@@ -46,6 +46,7 @@ fn main() {
     // session-side snapshots merge per victim.
     let attack_registry = Registry::new();
     let mut telemetry = Snapshot::default();
+    let mut tally = TraceTally::default();
 
     let mut per_condition: Vec<(String, ChoiceAccuracy, ChoiceAccuracy)> = Vec::new();
     for (i, cond) in conditions.iter().enumerate() {
@@ -68,6 +69,7 @@ fn main() {
             };
             let out = run_viewer(&graph, &viewer);
             telemetry.merge(&out.telemetry);
+            tally.observe(&out.trace_events);
             let (_, acc) = attack.evaluate(&out.trace, &graph, &out.decisions);
             per_session.push(acc.accuracy());
             agg.merge(&acc);
@@ -160,5 +162,6 @@ fn main() {
             ("choices_total", overall.total as f64),
         ],
         &telemetry,
+        &tally,
     );
 }

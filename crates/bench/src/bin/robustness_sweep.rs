@@ -13,7 +13,8 @@
 
 use std::sync::Arc;
 use wm_bench::{
-    graph, run_viewer, sample_behavior, train_attack_for, viewer_cfg, write_bench_json, TIME_SCALE,
+    graph, run_viewer, sample_behavior, train_attack_for, viewer_cfg, write_bench_json, TraceTally,
+    TIME_SCALE,
 };
 use wm_core::classify::{HistogramClassifier, KnnClassifier, RecordClassifier};
 use wm_core::{
@@ -33,6 +34,7 @@ const VICTIMS: u64 = 4;
 fn main() {
     let graph = graph();
     let mut telemetry = Snapshot::default();
+    let mut tally = TraceTally::default();
     let mut link_acc = ChoiceAccuracy::default();
     let mut platform_acc = ChoiceAccuracy::default();
 
@@ -62,6 +64,7 @@ fn main() {
                 };
                 let out = run_viewer(&graph, &viewer);
                 telemetry.merge(&out.telemetry);
+                tally.observe(&out.trace_events);
                 let (decoded, a) = attack.evaluate(&out.trace, &graph, &out.decisions);
                 gaps += decoded.features.stats.gaps;
                 resyncs += decoded.features.stats.resyncs;
@@ -102,6 +105,7 @@ fn main() {
                 };
                 let out = run_viewer(&graph, &viewer);
                 telemetry.merge(&out.telemetry);
+                tally.observe(&out.trace_events);
                 let (_, a) = attack.evaluate(&out.trace, &graph, &out.decisions);
                 acc.merge(&a);
                 platform_acc.merge(&a);
@@ -156,6 +160,7 @@ fn main() {
             cfg.suite = suite;
             let out = run_session(&cfg).expect("victim");
             telemetry.merge(&out.telemetry);
+            tally.observe(&out.trace_events);
             let (_, a) = attack.evaluate(&out.trace, &graph, &out.decisions);
             acc.merge(&a);
         }
@@ -172,6 +177,7 @@ fn main() {
             ("platform_sweep_accuracy", platform_acc.accuracy()),
         ],
         &telemetry,
+        &tally,
     );
 }
 

@@ -19,6 +19,7 @@
 //!
 //! Run any of them with `cargo run --release -p wm-bench --bin <name>`.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use wm_capture::labels::LabeledRecord;
@@ -28,6 +29,7 @@ use wm_player::ViewerScript;
 use wm_sim::{run_session, SessionConfig, SessionOutput};
 use wm_story::StoryGraph;
 use wm_telemetry::Snapshot;
+use wm_trace::{counts_by_name, TraceEvent};
 
 /// The time scale every harness runs at (playback 40× so a full
 /// Bandersnatch session simulates in well under a second).
@@ -47,6 +49,7 @@ pub fn harness_cfg(graph: &Arc<StoryGraph>, seed: u64, script: ViewerScript) -> 
     cfg.media_scale = MEDIA_SCALE;
     cfg.player.time_scale = TIME_SCALE;
     cfg.telemetry = true;
+    cfg.trace = true;
     cfg
 }
 
@@ -56,6 +59,7 @@ pub fn viewer_cfg(graph: &Arc<StoryGraph>, viewer: &ViewerSpec) -> SessionConfig
         media_scale: MEDIA_SCALE,
         time_scale: TIME_SCALE,
         telemetry: true,
+        trace: true,
         ..SimOptions::default()
     };
     wm_dataset::run::session_config(graph.clone(), viewer, &opts)
@@ -109,10 +113,32 @@ pub fn compare_line(label: &str, measured: f64, paper: &str) -> String {
     format!("  {label:<44} measured {measured:>6.1}%   paper: {paper}")
 }
 
-/// Serialize a bench report: headline metrics plus the merged
-/// telemetry snapshot (per-stage span timings, per-class record
-/// counters, …) aggregated across every session the harness ran.
-pub fn bench_json(name: &str, metrics: &[(&str, f64)], telemetry: &Snapshot) -> String {
+/// Per-event-name trace totals accumulated across every traced session
+/// a harness ran. Sessions run with `cfg.trace = true` (the default in
+/// [`harness_cfg`] / [`viewer_cfg`]); feed each
+/// `SessionOutput::trace_events` to [`TraceTally::observe`].
+#[derive(Default)]
+pub struct TraceTally(pub BTreeMap<&'static str, u64>);
+
+impl TraceTally {
+    /// Fold one session's event log into the tally.
+    pub fn observe(&mut self, events: &[TraceEvent]) {
+        for (name, n) in counts_by_name(events) {
+            *self.0.entry(name).or_insert(0) += n;
+        }
+    }
+}
+
+/// Serialize a bench report: headline metrics, the merged telemetry
+/// snapshot (per-stage span timings, per-class record counters, …) and
+/// the trace-event summary counts, aggregated across every session the
+/// harness ran.
+pub fn bench_json(
+    name: &str,
+    metrics: &[(&str, f64)],
+    telemetry: &Snapshot,
+    trace: &TraceTally,
+) -> String {
     let mut s = String::with_capacity(512);
     let _ = write!(s, "{{\"bench\":\"{name}\",\"metrics\":{{");
     for (i, (k, v)) in metrics.iter().enumerate() {
@@ -123,14 +149,26 @@ pub fn bench_json(name: &str, metrics: &[(&str, f64)], telemetry: &Snapshot) -> 
     }
     s.push_str("},\"telemetry\":");
     s.push_str(&telemetry.to_json_string());
-    s.push('}');
+    s.push_str(",\"trace\":{");
+    for (i, (k, v)) in trace.0.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{k}\":{v}");
+    }
+    s.push_str("}}");
     s
 }
 
 /// Write `BENCH_<name>.json` in the working directory and report where.
-pub fn write_bench_json(name: &str, metrics: &[(&str, f64)], telemetry: &Snapshot) {
+pub fn write_bench_json(
+    name: &str,
+    metrics: &[(&str, f64)],
+    telemetry: &Snapshot,
+    trace: &TraceTally,
+) {
     let path = std::path::PathBuf::from(format!("BENCH_{name}.json"));
-    match std::fs::write(&path, bench_json(name, metrics, telemetry)) {
+    match std::fs::write(&path, bench_json(name, metrics, telemetry, trace)) {
         Ok(()) => println!("\n  wrote {}", path.display()),
         Err(e) => eprintln!("\n  could not write {}: {e}", path.display()),
     }
@@ -145,6 +183,28 @@ mod tests {
         assert_eq!(bar(100.0, 4), "████");
         assert_eq!(bar(0.0, 4), "····");
         assert_eq!(bar(50.0, 4), "██··");
+    }
+
+    #[test]
+    fn bench_json_includes_trace_section() {
+        let mut tally = TraceTally::default();
+        let h = wm_trace::TraceHandle::new();
+        let s = h.span_start("session", wm_trace::SpanId::NONE);
+        h.instant(s, "player.question", 1, 0);
+        h.span_end(s, "session");
+        tally.observe(&h.snapshot());
+        tally.observe(&h.snapshot());
+        let json = bench_json("t", &[("acc", 0.5)], &Snapshot::default(), &tally);
+        assert!(json.contains("\"trace\":{"), "{json}");
+        assert!(json.contains("\"player.question\":2"), "{json}");
+        assert!(json.contains("\"acc\":0.500000"), "{json}");
+    }
+
+    #[test]
+    fn harness_sessions_record_traces() {
+        let g = graph();
+        let cfg = harness_cfg(&g, 7, ViewerScript::sample(7, 4, 0.5));
+        assert!(cfg.trace);
     }
 
     #[test]

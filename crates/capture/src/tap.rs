@@ -11,6 +11,7 @@ use wm_net::headers::{build_frame, parse_frame, FlowId, TcpFlags};
 use wm_net::tcp::TcpSegment;
 use wm_net::time::SimTime;
 use wm_telemetry::{Counter, Registry};
+use wm_trace::{SpanId, TraceHandle};
 
 /// One captured frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,6 +100,7 @@ pub struct Tap {
     next_ip_id: u16,
     frames_tapped: Option<Arc<Counter>>,
     bytes_tapped: Option<Arc<Counter>>,
+    events: Option<(TraceHandle, SpanId)>,
 }
 
 impl Tap {
@@ -108,6 +110,7 @@ impl Tap {
             next_ip_id: 1,
             frames_tapped: None,
             bytes_tapped: None,
+            events: None,
         }
     }
 
@@ -116,6 +119,14 @@ impl Tap {
     pub fn set_telemetry(&mut self, registry: &Registry) {
         self.frames_tapped = Some(registry.counter("capture.frames_tapped"));
         self.bytes_tapped = Some(registry.counter("capture.bytes_tapped"));
+    }
+
+    /// Attach a causal trace sink: the flow-lifecycle control frames
+    /// the tap witnesses (SYN / FIN / RST) are recorded as
+    /// `capture.flow.open` / `capture.flow.close` instants under
+    /// `span`. Observation only — the pcap bytes are unchanged.
+    pub fn set_trace(&mut self, handle: TraceHandle, span: SpanId) {
+        self.events = Some((handle, span));
     }
 
     /// Record a TCP segment observed at `time`.
@@ -151,6 +162,28 @@ impl Tap {
         ack: u32,
         flags: TcpFlags,
     ) {
+        if let Some((h, span)) = &self.events {
+            // One lifecycle instant per witnessed SYN (the client's
+            // opening, not the SYN-ACK reply) or FIN/RST teardown;
+            // a = client port (flow discriminator), b = 1 for RST.
+            if flags.syn && !flags.ack {
+                h.instant_at(
+                    time.micros(),
+                    *span,
+                    "capture.flow.open",
+                    flow.src_port as u64,
+                    0,
+                );
+            } else if flags.fin || flags.rst {
+                h.instant_at(
+                    time.micros(),
+                    *span,
+                    "capture.flow.close",
+                    flow.src_port.max(flow.dst_port) as u64,
+                    flags.rst as u64,
+                );
+            }
+        }
         let seg = TcpSegment {
             flow: *flow,
             seq,

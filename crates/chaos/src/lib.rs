@@ -54,6 +54,24 @@ pub enum FaultKind {
     DelayStatePost { delay: Duration },
 }
 
+impl FaultKind {
+    /// Stable `wm-trace` event name for this fault's firing, so the
+    /// first diverging event between a clean and a faulted trace reads
+    /// as the fault itself.
+    pub fn trace_name(&self) -> &'static str {
+        match self {
+            FaultKind::ConnectionReset => "chaos.connection_reset",
+            FaultKind::ServerStall { .. } => "chaos.server_stall",
+            FaultKind::ServerError { .. } => "chaos.server_error",
+            FaultKind::BandwidthCollapse { .. } => "chaos.bandwidth_collapse",
+            FaultKind::Blackout { .. } => "chaos.blackout",
+            FaultKind::TapGap { .. } => "chaos.tap_gap",
+            FaultKind::DuplicateStatePost => "chaos.duplicate_state_post",
+            FaultKind::DelayStatePost { .. } => "chaos.delay_state_post",
+        }
+    }
+}
+
 /// A fault scheduled at a simulation time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultEvent {
@@ -250,6 +268,42 @@ mod tests {
             high > low * 3,
             "intensity 2.0 ({high}) must far exceed 0.25 ({low})"
         );
+    }
+
+    #[test]
+    fn trace_names_are_stable_and_distinct() {
+        let kinds = [
+            FaultKind::ConnectionReset,
+            FaultKind::ServerStall {
+                stall: Duration::from_millis(1),
+            },
+            FaultKind::ServerError {
+                burst: 1,
+                retry_after: Duration::from_millis(1),
+            },
+            FaultKind::BandwidthCollapse {
+                factor: 0.1,
+                duration: Duration::from_millis(1),
+            },
+            FaultKind::Blackout {
+                duration: Duration::from_millis(1),
+            },
+            FaultKind::TapGap {
+                duration: Duration::from_millis(1),
+            },
+            FaultKind::DuplicateStatePost,
+            FaultKind::DelayStatePost {
+                delay: Duration::from_millis(1),
+            },
+        ];
+        let names: Vec<&str> = kinds.iter().map(|k| k.trace_name()).collect();
+        for n in &names {
+            assert!(n.starts_with("chaos."), "{n}");
+        }
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "names must be distinct");
     }
 
     #[test]

@@ -10,12 +10,14 @@ use crate::classify::{IntervalClassifier, RecordClassifier};
 use crate::decode::{ChoiceDecoder, DecodedChoice, DecoderConfig};
 use crate::features::{client_app_records, ClientFeatures};
 use crate::metrics::{choice_accuracy, ChoiceAccuracy, ConfusionMatrix};
+use crate::provenance::{build_provenance, ChoiceProvenance};
 use std::sync::Arc;
 use wm_capture::labels::LabeledRecord;
 use wm_capture::tap::Trace;
 use wm_capture::RecordClass;
 use wm_story::{Choice, ChoicePointId, StoryGraph};
 use wm_telemetry::{Counter, Histogram, Registry};
+use wm_trace::{SpanId, TraceHandle};
 
 /// Attack configuration.
 #[derive(Debug, Clone)]
@@ -61,6 +63,10 @@ impl WhiteMirrorConfig {
 #[derive(Debug, Clone)]
 pub struct DecodedSession {
     pub choices: Vec<DecodedChoice>,
+    /// Per-choice evidence, parallel to `choices`: the captured records
+    /// each decision was read off, its confidence tier, and gap
+    /// proximity (see `crate::provenance`).
+    pub provenance: Vec<ChoiceProvenance>,
     /// Extraction statistics (gaps/resyncs observed in the capture).
     pub features: ClientFeatures,
 }
@@ -85,6 +91,21 @@ impl DecodedSession {
             return 1.0;
         }
         self.choices.iter().map(|d| d.confidence).sum::<f64>() / self.choices.len() as f64
+    }
+
+    /// The evidence behind choice `i`, if decoded.
+    pub fn provenance_of(&self, i: usize) -> Option<&ChoiceProvenance> {
+        self.provenance.get(i)
+    }
+
+    /// Multi-line "why" report: one line of evidence per decision.
+    pub fn why_report(&self) -> String {
+        self.choices
+            .iter()
+            .zip(&self.provenance)
+            .map(|(d, p)| p.why(d))
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 }
 
@@ -124,6 +145,7 @@ pub struct WhiteMirror {
     classifier: IntervalClassifier,
     cfg: WhiteMirrorConfig,
     telemetry: Option<AttackTelemetry>,
+    trace: Option<(TraceHandle, SpanId)>,
 }
 
 impl WhiteMirror {
@@ -137,6 +159,7 @@ impl WhiteMirror {
             classifier,
             cfg,
             telemetry: None,
+            trace: None,
         })
     }
 
@@ -145,6 +168,14 @@ impl WhiteMirror {
     /// timing histograms are wall-clock and are not.
     pub fn set_telemetry(&mut self, telemetry: AttackTelemetry) {
         self.telemetry = Some(telemetry);
+    }
+
+    /// Attach a causal trace sink: each decode opens an `attack.decode`
+    /// span under `span` and emits one `attack.choice` instant per
+    /// decision, stamped with the capture's sim times (observation
+    /// only; decode output is unchanged).
+    pub fn set_trace(&mut self, handle: TraceHandle, span: SpanId) {
+        self.trace = Some((handle, span));
     }
 
     /// The learned classifier.
@@ -158,6 +189,7 @@ impl WhiteMirror {
             classifier,
             cfg,
             telemetry: None,
+            trace: None,
         }
     }
 
@@ -177,6 +209,7 @@ impl WhiteMirror {
             classifier,
             cfg,
             telemetry: None,
+            trace: None,
         })
     }
 
@@ -198,13 +231,50 @@ impl WhiteMirror {
                 }
             }
             t.sessions_decoded.inc();
-            let mut choices = self.run_decoder(&features, graph);
-            self.apply_gap_confidence(&mut choices, &features);
-            return DecodedSession { choices, features };
+            let choices = self.run_decoder(&features, graph);
+            return self.finish(choices, features);
         }
-        let mut choices = self.run_decoder(&features, graph);
+        let choices = self.run_decoder(&features, graph);
+        self.finish(choices, features)
+    }
+
+    /// Shared decode tail: gap-aware confidence, provenance
+    /// reconstruction and (when attached) trace emission.
+    fn finish(&self, mut choices: Vec<DecodedChoice>, features: ClientFeatures) -> DecodedSession {
         self.apply_gap_confidence(&mut choices, &features);
-        DecodedSession { choices, features }
+        let provenance = build_provenance(
+            &choices,
+            &features,
+            &self.classifier,
+            self.cfg.decoder.window,
+        );
+        if let Some((h, parent)) = &self.trace {
+            let start = features.records.first().map_or(0, |r| r.time.micros());
+            let end = choices
+                .iter()
+                .map(|d| d.time.micros())
+                .chain(features.records.last().map(|r| r.time.micros()))
+                .max()
+                .unwrap_or(start);
+            let span = h.span_start_at(start, "attack.decode", *parent);
+            for (d, p) in choices.iter().zip(&provenance) {
+                // a = choice point id; b packs the pick bit above the
+                // evidence-record count.
+                h.instant_at(
+                    d.time.micros(),
+                    span,
+                    "attack.choice",
+                    d.cp.0 as u64,
+                    (((d.choice == Choice::NonDefault) as u64) << 8) | p.records.len() as u64,
+                );
+            }
+            h.span_end_at(end, span, "attack.decode");
+        }
+        DecodedSession {
+            choices,
+            provenance,
+            features,
+        }
     }
 
     /// Downgrade decisions whose choice window a capture gap overlaps:

@@ -31,6 +31,7 @@ pub mod classify;
 pub mod decode;
 pub mod features;
 pub mod metrics;
+pub mod provenance;
 pub mod report;
 
 pub use attack::{AttackTelemetry, DecodedSession, WhiteMirror, WhiteMirrorConfig};
@@ -39,4 +40,7 @@ pub use classify::{HistogramClassifier, IntervalClassifier, KnnClassifier, Recor
 pub use decode::{ChoiceDecoder, DecodedChoice, DecoderConfig};
 pub use features::{client_app_records, ClientFeatures};
 pub use metrics::{choice_accuracy, ChoiceAccuracy, ConfusionMatrix};
+pub use provenance::{
+    build_provenance, ChoiceProvenance, ConfidenceTier, ProvenanceRecord, RecordRole,
+};
 pub use report::session_report;

@@ -117,6 +117,7 @@ mod tests {
                     confidence: 1.0,
                 })
                 .collect(),
+            provenance: Vec::new(),
             features: ClientFeatures::default(),
         }
     }

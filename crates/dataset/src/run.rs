@@ -26,6 +26,9 @@ pub struct SimOptions {
     /// [`aggregate_telemetry`]). Observation only — traces are
     /// byte-identical either way.
     pub telemetry: bool,
+    /// Record a causal event trace per session (see `wm-trace`).
+    /// Observation only — captures are byte-identical either way.
+    pub trace: bool,
     /// Fault-injection intensity (0.0 = clean sessions). Each viewer
     /// gets its own deterministic [`FaultPlan`] derived from its seed,
     /// so faulted runs replay byte-identically too.
@@ -43,6 +46,7 @@ impl Default for SimOptions {
             suite: CipherSuite::Aead,
             defense: Defense::None,
             telemetry: false,
+            trace: false,
             chaos_intensity: 0.0,
             chaos_horizon: Duration::from_secs(8),
         }
@@ -92,6 +96,7 @@ pub fn session_config(
         graph,
         defense: opts.defense,
         telemetry: opts.telemetry,
+        trace: opts.trace,
         chaos: if opts.chaos_intensity > 0.0 {
             FaultPlan::generate(viewer.seed, opts.chaos_intensity, opts.chaos_horizon)
         } else {

@@ -48,6 +48,7 @@ impl std::fmt::Display for Finding {
 }
 
 pub const WALL_CLOCK: &str = "determinism/wall-clock";
+pub const TRACE_SIM_TIME: &str = "determinism/trace-sim-time";
 pub const HASH_COLLECTIONS: &str = "determinism/hash-collections";
 pub const UNSEEDED_RNG: &str = "determinism/unseeded-rng";
 pub const PANIC_UNWRAP: &str = "panic/unwrap";
@@ -59,6 +60,7 @@ pub const MISSING_REASON: &str = "suppression/missing-reason";
 /// Every rule the engine can emit, for `--help` and the report header.
 pub const ALL_RULES: &[&str] = &[
     WALL_CLOCK,
+    TRACE_SIM_TIME,
     HASH_COLLECTIONS,
     UNSEEDED_RNG,
     PANIC_UNWRAP,
@@ -96,6 +98,7 @@ pub const ATTACKER_ALLOWED_DEPS: &[&str] = &[
     "wm-json",
     "wm-story",
     "wm-telemetry",
+    "wm-trace",
 ];
 
 /// Crates allowed to read wall clocks: the benchmark harness times real
@@ -111,6 +114,17 @@ pub fn wall_clock_applies(crate_name: &str) -> bool {
 /// Does the hash-collection rule apply to this crate?
 pub fn hash_collections_apply(crate_name: &str) -> bool {
     BYTE_PRODUCING_CRATES.contains(&crate_name)
+}
+
+/// Trace emit paths: anything in `crates/trace/src/` sits between an
+/// emitter and the recorder, so any wall-clock reachability there —
+/// `Instant::<anything>` in path position, or `SystemTime` even as a
+/// bare type — can leak nondeterminism into event timestamps. Golden
+/// traces and `trace_diff` gates only hold if every `TraceEvent` is
+/// stamped with sim time. (Bare `Instant` is exempt: it is also the
+/// crate's own `EventKind::Instant` variant.)
+pub fn trace_sim_time_applies(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/trace/src/")
 }
 
 /// Attacker-facing parse paths: every byte they consume is
@@ -139,6 +153,9 @@ pub fn check_source(crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding>
 
     if wall_clock_applies(crate_name) {
         wall_clock_rule(&tokens, rel_path, &mut findings);
+    }
+    if trace_sim_time_applies(rel_path) {
+        trace_sim_time_rule(&tokens, rel_path, &mut findings);
     }
     if hash_collections_apply(crate_name) {
         hash_collections_rule(&tokens, rel_path, &mut findings);
@@ -216,6 +233,31 @@ fn wall_clock_rule(tokens: &[Token], file: &str, out: &mut Vec<Finding>) {
                 message: format!(
                     "`{name}::now()` reads the wall clock; byte-producing code must use \
                      simulated time (`wm_net::time`) so traces are reproducible"
+                ),
+            });
+        }
+    }
+}
+
+fn trace_sim_time_rule(tokens: &[Token], file: &str, out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(name) = ident(t) else { continue };
+        // `SystemTime` anywhere; `Instant` only in path position
+        // (`Instant::…`) — the bare word is also the legitimate
+        // `EventKind::Instant` variant of this very crate.
+        let wall_clock = name == "SystemTime"
+            || (name == "Instant"
+                && is_punct(tokens.get(i + 1), ':')
+                && is_punct(tokens.get(i + 2), ':'));
+        if wall_clock {
+            out.push(Finding {
+                rule: TRACE_SIM_TIME,
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{name}` is a wall-clock source; trace events must be stamped with the \
+                     recorder's sim-time clock (`set_now` / `*_at`) so exports are \
+                     byte-deterministic per seed"
                 ),
             });
         }
@@ -548,6 +590,59 @@ mod tests {
         let src = r#"// Instant::now() is forbidden here
             let s = "Instant::now()";"#;
         assert!(check_source("wm-sim", NON_PARSE_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn trace_sim_time_fires_on_wall_clock_in_trace_crate() {
+        // `Instant::now()` trips both the generic wall-clock rule and
+        // the stricter trace rule.
+        let f = check_source(
+            "wm-trace",
+            "crates/trace/src/recorder.rs",
+            "let t = Instant::now();",
+        );
+        assert!(rules_of(&f).contains(&TRACE_SIM_TIME), "{f:?}");
+        assert!(rules_of(&f).contains(&WALL_CLOCK), "{f:?}");
+        // Any path through `Instant`, and any mention of `SystemTime`
+        // (even a field/signature without `::now()`), fires the trace
+        // rule — timestamps must arrive as sim-time integers.
+        let f = check_source(
+            "wm-trace",
+            "crates/trace/src/recorder.rs",
+            "let e = start.elapsed(); let z = Instant::from_micros(0);",
+        );
+        assert_eq!(rules_of(&f), [TRACE_SIM_TIME]);
+        let f = check_source(
+            "wm-trace",
+            "crates/trace/src/event.rs",
+            "struct E { at: SystemTime }",
+        );
+        assert_eq!(rules_of(&f), [TRACE_SIM_TIME]);
+    }
+
+    #[test]
+    fn trace_sim_time_permits_the_event_kind_variant() {
+        // `EventKind::Instant` is this crate's own variant name, not a
+        // wall-clock type; the bare ident must not fire.
+        let src = "match k { EventKind::Instant => \"n\", _ => \"b\" }";
+        assert!(check_source("wm-trace", "crates/trace/src/export.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trace_sim_time_is_scoped_to_trace_sources() {
+        let src = "struct S { at: SystemTime }";
+        let f = check_source("wm-player", "crates/player/src/player.rs", src);
+        assert!(rules_of(&f).iter().all(|r| *r != TRACE_SIM_TIME), "{f:?}");
+    }
+
+    #[test]
+    fn trace_sim_time_suppressible_with_reason_only() {
+        let ok = "struct E { at: SystemTime } // wm-lint: allow(determinism/trace-sim-time, reason = \"doc example\")";
+        assert!(check_source("wm-trace", "crates/trace/src/lib.rs", ok).is_empty());
+        let bare = "// wm-lint: allow(determinism/trace-sim-time)\nstruct E { at: SystemTime }";
+        let f = check_source("wm-trace", "crates/trace/src/lib.rs", bare);
+        assert!(rules_of(&f).contains(&MISSING_REASON));
+        assert!(rules_of(&f).contains(&TRACE_SIM_TIME));
     }
 
     #[test]

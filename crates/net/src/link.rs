@@ -13,6 +13,7 @@ use crate::rng::SimRng;
 use crate::time::{Duration, SimTime};
 use std::sync::Arc;
 use wm_telemetry::{Counter, Histogram, Registry};
+use wm_trace::{SpanId, TraceHandle};
 
 /// Parameters of one link direction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,6 +83,7 @@ pub struct Link {
     params: LinkParams,
     busy_until: SimTime,
     telemetry: Option<LinkTelemetry>,
+    trace: Option<(TraceHandle, SpanId)>,
 }
 
 impl Link {
@@ -90,6 +92,7 @@ impl Link {
             params,
             busy_until: SimTime::ZERO,
             telemetry: None,
+            trace: None,
         }
     }
 
@@ -97,6 +100,12 @@ impl Link {
     /// packet outcomes).
     pub fn set_telemetry(&mut self, telemetry: LinkTelemetry) {
         self.telemetry = Some(telemetry);
+    }
+
+    /// Attach a trace sink: path losses and tap misses are recorded as
+    /// instants under `span` (observation only).
+    pub fn set_trace(&mut self, handle: TraceHandle, span: SpanId) {
+        self.trace = Some((handle, span));
     }
 
     pub fn params(&self) -> &LinkParams {
@@ -129,6 +138,15 @@ impl Link {
             if let Some(t) = &self.telemetry {
                 t.tap_lost.inc();
             }
+            if let Some((h, span)) = &self.trace {
+                h.instant_at(
+                    tx_done.micros(),
+                    *span,
+                    "net.link.tap_lost",
+                    wire_len as u64,
+                    0,
+                );
+            }
             None
         } else {
             Some(tx_done)
@@ -137,6 +155,9 @@ impl Link {
         if rng.chance(self.params.loss_prob) {
             if let Some(t) = &self.telemetry {
                 t.lost.inc();
+            }
+            if let Some((h, span)) = &self.trace {
+                h.instant_at(tx_done.micros(), *span, "net.link.lost", wire_len as u64, 0);
             }
             return Transit {
                 tap_at,

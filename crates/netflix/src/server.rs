@@ -6,6 +6,7 @@ use wm_http::{Request, Response};
 use wm_json::{parse, Value};
 use wm_story::{ChoicePointId, SegmentId, StoryGraph};
 use wm_telemetry::{Counter, Registry};
+use wm_trace::{SpanId, TraceHandle};
 
 /// Ids in state-report bodies are offset by this constant so they
 /// always serialize as two digits (a width-discipline convention shared
@@ -92,6 +93,9 @@ pub struct NetflixServer {
     /// (fault injection), with the advertised Retry-After seconds.
     error_burst: u32,
     retry_after_secs: u32,
+    /// Causal trace sink (state-API hits and dedup outcomes land
+    /// under the attached span, stamped from the shared sim clock).
+    trace: Option<(TraceHandle, SpanId)>,
 }
 
 impl NetflixServer {
@@ -106,6 +110,7 @@ impl NetflixServer {
             seen_seqs: Vec::new(),
             error_burst: 0,
             retry_after_secs: 1,
+            trace: None,
         }
     }
 
@@ -121,6 +126,18 @@ impl NetflixServer {
     /// unchanged).
     pub fn set_telemetry(&mut self, telemetry: ServerTelemetry) {
         self.telemetry = Some(telemetry);
+    }
+
+    /// Attach a trace sink; state-API events are emitted under `span`.
+    /// Observation only, like telemetry.
+    pub fn set_trace(&mut self, handle: TraceHandle, span: SpanId) {
+        self.trace = Some((handle, span));
+    }
+
+    fn trace_instant(&self, name: &'static str, a: u64, b: u64) {
+        if let Some((h, span)) = &self.trace {
+            h.instant(*span, name, a, b);
+        }
     }
 
     /// The manifest this server serves.
@@ -217,6 +234,11 @@ impl NetflixServer {
             if let Some(t) = &self.telemetry {
                 t.deferred_posts.inc();
             }
+            self.trace_instant(
+                "netflix.state.deferred",
+                self.retry_after_secs as u64,
+                req.body.len() as u64,
+            );
             return Response::new(503, "Service Unavailable")
                 .header("Retry-After", &self.retry_after_secs.to_string())
                 .body(b"{\"error\":\"overloaded\"}".to_vec());
@@ -225,12 +247,14 @@ impl NetflixServer {
             if let Some(t) = &self.telemetry {
                 t.rejected.inc();
             }
+            self.trace_instant("netflix.state.rejected", 400, req.body.len() as u64);
             return Response::new(400, "Bad Request").body(b"{\"error\":\"json\"}".to_vec());
         };
         let Some(entry) = self.validate_state(&doc, req.body.len()) else {
             if let Some(t) = &self.telemetry {
                 t.rejected.inc();
             }
+            self.trace_instant("netflix.state.rejected", 422, req.body.len() as u64);
             return Response::new(422, "Unprocessable").body(b"{\"error\":\"schema\"}".to_vec());
         };
         // Idempotent persistence: a report's `seq` is its identity, so
@@ -242,6 +266,7 @@ impl NetflixServer {
                     if let Some(t) = &self.telemetry {
                         t.duplicate_posts.inc();
                     }
+                    self.trace_instant("netflix.state.dup", seq as u64, req.body.len() as u64);
                     return Response::ok()
                         .header("Content-Type", "application/json")
                         .body(b"{\"persisted\":true,\"dup\":true}".to_vec());
@@ -255,6 +280,18 @@ impl NetflixServer {
                 StateEventKind::Type2 => t.state_type2.inc(),
             }
         }
+        // a = report kind (1/2) + choice point packed, b = body length
+        // — the body length is exactly what the eavesdropper sees
+        // (padded by TLS), so the trace links server truth to wire.
+        self.trace_instant(
+            "netflix.state.hit",
+            match entry.kind {
+                StateEventKind::Type1 => 1,
+                StateEventKind::Type2 => 2,
+            } << 16
+                | entry.choice_point.0 as u64,
+            entry.body_len as u64,
+        );
         self.state_log.push(entry);
         Response::ok()
             .header("Content-Type", "application/json")

@@ -32,6 +32,7 @@ use wm_netflix::Manifest;
 use wm_story::ViewerScript;
 use wm_story::{Choice, ChoicePointId, SegmentEnd, SegmentId, StoryGraph};
 use wm_telemetry::{Counter, Histogram, Registry};
+use wm_trace::{SpanId, TraceHandle};
 
 /// Timer kinds owned by the player (the session layer routes them back).
 pub mod timer_kinds {
@@ -332,6 +333,9 @@ pub struct Player {
     truth: Vec<TruthEvent>,
     done: bool,
     telemetry_handles: Option<PlayerTelemetry>,
+    /// Causal trace sink (question display, prefetch, state posts,
+    /// retry/backoff, connection loss) under the session span.
+    trace: Option<(TraceHandle, SpanId)>,
 }
 
 impl Player {
@@ -375,6 +379,7 @@ impl Player {
             truth: Vec::new(),
             done: false,
             telemetry_handles: None,
+            trace: None,
         }
     }
 
@@ -382,6 +387,18 @@ impl Player {
     /// request stream — the player's RNG is untouched).
     pub fn set_telemetry(&mut self, telemetry: PlayerTelemetry) {
         self.telemetry_handles = Some(telemetry);
+    }
+
+    /// Attach a trace sink; player lifecycle events are emitted under
+    /// `span`. Observation only: no RNG draws, no request changes.
+    pub fn set_trace(&mut self, handle: TraceHandle, span: SpanId) {
+        self.trace = Some((handle, span));
+    }
+
+    fn trace_instant(&self, t: SimTime, name: &'static str, a: u64, b: u64) {
+        if let Some((h, span)) = &self.trace {
+            h.instant_at(t.micros(), *span, name, a, b);
+        }
     }
 
     /// Ground truth collected so far.
@@ -594,6 +611,8 @@ impl Player {
             time: now,
             cp: cp_id,
         });
+        // a = choice point, b = choice-window length (sim µs).
+        self.trace_instant(now, "player.question", cp_id.0 as u64, window.micros());
 
         // Type-1 state report.
         let position_ms = self.content_pos_ms + ((dur - lead) * 1000.0) as i64;
@@ -618,6 +637,13 @@ impl Player {
                 prefetch: true,
             });
         }
+        // a = default branch segment, b = chunks planned.
+        self.trace_instant(
+            now,
+            "player.prefetch.default",
+            default_target.0 as u64,
+            planned as u64,
+        );
         self.pump_downloads(now, actions);
 
         // Viewer reaction. Script delays are human (content-time)
@@ -967,6 +993,7 @@ impl Player {
         if track {
             if let Some(delay) = self.delay_next_state.take() {
                 // Fault: the report is built now but leaves late.
+                self.trace_instant(now, "player.state.delayed", delay.micros(), 0);
                 self.delayed.push_back((now + delay, request, kind, split));
                 actions
                     .timers
@@ -999,6 +1026,13 @@ impl Player {
     ) {
         let track = matches!(kind, RequestKind::StateType1 | RequestKind::StateType2);
         if track {
+            // a = wire copies (2 under the duplicate-POST fault),
+            // b = serialized body length — the pre-TLS observable.
+            let name = match kind {
+                RequestKind::StateType2 => "player.state.type2",
+                _ => "player.state.type1",
+            };
+            self.trace_instant(now, name, copies as u64, request.body.len() as u64);
             self.unacked.push_back(UnackedState {
                 kind,
                 request: request.clone(),
@@ -1060,6 +1094,11 @@ impl Player {
         if let Some(t) = &self.telemetry_handles {
             t.backoff_delay_us.record(d.micros());
         }
+        // Stamped from the recorder's shared sim clock (backoff has no
+        // `now` parameter); a = attempt, b = chosen delay in sim µs.
+        if let Some((h, span)) = &self.trace {
+            h.instant(*span, "player.state.backoff", attempt as u64, d.micros());
+        }
         d
     }
 
@@ -1116,10 +1155,22 @@ impl Player {
         front.copies += 1;
         front.last_sent = now;
         let kind = front.kind;
+        let attempts = front.attempts;
         let request = front.request.clone();
         if let Some(t) = &self.telemetry_handles {
             t.retries.inc();
         }
+        // a = attempt count so far, b = report kind (1/2).
+        self.trace_instant(
+            now,
+            "player.state.retry",
+            attempts as u64,
+            if matches!(kind, RequestKind::StateType2) {
+                2
+            } else {
+                1
+            },
+        );
         self.in_flight.push_back((kind, now));
         actions.requests.push(OutRequest {
             request,
@@ -1181,6 +1232,8 @@ impl Player {
         if let Some(t) = &self.telemetry_handles {
             t.rebuffers.inc();
         }
+        // a = requests in flight when the transport died.
+        self.trace_instant(now, "player.conn.lost", self.in_flight.len() as u64, 0);
         if self
             .in_flight
             .iter()
@@ -1227,6 +1280,13 @@ impl Player {
         if let (Some(t), Some(since)) = (&self.telemetry_handles, since) {
             t.rebuffer_time_us.record(now.since(since).micros());
         }
+        // a = unacked reports to replay, b = offline-queued requests.
+        self.trace_instant(
+            now,
+            "player.conn.resumed",
+            self.unacked.len() as u64,
+            self.offline_queue.len() as u64,
+        );
         if self.refetch_manifest {
             self.refetch_manifest = false;
             let req = self.manifest_request();

@@ -13,6 +13,7 @@ use wm_player::{PlayerConfig, Profile, TruthEvent, ViewerScript};
 use wm_story::{Choice, ChoicePointId, StoryGraph};
 use wm_telemetry::Snapshot;
 use wm_tls::CipherSuite;
+use wm_trace::TraceEvent;
 
 /// Everything describing one viewing session.
 #[derive(Clone)]
@@ -40,6 +41,11 @@ pub struct SessionConfig {
     /// only: the trace, labels and truth are byte-identical either way;
     /// disabled sessions return an empty [`Snapshot`].
     pub telemetry: bool,
+    /// Record a causal, sim-time-stamped event trace (see `wm-trace`).
+    /// Observation only: the capture, labels and truth are
+    /// byte-identical either way; disabled sessions return an empty
+    /// event vector.
+    pub trace: bool,
     /// Fault-injection plan (see `wm-chaos`). The empty plan is a
     /// no-op: such sessions replay byte-identically to builds without
     /// the chaos machinery.
@@ -64,6 +70,7 @@ impl SessionConfig {
             script,
             defense: Defense::None,
             telemetry: false,
+            trace: false,
             chaos: FaultPlan::none(),
         }
     }
@@ -116,6 +123,10 @@ pub struct SessionOutput {
     /// [`SessionConfig::telemetry`] was set). Counters are
     /// seed-deterministic; `*_ns` timing histograms are wall-clock.
     pub telemetry: Snapshot,
+    /// Causal event trace (empty unless [`SessionConfig::trace`] was
+    /// set). Timestamps are sim time, so equal configs and seeds
+    /// export byte-identical JSONL.
+    pub trace_events: Vec<TraceEvent>,
 }
 
 impl SessionOutput {

@@ -21,6 +21,7 @@ use wm_telemetry::{Counter, Histogram, Registry};
 use wm_tls::handshake::{simulate_handshake, simulate_resumption, Sender};
 use wm_tls::record::{ContentType, MAX_FRAGMENT, RECORD_HEADER_LEN};
 use wm_tls::{RecordEngine, SessionKeys};
+use wm_trace::{SpanId, TraceHandle};
 
 /// Session-layer timer kinds (player kinds start at 0x100).
 const TCP_RTO: TimerKind = TimerKind(1);
@@ -118,6 +119,15 @@ struct SessionState<'a> {
     /// Per-session metric registry (None when telemetry is disabled).
     registry: Option<Registry>,
     spans: Option<SimSpans>,
+
+    /// Causal event recorder (None when tracing is disabled).
+    trace: Option<TraceHandle>,
+    /// Root span covering the whole session.
+    session_span: SpanId,
+    /// Span of the current TCP flow (reopened on every reconnect).
+    flow_span: SpanId,
+    /// Span of the in-progress handshake ([`SpanId::NONE`] when idle).
+    hs_span: SpanId,
 }
 
 /// Chaos telemetry handles (observation only).
@@ -246,6 +256,25 @@ impl<'a> SessionState<'a> {
         let base_up = *up_link.params();
         let base_down = *down_link.params();
 
+        // Tracing, like telemetry, attaches observation-only handles:
+        // no RNG draws, no sim-visible state, so enabling it never
+        // perturbs the capture.
+        let (trace, session_span, flow_span) = if cfg.trace {
+            let handle = TraceHandle::new();
+            let session_span = handle.span_start_at(0, "session", SpanId::NONE);
+            let flow_span = handle.span_start_at(0, "flow", session_span);
+            handle.instant_at(0, flow_span, "flow.port", CLIENT_FLOW.src_port as u64, 0);
+            player.set_trace(handle.clone(), session_span);
+            server.set_trace(handle.clone(), session_span);
+            client_tls.set_trace(handle.clone(), flow_span);
+            server_tls.set_trace(handle.clone(), flow_span);
+            up_link.set_trace(handle.clone(), flow_span);
+            down_link.set_trace(handle.clone(), flow_span);
+            (Some(handle), session_span, flow_span)
+        } else {
+            (None, SpanId::NONE, SpanId::NONE)
+        };
+
         SessionState {
             cfg,
             queue: EventQueue::new(),
@@ -286,6 +315,10 @@ impl<'a> SessionState<'a> {
             chaos_tel,
             registry,
             spans,
+            trace,
+            session_span,
+            flow_span,
+            hs_span: SpanId::NONE,
         }
     }
 
@@ -319,6 +352,11 @@ impl<'a> SessionState<'a> {
         }
 
         while let Some((now, event)) = self.queue.pop() {
+            // Keep the shared trace clock on sim time so emitters
+            // without a `now` parameter still stamp correctly.
+            if let Some(h) = &self.trace {
+                h.set_now(now.micros());
+            }
             self.events += 1;
             if self.events > MAX_EVENTS {
                 return Err(self.fail(now, SessionErrorKind::EventBudgetExhausted));
@@ -345,6 +383,12 @@ impl<'a> SessionState<'a> {
         let mut tap = Tap::new();
         if let Some(reg) = &self.registry {
             tap.set_telemetry(reg);
+        }
+        if let Some(h) = &self.trace {
+            // Flow-lifecycle events are emitted at assembly time (the
+            // tap replays control frames here), stamped with the frame
+            // times the eavesdropper saw.
+            tap.set_trace(h.clone(), self.session_span);
         }
         let syn_times = self.syn_times();
         let mut controls = vec![
@@ -380,6 +424,19 @@ impl<'a> SessionState<'a> {
             None => Default::default(),
         };
 
+        let trace_events = match &self.trace {
+            Some(h) => {
+                let end = self.queue.now().micros();
+                if self.hs_span != SpanId::NONE {
+                    h.span_end_at(end, self.hs_span, "handshake");
+                }
+                h.span_end_at(end, self.flow_span, "flow");
+                h.span_end_at(end, self.session_span, "session");
+                h.drain()
+            }
+            None => Vec::new(),
+        };
+
         SessionOutput {
             trace,
             truth: self.player.truth().to_vec(),
@@ -397,6 +454,7 @@ impl<'a> SessionState<'a> {
                 tap_frames_dropped: self.tap_frames_dropped,
             },
             telemetry,
+            trace_events,
         }
     }
 
@@ -441,6 +499,26 @@ impl<'a> SessionState<'a> {
     }
 
     fn on_hs_flight(&mut self, now: SimTime) {
+        if let Some(h) = &self.trace {
+            if self.hs_cursor == 0 && self.hs_cursor < self.hs_flights.len() {
+                // First flight of an initial or resumption handshake.
+                self.hs_span = h.span_start_at(now.micros(), "handshake", self.flow_span);
+                h.instant_at(
+                    now.micros(),
+                    self.hs_span,
+                    if self.generation == 0 {
+                        "handshake.full"
+                    } else {
+                        "handshake.resumption"
+                    },
+                    self.hs_flights.len() as u64,
+                    0,
+                );
+            } else if self.hs_cursor >= self.hs_flights.len() && self.hs_span != SpanId::NONE {
+                h.span_end_at(now.micros(), self.hs_span, "handshake");
+                self.hs_span = SpanId::NONE;
+            }
+        }
         if self.hs_cursor >= self.hs_flights.len() {
             if self.player_started {
                 // A resumption handshake just finished: the transport
@@ -761,6 +839,15 @@ impl<'a> SessionState<'a> {
                 if let Some(t) = &self.chaos_tel {
                     t.tap_dropped.inc();
                 }
+                if let Some(h) = &self.trace {
+                    h.instant_at(
+                        tap_at.micros(),
+                        self.flow_span,
+                        "capture.gap",
+                        wire_len as u64,
+                        self.tap_blind_until.micros(),
+                    );
+                }
             } else {
                 self.tapped.push((tap_at, seg.clone()));
             }
@@ -801,6 +888,25 @@ impl<'a> SessionState<'a> {
         self.faults_applied += 1;
         if let Some(t) = &self.chaos_tel {
             t.faults.inc();
+        }
+        if let Some(h) = &self.trace {
+            // `a` carries the fault's magnitude where it has one.
+            let a = match kind {
+                FaultKind::ServerStall { stall } => stall.micros(),
+                FaultKind::ServerError { burst, .. } => burst as u64,
+                FaultKind::BandwidthCollapse { duration, .. } => duration.micros(),
+                FaultKind::Blackout { duration } => duration.micros(),
+                FaultKind::TapGap { duration } => duration.micros(),
+                FaultKind::DelayStatePost { delay } => delay.micros(),
+                FaultKind::ConnectionReset | FaultKind::DuplicateStatePost => 0,
+            };
+            h.instant_at(
+                now.micros(),
+                self.session_span,
+                kind.trace_name(),
+                a,
+                self.faults_applied,
+            );
         }
         match kind {
             FaultKind::TapGap { duration } => {
@@ -934,6 +1040,27 @@ impl<'a> SessionState<'a> {
         self.req_parser = RequestParser::new();
         self.resp_parser = ResponseParser::new();
         self.server_out.clear();
+
+        if let Some(h) = self.trace.clone() {
+            // Close the dying flow's spans and open the successor's.
+            if self.hs_span != SpanId::NONE {
+                h.span_end_at(now.micros(), self.hs_span, "handshake");
+                self.hs_span = SpanId::NONE;
+            }
+            h.span_end_at(now.micros(), self.flow_span, "flow");
+            self.flow_span = h.span_start_at(now.micros(), "flow", self.session_span);
+            h.instant_at(
+                now.micros(),
+                self.flow_span,
+                "flow.port",
+                flow.src_port as u64,
+                gen as u64,
+            );
+            self.client_tls.set_trace(h.clone(), self.flow_span);
+            self.server_tls.set_trace(h.clone(), self.flow_span);
+            self.up_link.set_trace(h.clone(), self.flow_span);
+            self.down_link.set_trace(h.clone(), self.flow_span);
+        }
 
         let hs = simulate_resumption(
             &self.cfg.profile.handshake_shape(),
@@ -1142,6 +1269,94 @@ mod tests {
         ] {
             assert!(h[stage].count > 0, "{stage} never fired");
         }
+    }
+
+    #[test]
+    fn tracing_observes_without_perturbing() {
+        let graph = Arc::new(tiny_film());
+        let script = ViewerScript::from_choices(
+            &[Choice::NonDefault, Choice::Default, Choice::Default],
+            Duration::from_millis(900),
+        );
+        let mut cfg = SessionConfig::fast(graph, 12, script);
+        let plain = run_session(&cfg).expect("plain session");
+        assert!(
+            plain.trace_events.is_empty(),
+            "disabled sessions emit nothing"
+        );
+
+        cfg.trace = true;
+        let traced = run_session(&cfg).expect("traced session");
+        assert_eq!(
+            plain.trace.to_pcap_bytes(),
+            traced.trace.to_pcap_bytes(),
+            "tracing must not perturb the simulation"
+        );
+        assert_eq!(plain.stats.events, traced.stats.events);
+
+        let counts = wm_trace::counts_by_name(&traced.trace_events);
+        assert_eq!(
+            counts["player.question"], 3,
+            "one question instant per choice point"
+        );
+        assert_eq!(counts["player.state.type1"], 3);
+        assert_eq!(
+            counts["player.state.type2"], 1,
+            "one type-2 per non-default pick"
+        );
+        assert_eq!(
+            counts["netflix.state.hit"], 4,
+            "3 type-1 + 1 type-2 server-side"
+        );
+        assert_eq!(counts["session"], 2, "root span start + end");
+        assert_eq!(counts["flow"], 2, "one flow span on a reset-free session");
+        assert_eq!(counts["handshake"], 2, "one handshake span");
+        assert_eq!(counts["capture.flow.open"], 1);
+        assert!(counts["tls.record.sealed"] > 0);
+        assert!(counts["tls.record.opened"] > 0);
+
+        // Causality: every event's parent span started earlier.
+        let mut open = std::collections::BTreeMap::new();
+        for e in &traced.trace_events {
+            if e.kind == wm_trace::EventKind::SpanStart {
+                open.insert(e.span, e.seq);
+            }
+            if e.parent != SpanId::NONE {
+                assert!(
+                    open.contains_key(&e.parent),
+                    "event {} ({}) references unopened parent {:?}",
+                    e.seq,
+                    e.name,
+                    e.parent
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traced_chaos_session_records_faults_and_flows() {
+        let graph = Arc::new(tiny_film());
+        let script = ViewerScript::from_choices(
+            &[Choice::NonDefault, Choice::Default, Choice::NonDefault],
+            Duration::from_millis(900),
+        );
+        let mut cfg = SessionConfig::fast(graph, 21, script);
+        cfg.chaos = stress_plan();
+        cfg.trace = true;
+        let out = run_session(&cfg).expect("chaotic traced session");
+        let counts = wm_trace::counts_by_name(&out.trace_events);
+        assert_eq!(counts["chaos.tap_gap"], 1);
+        assert_eq!(counts["chaos.connection_reset"], 1);
+        assert_eq!(counts["chaos.server_stall"], 1);
+        assert_eq!(counts["chaos.duplicate_state_post"], 1);
+        assert_eq!(counts["flow"], 4, "two flow spans (start + end each)");
+        assert_eq!(counts["handshake"], 4, "full + resumption handshakes");
+        assert_eq!(counts["handshake.resumption"], 1);
+        assert!(counts["capture.gap"] > 0, "tap-gap drops must be traced");
+        assert!(
+            counts["capture.flow.close"] >= 1,
+            "the RST teardown must be witnessed"
+        );
     }
 
     #[test]

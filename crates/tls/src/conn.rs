@@ -14,6 +14,7 @@ use wm_cipher::kdf::{derive_key, mix};
 use wm_cipher::mac::{tags_equal, Mac128};
 use wm_cipher::{open, seal, Key, Nonce};
 use wm_telemetry::{Counter, Registry};
+use wm_trace::{SpanId, TraceHandle};
 
 /// Key material for one connection, both directions.
 #[derive(Clone)]
@@ -90,6 +91,9 @@ pub struct RecordEngine {
     /// Bytes received but not yet parsed into complete records.
     rx_buf: Vec<u8>,
     telemetry: Option<EngineTelemetry>,
+    /// Causal trace sink: events land under the attached span (the
+    /// owning flow), stamped with the recorder's shared sim clock.
+    trace: Option<(TraceHandle, SpanId)>,
 }
 
 impl RecordEngine {
@@ -112,6 +116,7 @@ impl RecordEngine {
             read_seq: 0,
             rx_buf: Vec::new(),
             telemetry: None,
+            trace: None,
         }
     }
 
@@ -119,6 +124,13 @@ impl RecordEngine {
     /// bytes or authentication outcomes).
     pub fn set_telemetry(&mut self, telemetry: EngineTelemetry) {
         self.telemetry = Some(telemetry);
+    }
+
+    /// Attach a trace sink; record framing events (`tls.record.sealed`
+    /// / `tls.record.opened`) are emitted under `span`. Observation
+    /// only, like telemetry.
+    pub fn set_trace(&mut self, handle: TraceHandle, span: SpanId) {
+        self.trace = Some((handle, span));
     }
 
     /// The cipher suite this engine protects records with.
@@ -145,6 +157,16 @@ impl RecordEngine {
             t.bytes_sealed.add(payload.len() as u64);
         }
         let ct_len = self.suite.ciphertext_len(payload.len());
+        if let Some((h, span)) = &self.trace {
+            // a = record sequence, b = on-the-wire record length — the
+            // exact observable the attack classifies.
+            h.instant(
+                *span,
+                "tls.record.sealed",
+                seq,
+                (RECORD_HEADER_LEN + ct_len) as u64,
+            );
+        }
         assert!(
             ct_len <= MAX_CIPHERTEXT,
             "fragmenting should have capped this"
@@ -226,6 +248,9 @@ impl RecordEngine {
         if let Some(t) = &self.telemetry {
             t.records_opened.inc();
             t.bytes_opened.add(plaintext.len() as u64);
+        }
+        if let Some((h, span)) = &self.trace {
+            h.instant(*span, "tls.record.opened", seq, plaintext.len() as u64);
         }
         Ok(Some((header.content_type, plaintext)))
     }

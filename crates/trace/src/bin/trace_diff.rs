@@ -1,0 +1,42 @@
+//! Align two JSONL trace exports; report the first diverging event.
+//!
+//! ```sh
+//! cargo run -p wm-trace --bin trace_diff -- left.jsonl right.jsonl
+//! ```
+//!
+//! Exit status: 0 identical, 1 divergent, 2 usage/IO error.
+
+use std::process::ExitCode;
+use wm_trace::trace_diff;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [left_path, right_path] = args.as_slice() else {
+        eprintln!("usage: trace_diff <left.jsonl> <right.jsonl>");
+        return ExitCode::from(2);
+    };
+    let left = match std::fs::read_to_string(left_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace_diff: cannot read {left_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let right = match std::fs::read_to_string(right_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace_diff: cannot read {right_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match trace_diff(&left, &right) {
+        None => {
+            println!("traces identical ({} events)", left.lines().count());
+            ExitCode::SUCCESS
+        }
+        Some(d) => {
+            println!("{d}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! `trace_diff`: align two JSONL trace exports and report the first
+//! diverging event.
+//!
+//! Determinism regressions used to mean bisecting two multi-megabyte
+//! pcaps byte by byte; with traces the answer is one line — the first
+//! event where the two runs disagree names the subsystem, sim time and
+//! payload that went off script.
+
+/// The first point where two traces disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// 1-based line number (event index + 1) of the first difference.
+    pub line: usize,
+    /// The event on the left side (`None` = left trace ended early).
+    pub left: Option<String>,
+    /// The event on the right side (`None` = right trace ended early).
+    pub right: Option<String>,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "first divergence at event {}:", self.line)?;
+        match &self.left {
+            Some(l) => writeln!(f, "  left:  {l}")?,
+            None => writeln!(f, "  left:  <trace ends>")?,
+        }
+        match &self.right {
+            Some(r) => write!(f, "  right: {r}"),
+            None => write!(f, "  right: <trace ends>"),
+        }
+    }
+}
+
+/// Compare two JSONL trace exports line by line. `None` means the
+/// traces are identical.
+pub fn trace_diff(left: &str, right: &str) -> Option<Divergence> {
+    let mut l = left.lines();
+    let mut r = right.lines();
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (l.next(), r.next()) {
+            (None, None) => return None,
+            (a, b) if a == b => continue,
+            (a, b) => {
+                return Some(Divergence {
+                    line,
+                    left: a.map(str::to_string),
+                    right: b.map(str::to_string),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_traces_do_not_diverge() {
+        let t = "{\"seq\":0}\n{\"seq\":1}\n";
+        assert_eq!(trace_diff(t, t), None);
+        assert_eq!(trace_diff("", ""), None);
+    }
+
+    #[test]
+    fn first_differing_line_is_reported() {
+        let a = "e0\ne1\ne2\n";
+        let b = "e0\neX\ne2\n";
+        let d = trace_diff(a, b).expect("diverges");
+        assert_eq!(d.line, 2);
+        assert_eq!(d.left.as_deref(), Some("e1"));
+        assert_eq!(d.right.as_deref(), Some("eX"));
+    }
+
+    #[test]
+    fn truncation_diverges_at_the_missing_line() {
+        let a = "e0\ne1\n";
+        let b = "e0\n";
+        let d = trace_diff(a, b).expect("diverges");
+        assert_eq!(d.line, 2);
+        assert_eq!(d.left.as_deref(), Some("e1"));
+        assert_eq!(d.right, None);
+        let disp = format!("{d}");
+        assert!(disp.contains("<trace ends>"));
+    }
+}

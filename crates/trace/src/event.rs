@@ -1,0 +1,67 @@
+//! The event vocabulary: allocation-cheap, fixed-shape records.
+//!
+//! Every event is a `Copy` struct of machine words plus a `&'static
+//! str` name — recording never allocates, so tracing a hot path (TLS
+//! record framing, per-frame capture) costs a ring-buffer push.
+
+/// Identifier of a causal span, allocated monotonically per recorder.
+///
+/// `SpanId::NONE` (0) is the parent of root spans; real spans start
+/// at one. Because allocation is a single monotonically increasing
+/// counter behind the recorder's lock, span IDs are deterministic for
+/// a deterministic emission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SpanId(pub u32);
+
+impl SpanId {
+    /// The "no parent" sentinel.
+    pub const NONE: SpanId = SpanId(0);
+}
+
+/// What an event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A causal span opens (session, flow, handshake, decode…).
+    SpanStart,
+    /// The matching close of a span.
+    SpanEnd,
+    /// A point event inside a span (a sealed record, a fault firing…).
+    Instant,
+}
+
+impl EventKind {
+    /// Stable lowercase label used by the JSONL exporter.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::SpanStart => "start",
+            EventKind::SpanEnd => "end",
+            EventKind::Instant => "instant",
+        }
+    }
+}
+
+/// One trace event.
+///
+/// Timestamps are **simulation time** in microseconds — never wall
+/// clock — so a trace is a pure function of the session config and
+/// replays byte-identically per seed. The `a`/`b` payload words carry
+/// event-specific detail (record length, choice-point id, fault
+/// parameter…) documented at each emission site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (total order of emission).
+    pub seq: u64,
+    /// Simulation time in microseconds.
+    pub t_us: u64,
+    /// The span this event belongs to (for instants) or opens/closes.
+    pub span: SpanId,
+    /// The causal parent span (meaningful on `SpanStart`).
+    pub parent: SpanId,
+    pub kind: EventKind,
+    /// Static event name, e.g. `"tls.record.sealed"`.
+    pub name: &'static str,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}

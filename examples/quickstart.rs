@@ -1,16 +1,19 @@
 //! Quickstart: simulate one Bandersnatch viewing, capture it, attack it.
 //!
 //! ```sh
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart [-- --trace]
 //! ```
 //!
 //! Prints the victim's true choice string, the decoded one, and where
-//! the two state-report length bands sat in the capture.
+//! the two state-report length bands sat in the capture. With
+//! `--trace`, the victim session also records a causal event log and a
+//! summary of it is printed (see `trace_explorer` for the full tree).
 
 use std::sync::Arc;
 use white_mirror::prelude::*;
 
 fn main() {
+    let trace_enabled = std::env::args().any(|a| a == "--trace");
     let graph = Arc::new(story::bandersnatch::bandersnatch());
     println!(
         "film: {} ({} segments, {} choice points, {} endings)",
@@ -53,6 +56,7 @@ fn main() {
     let mut victim_cfg = SessionConfig::fast(graph.clone(), 2002, victim_script);
     victim_cfg.player.time_scale = 40;
     victim_cfg.telemetry = true;
+    victim_cfg.trace = trace_enabled;
     let victim = run_session(&victim_cfg).expect("victim session");
     println!(
         "victim session: {} packets captured, {} choices made",
@@ -85,4 +89,15 @@ fn main() {
     telemetry.merge(&victim.telemetry);
     println!("\ntelemetry (train + victim sessions merged):");
     println!("{}", telemetry.render_table());
+
+    // --- trace: the victim session's causal event log -----------------
+    if trace_enabled {
+        println!(
+            "\ntrace: {} events recorded (sim-time stamped, byte-deterministic per seed)",
+            victim.trace_events.len()
+        );
+        for (name, n) in counts_by_name(&victim.trace_events) {
+            println!("  {name:<28} {n:>6}");
+        }
+    }
 }

@@ -1,0 +1,146 @@
+//! Trace explorer: the flight-recorder view of one attacked session.
+//!
+//! ```sh
+//! cargo run --release --example trace_explorer [-- --export <prefix>]
+//! ```
+//!
+//! Runs the quickstart scenario (train on one seeded viewing, attack a
+//! second) with tracing enabled, then renders:
+//!
+//! * the victim session's causal event tree — session → flows →
+//!   handshakes, with player/server/capture/chaos instants attached;
+//! * the attacker's decode span and, for every decoded choice, the
+//!   provenance "why" report: which captured records produced it, at
+//!   what confidence tier, and whether a capture gap sat nearby.
+//!
+//! With `--export <prefix>` it also writes `<prefix>.jsonl` (the
+//! golden-diffable export) and `<prefix>.perfetto.json` (open in
+//! <https://ui.perfetto.dev>).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use white_mirror::prelude::*;
+use white_mirror::trace::{EventKind, SpanId, TraceHandle};
+
+/// The quickstart victim scenario, traced. Shared with the golden-trace
+/// test: same graph, seeds and scales produce the same event log.
+fn traced_victim(graph: &Arc<StoryGraph>) -> SessionOutput {
+    let mut cfg = SessionConfig::fast(graph.clone(), 2002, ViewerScript::sample(2002, 14, 0.5));
+    cfg.player.time_scale = 40;
+    cfg.trace = true;
+    run_session(&cfg).expect("victim session")
+}
+
+fn main() {
+    let export_prefix = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--export")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+
+    let graph = Arc::new(story::bandersnatch::bandersnatch());
+    let mut train_cfg =
+        SessionConfig::fast(graph.clone(), 1001, ViewerScript::sample(1001, 14, 0.5));
+    train_cfg.player.time_scale = 40;
+    let train = run_session(&train_cfg).expect("training session");
+    let mut attack = WhiteMirror::train(&train.labels, WhiteMirrorConfig::scaled(40))
+        .expect("training needs report examples");
+
+    let victim = traced_victim(&graph);
+    println!(
+        "victim session traced: {} events, {} packets captured\n",
+        victim.trace_events.len(),
+        victim.stats.packets_captured
+    );
+
+    println!("=== causal tree (victim session) ===\n");
+    print!("{}", render_tree(&victim.trace_events));
+
+    // The attacker records its own decode under a fresh root handle.
+    let attack_trace = TraceHandle::new();
+    attack.set_trace(attack_trace.clone(), SpanId::NONE);
+    let decoded = attack.decode_trace(&victim.trace, &graph);
+    let attack_events = attack_trace.drain();
+    println!("\n=== causal tree (attacker decode) ===\n");
+    print!("{}", render_tree(&attack_events));
+
+    println!("\n=== per-choice provenance ===\n");
+    print!("{}", decoded.why_report());
+    println!("\ntruth:   {}", victim.choice_string());
+    println!("decoded: {}", decoded.choice_string());
+
+    println!("\n=== event counts ===\n");
+    for (name, n) in counts_by_name(&victim.trace_events) {
+        println!("  {name:<28} {n:>6}");
+    }
+
+    if let Some(prefix) = export_prefix {
+        let jsonl = format!("{prefix}.jsonl");
+        let perfetto = format!("{prefix}.perfetto.json");
+        std::fs::write(&jsonl, export_jsonl(&victim.trace_events)).expect("write jsonl");
+        std::fs::write(&perfetto, export_chrome_trace(&victim.trace_events))
+            .expect("write perfetto");
+        println!("\nwrote {jsonl} and {perfetto}");
+    }
+}
+
+/// Render the event log as an indented causal tree: spans nest by
+/// parent, instants attach to their owning span, in time order.
+fn render_tree(events: &[TraceEvent]) -> String {
+    // Children (starts and instants) keyed by owning span, span end
+    // times keyed by span.
+    let mut children: BTreeMap<u32, Vec<&TraceEvent>> = BTreeMap::new();
+    let mut ends: BTreeMap<u32, u64> = BTreeMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::SpanStart => children.entry(e.parent.0).or_default().push(e),
+            EventKind::Instant => children.entry(e.span.0).or_default().push(e),
+            EventKind::SpanEnd => {
+                ends.insert(e.span.0, e.t_us);
+            }
+        }
+    }
+    // Tap lifecycle events are emitted at capture-assembly time with
+    // historical timestamps; sort each level into time order.
+    for kids in children.values_mut() {
+        kids.sort_by_key(|e| (e.t_us, e.seq));
+    }
+    let mut out = String::new();
+    render_level(&children, &ends, SpanId::NONE.0, 0, &mut out);
+    out
+}
+
+fn render_level(
+    children: &BTreeMap<u32, Vec<&TraceEvent>>,
+    ends: &BTreeMap<u32, u64>,
+    span: u32,
+    depth: usize,
+    out: &mut String,
+) {
+    let Some(kids) = children.get(&span) else {
+        return;
+    };
+    for e in kids {
+        let indent = "  ".repeat(depth);
+        match e.kind {
+            EventKind::SpanStart => {
+                let end = ends
+                    .get(&e.span.0)
+                    .map_or("…".to_string(), |t| format!("{t}"));
+                out.push_str(&format!(
+                    "{indent}{} [span {}] t={}..{} µs\n",
+                    e.name, e.span.0, e.t_us, end
+                ));
+                render_level(children, ends, e.span.0, depth + 1, out);
+            }
+            EventKind::Instant => {
+                out.push_str(&format!(
+                    "{indent}· {} t={} µs a={} b={}\n",
+                    e.name, e.t_us, e.a, e.b
+                ));
+            }
+            EventKind::SpanEnd => {}
+        }
+    }
+}

@@ -48,6 +48,76 @@ fn telemetry_collection_does_not_perturb_the_session() {
     assert_eq!(plain.stats.events, observed.stats.events);
 }
 
+/// The counter-only view strips the wall-clock `*_ns` histograms; what
+/// remains is a pure function of `(config, seed)` and can be asserted
+/// equal across replays as a whole snapshot.
+#[test]
+fn telemetry_deterministic_view_replays_exactly() {
+    let a = run_session(&cfg(41, true)).expect("session a");
+    let b = run_session(&cfg(41, true)).expect("session b");
+    let (va, vb) = (
+        a.telemetry.deterministic_view(),
+        b.telemetry.deterministic_view(),
+    );
+    assert!(!va.counters.is_empty());
+    assert!(va.histograms.is_empty(), "view must drop timing histograms");
+    assert_eq!(va, vb);
+}
+
+fn traced_cfg(seed: u64) -> SessionConfig {
+    let mut c = cfg(seed, false);
+    c.trace = true;
+    c
+}
+
+/// Acceptance criterion of the tracing subsystem: two sessions with
+/// equal config and seed export byte-identical JSONL (and Chrome-trace)
+/// event logs, because every timestamp is sim time.
+#[test]
+fn trace_export_is_byte_identical_per_seed() {
+    let a = run_session(&traced_cfg(41)).expect("session a");
+    let b = run_session(&traced_cfg(41)).expect("session b");
+    assert!(!a.trace_events.is_empty(), "tracing was enabled");
+    let (ja, jb) = (export_jsonl(&a.trace_events), export_jsonl(&b.trace_events));
+    assert_eq!(ja, jb, "JSONL exports must be byte-identical");
+    assert_eq!(
+        export_chrome_trace(&a.trace_events),
+        export_chrome_trace(&b.trace_events)
+    );
+    assert_eq!(trace_diff(&ja, &jb), None);
+}
+
+/// Tracing is observation only: the capture, labels and event count are
+/// byte-identical with the recorder attached or absent, and a plain
+/// session carries no events.
+#[test]
+fn trace_collection_does_not_perturb_the_session() {
+    let plain = run_session(&cfg(41, false)).expect("plain");
+    let traced = run_session(&traced_cfg(41)).expect("traced");
+    assert_eq!(plain.trace.to_pcap_bytes(), traced.trace.to_pcap_bytes());
+    assert_eq!(plain.labels, traced.labels);
+    assert_eq!(plain.stats.events, traced.stats.events);
+    assert!(plain.trace_events.is_empty());
+}
+
+/// Chaos + tracing: a faulted session's event log replays
+/// byte-identically too, fault events included.
+#[test]
+fn chaotic_trace_replays_byte_identically() {
+    let chaotic = |seed: u64| {
+        let mut c = traced_cfg(seed);
+        c.chaos = FaultPlan::generate(seed, 1.5, Duration::from_secs(4));
+        c
+    };
+    let (a, _) = run_session_lossy(&chaotic(29));
+    let (b, _) = run_session_lossy(&chaotic(29));
+    assert_eq!(
+        export_jsonl(&a.trace_events),
+        export_jsonl(&b.trace_events),
+        "faulted event logs must be byte-identical"
+    );
+}
+
 /// The JSON state blobs the player posts are byte-identical across
 /// replays — the serialized *length* is the paper's observable, so any
 /// order instability (e.g. a hash-map-backed object) would corrupt the

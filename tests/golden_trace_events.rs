@@ -1,0 +1,101 @@
+//! Golden event-sequence test for the tracing subsystem.
+//!
+//! Pins the exact causal event log of one seeded session as a committed
+//! JSONL fixture, and self-tests `trace_diff` on controlled
+//! perturbations. Together these turn any determinism regression in the
+//! sim/tracing stack into a one-line diff naming the first event that
+//! went off script.
+//!
+//! Regenerate the fixture after an intentional trace change with:
+//!
+//! ```sh
+//! WM_REGEN_GOLDEN=1 cargo test --test golden_trace_events
+//! ```
+
+use std::sync::Arc;
+use white_mirror::net::time::Duration;
+use white_mirror::prelude::*;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_trace_events.jsonl"
+);
+
+/// The pinned scenario: the quickstart attack shape (seeded viewing,
+/// fast scales) on the tiny film, so the fixture stays reviewably
+/// small while exercising every event family the full title does.
+fn golden_cfg() -> SessionConfig {
+    let graph = Arc::new(story::bandersnatch::tiny_film());
+    let script = ViewerScript::from_choices(
+        &[Choice::NonDefault, Choice::Default, Choice::NonDefault],
+        Duration::from_millis(900),
+    );
+    let mut c = SessionConfig::fast(graph, 2002, script);
+    c.trace = true;
+    c
+}
+
+#[test]
+fn golden_trace_events_match_fixture() {
+    let out = run_session(&golden_cfg()).expect("golden session");
+    let jsonl = export_jsonl(&out.trace_events);
+    if std::env::var("WM_REGEN_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::write(FIXTURE, &jsonl).expect("write fixture");
+        println!("regenerated {FIXTURE}");
+        return;
+    }
+    let golden = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing; regenerate with WM_REGEN_GOLDEN=1");
+    if let Some(d) = trace_diff(&golden, &jsonl) {
+        panic!("trace diverges from committed fixture\n{d}\n(if intentional, regenerate with WM_REGEN_GOLDEN=1)");
+    }
+}
+
+/// trace_diff self-test: equal config + seed ⇒ no divergence, on the
+/// real pipeline, not a synthetic string.
+#[test]
+fn identical_seeds_produce_no_divergence() {
+    let a = run_session(&golden_cfg()).expect("a");
+    let b = run_session(&golden_cfg()).expect("b");
+    assert!(!a.trace_events.is_empty());
+    assert_eq!(
+        trace_diff(
+            &export_jsonl(&a.trace_events),
+            &export_jsonl(&b.trace_events)
+        ),
+        None
+    );
+}
+
+/// trace_diff self-test: against a faulted run of the same seed, the
+/// first divergence is the first injected fault — the clean prefix up
+/// to the fault's sim time is shared event for event.
+#[test]
+fn fault_plan_divergence_points_at_the_first_fault() {
+    let clean = run_session(&golden_cfg()).expect("clean");
+    let mut faulted_cfg = golden_cfg();
+    faulted_cfg.chaos = FaultPlan::generate(2002, 1.5, Duration::from_secs(4));
+    let (faulted, _) = run_session_lossy(&faulted_cfg);
+    assert!(
+        faulted.stats.faults_applied > 0,
+        "plan must inject at least one fault"
+    );
+
+    let left = export_jsonl(&clean.trace_events);
+    let right = export_jsonl(&faulted.trace_events);
+    let d = trace_diff(&left, &right).expect("faulted run must diverge");
+    let faulted_side = d
+        .right
+        .as_deref()
+        .expect("faulted trace has the extra event");
+    assert!(
+        faulted_side.contains("\"chaos."),
+        "first divergence should be the first chaos event, got: {faulted_side}"
+    );
+    // And it really is the *first* chaos event in the faulted trace.
+    let first_chaos = right
+        .lines()
+        .position(|l| l.contains("\"chaos."))
+        .expect("faulted trace records chaos events");
+    assert_eq!(d.line, first_chaos + 1);
+}
