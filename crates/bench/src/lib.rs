@@ -16,6 +16,7 @@
 //! | `baseline_comparison` | §II — prior-work features fail intra-video (E7) |
 //! | `robustness_sweep` | robustness across conditions + classifier ablation (E8) |
 //! | `fault_sweep` | accuracy vs `wm-chaos` fault intensity (E9) |
+//! | `online_robustness` | streaming decoder vs capture impairment, with kill/resume (E10) |
 //!
 //! Run any of them with `cargo run --release -p wm-bench --bin <name>`.
 

@@ -30,8 +30,10 @@ pub mod tap;
 
 pub use flow::{Direction, FlowReassembler, FlowStreams, StreamChunk, StreamView};
 pub use labels::{LabeledRecord, RecordClass};
-pub use pcap::{PcapError, PcapPacket, PcapReader, PcapWriter};
-pub use records::{extract_records, ExtractStats, Extraction, TimedRecord};
+pub use pcap::{
+    read_pcap_lossy, LossyPcap, PcapError, PcapPacket, PcapReader, PcapTruncation, PcapWriter,
+};
+pub use records::{extract_records, find_resync, ExtractStats, Extraction, TimedRecord};
 pub use tap::{CapturedPacket, Tap, Trace, TraceSummary};
 
 // ---------------------------------------------------------------------
@@ -67,4 +69,4 @@ pub mod tcp {
 }
 
 pub use wm_tls::observer::{ObservedRecord, RecordObserver};
-pub use wm_tls::record::ContentType;
+pub use wm_tls::record::{ContentType, RecordHeader, RECORD_HEADER_LEN};

@@ -136,7 +136,12 @@ fn drain_records(
 
 /// Find the smallest offset in `data` at which a chain of plausible
 /// record headers parses.
-fn find_resync(data: &[u8]) -> Option<usize> {
+///
+/// Public so the streaming (online) extractor can reuse the exact same
+/// resynchronization heuristic as the batch path: accepts an offset
+/// where [`RESYNC_CHAIN`] headers chain, or at least one complete
+/// header whose final record extends past the buffer edge.
+pub fn find_resync(data: &[u8]) -> Option<usize> {
     'outer: for start in 0..data.len().saturating_sub(RECORD_HEADER_LEN) {
         let mut pos = start;
         let mut chained = 0;

@@ -1,0 +1,267 @@
+//! Capture-side impairments: faults in the *attacker's* tap, not the
+//! victim's network.
+//!
+//! [`FaultPlan`](crate::FaultPlan) perturbs the session itself; the
+//! impairments here leave the session untouched and degrade only what
+//! the eavesdropper records — the difference between a bad network day
+//! and a bad monitoring rig. The taxonomy matches what commodity
+//! capture hardware actually does wrong:
+//!
+//! - **Reorder**: timestamps jitter inside a bounded window (multi-queue
+//!   NICs deliver out of order), so packets arrive shuffled.
+//! - **Truncation**: a snaplen clips frame tails, losing record bytes
+//!   while the headers survive.
+//! - **Duplicate delivery**: span ports and port mirrors happily emit
+//!   the same frame twice.
+//! - **Mid-session attach**: the tap comes up after the movie started
+//!   and the capture opens mid-record.
+//! - **Attacker crash**: the capture process dies at a packet index and
+//!   restarts from a checkpoint ([`kill_index`]).
+//!
+//! Everything is deterministic in `(seed, impairment, input)`; like
+//! `FaultPlan::generate`, the RNG is labelled so impairing a capture
+//! never perturbs any other subsystem's stream. The functions operate
+//! on plain `(micros, frame-bytes)` pairs — wm-chaos sits below
+//! wm-capture in the layering, so it never sees a `Trace` directly.
+
+use wm_cipher::kdf::derive_seed;
+use wm_net::rng::SimRng;
+
+/// One captured packet as the tap hands it over: timestamp in
+/// microseconds plus the raw frame bytes.
+pub type TapPacket = (u64, Vec<u8>);
+
+/// Capture impairment profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaptureImpairment {
+    /// Probability each packet's timestamp is displaced.
+    pub reorder_prob: f64,
+    /// Maximum displacement (µs) of a reordered packet, either
+    /// direction. Delivery order follows the displaced timestamps.
+    pub reorder_jitter_us: u64,
+    /// Probability a frame's tail is clipped to `snaplen`.
+    pub truncate_prob: f64,
+    /// Snaplen applied to clipped frames (bytes kept).
+    pub snaplen: usize,
+    /// Probability a packet is delivered twice.
+    pub duplicate_prob: f64,
+    /// Fraction of the capture the tap missed before attaching
+    /// (0.0 = attached from the first packet).
+    pub attach_fraction: f64,
+}
+
+impl CaptureImpairment {
+    /// The identity impairment: output is byte-identical to the input.
+    pub fn none() -> Self {
+        CaptureImpairment {
+            reorder_prob: 0.0,
+            reorder_jitter_us: 0,
+            truncate_prob: 0.0,
+            snaplen: usize::MAX,
+            duplicate_prob: 0.0,
+            attach_fraction: 0.0,
+        }
+    }
+
+    /// Severity-scaled profile for sweeps; `intensity` is clamped to
+    /// `[0, 8]` and 0.0 yields [`CaptureImpairment::none`]. Matches the
+    /// `FaultPlan::generate` convention so the two intensity axes read
+    /// the same in bench reports.
+    pub fn at_intensity(intensity: f64) -> Self {
+        let i = intensity.clamp(0.0, 8.0);
+        if i == 0.0 {
+            return CaptureImpairment::none();
+        }
+        CaptureImpairment {
+            reorder_prob: (0.04 * i).min(0.6),
+            reorder_jitter_us: (3_000.0 * i) as u64,
+            truncate_prob: (0.01 * i).min(0.25),
+            // Headers (66 bytes) plus a sliver of payload survive.
+            snaplen: 96,
+            duplicate_prob: (0.03 * i).min(0.5),
+            attach_fraction: 0.0,
+        }
+    }
+
+    /// True when applying this impairment is the identity.
+    pub fn is_none(&self) -> bool {
+        self.reorder_prob <= 0.0
+            && self.truncate_prob <= 0.0
+            && self.duplicate_prob <= 0.0
+            && self.attach_fraction <= 0.0
+    }
+}
+
+/// What an impairment pass actually did, for reports and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImpairStats {
+    pub reordered: u64,
+    pub truncated: u64,
+    pub duplicated: u64,
+    pub dropped_before_attach: u64,
+}
+
+/// Apply a capture impairment to a packet stream.
+///
+/// Returns the impaired stream (sorted by displaced timestamp; ties
+/// keep source order, so the pass is fully deterministic) plus the
+/// tally of what was done. The input is never mutated.
+pub fn impair_capture(
+    seed: u64,
+    imp: &CaptureImpairment,
+    packets: &[TapPacket],
+) -> (Vec<TapPacket>, ImpairStats) {
+    let mut stats = ImpairStats::default();
+    if imp.is_none() {
+        return (packets.to_vec(), stats);
+    }
+    let mut rng = SimRng::new(derive_seed(seed, "chaos capture"));
+    let skip = ((packets.len() as f64) * imp.attach_fraction.clamp(0.0, 1.0)).floor() as usize;
+    let mut out: Vec<TapPacket> = Vec::with_capacity(packets.len() + 8);
+    for (i, (time, frame)) in packets.iter().enumerate() {
+        if i < skip {
+            stats.dropped_before_attach += 1;
+            continue;
+        }
+        let mut frame = frame.clone();
+        if rng.chance(imp.truncate_prob) && frame.len() > imp.snaplen {
+            frame.truncate(imp.snaplen);
+            stats.truncated += 1;
+        }
+        let mut time = *time;
+        if rng.chance(imp.reorder_prob) && imp.reorder_jitter_us > 0 {
+            let shift = rng.uniform_u64(1, imp.reorder_jitter_us);
+            if rng.chance(0.5) {
+                time = time.saturating_sub(shift);
+            } else {
+                time += shift;
+            }
+            stats.reordered += 1;
+        }
+        let dup = rng.chance(imp.duplicate_prob);
+        out.push((time, frame.clone()));
+        if dup {
+            out.push((time, frame));
+            stats.duplicated += 1;
+        }
+    }
+    // Delivery follows the (displaced) timestamps; stable sort keeps
+    // the duplicate right behind its original.
+    out.sort_by_key(|p| p.0);
+    (out, stats)
+}
+
+/// Seeded packet index at which the attacker process dies in
+/// crash/restart drills: deterministic in `(seed, packets)` and always
+/// inside the middle half of the capture so the kill lands while
+/// decoding is underway.
+pub fn kill_index(seed: u64, packets: usize) -> usize {
+    if packets < 4 {
+        return packets / 2;
+    }
+    let mut rng = SimRng::new(derive_seed(seed, "chaos kill"));
+    rng.uniform_u64(packets as u64 / 4, packets as u64 * 3 / 4) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<TapPacket> {
+        (0..n)
+            .map(|i| (i as u64 * 10_000, vec![i as u8; 120]))
+            .collect()
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let pkts = sample(16);
+        let (out, stats) = impair_capture(7, &CaptureImpairment::none(), &pkts);
+        assert_eq!(out, pkts);
+        assert_eq!(stats, ImpairStats::default());
+        assert!(CaptureImpairment::at_intensity(0.0).is_none());
+    }
+
+    #[test]
+    fn impair_is_deterministic() {
+        let pkts = sample(64);
+        let imp = CaptureImpairment::at_intensity(3.0);
+        let (a, sa) = impair_capture(42, &imp, &pkts);
+        let (b, sb) = impair_capture(42, &imp, &pkts);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        let (c, _) = impair_capture(43, &imp, &pkts);
+        assert_ne!(a, c, "seed must decorrelate impairments");
+    }
+
+    #[test]
+    fn output_is_time_sorted_and_jitter_bounded() {
+        let pkts = sample(128);
+        let imp = CaptureImpairment::at_intensity(4.0);
+        let (out, stats) = impair_capture(9, &imp, &pkts);
+        for w in out.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert!(stats.reordered > 0, "intensity 4 should reorder something");
+        // Every output timestamp stays within the jitter window of an
+        // input timestamp.
+        for (t, _) in &out {
+            let near = pkts
+                .iter()
+                .any(|(ot, _)| t.abs_diff(*ot) <= imp.reorder_jitter_us);
+            assert!(near, "timestamp {t} outside jitter window");
+        }
+    }
+
+    #[test]
+    fn truncation_clips_to_snaplen() {
+        let pkts = sample(256);
+        let imp = CaptureImpairment {
+            truncate_prob: 1.0,
+            snaplen: 80,
+            ..CaptureImpairment::none()
+        };
+        let (out, stats) = impair_capture(5, &imp, &pkts);
+        assert_eq!(stats.truncated, 256);
+        assert!(out.iter().all(|(_, f)| f.len() == 80));
+    }
+
+    #[test]
+    fn attach_drops_prefix_only() {
+        let pkts = sample(100);
+        let imp = CaptureImpairment {
+            attach_fraction: 0.3,
+            ..CaptureImpairment::none()
+        };
+        let (out, stats) = impair_capture(5, &imp, &pkts);
+        assert_eq!(stats.dropped_before_attach, 30);
+        assert_eq!(out.len(), 70);
+        assert_eq!(out.first().map(|p| p.0), Some(30 * 10_000));
+    }
+
+    #[test]
+    fn duplicates_are_adjacent() {
+        let pkts = sample(40);
+        let imp = CaptureImpairment {
+            duplicate_prob: 1.0,
+            ..CaptureImpairment::none()
+        };
+        let (out, stats) = impair_capture(11, &imp, &pkts);
+        assert_eq!(stats.duplicated, 40);
+        assert_eq!(out.len(), 80);
+        for pair in out.chunks(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn kill_index_is_seeded_and_central() {
+        for seed in 0..16u64 {
+            let k = kill_index(seed, 1000);
+            assert_eq!(k, kill_index(seed, 1000));
+            assert!((250..=750).contains(&k), "kill index {k} not central");
+        }
+        assert_eq!(kill_index(1, 0), 0);
+        assert_eq!(kill_index(1, 3), 1);
+    }
+}

@@ -22,6 +22,16 @@
 //! - **Application**: duplicate or delayed state-POST deliveries, the
 //!   browser-retry behaviour that produces repeated type-1/type-2
 //!   records on the wire.
+//!
+//! The [`capture`] module adds the attacker-side counterpart: seeded
+//! impairments of the *capture* itself (packet reorder inside a jitter
+//! window, snaplen truncation, duplicate delivery, mid-session tap
+//! attach, crash/restart kill points) that degrade what the
+//! eavesdropper records without touching the session.
+
+pub mod capture;
+
+pub use capture::{impair_capture, kill_index, CaptureImpairment, ImpairStats, TapPacket};
 
 use wm_cipher::kdf::derive_seed;
 use wm_net::rng::SimRng;

@@ -85,12 +85,22 @@ impl DecodedSession {
 
     /// Mean per-choice confidence (1.0 when every report was observed
     /// on an intact capture; degrades before correctness does as faults
-    /// mount).
+    /// mount). An empty choice list — a graph with no choice points, or
+    /// a decode that produced nothing — reports 0.0, never NaN: there
+    /// is no evidence to be confident about. Use
+    /// [`DecodedSession::mean_confidence_checked`] to distinguish
+    /// "empty" from "genuinely zero".
     pub fn mean_confidence(&self) -> f64 {
+        self.mean_confidence_checked().unwrap_or(0.0)
+    }
+
+    /// Mean per-choice confidence, or `None` when no choices were
+    /// decoded (so the mean is undefined rather than silently 0.0).
+    pub fn mean_confidence_checked(&self) -> Option<f64> {
         if self.choices.is_empty() {
-            return 1.0;
+            return None;
         }
-        self.choices.iter().map(|d| d.confidence).sum::<f64>() / self.choices.len() as f64
+        Some(self.choices.iter().map(|d| d.confidence).sum::<f64>() / self.choices.len() as f64)
     }
 
     /// The evidence behind choice `i`, if decoded.
@@ -111,8 +121,9 @@ impl DecodedSession {
 
 /// Confidence multiplier for a decision whose choice window overlaps a
 /// capture gap: the tap may have missed the very report that would
-/// flip the decision.
-const GAP_CONFIDENCE_FACTOR: f64 = 0.5;
+/// flip the decision. Public so the streaming decoder (`wm-online`)
+/// applies the identical discount.
+pub const GAP_CONFIDENCE_FACTOR: f64 = 0.5;
 
 /// Attack-side telemetry handles (see `wm-telemetry`): wall-clock
 /// timings of the classify and decode stages plus per-class record
@@ -442,6 +453,37 @@ mod tests {
             .choices
             .iter()
             .all(|d| d.confidence > 0.0 && d.confidence <= 1.0));
+    }
+
+    #[test]
+    fn empty_session_confidence_is_defined() {
+        // A session with no decoded choices must never produce NaN:
+        // mean_confidence is 0.0 and the checked variant is None.
+        let empty = DecodedSession {
+            choices: Vec::new(),
+            provenance: Vec::new(),
+            features: ClientFeatures::default(),
+        };
+        assert_eq!(empty.mean_confidence(), 0.0);
+        assert!(!empty.mean_confidence().is_nan());
+        assert_eq!(empty.mean_confidence_checked(), None);
+        assert_eq!(empty.choice_string(), "");
+        // Non-empty sessions agree between the two accessors.
+        let train = run(
+            100,
+            &[Choice::NonDefault, Choice::Default, Choice::NonDefault],
+        );
+        let attack = WhiteMirror::train(&train.labels, WhiteMirrorConfig::scaled(20)).unwrap();
+        let victim = run(
+            200,
+            &[Choice::Default, Choice::NonDefault, Choice::NonDefault],
+        );
+        let decoded = attack.decode_trace(&victim.trace, &tiny_film());
+        assert_eq!(
+            Some(decoded.mean_confidence()),
+            decoded.mean_confidence_checked()
+        );
+        assert!(decoded.mean_confidence().is_finite());
     }
 
     #[test]

@@ -26,7 +26,7 @@ use wm_capture::ContentType;
 use wm_story::{Choice, ChoicePointId, SegmentEnd, SegmentId, StoryGraph};
 
 /// The film's choice window, content seconds (public knowledge).
-const WINDOW_SECS: f64 = 10.0;
+pub const WINDOW_SECS: f64 = 10.0;
 
 /// Decoder tunables.
 #[derive(Debug, Clone)]
@@ -318,43 +318,13 @@ impl<'a, C: RecordClassifier + ?Sized> ChoiceDecoder<'a, C> {
     /// Content seconds from the question at `cp` (shown while `seg`
     /// plays) to the next question, assuming `choice` is picked.
     fn question_gap_secs(&self, seg: SegmentId, cp: ChoicePointId, choice: Choice) -> f64 {
-        let cur = self.graph.segment(seg);
-        // The question leads the boundary by min(10, dur/2).
-        let mut gap = WINDOW_SECS.min(cur.duration_secs as f64 / 2.0);
-        let mut current = self.graph.choice_point(cp).option(choice).target;
-        loop {
-            let s = self.graph.segment(current);
-            let dur = s.duration_secs as f64;
-            match s.end {
-                SegmentEnd::Choice(_) => {
-                    let lead = WINDOW_SECS.min(dur / 2.0);
-                    return gap + dur - lead;
-                }
-                SegmentEnd::Continue(next) => {
-                    gap += dur;
-                    current = next;
-                }
-                SegmentEnd::Ending => return gap + dur,
-            }
-        }
+        question_gap_secs(self.graph, seg, cp, choice)
     }
 
     /// Shortest question-to-question gap anywhere in the film (content
     /// seconds) — bounds the prediction tolerance.
     fn min_gap_secs(&self) -> f64 {
-        let mut min_gap = f64::MAX;
-        for seg in self.graph.segments() {
-            if let SegmentEnd::Choice(cp) = seg.end {
-                for choice in [Choice::Default, Choice::NonDefault] {
-                    min_gap = min_gap.min(self.question_gap_secs(seg.id, cp, choice));
-                }
-            }
-        }
-        if min_gap == f64::MAX {
-            WINDOW_SECS
-        } else {
-            min_gap
-        }
+        min_question_gap_secs(self.graph)
     }
 
     /// Walk the graph, calling `decide` at each choice point with the
@@ -374,10 +344,59 @@ impl<'a, C: RecordClassifier + ?Sized> ChoiceDecoder<'a, C> {
     }
 }
 
+/// Content seconds from the question at `cp` (shown while `seg` plays)
+/// to the next question, assuming `choice` is picked. Pure graph
+/// arithmetic on public knowledge; exposed so streaming decoders
+/// (`wm-online`) share the exact timing model this decoder uses.
+pub fn question_gap_secs(
+    graph: &StoryGraph,
+    seg: SegmentId,
+    cp: ChoicePointId,
+    choice: Choice,
+) -> f64 {
+    let cur = graph.segment(seg);
+    // The question leads the boundary by min(10, dur/2).
+    let mut gap = WINDOW_SECS.min(cur.duration_secs as f64 / 2.0);
+    let mut current = graph.choice_point(cp).option(choice).target;
+    loop {
+        let s = graph.segment(current);
+        let dur = s.duration_secs as f64;
+        match s.end {
+            SegmentEnd::Choice(_) => {
+                let lead = WINDOW_SECS.min(dur / 2.0);
+                return gap + dur - lead;
+            }
+            SegmentEnd::Continue(next) => {
+                gap += dur;
+                current = next;
+            }
+            SegmentEnd::Ending => return gap + dur,
+        }
+    }
+}
+
+/// Shortest question-to-question gap anywhere in the film (content
+/// seconds) — bounds the prediction tolerance.
+pub fn min_question_gap_secs(graph: &StoryGraph) -> f64 {
+    let mut min_gap = f64::MAX;
+    for seg in graph.segments() {
+        if let SegmentEnd::Choice(cp) = seg.end {
+            for choice in [Choice::Default, Choice::NonDefault] {
+                min_gap = min_gap.min(question_gap_secs(graph, seg.id, cp, choice));
+            }
+        }
+    }
+    if min_gap == f64::MAX {
+        WINDOW_SECS
+    } else {
+        min_gap
+    }
+}
+
 /// Content seconds from playback start to the first question: the
 /// opening Continue-chain plus the first choice segment's body minus
 /// its question lead.
-pub(crate) fn initial_gap_secs(graph: &StoryGraph) -> f64 {
+pub fn initial_gap_secs(graph: &StoryGraph) -> f64 {
     let mut gap = 0.0;
     let mut current = graph.start();
     loop {

@@ -34,10 +34,15 @@ pub mod metrics;
 pub mod provenance;
 pub mod report;
 
-pub use attack::{AttackTelemetry, DecodedSession, WhiteMirror, WhiteMirrorConfig};
+pub use attack::{
+    AttackTelemetry, DecodedSession, WhiteMirror, WhiteMirrorConfig, GAP_CONFIDENCE_FACTOR,
+};
 pub use beam::BeamDecoder;
 pub use classify::{HistogramClassifier, IntervalClassifier, KnnClassifier, RecordClassifier};
-pub use decode::{ChoiceDecoder, DecodedChoice, DecoderConfig};
+pub use decode::{
+    initial_gap_secs, min_question_gap_secs, question_gap_secs, ChoiceDecoder, DecodedChoice,
+    DecoderConfig, CONFIDENCE_BLIND, CONFIDENCE_INFERRED, CONFIDENCE_OBSERVED, WINDOW_SECS,
+};
 pub use features::{client_app_records, ClientFeatures};
 pub use metrics::{choice_accuracy, ChoiceAccuracy, ConfusionMatrix};
 pub use provenance::{

@@ -1,4 +1,9 @@
 //! Evaluation metrics: per-record confusion and per-choice accuracy.
+//!
+//! Every ratio in this module is total: empty inputs (no records, no
+//! choices — an empty or unparseable capture) define the metric as 1.0
+//! (vacuous truth) rather than dividing by zero into NaN. The
+//! `empty_inputs_never_nan` test pins that audit down.
 
 use crate::decode::DecodedChoice;
 use wm_capture::labels::RecordClass;
@@ -236,6 +241,25 @@ mod tests {
     fn empty_is_perfect() {
         let acc = choice_accuracy(&[], &[]);
         assert_eq!(acc.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs_never_nan() {
+        // Audit for divide-by-zero on empty captures: every ratio this
+        // module exposes must be finite (and vacuously 1.0) with zero
+        // observations.
+        let m = ConfusionMatrix::default();
+        assert_eq!(m.accuracy(), 1.0);
+        for class in [RecordClass::Type1, RecordClass::Type2, RecordClass::Other] {
+            assert_eq!(m.precision(class), 1.0);
+            assert_eq!(m.recall(class), 1.0);
+            assert!(m.precision(class).is_finite());
+            assert!(m.recall(class).is_finite());
+        }
+        let acc = ChoiceAccuracy::default();
+        assert_eq!(acc.accuracy(), 1.0);
+        assert!(acc.accuracy().is_finite());
+        assert!(choice_accuracy(&[], &[]).accuracy().is_finite());
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   capture window and public vocabulary crates; reaching into victim
 //!   internals (`wm-netflix`, `wm-player`, `wm-tls`) would let the
 //!   "attack" cheat.
+//! * **bounded** — the online decoder's ingest paths run for the length
+//!   of a viewing session against adversarial streams, so every buffer
+//!   there must grow through the capacity-enforcing `wm_online::bounded`
+//!   API. Raw `Vec::push`-style growth is forbidden in those files.
 //!
 //! Findings may be silenced with an inline
 //! `// wm-lint: allow(<rule>, reason = "...")` comment on the offending
@@ -55,6 +59,7 @@ pub const PANIC_UNWRAP: &str = "panic/unwrap";
 pub const PANIC_MACRO: &str = "panic/macro";
 pub const PANIC_INDEX: &str = "panic/index";
 pub const LAYERING: &str = "layering/dependency";
+pub const BOUNDED_BUFFER: &str = "bounded/unbounded-buffer";
 pub const MISSING_REASON: &str = "suppression/missing-reason";
 
 /// Every rule the engine can emit, for `--help` and the report header.
@@ -67,6 +72,7 @@ pub const ALL_RULES: &[&str] = &[
     PANIC_MACRO,
     PANIC_INDEX,
     LAYERING,
+    BOUNDED_BUFFER,
     MISSING_REASON,
 ];
 
@@ -89,13 +95,14 @@ pub const BYTE_PRODUCING_CRATES: &[&str] = &[
 /// utilities. Other attacker crates are also fine (the pipeline layers
 /// internally). `[dev-dependencies]` are exempt — integration tests
 /// legitimately stand up a simulated victim.
-pub const ATTACKER_CRATES: &[&str] = &["wm-baselines", "wm-behavior", "wm-core"];
+pub const ATTACKER_CRATES: &[&str] = &["wm-baselines", "wm-behavior", "wm-core", "wm-online"];
 pub const ATTACKER_ALLOWED_DEPS: &[&str] = &[
     "wm-baselines",
     "wm-behavior",
     "wm-capture",
     "wm-core",
     "wm-json",
+    "wm-online",
     "wm-story",
     "wm-telemetry",
     "wm-trace",
@@ -133,8 +140,18 @@ pub fn panic_rules_apply(rel_path: &str) -> bool {
     rel_path.starts_with("crates/json/src/")
         || rel_path.starts_with("crates/http/src/")
         || rel_path.starts_with("crates/capture/src/")
+        || rel_path.starts_with("crates/online/src/")
         || rel_path == "crates/core/src/decode.rs"
         || rel_path == "crates/core/src/beam.rs"
+}
+
+/// The online decoder's ingest paths: long-running, fed by an
+/// adversarial stream, and required to hold memory bounded by
+/// *configuration*. All growth must flow through `wm_online::bounded`;
+/// `bounded.rs` itself (and the checkpoint codec, which materializes
+/// decoded state of already-bounded size) may use the raw APIs.
+pub fn bounded_rules_apply(rel_path: &str) -> bool {
+    rel_path == "crates/online/src/ingest.rs" || rel_path == "crates/online/src/engine.rs"
 }
 
 const KEYWORDS: &[&str] = &[
@@ -165,6 +182,9 @@ pub fn check_source(crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding>
         panic_unwrap_rule(&tokens, rel_path, &mut findings);
         panic_macro_rule(&tokens, rel_path, &mut findings);
         panic_index_rule(&tokens, rel_path, &mut findings);
+    }
+    if bounded_rules_apply(rel_path) {
+        bounded_buffer_rule(&tokens, rel_path, &mut findings);
     }
 
     let suppressions = collect_suppressions(&lexed.comments, rel_path, &mut findings);
@@ -378,6 +398,41 @@ fn panic_index_rule(tokens: &[Token], file: &str, out: &mut Vec<Finding>) {
                 message: "unchecked indexing panics out of bounds; use `.get(..)` and handle \
                           `None`"
                     .to_string(),
+            });
+        }
+    }
+}
+
+fn bounded_buffer_rule(tokens: &[Token], file: &str, out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(name) = ident(t) else { continue };
+        if !matches!(
+            name,
+            "push"
+                | "push_back"
+                | "push_front"
+                | "extend"
+                | "extend_from_slice"
+                | "append"
+                | "insert"
+        ) {
+            continue;
+        }
+        // Method position only (`.push(…)`): the bounded containers
+        // deliberately expose differently-named admission methods
+        // (`put`/`admit`/`admit_evict`/`absorb`/`park`), so any raw
+        // growth verb here is a buffer whose size session length — not
+        // configuration — controls.
+        if i > 0 && is_punct(tokens.get(i - 1), '.') {
+            out.push(Finding {
+                rule: BOUNDED_BUFFER,
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "`.{name}(…)` grows a buffer without a capacity bound; online ingest \
+                     paths must use the `wm_online::bounded` admission APIs so memory is \
+                     bounded by configuration, not session length"
+                ),
             });
         }
     }
@@ -844,6 +899,82 @@ mod tests {
             "// wm-lint: disable-everything\nlet x = 1;",
         );
         assert_eq!(rules_of(&f), [MISSING_REASON]);
+    }
+
+    #[test]
+    fn bounded_buffer_fires_in_online_ingest_paths() {
+        for src in [
+            "self.queue.push(x);",
+            "buf.push_back(x);",
+            "buf.push_front(x);",
+            "v.extend(items);",
+            "v.extend_from_slice(&bytes);",
+            "a.append(&mut b);",
+            "map.insert(k, v);",
+        ] {
+            for path in ["crates/online/src/ingest.rs", "crates/online/src/engine.rs"] {
+                let f = check_source("wm-online", path, src);
+                assert!(
+                    f.iter().any(|f| f.rule == BOUNDED_BUFFER),
+                    "expected bounded/unbounded-buffer for {src} in {path}: {f:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_buffer_permits_admission_apis_and_non_method_idents() {
+        for src in [
+            "self.pending.admit(x);",
+            "self.recent.admit_evict(x);",
+            "self.carry.absorb(&data);",
+            "self.parked.park(off, t, &data);",
+            "batch.put(item);",
+            "let e = self.flows.entry(id).or_insert_with(f);",
+            "fn push(x: u8) {} push(1);", // bare call, not method position
+        ] {
+            let f = check_source("wm-online", "crates/online/src/ingest.rs", src);
+            assert!(
+                f.iter().all(|f| f.rule != BOUNDED_BUFFER),
+                "false positive for {src}: {f:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_buffer_is_scoped_to_ingest_paths() {
+        let src = "v.push(x);";
+        for path in [
+            "crates/online/src/bounded.rs",
+            "crates/online/src/checkpoint.rs",
+            "crates/core/src/decode.rs",
+        ] {
+            let f = check_source("wm-online", path, src);
+            assert!(
+                f.iter().all(|f| f.rule != BOUNDED_BUFFER),
+                "rule must not apply to {path}: {f:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_buffer_suppressible_with_reason_only() {
+        let ok = "v.push(x); // wm-lint: allow(bounded/unbounded-buffer, reason = \"drained same call\")";
+        assert!(check_source("wm-online", "crates/online/src/ingest.rs", ok).is_empty());
+        let bare = "// wm-lint: allow(bounded/unbounded-buffer)\nv.push(x);";
+        let f = check_source("wm-online", "crates/online/src/ingest.rs", bare);
+        assert!(rules_of(&f).contains(&MISSING_REASON));
+        assert!(rules_of(&f).contains(&BOUNDED_BUFFER));
+    }
+
+    #[test]
+    fn online_panic_rules_apply_to_all_sources() {
+        let f = check_source(
+            "wm-online",
+            "crates/online/src/engine.rs",
+            "let v = x.unwrap();",
+        );
+        assert_eq!(rules_of(&f), [PANIC_UNWRAP]);
     }
 
     #[test]

@@ -325,6 +325,40 @@ pub fn parse_frame(frame: &[u8]) -> Option<(FlowId, TcpHeader, &[u8])> {
     Some((flow, tcp, &frame[payload_start..ip_payload_end]))
 }
 
+/// Like [`parse_frame`], but tolerant of frames whose tail was clipped
+/// by a capture snaplen: as long as the Ethernet/IPv4/TCP headers
+/// survived, returns the payload prefix that is present plus the number
+/// of payload bytes the clip removed (per the IP total length). A
+/// frame with an intact tail parses identically to [`parse_frame`]
+/// with `missing == 0`. Returns `None` only when the headers
+/// themselves are incomplete or malformed.
+pub fn parse_frame_lossy(frame: &[u8]) -> Option<(FlowId, TcpHeader, &[u8], usize)> {
+    if frame.len() < ETH_HEADER_LEN + IPV4_HEADER_LEN + 20 {
+        return None;
+    }
+    let ethertype = u16::from_be_bytes([frame[12], frame[13]]);
+    if ethertype != ETHERTYPE_IPV4 {
+        return None;
+    }
+    let ip = Ipv4Header::parse(&frame[ETH_HEADER_LEN..])?;
+    let tcp_start = ETH_HEADER_LEN + IPV4_HEADER_LEN;
+    let (tcp, tcp_len) = TcpHeader::parse(&frame[tcp_start..])?;
+    let payload_start = tcp_start + tcp_len;
+    let ip_payload_end = ETH_HEADER_LEN + ip.total_len as usize;
+    if payload_start > ip_payload_end {
+        return None;
+    }
+    let avail_end = ip_payload_end.min(frame.len());
+    let payload = frame.get(payload_start..avail_end)?;
+    let flow = FlowId {
+        src_ip: ip.src,
+        src_port: tcp.src_port,
+        dst_ip: ip.dst,
+        dst_port: tcp.dst_port,
+    };
+    Some((flow, tcp, payload, ip_payload_end - avail_end))
+}
+
 fn mac_for(ip: &[u8; 4]) -> [u8; 6] {
     [0x02, 0x00, ip[0], ip[1], ip[2], ip[3]]
 }
@@ -356,6 +390,26 @@ mod tests {
             dst_ip: [198, 45, 48, 7],
             dst_port: 443,
         }
+    }
+
+    #[test]
+    fn lossy_parse_recovers_clipped_payload() {
+        let payload = vec![0xabu8; 400];
+        let frame = build_frame(&flow(), 1000, 2000, TcpFlags::PSH_ACK, 5, 6, 1, &payload);
+        // Intact frame: lossy parse agrees with the strict parser.
+        let (f, tcp, body, missing) = parse_frame_lossy(&frame).unwrap();
+        assert_eq!((f, tcp.seq, body, missing), (flow(), 1000, &payload[..], 0));
+        // Snaplen-clipped frame: strict parser drops it, lossy parser
+        // salvages the payload prefix and reports the missing bytes.
+        let clipped = &frame[..FRAME_OVERHEAD + 100];
+        assert_eq!(parse_frame(clipped), None);
+        let (f2, tcp2, body2, missing2) = parse_frame_lossy(clipped).unwrap();
+        assert_eq!(f2, flow());
+        assert_eq!(tcp2.seq, 1000);
+        assert_eq!(body2, &payload[..100]);
+        assert_eq!(missing2, 300);
+        // Clip inside the headers: even the lossy parser gives up.
+        assert_eq!(parse_frame_lossy(&frame[..40]), None);
     }
 
     #[test]

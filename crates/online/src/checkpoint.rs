@@ -1,0 +1,799 @@
+//! Versioned, byte-deterministic decoder checkpoints.
+//!
+//! A checkpoint is the *entire* [`OnlineDecoder`] minus its
+//! attachments: configuration, classifier calibration, the watermark
+//! clock, every flow's reassembly state (carry bytes, parked segments,
+//! timing marks), the pending/ready event queues, the phase frontier
+//! of the graph walk, and all counters. Restoring it and replaying the
+//! packets after the checkpoint yields byte-for-byte the uninterrupted
+//! verdict stream — the kill/resume property CI enforces.
+//!
+//! Determinism is by construction:
+//!
+//! * [`wm_json::Value`] objects keep insertion order and
+//!   [`wm_json::to_bytes`] is canonical, so a fixed field order gives a
+//!   fixed byte layout;
+//! * every field is an integer, boolean, hex string or list thereof —
+//!   no floats (derived durations are recomputed from the graph and
+//!   the time scale on resume);
+//! * flows serialize in `BTreeMap` (key) order.
+//!
+//! The blob carries a format `version` and a structural fingerprint of
+//! the story graph; [`decode`] rejects blobs from a different format
+//! or a different film.
+
+use std::sync::Arc;
+
+use crate::bounded::{BoundedVec, ByteCarry, ParkedSegments};
+use crate::engine::{OnlineConfig, OnlineDecoder, OnlineStats, PendingEvent, Phase, ReadyEvent};
+use crate::ingest::{FlowIngest, IngestLimits, IngestStats};
+use wm_capture::headers::FlowId;
+use wm_capture::time::{Duration, SimTime};
+use wm_capture::RecordClass;
+use wm_core::IntervalClassifier;
+use wm_json::Value;
+use wm_story::{ChoicePointId, SegmentEnd, SegmentId, StoryGraph};
+
+/// Checkpoint format version. Bump on any schema change.
+pub const CHECKPOINT_VERSION: i64 = 1;
+
+/// Why a checkpoint failed to restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The blob is not valid JSON.
+    Parse,
+    /// The blob's format version is not supported.
+    Version(i64),
+    /// A required field is missing or mistyped.
+    Malformed(&'static str),
+    /// The checkpoint was taken against a different story graph.
+    GraphMismatch,
+    /// The classifier calibration failed to restore.
+    Classifier,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Parse => write!(f, "checkpoint is not valid JSON"),
+            CheckpointError::Version(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Malformed(field) => {
+                write!(f, "checkpoint field `{field}` missing or mistyped")
+            }
+            CheckpointError::GraphMismatch => {
+                write!(f, "checkpoint was taken against a different story graph")
+            }
+            CheckpointError::Classifier => write!(f, "classifier calibration failed to restore"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Structural fingerprint of a story graph (FNV-1a over the public
+/// topology): detects resuming against the wrong film.
+pub fn graph_fingerprint(graph: &StoryGraph) -> u64 {
+    fn mix(h: u64, x: u64) -> u64 {
+        (h ^ x).wrapping_mul(0x0000_0100_0000_01b3)
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    h = mix(h, graph.start().0 as u64);
+    for seg in graph.segments() {
+        h = mix(h, seg.id.0 as u64);
+        h = mix(h, seg.duration_secs as u64);
+        match seg.end {
+            SegmentEnd::Ending => h = mix(h, 1),
+            SegmentEnd::Continue(next) => {
+                h = mix(h, 2);
+                h = mix(h, next.0 as u64);
+            }
+            SegmentEnd::Choice(cp) => {
+                h = mix(h, 3);
+                h = mix(h, cp.0 as u64);
+            }
+        }
+    }
+    for cp in graph.choice_points() {
+        h = mix(h, cp.id.0 as u64);
+        for opt in &cp.options {
+            h = mix(h, opt.target.0 as u64);
+        }
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// encode
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn int(x: u64) -> Value {
+    Value::from(x as i64)
+}
+
+fn time(t: SimTime) -> Value {
+    int(t.micros())
+}
+
+fn opt_time(t: Option<SimTime>) -> Value {
+    match t {
+        Some(t) => time(t),
+        None => Value::Null,
+    }
+}
+
+fn class_code(c: RecordClass) -> Value {
+    int(match c {
+        RecordClass::Type1 => 1,
+        RecordClass::Type2 => 2,
+        RecordClass::Other => 0,
+    })
+}
+
+fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap_or('0'));
+        s.push(char::from_digit((b & 0xf) as u32, 16).unwrap_or('0'));
+    }
+    s
+}
+
+fn config_value(cfg: &OnlineConfig) -> Value {
+    obj(vec![
+        ("time_scale", int(cfg.time_scale as u64)),
+        ("reorder_lag_us", int(cfg.reorder_lag.micros())),
+        ("gap_patience_us", int(cfg.gap_patience.micros())),
+        (
+            "checkpoint_every_records",
+            int(cfg.checkpoint_every_records),
+        ),
+        ("max_flows", int(cfg.max_flows as u64)),
+        ("max_pending_events", int(cfg.max_pending_events as u64)),
+        ("max_ready_events", int(cfg.max_ready_events as u64)),
+        ("max_recent_apps", int(cfg.max_recent_apps as u64)),
+        ("max_gap_times", int(cfg.max_gap_times as u64)),
+        ("max_loss_windows", int(cfg.max_loss_windows as u64)),
+        ("max_carry_bytes", int(cfg.ingest.max_carry_bytes as u64)),
+        ("max_parked_bytes", int(cfg.ingest.max_parked_bytes as u64)),
+        (
+            "max_parked_segments",
+            int(cfg.ingest.max_parked_segments as u64),
+        ),
+        ("max_marks", int(cfg.ingest.max_marks as u64)),
+    ])
+}
+
+fn flow_value(id: &FlowId, ingest: &FlowIngest) -> Value {
+    let id_parts: Vec<Value> = id
+        .src_ip
+        .iter()
+        .map(|&b| int(b as u64))
+        .chain(std::iter::once(int(id.src_port as u64)))
+        .chain(id.dst_ip.iter().map(|&b| int(b as u64)))
+        .chain(std::iter::once(int(id.dst_port as u64)))
+        .collect();
+    let marks: Vec<Value> = ingest
+        .marks
+        .iter()
+        .map(|&(off, t)| Value::array(vec![Value::from(off), time(t)]))
+        .collect();
+    let parked: Vec<Value> = ingest
+        .parked
+        .iter()
+        .map(|(off, t, data)| {
+            Value::array(vec![Value::from(off), time(t), Value::from(to_hex(data))])
+        })
+        .collect();
+    let s = ingest.stats;
+    obj(vec![
+        ("id", Value::array(id_parts)),
+        (
+            "base_seq",
+            match ingest.base_seq {
+                Some(s) => int(s as u64),
+                None => Value::Null,
+            },
+        ),
+        ("last_rel", Value::from(ingest.last_rel)),
+        ("carry_start", Value::from(ingest.carry_start)),
+        ("carry", Value::from(to_hex(ingest.carry.as_slice()))),
+        ("marks", Value::array(marks)),
+        ("parked", Value::array(parked)),
+        ("synced", Value::from(ingest.synced)),
+        ("hole_since_us", opt_time(ingest.hole_since)),
+        ("last_record_time_us", time(ingest.last_record_time)),
+        ("records", int(s.records)),
+        ("gaps", int(s.gaps)),
+        ("resyncs", int(s.resyncs)),
+        ("skipped_bytes", int(s.skipped_bytes)),
+        ("duplicate_bytes", int(s.duplicate_bytes)),
+        ("parked_overflows", int(s.parked_overflows)),
+    ])
+}
+
+fn phase_value(phase: &Phase) -> Value {
+    match phase {
+        Phase::Seek { seg, cp } => obj(vec![
+            ("kind", Value::from("seek")),
+            ("seg", int(seg.0 as u64)),
+            ("cp", int(cp.0 as u64)),
+        ]),
+        Phase::Open {
+            seg,
+            cp,
+            t1,
+            observed,
+            t1_evt,
+        } => obj(vec![
+            ("kind", Value::from("open")),
+            ("seg", int(seg.0 as u64)),
+            ("cp", int(cp.0 as u64)),
+            ("t1_us", time(*t1)),
+            ("observed", Value::from(*observed)),
+            (
+                "t1_evt",
+                match t1_evt {
+                    // Same [time, index, length, class] layout as the
+                    // `ready` list (both decode via `ready_evt_of`).
+                    Some(ev) => Value::array(vec![
+                        time(ev.time),
+                        int(ev.index),
+                        int(ev.length as u64),
+                        class_code(ev.class),
+                    ]),
+                    None => Value::Null,
+                },
+            ),
+        ]),
+        Phase::Done => obj(vec![("kind", Value::from("done"))]),
+    }
+}
+
+/// Serialize `decoder` into the canonical checkpoint bytes.
+pub(crate) fn encode(decoder: &OnlineDecoder) -> Vec<u8> {
+    let pending: Vec<Value> = decoder
+        .pending
+        .iter()
+        .map(|e| {
+            Value::array(vec![
+                time(e.time),
+                int(e.seq),
+                int(e.length as u64),
+                class_code(e.class),
+            ])
+        })
+        .collect();
+    let ready: Vec<Value> = decoder
+        .ready
+        .iter()
+        .map(|e| {
+            Value::array(vec![
+                time(e.time),
+                int(e.index),
+                int(e.length as u64),
+                class_code(e.class),
+            ])
+        })
+        .collect();
+    let recent: Vec<Value> = decoder
+        .recent_apps
+        .iter()
+        .map(|&(i, t, len)| Value::array(vec![int(i), time(t), int(len as u64)]))
+        .collect();
+    let gap_times: Vec<Value> = decoder.gap_times.iter().map(|&t| time(t)).collect();
+    let losses: Vec<Value> = decoder
+        .loss_windows
+        .iter()
+        .map(|&(a, b)| Value::array(vec![time(a), time(b)]))
+        .collect();
+    let flows: Vec<Value> = decoder
+        .flows
+        .iter()
+        .map(|(id, ingest)| flow_value(id, ingest))
+        .collect();
+    let st = decoder.stats;
+    let root = obj(vec![
+        ("version", Value::from(CHECKPOINT_VERSION)),
+        (
+            "graph_fp",
+            Value::from(graph_fingerprint(&decoder.graph) as i64),
+        ),
+        ("config", config_value(&decoder.cfg)),
+        ("classifier", decoder.classifier.to_json()),
+        (
+            "clock",
+            obj(vec![
+                ("max_seen_us", time(decoder.max_seen)),
+                ("watermark_us", time(decoder.watermark)),
+                ("finishing", Value::from(decoder.finishing)),
+            ]),
+        ),
+        ("flows", Value::array(flows)),
+        (
+            "events",
+            obj(vec![
+                ("admit_seq", int(decoder.admit_seq)),
+                ("pending", Value::array(pending)),
+                ("ready", Value::array(ready)),
+                ("cursor", int(decoder.cursor as u64)),
+                ("app_count", int(decoder.app_count)),
+                ("app_first_us", opt_time(decoder.app_first)),
+                ("app_second_us", opt_time(decoder.app_second)),
+                ("first_type1_us", opt_time(decoder.first_type1)),
+                ("last_kept_t1_us", opt_time(decoder.last_kept_t1)),
+                ("last_kept_t2_us", opt_time(decoder.last_kept_t2)),
+                ("recent_apps", Value::array(recent)),
+                ("gap_times", Value::array(gap_times)),
+                ("loss_windows", Value::array(losses)),
+            ]),
+        ),
+        (
+            "frontier",
+            obj(vec![
+                ("phase", phase_value(&decoder.phase)),
+                ("predicted_us", opt_time(decoder.predicted)),
+                ("emitted", int(decoder.emitted)),
+            ]),
+        ),
+        ("records_seen", int(decoder.records_seen)),
+        (
+            "stats",
+            obj(vec![
+                ("packets", int(st.packets)),
+                ("segments", int(st.segments)),
+                ("truncated_segments", int(st.truncated_segments)),
+                ("records", int(st.records)),
+                ("non_app_records", int(st.non_app_records)),
+                ("report_events", int(st.report_events)),
+                ("deduped_events", int(st.deduped_events)),
+                ("late_events", int(st.late_events)),
+                ("pending_force_finalized", int(st.pending_force_finalized)),
+                ("ready_evictions", int(st.ready_evictions)),
+                ("flows", int(st.flows)),
+                ("flow_overflow_drops", int(st.flow_overflow_drops)),
+                ("gaps", int(st.gaps)),
+                ("verdicts", int(st.verdicts)),
+                ("checkpoints", int(st.checkpoints)),
+            ]),
+        ),
+    ]);
+    wm_json::to_bytes(&root)
+}
+
+// ---------------------------------------------------------------------
+// decode
+
+fn field<'a>(v: &'a Value, key: &'static str) -> Result<&'a Value, CheckpointError> {
+    v.get(key).ok_or(CheckpointError::Malformed(key))
+}
+
+fn get_i64(v: &Value, key: &'static str) -> Result<i64, CheckpointError> {
+    field(v, key)?
+        .as_i64()
+        .ok_or(CheckpointError::Malformed(key))
+}
+
+fn get_u64(v: &Value, key: &'static str) -> Result<u64, CheckpointError> {
+    let x = get_i64(v, key)?;
+    u64::try_from(x).map_err(|_| CheckpointError::Malformed(key))
+}
+
+fn get_usize(v: &Value, key: &'static str) -> Result<usize, CheckpointError> {
+    let x = get_u64(v, key)?;
+    usize::try_from(x).map_err(|_| CheckpointError::Malformed(key))
+}
+
+fn get_bool(v: &Value, key: &'static str) -> Result<bool, CheckpointError> {
+    field(v, key)?
+        .as_bool()
+        .ok_or(CheckpointError::Malformed(key))
+}
+
+fn get_time(v: &Value, key: &'static str) -> Result<SimTime, CheckpointError> {
+    Ok(SimTime(get_u64(v, key)?))
+}
+
+fn get_opt_time(v: &Value, key: &'static str) -> Result<Option<SimTime>, CheckpointError> {
+    match field(v, key)? {
+        Value::Null => Ok(None),
+        other => {
+            let x = other.as_i64().ok_or(CheckpointError::Malformed(key))?;
+            let x = u64::try_from(x).map_err(|_| CheckpointError::Malformed(key))?;
+            Ok(Some(SimTime(x)))
+        }
+    }
+}
+
+fn get_array<'a>(v: &'a Value, key: &'static str) -> Result<&'a [Value], CheckpointError> {
+    field(v, key)?
+        .as_array()
+        .ok_or(CheckpointError::Malformed(key))
+}
+
+fn item_u64(items: &[Value], i: usize, key: &'static str) -> Result<u64, CheckpointError> {
+    let x = items
+        .get(i)
+        .and_then(|v| v.as_i64())
+        .ok_or(CheckpointError::Malformed(key))?;
+    u64::try_from(x).map_err(|_| CheckpointError::Malformed(key))
+}
+
+fn item_i64(items: &[Value], i: usize, key: &'static str) -> Result<i64, CheckpointError> {
+    items
+        .get(i)
+        .and_then(|v| v.as_i64())
+        .ok_or(CheckpointError::Malformed(key))
+}
+
+fn class_of(code: u64, key: &'static str) -> Result<RecordClass, CheckpointError> {
+    match code {
+        0 => Ok(RecordClass::Other),
+        1 => Ok(RecordClass::Type1),
+        2 => Ok(RecordClass::Type2),
+        _ => Err(CheckpointError::Malformed(key)),
+    }
+}
+
+fn from_hex(s: &str, key: &'static str) -> Result<Vec<u8>, CheckpointError> {
+    let digits: Vec<u32> = s
+        .chars()
+        .map(|c| c.to_digit(16))
+        .collect::<Option<Vec<u32>>>()
+        .ok_or(CheckpointError::Malformed(key))?;
+    if !digits.len().is_multiple_of(2) {
+        return Err(CheckpointError::Malformed(key));
+    }
+    Ok(digits
+        .chunks(2)
+        .map(|pair| {
+            let hi = pair.first().copied().unwrap_or(0);
+            let lo = pair.get(1).copied().unwrap_or(0);
+            ((hi << 4) | lo) as u8
+        })
+        .collect())
+}
+
+fn config_of(v: &Value) -> Result<OnlineConfig, CheckpointError> {
+    let time_scale = get_u64(v, "time_scale")?;
+    Ok(OnlineConfig {
+        time_scale: u32::try_from(time_scale)
+            .map_err(|_| CheckpointError::Malformed("time_scale"))?,
+        reorder_lag: Duration(get_u64(v, "reorder_lag_us")?),
+        gap_patience: Duration(get_u64(v, "gap_patience_us")?),
+        checkpoint_every_records: get_u64(v, "checkpoint_every_records")?,
+        max_flows: get_usize(v, "max_flows")?,
+        max_pending_events: get_usize(v, "max_pending_events")?,
+        max_ready_events: get_usize(v, "max_ready_events")?,
+        max_recent_apps: get_usize(v, "max_recent_apps")?,
+        max_gap_times: get_usize(v, "max_gap_times")?,
+        max_loss_windows: get_usize(v, "max_loss_windows")?,
+        ingest: IngestLimits {
+            max_carry_bytes: get_usize(v, "max_carry_bytes")?,
+            max_parked_bytes: get_usize(v, "max_parked_bytes")?,
+            max_parked_segments: get_usize(v, "max_parked_segments")?,
+            max_marks: get_usize(v, "max_marks")?,
+        },
+    })
+}
+
+fn flow_of(v: &Value, limits: IngestLimits) -> Result<(FlowId, FlowIngest), CheckpointError> {
+    let id_parts = get_array(v, "id")?;
+    if id_parts.len() != 10 {
+        return Err(CheckpointError::Malformed("id"));
+    }
+    let byte = |i: usize| -> Result<u8, CheckpointError> {
+        let x = item_u64(id_parts, i, "id")?;
+        u8::try_from(x).map_err(|_| CheckpointError::Malformed("id"))
+    };
+    let port = |i: usize| -> Result<u16, CheckpointError> {
+        let x = item_u64(id_parts, i, "id")?;
+        u16::try_from(x).map_err(|_| CheckpointError::Malformed("id"))
+    };
+    let id = FlowId {
+        src_ip: [byte(0)?, byte(1)?, byte(2)?, byte(3)?],
+        src_port: port(4)?,
+        dst_ip: [byte(5)?, byte(6)?, byte(7)?, byte(8)?],
+        dst_port: port(9)?,
+    };
+    let base_seq = match field(v, "base_seq")? {
+        Value::Null => None,
+        other => {
+            let x = other
+                .as_i64()
+                .ok_or(CheckpointError::Malformed("base_seq"))?;
+            Some(u32::try_from(x).map_err(|_| CheckpointError::Malformed("base_seq"))?)
+        }
+    };
+    let mut marks = BoundedVec::new(limits.max_marks);
+    for m in get_array(v, "marks")? {
+        let pair = m.as_array().ok_or(CheckpointError::Malformed("marks"))?;
+        let off = item_i64(pair, 0, "marks")?;
+        let t = SimTime(item_u64(pair, 1, "marks")?);
+        marks.admit((off, t));
+    }
+    let mut parked = ParkedSegments::new(limits.max_parked_bytes, limits.max_parked_segments);
+    for p in get_array(v, "parked")? {
+        let triple = p.as_array().ok_or(CheckpointError::Malformed("parked"))?;
+        let off = item_i64(triple, 0, "parked")?;
+        let t = SimTime(item_u64(triple, 1, "parked")?);
+        let data = triple
+            .get(2)
+            .and_then(|d| d.as_str())
+            .ok_or(CheckpointError::Malformed("parked"))?;
+        parked.park(off, t, &from_hex(data, "parked")?);
+    }
+    let carry_hex = field(v, "carry")?
+        .as_str()
+        .ok_or(CheckpointError::Malformed("carry"))?;
+    let ingest = FlowIngest {
+        limits,
+        base_seq,
+        last_rel: get_i64(v, "last_rel")?,
+        carry: ByteCarry::from_vec(from_hex(carry_hex, "carry")?, limits.max_carry_bytes),
+        carry_start: get_i64(v, "carry_start")?,
+        marks,
+        parked,
+        synced: get_bool(v, "synced")?,
+        hole_since: get_opt_time(v, "hole_since_us")?,
+        last_record_time: get_time(v, "last_record_time_us")?,
+        stats: IngestStats {
+            records: get_u64(v, "records")?,
+            gaps: get_u64(v, "gaps")?,
+            resyncs: get_u64(v, "resyncs")?,
+            skipped_bytes: get_u64(v, "skipped_bytes")?,
+            duplicate_bytes: get_u64(v, "duplicate_bytes")?,
+            parked_overflows: get_u64(v, "parked_overflows")?,
+        },
+    };
+    Ok((id, ingest))
+}
+
+fn ready_evt_of(items: &[Value], key: &'static str) -> Result<ReadyEvent, CheckpointError> {
+    Ok(ReadyEvent {
+        time: SimTime(item_u64(items, 0, key)?),
+        index: item_u64(items, 1, key)?,
+        length: u16::try_from(item_u64(items, 2, key)?)
+            .map_err(|_| CheckpointError::Malformed(key))?,
+        class: class_of(item_u64(items, 3, key)?, key)?,
+    })
+}
+
+fn phase_of(v: &Value) -> Result<Phase, CheckpointError> {
+    let kind = field(v, "kind")?
+        .as_str()
+        .ok_or(CheckpointError::Malformed("kind"))?;
+    match kind {
+        "seek" => Ok(Phase::Seek {
+            seg: SegmentId(
+                u16::try_from(get_u64(v, "seg")?).map_err(|_| CheckpointError::Malformed("seg"))?,
+            ),
+            cp: ChoicePointId(
+                u16::try_from(get_u64(v, "cp")?).map_err(|_| CheckpointError::Malformed("cp"))?,
+            ),
+        }),
+        "open" => {
+            let t1_evt = match field(v, "t1_evt")? {
+                Value::Null => None,
+                other => {
+                    let items = other
+                        .as_array()
+                        .ok_or(CheckpointError::Malformed("t1_evt"))?;
+                    Some(ready_evt_of(items, "t1_evt")?)
+                }
+            };
+            Ok(Phase::Open {
+                seg: SegmentId(
+                    u16::try_from(get_u64(v, "seg")?)
+                        .map_err(|_| CheckpointError::Malformed("seg"))?,
+                ),
+                cp: ChoicePointId(
+                    u16::try_from(get_u64(v, "cp")?)
+                        .map_err(|_| CheckpointError::Malformed("cp"))?,
+                ),
+                t1: get_time(v, "t1_us")?,
+                observed: get_bool(v, "observed")?,
+                t1_evt,
+            })
+        }
+        "done" => Ok(Phase::Done),
+        _ => Err(CheckpointError::Malformed("kind")),
+    }
+}
+
+/// Restore a decoder from checkpoint bytes against `graph`.
+pub(crate) fn decode(
+    bytes: &[u8],
+    graph: Arc<StoryGraph>,
+) -> Result<OnlineDecoder, CheckpointError> {
+    let root = wm_json::parse(bytes).map_err(|_| CheckpointError::Parse)?;
+    let version = get_i64(&root, "version")?;
+    if version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::Version(version));
+    }
+    let fp = get_i64(&root, "graph_fp")?;
+    if fp != graph_fingerprint(&graph) as i64 {
+        return Err(CheckpointError::GraphMismatch);
+    }
+    let cfg = config_of(field(&root, "config")?)?;
+    let classifier = IntervalClassifier::from_json(field(&root, "classifier")?)
+        .ok_or(CheckpointError::Classifier)?;
+    let mut decoder = OnlineDecoder::new(classifier, graph, cfg.clone());
+
+    let clock = field(&root, "clock")?;
+    decoder.max_seen = get_time(clock, "max_seen_us")?;
+    decoder.watermark = get_time(clock, "watermark_us")?;
+    decoder.finishing = get_bool(clock, "finishing")?;
+
+    for f in get_array(&root, "flows")? {
+        let (id, ingest) = flow_of(f, cfg.ingest)?;
+        if decoder.flows.len() >= cfg.max_flows.max(1) {
+            return Err(CheckpointError::Malformed("flows"));
+        }
+        decoder.flows.insert(id, ingest);
+    }
+
+    let events = field(&root, "events")?;
+    decoder.admit_seq = get_u64(events, "admit_seq")?;
+    for e in get_array(events, "pending")? {
+        let items = e.as_array().ok_or(CheckpointError::Malformed("pending"))?;
+        decoder.pending.admit(PendingEvent {
+            time: SimTime(item_u64(items, 0, "pending")?),
+            seq: item_u64(items, 1, "pending")?,
+            length: u16::try_from(item_u64(items, 2, "pending")?)
+                .map_err(|_| CheckpointError::Malformed("pending"))?,
+            class: class_of(item_u64(items, 3, "pending")?, "pending")?,
+        });
+    }
+    for e in get_array(events, "ready")? {
+        let items = e.as_array().ok_or(CheckpointError::Malformed("ready"))?;
+        decoder.ready.admit(ready_evt_of(items, "ready")?);
+    }
+    decoder.cursor = get_usize(events, "cursor")?;
+    decoder.app_count = get_u64(events, "app_count")?;
+    decoder.app_first = get_opt_time(events, "app_first_us")?;
+    decoder.app_second = get_opt_time(events, "app_second_us")?;
+    decoder.first_type1 = get_opt_time(events, "first_type1_us")?;
+    decoder.last_kept_t1 = get_opt_time(events, "last_kept_t1_us")?;
+    decoder.last_kept_t2 = get_opt_time(events, "last_kept_t2_us")?;
+    for e in get_array(events, "recent_apps")? {
+        let items = e
+            .as_array()
+            .ok_or(CheckpointError::Malformed("recent_apps"))?;
+        decoder.recent_apps.admit((
+            item_u64(items, 0, "recent_apps")?,
+            SimTime(item_u64(items, 1, "recent_apps")?),
+            u16::try_from(item_u64(items, 2, "recent_apps")?)
+                .map_err(|_| CheckpointError::Malformed("recent_apps"))?,
+        ));
+    }
+    for t in get_array(events, "gap_times")? {
+        let x = t.as_i64().ok_or(CheckpointError::Malformed("gap_times"))?;
+        let x = u64::try_from(x).map_err(|_| CheckpointError::Malformed("gap_times"))?;
+        decoder.gap_times.admit(SimTime(x));
+    }
+    for w in get_array(events, "loss_windows")? {
+        let items = w
+            .as_array()
+            .ok_or(CheckpointError::Malformed("loss_windows"))?;
+        decoder.loss_windows.admit((
+            SimTime(item_u64(items, 0, "loss_windows")?),
+            SimTime(item_u64(items, 1, "loss_windows")?),
+        ));
+    }
+
+    let frontier = field(&root, "frontier")?;
+    decoder.phase = phase_of(field(frontier, "phase")?)?;
+    decoder.predicted = get_opt_time(frontier, "predicted_us")?;
+    decoder.emitted = get_u64(frontier, "emitted")?;
+
+    decoder.records_seen = get_u64(&root, "records_seen")?;
+    decoder.records_at_checkpoint = decoder.records_seen;
+
+    let st = field(&root, "stats")?;
+    decoder.stats = OnlineStats {
+        packets: get_u64(st, "packets")?,
+        segments: get_u64(st, "segments")?,
+        truncated_segments: get_u64(st, "truncated_segments")?,
+        records: get_u64(st, "records")?,
+        non_app_records: get_u64(st, "non_app_records")?,
+        report_events: get_u64(st, "report_events")?,
+        deduped_events: get_u64(st, "deduped_events")?,
+        late_events: get_u64(st, "late_events")?,
+        pending_force_finalized: get_u64(st, "pending_force_finalized")?,
+        ready_evictions: get_u64(st, "ready_evictions")?,
+        flows: get_u64(st, "flows")?,
+        flow_overflow_drops: get_u64(st, "flow_overflow_drops")?,
+        gaps: get_u64(st, "gaps")?,
+        verdicts: get_u64(st, "verdicts")?,
+        checkpoints: get_u64(st, "checkpoints")?,
+        // Session-local: a resumed decoder's resume count starts
+        // fresh (the caller's increment makes it 1).
+        resumes: 0,
+    };
+    Ok(decoder)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wm_story::bandersnatch::tiny_film;
+
+    fn classifier() -> IntervalClassifier {
+        IntervalClassifier {
+            type1: (2200, 2230),
+            type2: (2980, 3020),
+            slack: 8,
+        }
+    }
+
+    fn fresh() -> OnlineDecoder {
+        OnlineDecoder::new(
+            classifier(),
+            Arc::new(tiny_film()),
+            OnlineConfig::scaled(20),
+        )
+    }
+
+    #[test]
+    fn fresh_checkpoint_roundtrips_byte_identically() {
+        let mut d = fresh();
+        let cp = d.checkpoint();
+        let mut restored =
+            OnlineDecoder::resume_from_checkpoint(&cp, Arc::new(tiny_film())).unwrap();
+        assert_eq!(restored.stats().resumes, 1);
+        let cp2 = restored.checkpoint();
+        // Counters that moved: checkpoints (1 → 2). Everything else
+        // byte-identical. Take a third to prove stability.
+        let mut restored2 =
+            OnlineDecoder::resume_from_checkpoint(&cp2, Arc::new(tiny_film())).unwrap();
+        let cp3 = restored2.checkpoint();
+        assert_eq!(cp2.len(), cp3.len());
+    }
+
+    #[test]
+    fn checkpoint_is_deterministic() {
+        let mut a = fresh();
+        let mut b = fresh();
+        assert_eq!(a.checkpoint(), b.checkpoint());
+    }
+
+    #[test]
+    fn version_and_graph_are_validated() {
+        let mut d = fresh();
+        let cp = d.checkpoint();
+        // Wrong graph: a film with a different topology.
+        let other = Arc::new(wm_story::bandersnatch::bandersnatch());
+        assert_eq!(
+            OnlineDecoder::resume_from_checkpoint(&cp, other).err(),
+            Some(CheckpointError::GraphMismatch)
+        );
+        // Corrupted blob.
+        assert_eq!(
+            OnlineDecoder::resume_from_checkpoint(b"not json", Arc::new(tiny_film())).err(),
+            Some(CheckpointError::Parse)
+        );
+        // Bumped version.
+        let text = String::from_utf8(cp).unwrap();
+        let bumped = text.replace("\"version\":1", "\"version\":99");
+        assert_eq!(
+            OnlineDecoder::resume_from_checkpoint(bumped.as_bytes(), Arc::new(tiny_film())).err(),
+            Some(CheckpointError::Version(99))
+        );
+    }
+
+    #[test]
+    fn graph_fingerprint_separates_films() {
+        assert_ne!(
+            graph_fingerprint(&tiny_film()),
+            graph_fingerprint(&wm_story::bandersnatch::bandersnatch())
+        );
+    }
+}

@@ -1,0 +1,903 @@
+//! The streaming (online) White Mirror decoder.
+//!
+//! The offline attack ([`wm_core`]) decodes a finished capture in one
+//! pass. [`OnlineDecoder`] runs the *same* timing model — the same
+//! anchor estimate, duplicate suppression, type-1 seek slack and
+//! type-2 window scan as [`wm_core::ChoiceDecoder`], with the same
+//! confidence arithmetic and provenance tiers — but incrementally,
+//! against packets as the tap delivers them, in memory bounded by
+//! configuration rather than session length. On a clean in-order
+//! capture its verdict stream is byte-for-byte the offline decode.
+//!
+//! The central discipline is a **watermark**: the capture time below
+//! which the event stream is *final*. It trails the newest packet by
+//! the reorder allowance and never passes a flow that still holds a
+//! record in reassembly. Classified report events sit in a small
+//! sorted pending buffer until the watermark passes them, then
+//! finalize — dedup, ordering, anchor estimation — exactly once. The
+//! decoder's phase machine (seek the next type-1, scan its choice
+//! window, walk the graph) only commits to a verdict when the
+//! watermark proves no earlier-timed evidence can still arrive, so a
+//! verdict, once emitted, is never retracted.
+//!
+//! Crash recovery: [`OnlineDecoder::checkpoint`] serializes the whole
+//! decoder — ingest carries, pending/ready events, the phase frontier,
+//! classifier calibration — into a compact, versioned, byte-
+//! deterministic JSON blob on a configurable record cadence, and
+//! [`OnlineDecoder::resume_from_checkpoint`] restores it. Replaying
+//! the packets after the checkpoint yields the uninterrupted verdict
+//! stream with zero duplicates; packets lost between checkpoint and
+//! restart surface as explicit loss windows ([`OnlineDecoder::loss_windows`]).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::bounded::{Batch, BoundedVec};
+use crate::ingest::{ExtractedRecord, FlowIngest, GapEvent, IngestLimits};
+use wm_capture::headers::{parse_frame_lossy, FlowId};
+use wm_capture::time::{Duration, SimTime};
+use wm_capture::{ContentType, RecordClass};
+use wm_core::classify::RecordClassifier;
+use wm_core::provenance::{ChoiceProvenance, ConfidenceTier, ProvenanceRecord, RecordRole};
+use wm_core::{
+    initial_gap_secs, min_question_gap_secs, question_gap_secs, DecodedChoice, IntervalClassifier,
+    CONFIDENCE_BLIND, CONFIDENCE_INFERRED, CONFIDENCE_OBSERVED, GAP_CONFIDENCE_FACTOR, WINDOW_SECS,
+};
+use wm_story::{Choice, ChoicePointId, SegmentEnd, SegmentId, StoryGraph};
+use wm_telemetry::{Counter, Registry};
+use wm_trace::{SpanId, TraceHandle};
+
+/// Tunables for the online decoder. All buffers it ever grows are
+/// sized by these fields, so resident memory is a constant of the
+/// configuration, independent of session length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OnlineConfig {
+    /// Time scale the session plays at (1 = real time).
+    pub time_scale: u32,
+    /// How far the watermark trails the newest packet: the reorder
+    /// window the capture path may shuffle packets within.
+    pub reorder_lag: Duration,
+    /// How long a reassembly hole may stall a flow before it is
+    /// declared lost and decoding resumes past it.
+    pub gap_patience: Duration,
+    /// Checkpoint cadence, in extracted TLS records.
+    pub checkpoint_every_records: u64,
+    /// Concurrent upstream flows tracked (new flows drop beyond this).
+    pub max_flows: usize,
+    /// Classified events awaiting watermark finality.
+    pub max_pending_events: usize,
+    /// Finalized report events awaiting the phase machine.
+    pub max_ready_events: usize,
+    /// Recent application records kept for anchor provenance.
+    pub max_recent_apps: usize,
+    /// Capture-gap markers kept for confidence discounting.
+    pub max_gap_times: usize,
+    /// Loss windows retained for reporting.
+    pub max_loss_windows: usize,
+    /// Per-flow reassembly budgets.
+    pub ingest: IngestLimits,
+}
+
+impl OnlineConfig {
+    /// Real-time capture (scale 1).
+    pub fn realtime() -> Self {
+        Self::scaled(1)
+    }
+
+    /// Configuration for a session simulated at `time_scale`.
+    pub fn scaled(time_scale: u32) -> Self {
+        let ts = time_scale.max(1);
+        OnlineConfig {
+            time_scale: ts,
+            reorder_lag: Duration::from_secs_f64(0.25 / ts as f64),
+            gap_patience: Duration::from_secs_f64(0.5 / ts as f64),
+            checkpoint_every_records: 64,
+            max_flows: 8,
+            max_pending_events: 512,
+            max_ready_events: 256,
+            max_recent_apps: 32,
+            max_gap_times: 64,
+            max_loss_windows: 64,
+            ingest: IngestLimits::default(),
+        }
+    }
+}
+
+/// One verdict emitted while the session plays: the decoded choice
+/// plus the same provenance the offline pipeline attaches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineVerdict {
+    /// Position in the verdict stream (0-based, contiguous).
+    pub index: u64,
+    pub choice: DecodedChoice,
+    pub provenance: ChoiceProvenance,
+}
+
+/// Engine counters (all monotonic; aggregated over all flows).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OnlineStats {
+    pub packets: u64,
+    pub segments: u64,
+    /// Segments whose capture was snaplen-clipped (payload truncated).
+    pub truncated_segments: u64,
+    pub records: u64,
+    pub non_app_records: u64,
+    /// Classified type-1/type-2 events (pre-dedup).
+    pub report_events: u64,
+    pub deduped_events: u64,
+    /// Records that arrived with a timestamp below the watermark.
+    pub late_events: u64,
+    /// Pending events finalized early because the buffer filled.
+    pub pending_force_finalized: u64,
+    /// Ready events evicted unconsumed because the buffer filled.
+    pub ready_evictions: u64,
+    pub flows: u64,
+    /// Segments dropped because the flow table was full.
+    pub flow_overflow_drops: u64,
+    pub gaps: u64,
+    pub verdicts: u64,
+    pub checkpoints: u64,
+    pub resumes: u64,
+}
+
+/// A classified record awaiting watermark finality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PendingEvent {
+    pub(crate) time: SimTime,
+    /// Admission order, tie-breaking equal timestamps deterministically.
+    pub(crate) seq: u64,
+    pub(crate) length: u16,
+    pub(crate) class: RecordClass,
+}
+
+/// A finalized report event, queued for the phase machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ReadyEvent {
+    pub(crate) time: SimTime,
+    /// Index into the finalized application-record stream (the same
+    /// numbering offline provenance cites).
+    pub(crate) index: u64,
+    pub(crate) length: u16,
+    pub(crate) class: RecordClass,
+}
+
+/// Where the decoder stands in the story graph: the beam frontier of
+/// the streaming walk (width 1 — the greedy offline path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Phase {
+    /// Looking for the type-1 report of the question shown while
+    /// `seg` plays.
+    Seek { seg: SegmentId, cp: ChoicePointId },
+    /// Question placed at `t1`; scanning its choice window for a
+    /// type-2.
+    Open {
+        seg: SegmentId,
+        cp: ChoicePointId,
+        t1: SimTime,
+        observed: bool,
+        t1_evt: Option<ReadyEvent>,
+    },
+    /// The walk reached an ending.
+    Done,
+}
+
+/// Durations derived from the graph and the time scale. Never
+/// checkpointed: recomputed on construction and resume so the
+/// checkpoint holds integers only (byte determinism).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Derived {
+    pub(crate) scale: f64,
+    pub(crate) dedup: Duration,
+    pub(crate) slack: Duration,
+    pub(crate) first_slack: Duration,
+    pub(crate) window_cfg: Duration,
+    pub(crate) init_gap: Duration,
+}
+
+impl Derived {
+    pub(crate) fn compute(graph: &StoryGraph, time_scale: u32) -> Derived {
+        let scale = time_scale.max(1) as f64;
+        let min_gap = min_question_gap_secs(graph);
+        let slack = Duration::from_secs_f64((min_gap / 2.0).clamp(1.0, 5.0) / scale);
+        Derived {
+            scale,
+            dedup: Duration::from_secs_f64((min_gap / 3.0).clamp(0.5, 2.0) / scale),
+            slack,
+            first_slack: Duration(slack.micros() * 3),
+            window_cfg: Duration::from_secs_f64(WINDOW_SECS / scale),
+            init_gap: Duration::from_secs_f64(initial_gap_secs(graph) / scale),
+        }
+    }
+}
+
+/// Telemetry counters the engine increments when attached.
+struct OnlineTelemetry {
+    packets: Arc<Counter>,
+    records: Arc<Counter>,
+    verdicts: Arc<Counter>,
+    gaps: Arc<Counter>,
+    late_events: Arc<Counter>,
+    checkpoints: Arc<Counter>,
+    resumes: Arc<Counter>,
+}
+
+impl OnlineTelemetry {
+    fn from_registry(reg: &Registry) -> Self {
+        OnlineTelemetry {
+            packets: reg.counter("online.packets"),
+            records: reg.counter("online.records"),
+            verdicts: reg.counter("online.verdicts"),
+            gaps: reg.counter("online.gaps"),
+            late_events: reg.counter("online.late_events"),
+            checkpoints: reg.counter("online.checkpoints"),
+            resumes: reg.counter("online.resumes"),
+        }
+    }
+}
+
+/// The streaming decoder. Feed it captured frames with
+/// [`OnlineDecoder::push_packet`]; it emits [`OnlineVerdict`]s as the
+/// watermark makes each choice decidable, and [`OnlineDecoder::finish`]
+/// resolves whatever the end of the capture leaves open.
+pub struct OnlineDecoder {
+    pub(crate) cfg: OnlineConfig,
+    pub(crate) graph: Arc<StoryGraph>,
+    pub(crate) classifier: IntervalClassifier,
+    pub(crate) derived: Derived,
+
+    // -- clock --
+    pub(crate) max_seen: SimTime,
+    pub(crate) watermark: SimTime,
+    pub(crate) finishing: bool,
+
+    // -- reassembly --
+    pub(crate) flows: BTreeMap<FlowId, FlowIngest>,
+
+    // -- event stream --
+    pub(crate) admit_seq: u64,
+    pub(crate) pending: BoundedVec<PendingEvent>,
+    pub(crate) ready: BoundedVec<ReadyEvent>,
+    pub(crate) cursor: usize,
+    pub(crate) app_count: u64,
+    pub(crate) app_first: Option<SimTime>,
+    pub(crate) app_second: Option<SimTime>,
+    pub(crate) first_type1: Option<SimTime>,
+    pub(crate) last_kept_t1: Option<SimTime>,
+    pub(crate) last_kept_t2: Option<SimTime>,
+    pub(crate) recent_apps: BoundedVec<(u64, SimTime, u16)>,
+    pub(crate) gap_times: BoundedVec<SimTime>,
+    pub(crate) loss_windows: BoundedVec<(SimTime, SimTime)>,
+
+    // -- decode frontier --
+    pub(crate) phase: Phase,
+    pub(crate) predicted: Option<SimTime>,
+    pub(crate) emitted: u64,
+
+    // -- checkpoint cadence --
+    pub(crate) records_seen: u64,
+    pub(crate) records_at_checkpoint: u64,
+
+    pub(crate) stats: OnlineStats,
+    telemetry: Option<OnlineTelemetry>,
+    trace: Option<(TraceHandle, SpanId)>,
+}
+
+/// Walk `Continue` chains from `from` to the next decision point.
+pub(crate) fn phase_at(graph: &StoryGraph, from: SegmentId) -> Phase {
+    let mut current = from;
+    loop {
+        match graph.segment(current).end {
+            SegmentEnd::Ending => return Phase::Done,
+            SegmentEnd::Continue(next) => current = next,
+            SegmentEnd::Choice(cp) => return Phase::Seek { seg: current, cp },
+        }
+    }
+}
+
+impl OnlineDecoder {
+    pub fn new(classifier: IntervalClassifier, graph: Arc<StoryGraph>, cfg: OnlineConfig) -> Self {
+        let derived = Derived::compute(&graph, cfg.time_scale);
+        let phase = phase_at(&graph, graph.start());
+        OnlineDecoder {
+            derived,
+            phase,
+            classifier,
+            max_seen: SimTime::ZERO,
+            watermark: SimTime::ZERO,
+            finishing: false,
+            flows: BTreeMap::new(),
+            admit_seq: 0,
+            pending: BoundedVec::new(cfg.max_pending_events),
+            ready: BoundedVec::new(cfg.max_ready_events),
+            cursor: 0,
+            app_count: 0,
+            app_first: None,
+            app_second: None,
+            first_type1: None,
+            last_kept_t1: None,
+            last_kept_t2: None,
+            recent_apps: BoundedVec::new(cfg.max_recent_apps),
+            gap_times: BoundedVec::new(cfg.max_gap_times),
+            loss_windows: BoundedVec::new(cfg.max_loss_windows),
+            predicted: None,
+            emitted: 0,
+            records_seen: 0,
+            records_at_checkpoint: 0,
+            stats: OnlineStats::default(),
+            telemetry: None,
+            trace: None,
+            graph,
+            cfg,
+        }
+    }
+
+    /// Attach telemetry counters (`online.*`) to `registry`.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = Some(OnlineTelemetry::from_registry(registry));
+    }
+
+    /// Attach a trace recorder; verdicts and gaps emit instants under
+    /// `parent`.
+    pub fn attach_trace(&mut self, handle: TraceHandle, parent: SpanId) {
+        self.trace = Some((handle, parent));
+    }
+
+    pub fn config(&self) -> &OnlineConfig {
+        &self.cfg
+    }
+
+    pub fn stats(&self) -> OnlineStats {
+        self.stats
+    }
+
+    /// Loss windows declared so far: spans of capture time where
+    /// reassembly skipped data (tap loss, impairment, or a crash gap
+    /// between checkpoint and resume). Verdicts whose choice window
+    /// overlaps one of these carry degraded confidence.
+    pub fn loss_windows(&self) -> &[(SimTime, SimTime)] {
+        self.loss_windows.as_slice()
+    }
+
+    /// The finality horizon: all evidence timed below this is decided.
+    pub fn watermark(&self) -> SimTime {
+        self.watermark
+    }
+
+    /// Whether the graph walk has reached an ending.
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    /// True when the record cadence since the last checkpoint has been
+    /// reached — callers own checkpoint scheduling and persistence.
+    pub fn checkpoint_due(&self) -> bool {
+        self.records_seen.saturating_sub(self.records_at_checkpoint)
+            >= self.cfg.checkpoint_every_records.max(1)
+    }
+
+    /// Approximate resident state in bytes (buffers + fixed fields).
+    /// Bounded by configuration: independent of how much traffic has
+    /// been pushed.
+    pub fn state_bytes(&self) -> usize {
+        let flows: usize = self.flows.values().map(|f| f.state_bytes()).sum();
+        flows
+            + self.pending.len() * std::mem::size_of::<PendingEvent>()
+            + self.ready.len() * std::mem::size_of::<ReadyEvent>()
+            + self.recent_apps.len() * std::mem::size_of::<(u64, SimTime, u16)>()
+            + self.gap_times.len() * std::mem::size_of::<SimTime>()
+            + self.loss_windows.len() * std::mem::size_of::<(SimTime, SimTime)>()
+            + std::mem::size_of::<Self>()
+    }
+
+    /// Feed one captured frame. Returns the verdicts this packet made
+    /// decidable (usually none; one or more around choice windows).
+    pub fn push_packet(&mut self, time: SimTime, frame: &[u8]) -> Vec<OnlineVerdict> {
+        self.stats.packets = self.stats.packets.saturating_add(1);
+        if let Some(t) = &self.telemetry {
+            t.packets.inc();
+        }
+        if time > self.max_seen {
+            self.max_seen = time;
+        }
+        let mut recs = Batch::new();
+        let mut gaps = Batch::new();
+        if let Some((flow, tcp, payload, missing)) = parse_frame_lossy(frame) {
+            if flow.dst_port == 443 && !payload.is_empty() {
+                self.stats.segments = self.stats.segments.saturating_add(1);
+                if missing > 0 {
+                    self.stats.truncated_segments = self.stats.truncated_segments.saturating_add(1);
+                }
+                let limits = self.cfg.ingest;
+                if self.flows.contains_key(&flow) || self.flows.len() < self.cfg.max_flows.max(1) {
+                    let ingest = self
+                        .flows
+                        .entry(flow)
+                        .or_insert_with(|| FlowIngest::new(limits));
+                    ingest.accept_segment(time, tcp.seq, payload, &mut recs, &mut gaps);
+                    self.stats.flows = self.flows.len() as u64;
+                } else {
+                    self.stats.flow_overflow_drops =
+                        self.stats.flow_overflow_drops.saturating_add(1);
+                }
+            }
+        }
+        // Age out reassembly holes across all flows.
+        let now = self.max_seen;
+        let patience = self.cfg.gap_patience;
+        for ingest in self.flows.values_mut() {
+            ingest.flush(now, patience, &mut recs, &mut gaps);
+        }
+        self.note_gaps(gaps);
+        self.note_records(recs);
+        let mut out = Batch::new();
+        self.advance(&mut out);
+        out.into_vec()
+    }
+
+    /// End of capture: every outstanding hole is declared, all pending
+    /// evidence finalizes, and the remaining graph walk resolves (on
+    /// timing alone where the stream ran dry).
+    pub fn finish(&mut self) -> Vec<OnlineVerdict> {
+        let mut recs = Batch::new();
+        let mut gaps = Batch::new();
+        for ingest in self.flows.values_mut() {
+            ingest.finish(&mut recs, &mut gaps);
+        }
+        self.note_gaps(gaps);
+        self.note_records(recs);
+        self.finishing = true;
+        let mut out = Batch::new();
+        self.advance(&mut out);
+        out.into_vec()
+    }
+
+    // -- event admission ----------------------------------------------
+
+    fn note_gaps(&mut self, gaps: Batch<GapEvent>) {
+        for g in gaps.into_vec() {
+            self.stats.gaps = self.stats.gaps.saturating_add(1);
+            self.gap_times.admit_evict(g.resume_time);
+            self.loss_windows.admit_evict((g.last_time, g.resume_time));
+            if let Some(t) = &self.telemetry {
+                t.gaps.inc();
+            }
+            if let Some((h, parent)) = &self.trace {
+                h.instant_at(
+                    g.resume_time.micros(),
+                    *parent,
+                    "online.gap",
+                    g.last_time.micros(),
+                    g.resume_time.micros(),
+                );
+            }
+        }
+    }
+
+    fn note_records(&mut self, recs: Batch<ExtractedRecord>) {
+        for r in recs.into_vec() {
+            self.stats.records = self.stats.records.saturating_add(1);
+            self.records_seen = self.records_seen.saturating_add(1);
+            if let Some(t) = &self.telemetry {
+                t.records.inc();
+            }
+            if r.content_type != ContentType::ApplicationData {
+                self.stats.non_app_records = self.stats.non_app_records.saturating_add(1);
+                continue;
+            }
+            if r.time < self.watermark {
+                // Finality was already declared past this timestamp;
+                // admitting it would reorder decided evidence.
+                self.stats.late_events = self.stats.late_events.saturating_add(1);
+                if let Some(t) = &self.telemetry {
+                    t.late_events.inc();
+                }
+                continue;
+            }
+            let ev = PendingEvent {
+                time: r.time,
+                seq: self.admit_seq,
+                length: r.length,
+                class: self.classifier.classify(r.length),
+            };
+            self.admit_seq = self.admit_seq.saturating_add(1);
+            if self.pending.len() >= self.pending.cap() {
+                // Make room by finalizing the oldest early — it is the
+                // next to finalize anyway; only its finality guarantee
+                // is weakened, and only under pathological event rates.
+                if let Some(old) = self.pending.pop_front() {
+                    self.stats.pending_force_finalized =
+                        self.stats.pending_force_finalized.saturating_add(1);
+                    self.finalize(old);
+                }
+            }
+            self.pending.admit_sorted_by_key(ev, |e| (e.time, e.seq));
+        }
+    }
+
+    /// An event's timestamp became final: assign its application-record
+    /// index, update the anchor estimate, dedup, and queue reports for
+    /// the phase machine.
+    fn finalize(&mut self, e: PendingEvent) {
+        let index = self.app_count;
+        self.app_count = self.app_count.saturating_add(1);
+        if self.app_first.is_none() {
+            self.app_first = Some(e.time);
+        } else if self.app_second.is_none() {
+            self.app_second = Some(e.time);
+        }
+        self.recent_apps.admit_evict((index, e.time, e.length));
+        let prev = match e.class {
+            RecordClass::Other => return,
+            RecordClass::Type1 => self.last_kept_t1,
+            RecordClass::Type2 => self.last_kept_t2,
+        };
+        self.stats.report_events = self.stats.report_events.saturating_add(1);
+        // Duplicate suppression, same rule as the offline decoder:
+        // a report of the same class within the dedup window of the
+        // last *kept* one is a retry/duplicate, not a new event.
+        if prev.is_some_and(|p| e.time.since(p) <= self.derived.dedup) {
+            self.stats.deduped_events = self.stats.deduped_events.saturating_add(1);
+            return;
+        }
+        match e.class {
+            RecordClass::Type1 => self.last_kept_t1 = Some(e.time),
+            RecordClass::Type2 => self.last_kept_t2 = Some(e.time),
+            RecordClass::Other => {}
+        }
+        if e.class == RecordClass::Type1 && self.first_type1.is_none() {
+            self.first_type1 = Some(e.time);
+        }
+        if self.ready.len() >= self.ready.cap() {
+            // The phase machine is far behind the event stream; shed
+            // the oldest (it is the least likely to still be wanted).
+            self.ready.pop_front();
+            self.cursor = self.cursor.saturating_sub(1);
+            self.stats.ready_evictions = self.stats.ready_evictions.saturating_add(1);
+        }
+        self.ready.admit(ReadyEvent {
+            time: e.time,
+            index,
+            length: e.length,
+            class: e.class,
+        });
+    }
+
+    // -- the decode loop ----------------------------------------------
+
+    fn advance(&mut self, out: &mut Batch<OnlineVerdict>) {
+        // 1. Advance the watermark: trail the newest capture time by
+        //    the reorder allowance, but never pass a flow still
+        //    holding bytes of an unfinished record (unless it has
+        //    stalled past any plausible recovery).
+        let lagged = SimTime(
+            self.max_seen
+                .0
+                .saturating_sub(self.cfg.reorder_lag.micros()),
+        );
+        let mut target = lagged;
+        let stall = Duration(
+            self.cfg
+                .gap_patience
+                .micros()
+                .saturating_add(self.cfg.reorder_lag.micros()),
+        );
+        for ingest in self.flows.values() {
+            if let Some(f) = ingest.frontier() {
+                if self.max_seen.since(f) <= stall {
+                    target = target.min(f);
+                }
+            }
+        }
+        if target > self.watermark {
+            self.watermark = target;
+        }
+        // 2. Finalize pending events the watermark has passed.
+        while self
+            .pending
+            .first()
+            .is_some_and(|e| self.finishing || e.time < self.watermark)
+        {
+            if let Some(e) = self.pending.pop_front() {
+                self.finalize(e);
+            }
+        }
+        // 3. Run the phase machine until it stops making progress.
+        loop {
+            let stepped = match self.phase {
+                Phase::Done => false,
+                Phase::Seek { seg, cp } => self.try_seek(seg, cp),
+                Phase::Open {
+                    seg,
+                    cp,
+                    t1,
+                    observed,
+                    t1_evt,
+                } => self.try_open(seg, cp, t1, observed, t1_evt, out),
+            };
+            if !stepped {
+                break;
+            }
+        }
+    }
+
+    /// Playback-anchor estimate for the first question, once decidable:
+    /// the second application record plus the public opening-chain gap
+    /// (identical to the offline decoder's `initial_question_time`).
+    fn anchor(&self) -> Option<SimTime> {
+        if let Some(a2) = self.app_second {
+            if self.finishing || self.watermark > a2 {
+                return Some(a2 + self.derived.init_gap);
+            }
+        }
+        if !self.finishing {
+            // A second app record may still arrive below the current
+            // candidate; wait for the watermark to decide.
+            return None;
+        }
+        if let Some(a1) = self.app_first {
+            return Some(a1 + self.derived.init_gap);
+        }
+        // No app records at all: fall back to the first type-1, then
+        // to time zero — the offline fallbacks.
+        Some(self.first_type1.unwrap_or(SimTime::ZERO))
+    }
+
+    /// Seek the type-1 report of the question at `cp` near its
+    /// predicted time. Returns true when the phase advanced.
+    fn try_seek(&mut self, seg: SegmentId, cp: ChoicePointId) -> bool {
+        let Some(anchor) = self.anchor() else {
+            return false;
+        };
+        let slack = if self.predicted.is_none() {
+            self.derived.first_slack
+        } else {
+            self.derived.slack
+        };
+        let expect = self.predicted.unwrap_or(anchor);
+        let deadline = expect + slack;
+        let mut found: Option<(usize, ReadyEvent)> = None;
+        let mut decided = false;
+        let mut probe = self.cursor;
+        while let Some(&ev) = self.ready.get(probe) {
+            if ev.time > deadline {
+                decided = true;
+                break;
+            }
+            if ev.class == RecordClass::Type1 && ev.time + slack >= expect {
+                found = Some((probe, ev));
+                decided = true;
+                break;
+            }
+            probe += 1;
+        }
+        // A found report commits immediately: the ready stream is
+        // final and complete below the watermark, and every future
+        // event is timed at or above it. Otherwise the absence of the
+        // report is only decided once the watermark clears the window.
+        if !(decided || self.finishing || self.watermark > deadline) {
+            return false;
+        }
+        let (t1, observed, t1_evt) = match found {
+            Some((at, ev)) => {
+                self.cursor = at + 1;
+                (ev.time, true, Some(ev))
+            }
+            None => (expect, false, None),
+        };
+        self.phase = Phase::Open {
+            seg,
+            cp,
+            t1,
+            observed,
+            t1_evt,
+        };
+        true
+    }
+
+    /// Scan the open question's choice window for a type-2 report.
+    fn try_open(
+        &mut self,
+        seg: SegmentId,
+        cp: ChoicePointId,
+        t1: SimTime,
+        observed: bool,
+        t1_evt: Option<ReadyEvent>,
+        out: &mut Batch<OnlineVerdict>,
+    ) -> bool {
+        let dur = self.graph.segment(seg).duration_secs as f64;
+        let window = Duration::from_secs_f64(WINDOW_SECS.min(dur / 2.0) / self.derived.scale);
+        let close = t1 + window;
+        let mut choice: Option<Choice> = None;
+        let mut t2_evt: Option<ReadyEvent> = None;
+        let mut probe = self.cursor;
+        while let Some(&ev) = self.ready.get(probe) {
+            if ev.time > close {
+                choice = Some(Choice::Default);
+                break;
+            }
+            if ev.time >= t1 {
+                match ev.class {
+                    RecordClass::Type2 => {
+                        choice = Some(Choice::NonDefault);
+                        t2_evt = Some(ev);
+                        self.cursor = probe + 1;
+                        break;
+                    }
+                    RecordClass::Type1 => {
+                        choice = Some(Choice::Default);
+                        break;
+                    }
+                    RecordClass::Other => {}
+                }
+            }
+            probe += 1;
+        }
+        let choice = match choice {
+            Some(c) => c,
+            // Nothing in the window yet: default only once no report
+            // timed inside it can still arrive.
+            None if self.finishing || self.watermark > close => Choice::Default,
+            None => return false,
+        };
+        self.emit(out, cp, t1, observed, t1_evt, choice, t2_evt);
+        // Step the graph walk and re-anchor the next prediction on
+        // this question's time (offline's exact arithmetic).
+        let gap = question_gap_secs(&self.graph, seg, cp, choice);
+        self.predicted = Some(t1 + Duration::from_secs_f64(gap / self.derived.scale));
+        let next = self.graph.choice_point(cp).option(choice).target;
+        self.phase = phase_at(&self.graph, next);
+        // The walk never revisits evidence at or before this question.
+        let mut dropped = 0usize;
+        while self.ready.first().is_some_and(|e| e.time <= t1) {
+            self.ready.pop_front();
+            dropped += 1;
+        }
+        self.cursor = self.cursor.saturating_sub(dropped);
+        // Gap markers too old to overlap any future choice window.
+        let wcfg = self.derived.window_cfg;
+        self.gap_times.keep(|&g| g + wcfg >= t1);
+        true
+    }
+
+    /// Resolve one choice: confidence arithmetic, provenance citation
+    /// and emission — the online equivalent of the offline
+    /// `decode_trace` + `build_provenance` pair.
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &mut self,
+        out: &mut Batch<OnlineVerdict>,
+        cp: ChoicePointId,
+        t1: SimTime,
+        observed: bool,
+        t1_evt: Option<ReadyEvent>,
+        choice: Choice,
+        t2_evt: Option<ReadyEvent>,
+    ) {
+        let wcfg = self.derived.window_cfg;
+        let near_gap = self
+            .gap_times
+            .iter()
+            .any(|&g| g + wcfg >= t1 && g <= t1 + wcfg);
+        let mut confidence = if observed {
+            CONFIDENCE_OBSERVED
+        } else {
+            CONFIDENCE_INFERRED
+        };
+        if near_gap {
+            confidence *= GAP_CONFIDENCE_FACTOR;
+        }
+        let tier = if observed {
+            ConfidenceTier::Observed
+        } else if confidence > CONFIDENCE_BLIND {
+            ConfidenceTier::Inferred
+        } else {
+            ConfidenceTier::Blind
+        };
+        let mut cited: Batch<ProvenanceRecord> = Batch::new();
+        if observed {
+            if let Some(ev) = t1_evt {
+                cited.put(ProvenanceRecord {
+                    index: ev.index as usize,
+                    time: ev.time,
+                    length: ev.length,
+                    role: RecordRole::Type1Report,
+                });
+            }
+        }
+        if choice == Choice::NonDefault {
+            if let Some(ev) = t2_evt {
+                cited.put(ProvenanceRecord {
+                    index: ev.index as usize,
+                    time: ev.time,
+                    length: ev.length,
+                    role: RecordRole::Type2Report,
+                });
+            }
+        }
+        if cited.is_empty() {
+            // Timing-only decision: cite the nearest application
+            // record as the anchor (over the bounded recency ring —
+            // identical to offline whenever the true nearest record is
+            // recent, which it is on any capture dense enough to
+            // decode).
+            let mut best: Option<(u64, u64, SimTime, u16)> = None;
+            for &(index, time, length) in self.recent_apps.iter() {
+                let dist = time.micros().abs_diff(t1.micros());
+                if best.is_none_or(|(d, ..)| dist < d) {
+                    best = Some((dist, index, time, length));
+                }
+            }
+            if let Some((_, index, time, length)) = best {
+                cited.put(ProvenanceRecord {
+                    index: index as usize,
+                    time,
+                    length,
+                    role: RecordRole::Anchor,
+                });
+            }
+        }
+        let d = DecodedChoice {
+            cp,
+            choice,
+            time: t1,
+            observed,
+            confidence,
+        };
+        let provenance = ChoiceProvenance {
+            records: cited.into_vec(),
+            tier,
+            near_gap,
+        };
+        if let Some((h, parent)) = &self.trace {
+            h.instant_at(
+                t1.micros(),
+                *parent,
+                "online.verdict",
+                cp.0 as u64,
+                (((choice == Choice::NonDefault) as u64) << 8) | provenance.records.len() as u64,
+            );
+        }
+        if let Some(t) = &self.telemetry {
+            t.verdicts.inc();
+        }
+        self.stats.verdicts = self.stats.verdicts.saturating_add(1);
+        let index = self.emitted;
+        self.emitted = self.emitted.saturating_add(1);
+        out.put(OnlineVerdict {
+            index,
+            choice: d,
+            provenance,
+        });
+    }
+
+    // -- checkpointing ------------------------------------------------
+
+    /// Serialize the full decoder state into a compact, versioned,
+    /// byte-deterministic blob (see [`crate::checkpoint`] for the
+    /// format). Resets the cadence clock.
+    pub fn checkpoint(&mut self) -> Vec<u8> {
+        self.records_at_checkpoint = self.records_seen;
+        self.stats.checkpoints = self.stats.checkpoints.saturating_add(1);
+        if let Some(t) = &self.telemetry {
+            t.checkpoints.inc();
+        }
+        crate::checkpoint::encode(self)
+    }
+
+    /// Restore a decoder from a checkpoint taken by
+    /// [`OnlineDecoder::checkpoint`]. The graph must be the one the
+    /// checkpointed decoder walked (validated by fingerprint).
+    /// Telemetry/trace attachments do not survive; re-attach after
+    /// resuming.
+    pub fn resume_from_checkpoint(
+        bytes: &[u8],
+        graph: Arc<StoryGraph>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        let mut decoder = crate::checkpoint::decode(bytes, graph)?;
+        decoder.stats.resumes = decoder.stats.resumes.saturating_add(1);
+        if let Some(t) = &decoder.telemetry {
+            t.resumes.inc();
+        }
+        Ok(decoder)
+    }
+}

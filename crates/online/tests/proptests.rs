@@ -1,0 +1,190 @@
+//! Property tests for checkpoint/resume determinism (hand-rolled
+//! deterministic sweeps — the harness carries no external property-test
+//! dependency, so the "any boundary" quantifier is made exhaustive
+//! instead of sampled).
+//!
+//! The property under test: for *every* packet boundary `i`, feeding
+//! packets `0..i`, checkpointing, resuming from the blob, and feeding
+//! packets `i..` yields the exact verdict stream (byte-equal choices
+//! *and* provenance) of an uninterrupted decode of the same capture.
+
+use std::sync::Arc;
+
+use wm_capture::time::{Duration, SimTime};
+use wm_chaos::{impair_capture, CaptureImpairment, TapPacket};
+use wm_core::{IntervalClassifier, WhiteMirrorConfig};
+use wm_online::{OnlineConfig, OnlineDecoder, OnlineVerdict};
+use wm_sim::{run_session, SessionConfig, SessionOutput};
+use wm_story::bandersnatch::tiny_film;
+use wm_story::{Choice, ViewerScript};
+
+const TS: u32 = 20;
+
+fn session(seed: u64, choices: &[Choice]) -> SessionOutput {
+    let graph = Arc::new(tiny_film());
+    let script = ViewerScript::from_choices(choices, Duration::from_millis(900));
+    run_session(&SessionConfig::fast(graph, seed, script)).unwrap()
+}
+
+fn trained_classifier() -> IntervalClassifier {
+    let train = session(
+        100,
+        &[Choice::NonDefault, Choice::Default, Choice::NonDefault],
+    );
+    IntervalClassifier::train(&train.labels, WhiteMirrorConfig::DEFAULT_SLACK).unwrap()
+}
+
+fn tap_packets(out: &SessionOutput) -> Vec<TapPacket> {
+    out.trace
+        .packets
+        .iter()
+        .map(|p| (p.time.micros(), p.frame.clone()))
+        .collect()
+}
+
+fn feed(dec: &mut OnlineDecoder, packets: &[TapPacket]) -> Vec<OnlineVerdict> {
+    let mut out = Vec::new();
+    for (t, frame) in packets {
+        out.extend(dec.push_packet(SimTime(*t), frame));
+    }
+    out
+}
+
+fn uninterrupted(
+    clf: &IntervalClassifier,
+    graph: &Arc<wm_story::StoryGraph>,
+    cfg: &OnlineConfig,
+    packets: &[TapPacket],
+) -> Vec<OnlineVerdict> {
+    let mut dec = OnlineDecoder::new(clf.clone(), graph.clone(), cfg.clone());
+    let mut out = feed(&mut dec, packets);
+    out.extend(dec.finish());
+    out
+}
+
+/// Cut the stream at packet boundary `cut`, checkpoint, resume, feed
+/// the rest; returns the concatenated verdict stream.
+fn cut_and_resume(
+    clf: &IntervalClassifier,
+    graph: &Arc<wm_story::StoryGraph>,
+    cfg: &OnlineConfig,
+    packets: &[TapPacket],
+    cut: usize,
+) -> Vec<OnlineVerdict> {
+    let mut first = OnlineDecoder::new(clf.clone(), graph.clone(), cfg.clone());
+    let mut out = feed(&mut first, &packets[..cut]);
+    let blob = first.checkpoint();
+    drop(first);
+    let mut second =
+        OnlineDecoder::resume_from_checkpoint(&blob, graph.clone()).expect("resume at {cut}");
+    out.extend(feed(&mut second, &packets[cut..]));
+    out.extend(second.finish());
+    out
+}
+
+#[test]
+fn resume_at_every_record_boundary_matches_uninterrupted_decode() {
+    let clf = trained_classifier();
+    let graph = Arc::new(tiny_film());
+    let cfg = OnlineConfig::scaled(TS);
+    for (seed, picks) in [
+        (
+            900u64,
+            [Choice::Default, Choice::NonDefault, Choice::Default],
+        ),
+        (
+            901,
+            [Choice::NonDefault, Choice::Default, Choice::NonDefault],
+        ),
+        (902, [Choice::Default, Choice::Default, Choice::NonDefault]),
+    ] {
+        let out = session(seed, &picks);
+        let packets = tap_packets(&out);
+        let baseline = uninterrupted(&clf, &graph, &cfg, &packets);
+        assert!(!baseline.is_empty(), "seed {seed} decoded nothing");
+
+        // Every packet boundary where at least one new TLS record was
+        // finalized is a record boundary; sweep them all (plus the
+        // trivial boundaries 1 and n-1).
+        let mut probe = OnlineDecoder::new(clf.clone(), graph.clone(), cfg.clone());
+        let mut boundaries = vec![1, packets.len().saturating_sub(1)];
+        let mut seen_records = 0;
+        for (i, (t, frame)) in packets.iter().enumerate() {
+            probe.push_packet(SimTime(*t), frame);
+            let now = probe.stats().records;
+            if now > seen_records {
+                seen_records = now;
+                boundaries.push(i + 1);
+            }
+        }
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        boundaries.retain(|&b| b > 0 && b < packets.len());
+
+        for &cut in &boundaries {
+            let got = cut_and_resume(&clf, &graph, &cfg, &packets, cut);
+            assert_eq!(
+                got, baseline,
+                "seed {seed}: resume at packet boundary {cut} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn restored_state_checkpoints_byte_identically() {
+    // Determinism of the snapshot itself: checkpoint the original
+    // decoder twice, resume a copy from the first blob and checkpoint
+    // it — the resumed decoder's blob must be byte-identical to the
+    // original's second blob (the `resumes` counter is deliberately
+    // not serialized).
+    let clf = trained_classifier();
+    let graph = Arc::new(tiny_film());
+    let cfg = OnlineConfig::scaled(TS);
+    let out = session(
+        910,
+        &[Choice::NonDefault, Choice::NonDefault, Choice::Default],
+    );
+    let packets = tap_packets(&out);
+
+    for cut in (1..packets.len()).step_by(7) {
+        let mut original = OnlineDecoder::new(clf.clone(), graph.clone(), cfg.clone());
+        feed(&mut original, &packets[..cut]);
+        let blob = original.checkpoint();
+        let blob_again = original.checkpoint();
+
+        let mut resumed = OnlineDecoder::resume_from_checkpoint(&blob, graph.clone()).unwrap();
+        let blob_resumed = resumed.checkpoint();
+        assert_eq!(
+            blob_again, blob_resumed,
+            "restored state at boundary {cut} re-checkpoints differently"
+        );
+    }
+}
+
+#[test]
+fn resume_under_capture_impairment_is_still_lossless() {
+    // The full-replay resume property holds for *impaired* captures
+    // too: whatever the tap mangled, cutting and resuming must not add
+    // divergence beyond it.
+    let clf = trained_classifier();
+    let graph = Arc::new(tiny_film());
+    let cfg = OnlineConfig::scaled(TS);
+    let out = session(
+        920,
+        &[Choice::Default, Choice::NonDefault, Choice::NonDefault],
+    );
+    let clean = tap_packets(&out);
+    for (seed, intensity) in [(11u64, 0.5), (12, 1.0), (13, 2.0)] {
+        let imp = CaptureImpairment::at_intensity(intensity);
+        let (packets, _) = impair_capture(seed, &imp, &clean);
+        let baseline = uninterrupted(&clf, &graph, &cfg, &packets);
+        for cut in (1..packets.len()).step_by(11) {
+            let got = cut_and_resume(&clf, &graph, &cfg, &packets, cut);
+            assert_eq!(
+                got, baseline,
+                "impairment {intensity} seed {seed}: cut {cut} diverged"
+            );
+        }
+    }
+}

@@ -56,6 +56,7 @@ pub use wm_http as http;
 pub use wm_json as json;
 pub use wm_net as net;
 pub use wm_netflix as netflix;
+pub use wm_online as online;
 pub use wm_player as player;
 pub use wm_sim as sim;
 pub use wm_story as story;
@@ -70,6 +71,7 @@ pub mod prelude {
     pub use wm_dataset::{run_dataset, try_run_dataset, DatasetSpec, SimOptions};
     pub use wm_defense::Defense;
     pub use wm_net::conditions::{ConnectionType, LinkConditions, TimeOfDay};
+    pub use wm_online::{OnlineConfig, OnlineDecoder, OnlineVerdict};
     pub use wm_player::{Profile, ViewerScript};
     pub use wm_sim::{run_session, run_session_lossy, SessionConfig, SessionError, SessionOutput};
     pub use wm_story::{self as story, Choice, StoryGraph};
