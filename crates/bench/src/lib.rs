@@ -17,8 +17,11 @@
 //! | `robustness_sweep` | robustness across conditions + classifier ablation (E8) |
 //! | `fault_sweep` | accuracy vs `wm-chaos` fault intensity (E9) |
 //! | `online_robustness` | streaming decoder vs capture impairment, with kill/resume (E10) |
+//! | `throughput` | sharded decode throughput + million-session soak (E11) |
 //!
 //! Run any of them with `cargo run --release -p wm-bench --bin <name>`.
+
+pub mod throughput;
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

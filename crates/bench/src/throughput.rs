@@ -1,0 +1,194 @@
+//! Throughput-engine measurement helpers (used by `bin/throughput.rs`).
+//!
+//! The binary measures the sharded decode engine end to end; this
+//! module holds the pieces worth exercising without the full harness:
+//! the legacy contiguous-chunk scheduler the speedup is measured
+//! against, `/proc`-based RSS probes, and the schema check CI runs
+//! against the emitted `BENCH_throughput.json`.
+
+use std::sync::Arc;
+use wm_core::IntervalClassifier;
+use wm_online::{replay_session, CapturedPacket, OnlineConfig, SessionDecode};
+use wm_story::StoryGraph;
+
+/// Every metric `BENCH_throughput.json` must carry. The first four are
+/// the headline numbers; the last two pin the scheduling comparison so
+/// a regression to contiguous chunking cannot pass the schema gate by
+/// silently dropping the baseline.
+pub const REQUIRED_METRICS: &[&str] = &[
+    "sessions_per_sec",
+    "records_per_sec",
+    "bytes_per_sec",
+    "peak_rss_bytes",
+    "sessions_per_sec_contiguous",
+    "speedup_vs_contiguous",
+];
+
+/// The pre-work-stealing scheduler, kept as the bench baseline: split
+/// the session list into `workers` fixed contiguous chunks and decode
+/// each chunk on its own thread. A pathologically long session
+/// serializes everything behind it in its chunk — exactly the tail the
+/// dynamic pool removes. Output is still in session order, identical
+/// to [`wm_online::decode_sessions_sharded`] (the bin asserts this).
+pub fn decode_sessions_contiguous(
+    classifier: &IntervalClassifier,
+    graph: &Arc<StoryGraph>,
+    cfg: &OnlineConfig,
+    sessions: &[Vec<CapturedPacket>],
+    workers: usize,
+) -> Vec<SessionDecode> {
+    let workers = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        workers
+    };
+    if workers <= 1 || sessions.len() <= 1 {
+        return sessions
+            .iter()
+            .map(|s| replay_session(classifier, graph, cfg, s))
+            .collect();
+    }
+    let chunk = sessions.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = sessions
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .map(|s| replay_session(classifier, graph, cfg, s))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("decode worker panicked"))
+            .collect()
+    })
+}
+
+/// Peak resident set (`VmHWM`) of this process, in bytes. `None` off
+/// Linux or if `/proc` is unreadable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    proc_status_kb("VmHWM:")
+}
+
+/// Current resident set (`VmRSS`) of this process, in bytes.
+pub fn current_rss_bytes() -> Option<u64> {
+    proc_status_kb("VmRSS:")
+}
+
+fn proc_status_kb(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with(field))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Validate a `BENCH_throughput.json` document: right bench name, and
+/// every [`REQUIRED_METRICS`] entry present as a finite, non-negative
+/// number. Textual rather than `wm_json`-based on purpose — bench
+/// metrics serialize with six fraction digits, more precision than the
+/// state-blob JSON dialect admits.
+pub fn validate_throughput_json(json: &str) -> Result<(), String> {
+    if !json.contains("\"bench\":\"throughput\"") {
+        return Err("bench name is not \"throughput\"".into());
+    }
+    for key in REQUIRED_METRICS {
+        let pat = format!("\"{key}\":");
+        let Some(pos) = json.find(&pat) else {
+            return Err(format!("missing required metric {key:?}"));
+        };
+        let rest = &json[pos + pat.len()..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        let value: f64 = rest[..end]
+            .trim()
+            .parse()
+            .map_err(|_| format!("metric {key:?} is not a number: {:?}", &rest[..end]))?;
+        if !value.is_finite() || value < 0.0 {
+            return Err(format!("metric {key:?} = {value} out of range"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bench_json, TraceTally};
+    use wm_telemetry::Snapshot;
+
+    fn classifier() -> IntervalClassifier {
+        IntervalClassifier {
+            type1: (2000, 2100),
+            type2: (900, 950),
+            slack: 5,
+        }
+    }
+
+    #[test]
+    fn contiguous_matches_sharded_on_trivial_fleets() {
+        let graph = Arc::new(wm_story::bandersnatch::tiny_film());
+        let cfg = OnlineConfig::scaled(20);
+        let c = classifier();
+        // Empty captures decode to empty results; equality across both
+        // schedulers and several worker counts still checks the merge
+        // order plumbing end to end.
+        let sessions: Vec<Vec<CapturedPacket>> = vec![Vec::new(); 5];
+        let reference = wm_online::decode_sessions_sharded(&c, &graph, &cfg, &sessions, 1);
+        for workers in [1usize, 2, 4] {
+            let got = decode_sessions_contiguous(&c, &graph, &cfg, &sessions, workers);
+            assert_eq!(got, reference, "workers = {workers}");
+        }
+        assert!(decode_sessions_contiguous(&c, &graph, &cfg, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn rss_probes_report_plausible_values() {
+        let peak = peak_rss_bytes().expect("VmHWM readable on Linux");
+        let now = current_rss_bytes().expect("VmRSS readable on Linux");
+        assert!(peak >= now, "peak {peak} < current {now}");
+        assert!(now > 1024 * 1024, "current RSS implausibly small: {now}");
+    }
+
+    #[test]
+    fn schema_accepts_a_complete_report() {
+        let metrics: Vec<(&str, f64)> = REQUIRED_METRICS.iter().map(|k| (*k, 1.5)).collect();
+        let json = bench_json(
+            "throughput",
+            &metrics,
+            &Snapshot::default(),
+            &TraceTally::default(),
+        );
+        validate_throughput_json(&json).expect("complete report validates");
+    }
+
+    #[test]
+    fn schema_rejects_missing_wrong_or_broken_metrics() {
+        let all: Vec<(&str, f64)> = REQUIRED_METRICS.iter().map(|k| (*k, 1.0)).collect();
+        let tele = Snapshot::default();
+        let tally = TraceTally::default();
+
+        let wrong_name = bench_json("other", &all, &tele, &tally);
+        assert!(validate_throughput_json(&wrong_name).is_err());
+
+        for dropped in REQUIRED_METRICS {
+            let partial: Vec<(&str, f64)> =
+                all.iter().filter(|(k, _)| k != dropped).copied().collect();
+            let json = bench_json("throughput", &partial, &tele, &tally);
+            let err = validate_throughput_json(&json).expect_err("missing metric must fail");
+            assert!(
+                err.contains(dropped),
+                "error {err:?} names the missing metric"
+            );
+        }
+
+        let mut negative = all.clone();
+        negative[0].1 = -1.0;
+        let json = bench_json("throughput", &negative, &tele, &tally);
+        assert!(validate_throughput_json(&json).is_err());
+    }
+}

@@ -51,7 +51,13 @@ const RESYNC_CHAIN: usize = 2;
 /// Extract every parseable TLS record from one stream direction.
 pub fn extract_records(view: &StreamView) -> Extraction {
     let mut out = Extraction::default();
-    let mut carry: Vec<u8> = Vec::new(); // partial record spanning chunk boundary
+    // Partial record spanning a chunk boundary. Consumed bytes are
+    // tracked by the `head` cursor instead of drained per record: the
+    // hot path is then append + parse with no per-record memmove, and
+    // the buffer is compacted only when consumed bytes dominate, so
+    // memory stays bounded by ~2x the live tail.
+    let mut carry: Vec<u8> = Vec::new();
+    let mut head: usize = 0;
     let mut carry_offset: u64 = 0;
     let mut prev_end: Option<u64> = None;
 
@@ -68,6 +74,7 @@ pub fn extract_records(view: &StreamView) -> Extraction {
             }
             // The carried partial record can never complete.
             carry.clear();
+            head = 0;
         }
         prev_end = Some(chunk.start_offset + chunk.data.len() as u64);
 
@@ -78,7 +85,7 @@ pub fn extract_records(view: &StreamView) -> Extraction {
                     out.stats.resyncs += 1;
                     out.stats.skipped_bytes += skip as u64;
                     carry_offset = chunk.start_offset + skip as u64;
-                    carry = chunk.data.get(skip..).unwrap_or_default().to_vec();
+                    carry.extend_from_slice(chunk.data.get(skip..).unwrap_or_default());
                 }
                 None => {
                     out.stats.skipped_bytes += chunk.data.len() as u64;
@@ -86,36 +93,48 @@ pub fn extract_records(view: &StreamView) -> Extraction {
                 }
             }
         } else {
+            if head == carry.len() {
+                carry.clear();
+                head = 0;
+            } else if head >= carry.len() - head {
+                carry.copy_within(head.., 0);
+                carry.truncate(carry.len() - head);
+                head = 0;
+            }
             if carry.is_empty() {
                 carry_offset = chunk.start_offset;
             }
             carry.extend_from_slice(&chunk.data);
         }
-        drain_records(view, &mut carry, &mut carry_offset, &mut out);
+        drain_records(view, &mut carry, &mut head, &mut carry_offset, &mut out);
     }
     out
 }
 
-/// Parse complete records out of `carry`, advancing `carry_offset`.
+/// Parse complete records out of `carry[head..]`, advancing `head` and
+/// `carry_offset` past each one.
 fn drain_records(
     view: &StreamView,
     carry: &mut Vec<u8>,
+    head: &mut usize,
     carry_offset: &mut u64,
     out: &mut Extraction,
 ) {
     loop {
-        let Some(header_bytes) = carry.first_chunk::<RECORD_HEADER_LEN>() else {
+        let live = carry.get(*head..).unwrap_or_default();
+        let Some(header_bytes) = live.first_chunk::<RECORD_HEADER_LEN>() else {
             return;
         };
         let Some(header) = RecordHeader::parse(header_bytes) else {
             // Mid-stream desync should not happen on our own traces; if
             // it does, drop the rest of this contiguous run.
-            out.stats.skipped_bytes += carry.len() as u64;
+            out.stats.skipped_bytes += live.len() as u64;
             carry.clear();
+            *head = 0;
             return;
         };
         let total = RECORD_HEADER_LEN + header.length as usize;
-        if carry.len() < total {
+        if live.len() < total {
             return;
         }
         let time = view.time_at(*carry_offset).unwrap_or(SimTime::ZERO);
@@ -129,7 +148,7 @@ fn drain_records(
             },
         });
         out.stats.records += 1;
-        carry.drain(..total);
+        *head += total;
         *carry_offset += total as u64;
     }
 }

@@ -37,18 +37,41 @@ impl std::error::Error for AeadError {}
 /// `aad || le64(aad.len()) || ciphertext || le64(ct.len())`, closing the
 /// usual concatenation ambiguity.
 pub fn seal(key: &Key, nonce: &Nonce, aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
-    let mut out = plaintext.to_vec();
+    let mut out = Vec::with_capacity(sealed_len(plaintext.len()));
+    seal_into(key, nonce, aad, plaintext, &mut out);
+    out
+}
+
+/// [`seal`] appending `ciphertext || tag` to `out` — the hot record
+/// paths reuse one output buffer across records instead of allocating
+/// per call. Bytes appended are exactly [`sealed_len`]`(plaintext.len())`.
+pub fn seal_into(key: &Key, nonce: &Nonce, aad: &[u8], plaintext: &[u8], out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(plaintext);
     // Keystream block 0 is reserved for the MAC key, payload starts at 1
     // (same layout as ChaCha20-Poly1305).
     let cipher = Wm20::new(key, nonce);
-    cipher.apply(1, &mut out);
-    let tag = compute_tag(&cipher, aad, &out);
+    cipher.apply(1, &mut out[start..]);
+    let tag = compute_tag(&cipher, aad, &out[start..]);
     out.extend_from_slice(&tag);
-    out
 }
 
 /// Decrypt and verify a `seal` output.
 pub fn open(key: &Key, nonce: &Nonce, aad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, AeadError> {
+    let mut out = Vec::with_capacity(sealed.len().saturating_sub(TAG_LEN));
+    open_into(key, nonce, aad, sealed, &mut out)?;
+    Ok(out)
+}
+
+/// [`open`] appending the recovered plaintext to `out`. Nothing is
+/// appended unless the tag verifies.
+pub fn open_into(
+    key: &Key,
+    nonce: &Nonce,
+    aad: &[u8],
+    sealed: &[u8],
+    out: &mut Vec<u8>,
+) -> Result<(), AeadError> {
     if sealed.len() < TAG_LEN {
         return Err(AeadError::TooShort);
     }
@@ -59,9 +82,10 @@ pub fn open(key: &Key, nonce: &Nonce, aad: &[u8], sealed: &[u8]) -> Result<Vec<u
     if !tags_equal(&expect, &got) {
         return Err(AeadError::BadTag);
     }
-    let mut out = ct.to_vec();
-    cipher.apply(1, &mut out);
-    Ok(out)
+    let start = out.len();
+    out.extend_from_slice(ct);
+    cipher.apply(1, &mut out[start..]);
+    Ok(())
 }
 
 /// Exact sealed length for a given plaintext length.

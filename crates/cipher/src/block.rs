@@ -80,35 +80,57 @@ impl BlockCipher {
     /// unique per record; the record layer derives it from the sequence
     /// number.
     pub fn cbc_encrypt(&self, iv: &[u8; BLOCK], plaintext: &[u8]) -> Vec<u8> {
-        let pad_len = BLOCK - (plaintext.len() % BLOCK);
-        let mut padded = Vec::with_capacity(plaintext.len() + pad_len);
-        padded.extend_from_slice(plaintext);
-        padded.extend(std::iter::repeat_n((pad_len - 1) as u8, pad_len));
+        let mut out = Vec::with_capacity(2 * BLOCK + plaintext.len());
+        self.cbc_encrypt_into(iv, plaintext, &mut out);
+        out
+    }
 
-        let mut out = Vec::with_capacity(BLOCK + padded.len());
+    /// [`BlockCipher::cbc_encrypt`] appending to `out` — no padding
+    /// scratch, no output allocation; the record layer reuses one wire
+    /// buffer across records.
+    pub fn cbc_encrypt_into(&self, iv: &[u8; BLOCK], plaintext: &[u8], out: &mut Vec<u8>) {
         out.extend_from_slice(iv);
         let mut prev = *iv;
-        for chunk in padded.chunks(BLOCK) {
-            let mut block: [u8; BLOCK] = chunk.try_into().expect("block multiple");
+        let mut chain = |block: &mut [u8; BLOCK], out: &mut Vec<u8>| {
             for i in 0..BLOCK {
                 block[i] ^= prev[i];
             }
-            self.encrypt_block(&mut block);
-            out.extend_from_slice(&block);
-            prev = block;
+            self.encrypt_block(block);
+            out.extend_from_slice(block);
+            prev = *block;
+        };
+        // Full plaintext blocks straight from the input…
+        let full = plaintext.len() - plaintext.len() % BLOCK;
+        for chunk in plaintext[..full].chunks_exact(BLOCK) {
+            let mut block: [u8; BLOCK] = chunk.try_into().expect("block multiple");
+            chain(&mut block, out);
         }
-        out
+        // …then exactly one tail block carrying the TLS 1.2 padding
+        // (a whole pad block when the plaintext is block-aligned).
+        let rest = &plaintext[full..];
+        let pad_len = BLOCK - rest.len();
+        let mut block = [(pad_len - 1) as u8; BLOCK];
+        block[..rest.len()].copy_from_slice(rest);
+        chain(&mut block, out);
     }
 
     /// CBC-decrypt a record produced by [`BlockCipher::cbc_encrypt`].
     ///
     /// Returns `None` on bad length or malformed padding.
     pub fn cbc_decrypt(&self, data: &[u8]) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(data.len().saturating_sub(BLOCK));
+        self.cbc_decrypt_into(data, &mut out)?;
+        Some(out)
+    }
+
+    /// [`BlockCipher::cbc_decrypt`] appending the unpadded plaintext to
+    /// `out`. On failure `out` is restored to its original length.
+    pub fn cbc_decrypt_into(&self, data: &[u8], out: &mut Vec<u8>) -> Option<()> {
         if data.len() < 2 * BLOCK || !data.len().is_multiple_of(BLOCK) {
             return None;
         }
+        let start = out.len();
         let mut prev: [u8; BLOCK] = data[..BLOCK].try_into().expect("iv");
-        let mut out = Vec::with_capacity(data.len() - BLOCK);
         for chunk in data[BLOCK..].chunks(BLOCK) {
             let cipher_block: [u8; BLOCK] = chunk.try_into().expect("block multiple");
             let mut block = cipher_block;
@@ -119,16 +141,22 @@ impl BlockCipher {
             out.extend_from_slice(&block);
             prev = cipher_block;
         }
-        let pad_byte = *out.last()?;
+        let fail = |out: &mut Vec<u8>| {
+            out.truncate(start);
+            None
+        };
+        let Some(&pad_byte) = out.last() else {
+            return fail(out);
+        };
         let pad_len = pad_byte as usize + 1;
-        if pad_len > BLOCK || pad_len > out.len() {
-            return None;
+        if pad_len > BLOCK || pad_len > out.len() - start {
+            return fail(out);
         }
         if out[out.len() - pad_len..].iter().any(|&b| b != pad_byte) {
-            return None;
+            return fail(out);
         }
         out.truncate(out.len() - pad_len);
-        Some(out)
+        Some(())
     }
 }
 

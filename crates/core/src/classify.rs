@@ -17,6 +17,19 @@ pub trait RecordClassifier {
     /// Classify one sealed record length.
     fn classify(&self, length: u16) -> RecordClass;
 
+    /// Classify a contiguous array of record lengths, appending one
+    /// class per length to `out`. The streaming engine batches every
+    /// packet's records through this so the dominant classifier can run
+    /// a branch-lean kernel; the default is the scalar loop and any
+    /// override must agree with [`RecordClassifier::classify`] on every
+    /// length.
+    fn classify_lengths(&self, lengths: &[u16], out: &mut Vec<RecordClass>) {
+        out.reserve(lengths.len());
+        for &length in lengths {
+            out.push(self.classify(length));
+        }
+    }
+
     /// Short label for experiment output.
     fn name(&self) -> &'static str;
 }
@@ -66,7 +79,29 @@ impl IntervalClassifier {
         let hi = band.1.saturating_add(self.slack);
         (lo..=hi).contains(&length)
     }
+
+    /// Slack-widened inclusive bounds as `(lo, width)` pairs, the form
+    /// the branch-lean membership test consumes: `length` is in a band
+    /// iff `length.wrapping_sub(lo) <= width` (a single unsigned
+    /// compare, valid because `lo <= hi` by construction).
+    fn widened(&self) -> ((u16, u16), (u16, u16)) {
+        let lo1 = self.type1.0.saturating_sub(self.slack);
+        let hi1 = self.type1.1.saturating_add(self.slack);
+        let lo2 = self.type2.0.saturating_sub(self.slack);
+        let hi2 = self.type2.1.saturating_add(self.slack);
+        ((lo1, hi1.wrapping_sub(lo1)), (lo2, hi2.wrapping_sub(lo2)))
+    }
 }
+
+/// Band-membership lookup: bit 0 = in the type-1 band, bit 1 = in the
+/// type-2 band. Type-1 wins if the slack-widened bands ever overlap,
+/// matching the scalar test order.
+const BAND_LUT: [RecordClass; 4] = [
+    RecordClass::Other,
+    RecordClass::Type1,
+    RecordClass::Type2,
+    RecordClass::Type1,
+];
 
 impl IntervalClassifier {
     /// Serialize the trained bands (for reuse across runs — the
@@ -107,6 +142,19 @@ impl RecordClassifier for IntervalClassifier {
             RecordClass::Type2
         } else {
             RecordClass::Other
+        }
+    }
+
+    /// Branch-lean kernel: two unsigned compares and a 4-entry table
+    /// lookup per length, no data-dependent branches — the loop
+    /// auto-vectorizes over contiguous length arrays.
+    fn classify_lengths(&self, lengths: &[u16], out: &mut Vec<RecordClass>) {
+        let ((lo1, w1), (lo2, w2)) = self.widened();
+        out.reserve(lengths.len());
+        for &length in lengths {
+            let m1 = usize::from(length.wrapping_sub(lo1) <= w1);
+            let m2 = usize::from(length.wrapping_sub(lo2) <= w2);
+            out.push(BAND_LUT[m1 | (m2 << 1)]);
         }
     }
 
@@ -306,6 +354,60 @@ mod tests {
         assert_eq!(c.classify(2209), RecordClass::Type1);
         assert_eq!(c.classify(2215), RecordClass::Type1);
         assert_eq!(c.classify(2208), RecordClass::Other);
+    }
+
+    #[test]
+    fn batch_kernel_agrees_with_scalar_on_every_length() {
+        // Exhaustive over the whole u16 domain, including slack pushing
+        // bounds into saturation at both ends.
+        let cases = [
+            IntervalClassifier::train(&training(), 0).unwrap(),
+            IntervalClassifier::train(&training(), 7).unwrap(),
+            IntervalClassifier {
+                type1: (0, 3),
+                type2: (65530, 65535),
+                slack: 10,
+            },
+            IntervalClassifier {
+                type1: (100, 200),
+                type2: (150, 300), // overlapping bands: type-1 must win
+                slack: 0,
+            },
+        ];
+        for c in &cases {
+            let lengths: Vec<u16> = (0..=u16::MAX).collect();
+            let mut batch = Vec::new();
+            c.classify_lengths(&lengths, &mut batch);
+            assert_eq!(batch.len(), lengths.len());
+            for (&l, &got) in lengths.iter().zip(&batch) {
+                assert_eq!(
+                    got,
+                    c.classify(l),
+                    "bands {:?}/{:?} len {l}",
+                    c.type1,
+                    c.type2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_batch_matches_scalar_for_other_classifiers() {
+        let lengths: Vec<u16> = (0..5000).map(|i| (i * 7 % 9000) as u16).collect();
+        let hist = HistogramClassifier::train(&training(), 8);
+        let knn = KnnClassifier::train(&training(), 3);
+        let mut out = Vec::new();
+        hist.classify_lengths(&lengths, &mut out);
+        assert!(lengths
+            .iter()
+            .zip(&out)
+            .all(|(&l, &c)| c == hist.classify(l)));
+        out.clear();
+        knn.classify_lengths(&lengths, &mut out);
+        assert!(lengths
+            .iter()
+            .zip(&out)
+            .all(|(&l, &c)| c == knn.classify(l)));
     }
 
     #[test]

@@ -130,69 +130,59 @@ pub struct DatasetRun {
     pub failures: Vec<SessionFailure>,
 }
 
-/// Run every viewer's session, in parallel across available cores.
-/// Sessions that fail (possible under heavy [`SimOptions::chaos_intensity`])
-/// are collected as typed [`SessionFailure`]s instead of aborting the
-/// run — the rest of the dataset is still produced.
-pub fn try_run_dataset(
+/// Run every viewer's session across a work-stealing pool of `workers`
+/// threads (`0` = one per available core). Sessions that fail
+/// (possible under heavy [`SimOptions::chaos_intensity`]) are
+/// collected as typed [`SessionFailure`]s instead of aborting the run —
+/// the rest of the dataset is still produced.
+///
+/// Each session is a pure function of its viewer's seed, and results
+/// merge in viewer-index order, so the output is byte-identical for
+/// every worker count (the determinism suite pins this). Workers pull
+/// the next viewer index dynamically from a shared counter, so one
+/// long-chaos session no longer serializes a fixed contiguous chunk
+/// behind it — the old uneven-shard tail.
+pub fn try_run_dataset_with_workers(
     graph: &Arc<StoryGraph>,
     spec: &DatasetSpec,
     opts: &SimOptions,
+    workers: usize,
 ) -> DatasetRun {
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(spec.viewers.len().max(1));
-    type Outcome = Result<SessionRecord, SessionFailure>;
-    let mut results: Vec<Option<Outcome>> = (0..spec.viewers.len()).map(|_| None).collect();
-    let chunks: Vec<Vec<ViewerSpec>> = spec
-        .viewers
-        .chunks(spec.viewers.len().div_ceil(workers))
-        .map(<[ViewerSpec]>::to_vec)
-        .collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for chunk in &chunks {
-            let graph = graph.clone();
-            let opts = opts.clone();
-            handles.push(scope.spawn(move || {
-                chunk
-                    .iter()
-                    .map(|viewer| {
-                        let cfg = session_config(graph.clone(), viewer, &opts);
-                        match run_session(&cfg) {
-                            Ok(output) => Ok(SessionRecord {
-                                spec: *viewer,
-                                output,
-                            }),
-                            Err(error) => Err(SessionFailure {
-                                spec: *viewer,
-                                error,
-                            }),
-                        }
-                    })
-                    .collect::<Vec<_>>()
-            }));
-        }
-        let mut idx = 0;
-        for handle in handles {
-            for outcome in handle.join().expect("worker panicked") {
-                results[idx] = Some(outcome);
-                idx += 1;
-            }
+    let outcomes = wm_pool::run_indexed(spec.viewers.len(), workers, |i| {
+        let viewer = &spec.viewers[i];
+        let cfg = session_config(graph.clone(), viewer, opts);
+        match run_session(&cfg) {
+            Ok(output) => Ok(SessionRecord {
+                spec: *viewer,
+                output,
+            }),
+            Err(error) => Err(SessionFailure {
+                spec: *viewer,
+                error,
+            }),
         }
     });
     let mut run = DatasetRun {
         records: Vec::new(),
         failures: Vec::new(),
     };
-    for outcome in results {
-        match outcome.expect("all sessions ran") {
+    for outcome in outcomes {
+        match outcome {
             Ok(record) => run.records.push(record),
             Err(failure) => run.failures.push(failure),
         }
     }
     run
+}
+
+/// [`try_run_dataset_with_workers`] with the auto worker count (one
+/// per available core).
+pub fn try_run_dataset(
+    graph: &Arc<StoryGraph>,
+    spec: &DatasetSpec,
+    opts: &SimOptions,
+) -> DatasetRun {
+    try_run_dataset_with_workers(graph, spec, opts, 0)
 }
 
 /// Run every viewer's session, panicking on the first failure. Clean
@@ -320,6 +310,45 @@ mod tests {
         for (x, y) in a.failures.iter().zip(b.failures.iter()) {
             assert_eq!(x.spec.id, y.spec.id);
             assert_eq!(x.error, y.error);
+        }
+    }
+
+    /// Worker-count invariance under a pathologically skewed workload:
+    /// heavy chaos makes session lengths wildly uneven (some sessions
+    /// retry and stall, some die early, some run clean), which is
+    /// exactly the distribution that serialized the old contiguous
+    /// chunking. Every worker count must produce byte-identical
+    /// records *and* the identical failure list. (The scheduling-level
+    /// half of this regression — a long task no longer blocks the
+    /// tasks behind it — is pinned deterministically in `wm-pool`.)
+    #[test]
+    fn skewed_session_lengths_replay_identically_across_worker_counts() {
+        let graph = Arc::new(tiny_film());
+        let spec = DatasetSpec::generate("skew", 10, 404);
+        let opts = SimOptions {
+            chaos_intensity: 2.0,
+            chaos_horizon: Duration::from_secs(4),
+            ..fast_opts()
+        };
+        let base = try_run_dataset_with_workers(&graph, &spec, &opts, 1);
+        assert_eq!(base.records.len() + base.failures.len(), 10);
+        for workers in [2usize, 5, 8] {
+            let run = try_run_dataset_with_workers(&graph, &spec, &opts, workers);
+            assert_eq!(base.records.len(), run.records.len(), "workers {workers}");
+            assert_eq!(base.failures.len(), run.failures.len(), "workers {workers}");
+            for (x, y) in base.records.iter().zip(run.records.iter()) {
+                assert_eq!(x.spec.id, y.spec.id);
+                assert_eq!(
+                    x.output.trace.to_pcap_bytes(),
+                    y.output.trace.to_pcap_bytes(),
+                    "workers {workers}, viewer {}",
+                    x.spec.id
+                );
+            }
+            for (x, y) in base.failures.iter().zip(run.failures.iter()) {
+                assert_eq!(x.spec.id, y.spec.id);
+                assert_eq!(x.error, y.error);
+            }
         }
     }
 

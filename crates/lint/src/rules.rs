@@ -91,7 +91,8 @@ pub const BYTE_PRODUCING_CRATES: &[&str] = &[
 /// Attacker-side crates: everything they may declare in
 /// `[dependencies]`. The capture window (`wm-capture`) re-exports the
 /// wire-observable vocabulary; `wm-story` is the public story graph an
-/// attacker reconstructs offline; telemetry and JSON are inert
+/// attacker reconstructs offline; telemetry, JSON and the work-stealing
+/// pool (`wm-pool`, pure scheduling over indexed tasks) are inert
 /// utilities. Other attacker crates are also fine (the pipeline layers
 /// internally). `[dev-dependencies]` are exempt — integration tests
 /// legitimately stand up a simulated victim.
@@ -103,6 +104,7 @@ pub const ATTACKER_ALLOWED_DEPS: &[&str] = &[
     "wm-core",
     "wm-json",
     "wm-online",
+    "wm-pool",
     "wm-story",
     "wm-telemetry",
     "wm-trace",

@@ -20,9 +20,16 @@ use wm_capture::time::SimTime;
 /// An *output* buffer: grows only within one `push_packet` call and is
 /// consumed at the end of it, so its size is bounded by the work a
 /// single packet can produce (itself bounded by the ingest budgets).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Batch<T> {
     items: Vec<T>,
+}
+
+// Manual impl: an empty batch needs no `T: Default`.
+impl<T> Default for Batch<T> {
+    fn default() -> Self {
+        Batch::new()
+    }
 }
 
 impl<T> Batch<T> {
@@ -44,6 +51,12 @@ impl<T> Batch<T> {
 
     pub fn as_slice(&self) -> &[T] {
         &self.items
+    }
+
+    /// Empty the batch, keeping its allocation for the next packet —
+    /// callers that drive a long session reuse one batch throughout.
+    pub fn clear(&mut self) {
+        self.items.clear();
     }
 
     pub fn into_vec(self) -> Vec<T> {
@@ -149,9 +162,15 @@ impl<T> BoundedVec<T> {
 /// A contiguous byte buffer with a hard capacity: the reassembly carry
 /// of one flow direction. [`ByteCarry::absorb`] refuses rather than
 /// exceeding the cap, so a desynchronized stream cannot grow it.
+///
+/// Consumed bytes are tracked by a head cursor rather than drained, so
+/// the per-record hot path ([`ByteCarry::drop_front`]) is O(1); the
+/// buffer compacts once consumed bytes outweigh the live tail, bounding
+/// physical occupancy at ~2x the live length (itself capped).
 #[derive(Debug, Clone)]
 pub struct ByteCarry {
     bytes: Vec<u8>,
+    head: usize,
     cap: usize,
 }
 
@@ -159,6 +178,7 @@ impl ByteCarry {
     pub fn new(cap: usize) -> Self {
         ByteCarry {
             bytes: Vec::new(),
+            head: 0,
             cap: cap.max(1),
         }
     }
@@ -166,43 +186,55 @@ impl ByteCarry {
     pub(crate) fn from_vec(mut bytes: Vec<u8>, cap: usize) -> Self {
         let cap = cap.max(1);
         bytes.truncate(cap);
-        ByteCarry { bytes, cap }
+        ByteCarry {
+            bytes,
+            head: 0,
+            cap,
+        }
     }
 
     pub fn cap(&self) -> usize {
         self.cap
     }
 
+    /// Live (unconsumed) byte count.
     pub fn len(&self) -> usize {
-        self.bytes.len()
+        self.bytes.len() - self.head
     }
 
     pub fn is_empty(&self) -> bool {
-        self.bytes.is_empty()
+        self.head == self.bytes.len()
     }
 
     pub fn as_slice(&self) -> &[u8] {
-        &self.bytes
+        self.bytes.get(self.head..).unwrap_or_default()
     }
 
     pub fn clear(&mut self) {
         self.bytes.clear();
+        self.head = 0;
     }
 
     /// Append `data`; `false` (nothing appended) if it would exceed the
     /// cap.
     pub fn absorb(&mut self, data: &[u8]) -> bool {
-        if self.bytes.len().saturating_add(data.len()) > self.cap {
+        if self.len().saturating_add(data.len()) > self.cap {
             return false;
         }
         self.bytes.extend_from_slice(data);
         true
     }
 
-    /// Drop the first `n` bytes (clamped to the buffer length).
+    /// Drop the first `n` live bytes (clamped to the live length).
     pub fn drop_front(&mut self, n: usize) {
-        let n = n.min(self.bytes.len());
-        self.bytes.drain(..n);
+        self.head += n.min(self.len());
+        if self.head == self.bytes.len() {
+            self.clear();
+        } else if self.head >= self.bytes.len() - self.head {
+            self.bytes.copy_within(self.head.., 0);
+            self.bytes.truncate(self.bytes.len() - self.head);
+            self.head = 0;
+        }
     }
 }
 
@@ -216,7 +248,16 @@ pub struct ParkedSegments {
     bytes: usize,
     max_bytes: usize,
     max_segs: usize,
+    /// Retired segment buffers awaiting reuse (poison-filled on
+    /// return). Bounded by `max_segs`; empty when recycling is off.
+    spare: Vec<Vec<u8>>,
+    recycle_enabled: bool,
 }
+
+/// Byte recycled buffers are filled with before reuse, so any read of
+/// stale contents shows up as an obviously wrong pattern instead of a
+/// silent replay of a previous segment's bytes.
+pub const RECYCLE_POISON: u8 = 0xa5;
 
 impl ParkedSegments {
     pub fn new(max_bytes: usize, max_segs: usize) -> Self {
@@ -225,7 +266,31 @@ impl ParkedSegments {
             bytes: 0,
             max_bytes: max_bytes.max(1),
             max_segs: max_segs.max(1),
+            spare: Vec::new(),
+            recycle_enabled: true,
         }
+    }
+
+    /// Toggle buffer recycling. Off means every parked segment gets a
+    /// fresh allocation — the oracle the hygiene tests compare against.
+    pub fn set_recycling(&mut self, on: bool) {
+        self.recycle_enabled = on;
+        if !on {
+            self.spare.clear();
+        }
+    }
+
+    /// Return a retired segment buffer to the free list, poison-filled.
+    /// Dropped (freed) when recycling is off or the list is full.
+    pub fn recycle(&mut self, mut buf: Vec<u8>) {
+        if !self.recycle_enabled || self.spare.len() >= self.max_segs {
+            return;
+        }
+        for b in buf.iter_mut() {
+            *b = RECYCLE_POISON;
+        }
+        buf.clear();
+        self.spare.push(buf);
     }
 
     pub fn len(&self) -> usize {
@@ -252,7 +317,9 @@ impl ParkedSegments {
         {
             return false;
         }
-        self.segs.insert(off, (time, data.to_vec()));
+        let mut buf = self.spare.pop().unwrap_or_default();
+        buf.extend_from_slice(data);
+        self.segs.insert(off, (time, buf));
         self.bytes = self.bytes.saturating_add(data.len());
         true
     }
@@ -328,6 +395,41 @@ mod tests {
         assert_eq!(c.as_slice(), &[3, 4]);
         c.drop_front(10);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn byte_carry_cursor_preserves_contents_across_compaction() {
+        let mut c = ByteCarry::new(16);
+        assert!(c.absorb(&[1, 2, 3, 4, 5, 6]));
+        c.drop_front(1); // head < live: no compaction yet
+        assert_eq!(c.as_slice(), &[2, 3, 4, 5, 6]);
+        c.drop_front(3); // head >= live: compacts
+        assert_eq!(c.as_slice(), &[5, 6]);
+        assert_eq!(c.len(), 2);
+        assert!(c.absorb(&[7, 8]));
+        assert_eq!(c.as_slice(), &[5, 6, 7, 8]);
+        // Cap applies to live bytes, not consumed history.
+        assert!(c.absorb(&[0; 12]));
+        assert!(!c.absorb(&[0]));
+    }
+
+    #[test]
+    fn recycled_parked_buffers_replay_only_new_bytes() {
+        let mut p = ParkedSegments::new(64, 4);
+        assert!(p.park(0, SimTime(1), &[1, 2, 3, 4, 5]));
+        let (_, _, data) = p.take_first().unwrap();
+        p.recycle(data);
+        // A shorter segment reusing the buffer must not drag the old
+        // tail along.
+        assert!(p.park(9, SimTime(2), &[7, 8]));
+        let (off, t, reused) = p.take_first().unwrap();
+        assert_eq!((off, t, reused.as_slice()), (9, SimTime(2), &[7u8, 8][..]));
+        // Recycling off: the free list empties and stays empty.
+        p.recycle(reused);
+        p.set_recycling(false);
+        assert!(p.park(20, SimTime(3), &[6]));
+        let (_, _, fresh) = p.take_first().unwrap();
+        assert_eq!(fresh, vec![6]);
     }
 
     #[test]

@@ -277,6 +277,13 @@ pub struct OnlineDecoder {
     pub(crate) records_seen: u64,
     pub(crate) records_at_checkpoint: u64,
 
+    // -- per-call scratch: cleared on every use, never part of decoder
+    //    state (checkpoints ignore it). Bounded by one push's record
+    //    yield, which the ingest budgets cap.
+    admit_scratch: Batch<ExtractedRecord>,
+    len_scratch: Batch<u16>,
+    class_scratch: Vec<RecordClass>,
+
     pub(crate) stats: OnlineStats,
     telemetry: Option<OnlineTelemetry>,
     trace: Option<(TraceHandle, SpanId)>,
@@ -323,6 +330,9 @@ impl OnlineDecoder {
             emitted: 0,
             records_seen: 0,
             records_at_checkpoint: 0,
+            admit_scratch: Batch::new(),
+            len_scratch: Batch::new(),
+            class_scratch: Vec::new(),
             stats: OnlineStats::default(),
             telemetry: None,
             trace: None,
@@ -474,6 +484,18 @@ impl OnlineDecoder {
     }
 
     fn note_records(&mut self, recs: Batch<ExtractedRecord>) {
+        // Two passes: admission filtering first, then one batch
+        // classification over the survivors' contiguous length array —
+        // the dominant classifier runs its branch-lean kernel instead
+        // of a per-record virtual call. The scratch buffers are taken
+        // out of `self` for the duration to keep the borrow on the
+        // pending queue disjoint.
+        let mut admitted = std::mem::take(&mut self.admit_scratch);
+        let mut lengths = std::mem::take(&mut self.len_scratch);
+        let mut classes = std::mem::take(&mut self.class_scratch);
+        admitted.clear();
+        lengths.clear();
+        classes.clear();
         for r in recs.into_vec() {
             self.stats.records = self.stats.records.saturating_add(1);
             self.records_seen = self.records_seen.saturating_add(1);
@@ -493,11 +515,17 @@ impl OnlineDecoder {
                 }
                 continue;
             }
+            admitted.put(r);
+            lengths.put(r.length);
+        }
+        self.classifier
+            .classify_lengths(lengths.as_slice(), &mut classes);
+        for (r, &class) in admitted.as_slice().iter().zip(classes.iter()) {
             let ev = PendingEvent {
                 time: r.time,
                 seq: self.admit_seq,
                 length: r.length,
-                class: self.classifier.classify(r.length),
+                class,
             };
             self.admit_seq = self.admit_seq.saturating_add(1);
             if self.pending.len() >= self.pending.cap() {
@@ -512,6 +540,9 @@ impl OnlineDecoder {
             }
             self.pending.admit_sorted_by_key(ev, |e| (e.time, e.seq));
         }
+        self.admit_scratch = admitted;
+        self.len_scratch = lengths;
+        self.class_scratch = classes;
     }
 
     /// An event's timestamp became final: assign its application-record

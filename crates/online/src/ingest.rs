@@ -235,6 +235,14 @@ impl FlowIngest {
         self.stats
     }
 
+    /// Toggle parked-segment buffer recycling (on by default). Turning
+    /// it off makes every park a fresh allocation — the oracle the
+    /// buffer-hygiene tests compare the recycling path against; the
+    /// record/gap output must be identical either way.
+    pub fn set_buffer_recycling(&mut self, on: bool) {
+        self.parked.set_recycling(on);
+    }
+
     /// Bytes of state this flow currently holds (memory accounting).
     pub fn state_bytes(&self) -> usize {
         self.carry.len()
@@ -292,6 +300,7 @@ impl FlowIngest {
         self.note_gap(time, gaps);
         self.reset_carry_to(off);
         self.absorb_at(off, time, &data);
+        self.parked.recycle(data);
         self.absorb_parked_chain();
         true
     }
@@ -337,10 +346,12 @@ impl FlowIngest {
             if end <= appended_end {
                 self.stats.duplicate_bytes =
                     self.stats.duplicate_bytes.saturating_add(data.len() as u64);
+                self.parked.recycle(data);
                 continue;
             }
             let skip = (appended_end - o) as usize;
             self.absorb_at(appended_end, t, data.get(skip..).unwrap_or_default());
+            self.parked.recycle(data);
         }
         if self.parked.is_empty() {
             self.hole_since = None;

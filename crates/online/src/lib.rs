@@ -36,7 +36,9 @@ pub mod bounded;
 pub mod checkpoint;
 pub mod engine;
 pub mod ingest;
+pub mod shard;
 
 pub use checkpoint::{graph_fingerprint, CheckpointError, CHECKPOINT_VERSION};
 pub use engine::{OnlineConfig, OnlineDecoder, OnlineStats, OnlineVerdict};
 pub use ingest::{ExtractedRecord, FlowIngest, GapEvent, IngestLimits, IngestStats};
+pub use shard::{decode_sessions_sharded, replay_session, CapturedPacket, SessionDecode};

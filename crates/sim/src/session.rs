@@ -116,6 +116,13 @@ struct SessionState<'a> {
     tap_frames_dropped: u64,
     chaos_tel: Option<ChaosTelemetry>,
 
+    /// Reused TLS scratch: sealed wire bytes of the current write and
+    /// drained plaintext records of the current delivery. Capacity
+    /// persists across events so the steady-state record path
+    /// allocates nothing.
+    wire_buf: Vec<u8>,
+    rec_texts: Vec<Vec<u8>>,
+
     /// Per-session metric registry (None when telemetry is disabled).
     registry: Option<Registry>,
     spans: Option<SimSpans>,
@@ -313,6 +320,8 @@ impl<'a> SessionState<'a> {
             reconnects: 0,
             tap_frames_dropped: 0,
             chaos_tel,
+            wire_buf: Vec::new(),
+            rec_texts: Vec::new(),
             registry,
             spans,
             trace,
@@ -586,13 +595,17 @@ impl<'a> SessionState<'a> {
                 break;
             }
             let (_, bytes) = self.server_out.pop_front().expect("peeked");
-            let wire = {
+            self.wire_buf.clear();
+            {
                 let spans = self.spans.clone();
                 let _s = spans.as_ref().map(|s| s.seal_ns.span());
-                self.server_tls
-                    .seal_payload(ContentType::ApplicationData, &bytes)
-            };
-            self.server_tcp.write(&wire);
+                self.server_tls.seal_payload_into(
+                    ContentType::ApplicationData,
+                    &bytes,
+                    &mut self.wire_buf,
+                );
+            }
+            self.server_tcp.write(&self.wire_buf);
         }
         self.flush_tcp(now, PeerId::Server);
     }
@@ -637,22 +650,28 @@ impl<'a> SessionState<'a> {
             return Ok(());
         }
         self.server_tls.feed(bytes);
-        let records = {
+        let mut texts = std::mem::take(&mut self.rec_texts);
+        let drained = {
             let spans = self.spans.clone();
             let _s = spans.as_ref().map(|s| s.open_ns.span());
-            self.server_tls.drain_records().map_err(|e| {
-                self.fail(
+            drain_records_reused(&mut self.server_tls, &mut texts)
+        };
+        let n = match drained {
+            Ok(n) => n,
+            Err(e) => {
+                self.rec_texts = texts;
+                return Err(self.fail(
                     now,
                     SessionErrorKind::RecordLayer {
                         side: Side::Server,
                         detail: e.to_string(),
                     },
-                )
-            })?
+                ));
+            }
         };
         let mut got_request = false;
-        for (_, plaintext) in records {
-            let requests = self.req_parser.feed(&plaintext).map_err(|e| {
+        for plaintext in texts.iter().take(n) {
+            let requests = self.req_parser.feed(plaintext).map_err(|e| {
                 self.fail(
                     now,
                     SessionErrorKind::HttpParse {
@@ -694,6 +713,7 @@ impl<'a> SessionState<'a> {
                 got_request = true;
             }
         }
+        self.rec_texts = texts;
         let _ = got_request;
         Ok(())
     }
@@ -704,21 +724,27 @@ impl<'a> SessionState<'a> {
             return Ok(());
         }
         self.client_tls.feed(bytes);
-        let records = {
+        let mut texts = std::mem::take(&mut self.rec_texts);
+        let drained = {
             let spans = self.spans.clone();
             let _s = spans.as_ref().map(|s| s.open_ns.span());
-            self.client_tls.drain_records().map_err(|e| {
-                self.fail(
+            drain_records_reused(&mut self.client_tls, &mut texts)
+        };
+        let n = match drained {
+            Ok(n) => n,
+            Err(e) => {
+                self.rec_texts = texts;
+                return Err(self.fail(
                     now,
                     SessionErrorKind::RecordLayer {
                         side: Side::Client,
                         detail: e.to_string(),
                     },
-                )
-            })?
+                ));
+            }
         };
-        for (_, plaintext) in records {
-            let responses = self.resp_parser.feed(&plaintext).map_err(|e| {
+        for plaintext in texts.iter().take(n) {
+            let responses = self.resp_parser.feed(plaintext).map_err(|e| {
                 self.fail(
                     now,
                     SessionErrorKind::HttpParse {
@@ -736,6 +762,7 @@ impl<'a> SessionState<'a> {
                 self.apply_player_actions(now, actions);
             }
         }
+        self.rec_texts = texts;
         Ok(())
     }
 
@@ -761,12 +788,16 @@ impl<'a> SessionState<'a> {
             };
             let whole_report = is_state && writes.len() == 1;
             for write in &writes {
-                let wire = {
+                self.wire_buf.clear();
+                {
                     let spans = self.spans.clone();
                     let _s = spans.as_ref().map(|s| s.seal_ns.span());
-                    self.client_tls
-                        .seal_payload(ContentType::ApplicationData, write)
-                };
+                    self.client_tls.seal_payload_into(
+                        ContentType::ApplicationData,
+                        write,
+                        &mut self.wire_buf,
+                    );
+                }
                 // Label each record of this write.
                 let n_records = write.len().div_ceil(MAX_FRAGMENT).max(1);
                 let class = match out.kind {
@@ -777,13 +808,13 @@ impl<'a> SessionState<'a> {
                 if n_records == 1 {
                     self.labels.push(LabeledRecord {
                         time: now,
-                        length: (wire.len() - RECORD_HEADER_LEN) as u16,
+                        length: (self.wire_buf.len() - RECORD_HEADER_LEN) as u16,
                         class,
                     });
                 } else {
                     // Fragmented write (never a clean state report).
                     let mut obs = wm_tls::RecordObserver::new();
-                    for r in obs.feed(&wire) {
+                    for r in obs.feed(&self.wire_buf) {
                         self.labels.push(LabeledRecord {
                             time: now,
                             length: r.length,
@@ -791,7 +822,7 @@ impl<'a> SessionState<'a> {
                         });
                     }
                 }
-                self.client_tcp.write(&wire);
+                self.client_tcp.write(&self.wire_buf);
             }
             self.flush_tcp(now, PeerId::Client);
         }
@@ -1115,6 +1146,28 @@ impl<'a> SessionState<'a> {
                     kind: TCP_RTO,
                 },
             );
+        }
+    }
+}
+
+/// `RecordEngine::drain_records` into reusable plaintext buffers:
+/// record `i` of this call lands in `texts[i]`, growing `texts` only
+/// when a delivery yields more records than any before it. Error
+/// behavior matches the allocating API — on failure the records
+/// already parsed this call are discarded unprocessed.
+fn drain_records_reused(
+    engine: &mut RecordEngine,
+    texts: &mut Vec<Vec<u8>>,
+) -> Result<usize, wm_tls::TlsError> {
+    let mut n = 0usize;
+    loop {
+        if texts.len() == n {
+            texts.push(Vec::new());
+        }
+        match engine.next_record_into(&mut texts[n]) {
+            Ok(Some(_)) => n += 1,
+            Ok(None) => return Ok(n),
+            Err(e) => return Err(e),
         }
     }
 }

@@ -6,13 +6,13 @@
 //! data (or the CBC MAC), so replayed, reordered or truncated records
 //! fail authentication in tests that exercise those paths.
 
-use crate::record::{fragment, ContentType, RecordHeader, MAX_CIPHERTEXT, RECORD_HEADER_LEN};
+use crate::record::{fragments, ContentType, RecordHeader, MAX_CIPHERTEXT, RECORD_HEADER_LEN};
 use crate::suite::{CipherSuite, CBC_MAC_LEN};
 use std::sync::Arc;
 use wm_cipher::block::{BlockCipher, BLOCK};
 use wm_cipher::kdf::{derive_key, mix};
 use wm_cipher::mac::{tags_equal, Mac128};
-use wm_cipher::{open, seal, Key, Nonce};
+use wm_cipher::{open_into, seal_into, Key, Nonce};
 use wm_telemetry::{Counter, Registry};
 use wm_trace::{SpanId, TraceHandle};
 
@@ -90,6 +90,18 @@ pub struct RecordEngine {
     read_seq: u64,
     /// Bytes received but not yet parsed into complete records.
     rx_buf: Vec<u8>,
+    /// Cursor into `rx_buf`: everything before it has been consumed.
+    /// Advancing the cursor instead of draining per record keeps the
+    /// receive path allocation- and memmove-free; `feed` compacts the
+    /// buffer once consumed bytes dominate, so memory stays bounded by
+    /// ~2x the live backlog.
+    rx_pos: usize,
+    /// Reusable `payload || MAC` staging buffer for CBC sealing.
+    scratch: Vec<u8>,
+    /// Key-scheduled block ciphers, built once per connection instead
+    /// of once per record (CBC suites only).
+    write_block: Option<BlockCipher>,
+    read_block: Option<BlockCipher>,
     telemetry: Option<EngineTelemetry>,
     /// Causal trace sink: events land under the attached span (the
     /// owning flow), stamped with the recorder's shared sim clock.
@@ -108,6 +120,13 @@ impl RecordEngine {
     }
 
     fn new(suite: CipherSuite, write_key: Key, read_key: Key) -> Self {
+        let (write_block, read_block) = match suite {
+            CipherSuite::Cbc => (
+                Some(BlockCipher::new(&write_key)),
+                Some(BlockCipher::new(&read_key)),
+            ),
+            CipherSuite::Aead => (None, None),
+        };
         RecordEngine {
             suite,
             write_key,
@@ -115,6 +134,10 @@ impl RecordEngine {
             write_seq: 0,
             read_seq: 0,
             rx_buf: Vec::new(),
+            rx_pos: 0,
+            scratch: Vec::new(),
+            write_block,
+            read_block,
             telemetry: None,
             trace: None,
         }
@@ -142,10 +165,23 @@ impl RecordEngine {
     /// fragmenting at the 2^14 plaintext limit.
     pub fn seal_payload(&mut self, content_type: ContentType, payload: &[u8]) -> Vec<u8> {
         let mut wire = Vec::with_capacity(payload.len() + 64);
-        for frag in fragment(payload) {
-            self.seal_fragment(content_type, frag, &mut wire);
-        }
+        self.seal_payload_into(content_type, payload, &mut wire);
         wire
+    }
+
+    /// [`RecordEngine::seal_payload`] appending the wire records to
+    /// `wire` — hot session loops reuse one wire buffer across sends
+    /// instead of allocating per payload. Bytes appended and sequence
+    /// numbers consumed are identical to `seal_payload`.
+    pub fn seal_payload_into(
+        &mut self,
+        content_type: ContentType,
+        payload: &[u8],
+        wire: &mut Vec<u8>,
+    ) {
+        for frag in fragments(payload) {
+            self.seal_fragment(content_type, frag, wire);
+        }
     }
 
     /// Seal exactly one record; `payload` must fit a single fragment.
@@ -177,30 +213,43 @@ impl RecordEngine {
             length: ct_len as u16,
         };
         wire.extend_from_slice(&header.to_bytes());
+        let body_start = wire.len();
         match self.suite {
             CipherSuite::Aead => {
                 let nonce = make_nonce(seq);
                 let aad = make_aad(seq, &header);
-                let sealed = seal(&self.write_key, &nonce, &aad, payload);
-                debug_assert_eq!(sealed.len(), ct_len);
-                wire.extend_from_slice(&sealed);
+                seal_into(&self.write_key, &nonce, &aad, payload, wire);
             }
             CipherSuite::Cbc => {
                 let mac = cbc_mac(&self.write_key, seq, &header, payload);
-                let mut plain = Vec::with_capacity(payload.len() + CBC_MAC_LEN);
-                plain.extend_from_slice(payload);
-                plain.extend_from_slice(&mac);
+                self.scratch.clear();
+                self.scratch.extend_from_slice(payload);
+                self.scratch.extend_from_slice(&mac);
                 let iv = cbc_iv(&self.write_key, seq);
-                let cipher = BlockCipher::new(&self.write_key);
-                let sealed = cipher.cbc_encrypt(&iv, &plain);
-                debug_assert_eq!(sealed.len(), ct_len);
-                wire.extend_from_slice(&sealed);
+                let cipher = self
+                    .write_block
+                    .as_ref()
+                    .expect("cbc suite has block cipher");
+                cipher.cbc_encrypt_into(&iv, &self.scratch, wire);
             }
         }
+        debug_assert_eq!(wire.len() - body_start, ct_len);
     }
 
     /// Feed received wire bytes into the reassembly buffer.
+    ///
+    /// Compacts the buffer first when consumed bytes outweigh the live
+    /// backlog, so a long-lived connection never grows its receive
+    /// buffer past ~2x the unparsed bytes (amortized O(1) per byte).
     pub fn feed(&mut self, bytes: &[u8]) {
+        if self.rx_pos == self.rx_buf.len() {
+            self.rx_buf.clear();
+            self.rx_pos = 0;
+        } else if self.rx_pos >= self.rx_buf.len() - self.rx_pos {
+            self.rx_buf.copy_within(self.rx_pos.., 0);
+            self.rx_buf.truncate(self.rx_buf.len() - self.rx_pos);
+            self.rx_pos = 0;
+        }
         self.rx_buf.extend_from_slice(bytes);
     }
 
@@ -208,51 +257,73 @@ impl RecordEngine {
     ///
     /// Returns `Ok(None)` when more bytes are needed.
     pub fn next_record(&mut self) -> Result<Option<(ContentType, Vec<u8>)>, TlsError> {
-        if self.rx_buf.len() < RECORD_HEADER_LEN {
+        let mut out = Vec::new();
+        match self.next_record_into(&mut out)? {
+            Some(content_type) => Ok(Some((content_type, out))),
+            None => Ok(None),
+        }
+    }
+
+    /// [`RecordEngine::next_record`], writing the plaintext into `out`
+    /// (cleared first) — hot session loops reuse one plaintext buffer
+    /// across records instead of allocating per record. Consumption,
+    /// sequence and error semantics are identical to `next_record`.
+    pub fn next_record_into(&mut self, out: &mut Vec<u8>) -> Result<Option<ContentType>, TlsError> {
+        out.clear();
+        let live = &self.rx_buf[self.rx_pos..];
+        if live.len() < RECORD_HEADER_LEN {
             return Ok(None);
         }
-        let header_bytes: [u8; RECORD_HEADER_LEN] = self.rx_buf[..RECORD_HEADER_LEN]
-            .try_into()
-            .expect("header length");
+        let header_bytes: [u8; RECORD_HEADER_LEN] =
+            live[..RECORD_HEADER_LEN].try_into().expect("header length");
         let header = RecordHeader::parse(&header_bytes).ok_or(TlsError::Desync)?;
         let total = RECORD_HEADER_LEN + header.length as usize;
-        if self.rx_buf.len() < total {
+        if live.len() < total {
             return Ok(None);
         }
-        let body: Vec<u8> = self.rx_buf[RECORD_HEADER_LEN..total].to_vec();
-        self.rx_buf.drain(..total);
+        // Consume the record before authenticating it, matching the
+        // historical drain-then-decrypt behavior: a bad record does not
+        // re-present its bytes on the next call.
+        let start = self.rx_pos;
+        self.rx_pos += total;
+        let body = &self.rx_buf[start + RECORD_HEADER_LEN..start + total];
         let seq = self.read_seq;
         self.read_seq += 1;
-        let plaintext = match self.suite {
+        match self.suite {
             CipherSuite::Aead => {
                 let nonce = make_nonce(seq);
                 let aad = make_aad(seq, &header);
-                open(&self.read_key, &nonce, &aad, &body).map_err(|_| TlsError::BadRecord)?
+                open_into(&self.read_key, &nonce, &aad, body, out)
+                    .map_err(|_| TlsError::BadRecord)?;
             }
             CipherSuite::Cbc => {
-                let cipher = BlockCipher::new(&self.read_key);
-                let mut plain = cipher.cbc_decrypt(&body).ok_or(TlsError::BadRecord)?;
-                if plain.len() < CBC_MAC_LEN {
+                let cipher = self
+                    .read_block
+                    .as_ref()
+                    .expect("cbc suite has block cipher");
+                cipher
+                    .cbc_decrypt_into(body, out)
+                    .ok_or(TlsError::BadRecord)?;
+                if out.len() < CBC_MAC_LEN {
                     return Err(TlsError::BadRecord);
                 }
-                let mac_start = plain.len() - CBC_MAC_LEN;
-                let got_mac: [u8; CBC_MAC_LEN] = plain[mac_start..].try_into().expect("mac length");
-                plain.truncate(mac_start);
-                let expect = cbc_mac(&self.read_key, seq, &header, &plain);
+                let mac_start = out.len() - CBC_MAC_LEN;
+                let got_mac: [u8; CBC_MAC_LEN] = out[mac_start..].try_into().expect("mac length");
+                out.truncate(mac_start);
+                let expect = cbc_mac(&self.read_key, seq, &header, out);
                 if !mac20_equal(&expect, &got_mac) {
                     return Err(TlsError::BadRecord);
                 }
-                plain
             }
-        };
+        }
         if let Some(t) = &self.telemetry {
             t.records_opened.inc();
-            t.bytes_opened.add(plaintext.len() as u64);
+            t.bytes_opened.add(out.len() as u64);
         }
         if let Some((h, span)) = &self.trace {
-            h.instant(*span, "tls.record.opened", seq, plaintext.len() as u64);
+            h.instant(*span, "tls.record.opened", seq, out.len() as u64);
         }
-        Ok(Some((header.content_type, plaintext)))
+        Ok(Some(header.content_type))
     }
 
     /// Drain every complete record currently buffered.
@@ -276,10 +347,10 @@ fn make_nonce(seq: u64) -> Nonce {
 
 /// AEAD associated data: sequence number plus the record header, binding
 /// type/version/length into the tag (RFC 5246 §6.2.3.3 shape).
-fn make_aad(seq: u64, header: &RecordHeader) -> Vec<u8> {
-    let mut aad = Vec::with_capacity(13);
-    aad.extend_from_slice(&seq.to_be_bytes());
-    aad.extend_from_slice(&header.to_bytes());
+fn make_aad(seq: u64, header: &RecordHeader) -> [u8; 13] {
+    let mut aad = [0u8; 13];
+    aad[..8].copy_from_slice(&seq.to_be_bytes());
+    aad[8..].copy_from_slice(&header.to_bytes());
     aad
 }
 
@@ -468,6 +539,30 @@ mod tests {
         );
         // The server sealed nothing.
         assert_eq!(snap.counters["tls.server.records_sealed"], 0);
+    }
+
+    #[test]
+    fn reused_buffers_match_fresh_allocations() {
+        for suite in [CipherSuite::Aead, CipherSuite::Cbc] {
+            let (mut fresh_tx, mut fresh_rx) = pair(suite);
+            let (mut reuse_tx, mut reuse_rx) = pair(suite);
+            // Start the reused buffers poisoned so stale bytes would show.
+            let mut wire = vec![0xa5u8; 97];
+            let mut plain = vec![0xa5u8; 41];
+            for i in 0..12usize {
+                let payload: Vec<u8> = (0..i * 157 + 1).map(|b| (b ^ i) as u8).collect();
+                let fresh_wire = fresh_tx.seal_payload(ContentType::ApplicationData, &payload);
+                wire.clear();
+                reuse_tx.seal_payload_into(ContentType::ApplicationData, &payload, &mut wire);
+                assert_eq!(wire, fresh_wire, "suite {suite:?} iter {i}");
+                fresh_rx.feed(&fresh_wire);
+                reuse_rx.feed(&wire);
+                let (_, fresh_plain) = fresh_rx.next_record().unwrap().unwrap();
+                let ct = reuse_rx.next_record_into(&mut plain).unwrap().unwrap();
+                assert_eq!(ct, ContentType::ApplicationData);
+                assert_eq!(plain, fresh_plain, "suite {suite:?} iter {i}");
+            }
+        }
     }
 
     #[test]

@@ -96,14 +96,57 @@ impl RecordHeader {
     }
 }
 
-/// Split a plaintext payload into fragments no longer than
-/// [`MAX_FRAGMENT`]. An empty payload yields one empty fragment (TLS
-/// permits zero-length application-data records).
-pub fn fragment(payload: &[u8]) -> Vec<&[u8]> {
-    if payload.is_empty() {
-        return vec![payload];
+/// Iterator over a payload's [`MAX_FRAGMENT`]-sized plaintext
+/// fragments (see [`fragments`]).
+#[derive(Debug, Clone)]
+pub struct Fragments<'a> {
+    rest: &'a [u8],
+    emitted_any: bool,
+}
+
+impl<'a> Iterator for Fragments<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.rest.is_empty() {
+            if self.emitted_any {
+                return None;
+            }
+            self.emitted_any = true;
+            return Some(self.rest);
+        }
+        let n = self.rest.len().min(MAX_FRAGMENT);
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        self.emitted_any = true;
+        Some(head)
     }
-    payload.chunks(MAX_FRAGMENT).collect()
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = if self.rest.is_empty() {
+            usize::from(!self.emitted_any)
+        } else {
+            self.rest.len().div_ceil(MAX_FRAGMENT)
+        };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Fragments<'_> {}
+
+/// Split a plaintext payload into fragments no longer than
+/// [`MAX_FRAGMENT`], without allocating. An empty payload yields one
+/// empty fragment (TLS permits zero-length application-data records).
+pub fn fragments(payload: &[u8]) -> Fragments<'_> {
+    Fragments {
+        rest: payload,
+        emitted_any: false,
+    }
+}
+
+/// [`fragments`], collected (kept for callers that want a `Vec`).
+pub fn fragment(payload: &[u8]) -> Vec<&[u8]> {
+    fragments(payload).collect()
 }
 
 #[cfg(test)]

@@ -181,3 +181,70 @@ fn wire_structure() {
         assert_eq!(wire.len(), RECORD_HEADER_LEN + l, "case {case}");
     }
 }
+
+/// Fill a reused buffer's full capacity with a poison byte, then clear
+/// it: stale poison stays in the spare capacity where a hygiene bug in
+/// the `*_into` paths could resurface it.
+fn poison(buf: &mut Vec<u8>, byte: u8) {
+    buf.resize(buf.capacity().max(32), byte);
+    for b in buf.iter_mut() {
+        *b = byte;
+    }
+    buf.clear();
+}
+
+/// Buffer-reuse hygiene: sealing into a poisoned, reused wire buffer
+/// and opening into a poisoned, reused plaintext buffer reproduces a
+/// fresh-allocation engine pair byte for byte — across both suites,
+/// payloads spanning the fragmentation boundary, and random delivery
+/// chunking. A stale byte surviving reuse diverges from the oracle
+/// (or fails authentication) immediately.
+#[test]
+fn reused_buffers_match_fresh_allocation_oracle() {
+    const POISON: u8 = 0x5a;
+    for case in 0..120u64 {
+        let mut rng = Rng(0x9e_0000 + case);
+        let k = keys(rng.array(), rng.suite());
+        let mut client_reuse = RecordEngine::client(&k);
+        let mut server_reuse = RecordEngine::server(&k);
+        let mut client_fresh = RecordEngine::client(&k);
+        let mut server_fresh = RecordEngine::server(&k);
+        let mut wire = Vec::new();
+        let mut plain = Vec::new();
+        for round in 0..(1 + rng.below(8)) {
+            // Up to 1.5 fragments, so some payloads split in two.
+            let payload = rng.bytes(MAX_FRAGMENT + MAX_FRAGMENT / 2);
+            poison(&mut wire, POISON);
+            client_reuse.seal_payload_into(ContentType::ApplicationData, &payload, &mut wire);
+            let oracle_wire = client_fresh.seal_payload(ContentType::ApplicationData, &payload);
+            assert_eq!(
+                wire, oracle_wire,
+                "case {case} round {round}: wire diverged"
+            );
+
+            let chunk = 1 + rng.below(oracle_wire.len().max(1));
+            for piece in oracle_wire.chunks(chunk) {
+                server_reuse.feed(piece);
+                server_fresh.feed(piece);
+            }
+            loop {
+                poison(&mut plain, POISON);
+                let got = server_reuse
+                    .next_record_into(&mut plain)
+                    .expect("reuse path opens");
+                let oracle = server_fresh.next_record().expect("oracle opens");
+                match (got, oracle) {
+                    (Some(ct), Some((oracle_ct, oracle_plain))) => {
+                        assert_eq!(ct, oracle_ct, "case {case} round {round}");
+                        assert_eq!(
+                            plain, oracle_plain,
+                            "case {case} round {round}: plaintext diverged"
+                        );
+                    }
+                    (None, None) => break,
+                    other => panic!("case {case} round {round}: availability diverged: {other:?}"),
+                }
+            }
+        }
+    }
+}

@@ -216,6 +216,109 @@ fn empty_fault_plan_is_invisible() {
     assert_eq!(plain.stats.faults_applied, 0);
 }
 
+// ---- sharding determinism ---------------------------------------------
+//
+// The throughput engine schedules sessions across a work-stealing pool;
+// the invariant it must never bend is that scheduling decides *when* a
+// session runs, never *what* it produces. Both sharded entry points —
+// the dataset generator and the online fleet decoder — are pinned here
+// for worker counts 1, 2, 8 and `available_parallelism`, across seeds.
+
+/// Worker counts the sharding property tests sweep: the inline path,
+/// a small pool, an oversubscribed pool (more workers than this
+/// machine has cores), and whatever the machine actually reports.
+fn sharding_worker_counts() -> Vec<usize> {
+    let avail = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut counts = vec![1usize, 2, 8];
+    if !counts.contains(&avail) {
+        counts.push(avail);
+    }
+    counts
+}
+
+/// Dataset generation is byte-identical for every worker count, for
+/// several generator seeds, including under chaos-skewed workloads.
+#[test]
+fn dataset_generation_is_worker_count_invariant() {
+    use white_mirror::dataset::try_run_dataset_with_workers;
+    let graph = Arc::new(story::bandersnatch::tiny_film());
+    for &(seed, chaos) in &[(7u64, 0.0f64), (88, 1.5)] {
+        let spec = DatasetSpec::generate("shard", 6, seed);
+        let opts = SimOptions {
+            media_scale: 2048,
+            time_scale: 20,
+            chaos_intensity: chaos,
+            chaos_horizon: Duration::from_secs(4),
+            ..SimOptions::default()
+        };
+        let base = try_run_dataset_with_workers(&graph, &spec, &opts, 1);
+        assert_eq!(base.records.len() + base.failures.len(), 6);
+        for workers in sharding_worker_counts() {
+            let run = try_run_dataset_with_workers(&graph, &spec, &opts, workers);
+            assert_eq!(
+                base.records.len(),
+                run.records.len(),
+                "seed {seed} workers {workers}"
+            );
+            for (x, y) in base.records.iter().zip(run.records.iter()) {
+                assert_eq!(x.spec.id, y.spec.id, "seed {seed} workers {workers}");
+                assert_eq!(
+                    x.output.trace.to_pcap_bytes(),
+                    y.output.trace.to_pcap_bytes(),
+                    "seed {seed} workers {workers} viewer {}",
+                    x.spec.id
+                );
+                assert_eq!(x.output.labels, y.output.labels);
+                assert_eq!(x.output.decisions, y.output.decisions);
+            }
+            for (x, y) in base.failures.iter().zip(run.failures.iter()) {
+                assert_eq!(x.spec.id, y.spec.id);
+                assert_eq!(x.error, y.error);
+            }
+        }
+    }
+}
+
+/// The online fleet decoder's demultiplexer returns verdict streams,
+/// stats and loss windows in session order, identical for every worker
+/// count and every seed — the complete decode output, not a digest.
+#[test]
+fn online_fleet_decode_is_worker_count_invariant() {
+    use white_mirror::capture::time::SimTime;
+    use white_mirror::core::{IntervalClassifier, WhiteMirrorConfig};
+    use white_mirror::online::decode_sessions_sharded;
+
+    let graph = Arc::new(story::bandersnatch::tiny_film());
+    let train = run_session(&cfg(41, false)).expect("training session");
+    let classifier =
+        IntervalClassifier::train(&train.labels, WhiteMirrorConfig::DEFAULT_SLACK).expect("bands");
+    let online_cfg = OnlineConfig::scaled(20);
+
+    for base_seed in [500u64, 9_000] {
+        let sessions: Vec<Vec<(SimTime, Vec<u8>)>> = (0..5u64)
+            .map(|i| {
+                let out = run_session(&cfg(base_seed + i, false)).expect("victim session");
+                out.trace
+                    .packets
+                    .iter()
+                    .map(|p| (SimTime(p.time.micros()), p.frame.clone()))
+                    .collect()
+            })
+            .collect();
+        let reference = decode_sessions_sharded(&classifier, &graph, &online_cfg, &sessions, 1);
+        assert!(
+            reference.iter().any(|s| !s.verdicts.is_empty()),
+            "seed {base_seed}: fleet should decode to at least one verdict"
+        );
+        for workers in sharding_worker_counts() {
+            let got = decode_sessions_sharded(&classifier, &graph, &online_cfg, &sessions, workers);
+            assert_eq!(got, reference, "seed {base_seed} workers {workers}");
+        }
+    }
+}
+
 /// Fault plans generated across a spread of seeds and intensities never
 /// panic the pipeline: every session either completes or returns a
 /// typed error alongside its partial capture.
