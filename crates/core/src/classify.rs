@@ -148,6 +148,7 @@ impl RecordClassifier for IntervalClassifier {
     /// Branch-lean kernel: two unsigned compares and a 4-entry table
     /// lookup per length, no data-dependent branches — the loop
     /// auto-vectorizes over contiguous length arrays.
+    // wm-lint: hotpath
     fn classify_lengths(&self, lengths: &[u16], out: &mut Vec<RecordClass>) {
         let ((lo1, w1), (lo2, w2)) = self.widened();
         out.reserve(lengths.len());

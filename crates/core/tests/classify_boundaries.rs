@@ -1,0 +1,155 @@
+//! Band-boundary differential tests for the `IntervalClassifier`
+//! batch kernel.
+//!
+//! The streaming engine classifies every record through the LUT
+//! kernel (`classify_lengths`: two unsigned compares + a 4-entry
+//! table, no data-dependent branches), while the trait's documented
+//! contract is agreement with the scalar `classify` on *every*
+//! length. Off-by-one disagreement at a band edge is exactly the bug
+//! class the wrapping-subtract trick invites, and it would silently
+//! skew E1/E4 accuracy — so the oracle here is the scalar path
+//! itself, exercised via the trait's default batch implementation.
+
+use wm_capture::labels::RecordClass;
+use wm_core::{IntervalClassifier, RecordClassifier};
+
+/// The scalar oracle: delegates `classify`, inherits the trait's
+/// default `classify_lengths` (the per-length scalar loop), and so
+/// never touches the LUT kernel.
+struct ScalarOracle<'c>(&'c IntervalClassifier);
+
+impl RecordClassifier for ScalarOracle<'_> {
+    fn classify(&self, length: u16) -> RecordClass {
+        self.0.classify(length)
+    }
+
+    fn name(&self) -> &'static str {
+        "scalar-oracle"
+    }
+}
+
+fn assert_kernel_matches(c: &IntervalClassifier, lengths: &[u16], label: &str) {
+    let mut kernel = Vec::new();
+    c.classify_lengths(lengths, &mut kernel);
+    let mut oracle = Vec::new();
+    ScalarOracle(c).classify_lengths(lengths, &mut oracle);
+    assert_eq!(kernel.len(), lengths.len(), "{label}: output count");
+    for (i, &len) in lengths.iter().enumerate() {
+        assert_eq!(
+            kernel[i], oracle[i],
+            "{label}: kernel and scalar disagree at length {len} \
+             (bands t1={:?} t2={:?} slack={})",
+            c.type1, c.type2, c.slack
+        );
+    }
+}
+
+/// Every length adjacent to a widened band edge, on both sides, plus
+/// the extremes — the complete off-by-one surface of one classifier.
+fn edge_lengths(c: &IntervalClassifier) -> Vec<u16> {
+    let mut lens = vec![0, 1, u16::MAX - 1, u16::MAX];
+    for (lo, hi) in [c.type1, c.type2] {
+        let wlo = lo.saturating_sub(c.slack);
+        let whi = hi.saturating_add(c.slack);
+        for edge in [wlo, whi, lo, hi] {
+            lens.extend([edge.saturating_sub(1), edge, edge.saturating_add(1)]);
+        }
+    }
+    lens.sort_unstable();
+    lens.dedup();
+    lens
+}
+
+#[test]
+fn exact_band_edges_match_scalar() {
+    let cases = [
+        // The paper's shape: two disjoint bands, modest slack.
+        IntervalClassifier {
+            type1: (1290, 1310),
+            type2: (2080, 2120),
+            slack: 6,
+        },
+        // Zero slack: the widened edge IS the trained edge.
+        IntervalClassifier {
+            type1: (700, 700),
+            type2: (701, 701),
+            slack: 0,
+        },
+        // Adjacent bands whose slack makes them touch exactly.
+        IntervalClassifier {
+            type1: (100, 199),
+            type2: (205, 300),
+            slack: 3,
+        },
+    ];
+    for (i, c) in cases.iter().enumerate() {
+        assert_kernel_matches(c, &edge_lengths(c), &format!("case {i}"));
+    }
+}
+
+/// Slack saturation at both ends of u16: `lo - slack` clamps to 0 and
+/// `hi + slack` clamps to 65535; the wrapped `(lo, width)` form must
+/// reproduce both clamps, including classifying length 65535 itself.
+#[test]
+fn slack_saturation_at_type_bounds() {
+    let cases = [
+        IntervalClassifier {
+            type1: (2, 10),
+            type2: (65530, 65534),
+            slack: 50,
+        },
+        IntervalClassifier {
+            type1: (0, 0),
+            type2: (u16::MAX, u16::MAX),
+            slack: u16::MAX,
+        },
+    ];
+    for (i, c) in cases.iter().enumerate() {
+        assert_kernel_matches(c, &edge_lengths(c), &format!("saturated case {i}"));
+        let mut out = Vec::new();
+        c.classify_lengths(&[u16::MAX], &mut out);
+        assert_eq!(out, [c.classify(u16::MAX)], "saturated case {i} at max");
+    }
+}
+
+/// Overlapping widened bands: the scalar path tests type-1 first, and
+/// the LUT's `m1 | m2` entry for "both" must preserve that precedence.
+#[test]
+fn overlap_resolves_to_type1_in_both_paths() {
+    let c = IntervalClassifier {
+        type1: (1000, 1100),
+        type2: (1050, 1200),
+        slack: 10,
+    };
+    let overlap: Vec<u16> = (1040..=1110).collect();
+    assert_kernel_matches(&c, &overlap, "overlap");
+    let mut out = Vec::new();
+    c.classify_lengths(&[1060], &mut out);
+    assert_eq!(out, [RecordClass::Type1], "both-bands entry prefers type1");
+}
+
+/// Empty input appends nothing (and must not disturb existing output).
+#[test]
+fn empty_input_appends_nothing() {
+    let c = IntervalClassifier {
+        type1: (10, 20),
+        type2: (30, 40),
+        slack: 1,
+    };
+    let mut out = vec![RecordClass::Other];
+    c.classify_lengths(&[], &mut out);
+    assert_eq!(out, [RecordClass::Other]);
+}
+
+/// Full-range sweep on one representative classifier: the kernel and
+/// the scalar loop agree on every one of the 65536 possible lengths.
+#[test]
+fn exhaustive_sweep_matches_scalar() {
+    let c = IntervalClassifier {
+        type1: (1290, 1310),
+        type2: (2080, 2120),
+        slack: 6,
+    };
+    let all: Vec<u16> = (0..=u16::MAX).collect();
+    assert_kernel_matches(&c, &all, "exhaustive");
+}

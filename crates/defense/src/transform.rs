@@ -62,6 +62,7 @@ impl Defense {
     }
 
     /// Rewrite a state-report request into TLS-record writes.
+    // wm-lint: response-path
     pub fn encode(self, req: &Request) -> Vec<Vec<u8>> {
         match self {
             Defense::None => vec![req.to_bytes()],
@@ -85,36 +86,7 @@ impl Defense {
                 vec![wrapped.to_bytes()]
             }
             Defense::PadWithDummies { size } => Defense::PadToConstant { size }.encode(req),
-            Defense::PadToConstant { size } => {
-                // Pad with trailing spaces after the JSON document —
-                // insignificant whitespace the server's parser skips.
-                let base = req.clone();
-                let base_len = base.serialized_len();
-                let mut padded = base;
-                if size > base_len {
-                    // Account for Content-Length digit growth by
-                    // iterating to a fixed point.
-                    let mut pad = size - base_len;
-                    for _ in 0..4 {
-                        let mut body = req.body.clone();
-                        body.extend(std::iter::repeat_n(b' ', pad));
-                        let candidate = Request {
-                            method: req.method.clone(),
-                            path: req.path.clone(),
-                            headers: req.headers.clone(),
-                            body,
-                        };
-                        let got = candidate.serialized_len();
-                        if got == size {
-                            padded = candidate;
-                            break;
-                        }
-                        pad = (pad as i64 + size as i64 - got as i64).max(0) as usize;
-                        padded = candidate;
-                    }
-                }
-                vec![padded.to_bytes()]
-            }
+            Defense::PadToConstant { size } => vec![pad_to_constant(req, size).to_bytes()],
         }
     }
 
@@ -126,6 +98,39 @@ impl Defense {
             _ => Some(body.to_vec()),
         }
     }
+}
+
+/// Pad `req` with trailing spaces after the JSON document —
+/// insignificant whitespace the server's parser skips — so the whole
+/// request serializes to exactly `size` bytes (no-op when the request
+/// is already larger). Iterates to a fixed point because adding pad
+/// bytes can grow the Content-Length digits.
+// wm-lint: quantizer(reason = "maps every state report to the single constant wire length `size`; the lengths read here choose the pad amount, not the emitted size")
+fn pad_to_constant(req: &Request, size: usize) -> Request {
+    let base = req.clone();
+    let base_len = base.serialized_len();
+    let mut padded = base;
+    if size > base_len {
+        let mut pad = size - base_len;
+        for _ in 0..4 {
+            let mut body = req.body.clone();
+            body.extend(std::iter::repeat_n(b' ', pad));
+            let candidate = Request {
+                method: req.method.clone(),
+                path: req.path.clone(),
+                headers: req.headers.clone(),
+                body,
+            };
+            let got = candidate.serialized_len();
+            if got == size {
+                padded = candidate;
+                break;
+            }
+            pad = (pad as i64 + size as i64 - got as i64).max(0) as usize;
+            padded = candidate;
+        }
+    }
+    padded
 }
 
 #[cfg(test)]

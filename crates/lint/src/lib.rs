@@ -24,13 +24,18 @@
 //! can emit a machine-readable JSON report ([`report`]). The binary's
 //! `--deny` mode (exit 1 on any finding) is wired into CI.
 
+pub mod callgraph;
+pub mod items;
 pub mod lexer;
 pub mod manifest;
 pub mod report;
 pub mod rules;
+pub mod rules_v2;
 
 pub use rules::Finding;
+pub use rules_v2::V2Summary;
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -42,10 +47,14 @@ pub struct ScanResult {
     pub findings: Vec<Finding>,
     /// Number of files inspected (sources + manifests).
     pub files_scanned: usize,
+    /// Headline numbers from the call-graph (v2) pass.
+    pub v2: V2Summary,
 }
 
 /// Scan the workspace rooted at `root` (the directory containing
 /// `crates/`). The walk order is sorted, so output is deterministic.
+/// Runs the per-file token rules ([`rules`]) on every source, then the
+/// workspace-wide call-graph families ([`rules_v2`]) over all of them.
 pub fn scan_workspace(root: &Path) -> io::Result<ScanResult> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
@@ -57,16 +66,30 @@ pub fn scan_workspace(root: &Path) -> io::Result<ScanResult> {
     crate_dirs.sort();
 
     let mut result = ScanResult::default();
+    let mut sources: Vec<rules_v2::WorkspaceFile> = Vec::new();
+    let mut deps: BTreeMap<String, Vec<String>> = BTreeMap::new();
     for dir in &crate_dirs {
-        scan_crate(root, dir, &mut result)?;
+        scan_crate(root, dir, &mut result, &mut sources, &mut deps)?;
     }
+
+    let (v2_findings, v2_summary) =
+        rules_v2::check_workspace(&sources, &deps, &rules_v2::V2Config::default());
+    result.findings.extend(v2_findings);
+    result.v2 = v2_summary;
+
     result
         .findings
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(result)
 }
 
-fn scan_crate(root: &Path, dir: &Path, result: &mut ScanResult) -> io::Result<()> {
+fn scan_crate(
+    root: &Path,
+    dir: &Path,
+    result: &mut ScanResult,
+    sources_out: &mut Vec<rules_v2::WorkspaceFile>,
+    deps_out: &mut BTreeMap<String, Vec<String>>,
+) -> io::Result<()> {
     let manifest_path = dir.join("Cargo.toml");
     let mut crate_name = dir
         .file_name()
@@ -81,6 +104,17 @@ fn scan_crate(root: &Path, dir: &Path, result: &mut ScanResult) -> io::Result<()
         result
             .findings
             .extend(rules::check_manifest(&rel(root, &manifest_path), &m));
+        // Call-graph visibility: normal and build deps only — test
+        // items are stripped before analysis, so dev-deps never carry
+        // shipping-code calls.
+        deps_out.insert(
+            crate_name.clone(),
+            m.dependencies
+                .iter()
+                .chain(&m.build_dependencies)
+                .map(|d| d.name.clone())
+                .collect(),
+        );
     }
 
     let src_dir = dir.join("src");
@@ -98,6 +132,11 @@ fn scan_crate(root: &Path, dir: &Path, result: &mut ScanResult) -> io::Result<()
         result
             .findings
             .extend(rules::check_source(&crate_name, &rel(root, &path), &src));
+        sources_out.push(rules_v2::WorkspaceFile {
+            crate_name: crate_name.clone(),
+            rel_path: rel(root, &path),
+            src: src.into_owned(),
+        });
     }
     Ok(())
 }

@@ -82,6 +82,37 @@ fn main() -> ExitCode {
     for f in &result.findings {
         println!("{f}");
     }
+    // Per-family counts (family = rule prefix before `/`), every known
+    // family always present so CI logs show the v2 families are active
+    // even at zero findings.
+    let mut families: Vec<&str> = wm_lint::rules::ALL_RULES
+        .iter()
+        .map(|r| r.split('/').next().unwrap_or(r))
+        .collect();
+    families.dedup();
+    let by_family: Vec<String> = families
+        .iter()
+        .map(|fam| {
+            let n = result
+                .findings
+                .iter()
+                .filter(|f| f.rule.split('/').next() == Some(fam))
+                .count();
+            format!("{fam}={n}")
+        })
+        .collect();
+    println!("wm-lint: families: {}", by_family.join(" "));
+    println!(
+        "wm-lint: call graph: {} fns, {} edges; hotpath roots={} reachable={}; \
+         response roots={} taint-checked={}; unsafe uses={}",
+        result.v2.graph_fns,
+        result.v2.graph_edges,
+        result.v2.hotpath_roots,
+        result.v2.hotpath_reachable,
+        result.v2.response_roots,
+        result.v2.taint_reachable,
+        result.v2.unsafe_uses,
+    );
     println!(
         "wm-lint: {} finding{} across {} file{}",
         result.findings.len(),

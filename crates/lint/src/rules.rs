@@ -59,10 +59,12 @@ pub const PANIC_UNWRAP: &str = "panic/unwrap";
 pub const PANIC_MACRO: &str = "panic/macro";
 pub const PANIC_INDEX: &str = "panic/index";
 pub const LAYERING: &str = "layering/dependency";
+pub const LAYERING_EXTERNAL: &str = "layering/external-dependency";
 pub const BOUNDED_BUFFER: &str = "bounded/unbounded-buffer";
 pub const MISSING_REASON: &str = "suppression/missing-reason";
 
-/// Every rule the engine can emit, for `--help` and the report header.
+/// Every rule the engine can emit (v1 token rules plus the
+/// call-graph-based v2 families), for `--help` and the report header.
 pub const ALL_RULES: &[&str] = &[
     WALL_CLOCK,
     TRACE_SIM_TIME,
@@ -72,8 +74,17 @@ pub const ALL_RULES: &[&str] = &[
     PANIC_MACRO,
     PANIC_INDEX,
     LAYERING,
+    LAYERING_EXTERNAL,
     BOUNDED_BUFFER,
     MISSING_REASON,
+    crate::rules_v2::HOTPATH_ALLOC,
+    crate::rules_v2::HOTPATH_MISSING_ROOT,
+    crate::rules_v2::CONC_STATIC_MUT,
+    crate::rules_v2::CONC_POOL_LOCK,
+    crate::rules_v2::CONC_UNSAFE_BUDGET,
+    crate::rules_v2::LENGTH_TAINT,
+    crate::rules_v2::TAINT_MISSING_ROOT,
+    crate::rules_v2::ANNOTATION_DANGLING,
 ];
 
 /// Crates whose outputs are bytes-on-the-wire (or inputs to them);
@@ -203,6 +214,32 @@ pub fn check_source(crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding>
 /// Lint one `Cargo.toml`. Only the layering family applies.
 pub fn check_manifest(rel_path: &str, m: &Manifest) -> Vec<Finding> {
     let mut findings = Vec::new();
+    // Every section of every crate — `dependencies`, `dev-dependencies`
+    // and `build-dependencies` alike — is confined to the workspace's
+    // own `wm-*` crates. The pipeline's reproducibility claims rest on
+    // being std-only; an external crate slipping in through a dev or
+    // build section would run in CI without tripping the attacker
+    // layering rule below.
+    for (section, deps) in [
+        ("dependencies", &m.dependencies),
+        ("dev-dependencies", &m.dev_dependencies),
+        ("build-dependencies", &m.build_dependencies),
+    ] {
+        for dep in deps {
+            if !dep.name.starts_with("wm-") {
+                findings.push(Finding {
+                    rule: LAYERING_EXTERNAL,
+                    file: rel_path.to_string(),
+                    line: dep.line,
+                    message: format!(
+                        "`{}` declares external dependency `{}` in [{}]; the workspace is \
+                         std-only — every dependency must be a workspace `wm-*` crate",
+                        m.name, dep.name, section
+                    ),
+                });
+            }
+        }
+    }
     if !ATTACKER_CRATES.contains(&m.name.as_str()) {
         return findings;
     }
@@ -446,7 +483,7 @@ fn bounded_buffer_rule(tokens: &[Token], file: &str, out: &mut Vec<Finding>) {
 
 /// Drop every item gated behind `#[cfg(test)]` (or `#[cfg(any/all(..
 /// test ..))]`). Test code may unwrap and assert freely.
-fn strip_test_items(tokens: &[Token]) -> Vec<Token> {
+pub(crate) fn strip_test_items(tokens: &[Token]) -> Vec<Token> {
     let mut out = Vec::with_capacity(tokens.len());
     let mut i = 0;
     while i < tokens.len() {
@@ -524,15 +561,15 @@ fn matching(tokens: &[Token], open: usize, open_c: char, close_c: char) -> Optio
 // Suppressions
 // ---------------------------------------------------------------------
 
-struct Suppression {
+pub(crate) struct Suppression {
     rule: String,
-    line: u32,
+    pub(crate) line: u32,
 }
 
 impl Suppression {
     /// A suppression matches its exact rule or a whole family
     /// (`allow(panic, ...)` silences every `panic/*` rule).
-    fn matches(&self, rule: &str) -> bool {
+    pub(crate) fn matches(&self, rule: &str) -> bool {
         rule == self.rule
             || (rule.len() > self.rule.len()
                 && rule.starts_with(&self.rule)
@@ -540,45 +577,54 @@ impl Suppression {
     }
 }
 
+/// Item annotation directives (`wm-lint: hotpath`, `alloc-ok(..)`,
+/// `response-path`, `quantizer(..)`) are parsed and validated by the
+/// v2 pass ([`crate::items`]); the suppression collector must not
+/// report them as unrecognized.
+fn is_annotation_directive(rest: &str) -> bool {
+    ["hotpath", "alloc-ok", "response-path", "quantizer"]
+        .iter()
+        .any(|kw| {
+            rest.strip_prefix(kw).is_some_and(|after| {
+                after
+                    .chars()
+                    .next()
+                    .is_none_or(|ch| !ch.is_alphanumeric() && ch != '-' && ch != '_')
+            })
+        })
+}
+
 /// Parse `wm-lint: allow(rule, reason = "...")` directives out of the
 /// comment stream. Directives without a non-empty reason do not
-/// suppress anything and are themselves reported.
-fn collect_suppressions(
+/// suppress anything and are themselves reported via `report`.
+fn parse_suppressions(
     comments: &[Comment],
-    file: &str,
-    findings: &mut Vec<Finding>,
+    mut report: impl FnMut(u32, String),
 ) -> Vec<Suppression> {
     let mut out = Vec::new();
     for c in comments {
-        let Some(at) = c.text.find("wm-lint:") else {
+        let Some(rest) = crate::items::directive_body(c) else {
             continue;
         };
-        let rest = c
-            .text
-            .get(at + "wm-lint:".len()..)
-            .unwrap_or_default()
-            .trim_start();
+        if is_annotation_directive(rest) {
+            continue;
+        }
         let Some(body) = rest.strip_prefix("allow") else {
-            findings.push(Finding {
-                rule: MISSING_REASON,
-                file: file.to_string(),
-                line: c.line,
-                message: "unrecognized wm-lint directive; expected \
-                          `wm-lint: allow(<rule>, reason = \"...\")`"
+            report(
+                c.line,
+                "unrecognized wm-lint directive; expected \
+                 `wm-lint: allow(<rule>, reason = \"...\")` or an item annotation \
+                 (`hotpath`, `alloc-ok(..)`, `response-path`, `quantizer(..)`)"
                     .to_string(),
-            });
+            );
             continue;
         };
         let body = body.trim_start();
         let Some(body) = body.strip_prefix('(') else {
-            findings.push(Finding {
-                rule: MISSING_REASON,
-                file: file.to_string(),
-                line: c.line,
-                message: "malformed wm-lint allow; expected \
-                          `allow(<rule>, reason = \"...\")`"
-                    .to_string(),
-            });
+            report(
+                c.line,
+                "malformed wm-lint allow; expected `allow(<rule>, reason = \"...\")`".to_string(),
+            );
             continue;
         };
         let rule_end = body.find([',', ')']).unwrap_or(body.len());
@@ -586,18 +632,38 @@ fn collect_suppressions(
         let reason = extract_reason(body.get(rule_end..).unwrap_or_default());
         match reason {
             Some(r) if !r.trim().is_empty() => out.push(Suppression { rule, line: c.line }),
-            _ => findings.push(Finding {
-                rule: MISSING_REASON,
-                file: file.to_string(),
-                line: c.line,
-                message: format!(
+            _ => report(
+                c.line,
+                format!(
                     "suppression of `{rule}` has no reason; every allow must say why the \
                      violation is sound"
                 ),
-            }),
+            ),
         }
     }
     out
+}
+
+fn collect_suppressions(
+    comments: &[Comment],
+    file: &str,
+    findings: &mut Vec<Finding>,
+) -> Vec<Suppression> {
+    parse_suppressions(comments, |line, message| {
+        findings.push(Finding {
+            rule: MISSING_REASON,
+            file: file.to_string(),
+            line,
+            message,
+        })
+    })
+}
+
+/// Suppressions only, no malformed-directive findings — for the v2
+/// workspace pass, which runs after the per-file pass has already
+/// reported them.
+pub(crate) fn collect_suppressions_quiet(comments: &[Comment]) -> Vec<Suppression> {
+    parse_suppressions(comments, |_, _| {})
 }
 
 /// From `, reason = "why"` (or similar), pull out `why`.
@@ -996,6 +1062,53 @@ mod tests {
             "[package]\nname = \"wm-behavior\"\n[dependencies]\nwm-capture.workspace = true\nwm-story.workspace = true\n[dev-dependencies]\nwm-sim.workspace = true\n",
         );
         assert!(check_manifest("crates/behavior/Cargo.toml", &m).is_empty());
+    }
+
+    #[test]
+    fn external_dep_flagged_in_every_section() {
+        let m = crate::manifest::parse(
+            "[package]\nname = \"wm-player\"\n[dependencies]\nserde = \"1\"\n[dev-dependencies]\nproptest = \"1\"\n[build-dependencies]\ncc = \"1\"\n",
+        );
+        let f = check_manifest("crates/player/Cargo.toml", &m);
+        assert_eq!(
+            rules_of(&f),
+            [LAYERING_EXTERNAL, LAYERING_EXTERNAL, LAYERING_EXTERNAL]
+        );
+        assert!(f[0].message.contains("[dependencies]"));
+        assert!(f[1].message.contains("[dev-dependencies]"));
+        assert!(f[2].message.contains("[build-dependencies]"));
+        assert_eq!((f[0].line, f[1].line, f[2].line), (4, 6, 8));
+    }
+
+    #[test]
+    fn workspace_deps_pass_every_section() {
+        let m = crate::manifest::parse(
+            "[package]\nname = \"wm-core\"\n[dependencies]\nwm-json.workspace = true\n[dev-dependencies]\nwm-trace.workspace = true\n[build-dependencies]\nwm-json.workspace = true\n",
+        );
+        assert!(check_manifest("crates/core/Cargo.toml", &m).is_empty());
+    }
+
+    /// Self-check: the rule guards the *real* workspace — every
+    /// manifest in this repository must satisfy it, so the std-only
+    /// claim in the docs is machine-checked rather than aspirational.
+    #[test]
+    fn real_workspace_manifests_are_std_only() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap();
+        let mut checked = 0usize;
+        for entry in std::fs::read_dir(root.join("crates")).unwrap() {
+            let path = entry.unwrap().path().join("Cargo.toml");
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let m = crate::manifest::parse(&text);
+            let f = check_manifest(&path.display().to_string(), &m);
+            assert!(f.is_empty(), "{}: {:?}", path.display(), f);
+            checked += 1;
+        }
+        assert!(checked >= 20, "expected the full workspace, saw {checked}");
     }
 
     #[test]

@@ -156,6 +156,7 @@ impl NetflixServer {
     }
 
     /// Handle one request.
+    // wm-lint: response-path
     pub fn handle(&mut self, req: &Request) -> Response {
         self.requests_served += 1;
         if let Some(t) = &self.telemetry {
@@ -170,6 +171,7 @@ impl NetflixServer {
                 if let Some(t) = &self.telemetry {
                     if resp.status == 200 {
                         t.chunks_served.inc();
+                        // wm-lint: allow(defense/length-taint, reason = "server-side byte counter over an already-built chunk body; feeds telemetry, never a wire field")
                         t.chunk_bytes.add(resp.body.len() as u64);
                     } else {
                         t.rejected.inc();
@@ -237,6 +239,7 @@ impl NetflixServer {
             self.trace_instant(
                 "netflix.state.deferred",
                 self.retry_after_secs as u64,
+                // wm-lint: allow(defense/length-taint, reason = "inbound request length into the ground-truth trace; the client already put it on the wire")
                 req.body.len() as u64,
             );
             return Response::new(503, "Service Unavailable")
@@ -247,13 +250,16 @@ impl NetflixServer {
             if let Some(t) = &self.telemetry {
                 t.rejected.inc();
             }
+            // wm-lint: allow(defense/length-taint, reason = "inbound request length into the ground-truth trace; the client already put it on the wire")
             self.trace_instant("netflix.state.rejected", 400, req.body.len() as u64);
             return Response::new(400, "Bad Request").body(b"{\"error\":\"json\"}".to_vec());
         };
+        // wm-lint: allow(defense/length-taint, reason = "schema validation of the inbound body length; decides accept/reject, not a response size")
         let Some(entry) = self.validate_state(&doc, req.body.len()) else {
             if let Some(t) = &self.telemetry {
                 t.rejected.inc();
             }
+            // wm-lint: allow(defense/length-taint, reason = "inbound request length into the ground-truth trace; the client already put it on the wire")
             self.trace_instant("netflix.state.rejected", 422, req.body.len() as u64);
             return Response::new(422, "Unprocessable").body(b"{\"error\":\"schema\"}".to_vec());
         };
@@ -266,6 +272,7 @@ impl NetflixServer {
                     if let Some(t) = &self.telemetry {
                         t.duplicate_posts.inc();
                     }
+                    // wm-lint: allow(defense/length-taint, reason = "inbound request length into the ground-truth trace; the client already put it on the wire")
                     self.trace_instant("netflix.state.dup", seq as u64, req.body.len() as u64);
                     return Response::ok()
                         .header("Content-Type", "application/json")

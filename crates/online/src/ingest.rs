@@ -145,6 +145,7 @@ impl FlowIngest {
 
     /// Feed one upstream TCP segment; completed records and declared
     /// loss windows land in the output batches.
+    // wm-lint: hotpath
     pub fn accept_segment(
         &mut self,
         time: SimTime,

@@ -1,0 +1,174 @@
+//! Exhaustive-interleaving check of the pool's dispatch protocol.
+//!
+//! `run_indexed` keeps determinism through one invariant: every index
+//! in `0..tasks` is claimed by **exactly one** worker, no matter how
+//! the scheduler interleaves them. The real pool can't prove that — a
+//! test run sees one schedule out of exponentially many. This harness
+//! does what loom does, by hand: it models each worker as a small
+//! state machine whose transitions are single atomic steps on the
+//! shared counter, then DFS-enumerates *every* schedule of those
+//! steps and checks the claim sets each one produces.
+//!
+//! Two models run through the same explorer:
+//!
+//! * the shipped protocol — claim is one `fetch_add` — which must
+//!   merge to the identity permutation under every schedule; and
+//! * a deliberately broken variant — claim split into `load` then
+//!   `store(i + 1)` — whose check-then-act window the explorer must
+//!   catch double-claiming. That second test is the harness testing
+//!   itself: if it ever passes, the explorer stopped exploring.
+
+/// Shared state: the dispatch counter, modeled as plain data because
+/// the explorer serializes all access (that's the point — *it* owns
+/// the interleaving, not the hardware).
+#[derive(Clone)]
+struct Shared {
+    counter: usize,
+}
+
+/// One worker mid-protocol. Each variant's transition is exactly one
+/// atomic step; the explorer may switch workers between any two steps.
+#[derive(Clone)]
+enum Worker {
+    /// Shipped protocol: next step claims via one fetch_add.
+    FetchAdd,
+    /// Broken protocol, step 1 of 2: next step loads the counter.
+    Load,
+    /// Broken protocol, step 2 of 2: loaded `i`, next step stores
+    /// `i + 1` and claims `i` — the racy window lives between these.
+    Store(usize),
+    Done,
+}
+
+impl Worker {
+    /// Execute one atomic step; returns the index claimed, if any.
+    fn step(&mut self, shared: &mut Shared, tasks: usize) -> Option<usize> {
+        match *self {
+            Worker::FetchAdd => {
+                let i = shared.counter;
+                shared.counter += 1;
+                if i >= tasks {
+                    *self = Worker::Done;
+                    None
+                } else {
+                    Some(i)
+                }
+            }
+            Worker::Load => {
+                let i = shared.counter;
+                if i >= tasks {
+                    *self = Worker::Done;
+                    None
+                } else {
+                    *self = Worker::Store(i);
+                    None
+                }
+            }
+            Worker::Store(i) => {
+                shared.counter = i + 1;
+                *self = Worker::Load;
+                Some(i)
+            }
+            Worker::Done => None,
+        }
+    }
+
+    fn done(&self) -> bool {
+        matches!(self, Worker::Done)
+    }
+}
+
+/// DFS over every schedule. At each point, any not-yet-done worker may
+/// take the next atomic step; terminal states (all done) report how
+/// many times each index was claimed. Returns the schedule count.
+fn explore(
+    shared: &Shared,
+    workers: &[Worker],
+    tasks: usize,
+    claims: &mut Vec<usize>,
+    on_terminal: &mut impl FnMut(&[usize]),
+) -> u64 {
+    let mut schedules = 0;
+    let mut any_runnable = false;
+    for w in 0..workers.len() {
+        if workers[w].done() {
+            continue;
+        }
+        any_runnable = true;
+        let mut shared2 = shared.clone();
+        let mut workers2 = workers.to_vec();
+        let claimed = workers2[w].step(&mut shared2, tasks);
+        if let Some(i) = claimed {
+            claims[i] += 1;
+        }
+        schedules += explore(&shared2, &workers2, tasks, claims, on_terminal);
+        if let Some(i) = claimed {
+            claims[i] -= 1;
+        }
+    }
+    if !any_runnable {
+        on_terminal(claims);
+        return 1;
+    }
+    schedules
+}
+
+fn run_model(proto: Worker, workers: usize, tasks: usize) -> (u64, u64, u64) {
+    let shared = Shared { counter: 0 };
+    let team: Vec<Worker> = (0..workers).map(|_| proto.clone()).collect();
+    let mut claims = vec![0usize; tasks];
+    let (mut terminals, mut violations) = (0u64, 0u64);
+    let schedules = explore(&shared, &team, tasks, &mut claims, &mut |claims| {
+        terminals += 1;
+        if claims.iter().any(|&c| c != 1) {
+            violations += 1;
+        }
+    });
+    assert_eq!(schedules, terminals);
+    (schedules, terminals, violations)
+}
+
+/// The shipped single-step protocol: under *every* interleaving of
+/// 2 and 3 workers over small task sets, each index is claimed exactly
+/// once — so the index-ordered merge is the identity permutation and
+/// worker count can never show in the output.
+#[test]
+fn fetch_add_dispatch_has_no_double_claim_in_any_interleaving() {
+    for (workers, tasks, min_schedules) in [(2, 3, 10), (3, 3, 100), (2, 5, 50)] {
+        let (schedules, _, violations) = run_model(Worker::FetchAdd, workers, tasks);
+        assert!(
+            schedules >= min_schedules,
+            "explorer degenerated: {schedules} schedules for {workers}w/{tasks}t"
+        );
+        assert_eq!(
+            violations, 0,
+            "double- or missed-claim among {schedules} schedules ({workers}w/{tasks}t)"
+        );
+    }
+}
+
+/// Harness self-test: split the claim into load-then-store and the
+/// explorer MUST find schedules where two workers claim the same
+/// index. If this stops failing for the broken protocol, the explorer
+/// is no longer exhaustive and the green test above proves nothing.
+#[test]
+fn split_load_store_dispatch_is_caught_double_claiming() {
+    let (schedules, _, violations) = run_model(Worker::Load, 2, 3);
+    assert!(schedules >= 10, "explorer degenerated: {schedules}");
+    assert!(
+        violations > 0,
+        "broken two-step protocol survived all {schedules} schedules — explorer is unsound"
+    );
+}
+
+/// The merge step itself, run against the real pool API: claims from a
+/// real threaded run always merge to the identity, and the tracked
+/// per-worker counts partition the task set.
+#[test]
+fn real_pool_merge_is_identity_partition() {
+    for workers in [2usize, 3, 4] {
+        let (out, counts) = wm_pool::run_indexed_tracked(97, workers, |i| i);
+        assert_eq!(out, (0..97).collect::<Vec<_>>(), "workers = {workers}");
+        assert_eq!(counts.iter().sum::<usize>(), 97, "workers = {workers}");
+    }
+}

@@ -187,6 +187,7 @@ const CLIENT_FLOW: FlowId = FlowId {
 };
 
 impl<'a> SessionState<'a> {
+    // wm-lint: alloc-ok(reason = "per-session setup: handshake transcripts and telemetry registration allocate once per session, not per record")
     fn new(cfg: &'a SessionConfig) -> Self {
         let seed = cfg.seed;
         let master = {
@@ -384,6 +385,7 @@ impl<'a> SessionState<'a> {
 
     /// Assemble whatever the tap captured (callable after a failed
     /// drive: the partial capture is part of the fault analysis).
+    // wm-lint: alloc-ok(reason = "per-session teardown: snapshots and output assembly allocate once per session, after the record loop")
     fn into_output(mut self) -> SessionOutput {
         // Assemble the capture in time order: the initial SYN exchange,
         // reconnect control frames (RST + new SYN exchange) and data
@@ -912,6 +914,7 @@ impl<'a> SessionState<'a> {
         }
     }
 
+    // wm-lint: alloc-ok(reason = "chaos fault recovery is rare; reset and resumption allocations are per-fault, not per-record")
     fn apply_fault(&mut self, now: SimTime, kind: FaultKind) {
         if self.player_done {
             return; // the session is over; nothing left to disturb
@@ -1155,6 +1158,7 @@ impl<'a> SessionState<'a> {
 /// when a delivery yields more records than any before it. Error
 /// behavior matches the allocating API — on failure the records
 /// already parsed this call are discarded unprocessed.
+// wm-lint: hotpath
 fn drain_records_reused(
     engine: &mut RecordEngine,
     texts: &mut Vec<Vec<u8>>,
@@ -1162,6 +1166,7 @@ fn drain_records_reused(
     let mut n = 0usize;
     loop {
         if texts.len() == n {
+            // wm-lint: allow(hotpath/alloc, reason = "grow-only amortization: a new slot only when this delivery yields more records than any before")
             texts.push(Vec::new());
         }
         match engine.next_record_into(&mut texts[n]) {
@@ -1180,6 +1185,7 @@ fn skip_bytes<'b>(skip: &mut usize, bytes: &'b [u8]) -> &'b [u8] {
 }
 
 /// A flush split writes the HTTP head and the body separately.
+// wm-lint: alloc-ok(reason = "per-POST header split: two owned writes per state report, amortized across its records")
 fn split_at_header_boundary(req: &Request) -> Vec<Vec<u8>> {
     let bytes = req.to_bytes();
     match bytes.windows(4).position(|w| w == b"\r\n\r\n") {

@@ -173,6 +173,7 @@ impl RecordEngine {
     /// `wire` — hot session loops reuse one wire buffer across sends
     /// instead of allocating per payload. Bytes appended and sequence
     /// numbers consumed are identical to `seal_payload`.
+    // wm-lint: hotpath
     pub fn seal_payload_into(
         &mut self,
         content_type: ContentType,
@@ -268,6 +269,7 @@ impl RecordEngine {
     /// (cleared first) — hot session loops reuse one plaintext buffer
     /// across records instead of allocating per record. Consumption,
     /// sequence and error semantics are identical to `next_record`.
+    // wm-lint: hotpath
     pub fn next_record_into(&mut self, out: &mut Vec<u8>) -> Result<Option<ContentType>, TlsError> {
         out.clear();
         let live = &self.rx_buf[self.rx_pos..];

@@ -50,6 +50,7 @@ impl RecordObserver {
     }
 
     /// Feed stream bytes; returns the records completed by this feed.
+    // wm-lint: alloc-ok(reason = "owned-batch API: one Vec per feed call sized by completed records, not per byte")
     pub fn feed(&mut self, bytes: &[u8]) -> Vec<ObservedRecord> {
         if self.desynced {
             return Vec::new();

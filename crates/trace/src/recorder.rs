@@ -187,6 +187,7 @@ impl TraceHandle {
 
     /// Take the buffered events out, leaving the recorder empty
     /// (sequence and span counters keep advancing).
+    // wm-lint: alloc-ok(reason = "drains the bounded trace ring into one owned batch per flush; empty when tracing is off")
     pub fn drain(&self) -> Vec<TraceEvent> {
         self.rec
             .inner
