@@ -1,0 +1,160 @@
+//! Fleet-recovery measurement helpers (used by `bin/fleet_recovery.rs`).
+//!
+//! The binary sweeps shard-fault intensity 0–4 over a supervised
+//! [`wm_fleet::Fleet`] and compares its throughput against the
+//! unsupervised [`wm_online::decode_sessions_sharded`] baseline; this
+//! module holds the per-intensity summary arithmetic and the schema
+//! check CI runs against the emitted `BENCH_fleet.json`.
+
+use wm_fleet::FleetReport;
+
+/// Every metric `BENCH_fleet.json` must carry. The headline trio pins
+/// the supervision overhead story; the per-intensity rows pin the
+/// recovery behaviour across the 0–4 fault sweep so a regression in
+/// kill/resume cannot pass the schema gate by dropping a column.
+pub const REQUIRED_METRICS: &[&str] = &[
+    "fleet_sessions_per_sec",
+    "baseline_sessions_per_sec",
+    "supervision_overhead_ratio",
+    "peak_rss_bytes",
+    "kills_i0",
+    "kills_i1",
+    "kills_i2",
+    "kills_i3",
+    "kills_i4",
+    "verdicts_i0",
+    "verdicts_i1",
+    "verdicts_i2",
+    "verdicts_i3",
+    "verdicts_i4",
+    "loss_window_us_i0",
+    "loss_window_us_i1",
+    "loss_window_us_i2",
+    "loss_window_us_i3",
+    "loss_window_us_i4",
+    "recovery_latency_us_i0",
+    "recovery_latency_us_i1",
+    "recovery_latency_us_i2",
+    "recovery_latency_us_i3",
+    "recovery_latency_us_i4",
+];
+
+/// Per-intensity summary of one fleet run, flattened for the report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntensityRow {
+    pub intensity: u32,
+    pub kills: u64,
+    pub restarts: u64,
+    pub verdicts: u64,
+    pub dedup_dropped: u64,
+    /// Total sim-time covered by reported loss windows, µs.
+    pub loss_window_us: u64,
+    /// Mean sim-time from kill to restore, µs (0 when nothing died).
+    pub recovery_latency_us: u64,
+}
+
+impl IntensityRow {
+    pub fn from_report(intensity: u32, report: &FleetReport) -> Self {
+        let s = report.stats;
+        IntensityRow {
+            intensity,
+            kills: s.kills,
+            restarts: s.restarts,
+            verdicts: s.verdicts,
+            dedup_dropped: s.dedup_dropped,
+            loss_window_us: report
+                .loss_windows
+                .iter()
+                .map(|w| w.to.micros().saturating_sub(w.from.micros()))
+                .sum(),
+            recovery_latency_us: s.recovery_latency_us.checked_div(s.restarts).unwrap_or(0),
+        }
+    }
+}
+
+/// Validate a `BENCH_fleet.json` document: right bench name, and every
+/// [`REQUIRED_METRICS`] entry present as a finite, non-negative
+/// number. Textual on purpose, like the throughput validator — bench
+/// metrics carry more fraction digits than the state-blob JSON
+/// dialect admits.
+pub fn validate_fleet_json(json: &str) -> Result<(), String> {
+    if !json.contains("\"bench\":\"fleet\"") {
+        return Err("bench name is not \"fleet\"".into());
+    }
+    for key in REQUIRED_METRICS {
+        let pat = format!("\"{key}\":");
+        let Some(pos) = json.find(&pat) else {
+            return Err(format!("missing required metric {key:?}"));
+        };
+        let rest = &json[pos + pat.len()..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        let value: f64 = rest[..end]
+            .trim()
+            .parse()
+            .map_err(|_| format!("metric {key:?} is not a number: {:?}", &rest[..end]))?;
+        if !value.is_finite() || value < 0.0 {
+            return Err(format!("metric {key:?} = {value} out of range"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bench_json, TraceTally};
+    use wm_telemetry::Snapshot;
+
+    fn full_metrics() -> Vec<(&'static str, f64)> {
+        REQUIRED_METRICS.iter().map(|k| (*k, 1.0)).collect()
+    }
+
+    #[test]
+    fn complete_report_validates() {
+        let json = bench_json(
+            "fleet",
+            &full_metrics(),
+            &Snapshot::default(),
+            &TraceTally::default(),
+        );
+        validate_fleet_json(&json).expect("complete report validates");
+    }
+
+    #[test]
+    fn wrong_name_or_missing_metric_fails() {
+        let wrong = bench_json(
+            "throughput",
+            &full_metrics(),
+            &Snapshot::default(),
+            &TraceTally::default(),
+        );
+        assert!(validate_fleet_json(&wrong).is_err());
+        for skip in REQUIRED_METRICS {
+            let partial: Vec<(&str, f64)> = full_metrics()
+                .into_iter()
+                .filter(|(k, _)| k != skip)
+                .collect();
+            let json = bench_json(
+                "fleet",
+                &partial,
+                &Snapshot::default(),
+                &TraceTally::default(),
+            );
+            let err = validate_fleet_json(&json).expect_err("missing metric must fail");
+            assert!(err.contains(skip), "error {err:?} must name {skip:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_metric_fails() {
+        let mut metrics = full_metrics();
+        metrics[0].1 = f64::NAN;
+        let json = bench_json(
+            "fleet",
+            &metrics,
+            &Snapshot::default(),
+            &TraceTally::default(),
+        );
+        assert!(validate_fleet_json(&json).is_err());
+    }
+}

@@ -18,9 +18,11 @@
 //! | `fault_sweep` | accuracy vs `wm-chaos` fault intensity (E9) |
 //! | `online_robustness` | streaming decoder vs capture impairment, with kill/resume (E10) |
 //! | `throughput` | sharded decode throughput + million-session soak (E11) |
+//! | `fleet_recovery` | supervised fleet kill/resume across fault intensities (E12) |
 //!
 //! Run any of them with `cargo run --release -p wm-bench --bin <name>`.
 
+pub mod fleet;
 pub mod throughput;
 
 use std::collections::BTreeMap;

@@ -28,10 +28,17 @@
 //! window, snaplen truncation, duplicate delivery, mid-session tap
 //! attach, crash/restart kill points) that degrade what the
 //! eavesdropper records without touching the session.
+//!
+//! The [`shard`] module turns the chaos on the attacker's own
+//! *infrastructure*: seeded kill/stall faults against the decoder
+//! shards of the supervised fleet, plus checkpoint-storage corruption
+//! and torn writes that the recovery path must survive.
 
 pub mod capture;
+pub mod shard;
 
 pub use capture::{impair_capture, kill_index, CaptureImpairment, ImpairStats, TapPacket};
+pub use shard::{corrupt_blob, tear_blob, ShardFault, ShardFaultKind, ShardFaultPlan};
 
 use wm_cipher::kdf::derive_seed;
 use wm_net::rng::SimRng;

@@ -1,0 +1,253 @@
+//! # wm-fleet — supervised sharded attacker fleet
+//!
+//! `wm-online` decodes one victim's session from a live packet feed.
+//! The paper's threat model, though, is an ISP- or IXP-level observer
+//! watching *many* subscribers at once, for hours, on infrastructure
+//! that fails: decoder processes get OOM-killed, taps hiccup, and
+//! checkpoint writes get torn by the very crash they were meant to
+//! survive. This crate turns the single-victim decoder into that
+//! fleet:
+//!
+//! * **Demux** ([`ring`]): a seeded consistent-hash ring routes each
+//!   victim flow (4-tuple minus the source port, so reconnects
+//!   colocate) onto one of N decoder shards, stable under resize.
+//! * **Shards** ([`shard`]): each shard owns per-victim
+//!   [`wm_online::OnlineDecoder`]s and serializes them all into one
+//!   byte-deterministic shard checkpoint via the shard-scoped
+//!   `checkpoint_value` API.
+//! * **Supervision** ([`supervisor`]): a deterministic control loop
+//!   checkpoints every shard on a sim-time cadence, absorbs
+//!   [`wm_chaos::ShardFaultPlan`] faults (kill, stall,
+//!   checkpoint-corrupt, torn write), restarts dead shards from their
+//!   last good checkpoint with capped exponential backoff — healthy
+//!   shards keep draining throughout — and charges every at-risk
+//!   interval to an explicit per-victim loss window.
+//! * **Merge** ([`dedup`]): verdicts from all shards (and from
+//!   overlapping taps) pass a dedup stage keyed on the
+//!   `ChoiceProvenance` record indices, guaranteeing **zero
+//!   duplicated** and **bounded lost** verdicts in the merged stream.
+//!
+//! Everything is byte-deterministic: the same seed, fault plan, and
+//! packet stream produce the identical merged verdict stream and loss
+//! report, regardless of restore-pool width, and — absent faults —
+//! regardless of shard count.
+
+pub mod dedup;
+pub mod ring;
+pub mod shard;
+pub mod supervisor;
+
+pub use dedup::VerdictDedup;
+pub use ring::{victim_key, HashRing};
+pub use shard::{ShardRestoreError, ShardState, SHARD_CHECKPOINT_VERSION};
+pub use supervisor::{Fleet, FleetReport, FleetStats, LossWindow};
+
+use wm_capture::time::{Duration, SimTime};
+use wm_online::{IngestLimitsError, OnlineConfig};
+
+/// Why a [`FleetConfig`] is unusable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetConfigError {
+    /// `shards` must be ≥ 1.
+    ZeroShards,
+    /// `checkpoint_every` must be a positive sim-time interval.
+    ZeroCheckpointCadence,
+    /// `backoff_base`/`backoff_cap` must be positive with base ≤ cap.
+    BadBackoff,
+    /// `stall_queue_packets` must be ≥ 1.
+    ZeroStallQueue,
+    /// `max_victims_per_shard` must be ≥ 1.
+    ZeroVictims,
+    /// The embedded decoder config failed its own validation.
+    Ingest(IngestLimitsError),
+}
+
+impl std::fmt::Display for FleetConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetConfigError::ZeroShards => write!(f, "fleet needs at least one shard"),
+            FleetConfigError::ZeroCheckpointCadence => {
+                write!(f, "checkpoint cadence must be a positive sim-time interval")
+            }
+            FleetConfigError::BadBackoff => {
+                write!(f, "restart backoff must satisfy 0 < base <= cap")
+            }
+            FleetConfigError::ZeroStallQueue => {
+                write!(f, "stall queue must hold at least one packet")
+            }
+            FleetConfigError::ZeroVictims => {
+                write!(f, "each shard must admit at least one victim")
+            }
+            FleetConfigError::Ingest(e) => write!(f, "decoder config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetConfigError {}
+
+impl From<IngestLimitsError> for FleetConfigError {
+    fn from(e: IngestLimitsError) -> Self {
+        FleetConfigError::Ingest(e)
+    }
+}
+
+/// Fleet-level configuration. All durations are **sim-time**.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of decoder shards.
+    pub shards: usize,
+    /// Seed for the consistent-hash ring and derived damage seeds.
+    pub ring_seed: u64,
+    /// Virtual nodes per shard on the ring.
+    pub vnodes_per_shard: usize,
+    /// Per-shard checkpoint cadence.
+    pub checkpoint_every: Duration,
+    /// Restart backoff: first retry after `backoff_base`, doubling per
+    /// consecutive kill, capped at `backoff_cap`. Reset when the shard
+    /// survives to a checkpoint.
+    pub backoff_base: Duration,
+    pub backoff_cap: Duration,
+    /// Packets a stalled shard may queue before dropping.
+    pub stall_queue_packets: usize,
+    /// Evict a victim idle for longer than this (checked at
+    /// checkpoint boundaries).
+    pub victim_idle: Duration,
+    /// Hard cap on concurrently-live victims per shard.
+    pub max_victims_per_shard: usize,
+    /// Worker threads on the persistent restore pool (0 = per-core,
+    /// 1 = inline). Never affects output bytes.
+    pub restore_workers: usize,
+    /// Per-victim decoder configuration.
+    pub decode: OnlineConfig,
+}
+
+impl FleetConfig {
+    /// A config whose sim-time knobs match a session generator running
+    /// at `time_scale`× compression, mirroring
+    /// [`OnlineConfig::scaled`].
+    pub fn scaled(shards: usize, time_scale: u32) -> Self {
+        let ts = time_scale.max(1) as f64;
+        FleetConfig {
+            shards,
+            ring_seed: 0xF1EE7,
+            vnodes_per_shard: 16,
+            checkpoint_every: Duration::from_secs_f64(30.0 / ts),
+            backoff_base: Duration::from_secs_f64(2.0 / ts),
+            backoff_cap: Duration::from_secs_f64(60.0 / ts),
+            stall_queue_packets: 4096,
+            victim_idle: Duration::from_secs_f64(600.0 / ts),
+            max_victims_per_shard: 64,
+            restore_workers: 1,
+            decode: OnlineConfig::scaled(time_scale),
+        }
+    }
+
+    pub fn validate(&self) -> Result<(), FleetConfigError> {
+        if self.shards == 0 {
+            return Err(FleetConfigError::ZeroShards);
+        }
+        if self.checkpoint_every.micros() == 0 {
+            return Err(FleetConfigError::ZeroCheckpointCadence);
+        }
+        if self.backoff_base.micros() == 0 || self.backoff_cap.micros() < self.backoff_base.micros()
+        {
+            return Err(FleetConfigError::BadBackoff);
+        }
+        if self.stall_queue_packets == 0 {
+            return Err(FleetConfigError::ZeroStallQueue);
+        }
+        if self.max_victims_per_shard == 0 {
+            return Err(FleetConfigError::ZeroVictims);
+        }
+        self.decode.validate()?;
+        Ok(())
+    }
+
+    /// Upper bound on one shard's resident decoder state, derived from
+    /// the same [`wm_online::IngestLimits`] arithmetic the decoder's
+    /// own bound uses — the single source of truth for every memory
+    /// assertion in the fleet tests, soak, and bench.
+    pub fn per_shard_state_bound(&self) -> usize {
+        self.max_victims_per_shard * self.decode.state_bound()
+    }
+}
+
+/// One tap-attributed packet: `(arrival sim-time, victim id, frame)`.
+pub type TapPacket = (SimTime, u32, Vec<u8>);
+
+/// Merge the feeds of several taps with overlapping visibility into
+/// one deterministic stream: ordered by `(time, victim)`, ties broken
+/// by tap order then arrival order. Duplicate *packets* are absorbed
+/// downstream by each decoder's ingest (earliest copy wins) and the
+/// verdict dedup stage guarantees the merged *verdict* stream carries
+/// no duplicates.
+pub fn merge_taps(taps: &[Vec<TapPacket>]) -> Vec<TapPacket> {
+    let mut merged: Vec<TapPacket> = Vec::with_capacity(taps.iter().map(Vec::len).sum());
+    for tap in taps {
+        merged.extend(tap.iter().cloned());
+    }
+    merged.sort_by_key(|(t, v, _)| (t.micros(), *v));
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_catches_each_knob() {
+        let good = FleetConfig::scaled(4, 20);
+        assert!(good.validate().is_ok());
+        let mut c = good.clone();
+        c.shards = 0;
+        assert_eq!(c.validate(), Err(FleetConfigError::ZeroShards));
+        let mut c = good.clone();
+        c.checkpoint_every = Duration::ZERO;
+        assert_eq!(c.validate(), Err(FleetConfigError::ZeroCheckpointCadence));
+        let mut c = good.clone();
+        c.backoff_cap = Duration::from_micros(1);
+        c.backoff_base = Duration::from_micros(2);
+        assert_eq!(c.validate(), Err(FleetConfigError::BadBackoff));
+        let mut c = good.clone();
+        c.stall_queue_packets = 0;
+        assert_eq!(c.validate(), Err(FleetConfigError::ZeroStallQueue));
+        let mut c = good.clone();
+        c.max_victims_per_shard = 0;
+        assert_eq!(c.validate(), Err(FleetConfigError::ZeroVictims));
+        let mut c = good;
+        c.decode.ingest.max_carry_bytes = 0;
+        assert!(matches!(c.validate(), Err(FleetConfigError::Ingest(_))));
+    }
+
+    #[test]
+    fn shard_bound_scales_with_ingest_limits() {
+        let small = FleetConfig::scaled(2, 20);
+        let mut big = small.clone();
+        big.decode.ingest.max_carry_bytes *= 4;
+        assert!(
+            big.per_shard_state_bound() > small.per_shard_state_bound(),
+            "the shard bound must be derived from IngestLimits, not a constant"
+        );
+        assert_eq!(
+            small.per_shard_state_bound(),
+            small.max_victims_per_shard * small.decode.state_bound()
+        );
+    }
+
+    #[test]
+    fn merge_taps_is_deterministic_and_time_ordered() {
+        let a = vec![(SimTime(30), 1u32, vec![1u8]), (SimTime(10), 2, vec![2])];
+        let b = vec![(SimTime(20), 1, vec![3]), (SimTime(10), 2, vec![2])];
+        let merged = merge_taps(&[a.clone(), b.clone()]);
+        assert_eq!(merged, merge_taps(&[a, b]));
+        let times: Vec<u64> = merged.iter().map(|(t, _, _)| t.micros()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+        assert_eq!(
+            merged.len(),
+            4,
+            "merge keeps duplicates for ingest to absorb"
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! One decoder shard: a set of per-victim [`OnlineDecoder`]s plus the
+//! shard-scoped checkpoint codec.
+//!
+//! A shard owns every victim the ring routes to it. Each victim gets
+//! its own decoder (sessions are independent; the engine's internal
+//! flow demux handles one victim's reconnect flows), created lazily on
+//! the victim's first packet and evicted once the victim has been
+//! idle past the configured horizon — so shard memory is bounded by
+//! victim *concurrency* × the per-decoder bound, never by how many
+//! victims ever streamed through.
+//!
+//! A shard checkpoint is one canonical `wm-json` document embedding
+//! every live decoder via the shard-scoped
+//! [`OnlineDecoder::checkpoint_value`] API: byte-deterministic
+//! (decoders serialize in victim-id order from the `BTreeMap`), and
+//! restorable as a unit. Restore errors carry the victim that failed
+//! so supervisor logs are actionable.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use wm_capture::time::{Duration, SimTime};
+use wm_core::IntervalClassifier;
+use wm_json::Value;
+use wm_online::{CheckpointError, OnlineConfig, OnlineDecoder, OnlineVerdict};
+use wm_story::StoryGraph;
+
+/// Shard checkpoint format version. Bump on any schema change.
+pub const SHARD_CHECKPOINT_VERSION: i64 = 1;
+
+/// Why a shard checkpoint failed to restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardRestoreError {
+    /// The shard envelope itself is damaged (bad JSON, wrong version,
+    /// missing fields). Carries the underlying decoder-checkpoint
+    /// error, which names the offending field or byte offset.
+    Envelope(CheckpointError),
+    /// One embedded victim checkpoint failed to restore.
+    Victim(u32, CheckpointError),
+}
+
+impl std::fmt::Display for ShardRestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardRestoreError::Envelope(e) => write!(f, "shard envelope: {e}"),
+            ShardRestoreError::Victim(v, e) => write!(f, "victim {v} checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardRestoreError {}
+
+/// The live state of one shard.
+pub struct ShardState {
+    shard: u32,
+    classifier: IntervalClassifier,
+    graph: Arc<StoryGraph>,
+    cfg: OnlineConfig,
+    decoders: BTreeMap<u32, OnlineDecoder>,
+    last_seen: BTreeMap<u32, SimTime>,
+}
+
+impl ShardState {
+    pub fn new(
+        shard: u32,
+        classifier: IntervalClassifier,
+        graph: Arc<StoryGraph>,
+        cfg: OnlineConfig,
+    ) -> Self {
+        ShardState {
+            shard,
+            classifier,
+            graph,
+            cfg,
+            decoders: BTreeMap::new(),
+            last_seen: BTreeMap::new(),
+        }
+    }
+
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Victims with a live decoder.
+    pub fn live_victims(&self) -> impl Iterator<Item = u32> + '_ {
+        self.decoders.keys().copied()
+    }
+
+    pub fn live_victim_count(&self) -> usize {
+        self.decoders.len()
+    }
+
+    /// Sum of every live decoder's resident state.
+    pub fn state_bytes(&self) -> usize {
+        self.decoders.values().map(OnlineDecoder::state_bytes).sum()
+    }
+
+    /// Feed one packet for `victim`, creating its decoder on first
+    /// contact. If the shard is at `max_victims`, the stalest victim
+    /// is evicted first (finished through `out` so its tail verdicts
+    /// are not lost). Emitted verdicts are appended to `out` tagged
+    /// with their victim.
+    pub fn feed(
+        &mut self,
+        victim: u32,
+        time: SimTime,
+        frame: &[u8],
+        max_victims: usize,
+        out: &mut Vec<(u32, OnlineVerdict)>,
+    ) {
+        if !self.decoders.contains_key(&victim) {
+            while self.decoders.len() >= max_victims.max(1) {
+                let stalest = self
+                    .last_seen
+                    .iter()
+                    .min_by_key(|&(id, t)| (*t, *id))
+                    .map(|(id, _)| *id);
+                match stalest {
+                    Some(id) => self.evict(id, out),
+                    None => break,
+                }
+            }
+            self.decoders.insert(
+                victim,
+                OnlineDecoder::new(
+                    self.classifier.clone(),
+                    self.graph.clone(),
+                    self.cfg.clone(),
+                ),
+            );
+        }
+        self.last_seen.insert(victim, time);
+        if let Some(dec) = self.decoders.get_mut(&victim) {
+            for v in dec.push_packet(time, frame) {
+                out.push((victim, v));
+            }
+        }
+    }
+
+    /// Evict every victim idle since before `now - idle`, finishing
+    /// its decoder through `out`. Returns the evicted victims.
+    pub fn evict_idle(
+        &mut self,
+        now: SimTime,
+        idle: Duration,
+        out: &mut Vec<(u32, OnlineVerdict)>,
+    ) -> Vec<u32> {
+        let cutoff = now.micros().saturating_sub(idle.micros());
+        let stale: Vec<u32> = self
+            .last_seen
+            .iter()
+            .filter(|&(_, t)| t.micros() < cutoff)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &stale {
+            self.evict(*id, out);
+        }
+        stale
+    }
+
+    /// Finish and drop every decoder (end of input).
+    pub fn finish_all(&mut self, out: &mut Vec<(u32, OnlineVerdict)>) -> Vec<u32> {
+        let all: Vec<u32> = self.decoders.keys().copied().collect();
+        for id in &all {
+            self.evict(*id, out);
+        }
+        all
+    }
+
+    fn evict(&mut self, victim: u32, out: &mut Vec<(u32, OnlineVerdict)>) {
+        if let Some(mut dec) = self.decoders.remove(&victim) {
+            for v in dec.finish() {
+                out.push((victim, v));
+            }
+        }
+        self.last_seen.remove(&victim);
+    }
+
+    // -- shard-scoped checkpointing -----------------------------------
+
+    /// Serialize the whole shard into one canonical checkpoint blob.
+    /// Resets each decoder's cadence clock, like the per-decoder API.
+    pub fn checkpoint(&mut self, taken: SimTime) -> Vec<u8> {
+        let victims: Vec<Value> = self
+            .decoders
+            .iter_mut()
+            .map(|(id, dec)| {
+                let seen = self.last_seen.get(id).copied().unwrap_or(SimTime::ZERO);
+                Value::array(vec![
+                    Value::from(*id as i64),
+                    Value::from(seen.micros() as i64),
+                    dec.checkpoint_value(),
+                ])
+            })
+            .collect();
+        let root = Value::object(vec![
+            ("version".into(), Value::from(SHARD_CHECKPOINT_VERSION)),
+            ("shard".into(), Value::from(self.shard as i64)),
+            ("taken_us".into(), Value::from(taken.micros() as i64)),
+            ("victims".into(), Value::array(victims)),
+        ]);
+        wm_json::to_bytes(&root)
+    }
+
+    /// Restore a shard from a blob written by [`ShardState::checkpoint`].
+    pub fn restore(
+        bytes: &[u8],
+        classifier: IntervalClassifier,
+        graph: Arc<StoryGraph>,
+        cfg: OnlineConfig,
+    ) -> Result<Self, ShardRestoreError> {
+        let env = |e: CheckpointError| ShardRestoreError::Envelope(e);
+        let root = wm_json::parse(bytes).map_err(|e| {
+            env(CheckpointError::Syntax {
+                offset: e.offset,
+                near: "<shard>",
+            })
+        })?;
+        let version = root
+            .get("version")
+            .and_then(Value::as_i64)
+            .ok_or(env(CheckpointError::Malformed("version")))?;
+        if version != SHARD_CHECKPOINT_VERSION {
+            return Err(env(CheckpointError::Version(version)));
+        }
+        let shard = root
+            .get("shard")
+            .and_then(Value::as_i64)
+            .and_then(|s| u32::try_from(s).ok())
+            .ok_or(env(CheckpointError::Malformed("shard")))?;
+        let victims = root
+            .get("victims")
+            .and_then(Value::as_array)
+            .ok_or(env(CheckpointError::Malformed("victims")))?;
+        let mut state = ShardState::new(shard, classifier, graph, cfg);
+        for entry in victims {
+            let parts = entry
+                .as_array()
+                .ok_or(env(CheckpointError::Malformed("victims")))?;
+            let (id, seen, value) = match parts {
+                [id, seen, value] => (id, seen, value),
+                _ => return Err(env(CheckpointError::Malformed("victims"))),
+            };
+            let id = id
+                .as_i64()
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or(env(CheckpointError::Malformed("victims")))?;
+            let seen = seen.as_i64().and_then(|v| u64::try_from(v).ok()).ok_or(
+                ShardRestoreError::Victim(id, CheckpointError::Malformed("victims")),
+            )?;
+            let dec = OnlineDecoder::resume_from_value(value, state.graph.clone())
+                .map_err(|e| ShardRestoreError::Victim(id, e))?;
+            state.decoders.insert(id, dec);
+            state.last_seen.insert(id, SimTime(seen));
+        }
+        Ok(state)
+    }
+}

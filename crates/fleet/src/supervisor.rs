@@ -1,0 +1,743 @@
+//! The fleet supervisor: a deterministic single-threaded control loop
+//! that routes victim packets onto shards, checkpoints each shard on a
+//! sim-time cadence, injects/absorbs shard faults from a
+//! [`ShardFaultPlan`], restarts dead shards from their last good
+//! checkpoint with capped exponential backoff, and merges every
+//! shard's verdicts through the [`VerdictDedup`] stage into one
+//! stream.
+//!
+//! # Determinism
+//!
+//! The loop is driven purely by the packet stream's sim-times and the
+//! fault plan — no wall clocks, no OS threads in the decision path.
+//! The only parallelism is the restore path: when several shards come
+//! due for restart at the same instant their checkpoint blobs are
+//! rehydrated on the long-lived [`wm_pool::Pool`], whose results are
+//! merged back in shard order, so the outcome is byte-identical to a
+//! serial restore. Same seed + same plan + same packets ⇒ identical
+//! merged verdict stream and identical loss-window report, for any
+//! worker count.
+//!
+//! # Loss accounting
+//!
+//! Every packet the fleet fails to deliver to a live decoder is
+//! charged to an explicit per-victim loss window: opened at the kill
+//! (or at the first packet dropped on a dead/stall-saturated shard)
+//! and closed when the shard is restored. The acceptance contract is
+//! *zero duplicated, bounded lost*: the dedup stage guarantees the
+//! first half unconditionally; the loss report bounds the second so
+//! tests can check that every divergence from a fault-free run lies
+//! inside a reported window.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use wm_capture::time::{Duration, SimTime};
+use wm_chaos::{corrupt_blob, tear_blob, ShardFault, ShardFaultKind, ShardFaultPlan};
+use wm_core::IntervalClassifier;
+use wm_online::OnlineVerdict;
+use wm_pool::Pool;
+use wm_story::StoryGraph;
+use wm_telemetry::{Counter, Registry};
+use wm_trace::{SpanId, TraceHandle};
+
+use crate::dedup::VerdictDedup;
+use crate::ring::{victim_key, HashRing};
+use crate::shard::{ShardRestoreError, ShardState};
+use crate::{FleetConfig, FleetConfigError};
+
+/// One victim-scoped interval during which the fleet may have lost
+/// verdicts: from the instant the shard stopped consuming packets to
+/// the instant it resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LossWindow {
+    pub shard: u32,
+    pub victim: u32,
+    pub from: SimTime,
+    pub to: SimTime,
+}
+
+/// Supervisor counters, mirrored into telemetry when attached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Packets routed into the fleet.
+    pub packets: u64,
+    /// Verdicts delivered after dedup.
+    pub verdicts: u64,
+    /// Verdicts dropped by the dedup stage.
+    pub dedup_dropped: u64,
+    /// Shard kill faults absorbed.
+    pub kills: u64,
+    /// Shard stall faults absorbed.
+    pub stalls: u64,
+    /// Restores from a checkpoint (latest or previous).
+    pub restarts: u64,
+    /// Restarts that found no usable checkpoint and started cold.
+    pub cold_starts: u64,
+    /// Shard checkpoints written.
+    pub checkpoints: u64,
+    /// Checkpoint blobs rejected at restore (corrupt/torn).
+    pub checkpoints_rejected: u64,
+    /// Packets dropped while a shard was dead or its stall queue full.
+    pub packets_lost: u64,
+    /// Victims evicted for idleness or shard-capacity pressure.
+    pub victims_evicted: u64,
+    /// Sim-time between each kill and the matching restore, summed
+    /// (µs). Mean recovery latency = this / `restarts`.
+    pub recovery_latency_us: u64,
+    /// Peak resident decoder state observed on any one shard, bytes.
+    pub shard_state_peak: u64,
+}
+
+/// The merged output of a fleet run.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Deduplicated verdicts in canonical order: `(victim,
+    /// verdict.index, time)`. Canonical ordering — rather than raw
+    /// emission order — is what makes the stream comparable across
+    /// shard counts and restart schedules.
+    pub verdicts: Vec<(u32, OnlineVerdict)>,
+    /// Every interval in which verdicts may have been lost.
+    pub loss_windows: Vec<LossWindow>,
+    pub stats: FleetStats,
+}
+
+struct Counters {
+    packets: Arc<Counter>,
+    verdicts: Arc<Counter>,
+    dedup_dropped: Arc<Counter>,
+    kills: Arc<Counter>,
+    stalls: Arc<Counter>,
+    restarts: Arc<Counter>,
+    cold_starts: Arc<Counter>,
+    checkpoints: Arc<Counter>,
+    checkpoints_rejected: Arc<Counter>,
+    packets_lost: Arc<Counter>,
+    victims_evicted: Arc<Counter>,
+}
+
+impl Counters {
+    fn new(reg: &Registry) -> Self {
+        Counters {
+            packets: reg.counter("fleet.packets"),
+            verdicts: reg.counter("fleet.verdicts"),
+            dedup_dropped: reg.counter("fleet.dedup_dropped"),
+            kills: reg.counter("fleet.kills"),
+            stalls: reg.counter("fleet.stalls"),
+            restarts: reg.counter("fleet.restarts"),
+            cold_starts: reg.counter("fleet.cold_starts"),
+            checkpoints: reg.counter("fleet.checkpoints"),
+            checkpoints_rejected: reg.counter("fleet.checkpoints_rejected"),
+            packets_lost: reg.counter("fleet.packets_lost"),
+            victims_evicted: reg.counter("fleet.victims_evicted"),
+        }
+    }
+}
+
+/// Supervisor-side bookkeeping for one shard.
+struct ShardSlot {
+    /// Live state; `None` while the shard is dead awaiting restart.
+    state: Option<ShardState>,
+    /// Last checkpoint written (possibly damaged by a fault).
+    latest: Option<Vec<u8>>,
+    /// The checkpoint before that — the fallback when `latest` is
+    /// rejected at restore. Depth two is deliberate: a single
+    /// corrupt-write fault can poison at most one blob.
+    prev: Option<Vec<u8>>,
+    /// Sim-time when the next checkpoint is due.
+    next_checkpoint: SimTime,
+    /// When the last checkpoint was written (ZERO if never): the true
+    /// start of any loss window, since a restore rolls back to it.
+    last_checkpoint_at: SimTime,
+    /// When the shard was last killed (meaningful only while dead).
+    killed_at: SimTime,
+    /// Scheduled restart time while dead.
+    restart_at: Option<SimTime>,
+    /// Exponent for the capped exponential restart backoff.
+    backoff_exp: u32,
+    /// Shard ignores (queues) packets until this instant.
+    stalled_until: SimTime,
+    /// Packets queued during a stall, in arrival order.
+    stall_queue: Vec<(SimTime, u32, Vec<u8>)>,
+    /// Fault kind to apply to the next checkpoint write.
+    damage: Option<ShardFaultKind>,
+    /// Open per-victim loss windows: victim → window start.
+    open_loss: BTreeMap<u32, SimTime>,
+    /// Open `fleet.restart` trace span while dead.
+    span: SpanId,
+}
+
+impl ShardSlot {
+    fn new(first_checkpoint: SimTime) -> Self {
+        ShardSlot {
+            state: None,
+            latest: None,
+            prev: None,
+            next_checkpoint: first_checkpoint,
+            last_checkpoint_at: SimTime::ZERO,
+            killed_at: SimTime::ZERO,
+            restart_at: None,
+            backoff_exp: 0,
+            stalled_until: SimTime::ZERO,
+            stall_queue: Vec::new(),
+            damage: None,
+            open_loss: BTreeMap::new(),
+            span: SpanId::NONE,
+        }
+    }
+}
+
+/// The supervised fleet. Construct with [`Fleet::new`], optionally
+/// attach telemetry/tracing and a fault plan, feed packets with
+/// [`Fleet::push`], then collect the merged [`FleetReport`] with
+/// [`Fleet::finish`].
+pub struct Fleet {
+    cfg: FleetConfig,
+    classifier: IntervalClassifier,
+    graph: Arc<StoryGraph>,
+    ring: HashRing,
+    slots: Vec<ShardSlot>,
+    dedup: VerdictDedup,
+    verdicts: Vec<(u32, OnlineVerdict)>,
+    losses: Vec<LossWindow>,
+    plan: Vec<ShardFault>,
+    cursor: usize,
+    damage_seq: u64,
+    now: SimTime,
+    stats: FleetStats,
+    counters: Option<Counters>,
+    trace: Option<(TraceHandle, SpanId)>,
+    pool: Pool,
+    scratch: Vec<(u32, OnlineVerdict)>,
+}
+
+impl Fleet {
+    pub fn new(
+        cfg: FleetConfig,
+        classifier: IntervalClassifier,
+        graph: Arc<StoryGraph>,
+    ) -> Result<Self, FleetConfigError> {
+        cfg.validate()?;
+        let ring = HashRing::new(cfg.ring_seed, cfg.shards, cfg.vnodes_per_shard);
+        let first = SimTime(cfg.checkpoint_every.micros());
+        let slots = (0..cfg.shards)
+            .map(|k| {
+                let mut slot = ShardSlot::new(first);
+                slot.state = Some(ShardState::new(
+                    k as u32,
+                    classifier.clone(),
+                    graph.clone(),
+                    cfg.decode.clone(),
+                ));
+                slot
+            })
+            .collect();
+        let pool = Pool::new(cfg.restore_workers);
+        Ok(Fleet {
+            cfg,
+            classifier,
+            graph,
+            ring,
+            slots,
+            dedup: VerdictDedup::new(),
+            verdicts: Vec::new(),
+            losses: Vec::new(),
+            plan: Vec::new(),
+            cursor: 0,
+            damage_seq: 0,
+            now: SimTime::ZERO,
+            stats: FleetStats::default(),
+            counters: None,
+            trace: None,
+            pool,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Arm a fault plan. Must be called before the first packet.
+    pub fn inject(&mut self, plan: &ShardFaultPlan) {
+        self.plan = plan.events().to_vec();
+        self.cursor = 0;
+    }
+
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.counters = Some(Counters::new(registry));
+    }
+
+    pub fn attach_trace(&mut self, handle: TraceHandle, parent: SpanId) {
+        self.trace = Some((handle, parent));
+    }
+
+    pub fn stats(&self) -> FleetStats {
+        self.stats
+    }
+
+    /// Total resident decoder state across live shards, bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .filter_map(|s| s.state.as_ref())
+            .map(ShardState::state_bytes)
+            .sum()
+    }
+
+    /// Victims tracked by the dedup stage (live + tombstoned).
+    pub fn dedup_victims(&self) -> usize {
+        self.dedup.live_victims()
+    }
+
+    /// Take every verdict delivered so far, in emission order —
+    /// streaming consumption for long-haul runs, so delivered verdicts
+    /// don't accumulate in the supervisor. The final report then
+    /// carries only verdicts delivered after the last drain.
+    pub fn drain_verdicts(&mut self) -> Vec<(u32, OnlineVerdict)> {
+        std::mem::take(&mut self.verdicts)
+    }
+
+    /// Route one packet attributed to `victim` into the fleet.
+    pub fn push(&mut self, time: SimTime, victim: u32, frame: &[u8]) {
+        self.now = SimTime(self.now.micros().max(time.micros()));
+        self.stats.packets += 1;
+        if let Some(c) = &self.counters {
+            c.packets.inc();
+        }
+        self.apply_due_faults();
+        self.apply_due_restarts();
+        self.drain_elapsed_stalls();
+        let shard = self.shard_for(victim);
+        self.route(shard, time, victim, frame);
+        self.checkpoint_tick();
+    }
+
+    /// End of input: drain stall queues, resurrect dead shards so
+    /// their checkpointed tails still decode, finish every decoder,
+    /// and produce the merged report.
+    pub fn finish(mut self) -> FleetReport {
+        // Any shard still dead gets one final restore attempt so the
+        // verdicts sealed inside its last good checkpoint are not
+        // silently discarded with it.
+        let due: Vec<usize> = (0..self.slots.len())
+            .filter(|&k| self.slots[k].state.is_none() && self.slots[k].restart_at.is_some())
+            .collect();
+        self.restore_shards(&due);
+        for k in 0..self.slots.len() {
+            let slot = &mut self.slots[k];
+            slot.stalled_until = SimTime::ZERO;
+            let queued = std::mem::take(&mut slot.stall_queue);
+            for (t, v, frame) in queued {
+                self.feed_shard(k, t, v, &frame);
+            }
+            let mut out = Vec::new();
+            let evicted = match self.slots[k].state.as_mut() {
+                Some(state) => state.finish_all(&mut out).len(),
+                None => 0,
+            };
+            self.stats.victims_evicted += evicted as u64;
+            if let Some(c) = &self.counters {
+                c.victims_evicted.add(evicted as u64);
+            }
+            self.emit(&out);
+            let end = self.now;
+            let slot = &mut self.slots[k];
+            let opened: Vec<(u32, SimTime)> =
+                std::mem::take(&mut slot.open_loss).into_iter().collect();
+            for (victim, from) in opened {
+                self.close_loss(k, victim, from, end);
+            }
+        }
+        let mut verdicts = std::mem::take(&mut self.verdicts);
+        verdicts.sort_by_key(|(victim, v)| (*victim, v.index, v.choice.time.micros()));
+        let mut loss_windows = std::mem::take(&mut self.losses);
+        loss_windows.sort_by_key(|w| (w.from.micros(), w.shard, w.victim));
+        FleetReport {
+            verdicts,
+            loss_windows,
+            stats: self.stats,
+        }
+    }
+
+    // -- routing -------------------------------------------------------
+
+    fn shard_for(&self, victim: u32) -> usize {
+        // Route by victim attribution only: one victim's session spans
+        // reconnect flows, rotated CDN frontends, and (under capture
+        // impairment) runt frames with no parseable tuple, and its
+        // decoder needs all of them on one shard.
+        self.ring.shard_of(victim_key(self.cfg.ring_seed, victim))
+    }
+
+    fn route(&mut self, shard: usize, time: SimTime, victim: u32, frame: &[u8]) {
+        let slot = &mut self.slots[shard];
+        if slot.state.is_none() {
+            // Dead shard: the packet is gone. Charge it to a loss
+            // window so the report bounds the damage.
+            slot.open_loss.entry(victim).or_insert(time);
+            self.lose_packet();
+            return;
+        }
+        if self.now.micros() < slot.stalled_until.micros() {
+            if slot.stall_queue.len() < self.cfg.stall_queue_packets {
+                slot.stall_queue.push((time, victim, frame.to_vec()));
+            } else {
+                slot.open_loss.entry(victim).or_insert(time);
+                self.lose_packet();
+            }
+            return;
+        }
+        self.feed_shard(shard, time, victim, frame);
+    }
+
+    fn feed_shard(&mut self, shard: usize, time: SimTime, victim: u32, frame: &[u8]) {
+        let max_victims = self.cfg.max_victims_per_shard;
+        let mut out = std::mem::take(&mut self.scratch);
+        if let Some(state) = self.slots[shard].state.as_mut() {
+            state.feed(victim, time, frame, max_victims, &mut out);
+        }
+        self.emit(&out);
+        out.clear();
+        self.scratch = out;
+    }
+
+    fn emit(&mut self, out: &[(u32, OnlineVerdict)]) {
+        for (victim, verdict) in out {
+            if self.dedup.admit(*victim, verdict) {
+                self.stats.verdicts += 1;
+                if let Some(c) = &self.counters {
+                    c.verdicts.inc();
+                }
+                self.verdicts.push((*victim, verdict.clone()));
+            } else {
+                self.stats.dedup_dropped += 1;
+                if let Some(c) = &self.counters {
+                    c.dedup_dropped.inc();
+                }
+            }
+        }
+    }
+
+    fn lose_packet(&mut self) {
+        self.stats.packets_lost += 1;
+        if let Some(c) = &self.counters {
+            c.packets_lost.inc();
+        }
+    }
+
+    fn close_loss(&mut self, shard: usize, victim: u32, from: SimTime, to: SimTime) {
+        self.losses.push(LossWindow {
+            shard: shard as u32,
+            victim,
+            from,
+            to,
+        });
+    }
+
+    // -- fault injection ----------------------------------------------
+
+    fn apply_due_faults(&mut self) {
+        while self.cursor < self.plan.len()
+            && self.plan[self.cursor].at.micros() <= self.now.micros()
+        {
+            let fault = self.plan[self.cursor];
+            self.cursor += 1;
+            let shard = (fault.shard).min(self.slots.len().saturating_sub(1));
+            match fault.kind {
+                ShardFaultKind::Kill => self.kill_shard(shard, fault.at),
+                ShardFaultKind::Stall { stall } => self.stall_shard(shard, fault.at, stall),
+                ShardFaultKind::CheckpointCorrupt | ShardFaultKind::CheckpointTorn => {
+                    self.slots[shard].damage = Some(fault.kind);
+                    self.trace_instant(fault.at, fault.kind.trace_name(), shard as u64, 0);
+                }
+            }
+        }
+    }
+
+    fn kill_shard(&mut self, shard: usize, at: SimTime) {
+        let cfg_base = self.cfg.backoff_base.micros().max(1);
+        let cfg_cap = self.cfg.backoff_cap.micros().max(cfg_base);
+        let slot = &mut self.slots[shard];
+        let Some(state) = slot.state.take() else {
+            return; // already dead: the fault is a no-op
+        };
+        // A restore rolls the shard back to its last checkpoint, so
+        // verdicts in flight since then are at risk — the window
+        // starts there, not at the kill.
+        let window_from = slot.last_checkpoint_at;
+        for victim in state.live_victims() {
+            slot.open_loss.entry(victim).or_insert(window_from);
+        }
+        drop(state);
+        slot.killed_at = at;
+        let exp = slot.backoff_exp.min(20);
+        let delay = cfg_base.saturating_mul(1u64 << exp).min(cfg_cap);
+        slot.backoff_exp = slot.backoff_exp.saturating_add(1);
+        slot.restart_at = Some(SimTime(at.micros() + delay));
+        slot.stall_queue.clear();
+        slot.stalled_until = SimTime::ZERO;
+        self.stats.kills += 1;
+        if let Some(c) = &self.counters {
+            c.kills.inc();
+        }
+        if let Some((handle, parent)) = &self.trace {
+            let span = handle.span_start_at(at.micros(), "fleet.restart", *parent);
+            handle.instant_at(
+                at.micros(),
+                span,
+                ShardFaultKind::Kill.trace_name(),
+                shard as u64,
+                delay,
+            );
+            self.slots[shard].span = span;
+        }
+    }
+
+    fn stall_shard(&mut self, shard: usize, at: SimTime, stall: Duration) {
+        let slot = &mut self.slots[shard];
+        if slot.state.is_none() {
+            return; // stalling a dead shard changes nothing
+        }
+        let until = at.micros() + stall.micros();
+        slot.stalled_until = SimTime(slot.stalled_until.micros().max(until));
+        self.stats.stalls += 1;
+        if let Some(c) = &self.counters {
+            c.stalls.inc();
+        }
+        self.trace_instant(
+            at,
+            ShardFaultKind::Stall { stall }.trace_name(),
+            shard as u64,
+            stall.micros(),
+        );
+    }
+
+    fn drain_elapsed_stalls(&mut self) {
+        for k in 0..self.slots.len() {
+            let slot = &mut self.slots[k];
+            if slot.state.is_none()
+                || slot.stall_queue.is_empty()
+                || self.now.micros() < slot.stalled_until.micros()
+            {
+                continue;
+            }
+            let queued = std::mem::take(&mut slot.stall_queue);
+            for (t, v, frame) in queued {
+                self.feed_shard(k, t, v, &frame);
+            }
+            // Stall-overflow loss ends when the queue drains: the
+            // shard is consuming live input again.
+            let end = self.now;
+            let opened: Vec<(u32, SimTime)> = std::mem::take(&mut self.slots[k].open_loss)
+                .into_iter()
+                .collect();
+            for (victim, from) in opened {
+                self.close_loss(k, victim, from, end);
+            }
+        }
+    }
+
+    // -- restart / restore --------------------------------------------
+
+    fn apply_due_restarts(&mut self) {
+        let due: Vec<usize> = (0..self.slots.len())
+            .filter(|&k| {
+                self.slots[k].state.is_none()
+                    && self.slots[k]
+                        .restart_at
+                        .is_some_and(|t| t.micros() <= self.now.micros())
+            })
+            .collect();
+        self.restore_shards(&due);
+    }
+
+    /// Restore the given dead shards from their stored checkpoints.
+    /// Two or more simultaneous restores rehydrate in parallel on the
+    /// persistent pool; results merge back in shard order, so the
+    /// outcome is identical to a serial restore.
+    fn restore_shards(&mut self, due: &[usize]) {
+        if due.is_empty() {
+            return;
+        }
+        let mut primary: Vec<Option<Result<ShardState, ShardRestoreError>>> =
+            Vec::with_capacity(due.len());
+        if due.len() >= 2 {
+            let jobs: Vec<Option<Vec<u8>>> =
+                due.iter().map(|&k| self.slots[k].latest.clone()).collect();
+            let classifier = self.classifier.clone();
+            let graph = self.graph.clone();
+            let decode = self.cfg.decode.clone();
+            let jobs = Arc::new(jobs);
+            primary = self.pool.run(due.len(), move |i| {
+                jobs[i].as_ref().map(|blob| {
+                    ShardState::restore(blob, classifier.clone(), graph.clone(), decode.clone())
+                })
+            });
+        } else {
+            for &k in due {
+                primary.push(self.slots[k].latest.as_ref().map(|blob| {
+                    ShardState::restore(
+                        blob,
+                        self.classifier.clone(),
+                        self.graph.clone(),
+                        self.cfg.decode.clone(),
+                    )
+                }));
+            }
+        }
+        for (slot_idx, outcome) in due.iter().zip(primary) {
+            self.finish_restore(*slot_idx, outcome);
+        }
+    }
+
+    fn finish_restore(&mut self, k: usize, primary: Option<Result<ShardState, ShardRestoreError>>) {
+        let now = self.now;
+        let mut cold = false;
+        let state = match primary {
+            Some(Ok(state)) => Some(state),
+            Some(Err(_)) => {
+                // Latest blob is damaged: count it, fall back to the
+                // previous good checkpoint, else start cold.
+                self.stats.checkpoints_rejected += 1;
+                if let Some(c) = &self.counters {
+                    c.checkpoints_rejected.inc();
+                }
+                let prev = self.slots[k].prev.clone();
+                match prev.and_then(|blob| {
+                    ShardState::restore(
+                        &blob,
+                        self.classifier.clone(),
+                        self.graph.clone(),
+                        self.cfg.decode.clone(),
+                    )
+                    .ok()
+                }) {
+                    Some(state) => Some(state),
+                    None => {
+                        cold = true;
+                        None
+                    }
+                }
+            }
+            None => {
+                cold = true;
+                None
+            }
+        };
+        let state = state.unwrap_or_else(|| {
+            ShardState::new(
+                k as u32,
+                self.classifier.clone(),
+                self.graph.clone(),
+                self.cfg.decode.clone(),
+            )
+        });
+        let slot = &mut self.slots[k];
+        slot.state = Some(state);
+        slot.restart_at = None;
+        slot.next_checkpoint = SimTime(now.micros() + self.cfg.checkpoint_every.micros());
+        self.stats.restarts += 1;
+        self.stats.recovery_latency_us += now
+            .micros()
+            .saturating_sub(self.slots[k].killed_at.micros());
+        if cold {
+            self.stats.cold_starts += 1;
+        }
+        if let Some(c) = &self.counters {
+            c.restarts.inc();
+            if cold {
+                c.cold_starts.inc();
+            }
+        }
+        // The restored decoder re-numbers evidence records starting
+        // from the checkpoint, so for roughly the span of traffic
+        // consumed between that checkpoint and the kill its fresh
+        // verdicts collide with the dedup high-water and are dropped
+        // (the bounded-loss half of the contract). Extend the window
+        // past the restore by that replay span so every such drop is
+        // covered by the report.
+        let killed_at = self.slots[k].killed_at;
+        let opened: Vec<(u32, SimTime)> = std::mem::take(&mut self.slots[k].open_loss)
+            .into_iter()
+            .collect();
+        for (victim, from) in opened {
+            let replay = killed_at.micros().saturating_sub(from.micros());
+            self.close_loss(k, victim, from, SimTime(now.micros() + replay));
+        }
+        let span = self.slots[k].span;
+        if span != SpanId::NONE {
+            if let Some((handle, _)) = &self.trace {
+                handle.span_end_at(now.micros(), span, "fleet.restart");
+            }
+            self.slots[k].span = SpanId::NONE;
+        }
+    }
+
+    // -- checkpoint cadence -------------------------------------------
+
+    fn checkpoint_tick(&mut self) {
+        for k in 0..self.slots.len() {
+            if self.slots[k].state.is_none()
+                || self.now.micros() < self.slots[k].next_checkpoint.micros()
+            {
+                continue;
+            }
+            // Evict idle victims at checkpoint boundaries so the blob
+            // (and resident state) stays bounded by concurrency.
+            let idle = self.cfg.victim_idle;
+            let now = self.now;
+            let mut out = Vec::new();
+            let evicted = self.slots[k]
+                .state
+                .as_mut()
+                .map(|s| s.evict_idle(now, idle, &mut out).len())
+                .unwrap_or(0);
+            self.stats.victims_evicted += evicted as u64;
+            if let Some(c) = &self.counters {
+                c.victims_evicted.add(evicted as u64);
+            }
+            self.emit(&out);
+            let (blob, state_bytes) = {
+                let state = self.slots[k].state.as_mut().expect("checked live above");
+                (state.checkpoint(now), state.state_bytes())
+            };
+            self.stats.shard_state_peak = self.stats.shard_state_peak.max(state_bytes as u64);
+            let blob = match self.slots[k].damage.take() {
+                Some(ShardFaultKind::CheckpointCorrupt) => {
+                    let seed = self.next_damage_seed();
+                    corrupt_blob(seed, &blob)
+                }
+                Some(ShardFaultKind::CheckpointTorn) => {
+                    let seed = self.next_damage_seed();
+                    tear_blob(seed, &blob)
+                }
+                _ => blob,
+            };
+            let slot = &mut self.slots[k];
+            slot.prev = slot.latest.take();
+            slot.latest = Some(blob);
+            slot.last_checkpoint_at = now;
+            // Surviving to a checkpoint proves the shard healthy:
+            // reset the restart backoff.
+            slot.backoff_exp = 0;
+            while slot.next_checkpoint.micros() <= self.now.micros() {
+                slot.next_checkpoint = SimTime(
+                    slot.next_checkpoint.micros() + self.cfg.checkpoint_every.micros().max(1),
+                );
+            }
+            self.stats.checkpoints += 1;
+            if let Some(c) = &self.counters {
+                c.checkpoints.inc();
+            }
+            self.trace_instant(now, "fleet.checkpoint", k as u64, state_bytes as u64);
+        }
+    }
+
+    fn next_damage_seed(&mut self) -> u64 {
+        self.damage_seq += 1;
+        crate::ring::damage_seed(self.cfg.ring_seed, self.damage_seq)
+    }
+
+    fn trace_instant(&self, at: SimTime, name: &'static str, a: u64, b: u64) {
+        if let Some((handle, parent)) = &self.trace {
+            handle.instant_at(at.micros(), *parent, name, a, b);
+        }
+    }
+}

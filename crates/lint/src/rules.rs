@@ -15,7 +15,10 @@
 //!   observer sees. Their declared dependencies are restricted to the
 //!   capture window and public vocabulary crates; reaching into victim
 //!   internals (`wm-netflix`, `wm-player`, `wm-tls`) would let the
-//!   "attack" cheat.
+//!   "attack" cheat. The rule is bidirectional: victim crates must not
+//!   depend on attacker-side crates either (the fleet supervisor
+//!   included) — the simulated service cannot be shaped by the attack
+//!   observing it.
 //! * **bounded** — the online decoder's ingest paths run for the length
 //!   of a viewing session against adversarial streams, so every buffer
 //!   there must grow through the capacity-enforcing `wm_online::bounded`
@@ -91,6 +94,7 @@ pub const ALL_RULES: &[&str] = &[
 /// iteration order and clocks in these crates shape golden traces.
 pub const BYTE_PRODUCING_CRATES: &[&str] = &[
     "wm-chaos",
+    "wm-fleet",
     "wm-net",
     "wm-netflix",
     "wm-player",
@@ -107,12 +111,19 @@ pub const BYTE_PRODUCING_CRATES: &[&str] = &[
 /// utilities. Other attacker crates are also fine (the pipeline layers
 /// internally). `[dev-dependencies]` are exempt — integration tests
 /// legitimately stand up a simulated victim.
-pub const ATTACKER_CRATES: &[&str] = &["wm-baselines", "wm-behavior", "wm-core", "wm-online"];
+pub const ATTACKER_CRATES: &[&str] = &[
+    "wm-baselines",
+    "wm-behavior",
+    "wm-core",
+    "wm-fleet",
+    "wm-online",
+];
 pub const ATTACKER_ALLOWED_DEPS: &[&str] = &[
     "wm-baselines",
     "wm-behavior",
     "wm-capture",
     "wm-core",
+    "wm-fleet",
     "wm-json",
     "wm-online",
     "wm-pool",
@@ -120,6 +131,28 @@ pub const ATTACKER_ALLOWED_DEPS: &[&str] = &[
     "wm-telemetry",
     "wm-trace",
 ];
+
+/// Per-crate widenings of [`ATTACKER_ALLOWED_DEPS`]. The fleet
+/// supervisor absorbs `wm-chaos` fault plans by design — chaos is the
+/// shared fault vocabulary the kill/resume contract is written
+/// against, not victim internals — but no other attacker crate gets to
+/// import it.
+pub const ATTACKER_EXTRA_ALLOWED: &[(&str, &[&str])] = &[("wm-fleet", &["wm-chaos"])];
+
+/// Victim-side crates: the simulated service and its direct internals.
+/// They must never declare a dependency on an attacker crate — the
+/// service cannot be shaped by the attack observing it, and the
+/// "attack works from ciphertext alone" claim dies the moment victim
+/// code links the decoder.
+pub const VICTIM_CRATES: &[&str] = &["wm-cipher", "wm-http", "wm-netflix", "wm-player", "wm-tls"];
+
+/// Is `dep` a legal `[dependencies]` entry for attacker crate `name`?
+pub fn attacker_dep_allowed(name: &str, dep: &str) -> bool {
+    ATTACKER_ALLOWED_DEPS.contains(&dep)
+        || ATTACKER_EXTRA_ALLOWED
+            .iter()
+            .any(|(c, extra)| *c == name && extra.contains(&dep))
+}
 
 /// Crates allowed to read wall clocks: the benchmark harness times real
 /// executions by definition. Everything else must justify a clock with
@@ -240,11 +273,28 @@ pub fn check_manifest(rel_path: &str, m: &Manifest) -> Vec<Finding> {
             }
         }
     }
+    if VICTIM_CRATES.contains(&m.name.as_str()) {
+        for dep in m.dependencies.iter().chain(&m.build_dependencies) {
+            if ATTACKER_CRATES.contains(&dep.name.as_str()) {
+                findings.push(Finding {
+                    rule: LAYERING,
+                    file: rel_path.to_string(),
+                    line: dep.line,
+                    message: format!(
+                        "victim crate `{}` declares dependency `{}` on an attacker-side crate; \
+                         the simulated service must not link the attack that observes it",
+                        m.name, dep.name
+                    ),
+                });
+            }
+        }
+        return findings;
+    }
     if !ATTACKER_CRATES.contains(&m.name.as_str()) {
         return findings;
     }
     for dep in m.dependencies.iter().chain(&m.build_dependencies) {
-        if !ATTACKER_ALLOWED_DEPS.contains(&dep.name.as_str()) {
+        if !attacker_dep_allowed(&m.name, &dep.name) {
             findings.push(Finding {
                 rule: LAYERING,
                 file: rel_path.to_string(),
@@ -1117,6 +1167,38 @@ mod tests {
             "[package]\nname = \"wm-player\"\n[dependencies]\nwm-tls.workspace = true\n",
         );
         assert!(check_manifest("crates/player/Cargo.toml", &m).is_empty());
+    }
+
+    #[test]
+    fn layering_flags_attacker_dep_in_victim_crate() {
+        let m = crate::manifest::parse(
+            "[package]\nname = \"wm-player\"\n[dependencies]\nwm-fleet.workspace = true\nwm-tls.workspace = true\n",
+        );
+        let f = check_manifest("crates/player/Cargo.toml", &m);
+        assert_eq!(rules_of(&f), [LAYERING]);
+        assert!(f[0].message.contains("wm-fleet"));
+        assert!(f[0].message.contains("victim crate"));
+    }
+
+    #[test]
+    fn fleet_chaos_allowance_is_scoped_to_the_fleet() {
+        // wm-fleet may absorb chaos fault plans…
+        let fleet = crate::manifest::parse(
+            "[package]\nname = \"wm-fleet\"\n[dependencies]\nwm-chaos.workspace = true\nwm-online.workspace = true\nwm-pool.workspace = true\nwm-telemetry.workspace = true\nwm-trace.workspace = true\n",
+        );
+        assert!(check_manifest("crates/fleet/Cargo.toml", &fleet).is_empty());
+        // …but victim internals stay off-limits to it…
+        let bad = crate::manifest::parse(
+            "[package]\nname = \"wm-fleet\"\n[dependencies]\nwm-tls.workspace = true\n",
+        );
+        let f = check_manifest("crates/fleet/Cargo.toml", &bad);
+        assert_eq!(rules_of(&f), [LAYERING]);
+        // …and the chaos allowance does not leak to other attacker crates.
+        let core = crate::manifest::parse(
+            "[package]\nname = \"wm-core\"\n[dependencies]\nwm-chaos.workspace = true\n",
+        );
+        let f = check_manifest("crates/core/Cargo.toml", &core);
+        assert_eq!(rules_of(&f), [LAYERING]);
     }
 
     #[test]

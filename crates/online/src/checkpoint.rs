@@ -40,8 +40,13 @@ pub const CHECKPOINT_VERSION: i64 = 1;
 /// Why a checkpoint failed to restore.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CheckpointError {
-    /// The blob is not valid JSON.
-    Parse,
+    /// The blob is not syntactically valid JSON — truncated by a torn
+    /// write or corrupted in storage. `offset` is the byte the parser
+    /// gave up at; `near` names the last schema field whose key opens
+    /// before that byte (`"<start>"` when the damage precedes every
+    /// field), so a supervisor log says *what* was being read when
+    /// the blob ended, not just that it ended.
+    Syntax { offset: usize, near: &'static str },
     /// The blob's format version is not supported.
     Version(i64),
     /// A required field is missing or mistyped.
@@ -55,7 +60,11 @@ pub enum CheckpointError {
 impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CheckpointError::Parse => write!(f, "checkpoint is not valid JSON"),
+            CheckpointError::Syntax { offset, near } => write!(
+                f,
+                "checkpoint JSON invalid at byte {offset} (near field `{near}`): \
+                 truncated or corrupted blob"
+            ),
             CheckpointError::Version(v) => write!(f, "unsupported checkpoint version {v}"),
             CheckpointError::Malformed(field) => {
                 write!(f, "checkpoint field `{field}` missing or mistyped")
@@ -259,6 +268,15 @@ fn phase_value(phase: &Phase) -> Value {
 
 /// Serialize `decoder` into the canonical checkpoint bytes.
 pub(crate) fn encode(decoder: &OnlineDecoder) -> Vec<u8> {
+    wm_json::to_bytes(&encode_value(decoder))
+}
+
+/// Serialize `decoder` as a [`wm_json::Value`] document — the
+/// shard-scoped form: a supervisor checkpointing many decoders embeds
+/// each value in its own envelope and serializes the whole shard
+/// once, so a shard blob stays a single canonical JSON document
+/// instead of JSON-escaped-inside-JSON.
+pub(crate) fn encode_value(decoder: &OnlineDecoder) -> Value {
     let pending: Vec<Value> = decoder
         .pending
         .iter()
@@ -300,7 +318,7 @@ pub(crate) fn encode(decoder: &OnlineDecoder) -> Vec<u8> {
         .map(|(id, ingest)| flow_value(id, ingest))
         .collect();
     let st = decoder.stats;
-    let root = obj(vec![
+    obj(vec![
         ("version", Value::from(CHECKPOINT_VERSION)),
         (
             "graph_fp",
@@ -364,8 +382,7 @@ pub(crate) fn encode(decoder: &OnlineDecoder) -> Vec<u8> {
                 ("checkpoints", int(st.checkpoints)),
             ]),
         ),
-    ]);
-    wm_json::to_bytes(&root)
+    ])
 }
 
 // ---------------------------------------------------------------------
@@ -608,31 +625,147 @@ fn phase_of(v: &Value) -> Result<Phase, CheckpointError> {
     }
 }
 
+/// Every object key the checkpoint schema ever writes, in document
+/// order. [`syntax_error`] resolves the bytes it finds near a parse
+/// failure against this vocabulary so the error can carry a
+/// `&'static str` (keeping [`CheckpointError`] `Copy`).
+const SCHEMA_KEYS: &[&str] = &[
+    "version",
+    "graph_fp",
+    "config",
+    "time_scale",
+    "reorder_lag_us",
+    "gap_patience_us",
+    "checkpoint_every_records",
+    "max_flows",
+    "max_pending_events",
+    "max_ready_events",
+    "max_recent_apps",
+    "max_gap_times",
+    "max_loss_windows",
+    "max_carry_bytes",
+    "max_parked_bytes",
+    "max_parked_segments",
+    "max_marks",
+    "classifier",
+    "clock",
+    "max_seen_us",
+    "watermark_us",
+    "finishing",
+    "flows",
+    "id",
+    "base_seq",
+    "carry",
+    "carry_start",
+    "hole_since_us",
+    "last_record_time_us",
+    "last_rel",
+    "marks",
+    "parked",
+    "parked_overflows",
+    "resyncs",
+    "skipped_bytes",
+    "duplicate_bytes",
+    "events",
+    "admit_seq",
+    "pending",
+    "ready",
+    "cursor",
+    "app_count",
+    "app_first_us",
+    "app_second_us",
+    "first_type1_us",
+    "last_kept_t1_us",
+    "last_kept_t2_us",
+    "recent_apps",
+    "gap_times",
+    "loss_windows",
+    "frontier",
+    "phase",
+    "kind",
+    "cp",
+    "seg",
+    "t1_us",
+    "t1_evt",
+    "observed",
+    "predicted_us",
+    "emitted",
+    "records_seen",
+    "stats",
+    "packets",
+    "segments",
+    "truncated_segments",
+    "records",
+    "non_app_records",
+    "report_events",
+    "deduped_events",
+    "late_events",
+    "pending_force_finalized",
+    "ready_evictions",
+    "gaps",
+    "verdicts",
+    "checkpoints",
+];
+
+/// Map a JSON parse failure at `offset` to the checkpoint field being
+/// read when the blob ran out: the schema key whose quoted form opens
+/// last before the failure point. Error path only, so the quadratic
+/// scan over the fixed vocabulary is irrelevant.
+fn syntax_error(bytes: &[u8], offset: usize) -> CheckpointError {
+    let head = bytes.get(..offset.min(bytes.len())).unwrap_or(&[]);
+    let mut near: &'static str = "<start>";
+    let mut best: usize = 0;
+    for key in SCHEMA_KEYS {
+        let pat_len = key.len() + 2;
+        for (i, w) in head.windows(pat_len).enumerate() {
+            if w.first() == Some(&b'"')
+                && w.last() == Some(&b'"')
+                && w.get(1..pat_len - 1)
+                    .is_some_and(|mid| mid == key.as_bytes())
+                && i >= best
+            {
+                best = i;
+                near = key;
+            }
+        }
+    }
+    CheckpointError::Syntax { offset, near }
+}
+
 /// Restore a decoder from checkpoint bytes against `graph`.
 pub(crate) fn decode(
     bytes: &[u8],
     graph: Arc<StoryGraph>,
 ) -> Result<OnlineDecoder, CheckpointError> {
-    let root = wm_json::parse(bytes).map_err(|_| CheckpointError::Parse)?;
-    let version = get_i64(&root, "version")?;
+    let root = wm_json::parse(bytes).map_err(|e| syntax_error(bytes, e.offset))?;
+    decode_value(&root, graph)
+}
+
+/// Restore a decoder from an already-parsed checkpoint document — the
+/// shard-scoped counterpart of [`encode_value`].
+pub(crate) fn decode_value(
+    root: &Value,
+    graph: Arc<StoryGraph>,
+) -> Result<OnlineDecoder, CheckpointError> {
+    let version = get_i64(root, "version")?;
     if version != CHECKPOINT_VERSION {
         return Err(CheckpointError::Version(version));
     }
-    let fp = get_i64(&root, "graph_fp")?;
+    let fp = get_i64(root, "graph_fp")?;
     if fp != graph_fingerprint(&graph) as i64 {
         return Err(CheckpointError::GraphMismatch);
     }
-    let cfg = config_of(field(&root, "config")?)?;
-    let classifier = IntervalClassifier::from_json(field(&root, "classifier")?)
+    let cfg = config_of(field(root, "config")?)?;
+    let classifier = IntervalClassifier::from_json(field(root, "classifier")?)
         .ok_or(CheckpointError::Classifier)?;
     let mut decoder = OnlineDecoder::new(classifier, graph, cfg.clone());
 
-    let clock = field(&root, "clock")?;
+    let clock = field(root, "clock")?;
     decoder.max_seen = get_time(clock, "max_seen_us")?;
     decoder.watermark = get_time(clock, "watermark_us")?;
     decoder.finishing = get_bool(clock, "finishing")?;
 
-    for f in get_array(&root, "flows")? {
+    for f in get_array(root, "flows")? {
         let (id, ingest) = flow_of(f, cfg.ingest)?;
         if decoder.flows.len() >= cfg.max_flows.max(1) {
             return Err(CheckpointError::Malformed("flows"));
@@ -640,7 +773,7 @@ pub(crate) fn decode(
         decoder.flows.insert(id, ingest);
     }
 
-    let events = field(&root, "events")?;
+    let events = field(root, "events")?;
     decoder.admit_seq = get_u64(events, "admit_seq")?;
     for e in get_array(events, "pending")? {
         let items = e.as_array().ok_or(CheckpointError::Malformed("pending"))?;
@@ -689,15 +822,15 @@ pub(crate) fn decode(
         ));
     }
 
-    let frontier = field(&root, "frontier")?;
+    let frontier = field(root, "frontier")?;
     decoder.phase = phase_of(field(frontier, "phase")?)?;
     decoder.predicted = get_opt_time(frontier, "predicted_us")?;
     decoder.emitted = get_u64(frontier, "emitted")?;
 
-    decoder.records_seen = get_u64(&root, "records_seen")?;
+    decoder.records_seen = get_u64(root, "records_seen")?;
     decoder.records_at_checkpoint = decoder.records_seen;
 
-    let st = field(&root, "stats")?;
+    let st = field(root, "stats")?;
     decoder.stats = OnlineStats {
         packets: get_u64(st, "packets")?,
         segments: get_u64(st, "segments")?,
@@ -775,11 +908,21 @@ mod tests {
             OnlineDecoder::resume_from_checkpoint(&cp, other).err(),
             Some(CheckpointError::GraphMismatch)
         );
-        // Corrupted blob.
-        assert_eq!(
+        // Corrupted blob: the error carries where the parse died.
+        assert!(matches!(
             OnlineDecoder::resume_from_checkpoint(b"not json", Arc::new(tiny_film())).err(),
-            Some(CheckpointError::Parse)
-        );
+            Some(CheckpointError::Syntax { .. })
+        ));
+        // Truncation mid-document names the field being read: cut the
+        // blob right after the `classifier` key opens and the error
+        // must point at it.
+        let full = fresh().checkpoint();
+        let text = std::str::from_utf8(&full).unwrap();
+        let cut = text.find("\"classifier\"").unwrap() + "\"classifier\"".len() + 1;
+        match OnlineDecoder::resume_from_checkpoint(&full[..cut], Arc::new(tiny_film())).err() {
+            Some(CheckpointError::Syntax { near, .. }) => assert_eq!(near, "classifier"),
+            other => panic!("expected Syntax error naming `classifier`, got {other:?}"),
+        }
         // Bumped version.
         let text = String::from_utf8(cp).unwrap();
         let bumped = text.replace("\"version\":1", "\"version\":99");

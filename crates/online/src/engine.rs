@@ -101,6 +101,30 @@ impl OnlineConfig {
             ingest: IngestLimits::default(),
         }
     }
+
+    /// Configured upper bound on [`OnlineDecoder::state_bytes`]: the
+    /// per-flow reassembly budgets plus every event cap, with generous
+    /// per-entry allowances. Deliberately loose — the value of the
+    /// bound is that it is a *constant of the configuration* while
+    /// traffic volume is unbounded. The soak suite, the kill/resume
+    /// tests and the fleet supervisor all budget against this one
+    /// helper instead of each deriving their own arithmetic.
+    pub fn state_bound(&self) -> usize {
+        let events = (self.max_pending_events
+            + self.max_ready_events
+            + self.max_recent_apps
+            + self.max_gap_times
+            + self.max_loss_windows)
+            * 256;
+        self.max_flows * self.ingest.per_flow_state_bound() + events + 64 * 1024
+    }
+
+    /// Check the configuration for budgets a decoder cannot run under.
+    /// Today this is exactly the ingest-limit validation; event caps
+    /// of zero degrade gracefully (the engine clamps to one).
+    pub fn validate(&self) -> Result<(), crate::ingest::IngestLimitsError> {
+        self.ingest.validate()
+    }
 }
 
 /// One verdict emitted while the session plays: the decoded choice
@@ -913,6 +937,36 @@ impl OnlineDecoder {
             t.checkpoints.inc();
         }
         crate::checkpoint::encode(self)
+    }
+
+    /// Shard-scoped checkpoint: the same state as
+    /// [`OnlineDecoder::checkpoint`] but as a [`wm_json::Value`], so a
+    /// supervisor snapshotting a whole shard of decoders can embed
+    /// each one in a single canonical JSON document instead of
+    /// JSON-escaped-inside-JSON. Resets the cadence clock exactly like
+    /// the byte form.
+    pub fn checkpoint_value(&mut self) -> wm_json::Value {
+        self.records_at_checkpoint = self.records_seen;
+        self.stats.checkpoints = self.stats.checkpoints.saturating_add(1);
+        if let Some(t) = &self.telemetry {
+            t.checkpoints.inc();
+        }
+        crate::checkpoint::encode_value(self)
+    }
+
+    /// Restore a decoder from a value produced by
+    /// [`OnlineDecoder::checkpoint_value`] (or by parsing checkpoint
+    /// bytes out of a larger shard document).
+    pub fn resume_from_value(
+        value: &wm_json::Value,
+        graph: Arc<StoryGraph>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        let mut decoder = crate::checkpoint::decode_value(value, graph)?;
+        decoder.stats.resumes = decoder.stats.resumes.saturating_add(1);
+        if let Some(t) = &decoder.telemetry {
+            t.resumes.inc();
+        }
+        Ok(decoder)
     }
 
     /// Restore a decoder from a checkpoint taken by

@@ -57,6 +57,98 @@ impl Default for IngestLimits {
     }
 }
 
+/// Why a set of [`IngestLimits`] cannot run a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestLimitsError {
+    /// The named budget is zero, so the flow can never make progress.
+    ZeroBudget(&'static str),
+    /// The carry cannot hold even one record header, so no record
+    /// could ever complete.
+    CarryTooSmall { need: usize, got: usize },
+    /// One half of the parking budget is zero while the other is not:
+    /// a budget that can never admit a segment is a configuration
+    /// mistake, not a policy.
+    ContradictoryParking { bytes: usize, segments: usize },
+}
+
+impl std::fmt::Display for IngestLimitsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestLimitsError::ZeroBudget(field) => {
+                write!(f, "ingest budget `{field}` is zero")
+            }
+            IngestLimitsError::CarryTooSmall { need, got } => write!(
+                f,
+                "max_carry_bytes = {got} cannot hold one record header ({need} bytes)"
+            ),
+            IngestLimitsError::ContradictoryParking { bytes, segments } => write!(
+                f,
+                "parking budget is contradictory: max_parked_bytes = {bytes}, \
+                 max_parked_segments = {segments} (one is zero, the other is not)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestLimitsError {}
+
+impl IngestLimits {
+    /// Validating constructor: the checked way to build non-default
+    /// limits. The struct keeps public fields for compatibility, but
+    /// everything that *runs* a flow against custom limits should go
+    /// through here (or [`IngestLimits::validate`]) first.
+    pub fn new(
+        max_carry_bytes: usize,
+        max_parked_bytes: usize,
+        max_parked_segments: usize,
+        max_marks: usize,
+    ) -> Result<Self, IngestLimitsError> {
+        let limits = IngestLimits {
+            max_carry_bytes,
+            max_parked_bytes,
+            max_parked_segments,
+            max_marks,
+        };
+        limits.validate()?;
+        Ok(limits)
+    }
+
+    /// Reject zero or contradictory budgets. Parking may be disabled
+    /// entirely (both halves zero — a strictly in-order tap), but a
+    /// byte budget without a segment budget (or vice versa) can never
+    /// admit anything and is rejected.
+    pub fn validate(&self) -> Result<(), IngestLimitsError> {
+        if self.max_carry_bytes == 0 {
+            return Err(IngestLimitsError::ZeroBudget("max_carry_bytes"));
+        }
+        if self.max_carry_bytes < RECORD_HEADER_LEN + 1 {
+            return Err(IngestLimitsError::CarryTooSmall {
+                need: RECORD_HEADER_LEN + 1,
+                got: self.max_carry_bytes,
+            });
+        }
+        if self.max_marks == 0 {
+            return Err(IngestLimitsError::ZeroBudget("max_marks"));
+        }
+        if (self.max_parked_bytes == 0) != (self.max_parked_segments == 0) {
+            return Err(IngestLimitsError::ContradictoryParking {
+                bytes: self.max_parked_bytes,
+                segments: self.max_parked_segments,
+            });
+        }
+        Ok(())
+    }
+
+    /// Upper bound on one flow's [`FlowIngest::state_bytes`] under
+    /// these limits, with generous per-entry allowances (carry +
+    /// recycled spares, parked bytes + poison-filled free list, marks,
+    /// fixed overhead). The shared half of
+    /// [`crate::OnlineConfig::state_bound`].
+    pub fn per_flow_state_bound(&self) -> usize {
+        2 * self.max_carry_bytes + 3 * self.max_parked_bytes + 256 * self.max_marks + 4096
+    }
+}
+
 /// One TLS record surfaced by the ingest path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExtractedRecord {
@@ -124,6 +216,11 @@ pub struct FlowIngest {
 
 impl FlowIngest {
     pub fn new(limits: IngestLimits) -> Self {
+        debug_assert!(
+            limits.validate().is_ok(),
+            "IngestLimits rejected: {:?}",
+            limits.validate()
+        );
         FlowIngest {
             limits,
             base_seq: None,

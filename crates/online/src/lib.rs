@@ -40,5 +40,7 @@ pub mod shard;
 
 pub use checkpoint::{graph_fingerprint, CheckpointError, CHECKPOINT_VERSION};
 pub use engine::{OnlineConfig, OnlineDecoder, OnlineStats, OnlineVerdict};
-pub use ingest::{ExtractedRecord, FlowIngest, GapEvent, IngestLimits, IngestStats};
+pub use ingest::{
+    ExtractedRecord, FlowIngest, GapEvent, IngestLimits, IngestLimitsError, IngestStats,
+};
 pub use shard::{decode_sessions_sharded, replay_session, CapturedPacket, SessionDecode};

@@ -261,16 +261,7 @@ fn memory_stays_bounded_by_configuration() {
     // short one through identically-configured decoders: peak resident
     // state must stay under the same configuration-derived constant.
     let cfg = OnlineConfig::scaled(TS);
-    let bound = {
-        let i = cfg.ingest;
-        cfg.max_flows * (i.max_carry_bytes + i.max_parked_bytes + i.max_marks * 24 + 1024)
-            + cfg.max_pending_events * 32
-            + cfg.max_ready_events * 40
-            + cfg.max_recent_apps * 24
-            + cfg.max_gap_times * 8
-            + cfg.max_loss_windows * 16
-            + 4096
-    };
+    let bound = cfg.state_bound();
 
     let graph = Arc::new(bandersnatch());
     let script = ViewerScript::sample(41, 32, 0.5);

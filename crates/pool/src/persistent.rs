@@ -1,0 +1,329 @@
+//! Long-lived worker reuse: a persistent, lock-free indexed pool.
+//!
+//! [`crate::run_indexed`] spawns and joins a scoped thread set per
+//! call — the right shape for one giant batch, the wrong shape for a
+//! *supervisor loop* that dispatches a small indexed job every tick
+//! (thousands of spawn/join cycles of pure overhead). [`Pool`] keeps
+//! its workers alive across jobs and hands them work through a
+//! lock-free publication list, preserving the crate's contract: tasks
+//! are claimed dynamically from an atomic counter and results land in
+//! **index order**, so output is byte-identical for any worker count
+//! and any scheduling.
+//!
+//! The design stays within the crate's lock-free discipline (no
+//! mutexes, no condvars, no channels — pinned by the
+//! `concurrency/pool-lock` lint) and within safe Rust:
+//!
+//! * jobs are published as nodes on a singly-linked list whose links
+//!   are [`OnceLock`]s — a single producer (`&mut self`) sets each
+//!   link exactly once, workers chase the links read-only;
+//! * workers hold the job only through a [`Weak`]; the caller owns the
+//!   [`Arc`] and reclaims exclusive access with `Arc::try_unwrap` once
+//!   the remaining-task counter hits zero, so results are *moved* out
+//!   of the per-index [`OnceLock`] slots — no cloning, no unsafe;
+//! * idle workers `park_timeout`; publication unparks them, and the
+//!   park token makes the publish-then-park race benign.
+//!
+//! The caller participates in every job it submits (it claims indices
+//! like any worker), so a `Pool` of size 1 degenerates to inline
+//! execution and a busy pool never leaves the submitting thread idle.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+use std::thread::{JoinHandle, Thread};
+use std::time::Duration;
+
+/// How long an idle worker sleeps between checks for a new node when
+/// an unpark was missed entirely (it normally wakes via `unpark`).
+const IDLE_PARK: Duration = Duration::from_millis(1);
+
+/// What a publication-list node carries.
+enum Slot {
+    /// The pre-first sentinel node workers start on.
+    Start,
+    /// A job to drain. `Weak`, so the submitting caller can reclaim
+    /// the job (and its result slots) the moment the last task
+    /// finishes, while late-arriving workers simply skip the node.
+    Run(Weak<dyn JobRun>),
+    /// Terminate the worker loop.
+    Shutdown,
+}
+
+struct Node {
+    slot: Slot,
+    next: OnceLock<Arc<Node>>,
+}
+
+impl Node {
+    fn new(slot: Slot) -> Arc<Self> {
+        Arc::new(Node {
+            slot,
+            next: OnceLock::new(),
+        })
+    }
+}
+
+/// Type-erased claim loop: workers only ever need "run whatever you
+/// can claim"; the concrete result type lives with the caller.
+trait JobRun: Send + Sync {
+    fn run_to_completion(&self);
+}
+
+struct Job<T, F> {
+    f: F,
+    slots: Vec<OnceLock<T>>,
+    next: AtomicUsize,
+    remaining: AtomicUsize,
+    caller: Thread,
+}
+
+impl<T, F> JobRun for Job<T, F>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Send + Sync,
+{
+    fn run_to_completion(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.slots.len() {
+                break;
+            }
+            let value = (self.f)(i);
+            // A slot is claimed by exactly one index, so this set
+            // cannot collide; OnceLock's release store publishes the
+            // value to whoever observes the counters below.
+            let _ = self.slots[i].set(value);
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.caller.unpark();
+            }
+        }
+    }
+}
+
+/// A persistent worker pool for indexed jobs. See the module docs.
+///
+/// Unlike [`crate::run_indexed`], the job closure must be `'static`
+/// (workers outlive the call): captures travel via `Arc`/owned data.
+/// Results must be `Send + Sync` because they cross threads through
+/// shared slots.
+pub struct Pool {
+    tail: Arc<Node>,
+    threads: Vec<Thread>,
+    handles: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl Pool {
+    /// Spawn a pool of `workers` threads (`0` = one per core via
+    /// [`crate::default_workers`]). A resolved size of `<= 1` spawns
+    /// nothing and runs every job inline.
+    pub fn new(workers: usize) -> Self {
+        let size = if workers == 0 {
+            crate::default_workers()
+        } else {
+            workers
+        };
+        let sentinel = Node::new(Slot::Start);
+        let mut handles = Vec::new();
+        let mut threads = Vec::new();
+        if size > 1 {
+            for _ in 0..size {
+                let cursor = sentinel.clone();
+                let handle = std::thread::spawn(move || worker_loop(cursor));
+                threads.push(handle.thread().clone());
+                handles.push(handle);
+            }
+        }
+        Pool {
+            tail: sentinel,
+            threads,
+            handles,
+            size,
+        }
+    }
+
+    /// Worker threads this pool resolved to (1 = inline execution).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run `f(0), …, f(tasks - 1)` on the pool (the calling thread
+    /// participates) and return the results in index order. Output is
+    /// identical for every pool size and every scheduling, exactly as
+    /// with [`crate::run_indexed`].
+    pub fn run<T, F>(&mut self, tasks: usize, f: F) -> Vec<T>
+    where
+        T: Send + Sync + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
+    {
+        if tasks == 0 {
+            return Vec::new();
+        }
+        if self.size <= 1 || tasks == 1 {
+            return (0..tasks).map(f).collect();
+        }
+        let mut slots = Vec::with_capacity(tasks);
+        slots.resize_with(tasks, OnceLock::new);
+        let job = Arc::new(Job {
+            f,
+            slots,
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(tasks),
+            caller: std::thread::current(),
+        });
+        let erased: Arc<dyn JobRun> = job.clone();
+        self.publish(Slot::Run(Arc::downgrade(&erased)));
+        drop(erased);
+
+        // The caller is a worker too — steal until the counter runs
+        // dry, then wait for stragglers mid-task.
+        job.run_to_completion();
+        while job.remaining.load(Ordering::Acquire) > 0 {
+            std::thread::park_timeout(IDLE_PARK);
+        }
+
+        // Every task is done; a worker may still be between its last
+        // failed claim and dropping its upgraded Arc. Spin that gap
+        // out and reclaim exclusive ownership of the slots.
+        let mut pending = Arc::try_unwrap(job);
+        let job = loop {
+            match pending {
+                Ok(job) => break job,
+                Err(shared) => {
+                    std::thread::yield_now();
+                    pending = Arc::try_unwrap(shared);
+                }
+            }
+        };
+        job.slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("every index dispatched exactly once")
+            })
+            .collect()
+    }
+
+    /// Append a node to the publication list and wake the workers.
+    /// `&mut self` makes this a single-producer list: each `next` link
+    /// is set exactly once.
+    fn publish(&mut self, slot: Slot) {
+        let node = Node::new(slot);
+        let ok = self.tail.next.set(node.clone()).is_ok();
+        debug_assert!(ok, "publication list has a single producer");
+        self.tail = node;
+        for t in &self.threads {
+            t.unpark();
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        if !self.handles.is_empty() {
+            self.publish(Slot::Shutdown);
+            for handle in self.handles.drain(..) {
+                // Worker panics surface at teardown, matching
+                // `run_indexed`'s propagation contract.
+                handle.join().expect("pool worker panicked");
+            }
+        }
+    }
+}
+
+fn worker_loop(mut cursor: Arc<Node>) {
+    loop {
+        let next = loop {
+            match cursor.next.get() {
+                Some(n) => break n.clone(),
+                None => std::thread::park_timeout(IDLE_PARK),
+            }
+        };
+        cursor = next;
+        match &cursor.slot {
+            Slot::Run(weak) => {
+                if let Some(job) = weak.upgrade() {
+                    job.run_to_completion();
+                }
+            }
+            Slot::Shutdown => return,
+            Slot::Start => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order_and_pool_is_reusable() {
+        let mut pool = Pool::new(4);
+        for round in 0..20usize {
+            let out = pool.run(33, move |i| i * i + round);
+            let expect: Vec<usize> = (0..33).map(|i| i * i + round).collect();
+            assert_eq!(out, expect, "round {round}");
+        }
+    }
+
+    #[test]
+    fn empty_single_and_inline_pools() {
+        let mut pool = Pool::new(4);
+        assert_eq!(pool.run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.run(1, |i| i + 7), vec![7]);
+        let mut inline = Pool::new(1);
+        assert_eq!(inline.size(), 1);
+        assert_eq!(
+            inline.run(10, |i| i * 2),
+            (0..10).map(|i| i * 2).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn output_is_identical_across_pool_sizes() {
+        let golden: Vec<u64> = (0..64u64).map(|i| i.wrapping_mul(0x9e3779b9)).collect();
+        for size in [1usize, 2, 3, 8] {
+            let mut pool = Pool::new(size);
+            let out = pool.run(64, |i| (i as u64).wrapping_mul(0x9e3779b9));
+            assert_eq!(out, golden, "pool size {size}");
+        }
+    }
+
+    #[test]
+    fn many_small_jobs_reuse_the_same_workers() {
+        // The point of persistence: dispatch far more jobs than any
+        // sane spawn-per-job scheme would tolerate, with tiny task
+        // counts, and stay correct.
+        let mut pool = Pool::new(3);
+        for j in 0..500usize {
+            let out = pool.run(2, move |i| i + j);
+            assert_eq!(out, vec![j, j + 1]);
+        }
+    }
+
+    #[test]
+    fn heavy_tasks_balance_across_workers() {
+        let mut pool = Pool::new(4);
+        let out = pool.run(64, |i| {
+            // Uneven spin work; correctness must not depend on balance.
+            let mut acc = i as u64;
+            for _ in 0..(i % 7) * 1_000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (i, acc)
+        });
+        assert_eq!(out.len(), 64);
+        for (idx, (i, _)) in out.iter().enumerate() {
+            assert_eq!(idx, *i);
+        }
+    }
+
+    #[test]
+    fn drop_shuts_workers_down() {
+        let pool = Pool::new(4);
+        drop(pool); // must not hang
+        let mut pool = Pool::new(2);
+        let _ = pool.run(8, |i| i);
+        drop(pool); // with traffic, still clean
+    }
+}

@@ -52,6 +52,7 @@ pub use wm_cipher as cipher;
 pub use wm_core as core;
 pub use wm_dataset as dataset;
 pub use wm_defense as defense;
+pub use wm_fleet as fleet;
 pub use wm_http as http;
 pub use wm_json as json;
 pub use wm_net as net;
@@ -60,16 +61,18 @@ pub use wm_online as online;
 pub use wm_player as player;
 pub use wm_sim as sim;
 pub use wm_story as story;
+pub use wm_telemetry as telemetry;
 pub use wm_tls as tls;
 pub use wm_trace as trace;
 
 /// The names most programs need.
 pub mod prelude {
     pub use wm_capture::{RecordClass, Trace};
-    pub use wm_chaos::{FaultEvent, FaultKind, FaultPlan};
+    pub use wm_chaos::{FaultEvent, FaultKind, FaultPlan, ShardFaultPlan};
     pub use wm_core::{WhiteMirror, WhiteMirrorConfig};
     pub use wm_dataset::{run_dataset, try_run_dataset, DatasetSpec, SimOptions};
     pub use wm_defense::Defense;
+    pub use wm_fleet::{Fleet, FleetConfig, FleetReport};
     pub use wm_net::conditions::{ConnectionType, LinkConditions, TimeOfDay};
     pub use wm_online::{OnlineConfig, OnlineDecoder, OnlineVerdict};
     pub use wm_player::{Profile, ViewerScript};

@@ -23,7 +23,7 @@
 use std::sync::Arc;
 use white_mirror::capture::time::{Duration, SimTime};
 use white_mirror::core::{IntervalClassifier, WhiteMirrorConfig};
-use white_mirror::online::{IngestLimits, OnlineConfig, OnlineDecoder};
+use white_mirror::online::{OnlineConfig, OnlineDecoder};
 use white_mirror::prelude::*;
 
 /// Steady-state RSS growth beyond this means a leak.
@@ -45,22 +45,12 @@ fn fast_cfg(seed: u64) -> SessionConfig {
     SessionConfig::fast(graph, seed, script)
 }
 
-/// Configured upper bound on `OnlineDecoder::state_bytes()`: per-flow
-/// reassembly budgets plus every event cap, with generous per-entry
-/// sizes. Deliberately loose — the point is that it is a *constant*
-/// derived from configuration, while traffic volume is unbounded.
+/// Configured upper bound on `OnlineDecoder::state_bytes()`: the
+/// shared `OnlineConfig::state_bound` helper, so this suite, the
+/// kill/resume tests and the fleet supervisor all budget against the
+/// same configuration-derived constant.
 fn state_bound(cfg: &OnlineConfig) -> usize {
-    let l: &IngestLimits = &cfg.ingest;
-    // Parked segments are budgeted by bytes and count; recycled spare
-    // buffers are capped at max_parked_segments as well.
-    let per_flow = 2 * l.max_carry_bytes + 3 * l.max_parked_bytes + 256 * l.max_marks + 4096;
-    let events = (cfg.max_pending_events
-        + cfg.max_ready_events
-        + cfg.max_recent_apps
-        + cfg.max_gap_times
-        + cfg.max_loss_windows)
-        * 256;
-    cfg.max_flows * per_flow + events + 64 * 1024
+    cfg.state_bound()
 }
 
 fn vm_rss_bytes() -> u64 {
