@@ -14,7 +14,8 @@
 //! `--smoke` (or `WM_FAULT_SWEEP_SMOKE=1`) shrinks the matrix for CI.
 
 use wm_bench::{
-    graph, sample_behavior, train_attack_for, viewer_cfg, write_bench_json, TraceTally,
+    bench_json, graph, sample_behavior, train_attack_for, validate_bench_json, viewer_cfg,
+    write_bench_json, TraceTally,
 };
 use wm_chaos::FaultPlan;
 use wm_core::ChoiceAccuracy;
@@ -115,6 +116,21 @@ fn main() {
         metrics.push((format!("reconnects_i{key}"), reconnects as f64));
     }
 
+    // Required keys are the full per-intensity grid this run swept, so
+    // a dropped column fails the schema gate before CI ever sees it.
+    let required: Vec<String> = intensities
+        .iter()
+        .flat_map(|intensity| {
+            let key = format!("{intensity:.2}").replace('.', "_");
+            ["accuracy", "confidence", "failed", "reconnects"].map(|stem| format!("{stem}_i{key}"))
+        })
+        .collect();
     let borrowed: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let json = bench_json("fault_sweep", &borrowed, &telemetry, &tally);
+    if let Err(e) = validate_bench_json(&json, "fault_sweep", &required) {
+        eprintln!("BENCH_fault_sweep.json failed schema validation: {e}");
+        std::process::exit(1);
+    }
     write_bench_json("fault_sweep", &borrowed, &telemetry, &tally);
+    println!("  BENCH_fault_sweep.json schema: ok");
 }

@@ -29,9 +29,11 @@ use wm_bench::{
 use wm_capture::time::{Duration, SimTime};
 use wm_chaos::ShardFaultPlan;
 use wm_dataset::{OperationalConditions, ViewerSpec};
-use wm_fleet::{merge_taps, Fleet, FleetConfig, FleetReport, TapPacket};
+use wm_fleet::{merge_taps, Fleet, FleetConfig, FleetReport, ObserverConfig, TapPacket};
+use wm_obs::collapse_spans;
 use wm_online::{decode_sessions_sharded, CapturedPacket};
 use wm_telemetry::Snapshot;
+use wm_trace::{SpanId, TraceEvent, TraceHandle};
 
 const SHARDS: usize = 4;
 const INTENSITIES: [f64; 5] = [0.0, 1.0, 2.0, 3.0, 4.0];
@@ -120,6 +122,7 @@ fn main() {
 
     // ---- fleet sweep over fault intensity ---------------------------
     let mut rows: Vec<IntensityRow> = Vec::new();
+    let mut alerts: Vec<(u32, u64)> = Vec::new();
     let mut fleet_sessions_per_sec = 0.0;
     for &intensity in &INTENSITIES {
         let plan = ShardFaultPlan::generate(
@@ -129,12 +132,17 @@ fn main() {
             Duration::from_micros(span_us),
         );
         let t = Instant::now();
-        let report = run_fleet(&cfg, &classifier, &graph, &stream, &plan);
+        let (report, trace_events) = run_fleet(&cfg, &classifier, &graph, &stream, &plan);
         let secs = t.elapsed().as_secs_f64();
         if intensity == 0.0 {
             fleet_sessions_per_sec = victims as f64 / secs;
             assert_intensity0_matches_baseline(&report, &baseline);
         }
+        let obs = report.obs.as_ref().expect("observer attached to every run");
+        let alert_count = obs.status.transitions.len() as u64 + obs.status.transitions_dropped;
+        alerts.push((intensity as u32, alert_count));
+        telemetry.merge(&obs.snapshot);
+        tally.observe(&trace_events);
         let row = IntensityRow::from_report(intensity as u32, &report);
         println!(
             "  intensity {}: kills {:<3} restarts {:<3} verdicts {:<5} dropped {:<4} \
@@ -148,6 +156,22 @@ fn main() {
             row.recovery_latency_us,
             victims as f64 / secs,
         );
+        println!(
+            "               health: {}  alerts {} (worst {})",
+            obs.status
+                .states
+                .iter()
+                .map(|s| s.label().chars().next().unwrap_or('?'))
+                .collect::<String>(),
+            alert_count,
+            obs.status.worst().label(),
+        );
+        // The intensity-2 run is the E13 exhibit: CI uploads its
+        // streamed metric series and the sim-time flamegraph.
+        if intensity == 2.0 {
+            write_artifact("FLEET_series.jsonl", &obs.series_jsonl);
+            write_artifact("FLEET_flame.folded", &collapse_spans(&trace_events));
+        }
         rows.push(row);
     }
 
@@ -182,6 +206,9 @@ fn main() {
             row.recovery_latency_us as f64,
         ));
     }
+    for (intensity, n) in &alerts {
+        metrics.push((format!("alerts_i{intensity}"), *n as f64));
+    }
     let metric_refs: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
     write_bench_json("fleet", &metric_refs, &telemetry, &tally);
 
@@ -207,14 +234,28 @@ fn run_fleet(
     graph: &std::sync::Arc<wm_story::StoryGraph>,
     stream: &[TapPacket],
     plan: &ShardFaultPlan,
-) -> FleetReport {
+) -> (FleetReport, Vec<TraceEvent>) {
     let mut fleet =
         Fleet::new(cfg.clone(), classifier.clone(), graph.clone()).expect("valid fleet config");
     fleet.inject(plan);
+    let trace = TraceHandle::new();
+    let root = trace.span_start_at(0, "fleet.run", SpanId::NONE);
+    fleet.attach_trace(trace.clone(), root);
+    fleet.attach_observer(ObserverConfig::default());
     for (t, victim, frame) in stream {
         fleet.push(*t, *victim, frame);
     }
-    fleet.finish()
+    let end = stream.last().map(|(t, _, _)| t.micros()).unwrap_or(0);
+    let report = fleet.finish();
+    trace.span_end_at(end, root, "fleet.run");
+    (report, trace.snapshot())
+}
+
+fn write_artifact(path: &str, contents: &str) {
+    match std::fs::write(path, contents) {
+        Ok(()) => println!("               wrote {path}"),
+        Err(e) => eprintln!("               could not write {path}: {e}"),
+    }
 }
 
 /// With no faults the supervised fleet must deliver exactly what the

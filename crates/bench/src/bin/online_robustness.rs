@@ -19,7 +19,8 @@
 //! for CI.
 
 use wm_bench::{
-    graph, sample_behavior, train_attack_for, viewer_cfg, write_bench_json, TraceTally, TIME_SCALE,
+    bench_json, graph, sample_behavior, train_attack_for, validate_bench_json, viewer_cfg,
+    write_bench_json, TraceTally, TIME_SCALE,
 };
 use wm_capture::time::SimTime;
 use wm_chaos::{impair_capture, kill_index, CaptureImpairment, TapPacket};
@@ -168,6 +169,28 @@ fn main() {
         metrics.push((format!("resumes_i{key}"), resumes as f64));
     }
 
+    // Required keys are the full per-intensity grid this run swept, so
+    // a dropped column fails the schema gate before CI ever sees it.
+    let required: Vec<String> = intensities
+        .iter()
+        .flat_map(|intensity| {
+            let key = format!("{intensity:.2}").replace('.', "_");
+            [
+                "accuracy",
+                "confidence",
+                "loss_windows",
+                "late_events",
+                "resumes",
+            ]
+            .map(|stem| format!("{stem}_i{key}"))
+        })
+        .collect();
     let borrowed: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let json = bench_json("online_robustness", &borrowed, &telemetry, &tally);
+    if let Err(e) = validate_bench_json(&json, "online_robustness", &required) {
+        eprintln!("BENCH_online_robustness.json failed schema validation: {e}");
+        std::process::exit(1);
+    }
     write_bench_json("online_robustness", &borrowed, &telemetry, &tally);
+    println!("  BENCH_online_robustness.json schema: ok");
 }

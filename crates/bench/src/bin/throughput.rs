@@ -30,10 +30,13 @@ use wm_bench::{
 use wm_capture::time::SimTime;
 use wm_core::IntervalClassifier;
 use wm_dataset::{OperationalConditions, ViewerSpec};
-use wm_online::{decode_sessions_sharded, replay_session, CapturedPacket, OnlineConfig};
+use wm_obs::{SeriesPoint, SeriesRing};
+use wm_online::{
+    decode_sessions_sharded, replay_session, CapturedPacket, OnlineConfig, OnlineDecoder,
+};
 use wm_sim::run_session;
 use wm_story::StoryGraph;
-use wm_telemetry::Snapshot;
+use wm_telemetry::{DeltaTracker, Registry, Snapshot};
 
 /// RSS growth beyond this, while cycling a fixed capture pool, means a
 /// leak: steady-state decoding must not accumulate per-session memory.
@@ -130,8 +133,76 @@ fn main() {
         peak_rss as f64 / (1024.0 * 1024.0)
     );
 
+    // ---- observability-plane overhead -------------------------------
+    // The same serial replay, bare vs with a telemetry registry
+    // attached and a streaming `DeltaTracker` drained into a
+    // `SeriesRing` per session — the exact per-shard work the fleet
+    // observer adds. Per session: one untimed warmup replay (so
+    // neither timed arm inherits the other's cache warmth), then both
+    // arms timed back-to-back in alternating order, and the overhead
+    // reported is the *median* of the per-session paired ratios — a
+    // throttling or scheduling spike lands inside one pair and the
+    // median ignores it, where a totals ratio would absorb it. The
+    // acceptance bar is ≤ 5% (ratio ≤ 1.05).
+    let mut obs_secs = f64::INFINITY;
+    let mut ratios: Vec<f64> = Vec::new();
+    let mut series_points = 0usize;
+    for _rep in 0..3 {
+        let registry = Registry::new();
+        let mut tracker = DeltaTracker::new();
+        let mut series = SeriesRing::new(batch_n);
+        let mut obs_t = 0.0f64;
+        for (i, s) in batch.iter().enumerate() {
+            let warm_n = replay_observed(&classifier, &graph, &cfg, s, None);
+            let time_bare = || {
+                let t = Instant::now();
+                let n = replay_observed(&classifier, &graph, &cfg, s, None);
+                (t.elapsed().as_secs_f64(), n)
+            };
+            let mut time_obs = || {
+                let t = Instant::now();
+                let n = replay_observed(&classifier, &graph, &cfg, s, Some(&registry));
+                let delta = tracker.take(&registry);
+                (t.elapsed().as_secs_f64(), n, delta)
+            };
+            let ((bare_s, bare_n), (obs_s, obs_n, delta)) = if i % 2 == 0 {
+                let b = time_bare();
+                let o = time_obs();
+                (b, o)
+            } else {
+                let o = time_obs();
+                let b = time_bare();
+                (b, o)
+            };
+            series.push(SeriesPoint {
+                t_us: i as u64,
+                delta,
+            });
+            obs_t += obs_s;
+            assert_eq!(
+                (warm_n, bare_n),
+                (obs_n, obs_n),
+                "observation must never change what the attacker decodes"
+            );
+            ratios.push(obs_s / bare_s.max(f64::MIN_POSITIVE));
+        }
+        obs_secs = obs_secs.min(obs_t);
+        series_points = series.len();
+    }
+    ratios.sort_by(f64::total_cmp);
+    let obs_overhead_ratio = ratios[ratios.len() / 2];
+    let sessions_per_sec_obs = batch_n as f64 / obs_secs;
+    println!(
+        "  metrics plane: {sessions_per_sec_obs:>10.1} sessions/s observed  \
+         (overhead {:.1}%, {} series points)",
+        100.0 * (obs_overhead_ratio - 1.0),
+        series_points,
+    );
+
     let mut metrics: Vec<(&str, f64)> = vec![
         ("sessions_per_sec", sessions_per_sec),
+        ("sessions_per_sec_obs", sessions_per_sec_obs),
+        ("obs_overhead_ratio", obs_overhead_ratio),
         ("records_per_sec", records as f64 / sharded_secs),
         ("bytes_per_sec", batch_bytes as f64 / sharded_secs),
         ("peak_rss_bytes", peak_rss as f64),
@@ -159,6 +230,28 @@ fn main() {
         std::process::exit(1);
     }
     println!("  BENCH_throughput.json schema: ok");
+}
+
+/// Replay one capture serially, optionally with a telemetry registry
+/// attached — the measurement arm of the metrics-plane overhead
+/// comparison. Returns the verdict count so both arms can be asserted
+/// identical.
+fn replay_observed(
+    classifier: &IntervalClassifier,
+    graph: &std::sync::Arc<StoryGraph>,
+    cfg: &OnlineConfig,
+    packets: &[CapturedPacket],
+    registry: Option<&Registry>,
+) -> u64 {
+    let mut dec = OnlineDecoder::new(classifier.clone(), graph.clone(), cfg.clone());
+    if let Some(reg) = registry {
+        dec.attach_telemetry(reg);
+    }
+    let mut verdicts = 0u64;
+    for (time, frame) in packets {
+        verdicts += dec.push_packet(*time, frame).len() as u64;
+    }
+    verdicts + dec.finish().len() as u64
 }
 
 /// Replay `n` sessions through one process, cycling the capture pool.

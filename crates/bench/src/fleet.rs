@@ -37,6 +37,11 @@ pub const REQUIRED_METRICS: &[&str] = &[
     "recovery_latency_us_i2",
     "recovery_latency_us_i3",
     "recovery_latency_us_i4",
+    "alerts_i0",
+    "alerts_i1",
+    "alerts_i2",
+    "alerts_i3",
+    "alerts_i4",
 ];
 
 /// Per-intensity summary of one fleet run, flattened for the report.
@@ -74,29 +79,10 @@ impl IntensityRow {
 
 /// Validate a `BENCH_fleet.json` document: right bench name, and every
 /// [`REQUIRED_METRICS`] entry present as a finite, non-negative
-/// number. Textual on purpose, like the throughput validator — bench
-/// metrics carry more fraction digits than the state-blob JSON
-/// dialect admits.
+/// number. A thin wrapper over the shared
+/// [`crate::schema::validate_bench_json`] gate.
 pub fn validate_fleet_json(json: &str) -> Result<(), String> {
-    if !json.contains("\"bench\":\"fleet\"") {
-        return Err("bench name is not \"fleet\"".into());
-    }
-    for key in REQUIRED_METRICS {
-        let pat = format!("\"{key}\":");
-        let Some(pos) = json.find(&pat) else {
-            return Err(format!("missing required metric {key:?}"));
-        };
-        let rest = &json[pos + pat.len()..];
-        let end = rest.find([',', '}']).unwrap_or(rest.len());
-        let value: f64 = rest[..end]
-            .trim()
-            .parse()
-            .map_err(|_| format!("metric {key:?} is not a number: {:?}", &rest[..end]))?;
-        if !value.is_finite() || value < 0.0 {
-            return Err(format!("metric {key:?} = {value} out of range"));
-        }
-    }
-    Ok(())
+    crate::schema::validate_bench_json(json, "fleet", REQUIRED_METRICS)
 }
 
 #[cfg(test)]

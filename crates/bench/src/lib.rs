@@ -23,10 +23,12 @@
 //! Run any of them with `cargo run --release -p wm-bench --bin <name>`.
 
 pub mod fleet;
+pub mod schema;
 pub mod throughput;
 
+pub use schema::{bench_json, validate_bench_json, write_bench_json};
+
 use std::collections::BTreeMap;
-use std::fmt::Write as _;
 use std::sync::Arc;
 use wm_capture::labels::LabeledRecord;
 use wm_core::{WhiteMirror, WhiteMirrorConfig};
@@ -34,7 +36,6 @@ use wm_dataset::{OperationalConditions, SimOptions, ViewerSpec};
 use wm_player::ViewerScript;
 use wm_sim::{run_session, SessionConfig, SessionOutput};
 use wm_story::StoryGraph;
-use wm_telemetry::Snapshot;
 use wm_trace::{counts_by_name, TraceEvent};
 
 /// The time scale every harness runs at (playback 40× so a full
@@ -135,54 +136,10 @@ impl TraceTally {
     }
 }
 
-/// Serialize a bench report: headline metrics, the merged telemetry
-/// snapshot (per-stage span timings, per-class record counters, …) and
-/// the trace-event summary counts, aggregated across every session the
-/// harness ran.
-pub fn bench_json(
-    name: &str,
-    metrics: &[(&str, f64)],
-    telemetry: &Snapshot,
-    trace: &TraceTally,
-) -> String {
-    let mut s = String::with_capacity(512);
-    let _ = write!(s, "{{\"bench\":\"{name}\",\"metrics\":{{");
-    for (i, (k, v)) in metrics.iter().enumerate() {
-        if i > 0 {
-            s.push(',');
-        }
-        let _ = write!(s, "\"{k}\":{v:.6}");
-    }
-    s.push_str("},\"telemetry\":");
-    s.push_str(&telemetry.to_json_string());
-    s.push_str(",\"trace\":{");
-    for (i, (k, v)) in trace.0.iter().enumerate() {
-        if i > 0 {
-            s.push(',');
-        }
-        let _ = write!(s, "\"{k}\":{v}");
-    }
-    s.push_str("}}");
-    s
-}
-
-/// Write `BENCH_<name>.json` in the working directory and report where.
-pub fn write_bench_json(
-    name: &str,
-    metrics: &[(&str, f64)],
-    telemetry: &Snapshot,
-    trace: &TraceTally,
-) {
-    let path = std::path::PathBuf::from(format!("BENCH_{name}.json"));
-    match std::fs::write(&path, bench_json(name, metrics, telemetry, trace)) {
-        Ok(()) => println!("\n  wrote {}", path.display()),
-        Err(e) => eprintln!("\n  could not write {}: {e}", path.display()),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wm_telemetry::Snapshot;
 
     #[test]
     fn bar_rendering() {

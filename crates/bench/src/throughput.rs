@@ -12,9 +12,11 @@ use wm_online::{replay_session, CapturedPacket, OnlineConfig, SessionDecode};
 use wm_story::StoryGraph;
 
 /// Every metric `BENCH_throughput.json` must carry. The first four are
-/// the headline numbers; the last two pin the scheduling comparison so
-/// a regression to contiguous chunking cannot pass the schema gate by
-/// silently dropping the baseline.
+/// the headline numbers; `*_contiguous` pins the scheduling comparison
+/// so a regression to contiguous chunking cannot pass the schema gate
+/// by silently dropping the baseline, and the `obs_*` pair pins the
+/// metrics-plane overhead story (observed vs bare serial replay,
+/// budget ≤ 1.05).
 pub const REQUIRED_METRICS: &[&str] = &[
     "sessions_per_sec",
     "records_per_sec",
@@ -22,6 +24,8 @@ pub const REQUIRED_METRICS: &[&str] = &[
     "peak_rss_bytes",
     "sessions_per_sec_contiguous",
     "speedup_vs_contiguous",
+    "sessions_per_sec_obs",
+    "obs_overhead_ratio",
 ];
 
 /// The pre-work-stealing scheduler, kept as the bench baseline: split
@@ -90,29 +94,10 @@ fn proc_status_kb(field: &str) -> Option<u64> {
 
 /// Validate a `BENCH_throughput.json` document: right bench name, and
 /// every [`REQUIRED_METRICS`] entry present as a finite, non-negative
-/// number. Textual rather than `wm_json`-based on purpose — bench
-/// metrics serialize with six fraction digits, more precision than the
-/// state-blob JSON dialect admits.
+/// number. A thin wrapper over the shared
+/// [`crate::schema::validate_bench_json`] gate.
 pub fn validate_throughput_json(json: &str) -> Result<(), String> {
-    if !json.contains("\"bench\":\"throughput\"") {
-        return Err("bench name is not \"throughput\"".into());
-    }
-    for key in REQUIRED_METRICS {
-        let pat = format!("\"{key}\":");
-        let Some(pos) = json.find(&pat) else {
-            return Err(format!("missing required metric {key:?}"));
-        };
-        let rest = &json[pos + pat.len()..];
-        let end = rest.find([',', '}']).unwrap_or(rest.len());
-        let value: f64 = rest[..end]
-            .trim()
-            .parse()
-            .map_err(|_| format!("metric {key:?} is not a number: {:?}", &rest[..end]))?;
-        if !value.is_finite() || value < 0.0 {
-            return Err(format!("metric {key:?} = {value} out of range"));
-        }
-    }
-    Ok(())
+    crate::schema::validate_bench_json(json, "throughput", REQUIRED_METRICS)
 }
 
 #[cfg(test)]

@@ -40,7 +40,10 @@ pub mod supervisor;
 pub use dedup::VerdictDedup;
 pub use ring::{victim_key, HashRing};
 pub use shard::{ShardRestoreError, ShardState, SHARD_CHECKPOINT_VERSION};
-pub use supervisor::{Fleet, FleetReport, FleetStats, LossWindow};
+pub use supervisor::{Fleet, FleetReport, FleetStats, LossWindow, ObsReport, ObserverConfig};
+// Health-plane vocabulary, re-exported so fleet consumers don't need a
+// direct wm-obs dependency to read a `fleet_status` report.
+pub use wm_obs::{FleetStatus, HealthState, HealthTransition, ShardVitals, SloThresholds};
 
 use wm_capture::time::{Duration, SimTime};
 use wm_online::{IngestLimitsError, OnlineConfig};

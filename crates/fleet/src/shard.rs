@@ -24,6 +24,7 @@ use wm_core::IntervalClassifier;
 use wm_json::Value;
 use wm_online::{CheckpointError, OnlineConfig, OnlineDecoder, OnlineVerdict};
 use wm_story::StoryGraph;
+use wm_telemetry::Registry;
 
 /// Shard checkpoint format version. Bump on any schema change.
 pub const SHARD_CHECKPOINT_VERSION: i64 = 1;
@@ -58,6 +59,11 @@ pub struct ShardState {
     cfg: OnlineConfig,
     decoders: BTreeMap<u32, OnlineDecoder>,
     last_seen: BTreeMap<u32, SimTime>,
+    /// Shard-scoped registry the observability plane aggregates;
+    /// attached to every decoder, current and future. Not part of the
+    /// checkpoint (observation never feeds simulated state), so the
+    /// supervisor re-attaches after a restore.
+    registry: Option<Arc<Registry>>,
 }
 
 impl ShardState {
@@ -74,11 +80,32 @@ impl ShardState {
             cfg,
             decoders: BTreeMap::new(),
             last_seen: BTreeMap::new(),
+            registry: None,
         }
     }
 
     pub fn shard(&self) -> u32 {
         self.shard
+    }
+
+    /// Attach a shard-scoped telemetry registry: every live decoder
+    /// gets its `online.*` metrics pointed at it, and decoders created
+    /// later (first contact or restore) inherit it.
+    pub fn set_registry(&mut self, registry: Arc<Registry>) {
+        for dec in self.decoders.values_mut() {
+            dec.attach_telemetry(&registry);
+        }
+        self.registry = Some(registry);
+    }
+
+    /// Publish every live decoder's accumulated event counts into the
+    /// shard registry. The supervisor calls this right before each
+    /// observer snapshot so tick values are exact without the decoders
+    /// paying per-event atomic updates on the decode path.
+    pub fn flush_telemetry(&mut self) {
+        for dec in self.decoders.values_mut() {
+            dec.flush_telemetry();
+        }
     }
 
     /// Victims with a live decoder.
@@ -120,14 +147,15 @@ impl ShardState {
                     None => break,
                 }
             }
-            self.decoders.insert(
-                victim,
-                OnlineDecoder::new(
-                    self.classifier.clone(),
-                    self.graph.clone(),
-                    self.cfg.clone(),
-                ),
+            let mut dec = OnlineDecoder::new(
+                self.classifier.clone(),
+                self.graph.clone(),
+                self.cfg.clone(),
             );
+            if let Some(reg) = &self.registry {
+                dec.attach_telemetry(reg);
+            }
+            self.decoders.insert(victim, dec);
         }
         self.last_seen.insert(victim, time);
         if let Some(dec) = self.decoders.get_mut(&victim) {

@@ -35,10 +35,11 @@ use std::sync::Arc;
 use wm_capture::time::{Duration, SimTime};
 use wm_chaos::{corrupt_blob, tear_blob, ShardFault, ShardFaultKind, ShardFaultPlan};
 use wm_core::IntervalClassifier;
+use wm_obs::{FleetStatus, SeriesPoint, SeriesRing, ShardVitals, SloThresholds, Watchdog};
 use wm_online::OnlineVerdict;
 use wm_pool::Pool;
 use wm_story::StoryGraph;
-use wm_telemetry::{Counter, Registry};
+use wm_telemetry::{Counter, DeltaTracker, Registry, Snapshot};
 use wm_trace::{SpanId, TraceHandle};
 
 use crate::dedup::VerdictDedup;
@@ -100,6 +101,57 @@ pub struct FleetReport {
     /// Every interval in which verdicts may have been lost.
     pub loss_windows: Vec<LossWindow>,
     pub stats: FleetStats,
+    /// Observability-plane output, when an observer was attached.
+    pub obs: Option<ObsReport>,
+}
+
+/// How the observability plane watches a fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObserverConfig {
+    /// Sim-time observation cadence, µs. 0 ⇒ the checkpoint cadence.
+    pub cadence_us: u64,
+    /// Time-series points retained (bounded ring).
+    pub series_capacity: usize,
+    /// Health transitions retained in the alert stream.
+    pub transition_capacity: usize,
+    /// SLO thresholds for the watchdog.
+    pub slo: SloThresholds,
+}
+
+impl Default for ObserverConfig {
+    fn default() -> Self {
+        ObserverConfig {
+            cadence_us: 0,
+            series_capacity: 4_096,
+            transition_capacity: 4_096,
+            slo: SloThresholds::default(),
+        }
+    }
+}
+
+/// What the observer hands back in the final [`FleetReport`].
+#[derive(Debug)]
+pub struct ObsReport {
+    /// The final `fleet_status`: per-shard health and the retained
+    /// alert stream.
+    pub status: FleetStatus,
+    /// The retained time-series window as JSONL, one tick per line.
+    pub series_jsonl: String,
+    /// Time-series points shed by the bounded ring.
+    pub series_dropped: u64,
+    /// Cumulative fleet-wide metrics (all per-shard registries merged).
+    pub snapshot: Snapshot,
+}
+
+/// Live observability state: per-shard registries with delta
+/// watermarks, the bounded time-series ring, and the SLO watchdog.
+struct Observer {
+    registries: Vec<Arc<Registry>>,
+    trackers: Vec<DeltaTracker>,
+    series: SeriesRing,
+    watchdog: Watchdog,
+    next_tick: SimTime,
+    every: Duration,
 }
 
 struct Counters {
@@ -165,6 +217,8 @@ struct ShardSlot {
     open_loss: BTreeMap<u32, SimTime>,
     /// Open `fleet.restart` trace span while dead.
     span: SpanId,
+    /// Restores completed on this shard (vitals for the watchdog).
+    restarts: u64,
 }
 
 impl ShardSlot {
@@ -183,6 +237,7 @@ impl ShardSlot {
             damage: None,
             open_loss: BTreeMap::new(),
             span: SpanId::NONE,
+            restarts: 0,
         }
     }
 }
@@ -207,6 +262,7 @@ pub struct Fleet {
     stats: FleetStats,
     counters: Option<Counters>,
     trace: Option<(TraceHandle, SpanId)>,
+    observer: Option<Observer>,
     pool: Pool,
     scratch: Vec<(u32, OnlineVerdict)>,
 }
@@ -249,6 +305,7 @@ impl Fleet {
             stats: FleetStats::default(),
             counters: None,
             trace: None,
+            observer: None,
             pool,
             scratch: Vec::new(),
         })
@@ -266,6 +323,55 @@ impl Fleet {
 
     pub fn attach_trace(&mut self, handle: TraceHandle, parent: SpanId) {
         self.trace = Some((handle, parent));
+    }
+
+    /// Attach the observability plane: one registry per shard (every
+    /// decoder's `online.*` metrics, surviving kill/restore), a
+    /// bounded time-series ring fed on the observation cadence, and
+    /// the SLO watchdog scoring per-shard vitals into health states.
+    /// Health transitions are mirrored as `obs.health.*` trace
+    /// instants when a trace is attached.
+    pub fn attach_observer(&mut self, cfg: ObserverConfig) {
+        let shards = self.slots.len();
+        let registries: Vec<Arc<Registry>> =
+            (0..shards).map(|_| Arc::new(Registry::new())).collect();
+        for (slot, reg) in self.slots.iter_mut().zip(&registries) {
+            if let Some(state) = slot.state.as_mut() {
+                state.set_registry(reg.clone());
+            }
+        }
+        let every = if cfg.cadence_us == 0 {
+            self.cfg.checkpoint_every
+        } else {
+            Duration::from_micros(cfg.cadence_us)
+        };
+        self.observer = Some(Observer {
+            registries,
+            trackers: (0..shards).map(|_| DeltaTracker::new()).collect(),
+            series: SeriesRing::new(cfg.series_capacity),
+            watchdog: Watchdog::new(shards, cfg.slo, cfg.transition_capacity),
+            next_tick: SimTime(every.micros().max(1)),
+            every,
+        });
+    }
+
+    /// The current `fleet_status` report: per-shard health as of the
+    /// last observation tick, plus the retained alert stream. `None`
+    /// until an observer is attached.
+    pub fn fleet_status(&self) -> Option<FleetStatus> {
+        self.observer.as_ref().map(|o| o.watchdog.status())
+    }
+
+    /// Cumulative fleet-wide metrics: every per-shard observer
+    /// registry merged. `None` until an observer is attached. Decoders
+    /// publish their counts at observation ticks, so values are exact
+    /// as of the last tick (the finalized [`ObsReport`] snapshot is
+    /// exact as of end of stream).
+    pub fn observer_snapshot(&self) -> Option<Snapshot> {
+        self.observer.as_ref().map(|o| {
+            let parts: Vec<Snapshot> = o.registries.iter().map(|r| r.snapshot()).collect();
+            Snapshot::merged(parts.iter())
+        })
     }
 
     pub fn stats(&self) -> FleetStats {
@@ -307,6 +413,7 @@ impl Fleet {
         let shard = self.shard_for(victim);
         self.route(shard, time, victim, frame);
         self.checkpoint_tick();
+        self.observer_tick();
     }
 
     /// End of input: drain stall queues, resurrect dead shards so
@@ -345,6 +452,7 @@ impl Fleet {
                 self.close_loss(k, victim, from, end);
             }
         }
+        let obs = self.observer_finalize();
         let mut verdicts = std::mem::take(&mut self.verdicts);
         verdicts.sort_by_key(|(victim, v)| (*victim, v.index, v.choice.time.micros()));
         let mut loss_windows = std::mem::take(&mut self.losses);
@@ -353,6 +461,7 @@ impl Fleet {
             verdicts,
             loss_windows,
             stats: self.stats,
+            obs,
         }
     }
 
@@ -629,9 +738,16 @@ impl Fleet {
                 self.cfg.decode.clone(),
             )
         });
+        let mut state = state;
+        if let Some(obs) = &self.observer {
+            // Restored decoders come back without telemetry; point
+            // them at this shard's observer registry again.
+            state.set_registry(obs.registries[k].clone());
+        }
         let slot = &mut self.slots[k];
         slot.state = Some(state);
         slot.restart_at = None;
+        slot.restarts += 1;
         slot.next_checkpoint = SimTime(now.micros() + self.cfg.checkpoint_every.micros());
         self.stats.restarts += 1;
         self.stats.recovery_latency_us += now
@@ -728,6 +844,94 @@ impl Fleet {
             }
             self.trace_instant(now, "fleet.checkpoint", k as u64, state_bytes as u64);
         }
+    }
+
+    // -- observation cadence ------------------------------------------
+
+    /// Run every observation tick the stream time has passed. Ticks
+    /// are aligned sim-time multiples of the cadence, so the series is
+    /// a function of the packet stream — never of arrival batching —
+    /// and each point merges the per-shard registry deltas, which is
+    /// partition-invariant across shard and worker counts.
+    fn observer_tick(&mut self) {
+        let Some(mut obs) = self.observer.take() else {
+            return;
+        };
+        let every = obs.every.micros().max(1);
+        while obs.next_tick.micros() <= self.now.micros() {
+            let t = obs.next_tick;
+            self.observe_point(&mut obs, t);
+            obs.next_tick = SimTime(t.micros() + every);
+        }
+        self.observer = Some(obs);
+    }
+
+    /// One observation: score health, emit alert instants, take and
+    /// merge the per-shard metric deltas into a series point.
+    fn observe_point(&mut self, obs: &mut Observer, at: SimTime) {
+        let vitals = self.shard_vitals(at);
+        for tr in obs.watchdog.observe(at.micros(), &vitals) {
+            self.trace_instant(at, tr.to.trace_name(), tr.shard as u64, tr.from.code());
+        }
+        // Decoders buffer their event counts; publish them so this
+        // tick's deltas are exact.
+        for slot in self.slots.iter_mut() {
+            if let Some(state) = slot.state.as_mut() {
+                state.flush_telemetry();
+            }
+        }
+        let mut delta = Snapshot::default();
+        for (reg, tracker) in obs.registries.iter().zip(obs.trackers.iter_mut()) {
+            delta.merge(&tracker.take(reg));
+        }
+        obs.series.push(SeriesPoint {
+            t_us: at.micros(),
+            delta,
+        });
+    }
+
+    /// Per-shard vitals at `at`, indexed by shard.
+    fn shard_vitals(&self, at: SimTime) -> Vec<ShardVitals> {
+        let state_bound = self.cfg.per_shard_state_bound() as u64;
+        let cadence_us = self.cfg.checkpoint_every.micros();
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(k, slot)| ShardVitals {
+                shard: k as u32,
+                alive: slot.state.is_some(),
+                stalled: at.micros() < slot.stalled_until.micros(),
+                backoff_exp: slot.backoff_exp,
+                restarts: slot.restarts,
+                open_loss_windows: slot.open_loss.len() as u64,
+                checkpoint_age_us: at.micros().saturating_sub(slot.last_checkpoint_at.micros()),
+                checkpoint_cadence_us: cadence_us,
+                state_bytes: slot
+                    .state
+                    .as_ref()
+                    .map(|s| s.state_bytes() as u64)
+                    .unwrap_or(0),
+                state_bound,
+                queued_packets: slot.stall_queue.len() as u64,
+            })
+            .collect()
+    }
+
+    /// End of run: catch up any pending ticks, take one final point at
+    /// the stream's end so the tail (drained stalls, final decoder
+    /// flushes) is on the series, and freeze the observer into its
+    /// report.
+    fn observer_finalize(&mut self) -> Option<ObsReport> {
+        self.observer_tick();
+        let mut obs = self.observer.take()?;
+        self.observe_point(&mut obs, self.now);
+        let parts: Vec<Snapshot> = obs.registries.iter().map(|r| r.snapshot()).collect();
+        Some(ObsReport {
+            status: obs.watchdog.status(),
+            series_jsonl: obs.series.to_jsonl(),
+            series_dropped: obs.series.dropped(),
+            snapshot: Snapshot::merged(parts.iter()),
+        })
     }
 
     fn next_damage_seed(&mut self) -> u64 {

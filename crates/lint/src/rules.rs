@@ -97,6 +97,7 @@ pub const BYTE_PRODUCING_CRATES: &[&str] = &[
     "wm-fleet",
     "wm-net",
     "wm-netflix",
+    "wm-obs",
     "wm-player",
     "wm-sim",
     "wm-story",
@@ -116,6 +117,7 @@ pub const ATTACKER_CRATES: &[&str] = &[
     "wm-behavior",
     "wm-core",
     "wm-fleet",
+    "wm-obs",
     "wm-online",
 ];
 pub const ATTACKER_ALLOWED_DEPS: &[&str] = &[
@@ -125,6 +127,7 @@ pub const ATTACKER_ALLOWED_DEPS: &[&str] = &[
     "wm-core",
     "wm-fleet",
     "wm-json",
+    "wm-obs",
     "wm-online",
     "wm-pool",
     "wm-story",
@@ -175,9 +178,13 @@ pub fn hash_collections_apply(crate_name: &str) -> bool {
 /// bare type — can leak nondeterminism into event timestamps. Golden
 /// traces and `trace_diff` gates only hold if every `TraceEvent` is
 /// stamped with sim time. (Bare `Instant` is exempt: it is also the
-/// crate's own `EventKind::Instant` variant.)
+/// crate's own `EventKind::Instant` variant.) The observability
+/// plane's emit/export paths (`crates/obs/src/`) get the same
+/// treatment: alert events, time-series points and flamegraph stacks
+/// all claim byte-determinism, which a wall clock anywhere in the
+/// crate would silently break.
 pub fn trace_sim_time_applies(rel_path: &str) -> bool {
-    rel_path.starts_with("crates/trace/src/")
+    rel_path.starts_with("crates/trace/src/") || rel_path.starts_with("crates/obs/src/")
 }
 
 /// Attacker-facing parse paths: every byte they consume is
@@ -809,6 +816,25 @@ mod tests {
     }
 
     #[test]
+    fn trace_sim_time_covers_obs_exporters() {
+        // The observability plane emits byte-deterministic exports and
+        // sim-time alerts; a wall clock anywhere in its sources is the
+        // same determinism bug as one in the trace recorder.
+        let f = check_source(
+            "wm-obs",
+            "crates/obs/src/export.rs",
+            "let stamp = SystemTime::now();",
+        );
+        assert!(rules_of(&f).contains(&TRACE_SIM_TIME), "{f:?}");
+        let f = check_source(
+            "wm-obs",
+            "crates/obs/src/health.rs",
+            "let t = Instant::now();",
+        );
+        assert!(rules_of(&f).contains(&TRACE_SIM_TIME), "{f:?}");
+    }
+
+    #[test]
     fn trace_sim_time_suppressible_with_reason_only() {
         let ok = "struct E { at: SystemTime } // wm-lint: allow(determinism/trace-sim-time, reason = \"doc example\")";
         assert!(check_source("wm-trace", "crates/trace/src/lib.rs", ok).is_empty());
@@ -1178,6 +1204,27 @@ mod tests {
         assert_eq!(rules_of(&f), [LAYERING]);
         assert!(f[0].message.contains("wm-fleet"));
         assert!(f[0].message.contains("victim crate"));
+    }
+
+    #[test]
+    fn obs_is_attacker_side() {
+        // wm-obs observes the attacker fleet, so attacker crates may
+        // depend on it…
+        assert!(attacker_dep_allowed("wm-fleet", "wm-obs"));
+        // …but it is itself held to the attacker dependency contract:
+        // victim internals stay off-limits.
+        let bad = crate::manifest::parse(
+            "[package]\nname = \"wm-obs\"\n[dependencies]\nwm-tls.workspace = true\n",
+        );
+        let f = check_manifest("crates/obs/Cargo.toml", &bad);
+        assert_eq!(rules_of(&f), [LAYERING]);
+        // And no victim crate may grow a health-plane dependency.
+        let victim = crate::manifest::parse(
+            "[package]\nname = \"wm-netflix\"\n[dependencies]\nwm-obs.workspace = true\n",
+        );
+        let f = check_manifest("crates/netflix/Cargo.toml", &victim);
+        assert_eq!(rules_of(&f), [LAYERING]);
+        assert!(f[0].message.contains("wm-obs"));
     }
 
     #[test]

@@ -281,7 +281,12 @@ mod tests {
         assert_eq!(snap.counters["net.link.up.tap_lost"], n - tapped);
         // Back-to-back sends at t=0 queue behind each other.
         assert_eq!(snap.histograms["net.link.up.queue_wait_us"].count, n);
-        assert!(snap.histograms["net.link.up.queue_wait_us"].max > 0);
+        assert!(
+            snap.histograms["net.link.up.queue_wait_us"]
+                .max
+                .unwrap_or(0)
+                > 0
+        );
     }
 
     #[test]

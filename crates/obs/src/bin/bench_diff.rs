@@ -1,0 +1,70 @@
+//! Compare a candidate `BENCH_*.json` against a committed baseline.
+//!
+//! ```sh
+//! cargo run --release -p wm-obs --bin bench_diff -- \
+//!     baselines/BENCH_fleet.json BENCH_fleet.json \
+//!     [--band metric=exact|any|ratio:0.15|abs:3]...
+//! ```
+//!
+//! Exit codes (same contract as `trace_diff`):
+//! 0 = all metrics within their tolerance bands,
+//! 1 = regression (out-of-band or missing metric),
+//! 2 = usage, I/O, or parse error.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use wm_obs::{diff_exit_code, Band};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut bands: BTreeMap<String, Band> = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--band" => {
+                let Some(spec) = args.get(i + 1) else {
+                    eprintln!("bench_diff: --band needs metric=band");
+                    return ExitCode::from(2);
+                };
+                let Some((metric, band)) = spec.split_once('=') else {
+                    eprintln!("bench_diff: bad --band spec {spec:?} (want metric=band)");
+                    return ExitCode::from(2);
+                };
+                match Band::parse(band) {
+                    Ok(b) => {
+                        bands.insert(metric.to_string(), b);
+                    }
+                    Err(e) => {
+                        eprintln!("bench_diff: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            other => {
+                paths.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        eprintln!("usage: bench_diff <baseline.json> <candidate.json> [--band metric=band]...");
+        return ExitCode::from(2);
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("bench_diff: cannot read {path}: {e}");
+        })
+    };
+    let Ok(baseline) = read(baseline_path) else {
+        return ExitCode::from(2);
+    };
+    let Ok(candidate) = read(candidate_path) else {
+        return ExitCode::from(2);
+    };
+    let (code, rendered) = diff_exit_code(&baseline, &candidate, &bands);
+    print!("{rendered}");
+    ExitCode::from(code)
+}

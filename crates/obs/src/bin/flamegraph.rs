@@ -1,0 +1,55 @@
+//! Render a `wm-trace` JSONL export as collapsed flamegraph stacks.
+//!
+//! ```sh
+//! cargo run --release -p wm-obs --bin flamegraph -- trace.jsonl [out.folded]
+//! ```
+//!
+//! Output is the collapsed-stack format `inferno-flamegraph`,
+//! speedscope and `flamegraph.pl` consume: one `stack value` line per
+//! stack, values in simulation microseconds of self time. With no
+//! output path the profile goes to stdout. Exit 0 on success, 2 on
+//! usage/I/O/parse errors.
+
+use std::process::ExitCode;
+
+use wm_obs::collapse_jsonl;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (input, output) = match args.as_slice() {
+        [input] => (input, None),
+        [input, output] => (input, Some(output)),
+        _ => {
+            eprintln!("usage: flamegraph <trace.jsonl> [out.folded]");
+            return ExitCode::from(2);
+        }
+    };
+    let jsonl = match std::fs::read_to_string(input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("flamegraph: cannot read {input}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let folded = match collapse_jsonl(&jsonl) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("flamegraph: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &folded) {
+                eprintln!("flamegraph: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            eprintln!(
+                "flamegraph: wrote {} stacks to {path}",
+                folded.lines().count()
+            );
+        }
+        None => print!("{folded}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,121 @@
+//! Byte-deterministic snapshot renderers.
+//!
+//! Both renderers iterate the snapshot's `BTreeMap`s only, so output
+//! bytes depend solely on the metric values — never on insertion or
+//! hash order — and are identical across worker and shard counts for
+//! the same logical work.
+
+use std::fmt::Write as _;
+
+use wm_telemetry::{Histogram, Snapshot};
+
+/// Map a registry metric name onto the Prometheus name charset
+/// (`[a-zA-Z0-9_:]`): every other byte becomes `_`, and a leading
+/// digit gets a `_` prefix.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, ch) in name.chars().enumerate() {
+        let ok = ch.is_ascii_alphanumeric() || ch == '_' || ch == ':';
+        if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { ch } else { '_' });
+    }
+    out
+}
+
+/// Render a snapshot in Prometheus text exposition format.
+///
+/// Counters become `counter` families; histograms become native
+/// Prometheus histograms with cumulative `_bucket{le="…"}` rows at the
+/// log2 bucket upper bounds, plus `_sum`/`_count`, plus `_min`/`_max`
+/// gauges when the histogram is non-empty (the exact bounds a
+/// log2-bucketed histogram would otherwise lose).
+pub fn prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let name = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, h) in &snap.histograms {
+        let name = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for &(bucket, count) in &h.buckets {
+            cumulative += count;
+            let (_, hi) = Histogram::bucket_bounds(bucket as usize);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{hi}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+        if let (Some(min), Some(max)) = (h.min, h.max) {
+            let _ = writeln!(out, "# TYPE {name}_min gauge");
+            let _ = writeln!(out, "{name}_min {min}");
+            let _ = writeln!(out, "# TYPE {name}_max gauge");
+            let _ = writeln!(out, "{name}_max {max}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wm_telemetry::Registry;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_metric_name("fleet.packets"), "fleet_packets");
+        assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("ok_name:x"), "ok_name:x");
+    }
+
+    #[test]
+    fn renders_counters_and_histograms() {
+        let reg = Registry::new();
+        reg.counter("fleet.packets").add(42);
+        let h = reg.histogram("verdict.lag_us");
+        h.record(3);
+        h.record(900);
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("# TYPE fleet_packets counter\nfleet_packets 42\n"));
+        assert!(text.contains("# TYPE verdict_lag_us histogram"));
+        // 3 lands in bucket 2 ([2,3]), 900 in bucket 10 ([512,1023]).
+        assert!(text.contains("verdict_lag_us_bucket{le=\"3\"} 1\n"));
+        assert!(text.contains("verdict_lag_us_bucket{le=\"1023\"} 2\n"));
+        assert!(text.contains("verdict_lag_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("verdict_lag_us_sum 903\n"));
+        assert!(text.contains("verdict_lag_us_count 2\n"));
+        assert!(text.contains("verdict_lag_us_min 3\n"));
+        assert!(text.contains("verdict_lag_us_max 900\n"));
+    }
+
+    #[test]
+    fn empty_histogram_renders_without_bounds() {
+        let reg = Registry::new();
+        reg.histogram("idle_us");
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("idle_us_bucket{le=\"+Inf\"} 0\n"));
+        assert!(!text.contains("idle_us_min"));
+        assert!(!text.contains("idle_us_max"));
+    }
+
+    #[test]
+    fn render_is_a_pure_function_of_the_snapshot() {
+        // Two registries populated in different orders render the same
+        // bytes once their snapshots are equal.
+        let a = Registry::new();
+        a.counter("x").add(1);
+        a.counter("y").add(2);
+        let b = Registry::new();
+        b.counter("y").add(2);
+        b.counter("x").add(1);
+        assert_eq!(
+            prometheus_text(&a.snapshot()),
+            prometheus_text(&b.snapshot())
+        );
+    }
+}

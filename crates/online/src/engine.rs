@@ -44,7 +44,7 @@ use wm_core::{
     CONFIDENCE_BLIND, CONFIDENCE_INFERRED, CONFIDENCE_OBSERVED, GAP_CONFIDENCE_FACTOR, WINDOW_SECS,
 };
 use wm_story::{Choice, ChoicePointId, SegmentEnd, SegmentId, StoryGraph};
-use wm_telemetry::{Counter, Registry};
+use wm_telemetry::{Counter, Histogram, Registry};
 use wm_trace::{SpanId, TraceHandle};
 
 /// Tunables for the online decoder. All buffers it ever grows are
@@ -234,7 +234,15 @@ impl Derived {
     }
 }
 
-/// Telemetry counters the engine increments when attached.
+/// Telemetry counters the engine publishes to when attached.
+///
+/// The hot path never touches these: per-event counts accumulate in
+/// the plain-integer [`OnlineStats`] the decoder maintains anyway, and
+/// [`OnlineDecoder::flush_telemetry`] publishes the delta since
+/// `flushed` at deterministic boundaries (checkpoint, finish, observer
+/// tick). One batch of atomic adds per flush replaces one atomic RMW
+/// per packet/record, which keeps the metrics-plane overhead on the
+/// decode path within the ≤ 5% budget.
 struct OnlineTelemetry {
     packets: Arc<Counter>,
     records: Arc<Counter>,
@@ -243,10 +251,18 @@ struct OnlineTelemetry {
     late_events: Arc<Counter>,
     checkpoints: Arc<Counter>,
     resumes: Arc<Counter>,
+    /// Per-checkpoint gauge: `state_bytes × 100 / state_bound` — how
+    /// close the decoder sits to its configured memory ceiling.
+    checkpoint_state_util_pct: Arc<Histogram>,
+    /// Per-checkpoint gauge: records ingested since the previous
+    /// checkpoint — staleness relative to the configured cadence.
+    checkpoint_staleness_records: Arc<Histogram>,
+    /// Stats already published; the next flush adds `stats - flushed`.
+    flushed: OnlineStats,
 }
 
 impl OnlineTelemetry {
-    fn from_registry(reg: &Registry) -> Self {
+    fn from_registry(reg: &Registry, baseline: OnlineStats) -> Self {
         OnlineTelemetry {
             packets: reg.counter("online.packets"),
             records: reg.counter("online.records"),
@@ -255,6 +271,9 @@ impl OnlineTelemetry {
             late_events: reg.counter("online.late_events"),
             checkpoints: reg.counter("online.checkpoints"),
             resumes: reg.counter("online.resumes"),
+            checkpoint_state_util_pct: reg.histogram("online.checkpoint.state_util_pct"),
+            checkpoint_staleness_records: reg.histogram("online.checkpoint.staleness_records"),
+            flushed: baseline,
         }
     }
 }
@@ -365,9 +384,31 @@ impl OnlineDecoder {
         }
     }
 
-    /// Attach telemetry counters (`online.*`) to `registry`.
+    /// Attach telemetry counters (`online.*`) to `registry`. Events
+    /// counted before the attach stay out of the registry: the flush
+    /// baseline is the stats as of this call.
     pub fn attach_telemetry(&mut self, registry: &Registry) {
-        self.telemetry = Some(OnlineTelemetry::from_registry(registry));
+        self.telemetry = Some(OnlineTelemetry::from_registry(registry, self.stats));
+    }
+
+    /// Publish every event counted since the last flush into the
+    /// attached registry (no-op when none is). Called automatically at
+    /// checkpoint and finish; supervisors observing mid-stream call it
+    /// right before snapshotting so tick values are exact.
+    pub fn flush_telemetry(&mut self) {
+        let Some(t) = &mut self.telemetry else { return };
+        let s = self.stats;
+        let f = t.flushed;
+        t.packets.add(s.packets.saturating_sub(f.packets));
+        t.records.add(s.records.saturating_sub(f.records));
+        t.verdicts.add(s.verdicts.saturating_sub(f.verdicts));
+        t.gaps.add(s.gaps.saturating_sub(f.gaps));
+        t.late_events
+            .add(s.late_events.saturating_sub(f.late_events));
+        t.checkpoints
+            .add(s.checkpoints.saturating_sub(f.checkpoints));
+        t.resumes.add(s.resumes.saturating_sub(f.resumes));
+        t.flushed = s;
     }
 
     /// Attach a trace recorder; verdicts and gaps emit instants under
@@ -427,9 +468,6 @@ impl OnlineDecoder {
     /// decidable (usually none; one or more around choice windows).
     pub fn push_packet(&mut self, time: SimTime, frame: &[u8]) -> Vec<OnlineVerdict> {
         self.stats.packets = self.stats.packets.saturating_add(1);
-        if let Some(t) = &self.telemetry {
-            t.packets.inc();
-        }
         if time > self.max_seen {
             self.max_seen = time;
         }
@@ -482,6 +520,7 @@ impl OnlineDecoder {
         self.finishing = true;
         let mut out = Batch::new();
         self.advance(&mut out);
+        self.flush_telemetry();
         out.into_vec()
     }
 
@@ -492,9 +531,6 @@ impl OnlineDecoder {
             self.stats.gaps = self.stats.gaps.saturating_add(1);
             self.gap_times.admit_evict(g.resume_time);
             self.loss_windows.admit_evict((g.last_time, g.resume_time));
-            if let Some(t) = &self.telemetry {
-                t.gaps.inc();
-            }
             if let Some((h, parent)) = &self.trace {
                 h.instant_at(
                     g.resume_time.micros(),
@@ -523,9 +559,6 @@ impl OnlineDecoder {
         for r in recs.into_vec() {
             self.stats.records = self.stats.records.saturating_add(1);
             self.records_seen = self.records_seen.saturating_add(1);
-            if let Some(t) = &self.telemetry {
-                t.records.inc();
-            }
             if r.content_type != ContentType::ApplicationData {
                 self.stats.non_app_records = self.stats.non_app_records.saturating_add(1);
                 continue;
@@ -534,9 +567,6 @@ impl OnlineDecoder {
                 // Finality was already declared past this timestamp;
                 // admitting it would reorder decided evidence.
                 self.stats.late_events = self.stats.late_events.saturating_add(1);
-                if let Some(t) = &self.telemetry {
-                    t.late_events.inc();
-                }
                 continue;
             }
             admitted.put(r);
@@ -912,9 +942,6 @@ impl OnlineDecoder {
                 (((choice == Choice::NonDefault) as u64) << 8) | provenance.records.len() as u64,
             );
         }
-        if let Some(t) = &self.telemetry {
-            t.verdicts.inc();
-        }
         self.stats.verdicts = self.stats.verdicts.saturating_add(1);
         let index = self.emitted;
         self.emitted = self.emitted.saturating_add(1);
@@ -931,11 +958,10 @@ impl OnlineDecoder {
     /// byte-deterministic blob (see [`crate::checkpoint`] for the
     /// format). Resets the cadence clock.
     pub fn checkpoint(&mut self) -> Vec<u8> {
+        self.record_checkpoint_gauges();
         self.records_at_checkpoint = self.records_seen;
         self.stats.checkpoints = self.stats.checkpoints.saturating_add(1);
-        if let Some(t) = &self.telemetry {
-            t.checkpoints.inc();
-        }
+        self.flush_telemetry();
         crate::checkpoint::encode(self)
     }
 
@@ -946,12 +972,24 @@ impl OnlineDecoder {
     /// JSON-escaped-inside-JSON. Resets the cadence clock exactly like
     /// the byte form.
     pub fn checkpoint_value(&mut self) -> wm_json::Value {
+        self.record_checkpoint_gauges();
         self.records_at_checkpoint = self.records_seen;
         self.stats.checkpoints = self.stats.checkpoints.saturating_add(1);
-        if let Some(t) = &self.telemetry {
-            t.checkpoints.inc();
-        }
+        self.flush_telemetry();
         crate::checkpoint::encode_value(self)
+    }
+
+    /// Health gauges observed at every checkpoint, before the cadence
+    /// clock resets: state-bound utilization and records-since-last-
+    /// checkpoint. Both derive from simulation state only, so they are
+    /// deterministic per seed (unlike the `*_ns` timing histograms).
+    fn record_checkpoint_gauges(&self) {
+        let Some(t) = &self.telemetry else { return };
+        let bound = self.cfg.state_bound().max(1) as u64;
+        t.checkpoint_state_util_pct
+            .record(self.state_bytes() as u64 * 100 / bound);
+        t.checkpoint_staleness_records
+            .record(self.records_seen.saturating_sub(self.records_at_checkpoint));
     }
 
     /// Restore a decoder from a value produced by
@@ -963,9 +1001,6 @@ impl OnlineDecoder {
     ) -> Result<Self, crate::checkpoint::CheckpointError> {
         let mut decoder = crate::checkpoint::decode_value(value, graph)?;
         decoder.stats.resumes = decoder.stats.resumes.saturating_add(1);
-        if let Some(t) = &decoder.telemetry {
-            t.resumes.inc();
-        }
         Ok(decoder)
     }
 
@@ -980,9 +1015,6 @@ impl OnlineDecoder {
     ) -> Result<Self, crate::checkpoint::CheckpointError> {
         let mut decoder = crate::checkpoint::decode(bytes, graph)?;
         decoder.stats.resumes = decoder.stats.resumes.saturating_add(1);
-        if let Some(t) = &decoder.telemetry {
-            t.resumes.inc();
-        }
         Ok(decoder)
     }
 }

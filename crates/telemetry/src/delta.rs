@@ -1,0 +1,182 @@
+//! Watermark-based delta snapshots for streaming export.
+//!
+//! A [`DeltaTracker`] remembers the last snapshot it took of a registry
+//! and returns only the change since then. The fleet supervisor keeps
+//! one tracker per shard registry and merges the per-shard deltas into
+//! one fleet-wide time-series point per observation tick; because
+//! counter deltas add and cumulative histogram bounds min/max, the
+//! merged point is invariant to how work was partitioned across shards
+//! or workers (see `Snapshot::delta_since`).
+
+use crate::registry::Registry;
+use crate::snapshot::Snapshot;
+
+/// Tracks a snapshot watermark over one registry.
+#[derive(Debug, Default)]
+pub struct DeltaTracker {
+    watermark: Snapshot,
+}
+
+impl DeltaTracker {
+    pub fn new() -> Self {
+        DeltaTracker::default()
+    }
+
+    /// Snapshot `registry`, return the change since the previous call
+    /// (or since creation), and advance the watermark.
+    pub fn take(&mut self, registry: &Registry) -> Snapshot {
+        let current = registry.snapshot();
+        let delta = current.delta_since(&self.watermark);
+        self.watermark = current;
+        delta
+    }
+
+    /// The cumulative snapshot as of the last [`DeltaTracker::take`].
+    pub fn watermark(&self) -> &Snapshot {
+        &self.watermark
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny xorshift so the property tests are seeded and std-only.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n.max(1)
+        }
+    }
+
+    /// A pseudo-random snapshot drawn from a small key universe so
+    /// merges actually collide on keys.
+    fn arb_snapshot(rng: &mut Rng) -> Snapshot {
+        let reg = Registry::new();
+        for _ in 0..rng.below(4) {
+            let k = format!("c{}", rng.below(3));
+            reg.counter(&k).add(rng.below(1000));
+        }
+        for _ in 0..rng.below(4) {
+            let k = format!("h{}", rng.below(3));
+            let h = reg.histogram(&k);
+            for _ in 0..rng.below(5) {
+                h.record(rng.below(100_000));
+            }
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let mut rng = Rng(0x5EED_0001);
+        for case in 0..200 {
+            let (a, b, c) = (
+                arb_snapshot(&mut rng),
+                arb_snapshot(&mut rng),
+                arb_snapshot(&mut rng),
+            );
+            // a ⊕ (b ⊕ c)
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut left = a.clone();
+            left.merge(&bc);
+            // (a ⊕ b) ⊕ c
+            let mut right = a.clone();
+            right.merge(&b);
+            right.merge(&c);
+            assert_eq!(left, right, "case {case}");
+            assert_eq!(
+                left.to_json_string(),
+                right.to_json_string(),
+                "case {case}: byte identity"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_order_invariant_under_shard_permutation() {
+        let mut rng = Rng(0x5EED_0002);
+        for case in 0..100 {
+            let shards: Vec<Snapshot> = (0..5).map(|_| arb_snapshot(&mut rng)).collect();
+            let forward = Snapshot::merged(shards.iter());
+            // A few pseudo-random permutations of the shard order.
+            for _ in 0..4 {
+                let mut perm: Vec<&Snapshot> = shards.iter().collect();
+                for i in (1..perm.len()).rev() {
+                    perm.swap(i, rng.below(i as u64 + 1) as usize);
+                }
+                let permuted = Snapshot::merged(perm);
+                assert_eq!(
+                    forward.to_json_string(),
+                    permuted.to_json_string(),
+                    "case {case}: shard permutation changed merged bytes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_merge_matches_whole_window_delta() {
+        // Deltas taken per shard and merged must equal the delta of the
+        // merged cumulatives for counters (exact partition invariance);
+        // histogram window counts likewise add.
+        let mut rng = Rng(0x5EED_0003);
+        for case in 0..100 {
+            let base: Vec<Snapshot> = (0..3).map(|_| arb_snapshot(&mut rng)).collect();
+            let grow: Vec<Snapshot> = (0..3).map(|_| arb_snapshot(&mut rng)).collect();
+            let cur: Vec<Snapshot> = base
+                .iter()
+                .zip(&grow)
+                .map(|(b, g)| {
+                    let mut c = b.clone();
+                    c.merge(g);
+                    c
+                })
+                .collect();
+            let merged_deltas = Snapshot::merged(
+                cur.iter()
+                    .zip(&base)
+                    .map(|(c, b)| c.delta_since(b))
+                    .collect::<Vec<_>>()
+                    .iter(),
+            );
+            let whole = Snapshot::merged(cur.iter()).delta_since(&Snapshot::merged(base.iter()));
+            assert_eq!(
+                merged_deltas.counters, whole.counters,
+                "case {case}: counter deltas must partition exactly"
+            );
+            for (k, h) in &whole.histograms {
+                let m = &merged_deltas.histograms[k];
+                assert_eq!(m.count, h.count, "case {case} {k}: window count");
+                assert_eq!(m.sum, h.sum, "case {case} {k}: window sum");
+                assert_eq!(m.buckets, h.buckets, "case {case} {k}: window buckets");
+            }
+        }
+    }
+
+    #[test]
+    fn tracker_advances_watermark() {
+        let reg = Registry::new();
+        let mut tracker = DeltaTracker::new();
+        reg.counter("c").add(5);
+        let d1 = tracker.take(&reg);
+        assert_eq!(d1.counters["c"], 5);
+        let d2 = tracker.take(&reg);
+        assert_eq!(d2.counters["c"], 0);
+        reg.counter("c").add(2);
+        let d3 = tracker.take(&reg);
+        assert_eq!(d3.counters["c"], 2);
+        assert_eq!(tracker.watermark().counters["c"], 7);
+    }
+}

@@ -28,10 +28,12 @@
 //!    aggregated across worker threads give the same run-level report
 //!    regardless of completion order.
 
+pub mod delta;
 pub mod metric;
 pub mod registry;
 pub mod snapshot;
 
+pub use delta::DeltaTracker;
 pub use metric::{Counter, Histogram, Span, BUCKETS};
 pub use registry::Registry;
 pub use snapshot::{HistogramSnapshot, Snapshot};

@@ -12,10 +12,11 @@ use std::fmt::Write as _;
 pub struct HistogramSnapshot {
     pub count: u64,
     pub sum: u64,
-    /// Smallest recorded value; 0 when `count == 0`.
-    pub min: u64,
-    /// Largest recorded value; 0 when `count == 0`.
-    pub max: u64,
+    /// Smallest recorded value; `None` when `count == 0`, so an empty
+    /// histogram is distinguishable from one that recorded a real 0.
+    pub min: Option<u64>,
+    /// Largest recorded value; `None` when `count == 0`.
+    pub max: Option<u64>,
     /// Sparse `(bucket_index, count)` pairs, ascending by index.
     pub buckets: Vec<(u8, u64)>,
 }
@@ -27,8 +28,8 @@ impl HistogramSnapshot {
         HistogramSnapshot {
             count: h.count(),
             sum: h.sum(),
-            min: h.min().unwrap_or(0),
-            max: h.max().unwrap_or(0),
+            min: h.min(),
+            max: h.max(),
             buckets: counts
                 .iter()
                 .enumerate()
@@ -54,17 +55,19 @@ impl HistogramSnapshot {
         if self.count == 0 {
             return 0;
         }
+        let lo = self.min.unwrap_or(0);
+        let hi = self.max.unwrap_or(u64::MAX);
         let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for &(i, c) in &self.buckets {
             seen += c;
             if seen >= target {
-                let (lo, hi) = Histogram::bucket_bounds(i as usize);
-                let mid = ((lo as f64) * (hi.max(1) as f64)).sqrt() as u64;
-                return mid.clamp(self.min, self.max);
+                let (blo, bhi) = Histogram::bucket_bounds(i as usize);
+                let mid = ((blo as f64) * (bhi.max(1) as f64)).sqrt() as u64;
+                return mid.clamp(lo, hi);
             }
         }
-        self.max
+        hi
     }
 
     /// Fold another histogram snapshot into this one.
@@ -72,12 +75,8 @@ impl HistogramSnapshot {
         if other.count == 0 {
             return;
         }
-        self.min = if self.count == 0 {
-            other.min
-        } else {
-            self.min.min(other.min)
-        };
-        self.max = self.max.max(other.max);
+        self.min = merge_opt(self.min, other.min, u64::min);
+        self.max = merge_opt(self.max, other.max, u64::max);
         self.count += other.count;
         self.sum += other.sum;
         let mut merged: BTreeMap<u8, u64> = self.buckets.iter().copied().collect();
@@ -85,6 +84,42 @@ impl HistogramSnapshot {
             *merged.entry(i).or_insert(0) += c;
         }
         self.buckets = merged.into_iter().collect();
+    }
+
+    /// The change since `baseline` (an earlier snapshot of the same
+    /// histogram): `count`/`sum`/`buckets` are true window differences;
+    /// `min`/`max` carry the *cumulative* bounds (log2 buckets cannot
+    /// recover window extrema), or `None` when nothing was recorded in
+    /// the window. Merging deltas therefore stays associative and
+    /// partition-invariant: window counts add, cumulative bounds
+    /// min/max.
+    pub fn delta_since(&self, baseline: &HistogramSnapshot) -> HistogramSnapshot {
+        let count = self.count.saturating_sub(baseline.count);
+        if count == 0 {
+            return HistogramSnapshot::default();
+        }
+        let base: BTreeMap<u8, u64> = baseline.buckets.iter().copied().collect();
+        let buckets = self
+            .buckets
+            .iter()
+            .map(|&(i, c)| (i, c.saturating_sub(base.get(&i).copied().unwrap_or(0))))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.saturating_sub(baseline.sum),
+            min: self.min,
+            max: self.max,
+            buckets,
+        }
+    }
+}
+
+fn merge_opt(a: Option<u64>, b: Option<u64>, pick: impl Fn(u64, u64) -> u64) -> Option<u64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(pick(x, y)),
+        (x, None) => x,
+        (None, y) => y,
     }
 }
 
@@ -117,6 +152,38 @@ impl Snapshot {
         out
     }
 
+    /// The change since `baseline` (an earlier snapshot of the same
+    /// registry): every counter and histogram in `self` minus its
+    /// value at the watermark. Keys present in `self` are kept even at
+    /// delta zero, so a stream of delta snapshots from one registry
+    /// always carries the same key set — what makes streamed exports
+    /// byte-comparable point to point.
+    pub fn delta_since(&self, baseline: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| {
+                let base = baseline.counters.get(k).copied().unwrap_or(0);
+                (k.clone(), v.saturating_sub(base))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let delta = match baseline.histograms.get(k) {
+                    Some(base) => h.delta_since(base),
+                    None => h.clone(),
+                };
+                (k.clone(), delta)
+            })
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+
     /// Machine-readable JSON (single line).
     pub fn to_json_string(&self) -> String {
         let mut s = String::with_capacity(256);
@@ -138,8 +205,8 @@ impl Snapshot {
                 json_string(k),
                 h.count,
                 h.sum,
-                h.min,
-                h.max
+                json_opt(h.min),
+                json_opt(h.max)
             );
             for (j, (b, c)) in h.buckets.iter().enumerate() {
                 if j > 0 {
@@ -211,10 +278,10 @@ impl Snapshot {
                     "  {k:<width$}  {:>9} {:>14} {:>10} {:>10.0} {:>10} {:>10}",
                     h.count,
                     h.sum,
-                    h.min,
+                    table_opt(h.min),
                     h.mean(),
                     h.approx_quantile(0.99),
-                    h.max
+                    table_opt(h.max)
                 );
             }
         }
@@ -238,6 +305,22 @@ fn json_string(s: &str) -> String {
     }
     out.push('"');
     out
+}
+
+/// Render an optional bound: the number, or JSON `null` when absent.
+fn json_opt(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+/// Render an optional bound for the table: the number, or `-`.
+fn table_opt(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "-".to_string(),
+    }
 }
 
 /// Minimal recursive-descent parser for the snapshot schema only.
@@ -319,6 +402,16 @@ impl<'a> Parser<'a> {
             .ok()
     }
 
+    /// A u64, or the literal `null` (empty-histogram min/max).
+    fn u64_or_null(&mut self) -> Option<Option<u64>> {
+        self.skip_ws();
+        if self.bytes.get(self.pos..self.pos + 4) == Some(b"null") {
+            self.pos += 4;
+            return Some(None);
+        }
+        self.u64().map(Some)
+    }
+
     fn key(&mut self, expected: &str) -> Option<()> {
         let k = self.string()?;
         if k != expected {
@@ -394,10 +487,10 @@ impl<'a> Parser<'a> {
         let sum = self.u64()?;
         self.eat(b',')?;
         self.key("min")?;
-        let min = self.u64()?;
+        let min = self.u64_or_null()?;
         self.eat(b',')?;
         self.key("max")?;
-        let max = self.u64()?;
+        let max = self.u64_or_null()?;
         self.eat(b',')?;
         self.key("buckets")?;
         self.eat(b'[')?;
@@ -467,6 +560,22 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_serializes_null_bounds() {
+        let reg = Registry::new();
+        reg.histogram("idle_us");
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms["idle_us"].min, None);
+        assert_eq!(snap.histograms["idle_us"].max, None);
+        let json = snap.to_json_string();
+        assert!(json.contains("\"min\":null,\"max\":null"), "{json}");
+        assert_eq!(Snapshot::from_json_str(&json), Some(snap));
+        // A histogram that really recorded a zero keeps `"min":0`.
+        reg.histogram("idle_us").record(0);
+        let json = reg.snapshot().to_json_string();
+        assert!(json.contains("\"min\":0,\"max\":0"), "{json}");
+    }
+
+    #[test]
     fn rejects_trailing_garbage() {
         let mut json = sample().to_json_string();
         json.push('x');
@@ -482,8 +591,8 @@ mod tests {
         assert_eq!(m.counters["a.events"], 14);
         assert_eq!(m.histograms["lat_ns"].count, 10);
         assert_eq!(m.histograms["lat_ns"].sum, 2 * a.histograms["lat_ns"].sum);
-        assert_eq!(m.histograms["lat_ns"].min, 0);
-        assert_eq!(m.histograms["lat_ns"].max, 40_000);
+        assert_eq!(m.histograms["lat_ns"].min, Some(0));
+        assert_eq!(m.histograms["lat_ns"].max, Some(40_000));
     }
 
     #[test]
@@ -495,6 +604,50 @@ mod tests {
         let mut right = a.clone();
         right.merge(&Snapshot::default());
         assert_eq!(right, a);
+    }
+
+    #[test]
+    fn merge_with_empty_histogram_keeps_bounds_absent() {
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&HistogramSnapshot::default());
+        assert_eq!(empty.min, None);
+        assert_eq!(empty.max, None);
+    }
+
+    #[test]
+    fn delta_since_subtracts_counters_and_histograms() {
+        let reg = Registry::new();
+        reg.counter("c").add(3);
+        reg.histogram("h").record(100);
+        let base = reg.snapshot();
+        reg.counter("c").add(4);
+        reg.histogram("h").record(7);
+        let now = reg.snapshot();
+        let delta = now.delta_since(&base);
+        assert_eq!(delta.counters["c"], 4);
+        let h = &delta.histograms["h"];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 7);
+        // Bounds are cumulative, not window-local (documented).
+        assert_eq!(h.min, Some(7));
+        assert_eq!(h.max, Some(100));
+        assert_eq!(h.buckets, vec![(3, 1)]);
+    }
+
+    #[test]
+    fn delta_since_keeps_zero_keys_and_empties_idle_histograms() {
+        let reg = Registry::new();
+        reg.counter("c").add(3);
+        reg.histogram("h").record(100);
+        let base = reg.snapshot();
+        let delta = reg.snapshot().delta_since(&base);
+        assert_eq!(delta.counters["c"], 0);
+        assert_eq!(delta.histograms["h"], HistogramSnapshot::default());
+        // The delta round-trips through JSON like any snapshot.
+        assert_eq!(
+            Snapshot::from_json_str(&delta.to_json_string()),
+            Some(delta)
+        );
     }
 
     #[test]
@@ -522,9 +675,10 @@ mod tests {
     #[test]
     fn quantiles_bounded_by_min_max() {
         let h = &sample().histograms["lat_ns"];
+        let (min, max) = (h.min.expect("recorded"), h.max.expect("recorded"));
         for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
             let v = h.approx_quantile(q);
-            assert!(v >= h.min && v <= h.max, "q{q} -> {v}");
+            assert!(v >= min && v <= max, "q{q} -> {v}");
         }
     }
 }

@@ -57,6 +57,7 @@ pub use wm_http as http;
 pub use wm_json as json;
 pub use wm_net as net;
 pub use wm_netflix as netflix;
+pub use wm_obs as obs;
 pub use wm_online as online;
 pub use wm_player as player;
 pub use wm_sim as sim;
