@@ -157,6 +157,10 @@ fn main() {
             victims as f64 / secs,
         );
         println!(
+            "               per-shard: restore failures {}  worst outage {} µs",
+            row.restore_failures, row.max_shard_recovery_us,
+        );
+        println!(
             "               health: {}  alerts {} (worst {})",
             obs.status
                 .states
@@ -204,6 +208,14 @@ fn main() {
         metrics.push((
             format!("recovery_latency_us_i{}", row.intensity),
             row.recovery_latency_us as f64,
+        ));
+        metrics.push((
+            format!("restore_failures_i{}", row.intensity),
+            row.restore_failures as f64,
+        ));
+        metrics.push((
+            format!("max_shard_recovery_us_i{}", row.intensity),
+            row.max_shard_recovery_us as f64,
         ));
     }
     for (intensity, n) in &alerts {

@@ -37,6 +37,16 @@ pub const REQUIRED_METRICS: &[&str] = &[
     "recovery_latency_us_i2",
     "recovery_latency_us_i3",
     "recovery_latency_us_i4",
+    "restore_failures_i0",
+    "restore_failures_i1",
+    "restore_failures_i2",
+    "restore_failures_i3",
+    "restore_failures_i4",
+    "max_shard_recovery_us_i0",
+    "max_shard_recovery_us_i1",
+    "max_shard_recovery_us_i2",
+    "max_shard_recovery_us_i3",
+    "max_shard_recovery_us_i4",
     "alerts_i0",
     "alerts_i1",
     "alerts_i2",
@@ -56,6 +66,14 @@ pub struct IntensityRow {
     pub loss_window_us: u64,
     /// Mean sim-time from kill to restore, µs (0 when nothing died).
     pub recovery_latency_us: u64,
+    /// Restore attempts rejected, summed over the per-shard recovery
+    /// attribution (each failure names its shard via
+    /// `ShardRestoreError::shard`).
+    pub restore_failures: u64,
+    /// The worst single shard's total outage sim-time, µs — the
+    /// attribution headline: mean latency hides one shard absorbing
+    /// every kill.
+    pub max_shard_recovery_us: u64,
 }
 
 impl IntensityRow {
@@ -73,6 +91,13 @@ impl IntensityRow {
                 .map(|w| w.to.micros().saturating_sub(w.from.micros()))
                 .sum(),
             recovery_latency_us: s.recovery_latency_us.checked_div(s.restarts).unwrap_or(0),
+            restore_failures: report.recovery.iter().map(|r| r.restore_failures).sum(),
+            max_shard_recovery_us: report
+                .recovery
+                .iter()
+                .map(|r| r.recovery_latency_us)
+                .max()
+                .unwrap_or(0),
         }
     }
 }

@@ -19,9 +19,11 @@
 //! | `online_robustness` | streaming decoder vs capture impairment, with kill/resume (E10) |
 //! | `throughput` | sharded decode throughput + million-session soak (E11) |
 //! | `fleet_recovery` | supervised fleet kill/resume across fault intensities (E12) |
+//! | `elasticity` | live resharding + process-shard backend under chaos (E14) |
 //!
 //! Run any of them with `cargo run --release -p wm-bench --bin <name>`.
 
+pub mod elasticity;
 pub mod fleet;
 pub mod schema;
 pub mod throughput;

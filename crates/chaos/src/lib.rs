@@ -38,7 +38,9 @@ pub mod capture;
 pub mod shard;
 
 pub use capture::{impair_capture, kill_index, CaptureImpairment, ImpairStats, TapPacket};
-pub use shard::{corrupt_blob, tear_blob, ShardFault, ShardFaultKind, ShardFaultPlan};
+pub use shard::{
+    corrupt_blob, tear_blob, PlanOrderError, ShardFault, ShardFaultKind, ShardFaultPlan,
+};
 
 use wm_cipher::kdf::derive_seed;
 use wm_net::rng::SimRng;

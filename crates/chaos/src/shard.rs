@@ -21,6 +21,11 @@
 //!   when a later restore parses the blob.
 //! - **CheckpointTorn** — the shard's next checkpoint write tears:
 //!   only a prefix reaches storage (crash mid-`write(2)`, no fsync).
+//! - **ProcessAbort** — the shard's host *process* is `kill -9`'d.
+//!   Against the in-process fleet backend this degrades to `Kill`;
+//!   against the process-shard backend the supervisor delivers a real
+//!   `SIGKILL` to the child and must respawn it from the last good
+//!   checkpoint blob without itself exiting.
 //!
 //! The corruption helpers ([`corrupt_blob`], [`tear_blob`]) are
 //! deterministic in `(seed, input)` and guarantee the output differs
@@ -42,6 +47,11 @@ pub enum ShardFaultKind {
     CheckpointCorrupt,
     /// The shard's next checkpoint write tears to a prefix.
     CheckpointTorn,
+    /// The shard's host process receives an uncatchable `SIGKILL`.
+    /// Distinguished from [`ShardFaultKind::Kill`] so the supervisor
+    /// can exercise its real child-process respawn path; on an
+    /// in-process shard it behaves exactly like `Kill`.
+    ProcessAbort,
 }
 
 impl ShardFaultKind {
@@ -52,9 +62,46 @@ impl ShardFaultKind {
             ShardFaultKind::Stall { .. } => "chaos.shard_stall",
             ShardFaultKind::CheckpointCorrupt => "chaos.checkpoint_corrupt",
             ShardFaultKind::CheckpointTorn => "chaos.checkpoint_torn",
+            ShardFaultKind::ProcessAbort => "chaos.process_abort",
         }
     }
 }
+
+/// Why an explicit shard-fault event list was rejected at
+/// construction. Mirrors the `IngestLimits` validate-on-construction
+/// idiom: a plan that would silently reorder under the hood is a
+/// latent replay-divergence bug, so [`ShardFaultPlan::validated`]
+/// refuses it instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOrderError {
+    /// Events are not in non-decreasing time order.
+    Unsorted { index: usize },
+    /// Two events are byte-identical; a duplicated fault is always a
+    /// schedule bug (the second kill of an already-dead shard is a
+    /// no-op and the second stall extends nothing deterministically).
+    Duplicate { index: usize },
+}
+
+impl std::fmt::Display for PlanOrderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanOrderError::Unsorted { index } => {
+                write!(
+                    f,
+                    "shard fault plan event {index} is earlier than its predecessor"
+                )
+            }
+            PlanOrderError::Duplicate { index } => {
+                write!(
+                    f,
+                    "shard fault plan event {index} duplicates its predecessor"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanOrderError {}
 
 /// A shard fault scheduled at a simulation time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -102,10 +149,31 @@ impl ShardFaultPlan {
         self
     }
 
-    /// Build a plan from explicit events.
-    pub fn from_events(mut events: Vec<ShardFault>) -> Self {
-        events.sort_by_key(|e| e.at);
-        ShardFaultPlan { events }
+    /// Build a plan from explicit events, validating order on
+    /// construction: events must be in non-decreasing time order with
+    /// no byte-identical duplicates. A silently re-sorted plan would
+    /// fire equal-time faults in a different order than the caller
+    /// wrote them, so the constructor refuses rather than repairs.
+    pub fn from_events(events: Vec<ShardFault>) -> Result<Self, PlanOrderError> {
+        let plan = ShardFaultPlan { events };
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Check the ordering invariant [`ShardFaultPlan::from_events`]
+    /// enforces. Plans built through [`ShardFaultPlan::push`] or
+    /// [`ShardFaultPlan::generate`] are sorted by construction, so
+    /// this only ever fires on hand-assembled event lists.
+    pub fn validate(&self) -> Result<(), PlanOrderError> {
+        for (i, w) in self.events.windows(2).enumerate() {
+            if w[1].at.micros() < w[0].at.micros() {
+                return Err(PlanOrderError::Unsorted { index: i + 1 });
+            }
+            if w[1] == w[0] {
+                return Err(PlanOrderError::Duplicate { index: i + 1 });
+            }
+        }
+        Ok(())
     }
 
     /// Generate a random plan over `[10%, 90%]` of `horizon` against a
@@ -159,6 +227,45 @@ impl ShardFaultPlan {
         );
         emit(&mut rng, 0.8, Box::new(|_| ShardFaultKind::CheckpointTorn));
 
+        plan.events.sort_by_key(|e| e.at);
+        plan
+    }
+
+    /// [`ShardFaultPlan::generate`] plus `ProcessAbort` faults for
+    /// fleets running the process-shard backend. The aborts come from
+    /// their **own** labelled RNG appended after the base plan, so
+    /// `generate` keeps producing byte-identical plans (committed
+    /// Exact-band baselines depend on that) and the same
+    /// `(seed, intensity)` pair yields the base plan as a strict
+    /// subset of this one.
+    pub fn generate_with_aborts(
+        seed: u64,
+        intensity: f64,
+        shards: usize,
+        horizon: Duration,
+    ) -> Self {
+        let mut plan = ShardFaultPlan::generate(seed, intensity, shards, horizon);
+        let intensity = intensity.clamp(0.0, 8.0);
+        if intensity == 0.0 || shards == 0 || horizon.micros() == 0 {
+            return plan;
+        }
+        let mut rng = SimRng::new(derive_seed(seed, "shard chaos abort plan"));
+        let lo = horizon.micros() / 10;
+        let hi = horizon.micros() * 9 / 10;
+        let expected = intensity * 0.8;
+        let mut n = expected.floor() as u32;
+        if rng.unit() < expected.fract() {
+            n += 1;
+        }
+        for _ in 0..n {
+            let at = SimTime(rng.uniform_u64(lo, hi.max(lo)));
+            let shard = rng.uniform_u64(0, shards as u64 - 1) as usize;
+            plan.events.push(ShardFault {
+                at,
+                shard,
+                kind: ShardFaultKind::ProcessAbort,
+            });
+        }
         plan.events.sort_by_key(|e| e.at);
         plan
     }
@@ -250,6 +357,63 @@ mod tests {
                 assert!(e.at.micros() <= h.micros() * 9 / 10);
             }
         }
+    }
+
+    #[test]
+    fn from_events_validates_order_on_construction() {
+        let kill = |at: u64, shard: usize| ShardFault {
+            at: SimTime(at),
+            shard,
+            kind: ShardFaultKind::Kill,
+        };
+        assert!(ShardFaultPlan::from_events(vec![kill(10, 0), kill(10, 1), kill(20, 0)]).is_ok());
+        assert_eq!(
+            ShardFaultPlan::from_events(vec![kill(20, 0), kill(10, 1)]).err(),
+            Some(PlanOrderError::Unsorted { index: 1 })
+        );
+        assert_eq!(
+            ShardFaultPlan::from_events(vec![kill(10, 0), kill(10, 0)]).err(),
+            Some(PlanOrderError::Duplicate { index: 1 })
+        );
+        // Plans assembled through push() are sorted by construction
+        // and must always validate.
+        let mut plan = ShardFaultPlan::none();
+        plan.push(SimTime(30), 1, ShardFaultKind::Kill).push(
+            SimTime(10),
+            0,
+            ShardFaultKind::CheckpointTorn,
+        );
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn abort_generation_extends_without_perturbing_the_base_plan() {
+        let h = Duration::from_secs(200);
+        for seed in 0..10u64 {
+            let base = ShardFaultPlan::generate(seed, 2.0, 4, h);
+            let with = ShardFaultPlan::generate_with_aborts(seed, 2.0, 4, h);
+            assert!(with.validate().is_ok());
+            // Every base event survives verbatim: aborts are appended
+            // from their own labelled RNG, never interleaved into the
+            // base generator's draw sequence.
+            let base_only: Vec<_> = with
+                .events()
+                .iter()
+                .copied()
+                .filter(|e| e.kind != ShardFaultKind::ProcessAbort)
+                .collect();
+            assert_eq!(base_only, base.events());
+            for e in with.events() {
+                assert!(e.shard < 4);
+            }
+        }
+        let aborts: usize = (0..16)
+            .map(|s| {
+                ShardFaultPlan::generate_with_aborts(s, 3.0, 4, h)
+                    .count(|k| *k == ShardFaultKind::ProcessAbort)
+            })
+            .sum();
+        assert!(aborts > 0, "intensity 3.0 must schedule some aborts");
     }
 
     #[test]

@@ -1,0 +1,9 @@
+//! The process-shard worker: hosts one shard's decoders in a child OS
+//! process, speaking the length-prefixed request/reply protocol from
+//! `wm_fleet::process` over stdin/stdout. Spawned by the supervisor's
+//! `ShardBackend::Process` backend; exists so a `kill -9` of a shard
+//! takes down only this process, never the supervisor.
+
+fn main() {
+    std::process::exit(wm_fleet::shard_worker_main());
+}

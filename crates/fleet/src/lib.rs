@@ -33,14 +33,26 @@
 //! regardless of shard count.
 
 pub mod dedup;
+pub mod process;
+pub mod resize;
 pub mod ring;
 pub mod shard;
 pub mod supervisor;
 
 pub use dedup::VerdictDedup;
+pub use process::{
+    decode_frame, encode_frame, shard_worker_main, FrameError, ProcessShard, RemoteError, Reply,
+    Request, MAX_FRAME,
+};
+pub use resize::{MigrationWindow, ResizeSchedule, ResizeScheduleError, ResizeStep};
 pub use ring::{victim_key, HashRing};
-pub use shard::{ShardRestoreError, ShardState, SHARD_CHECKPOINT_VERSION};
-pub use supervisor::{Fleet, FleetReport, FleetStats, LossWindow, ObsReport, ObserverConfig};
+pub use shard::{
+    ShardEnvelope, ShardRestoreError, ShardRestoreErrorKind, ShardState, WorkerFault,
+    SHARD_CHECKPOINT_VERSION,
+};
+pub use supervisor::{
+    Fleet, FleetReport, FleetStats, LossWindow, ObsReport, ObserverConfig, ShardRecovery,
+};
 // Health-plane vocabulary, re-exported so fleet consumers don't need a
 // direct wm-obs dependency to read a `fleet_status` report.
 pub use wm_obs::{FleetStatus, HealthState, HealthTransition, ShardVitals, SloThresholds};
@@ -61,6 +73,10 @@ pub enum FleetConfigError {
     ZeroStallQueue,
     /// `max_victims_per_shard` must be ≥ 1.
     ZeroVictims,
+    /// The process backend was requested but no shard-worker binary
+    /// could be resolved (config path, `WM_SHARD_WORKER`, or a
+    /// `shard_worker` next to the current executable) or spawned.
+    Worker,
     /// The embedded decoder config failed its own validation.
     Ingest(IngestLimitsError),
 }
@@ -81,6 +97,9 @@ impl std::fmt::Display for FleetConfigError {
             FleetConfigError::ZeroVictims => {
                 write!(f, "each shard must admit at least one victim")
             }
+            FleetConfigError::Worker => {
+                write!(f, "process backend: no shard-worker binary available")
+            }
             FleetConfigError::Ingest(e) => write!(f, "decoder config: {e}"),
         }
     }
@@ -92,6 +111,23 @@ impl From<IngestLimitsError> for FleetConfigError {
     fn from(e: IngestLimitsError) -> Self {
         FleetConfigError::Ingest(e)
     }
+}
+
+/// Where each shard's decoders live.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum ShardBackend {
+    /// Shards share the supervisor's address space (the default):
+    /// fastest, fully deterministic, but a decoder panic is fatal to
+    /// the whole fleet.
+    #[default]
+    InProcess,
+    /// Each shard runs in a child OS process behind the
+    /// [`process`] stdin/stdout protocol. A `kill -9`'d shard is
+    /// respawned from its last good checkpoint without the supervisor
+    /// ever exiting. `worker` names the shard-worker binary; `None`
+    /// resolves via `WM_SHARD_WORKER` or a `shard_worker` binary next
+    /// to the current executable.
+    Process { worker: Option<std::path::PathBuf> },
 }
 
 /// Fleet-level configuration. All durations are **sim-time**.
@@ -120,6 +156,9 @@ pub struct FleetConfig {
     /// Worker threads on the persistent restore pool (0 = per-core,
     /// 1 = inline). Never affects output bytes.
     pub restore_workers: usize,
+    /// Where shard decoders live (in-process, or one child OS process
+    /// per shard). Never affects output bytes on fault-free input.
+    pub backend: ShardBackend,
     /// Per-victim decoder configuration.
     pub decode: OnlineConfig,
 }
@@ -141,6 +180,7 @@ impl FleetConfig {
             victim_idle: Duration::from_secs_f64(600.0 / ts),
             max_victims_per_shard: 64,
             restore_workers: 1,
+            backend: ShardBackend::InProcess,
             decode: OnlineConfig::scaled(time_scale),
         }
     }

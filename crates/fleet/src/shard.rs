@@ -29,22 +29,79 @@ use wm_telemetry::Registry;
 /// Shard checkpoint format version. Bump on any schema change.
 pub const SHARD_CHECKPOINT_VERSION: i64 = 1;
 
-/// Why a shard checkpoint failed to restore.
+/// How a process-shard worker failed, as seen from the supervisor.
+/// Folded into [`ShardRestoreErrorKind::Worker`] when the failure
+/// happened on the restore path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ShardRestoreError {
+pub enum WorkerFault {
+    /// The worker binary could not be spawned.
+    Spawn,
+    /// A pipe to the worker broke mid-exchange (the child died).
+    Io,
+    /// The worker sent bytes that do not decode as a protocol frame.
+    Protocol,
+    /// The worker replied with an internal error it could not type.
+    Remote,
+}
+
+impl WorkerFault {
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkerFault::Spawn => "spawn",
+            WorkerFault::Io => "io",
+            WorkerFault::Protocol => "protocol",
+            WorkerFault::Remote => "remote",
+        }
+    }
+
+    /// Stable numeric code for trace instants.
+    pub fn code(self) -> u64 {
+        match self {
+            WorkerFault::Spawn => 0,
+            WorkerFault::Io => 1,
+            WorkerFault::Protocol => 2,
+            WorkerFault::Remote => 3,
+        }
+    }
+}
+
+/// Why a shard checkpoint failed to restore. Always names the shard
+/// slot the failure happened on, so a supervisor retrying during
+/// backoff — and the recovery bench attributing latency — can charge
+/// the failure to the right shard without re-deriving it from call
+/// context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRestoreError {
+    /// The shard slot whose restore failed.
+    pub shard: u32,
+    pub kind: ShardRestoreErrorKind,
+}
+
+/// What went wrong inside a failed shard restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardRestoreErrorKind {
     /// The shard envelope itself is damaged (bad JSON, wrong version,
     /// missing fields). Carries the underlying decoder-checkpoint
     /// error, which names the offending field or byte offset.
     Envelope(CheckpointError),
     /// One embedded victim checkpoint failed to restore.
     Victim(u32, CheckpointError),
+    /// The process-shard worker hosting the restore died or answered
+    /// garbage before the blob's own validity was established.
+    Worker(WorkerFault),
 }
 
 impl std::fmt::Display for ShardRestoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ShardRestoreError::Envelope(e) => write!(f, "shard envelope: {e}"),
-            ShardRestoreError::Victim(v, e) => write!(f, "victim {v} checkpoint: {e}"),
+        let shard = self.shard;
+        match &self.kind {
+            ShardRestoreErrorKind::Envelope(e) => write!(f, "shard {shard} envelope: {e}"),
+            ShardRestoreErrorKind::Victim(v, e) => {
+                write!(f, "shard {shard} victim {v} checkpoint: {e}")
+            }
+            ShardRestoreErrorKind::Worker(w) => {
+                write!(f, "shard {shard} worker fault: {}", w.label())
+            }
         }
     }
 }
@@ -231,56 +288,180 @@ impl ShardState {
     }
 
     /// Restore a shard from a blob written by [`ShardState::checkpoint`].
+    /// `slot` is the supervisor slot the restore runs for; every error
+    /// is attributed to it (see [`ShardRestoreError`]).
     pub fn restore(
+        slot: u32,
         bytes: &[u8],
         classifier: IntervalClassifier,
         graph: Arc<StoryGraph>,
         cfg: OnlineConfig,
     ) -> Result<Self, ShardRestoreError> {
-        let env = |e: CheckpointError| ShardRestoreError::Envelope(e);
-        let root = wm_json::parse(bytes).map_err(|e| {
-            env(CheckpointError::Syntax {
-                offset: e.offset,
-                near: "<shard>",
-            })
-        })?;
-        let version = root
-            .get("version")
-            .and_then(Value::as_i64)
-            .ok_or(env(CheckpointError::Malformed("version")))?;
-        if version != SHARD_CHECKPOINT_VERSION {
-            return Err(env(CheckpointError::Version(version)));
-        }
-        let shard = root
-            .get("shard")
-            .and_then(Value::as_i64)
-            .and_then(|s| u32::try_from(s).ok())
-            .ok_or(env(CheckpointError::Malformed("shard")))?;
-        let victims = root
-            .get("victims")
-            .and_then(Value::as_array)
-            .ok_or(env(CheckpointError::Malformed("victims")))?;
-        let mut state = ShardState::new(shard, classifier, graph, cfg);
-        for entry in victims {
-            let parts = entry
-                .as_array()
-                .ok_or(env(CheckpointError::Malformed("victims")))?;
-            let (id, seen, value) = match parts {
-                [id, seen, value] => (id, seen, value),
-                _ => return Err(env(CheckpointError::Malformed("victims"))),
-            };
-            let id = id
-                .as_i64()
-                .and_then(|v| u32::try_from(v).ok())
-                .ok_or(env(CheckpointError::Malformed("victims")))?;
-            let seen = seen.as_i64().and_then(|v| u64::try_from(v).ok()).ok_or(
-                ShardRestoreError::Victim(id, CheckpointError::Malformed("victims")),
-            )?;
-            let dec = OnlineDecoder::resume_from_value(value, state.graph.clone())
-                .map_err(|e| ShardRestoreError::Victim(id, e))?;
-            state.decoders.insert(id, dec);
-            state.last_seen.insert(id, SimTime(seen));
+        let envelope = parse_envelope(slot, bytes)?;
+        let mut state = ShardState::new(envelope.shard, classifier, graph, cfg);
+        for (id, seen, value) in &envelope.victims {
+            let dec =
+                OnlineDecoder::resume_from_value(value, state.graph.clone()).map_err(|e| {
+                    ShardRestoreError {
+                        shard: slot,
+                        kind: ShardRestoreErrorKind::Victim(*id, e),
+                    }
+                })?;
+            state.decoders.insert(*id, dec);
+            state.last_seen.insert(*id, *seen);
         }
         Ok(state)
+    }
+
+    // -- live resharding ----------------------------------------------
+
+    /// Pull the listed victims out of this shard as migration units:
+    /// each entry is `(victim, last_seen, checkpoint document)`, the
+    /// exact per-victim sub-blob a shard checkpoint embeds, taken
+    /// *live* (no rollback — the decoder's full state moves, so a
+    /// fault-free drain is lossless). Victims without a live decoder
+    /// are skipped: they hold no state to move and will simply start
+    /// cold on their new owner at their next packet.
+    pub fn drain_victims(&mut self, victims: &[u32]) -> Vec<(u32, SimTime, Value)> {
+        let mut out = Vec::with_capacity(victims.len());
+        for &victim in victims {
+            let Some(mut dec) = self.decoders.remove(&victim) else {
+                continue;
+            };
+            let seen = self.last_seen.remove(&victim).unwrap_or(SimTime::ZERO);
+            // Buffered event counts belong to the shard the events
+            // happened on: publish them here before the decoder's
+            // registry attachment is dropped with it.
+            dec.flush_telemetry();
+            out.push((victim, seen, dec.checkpoint_value()));
+        }
+        out
+    }
+
+    /// Install a migrated victim from its checkpoint document (the
+    /// inverse of [`ShardState::drain_victims`]). The decoder inherits
+    /// this shard's telemetry registry.
+    pub fn adopt_victim(
+        &mut self,
+        victim: u32,
+        seen: SimTime,
+        value: &Value,
+    ) -> Result<(), CheckpointError> {
+        let dec = OnlineDecoder::resume_from_value(value, self.graph.clone())?;
+        self.adopt_decoder(victim, seen, dec);
+        Ok(())
+    }
+
+    /// Install an already-rehydrated decoder (the pool-parallel resume
+    /// path: the supervisor rehydrates off-thread, then adopts in
+    /// deterministic order).
+    pub fn adopt_decoder(&mut self, victim: u32, seen: SimTime, mut dec: OnlineDecoder) {
+        if let Some(reg) = &self.registry {
+            dec.attach_telemetry(reg);
+        }
+        self.decoders.insert(victim, dec);
+        self.last_seen.insert(victim, seen);
+    }
+}
+
+/// A parsed shard checkpoint: the envelope fields plus every victim's
+/// sub-document, still unresolved into decoders. The unit the resize
+/// protocol splits when it migrates victims out of a *dead* shard's
+/// stored blob.
+#[derive(Debug, Clone)]
+pub struct ShardEnvelope {
+    pub shard: u32,
+    pub taken: SimTime,
+    /// `(victim, last_seen, checkpoint document)` in victim-id order.
+    pub victims: Vec<(u32, SimTime, Value)>,
+}
+
+/// Parse a shard checkpoint blob into its envelope, attributing any
+/// damage to supervisor slot `slot`.
+pub fn parse_envelope(slot: u32, bytes: &[u8]) -> Result<ShardEnvelope, ShardRestoreError> {
+    let env = |e: CheckpointError| ShardRestoreError {
+        shard: slot,
+        kind: ShardRestoreErrorKind::Envelope(e),
+    };
+    let root = wm_json::parse(bytes).map_err(|e| {
+        env(CheckpointError::Syntax {
+            offset: e.offset,
+            near: "<shard>",
+        })
+    })?;
+    let version = root
+        .get("version")
+        .and_then(Value::as_i64)
+        .ok_or(env(CheckpointError::Malformed("version")))?;
+    if version != SHARD_CHECKPOINT_VERSION {
+        return Err(env(CheckpointError::Version(version)));
+    }
+    let shard = root
+        .get("shard")
+        .and_then(Value::as_i64)
+        .and_then(|s| u32::try_from(s).ok())
+        .ok_or(env(CheckpointError::Malformed("shard")))?;
+    let taken = root
+        .get("taken_us")
+        .and_then(Value::as_i64)
+        .and_then(|t| u64::try_from(t).ok())
+        .ok_or(env(CheckpointError::Malformed("taken_us")))?;
+    let entries = root
+        .get("victims")
+        .and_then(Value::as_array)
+        .ok_or(env(CheckpointError::Malformed("victims")))?;
+    let mut victims = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let parts = entry
+            .as_array()
+            .ok_or(env(CheckpointError::Malformed("victims")))?;
+        let (id, seen, value) = match parts {
+            [id, seen, value] => (id, seen, value),
+            _ => return Err(env(CheckpointError::Malformed("victims"))),
+        };
+        let id = id
+            .as_i64()
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or(env(CheckpointError::Malformed("victims")))?;
+        let seen = seen
+            .as_i64()
+            .and_then(|v| u64::try_from(v).ok())
+            .ok_or(ShardRestoreError {
+                shard: slot,
+                kind: ShardRestoreErrorKind::Victim(id, CheckpointError::Malformed("victims")),
+            })?;
+        victims.push((id, SimTime(seen), value.clone()));
+    }
+    Ok(ShardEnvelope {
+        shard,
+        taken: SimTime(taken),
+        victims,
+    })
+}
+
+impl ShardEnvelope {
+    /// Re-serialize this envelope into canonical checkpoint bytes —
+    /// byte-identical to [`ShardState::checkpoint`] over the same
+    /// content, so a blob split by a resize stays restorable by the
+    /// unchanged restore path.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let victims: Vec<Value> = self
+            .victims
+            .iter()
+            .map(|(id, seen, value)| {
+                Value::array(vec![
+                    Value::from(*id as i64),
+                    Value::from(seen.micros() as i64),
+                    value.clone(),
+                ])
+            })
+            .collect();
+        let root = Value::object(vec![
+            ("version".into(), Value::from(SHARD_CHECKPOINT_VERSION)),
+            ("shard".into(), Value::from(self.shard as i64)),
+            ("taken_us".into(), Value::from(self.taken.micros() as i64)),
+            ("victims".into(), Value::array(victims)),
+        ]);
+        wm_json::to_bytes(&root)
     }
 }

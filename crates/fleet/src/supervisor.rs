@@ -2,50 +2,73 @@
 //! that routes victim packets onto shards, checkpoints each shard on a
 //! sim-time cadence, injects/absorbs shard faults from a
 //! [`ShardFaultPlan`], restarts dead shards from their last good
-//! checkpoint with capped exponential backoff, and merges every
-//! shard's verdicts through the [`VerdictDedup`] stage into one
-//! stream.
+//! checkpoint with capped exponential backoff, applies live
+//! [`ResizeSchedule`] steps (draining and migrating victims across a
+//! recomputed consistent-hash ring), and merges every shard's verdicts
+//! through the [`VerdictDedup`] stage into one stream.
 //!
 //! # Determinism
 //!
-//! The loop is driven purely by the packet stream's sim-times and the
-//! fault plan — no wall clocks, no OS threads in the decision path.
-//! The only parallelism is the restore path: when several shards come
-//! due for restart at the same instant their checkpoint blobs are
-//! rehydrated on the long-lived [`wm_pool::Pool`], whose results are
-//! merged back in shard order, so the outcome is byte-identical to a
-//! serial restore. Same seed + same plan + same packets ⇒ identical
-//! merged verdict stream and identical loss-window report, for any
-//! worker count.
+//! The loop is driven purely by the packet stream's sim-times, the
+//! fault plan, and the resize schedule — no wall clocks, no OS threads
+//! in the decision path. The only parallelism is rehydration: when
+//! several shards come due for restart (or several victims migrate) at
+//! the same instant their checkpoint documents are rehydrated on the
+//! long-lived [`wm_pool::Pool`], whose results are merged back in
+//! deterministic order, so the outcome is byte-identical to a serial
+//! restore. Same seed + same plan + same packets ⇒ identical merged
+//! verdict stream and identical loss-window report, for any worker
+//! count — and, on fault-free input, for any resize schedule.
+//!
+//! # Backends
+//!
+//! Shards run in-process by default ([`ShardBackend::InProcess`]).
+//! With [`ShardBackend::Process`] each shard lives in a child OS
+//! process behind the [`crate::process`] protocol: a crashed child
+//! (real `kill -9`, or the chaos plan's `ProcessAbort`) surfaces as a
+//! [`WorkerFault`] on the next exchange and is absorbed exactly like a
+//! kill fault — loss window opened at the last checkpoint, respawn
+//! with backoff, supervisor never exits.
 //!
 //! # Loss accounting
 //!
 //! Every packet the fleet fails to deliver to a live decoder is
 //! charged to an explicit per-victim loss window: opened at the kill
 //! (or at the first packet dropped on a dead/stall-saturated shard)
-//! and closed when the shard is restored. The acceptance contract is
-//! *zero duplicated, bounded lost*: the dedup stage guarantees the
-//! first half unconditionally; the loss report bounds the second so
-//! tests can check that every divergence from a fault-free run lies
-//! inside a reported window.
+//! and closed when the shard is restored. Resize migrations get the
+//! same arithmetic: a live drain moves full decoder state (zero-width
+//! window), while migrating out of a dead shard's stored blob rolls
+//! the victim back to that checkpoint and reports the identical
+//! kill-style window. The acceptance contract is *zero duplicated,
+//! bounded lost*: the dedup stage guarantees the first half
+//! unconditionally; the loss report bounds the second so tests can
+//! check that every divergence from a fault-free run lies inside a
+//! reported window.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use wm_capture::time::{Duration, SimTime};
 use wm_chaos::{corrupt_blob, tear_blob, ShardFault, ShardFaultKind, ShardFaultPlan};
 use wm_core::IntervalClassifier;
+use wm_json::Value;
 use wm_obs::{FleetStatus, SeriesPoint, SeriesRing, ShardVitals, SloThresholds, Watchdog};
-use wm_online::OnlineVerdict;
+use wm_online::{CheckpointError, OnlineDecoder, OnlineVerdict};
 use wm_pool::Pool;
 use wm_story::StoryGraph;
 use wm_telemetry::{Counter, DeltaTracker, Registry, Snapshot};
 use wm_trace::{SpanId, TraceHandle};
 
 use crate::dedup::VerdictDedup;
+use crate::process::{resolve_worker, ProcessShard};
+use crate::resize::{MigrationWindow, ResizeSchedule, ResizeStep};
 use crate::ring::{victim_key, HashRing};
-use crate::shard::{ShardRestoreError, ShardState};
-use crate::{FleetConfig, FleetConfigError};
+use crate::shard::{
+    parse_envelope, ShardEnvelope, ShardRestoreError, ShardRestoreErrorKind, ShardState,
+    WorkerFault,
+};
+use crate::{FleetConfig, FleetConfigError, ShardBackend};
 
 /// One victim-scoped interval during which the fleet may have lost
 /// verdicts: from the instant the shard stopped consuming packets to
@@ -67,7 +90,7 @@ pub struct FleetStats {
     pub verdicts: u64,
     /// Verdicts dropped by the dedup stage.
     pub dedup_dropped: u64,
-    /// Shard kill faults absorbed.
+    /// Shard kill faults absorbed (including crashed process shards).
     pub kills: u64,
     /// Shard stall faults absorbed.
     pub stalls: u64,
@@ -88,6 +111,32 @@ pub struct FleetStats {
     pub recovery_latency_us: u64,
     /// Peak resident decoder state observed on any one shard, bytes.
     pub shard_state_peak: u64,
+    /// Resize steps applied.
+    pub resizes: u64,
+    /// Victims migrated across shards by resize steps.
+    pub victims_migrated: u64,
+    /// Migrations whose state document was rejected on delivery — the
+    /// victim restarted cold on its new owner.
+    pub migrate_failures: u64,
+    /// Process-shard children spawned to replace a dead shard
+    /// (process backend only).
+    pub process_respawns: u64,
+}
+
+/// Per-shard recovery attribution, for `fleet_status` consumers and
+/// the recovery bench: which shard restarted, how often its stored
+/// blobs were rejected, and how much sim-time its outages cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRecovery {
+    pub shard: u32,
+    pub restarts: u64,
+    /// Restore attempts rejected (blob damage or worker fault), each
+    /// attributed to this shard by [`ShardRestoreError::shard`].
+    pub restore_failures: u64,
+    /// Child processes spawned for this shard after a crash.
+    pub respawns: u64,
+    /// Sim-time between each kill and the matching restore, summed.
+    pub recovery_latency_us: u64,
 }
 
 /// The merged output of a fleet run.
@@ -96,10 +145,16 @@ pub struct FleetReport {
     /// Deduplicated verdicts in canonical order: `(victim,
     /// verdict.index, time)`. Canonical ordering — rather than raw
     /// emission order — is what makes the stream comparable across
-    /// shard counts and restart schedules.
+    /// shard counts, restart schedules, and resize schedules.
     pub verdicts: Vec<(u32, OnlineVerdict)>,
     /// Every interval in which verdicts may have been lost.
     pub loss_windows: Vec<LossWindow>,
+    /// Every victim migration performed by resize steps, with its
+    /// at-risk window (zero-width for lossless live drains).
+    pub migrations: Vec<MigrationWindow>,
+    /// Per-shard recovery attribution: shards retired by shrink steps
+    /// first (in retirement order), then the final fleet by slot.
+    pub recovery: Vec<ShardRecovery>,
     pub stats: FleetStats,
     /// Observability-plane output, when an observer was attached.
     pub obs: Option<ObsReport>,
@@ -139,7 +194,8 @@ pub struct ObsReport {
     pub series_jsonl: String,
     /// Time-series points shed by the bounded ring.
     pub series_dropped: u64,
-    /// Cumulative fleet-wide metrics (all per-shard registries merged).
+    /// Cumulative fleet-wide metrics (all per-shard registries merged,
+    /// including shards retired by shrink steps).
     pub snapshot: Snapshot,
 }
 
@@ -148,6 +204,10 @@ pub struct ObsReport {
 struct Observer {
     registries: Vec<Arc<Registry>>,
     trackers: Vec<DeltaTracker>,
+    /// Registries of shards retired by shrink steps: still
+    /// delta-tracked every tick and merged into the final snapshot, so
+    /// cumulative metrics never go backwards across a resize.
+    retired: Vec<(Arc<Registry>, DeltaTracker)>,
     series: SeriesRing,
     watchdog: Watchdog,
     next_tick: SimTime,
@@ -186,10 +246,125 @@ impl Counters {
     }
 }
 
+/// Where one slot's decoders actually live: in this address space, or
+/// behind a child process speaking the [`crate::process`] protocol.
+/// Every in-process operation is infallible; every process operation
+/// can surface a [`WorkerFault`], which the supervisor absorbs as a
+/// crash.
+enum ShardRunner {
+    InProcess(ShardState),
+    Process(ProcessShard),
+}
+
+impl ShardRunner {
+    fn set_registry(&mut self, registry: Arc<Registry>) {
+        // Process workers keep decoder metrics child-side; the
+        // observer still sees supervisor-level vitals for them.
+        if let ShardRunner::InProcess(state) = self {
+            state.set_registry(registry);
+        }
+    }
+
+    fn flush_telemetry(&mut self) {
+        if let ShardRunner::InProcess(state) = self {
+            state.flush_telemetry();
+        }
+    }
+
+    /// Live victims (for a process shard: as of the last reply, which
+    /// survives the child's death — exactly what loss accounting
+    /// needs).
+    fn live_victims(&self) -> Vec<u32> {
+        match self {
+            ShardRunner::InProcess(s) => s.live_victims().collect(),
+            ShardRunner::Process(p) => p.live_victims().collect(),
+        }
+    }
+
+    fn state_bytes(&self) -> usize {
+        match self {
+            ShardRunner::InProcess(s) => s.state_bytes(),
+            ShardRunner::Process(p) => p.state_bytes(),
+        }
+    }
+
+    fn feed(
+        &mut self,
+        victim: u32,
+        time: SimTime,
+        frame: &[u8],
+        max_victims: usize,
+        out: &mut Vec<(u32, OnlineVerdict)>,
+    ) -> Result<(), WorkerFault> {
+        match self {
+            ShardRunner::InProcess(s) => {
+                s.feed(victim, time, frame, max_victims, out);
+                Ok(())
+            }
+            ShardRunner::Process(p) => {
+                out.extend(p.feed(victim, time, frame, max_victims)?);
+                Ok(())
+            }
+        }
+    }
+
+    fn evict_idle(
+        &mut self,
+        now: SimTime,
+        idle: Duration,
+        out: &mut Vec<(u32, OnlineVerdict)>,
+    ) -> Result<u64, WorkerFault> {
+        match self {
+            ShardRunner::InProcess(s) => Ok(s.evict_idle(now, idle, out).len() as u64),
+            ShardRunner::Process(p) => {
+                let before = p.live_victim_count();
+                out.extend(p.evict_idle(now, idle)?);
+                Ok(before.saturating_sub(p.live_victim_count()) as u64)
+            }
+        }
+    }
+
+    fn finish_all(&mut self, out: &mut Vec<(u32, OnlineVerdict)>) -> Result<u64, WorkerFault> {
+        match self {
+            ShardRunner::InProcess(s) => Ok(s.finish_all(out).len() as u64),
+            ShardRunner::Process(p) => {
+                let before = p.live_victim_count();
+                out.extend(p.finish_all()?);
+                Ok(before.saturating_sub(p.live_victim_count()) as u64)
+            }
+        }
+    }
+
+    fn checkpoint(&mut self, taken: SimTime) -> Result<Vec<u8>, WorkerFault> {
+        match self {
+            ShardRunner::InProcess(s) => Ok(s.checkpoint(taken)),
+            ShardRunner::Process(p) => p.checkpoint(taken),
+        }
+    }
+
+    fn drain_victims(
+        &mut self,
+        victims: &[u32],
+    ) -> Result<Vec<(u32, SimTime, Value)>, WorkerFault> {
+        match self {
+            ShardRunner::InProcess(s) => Ok(s.drain_victims(victims)),
+            ShardRunner::Process(p) => p.drain_victims(victims),
+        }
+    }
+
+    /// Hard-kill a process child (no-op in-process): the supervisor
+    /// side of a `ProcessAbort` fault.
+    fn kill_process(&mut self) {
+        if let ShardRunner::Process(p) = self {
+            p.kill();
+        }
+    }
+}
+
 /// Supervisor-side bookkeeping for one shard.
 struct ShardSlot {
-    /// Live state; `None` while the shard is dead awaiting restart.
-    state: Option<ShardState>,
+    /// Live runner; `None` while the shard is dead awaiting restart.
+    state: Option<ShardRunner>,
     /// Last checkpoint written (possibly damaged by a fault).
     latest: Option<Vec<u8>>,
     /// The checkpoint before that — the fallback when `latest` is
@@ -219,6 +394,13 @@ struct ShardSlot {
     span: SpanId,
     /// Restores completed on this shard (vitals for the watchdog).
     restarts: u64,
+    /// Restore attempts rejected, attributed here by
+    /// [`ShardRestoreError::shard`].
+    restore_failures: u64,
+    /// Child processes spawned for this shard after a crash.
+    respawns: u64,
+    /// Sim-time this shard spent dead before each restore, summed.
+    recovery_latency_us: u64,
 }
 
 impl ShardSlot {
@@ -238,14 +420,38 @@ impl ShardSlot {
             open_loss: BTreeMap::new(),
             span: SpanId::NONE,
             restarts: 0,
+            restore_failures: 0,
+            respawns: 0,
+            recovery_latency_us: 0,
+        }
+    }
+
+    fn recovery(&self, shard: u32) -> ShardRecovery {
+        ShardRecovery {
+            shard,
+            restarts: self.restarts,
+            restore_failures: self.restore_failures,
+            respawns: self.respawns,
+            recovery_latency_us: self.recovery_latency_us,
         }
     }
 }
 
+/// One victim in flight between shards during a resize step.
+struct Migration {
+    victim: u32,
+    from_shard: u32,
+    seen: SimTime,
+    value: Value,
+    /// At-risk window (from == to for a lossless live drain).
+    from: SimTime,
+    to: SimTime,
+}
+
 /// The supervised fleet. Construct with [`Fleet::new`], optionally
-/// attach telemetry/tracing and a fault plan, feed packets with
-/// [`Fleet::push`], then collect the merged [`FleetReport`] with
-/// [`Fleet::finish`].
+/// attach telemetry/tracing, a fault plan, and a resize schedule, feed
+/// packets with [`Fleet::push`], then collect the merged
+/// [`FleetReport`] with [`Fleet::finish`].
 pub struct Fleet {
     cfg: FleetConfig,
     classifier: IntervalClassifier,
@@ -257,6 +463,10 @@ pub struct Fleet {
     losses: Vec<LossWindow>,
     plan: Vec<ShardFault>,
     cursor: usize,
+    resize_steps: Vec<ResizeStep>,
+    resize_cursor: usize,
+    migrations: Vec<MigrationWindow>,
+    retired_recovery: Vec<ShardRecovery>,
     damage_seq: u64,
     now: SimTime,
     stats: FleetStats,
@@ -265,6 +475,8 @@ pub struct Fleet {
     observer: Option<Observer>,
     pool: Pool,
     scratch: Vec<(u32, OnlineVerdict)>,
+    /// Resolved shard-worker binary (process backend only).
+    worker: Option<PathBuf>,
 }
 
 impl Fleet {
@@ -274,20 +486,31 @@ impl Fleet {
         graph: Arc<StoryGraph>,
     ) -> Result<Self, FleetConfigError> {
         cfg.validate()?;
+        let worker = match &cfg.backend {
+            ShardBackend::InProcess => None,
+            ShardBackend::Process { worker } => {
+                Some(resolve_worker(worker.as_deref()).ok_or(FleetConfigError::Worker)?)
+            }
+        };
         let ring = HashRing::new(cfg.ring_seed, cfg.shards, cfg.vnodes_per_shard);
         let first = SimTime(cfg.checkpoint_every.micros());
-        let slots = (0..cfg.shards)
-            .map(|k| {
-                let mut slot = ShardSlot::new(first);
-                slot.state = Some(ShardState::new(
+        let mut slots = Vec::with_capacity(cfg.shards);
+        for k in 0..cfg.shards {
+            let mut slot = ShardSlot::new(first);
+            slot.state = Some(match &worker {
+                None => ShardRunner::InProcess(ShardState::new(
                     k as u32,
                     classifier.clone(),
                     graph.clone(),
                     cfg.decode.clone(),
-                ));
-                slot
-            })
-            .collect();
+                )),
+                Some(path) => ShardRunner::Process(
+                    ProcessShard::spawn(path, k as u32, &classifier, &graph, &cfg.decode)
+                        .map_err(|_| FleetConfigError::Worker)?,
+                ),
+            });
+            slots.push(slot);
+        }
         let pool = Pool::new(cfg.restore_workers);
         Ok(Fleet {
             cfg,
@@ -300,6 +523,10 @@ impl Fleet {
             losses: Vec::new(),
             plan: Vec::new(),
             cursor: 0,
+            resize_steps: Vec::new(),
+            resize_cursor: 0,
+            migrations: Vec::new(),
+            retired_recovery: Vec::new(),
             damage_seq: 0,
             now: SimTime::ZERO,
             stats: FleetStats::default(),
@@ -308,6 +535,7 @@ impl Fleet {
             observer: None,
             pool,
             scratch: Vec::new(),
+            worker,
         })
     }
 
@@ -315,6 +543,13 @@ impl Fleet {
     pub fn inject(&mut self, plan: &ShardFaultPlan) {
         self.plan = plan.events().to_vec();
         self.cursor = 0;
+    }
+
+    /// Arm a resize schedule. Must be called before the first packet.
+    /// Steps dated after the end of the stream never fire.
+    pub fn schedule_resize(&mut self, schedule: &ResizeSchedule) {
+        self.resize_steps = schedule.steps().to_vec();
+        self.resize_cursor = 0;
     }
 
     pub fn attach_telemetry(&mut self, registry: &Registry) {
@@ -348,6 +583,7 @@ impl Fleet {
         self.observer = Some(Observer {
             registries,
             trackers: (0..shards).map(|_| DeltaTracker::new()).collect(),
+            retired: Vec::new(),
             series: SeriesRing::new(cfg.series_capacity),
             watchdog: Watchdog::new(shards, cfg.slo, cfg.transition_capacity),
             next_tick: SimTime(every.micros().max(1)),
@@ -363,13 +599,19 @@ impl Fleet {
     }
 
     /// Cumulative fleet-wide metrics: every per-shard observer
-    /// registry merged. `None` until an observer is attached. Decoders
-    /// publish their counts at observation ticks, so values are exact
-    /// as of the last tick (the finalized [`ObsReport`] snapshot is
-    /// exact as of end of stream).
+    /// registry merged (including shards retired by shrink steps).
+    /// `None` until an observer is attached. Decoders publish their
+    /// counts at observation ticks, so values are exact as of the last
+    /// tick (the finalized [`ObsReport`] snapshot is exact as of end
+    /// of stream).
     pub fn observer_snapshot(&self) -> Option<Snapshot> {
         self.observer.as_ref().map(|o| {
-            let parts: Vec<Snapshot> = o.registries.iter().map(|r| r.snapshot()).collect();
+            let parts: Vec<Snapshot> = o
+                .registries
+                .iter()
+                .chain(o.retired.iter().map(|(r, _)| r))
+                .map(|r| r.snapshot())
+                .collect();
             Snapshot::merged(parts.iter())
         })
     }
@@ -378,12 +620,50 @@ impl Fleet {
         self.stats
     }
 
-    /// Total resident decoder state across live shards, bytes.
+    /// Current shard count (changes as resize steps fire).
+    pub fn shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Every victim migration performed so far by resize steps.
+    pub fn migrations(&self) -> &[MigrationWindow] {
+        &self.migrations
+    }
+
+    /// Per-shard recovery attribution: shards retired by shrink steps
+    /// first (in retirement order), then the current fleet by slot.
+    pub fn shard_recovery(&self) -> Vec<ShardRecovery> {
+        let mut out = self.retired_recovery.clone();
+        out.extend(
+            self.slots
+                .iter()
+                .enumerate()
+                .map(|(k, slot)| slot.recovery(k as u32)),
+        );
+        out
+    }
+
+    /// OS pids of live process-backed shard children, indexed by shard
+    /// (empty for the in-process backend) — lets chaos tests and
+    /// operators aim a real `kill -9` at one shard.
+    pub fn worker_pids(&self) -> Vec<(u32, u32)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(k, s)| match s.state.as_ref() {
+                Some(ShardRunner::Process(p)) => Some((k as u32, p.pid())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total resident decoder state across live shards, bytes. For
+    /// process shards this is the child's figure as of its last reply.
     pub fn state_bytes(&self) -> usize {
         self.slots
             .iter()
             .filter_map(|s| s.state.as_ref())
-            .map(ShardState::state_bytes)
+            .map(ShardRunner::state_bytes)
             .sum()
     }
 
@@ -410,6 +690,7 @@ impl Fleet {
         self.apply_due_faults();
         self.apply_due_restarts();
         self.drain_elapsed_stalls();
+        self.apply_due_resizes();
         let shard = self.shard_for(victim);
         self.route(shard, time, victim, frame);
         self.checkpoint_tick();
@@ -435,13 +716,29 @@ impl Fleet {
                 self.feed_shard(k, t, v, &frame);
             }
             let mut out = Vec::new();
-            let evicted = match self.slots[k].state.as_mut() {
-                Some(state) => state.finish_all(&mut out).len(),
-                None => 0,
+            let finished = match self.slots[k].state.as_mut() {
+                Some(state) => state.finish_all(&mut out),
+                None => Ok(0),
             };
-            self.stats.victims_evicted += evicted as u64;
+            let evicted = match finished {
+                Ok(n) => n,
+                Err(fault) => {
+                    // The child died at the finish line: absorb the
+                    // crash, respawn from the last good blob, and give
+                    // the sealed tail one more chance to decode.
+                    self.emit(&out);
+                    out.clear();
+                    self.absorb_worker_fault(k, fault);
+                    self.restore_shards(&[k]);
+                    match self.slots[k].state.as_mut() {
+                        Some(state) => state.finish_all(&mut out).unwrap_or(0),
+                        None => 0,
+                    }
+                }
+            };
+            self.stats.victims_evicted += evicted;
             if let Some(c) = &self.counters {
-                c.victims_evicted.add(evicted as u64);
+                c.victims_evicted.add(evicted);
             }
             self.emit(&out);
             let end = self.now;
@@ -457,9 +754,14 @@ impl Fleet {
         verdicts.sort_by_key(|(victim, v)| (*victim, v.index, v.choice.time.micros()));
         let mut loss_windows = std::mem::take(&mut self.losses);
         loss_windows.sort_by_key(|w| (w.from.micros(), w.shard, w.victim));
+        let mut migrations = std::mem::take(&mut self.migrations);
+        migrations.sort_by_key(|m| (m.at.micros(), m.victim, m.from_shard));
+        let recovery = self.shard_recovery();
         FleetReport {
             verdicts,
             loss_windows,
+            migrations,
+            recovery,
             stats: self.stats,
             obs,
         }
@@ -499,12 +801,20 @@ impl Fleet {
     fn feed_shard(&mut self, shard: usize, time: SimTime, victim: u32, frame: &[u8]) {
         let max_victims = self.cfg.max_victims_per_shard;
         let mut out = std::mem::take(&mut self.scratch);
-        if let Some(state) = self.slots[shard].state.as_mut() {
-            state.feed(victim, time, frame, max_victims, &mut out);
-        }
+        let result = match self.slots[shard].state.as_mut() {
+            Some(state) => state.feed(victim, time, frame, max_victims, &mut out),
+            None => Ok(()),
+        };
         self.emit(&out);
         out.clear();
         self.scratch = out;
+        if let Err(fault) = result {
+            // The shard's process died under this packet: absorb the
+            // crash and charge the packet to a loss window.
+            self.absorb_worker_fault(shard, fault);
+            self.slots[shard].open_loss.entry(victim).or_insert(time);
+            self.lose_packet();
+        }
     }
 
     fn emit(&mut self, out: &[(u32, OnlineVerdict)]) {
@@ -551,6 +861,7 @@ impl Fleet {
             let shard = (fault.shard).min(self.slots.len().saturating_sub(1));
             match fault.kind {
                 ShardFaultKind::Kill => self.kill_shard(shard, fault.at),
+                ShardFaultKind::ProcessAbort => self.abort_shard(shard, fault.at),
                 ShardFaultKind::Stall { stall } => self.stall_shard(shard, fault.at, stall),
                 ShardFaultKind::CheckpointCorrupt | ShardFaultKind::CheckpointTorn => {
                     self.slots[shard].damage = Some(fault.kind);
@@ -574,7 +885,7 @@ impl Fleet {
         for victim in state.live_victims() {
             slot.open_loss.entry(victim).or_insert(window_from);
         }
-        drop(state);
+        drop(state); // a process runner's child is SIGKILLed here
         slot.killed_at = at;
         let exp = slot.backoff_exp.min(20);
         let delay = cfg_base.saturating_mul(1u64 << exp).min(cfg_cap);
@@ -597,6 +908,33 @@ impl Fleet {
             );
             self.slots[shard].span = span;
         }
+    }
+
+    /// A `ProcessAbort` fault: `kill -9` the shard's child process (a
+    /// real SIGKILL when the shard is process-backed; in-process
+    /// fleets degrade it to a plain kill) and absorb the crash.
+    fn abort_shard(&mut self, shard: usize, at: SimTime) {
+        if let Some(state) = self.slots[shard].state.as_mut() {
+            state.kill_process();
+        } else {
+            return; // already dead: the fault is a no-op
+        }
+        self.trace_instant(
+            at,
+            ShardFaultKind::ProcessAbort.trace_name(),
+            shard as u64,
+            0,
+        );
+        self.kill_shard(shard, at);
+    }
+
+    /// A live exchange with a shard's worker failed — the child died
+    /// (`kill -9`, OOM) or answered garbage. Absorb it exactly like a
+    /// kill fault: the supervisor never exits, the restart path
+    /// respawns from the last good checkpoint.
+    fn absorb_worker_fault(&mut self, shard: usize, fault: WorkerFault) {
+        self.trace_instant(self.now, "fleet.worker_fault", shard as u64, fault.code());
+        self.kill_shard(shard, self.now);
     }
 
     fn stall_shard(&mut self, shard: usize, at: SimTime, stall: Duration) {
@@ -657,38 +995,95 @@ impl Fleet {
         self.restore_shards(&due);
     }
 
+    /// A fresh, empty runner for slot `k` (cold start / grown shard).
+    fn cold_runner(&self, k: usize) -> Result<ShardRunner, WorkerFault> {
+        match &self.worker {
+            None => Ok(ShardRunner::InProcess(ShardState::new(
+                k as u32,
+                self.classifier.clone(),
+                self.graph.clone(),
+                self.cfg.decode.clone(),
+            ))),
+            Some(path) => Ok(ShardRunner::Process(ProcessShard::spawn(
+                path,
+                k as u32,
+                &self.classifier,
+                &self.graph,
+                &self.cfg.decode,
+            )?)),
+        }
+    }
+
+    /// Restore slot `k` from a checkpoint blob on the configured
+    /// backend (in-process resume, or spawn-a-child-and-Restore).
+    fn restore_runner(&self, k: usize, blob: &[u8]) -> Result<ShardRunner, ShardRestoreError> {
+        match &self.worker {
+            None => ShardState::restore(
+                k as u32,
+                blob,
+                self.classifier.clone(),
+                self.graph.clone(),
+                self.cfg.decode.clone(),
+            )
+            .map(ShardRunner::InProcess),
+            Some(path) => {
+                let worker_err = |w: WorkerFault| ShardRestoreError {
+                    shard: k as u32,
+                    kind: ShardRestoreErrorKind::Worker(w),
+                };
+                let mut p = ProcessShard::spawn(
+                    path,
+                    k as u32,
+                    &self.classifier,
+                    &self.graph,
+                    &self.cfg.decode,
+                )
+                .map_err(worker_err)?;
+                p.restore(k as u32, blob)?;
+                Ok(ShardRunner::Process(p))
+            }
+        }
+    }
+
     /// Restore the given dead shards from their stored checkpoints.
-    /// Two or more simultaneous restores rehydrate in parallel on the
-    /// persistent pool; results merge back in shard order, so the
-    /// outcome is identical to a serial restore.
+    /// Two or more simultaneous in-process restores rehydrate in
+    /// parallel on the persistent pool; results merge back in shard
+    /// order, so the outcome is identical to a serial restore. Process
+    /// restores are one IPC exchange each — the heavy rehydration
+    /// happens inside the children, which are their own OS-level
+    /// parallelism.
     fn restore_shards(&mut self, due: &[usize]) {
         if due.is_empty() {
             return;
         }
-        let mut primary: Vec<Option<Result<ShardState, ShardRestoreError>>> =
+        let mut primary: Vec<Option<Result<ShardRunner, ShardRestoreError>>> =
             Vec::with_capacity(due.len());
-        if due.len() >= 2 {
-            let jobs: Vec<Option<Vec<u8>>> =
-                due.iter().map(|&k| self.slots[k].latest.clone()).collect();
+        if self.worker.is_none() && due.len() >= 2 {
+            let jobs: Vec<(u32, Option<Vec<u8>>)> = due
+                .iter()
+                .map(|&k| (k as u32, self.slots[k].latest.clone()))
+                .collect();
             let classifier = self.classifier.clone();
             let graph = self.graph.clone();
             let decode = self.cfg.decode.clone();
             let jobs = Arc::new(jobs);
             primary = self.pool.run(due.len(), move |i| {
-                jobs[i].as_ref().map(|blob| {
-                    ShardState::restore(blob, classifier.clone(), graph.clone(), decode.clone())
+                let (slot, blob) = &jobs[i];
+                blob.as_ref().map(|blob| {
+                    ShardState::restore(
+                        *slot,
+                        blob,
+                        classifier.clone(),
+                        graph.clone(),
+                        decode.clone(),
+                    )
+                    .map(ShardRunner::InProcess)
                 })
             });
         } else {
             for &k in due {
-                primary.push(self.slots[k].latest.as_ref().map(|blob| {
-                    ShardState::restore(
-                        blob,
-                        self.classifier.clone(),
-                        self.graph.clone(),
-                        self.cfg.decode.clone(),
-                    )
-                }));
+                let blob = self.slots[k].latest.clone();
+                primary.push(blob.map(|blob| self.restore_runner(k, &blob)));
             }
         }
         for (slot_idx, outcome) in due.iter().zip(primary) {
@@ -696,28 +1091,37 @@ impl Fleet {
         }
     }
 
-    fn finish_restore(&mut self, k: usize, primary: Option<Result<ShardState, ShardRestoreError>>) {
+    fn finish_restore(
+        &mut self,
+        k: usize,
+        primary: Option<Result<ShardRunner, ShardRestoreError>>,
+    ) {
         let now = self.now;
         let mut cold = false;
         let state = match primary {
             Some(Ok(state)) => Some(state),
-            Some(Err(_)) => {
-                // Latest blob is damaged: count it, fall back to the
-                // previous good checkpoint, else start cold.
+            Some(Err(e)) => {
+                // Latest blob is damaged (the error names this slot:
+                // e.shard == k): count it against the shard, fall back
+                // to the previous good checkpoint, else start cold.
+                debug_assert_eq!(e.shard, k as u32);
                 self.stats.checkpoints_rejected += 1;
+                self.slots[k].restore_failures += 1;
                 if let Some(c) = &self.counters {
                     c.checkpoints_rejected.inc();
                 }
                 let prev = self.slots[k].prev.clone();
-                match prev.and_then(|blob| {
-                    ShardState::restore(
-                        &blob,
-                        self.classifier.clone(),
-                        self.graph.clone(),
-                        self.cfg.decode.clone(),
-                    )
-                    .ok()
-                }) {
+                let fallback = match prev {
+                    Some(blob) => match self.restore_runner(k, &blob) {
+                        Ok(state) => Some(state),
+                        Err(_) => {
+                            self.slots[k].restore_failures += 1;
+                            None
+                        }
+                    },
+                    None => None,
+                };
+                match fallback {
                     Some(state) => Some(state),
                     None => {
                         cold = true;
@@ -730,29 +1134,47 @@ impl Fleet {
                 None
             }
         };
-        let state = state.unwrap_or_else(|| {
-            ShardState::new(
-                k as u32,
-                self.classifier.clone(),
-                self.graph.clone(),
-                self.cfg.decode.clone(),
-            )
-        });
-        let mut state = state;
+        let mut state = match state {
+            Some(state) => state,
+            None => match self.cold_runner(k) {
+                Ok(state) => state,
+                Err(_) => {
+                    // Even the replacement worker failed to spawn:
+                    // leave the slot dead and retry on the next
+                    // backoff step. The restart span stays open.
+                    let base = self.cfg.backoff_base.micros().max(1);
+                    let cap = self.cfg.backoff_cap.micros().max(base);
+                    let slot = &mut self.slots[k];
+                    slot.restore_failures += 1;
+                    let exp = slot.backoff_exp.min(20);
+                    let delay = base.saturating_mul(1u64 << exp).min(cap);
+                    slot.backoff_exp = slot.backoff_exp.saturating_add(1);
+                    slot.restart_at = Some(SimTime(now.micros() + delay));
+                    return;
+                }
+            },
+        };
         if let Some(obs) = &self.observer {
             // Restored decoders come back without telemetry; point
             // them at this shard's observer registry again.
             state.set_registry(obs.registries[k].clone());
         }
+        let respawned = matches!(state, ShardRunner::Process(_));
         let slot = &mut self.slots[k];
         slot.state = Some(state);
         slot.restart_at = None;
         slot.restarts += 1;
+        if respawned {
+            slot.respawns += 1;
+            self.stats.process_respawns += 1;
+        }
         slot.next_checkpoint = SimTime(now.micros() + self.cfg.checkpoint_every.micros());
         self.stats.restarts += 1;
-        self.stats.recovery_latency_us += now
+        let latency = now
             .micros()
             .saturating_sub(self.slots[k].killed_at.micros());
+        self.stats.recovery_latency_us += latency;
+        self.slots[k].recovery_latency_us += latency;
         if cold {
             self.stats.cold_starts += 1;
         }
@@ -786,6 +1208,358 @@ impl Fleet {
         }
     }
 
+    // -- live resharding ----------------------------------------------
+
+    fn apply_due_resizes(&mut self) {
+        while self.resize_cursor < self.resize_steps.len()
+            && self.resize_steps[self.resize_cursor].at.micros() <= self.now.micros()
+        {
+            let step = self.resize_steps[self.resize_cursor];
+            self.resize_cursor += 1;
+            self.resize_to(step.at, step.shards);
+        }
+    }
+
+    /// One resize step: grow fresh slots, drain/split every migrating
+    /// victim off its old owner, swap the ring, retire shrunk slots,
+    /// then rehydrate the migrants on their new owners. See
+    /// [`crate::resize`] for the protocol contract.
+    fn resize_to(&mut self, at: SimTime, new_count: usize) {
+        let old_count = self.slots.len();
+        self.stats.resizes += 1;
+        self.trace_instant(
+            at,
+            "obs.fleet.resize.step",
+            new_count as u64,
+            old_count as u64,
+        );
+        if new_count == old_count {
+            return;
+        }
+        // Grow first, so migrations can land on live runners. A failed
+        // worker spawn leaves the new slot dead with a scheduled
+        // restart, like any other crash.
+        for k in old_count..new_count {
+            let mut slot =
+                ShardSlot::new(SimTime(at.micros() + self.cfg.checkpoint_every.micros()));
+            match self.cold_runner(k) {
+                Ok(runner) => slot.state = Some(runner),
+                Err(_) => {
+                    slot.restore_failures += 1;
+                    slot.killed_at = at;
+                    slot.backoff_exp = 1;
+                    slot.restart_at =
+                        Some(SimTime(at.micros() + self.cfg.backoff_base.micros().max(1)));
+                }
+            }
+            self.slots.push(slot);
+            if let Some(obs) = self.observer.as_mut() {
+                let reg = Arc::new(Registry::new());
+                obs.registries.push(reg.clone());
+                obs.trackers.push(DeltaTracker::new());
+                if let Some(state) = self.slots[k].state.as_mut() {
+                    state.set_registry(reg);
+                }
+            }
+        }
+        // Collect every migration: victims whose new-ring owner is not
+        // their current shard (all victims of a removed shard, by
+        // construction — the ring no longer has its arcs).
+        let new_ring = HashRing::new(self.cfg.ring_seed, new_count, self.cfg.vnodes_per_shard);
+        let mut moves: Vec<Migration> = Vec::new();
+        let mut requeue: Vec<(SimTime, u32, Vec<u8>)> = Vec::new();
+        {
+            let seed = self.cfg.ring_seed;
+            let owns = |victim: u32| new_ring.shard_of(victim_key(seed, victim));
+            for k in 0..old_count {
+                let removed = k >= new_count;
+                // Live source: lossless drain of full decoder state.
+                let candidates: Vec<u32> = match self.slots[k].state.as_ref() {
+                    Some(runner) => runner
+                        .live_victims()
+                        .into_iter()
+                        .filter(|&v| removed || owns(v) != k)
+                        .collect(),
+                    None => Vec::new(),
+                };
+                if !candidates.is_empty() {
+                    let drained = {
+                        let runner = self.slots[k].state.as_mut().expect("live checked above");
+                        // Buffered event counts belong to the shard
+                        // the events happened on.
+                        runner.flush_telemetry();
+                        runner.drain_victims(&candidates)
+                    };
+                    match drained {
+                        Ok(entries) => {
+                            for (victim, seen, value) in entries {
+                                // Any stall-overflow loss this victim
+                                // accrued here ends with the move.
+                                if let Some(from) = self.slots[k].open_loss.remove(&victim) {
+                                    self.close_loss(k, victim, from, at);
+                                }
+                                moves.push(Migration {
+                                    victim,
+                                    from_shard: k as u32,
+                                    seen,
+                                    value,
+                                    from: at,
+                                    to: at,
+                                });
+                            }
+                        }
+                        Err(fault) => self.absorb_worker_fault(k, fault),
+                    }
+                }
+                // Dead source (possibly absorbed just above): split
+                // the stored blob; migrants roll back to it, exactly a
+                // kill's loss semantics.
+                if self.slots[k].state.is_none() {
+                    self.split_dead_source(k, removed, at, &owns, &mut moves);
+                }
+                // Packets queued for migrating victims chase them to
+                // the new owner once the ring swaps.
+                let slot = &mut self.slots[k];
+                if removed {
+                    requeue.append(&mut slot.stall_queue);
+                } else {
+                    let mut kept = Vec::new();
+                    for pkt in slot.stall_queue.drain(..) {
+                        if owns(pkt.1) != k {
+                            requeue.push(pkt);
+                        } else {
+                            kept.push(pkt);
+                        }
+                    }
+                    slot.stall_queue = kept;
+                }
+            }
+        }
+        self.ring = new_ring;
+        // Shrink: retire the removed slots, preserving their recovery
+        // attribution and observer registries.
+        if new_count < old_count {
+            for k in new_count..old_count {
+                self.retired_recovery.push(self.slots[k].recovery(k as u32));
+                let span = self.slots[k].span;
+                if span != SpanId::NONE {
+                    if let Some((handle, _)) = &self.trace {
+                        handle.span_end_at(at.micros(), span, "fleet.restart");
+                    }
+                }
+            }
+            // Dropping a process-backed slot SIGKILLs its child.
+            self.slots.truncate(new_count);
+            if let Some(obs) = self.observer.as_mut() {
+                let regs = obs.registries.split_off(new_count);
+                let trackers = obs.trackers.split_off(new_count);
+                obs.retired.extend(regs.into_iter().zip(trackers));
+            }
+        }
+        if let Some(obs) = self.observer.as_mut() {
+            obs.watchdog.resize(new_count);
+        }
+        // Rehydrate every migrant on its new owner, in deterministic
+        // (victim, source) order.
+        moves.sort_by_key(|m| (m.victim, m.from_shard));
+        self.deliver_migrations(at, moves);
+        for (t, v, frame) in requeue {
+            let shard = self.shard_for(v);
+            self.route(shard, t, v, &frame);
+        }
+    }
+
+    /// Migrate victims out of a *dead* shard: split its last parseable
+    /// checkpoint blob (the same one its restart would use), lift the
+    /// migrants' sub-documents out as moves, and re-seal the remainder
+    /// so the shard's own restart cannot resurrect a victim it no
+    /// longer owns.
+    fn split_dead_source(
+        &mut self,
+        k: usize,
+        removed: bool,
+        at: SimTime,
+        owns: &dyn Fn(u32) -> usize,
+        moves: &mut Vec<Migration>,
+    ) {
+        let mut to_close: Vec<(u32, SimTime, SimTime)> = Vec::new();
+        {
+            let slot = &mut self.slots[k];
+            let killed_at = slot.killed_at;
+            let last_ckpt = slot.last_checkpoint_at;
+            let parsed_latest = slot
+                .latest
+                .as_ref()
+                .and_then(|b| parse_envelope(k as u32, b).ok());
+            let parsed_prev = slot
+                .prev
+                .as_ref()
+                .and_then(|b| parse_envelope(k as u32, b).ok());
+            let mut migrated: Vec<u32> = Vec::new();
+            {
+                // Moves come from the blob the restore path would
+                // pick: latest if parseable, else prev.
+                let source = parsed_latest.as_ref().or(parsed_prev.as_ref());
+                if let Some(env) = source {
+                    for (victim, seen, value) in &env.victims {
+                        if !(removed || owns(*victim) != k) {
+                            continue;
+                        }
+                        migrated.push(*victim);
+                        let from = slot.open_loss.remove(victim).unwrap_or(last_ckpt);
+                        let replay = killed_at.micros().saturating_sub(from.micros());
+                        moves.push(Migration {
+                            victim: *victim,
+                            from_shard: k as u32,
+                            seen: *seen,
+                            value: value.clone(),
+                            from,
+                            to: SimTime(at.micros() + replay),
+                        });
+                    }
+                }
+            }
+            // Scrub the migrants out of BOTH stored blobs: after the
+            // ring swap this shard no longer owns them, and restoring
+            // them here would make two shards emit for one victim.
+            if !migrated.is_empty() {
+                if let Some(mut env) = parsed_latest {
+                    env.victims.retain(|(v, _, _)| !migrated.contains(v));
+                    slot.latest = Some(env.to_bytes());
+                }
+                if let Some(mut env) = parsed_prev {
+                    env.victims.retain(|(v, _, _)| !migrated.contains(v));
+                    slot.prev = Some(env.to_bytes());
+                }
+            }
+            // A removed dead shard takes any unparseable remainder
+            // with it: close the leftover windows with the kill-style
+            // replay bound, because that state is now gone for good.
+            if removed {
+                let opened: Vec<(u32, SimTime)> =
+                    std::mem::take(&mut slot.open_loss).into_iter().collect();
+                for (victim, from) in opened {
+                    let replay = killed_at.micros().saturating_sub(from.micros());
+                    to_close.push((victim, from, SimTime(at.micros() + replay)));
+                }
+            }
+        }
+        for (victim, from, to) in to_close {
+            self.close_loss(k, victim, from, to);
+        }
+    }
+
+    /// Deliver collected migrations to their new owners. In-process
+    /// targets rehydrate on the pool when there are several; results
+    /// merge back in the sorted move order, so the outcome is
+    /// byte-identical to a serial resume.
+    fn deliver_migrations(&mut self, at: SimTime, moves: Vec<Migration>) {
+        if moves.is_empty() {
+            return;
+        }
+        let mut prebuilt: Vec<Option<Result<OnlineDecoder, CheckpointError>>> =
+            (0..moves.len()).map(|_| None).collect();
+        if self.worker.is_none() && moves.len() >= 2 {
+            let graph = self.graph.clone();
+            let values: Vec<Value> = moves.iter().map(|m| m.value.clone()).collect();
+            let values = Arc::new(values);
+            prebuilt = self.pool.run(moves.len(), move |i| {
+                Some(OnlineDecoder::resume_from_value(&values[i], graph.clone()))
+            });
+        }
+        for (m, pre) in moves.into_iter().zip(prebuilt) {
+            let target = self.shard_for(m.victim);
+            let adopted = self.deliver_one(target, &m, pre);
+            self.stats.victims_migrated += 1;
+            if !adopted {
+                self.stats.migrate_failures += 1;
+            }
+            self.trace_instant(
+                at,
+                "obs.fleet.resize.migrate",
+                m.victim as u64,
+                target as u64,
+            );
+            self.migrations.push(MigrationWindow {
+                victim: m.victim,
+                from_shard: m.from_shard,
+                to_shard: target as u32,
+                at,
+                from: m.from,
+                to: m.to,
+            });
+            if m.from != m.to {
+                // Rollback loss is loss no matter which subsystem
+                // caused it: mirror the lossy window into the loss
+                // report under the source shard.
+                self.close_loss(m.from_shard as usize, m.victim, m.from, m.to);
+            }
+        }
+    }
+
+    /// Install one migrant on shard `target`. Returns false when the
+    /// state document could not be carried over (the victim restarts
+    /// cold on its next packet).
+    fn deliver_one(
+        &mut self,
+        target: usize,
+        m: &Migration,
+        prebuilt: Option<Result<OnlineDecoder, CheckpointError>>,
+    ) -> bool {
+        if self.slots[target].state.is_some() {
+            let result: Result<bool, WorkerFault> =
+                match self.slots[target].state.as_mut().expect("checked live") {
+                    ShardRunner::InProcess(state) => Ok(match prebuilt {
+                        Some(Ok(dec)) => {
+                            state.adopt_decoder(m.victim, m.seen, dec);
+                            true
+                        }
+                        Some(Err(_)) => false,
+                        None => state.adopt_victim(m.victim, m.seen, &m.value).is_ok(),
+                    }),
+                    ShardRunner::Process(p) => p.adopt(m.victim, m.seen, &m.value),
+                };
+            match result {
+                Ok(adopted) => return adopted,
+                // The target's child died under the adopt: absorb the
+                // crash and fall through to the dead-target path so
+                // the migrant's state still survives in a blob.
+                Err(fault) => self.absorb_worker_fault(target, fault),
+            }
+        }
+        // Dead target: splice the migrant's document into the blob(s)
+        // its restart will restore from, so the migrated state
+        // survives the outage instead of being dropped on the floor.
+        let slot = &mut self.slots[target];
+        let mut placed = false;
+        match &mut slot.latest {
+            Some(bytes) => {
+                if let Ok(mut env) = parse_envelope(target as u32, bytes) {
+                    splice_victim(&mut env, m);
+                    *bytes = env.to_bytes();
+                    placed = true;
+                }
+            }
+            None => {
+                let env = ShardEnvelope {
+                    shard: target as u32,
+                    taken: slot.last_checkpoint_at,
+                    victims: vec![(m.victim, m.seen, m.value.clone())],
+                };
+                slot.latest = Some(env.to_bytes());
+                placed = true;
+            }
+        }
+        if let Some(bytes) = &mut slot.prev {
+            if let Ok(mut env) = parse_envelope(target as u32, bytes) {
+                splice_victim(&mut env, m);
+                *bytes = env.to_bytes();
+                placed = true;
+            }
+        }
+        placed
+    }
+
     // -- checkpoint cadence -------------------------------------------
 
     fn checkpoint_tick(&mut self) {
@@ -800,19 +1574,34 @@ impl Fleet {
             let idle = self.cfg.victim_idle;
             let now = self.now;
             let mut out = Vec::new();
-            let evicted = self.slots[k]
-                .state
-                .as_mut()
-                .map(|s| s.evict_idle(now, idle, &mut out).len())
-                .unwrap_or(0);
-            self.stats.victims_evicted += evicted as u64;
-            if let Some(c) = &self.counters {
-                c.victims_evicted.add(evicted as u64);
-            }
+            let evicted = {
+                let runner = self.slots[k].state.as_mut().expect("checked live above");
+                runner.evict_idle(now, idle, &mut out)
+            };
             self.emit(&out);
-            let (blob, state_bytes) = {
-                let state = self.slots[k].state.as_mut().expect("checked live above");
-                (state.checkpoint(now), state.state_bytes())
+            let evicted = match evicted {
+                Ok(n) => n,
+                Err(fault) => {
+                    self.absorb_worker_fault(k, fault);
+                    continue;
+                }
+            };
+            self.stats.victims_evicted += evicted;
+            if let Some(c) = &self.counters {
+                c.victims_evicted.add(evicted);
+            }
+            let ckpt = {
+                let runner = self.slots[k].state.as_mut().expect("checked live above");
+                runner
+                    .checkpoint(now)
+                    .map(|blob| (blob, runner.state_bytes()))
+            };
+            let (blob, state_bytes) = match ckpt {
+                Ok(pair) => pair,
+                Err(fault) => {
+                    self.absorb_worker_fault(k, fault);
+                    continue;
+                }
             };
             self.stats.shard_state_peak = self.stats.shard_state_peak.max(state_bytes as u64);
             let blob = match self.slots[k].damage.take() {
@@ -884,6 +1673,9 @@ impl Fleet {
         for (reg, tracker) in obs.registries.iter().zip(obs.trackers.iter_mut()) {
             delta.merge(&tracker.take(reg));
         }
+        for entry in obs.retired.iter_mut() {
+            delta.merge(&entry.1.take(&entry.0));
+        }
         obs.series.push(SeriesPoint {
             t_us: at.micros(),
             delta,
@@ -913,6 +1705,8 @@ impl Fleet {
                     .unwrap_or(0),
                 state_bound,
                 queued_packets: slot.stall_queue.len() as u64,
+                restore_failures: slot.restore_failures,
+                respawns: slot.respawns,
             })
             .collect()
     }
@@ -925,7 +1719,12 @@ impl Fleet {
         self.observer_tick();
         let mut obs = self.observer.take()?;
         self.observe_point(&mut obs, self.now);
-        let parts: Vec<Snapshot> = obs.registries.iter().map(|r| r.snapshot()).collect();
+        let parts: Vec<Snapshot> = obs
+            .registries
+            .iter()
+            .chain(obs.retired.iter().map(|(r, _)| r))
+            .map(|r| r.snapshot())
+            .collect();
         Some(ObsReport {
             status: obs.watchdog.status(),
             series_jsonl: obs.series.to_jsonl(),
@@ -944,4 +1743,12 @@ impl Fleet {
             handle.instant_at(at.micros(), *parent, name, a, b);
         }
     }
+}
+
+/// Insert (or replace) one victim's sub-document in an envelope,
+/// keeping victim-id order so the re-sealed bytes stay canonical.
+fn splice_victim(env: &mut ShardEnvelope, m: &Migration) {
+    env.victims.retain(|(v, _, _)| *v != m.victim);
+    env.victims.push((m.victim, m.seen, m.value.clone()));
+    env.victims.sort_by_key(|(v, _, _)| *v);
 }

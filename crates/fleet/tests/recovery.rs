@@ -271,7 +271,8 @@ fn torn_checkpoint_falls_back_to_previous_good_blob() {
             shard: 0,
             kind: ShardFaultKind::Kill,
         },
-    ]);
+    ])
+    .expect("plan events are time-ordered");
     let report = run_fleet(cfg.clone(), &stream, Some(&plan));
     assert_eq!(report.stats.kills, 1);
     assert_eq!(report.stats.restarts, 1);

@@ -63,6 +63,7 @@ pub const PANIC_MACRO: &str = "panic/macro";
 pub const PANIC_INDEX: &str = "panic/index";
 pub const LAYERING: &str = "layering/dependency";
 pub const LAYERING_EXTERNAL: &str = "layering/external-dependency";
+pub const PROCESS_SPAWN: &str = "layering/process-spawn";
 pub const BOUNDED_BUFFER: &str = "bounded/unbounded-buffer";
 pub const MISSING_REASON: &str = "suppression/missing-reason";
 
@@ -78,6 +79,7 @@ pub const ALL_RULES: &[&str] = &[
     PANIC_INDEX,
     LAYERING,
     LAYERING_EXTERNAL,
+    PROCESS_SPAWN,
     BOUNDED_BUFFER,
     MISSING_REASON,
     crate::rules_v2::HOTPATH_ALLOC,
@@ -157,6 +159,21 @@ pub fn attacker_dep_allowed(name: &str, dep: &str) -> bool {
             .any(|(c, extra)| *c == name && extra.contains(&dep))
 }
 
+/// Crates allowed to spawn OS processes: the fleet supervisor hosts
+/// shards in child worker processes by design (the `ProcessShard`
+/// backend), and that capability must stay inside the attacker-side
+/// supervisor. Any other crate reaching for `std::process::Command`
+/// is either a victim crate growing an escape hatch or an attacker
+/// crate bypassing the supervisor's respawn/checkpoint accounting —
+/// both are layering bugs. (`std::process::exit` is fine everywhere;
+/// the rule matches the `Command` type, not the module.)
+const PROCESS_SPAWN_EXEMPT: &[&str] = &["wm-fleet"];
+
+/// Does the process-spawn rule apply to this crate?
+pub fn process_spawn_applies(crate_name: &str) -> bool {
+    !PROCESS_SPAWN_EXEMPT.contains(&crate_name)
+}
+
 /// Crates allowed to read wall clocks: the benchmark harness times real
 /// executions by definition. Everything else must justify a clock with
 /// a suppression (telemetry's span timers do exactly that).
@@ -231,6 +248,9 @@ pub fn check_source(crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding>
         hash_collections_rule(&tokens, rel_path, &mut findings);
     }
     unseeded_rng_rule(&tokens, rel_path, &mut findings);
+    if process_spawn_applies(crate_name) {
+        process_spawn_rule(&tokens, rel_path, &mut findings);
+    }
     if panic_rules_apply(rel_path) {
         panic_unwrap_rule(&tokens, rel_path, &mut findings);
         panic_macro_rule(&tokens, rel_path, &mut findings);
@@ -350,6 +370,47 @@ fn wall_clock_rule(tokens: &[Token], file: &str, out: &mut Vec<Finding>) {
                     "`{name}::now()` reads the wall clock; byte-producing code must use \
                      simulated time (`wm_net::time`) so traces are reproducible"
                 ),
+            });
+        }
+    }
+}
+
+fn process_spawn_rule(tokens: &[Token], file: &str, out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if ident(t) != Some("Command") {
+            continue;
+        }
+        // Path position (`Command::new(..)`) or imported/named through
+        // the process module (`std::process::Command`, `use
+        // std::process::{Command, ..}`). A bare `Command` elsewhere is
+        // left alone so a crate-local type of that name can exist.
+        let in_path = is_punct(tokens.get(i + 1), ':') && is_punct(tokens.get(i + 2), ':');
+        // Walk back over a `{A, B, …}` import group so every name in
+        // `std::process::{…}` is anchored to the module path.
+        let mut j = i;
+        while j >= 1
+            && (is_punct(tokens.get(j - 1), ',') || tokens.get(j - 1).and_then(ident).is_some())
+        {
+            j -= 1;
+        }
+        let group_start = if j >= 1 && is_punct(tokens.get(j - 1), '{') {
+            j - 1
+        } else {
+            i
+        };
+        let via_process = group_start >= 3
+            && is_punct(tokens.get(group_start - 1), ':')
+            && is_punct(tokens.get(group_start - 2), ':')
+            && tokens.get(group_start - 3).and_then(ident) == Some("process");
+        if in_path || via_process {
+            out.push(Finding {
+                rule: PROCESS_SPAWN,
+                file: file.to_string(),
+                line: t.line,
+                message: "`std::process::Command` spawns OS processes; the process-shard \
+                          runner must stay inside the fleet supervisor (`wm-fleet`), which \
+                          owns respawn and checkpoint accounting for child workers"
+                    .to_string(),
             });
         }
     }
@@ -770,6 +831,48 @@ mod tests {
         let src = r#"// Instant::now() is forbidden here
             let s = "Instant::now()";"#;
         assert!(check_source("wm-sim", NON_PARSE_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn process_spawn_fires_outside_the_fleet() {
+        let f = check_source(
+            "wm-online",
+            "crates/online/src/engine.rs",
+            "let c = std::process::Command::new(\"worker\").spawn();",
+        );
+        assert_eq!(rules_of(&f), [PROCESS_SPAWN]);
+        let f = check_source(
+            "wm-netflix",
+            NON_PARSE_PATH,
+            "use std::process::{Command, Stdio};",
+        );
+        assert_eq!(rules_of(&f), [PROCESS_SPAWN]);
+    }
+
+    #[test]
+    fn process_spawn_exempts_the_fleet_supervisor() {
+        let f = check_source(
+            "wm-fleet",
+            "crates/fleet/src/process.rs",
+            "let c = Command::new(worker).spawn();",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn process_exit_and_local_command_types_are_fine() {
+        // `std::process::exit` is the ordinary way for a binary to set
+        // its exit code; only the `Command` type is the spawn surface.
+        let f = check_source("wm-bench", NON_PARSE_PATH, "std::process::exit(1);");
+        assert!(f.is_empty(), "{f:?}");
+        // A crate-local `Command` used as a bare name (no path, not via
+        // the process module) stays legal.
+        let f = check_source(
+            "wm-player",
+            NON_PARSE_PATH,
+            "enum Command { Play, Pause } fn f(c: Command) {}",
+        );
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

@@ -96,7 +96,10 @@ fn seeded_violations_all_fire() {
         "crates/core/Cargo.toml",
         "[package]\nname = \"wm-core\"\n\n[dependencies]\nwm-player = { path = \"../player\" }\n",
     );
-    mk("crates/core/src/lib.rs", "pub fn attack() {}\n");
+    mk(
+        "crates/core/src/lib.rs",
+        "pub fn attack() { let _ = std::process::Command::new(\"sh\").spawn(); }\n",
+    );
 
     let result = wm_lint::scan_workspace(&dir).expect("scan fixture");
     let fired: Vec<&str> = result.findings.iter().map(|f| f.rule).collect();
@@ -109,6 +112,7 @@ fn seeded_violations_all_fire() {
         rules::PANIC_MACRO,
         rules::MISSING_REASON,
         rules::LAYERING,
+        rules::PROCESS_SPAWN,
     ] {
         assert!(
             fired.contains(&rule),

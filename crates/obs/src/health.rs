@@ -109,6 +109,15 @@ pub struct ShardVitals {
     pub state_bound: u64,
     /// Packets parked in the stall queue.
     pub queued_packets: u64,
+    /// Checkpoint blobs this shard rejected at restore (corrupt or
+    /// torn), cumulative. Surfaced for attribution; not scored — a
+    /// rejected restore always rolls further back, which the open
+    /// loss windows already mark as degraded.
+    pub restore_failures: u64,
+    /// Child-process respawns, cumulative (process-shard backend
+    /// only; always 0 for in-process shards, where a restart is a
+    /// restore in the same address space).
+    pub respawns: u64,
 }
 
 impl ShardVitals {
@@ -268,6 +277,17 @@ impl Watchdog {
         fired
     }
 
+    /// Retarget the watchdog at a resized fleet. New shards start
+    /// `Healthy` with a fresh hysteresis streak; removed shards drop
+    /// off the scoreboard (their retained transitions stay in the
+    /// alert stream — history is not rewritten by a scale-down).
+    /// The next [`Watchdog::observe`] must carry exactly `shards`
+    /// vitals rows.
+    pub fn resize(&mut self, shards: usize) {
+        self.states.resize(shards, HealthState::Healthy);
+        self.clean_streak.resize(shards, 0);
+    }
+
     pub fn states(&self) -> &[HealthState] {
         &self.states
     }
@@ -374,6 +394,30 @@ mod tests {
         let mut v = base;
         v.backoff_exp = slo.storm_backoff_exp;
         assert_eq!(v.raw_health(&slo), HealthState::Degraded);
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks_the_scoreboard() {
+        let mut dog = Watchdog::new(2, SloThresholds::default(), 64);
+        let mut sick = healthy(1);
+        sick.alive = false;
+        dog.observe(1, &[healthy(0), sick]);
+        assert_eq!(dog.states()[1], HealthState::Critical);
+
+        // Grow: the new shard starts healthy; existing state is kept.
+        dog.resize(3);
+        let fired = dog.observe(2, &[healthy(0), sick, healthy(2)]);
+        assert!(fired.is_empty(), "resize itself fires no transitions");
+        assert_eq!(dog.states().len(), 3);
+        assert_eq!(dog.states()[1], HealthState::Critical);
+
+        // Shrink below the sick shard: it leaves the scoreboard but
+        // its past transitions stay in the alert stream.
+        dog.resize(1);
+        assert_eq!(dog.states(), &[HealthState::Healthy]);
+        assert_eq!(dog.transitions().len(), 1);
+        dog.observe(3, &[healthy(0)]);
+        assert_eq!(dog.status().states.len(), 1);
     }
 
     #[test]

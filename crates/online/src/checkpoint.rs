@@ -25,14 +25,17 @@
 use std::sync::Arc;
 
 use crate::bounded::{BoundedVec, ByteCarry, ParkedSegments};
-use crate::engine::{OnlineConfig, OnlineDecoder, OnlineStats, PendingEvent, Phase, ReadyEvent};
+use crate::engine::{
+    OnlineConfig, OnlineDecoder, OnlineStats, OnlineVerdict, PendingEvent, Phase, ReadyEvent,
+};
 use crate::ingest::{FlowIngest, IngestLimits, IngestStats};
 use wm_capture::headers::FlowId;
 use wm_capture::time::{Duration, SimTime};
 use wm_capture::RecordClass;
-use wm_core::IntervalClassifier;
+use wm_core::provenance::{ChoiceProvenance, ConfidenceTier, ProvenanceRecord, RecordRole};
+use wm_core::{DecodedChoice, IntervalClassifier};
 use wm_json::Value;
-use wm_story::{ChoicePointId, SegmentEnd, SegmentId, StoryGraph};
+use wm_story::{Choice, ChoicePointId, SegmentEnd, SegmentId, StoryGraph};
 
 /// Checkpoint format version. Bump on any schema change.
 pub const CHECKPOINT_VERSION: i64 = 1;
@@ -155,7 +158,11 @@ fn to_hex(bytes: &[u8]) -> String {
     s
 }
 
-fn config_value(cfg: &OnlineConfig) -> Value {
+/// Serialize an [`OnlineConfig`] as the canonical checkpoint `config`
+/// document. Public so a multi-process fleet can ship the decoder
+/// configuration to a shard worker over the same codec the checkpoint
+/// format uses (one schema, one decoder, one set of truncation tests).
+pub fn config_value(cfg: &OnlineConfig) -> Value {
     obj(vec![
         ("time_scale", int(cfg.time_scale as u64)),
         ("reorder_lag_us", int(cfg.reorder_lag.micros())),
@@ -854,6 +861,113 @@ pub(crate) fn decode_value(
     Ok(decoder)
 }
 
+/// Parse the document written by [`config_value`] back into an
+/// [`OnlineConfig`].
+pub fn config_from_value(v: &Value) -> Result<OnlineConfig, CheckpointError> {
+    config_of(v)
+}
+
+// ---------------------------------------------------------------------
+// cross-process verdict codec
+
+/// Serialize an [`OnlineVerdict`] as a canonical `wm-json` document,
+/// for shipping verdicts from a process-shard worker back to the
+/// supervisor. The confidence is the only float in the whole decode
+/// pipeline; it crosses the boundary as its IEEE-754 bit pattern
+/// (`f64::to_bits`, stored in the dialect's i64) so the round trip is
+/// exact — the state dialect stays float-free.
+pub fn verdict_value(v: &OnlineVerdict) -> Value {
+    let records: Vec<Value> = v
+        .provenance
+        .records
+        .iter()
+        .map(|r| {
+            Value::array(vec![
+                int(r.index as u64),
+                time(r.time),
+                int(r.length as u64),
+                int(match r.role {
+                    RecordRole::Anchor => 0,
+                    RecordRole::Type1Report => 1,
+                    RecordRole::Type2Report => 2,
+                }),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("index", int(v.index)),
+        ("cp", int(v.choice.cp.0 as u64)),
+        ("choice", int(v.choice.choice.index() as u64)),
+        ("t_us", time(v.choice.time)),
+        ("observed", Value::from(v.choice.observed)),
+        (
+            "conf_bits",
+            Value::from(v.choice.confidence.to_bits() as i64),
+        ),
+        (
+            "tier",
+            int(match v.provenance.tier {
+                ConfidenceTier::Observed => 0,
+                ConfidenceTier::Inferred => 1,
+                ConfidenceTier::Blind => 2,
+            }),
+        ),
+        ("near_gap", Value::from(v.provenance.near_gap)),
+        ("records", Value::array(records)),
+    ])
+}
+
+/// Parse the document written by [`verdict_value`] back into an
+/// [`OnlineVerdict`].
+pub fn verdict_from_value(v: &Value) -> Result<OnlineVerdict, CheckpointError> {
+    let mut records = Vec::new();
+    for r in get_array(v, "records")? {
+        let items = r.as_array().ok_or(CheckpointError::Malformed("records"))?;
+        records.push(ProvenanceRecord {
+            index: usize::try_from(item_u64(items, 0, "records")?)
+                .map_err(|_| CheckpointError::Malformed("records"))?,
+            time: SimTime(item_u64(items, 1, "records")?),
+            length: u16::try_from(item_u64(items, 2, "records")?)
+                .map_err(|_| CheckpointError::Malformed("records"))?,
+            role: match item_u64(items, 3, "records")? {
+                0 => RecordRole::Anchor,
+                1 => RecordRole::Type1Report,
+                2 => RecordRole::Type2Report,
+                _ => return Err(CheckpointError::Malformed("records")),
+            },
+        });
+    }
+    let choice = Choice::from_index(
+        usize::try_from(get_u64(v, "choice")?).map_err(|_| CheckpointError::Malformed("choice"))?,
+    )
+    .ok_or(CheckpointError::Malformed("choice"))?;
+    let conf_bits = field(v, "conf_bits")?
+        .as_i64()
+        .ok_or(CheckpointError::Malformed("conf_bits"))?;
+    Ok(OnlineVerdict {
+        index: get_u64(v, "index")?,
+        choice: DecodedChoice {
+            cp: ChoicePointId(
+                u16::try_from(get_u64(v, "cp")?).map_err(|_| CheckpointError::Malformed("cp"))?,
+            ),
+            choice,
+            time: get_time(v, "t_us")?,
+            observed: get_bool(v, "observed")?,
+            confidence: f64::from_bits(conf_bits as u64),
+        },
+        provenance: ChoiceProvenance {
+            records,
+            tier: match get_u64(v, "tier")? {
+                0 => ConfidenceTier::Observed,
+                1 => ConfidenceTier::Inferred,
+                2 => ConfidenceTier::Blind,
+                _ => return Err(CheckpointError::Malformed("tier")),
+            },
+            near_gap: get_bool(v, "near_gap")?,
+        },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -930,6 +1044,68 @@ mod tests {
             OnlineDecoder::resume_from_checkpoint(bumped.as_bytes(), Arc::new(tiny_film())).err(),
             Some(CheckpointError::Version(99))
         );
+    }
+
+    #[test]
+    fn verdict_codec_roundtrips_exactly() {
+        let verdict = OnlineVerdict {
+            index: 3,
+            choice: DecodedChoice {
+                cp: ChoicePointId(2),
+                choice: Choice::NonDefault,
+                time: SimTime(1_234_567),
+                observed: true,
+                // A value with no short decimal form: the bit-pattern
+                // transport must reproduce it exactly.
+                confidence: 0.1 + 0.7 * 0.3,
+            },
+            provenance: ChoiceProvenance {
+                records: vec![
+                    ProvenanceRecord {
+                        index: 41,
+                        time: SimTime(1_230_000),
+                        length: 2_215,
+                        role: RecordRole::Type1Report,
+                    },
+                    ProvenanceRecord {
+                        index: 43,
+                        time: SimTime(1_240_000),
+                        length: 2_999,
+                        role: RecordRole::Type2Report,
+                    },
+                ],
+                tier: ConfidenceTier::Observed,
+                near_gap: true,
+            },
+        };
+        let doc = verdict_value(&verdict);
+        let back = verdict_from_value(&doc).unwrap();
+        assert_eq!(back.index, verdict.index);
+        assert_eq!(back.choice, verdict.choice);
+        assert!(back.choice.confidence.to_bits() == verdict.choice.confidence.to_bits());
+        assert_eq!(back.provenance, verdict.provenance);
+        // Canonical bytes are stable across a re-encode.
+        assert_eq!(
+            wm_json::to_bytes(&doc),
+            wm_json::to_bytes(&verdict_value(&back))
+        );
+        // Damaged documents yield typed errors, never panics.
+        let mut fields = vec![
+            ("index", Value::from("nope")),
+            ("tier", Value::from(9i64)),
+            ("choice", Value::from(7i64)),
+        ];
+        for (key, bad) in fields.drain(..) {
+            let mut doc = verdict_value(&verdict);
+            if let Value::Object(ref mut entries) = doc {
+                for entry in entries.iter_mut() {
+                    if entry.0 == key {
+                        entry.1 = bad.clone();
+                    }
+                }
+            }
+            assert!(verdict_from_value(&doc).is_err(), "field {key}");
+        }
     }
 
     #[test]

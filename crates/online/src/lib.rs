@@ -38,7 +38,10 @@ pub mod engine;
 pub mod ingest;
 pub mod shard;
 
-pub use checkpoint::{graph_fingerprint, CheckpointError, CHECKPOINT_VERSION};
+pub use checkpoint::{
+    config_from_value, config_value, graph_fingerprint, verdict_from_value, verdict_value,
+    CheckpointError, CHECKPOINT_VERSION,
+};
 pub use engine::{OnlineConfig, OnlineDecoder, OnlineStats, OnlineVerdict};
 pub use ingest::{
     ExtractedRecord, FlowIngest, GapEvent, IngestLimits, IngestLimitsError, IngestStats,
